@@ -1,0 +1,65 @@
+// Fig. 8 — block propagation latency to X% of 100 full nodes (LAN,
+// 8 consensus nodes): star vs random(FEG, fanout 4, 8 peers) vs
+// Multi-Zone with 3 and 12 zones, block sizes 1-40 MB.
+//
+// Reproduction target: star and random latencies grow ~linearly with
+// block size (random worst at large blocks); Multi-Zone stays nearly
+// flat because bundles were pre-distributed as stripes, reaching ~50%
+// of star's latency (and less of random's) beyond the ~5 MB crossover;
+// more zones shorten Multi-Zone's latency further.
+#include <cstdio>
+
+#include "multizone/experiments.hpp"
+
+using namespace predis;
+using namespace predis::multizone;
+
+namespace {
+
+void run_row(const char* label, Topology topo, std::size_t zones,
+             std::size_t block_mb) {
+  PropagationConfig cfg;
+  cfg.topology = topo;
+  cfg.n_consensus = 8;
+  cfg.f = 2;
+  cfg.n_full = 100;
+  cfg.n_zones = zones;
+  cfg.peers = 8;    // typical random-network connection count
+  cfg.fanout = 4;   // FEG push fanout (paper setting)
+  cfg.max_subscribers = 24;  // equal bandwidth overhead to random topo
+  cfg.block_bytes = block_mb << 20;
+  cfg.bundle_bytes = 256 << 10;
+  cfg.n_blocks = 3;
+
+  const PropagationResult r = run_propagation(cfg);
+  std::printf("%-14s block=%2zuMB ", label, block_mb);
+  for (double frac : {0.50, 0.90, 1.00}) {
+    const auto it = r.latency_ms_at_fraction.find(frac);
+    if (it != r.latency_ms_at_fraction.end()) {
+      std::printf(" %3.0f%%:%8.0fms", frac * 100, it->second);
+    } else {
+      std::printf(" %3.0f%%:     n/a", frac * 100);
+    }
+  }
+  std::printf("  coverage=%.2f\n", r.full_coverage_fraction);
+}
+
+}  // namespace
+
+int main() {
+  std::puts(
+      "=== Fig 8: block propagation latency, 8 consensus + 100 full nodes "
+      "(LAN) ===");
+  for (std::size_t mb : {1u, 5u, 10u, 20u, 40u}) {
+    run_row("star", Topology::kStar, 1, mb);
+    run_row("random(FEG)", Topology::kRandom, 1, mb);
+    run_row("multizone-3", Topology::kMultiZone, 3, mb);
+    run_row("multizone-12", Topology::kMultiZone, 12, mb);
+    std::puts("");
+  }
+  std::puts(
+      "(paper: star/random grow with block size; Multi-Zone stays flat — "
+      "~50% of star's and ~18%\n of random's latency at 40 MB; 12 zones "
+      "faster than 3)");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the framework's hot paths:
+// SHA-256, Merkle trees, the simulated signatures, Reed-Solomon
+// encode/decode (§V-B reports "several microseconds" per bundle),
+// bundle construction and Predis block build/verify.
+#include <benchmark/benchmark.h>
+
+#include "bundle/predis_block.hpp"
+#include "common/rng.hpp"
+#include "erasure/reed_solomon.hpp"
+
+using namespace predis;
+
+namespace {
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(25'600);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<Hash32> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    leaves.push_back(Sha256::hash(as_bytes("leaf" + std::to_string(i))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree::root_of(leaves));
+  }
+}
+BENCHMARK(BM_MerkleRoot)->Arg(50)->Arg(800)->Arg(4096);
+
+void BM_SignVerify(benchmark::State& state) {
+  const KeyPair key = KeyPair::from_seed(42);
+  const Bytes msg = random_bytes(256, 2);
+  const Signature sig = key.sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify(key.public_key(), msg, sig));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+// The paper's §V-B observation: encoding/decoding a 50-tx bundle costs
+// "several microseconds". Args: {k, n} with a 25.6 KB payload.
+void BM_ReedSolomonEncode(benchmark::State& state) {
+  const erasure::ReedSolomon rs(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)));
+  const Bytes bundle = random_bytes(25'600, 3);  // 50 x 512 B
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.encode(bundle));
+  }
+  state.SetBytesProcessed(state.iterations() * 25'600);
+}
+BENCHMARK(BM_ReedSolomonEncode)->Args({3, 4})->Args({6, 8})->Args({11, 16});
+
+void BM_ReedSolomonDecodeWithLoss(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const erasure::ReedSolomon rs(k, n);
+  const Bytes bundle = random_bytes(25'600, 4);
+  const auto shards = rs.encode(bundle);
+  std::vector<std::optional<Bytes>> input(shards.begin(), shards.end());
+  for (std::size_t i = 0; i < n - k; ++i) input[i].reset();  // worst case
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.decode(input));
+  }
+  state.SetBytesProcessed(state.iterations() * 25'600);
+}
+BENCHMARK(BM_ReedSolomonDecodeWithLoss)
+    ->Args({3, 4})
+    ->Args({6, 8})
+    ->Args({11, 16});
+
+std::vector<Transaction> make_txs(std::size_t count) {
+  std::vector<Transaction> txs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    txs[i].client = 1;
+    txs[i].seq = i;
+    txs[i].payload_seed = i * 0x9e37;
+  }
+  return txs;
+}
+
+void BM_BundleBuild(benchmark::State& state) {
+  const KeyPair key = KeyPair::from_seed(7);
+  const auto txs = make_txs(static_cast<std::size_t>(state.range(0)));
+  BundleHeight h = 1;
+  Hash32 parent = kZeroHash;
+  for (auto _ : state) {
+    Bundle b = make_bundle(0, h++, parent, {h, 0, 0, 0}, txs, key);
+    parent = b.header.hash();
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_BundleBuild)->Arg(50)->Arg(100);
+
+struct BlockFixture {
+  static constexpr std::size_t kN = 4;
+  Mempool mempool{kN, keys()};
+  KeyPair leader = KeyPair::from_seed(0);
+
+  static std::vector<PublicKey> keys() {
+    std::vector<PublicKey> out;
+    for (std::size_t i = 0; i < kN; ++i) {
+      out.push_back(KeyPair::from_seed(i).public_key());
+    }
+    return out;
+  }
+
+  BlockFixture() {
+    for (std::size_t p = 0; p < kN; ++p) {
+      Hash32 parent = kZeroHash;
+      for (BundleHeight h = 1; h <= 8; ++h) {
+        Bundle b = make_bundle(static_cast<NodeId>(p), h, parent,
+                               std::vector<BundleHeight>(kN, 8),
+                               make_txs(50), KeyPair::from_seed(p));
+        parent = b.header.hash();
+        mempool.add(b);
+      }
+    }
+  }
+};
+
+void BM_PredisBlockBuild(benchmark::State& state) {
+  BlockFixture fx;
+  const std::vector<BundleHeight> prev(BlockFixture::kN, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_predis_block(fx.mempool, 0, 1, 1, 0,
+                                                kZeroHash, prev, fx.leader));
+  }
+}
+BENCHMARK(BM_PredisBlockBuild);
+
+void BM_PredisBlockVerify(benchmark::State& state) {
+  BlockFixture fx;
+  const std::vector<BundleHeight> prev(BlockFixture::kN, 0);
+  const PredisBlock block = build_predis_block(fx.mempool, 0, 1, 1, 0,
+                                               kZeroHash, prev, fx.leader);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify_predis_block(fx.mempool, block, fx.leader.public_key()));
+  }
+}
+BENCHMARK(BM_PredisBlockVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

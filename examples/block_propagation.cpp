@@ -1,0 +1,54 @@
+// Block-propagation explorer: compare how fast one block of a given
+// size reaches every full node under the three topologies of Fig. 8.
+//
+//   ./build/examples/block_propagation [block_mb] [full_nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "multizone/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace predis;
+  using namespace predis::multizone;
+
+  const std::size_t block_mb =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 5;
+  const std::size_t n_full =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 50;
+
+  std::printf("Propagating %zu MB blocks to %zu full nodes (8 consensus "
+              "nodes, LAN)\n\n",
+              block_mb, n_full);
+  std::printf("%-14s %10s %10s %10s %9s\n", "topology", "50%(ms)",
+              "90%(ms)", "100%(ms)", "coverage");
+
+  struct Row {
+    const char* name;
+    Topology topo;
+    std::size_t zones;
+  };
+  // Zones must hold at least ~n_c members each to seat their relayers.
+  for (const Row row : {Row{"star", Topology::kStar, 1},
+                        Row{"random(FEG)", Topology::kRandom, 1},
+                        Row{"multizone-2", Topology::kMultiZone, 2},
+                        Row{"multizone-4", Topology::kMultiZone, 4}}) {
+    PropagationConfig cfg;
+    cfg.topology = row.topo;
+    cfg.n_consensus = 8;
+    cfg.f = 2;
+    cfg.n_full = n_full;
+    cfg.n_zones = row.zones;
+    cfg.block_bytes = block_mb << 20;
+    cfg.bundle_bytes = 256 << 10;
+    cfg.n_blocks = 3;
+
+    const PropagationResult r = run_propagation(cfg);
+    auto at = [&r](double f) {
+      const auto it = r.latency_ms_at_fraction.find(f);
+      return it == r.latency_ms_at_fraction.end() ? -1.0 : it->second;
+    };
+    std::printf("%-14s %10.0f %10.0f %10.0f %8.0f%%\n", row.name, at(0.5),
+                at(0.9), at(1.0), r.full_coverage_fraction * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "bundle/bundle.hpp"
+
+namespace predis {
+
+Bytes BundleHeader::signing_bytes() const {
+  Writer w;
+  w.u32(producer);
+  w.u64(height);
+  w.hash(parent_hash);
+  w.vec_u64(tip_list);
+  w.hash(tx_root);
+  w.hash(stripe_root);
+  return std::move(w).take();
+}
+
+void BundleHeader::encode(Writer& w) const {
+  w.u32(producer);
+  w.u64(height);
+  w.hash(parent_hash);
+  w.vec_u64(tip_list);
+  w.hash(tx_root);
+  w.hash(stripe_root);
+  w.raw(BytesView{signature.data(), signature.size()});
+}
+
+BundleHeader BundleHeader::decode(Reader& r) {
+  BundleHeader h;
+  h.producer = r.u32();
+  h.height = r.u64();
+  h.parent_hash = r.hash();
+  h.tip_list = r.vec_u64();
+  h.tx_root = r.hash();
+  h.stripe_root = r.hash();
+  for (auto& byte : h.signature) byte = r.u8();
+  return h;
+}
+
+Hash32 Bundle::tx_root_of(const std::vector<Transaction>& txs) {
+  if (txs.empty()) return kZeroHash;
+  std::vector<Hash32> leaves;
+  leaves.reserve(txs.size());
+  for (const auto& tx : txs) leaves.push_back(tx.id());
+  return MerkleTree::root_of(leaves);
+}
+
+Bundle make_bundle(NodeId producer, BundleHeight height,
+                   const Hash32& parent_hash,
+                   std::vector<BundleHeight> tip_list,
+                   std::vector<Transaction> txs, const KeyPair& key) {
+  Bundle b;
+  b.header.producer = producer;
+  b.header.height = height;
+  b.header.parent_hash = parent_hash;
+  b.header.tip_list = std::move(tip_list);
+  b.header.tx_root = Bundle::tx_root_of(txs);
+  b.txs = std::move(txs);
+  b.header.signature = key.sign(BytesView{b.header.signing_bytes()});
+  return b;
+}
+
+bool verify_bundle_signature(const BundleHeader& header,
+                             const PublicKey& producer_key) {
+  return verify(producer_key, BytesView{header.signing_bytes()},
+                header.signature);
+}
+
+}  // namespace predis

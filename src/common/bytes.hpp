@@ -1,0 +1,27 @@
+// Byte-buffer alias plus hex helpers used throughout serialization,
+// hashing and debugging output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace predis {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Render a byte span as lowercase hex ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Parse lowercase/uppercase hex into bytes. Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(const std::string& hex);
+
+/// View over the raw bytes of a string (no copy).
+inline BytesView as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace predis

@@ -1,0 +1,54 @@
+// Minimal leveled logger. Simulations at scale generate enormous event
+// volumes, so logging defaults to Warn; tests/benches flip levels locally.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace predis {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold (not thread-safe by design: set it once at start).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(Args&&... args) {
+  if (log_level() <= LogLevel::kTrace)
+    log_line(LogLevel::kTrace, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_line(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace predis

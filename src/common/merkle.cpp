@@ -1,0 +1,57 @@
+#include "common/merkle.hpp"
+
+#include <stdexcept>
+
+namespace predis {
+
+MerkleTree::MerkleTree(std::vector<Hash32> leaves) {
+  if (leaves.empty()) {
+    throw std::invalid_argument("MerkleTree: empty leaf set");
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Hash32> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      const Hash32& left = prev[i];
+      const Hash32& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(hash_pair(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count()) {
+    throw std::out_of_range("MerkleTree::prove: index out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = index;
+  std::size_t i = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const std::size_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
+    proof.siblings.push_back(sibling < nodes.size() ? nodes[sibling]
+                                                    : nodes[i]);
+    i /= 2;
+  }
+  return proof;
+}
+
+Hash32 MerkleTree::root_of(const std::vector<Hash32>& leaves) {
+  return MerkleTree(leaves).root();
+}
+
+bool MerkleTree::verify(const Hash32& root, const Hash32& leaf,
+                        const MerkleProof& proof) {
+  Hash32 acc = leaf;
+  std::size_t i = proof.leaf_index;
+  for (const Hash32& sibling : proof.siblings) {
+    acc = (i % 2 == 0) ? hash_pair(acc, sibling) : hash_pair(sibling, acc);
+    i /= 2;
+  }
+  return acc == root;
+}
+
+}  // namespace predis

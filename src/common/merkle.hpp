@@ -1,0 +1,52 @@
+// Merkle tree over leaf hashes, with inclusion proofs.
+//
+// Predis uses Merkle roots in two places (Fig. 1 of the paper):
+//  * the bundle header carries a Merkle root over the bundle's
+//    transactions and a "Merkle stripe hash" over its erasure-coded
+//    stripes, so receivers can verify individual stripes;
+//  * the Predis block carries a Merkle root over all transactions the
+//    candidate block maps to.
+//
+// Odd layers duplicate the last node (Bitcoin-style) so any leaf count
+// >= 1 is supported.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/sha256.hpp"
+
+namespace predis {
+
+/// Inclusion proof: sibling hashes from leaf to root plus the leaf index
+/// (the index encodes left/right orientation at every level).
+struct MerkleProof {
+  std::size_t leaf_index = 0;
+  std::vector<Hash32> siblings;
+};
+
+/// Immutable Merkle tree built from a list of leaf hashes.
+class MerkleTree {
+ public:
+  /// Builds the full tree; leaves must be non-empty.
+  explicit MerkleTree(std::vector<Hash32> leaves);
+
+  const Hash32& root() const { return levels_.back().front(); }
+  std::size_t leaf_count() const { return levels_.front().size(); }
+
+  /// Proof for the leaf at `index` (must be < leaf_count()).
+  MerkleProof prove(std::size_t index) const;
+
+  /// Convenience: root over leaves without keeping the tree.
+  static Hash32 root_of(const std::vector<Hash32>& leaves);
+
+  /// Verify that `leaf` is included under `root` via `proof`.
+  static bool verify(const Hash32& root, const Hash32& leaf,
+                     const MerkleProof& proof);
+
+ private:
+  // levels_[0] = leaves, levels_.back() = {root}.
+  std::vector<std::vector<Hash32>> levels_;
+};
+
+}  // namespace predis

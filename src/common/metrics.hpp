@@ -1,0 +1,61 @@
+// Cross-cutting experiment metrics: committed-transaction throughput,
+// client-observed latency, block production and per-node bandwidth are
+// recorded here by protocol engines and read by the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace predis {
+
+class Metrics {
+ public:
+  /// A block/batch committed at `when` carrying `tx_count` transactions.
+  void record_commit(SimTime when, std::size_t tx_count) {
+    commits_.push_back({when, tx_count});
+    committed_txs_ += tx_count;
+  }
+
+  /// One transaction's client-observed latency (submit -> first reply).
+  void record_latency(SimTime latency) {
+    latencies_.add(to_milliseconds(latency));
+  }
+
+  /// Count a transaction submitted by a client (offered load).
+  void record_submitted(std::size_t n = 1) { submitted_txs_ += n; }
+
+  std::uint64_t committed_txs() const { return committed_txs_; }
+  std::uint64_t submitted_txs() const { return submitted_txs_; }
+
+  /// Committed transactions per second inside [from, to].
+  double throughput_tps(SimTime from, SimTime to) const {
+    if (to <= from) return 0.0;
+    std::uint64_t n = 0;
+    for (const auto& c : commits_) {
+      if (c.when >= from && c.when <= to) n += c.tx_count;
+    }
+    return static_cast<double>(n) / to_seconds(to - from);
+  }
+
+  /// Latency distribution in milliseconds.
+  const Percentiles& latencies() const { return latencies_; }
+  Percentiles& latencies() { return latencies_; }
+
+  /// Number of distinct commit events (blocks).
+  std::size_t commit_events() const { return commits_.size(); }
+
+ private:
+  struct Commit {
+    SimTime when;
+    std::size_t tx_count;
+  };
+  std::vector<Commit> commits_;
+  Percentiles latencies_;
+  std::uint64_t committed_txs_ = 0;
+  std::uint64_t submitted_txs_ = 0;
+};
+
+}  // namespace predis

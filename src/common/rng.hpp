@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation (xoshiro256**), so every
+// simulation run is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace predis {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) — bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (for Poisson
+  /// arrival processes in workload generators).
+  double next_exponential(double mean);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick k distinct indices in [0, n).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace predis

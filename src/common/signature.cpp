@@ -1,0 +1,83 @@
+#include "common/signature.hpp"
+
+#include <cstring>
+#include <map>
+#include <mutex>
+
+namespace predis {
+
+namespace {
+
+// Registry mapping public keys to their secrets. `verify` consults it to
+// recompute the expected MAC; a simulated adversary that never held the
+// secret cannot produce a verifying signature for someone else's key.
+struct KeyRegistry {
+  std::mutex mu;
+  std::map<PublicKey, std::array<std::uint8_t, 32>> secrets;
+
+  static KeyRegistry& instance() {
+    static KeyRegistry reg;
+    return reg;
+  }
+};
+
+Signature mac(const std::array<std::uint8_t, 32>& secret, BytesView message) {
+  Sha256 first;
+  first.update(BytesView{secret.data(), secret.size()});
+  first.update(message);
+  const Hash32 h1 = first.digest();
+
+  Sha256 second;
+  second.update(BytesView{h1.data(), h1.size()});
+  second.update(BytesView{secret.data(), secret.size()});
+  const Hash32 h2 = second.digest();
+
+  Signature sig;
+  std::memcpy(sig.data(), h1.data(), 32);
+  std::memcpy(sig.data() + 32, h2.data(), 32);
+  return sig;
+}
+
+}  // namespace
+
+KeyPair KeyPair::from_seed(std::uint64_t seed) {
+  KeyPair kp;
+  // secret = SHA256("predis-key" || seed_le)
+  Sha256 ctx;
+  const char tag[] = "predis-key";
+  ctx.update(as_bytes(std::string(tag)));
+  std::uint8_t seed_le[8];
+  for (int i = 0; i < 8; ++i) {
+    seed_le[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  }
+  ctx.update(BytesView{seed_le, 8});
+  const Hash32 secret = ctx.digest();
+  std::memcpy(kp.secret_.data(), secret.data(), 32);
+
+  const Hash32 pub = Sha256::hash(BytesView{secret.data(), secret.size()});
+  std::memcpy(kp.public_key_.data(), pub.data(), 32);
+
+  auto& reg = KeyRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.secrets[kp.public_key_] = kp.secret_;
+  return kp;
+}
+
+Signature KeyPair::sign(BytesView message) const {
+  return mac(secret_, message);
+}
+
+bool verify(const PublicKey& public_key, BytesView message,
+            const Signature& signature) {
+  std::array<std::uint8_t, 32> secret;
+  {
+    auto& reg = KeyRegistry::instance();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    const auto it = reg.secrets.find(public_key);
+    if (it == reg.secrets.end()) return false;
+    secret = it->second;
+  }
+  return mac(secret, message) == signature;
+}
+
+}  // namespace predis

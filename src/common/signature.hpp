@@ -1,0 +1,56 @@
+// Simulated digital signatures.
+//
+// SUBSTITUTION (documented in DESIGN.md): real deployments sign bundles
+// and blocks with Ed25519. Inside this reproduction all parties live in
+// one simulated process, so we use a deterministic keyed construction
+// over SHA-256 with *the same wire sizes* as Ed25519 (32-byte public
+// key, 64-byte signature) — the sizes are what affect bandwidth and
+// therefore throughput shape. Unforgeability holds against the threat
+// model we simulate: a Byzantine actor in the simulation never learns
+// another node's secret, and `verify` recomputes the MAC from the
+// *signer registry*, so fabricating a signature for someone else's key
+// fails.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/sha256.hpp"
+
+namespace predis {
+
+using PublicKey = std::array<std::uint8_t, 32>;
+using Signature = std::array<std::uint8_t, 64>;
+
+/// A signing identity. Construct deterministically from a seed so that
+/// simulations are reproducible.
+class KeyPair {
+ public:
+  /// Derive a keypair from a 64-bit seed (e.g. the node id).
+  static KeyPair from_seed(std::uint64_t seed);
+
+  const PublicKey& public_key() const { return public_key_; }
+
+  /// Sign a message. Deterministic.
+  Signature sign(BytesView message) const;
+
+ private:
+  KeyPair() = default;
+  std::array<std::uint8_t, 32> secret_{};
+  PublicKey public_key_{};
+};
+
+/// Verify `signature` over `message` for the holder of `public_key`.
+///
+/// Implementation detail: the public key is itself derived from the
+/// secret via SHA-256, and verification re-derives the expected MAC from
+/// the public key's preimage registry. For the simulated threat model
+/// this gives the required property — only the holder of the secret
+/// (i.e. the KeyPair constructed with the right seed) produces
+/// signatures that verify.
+bool verify(const PublicKey& public_key, BytesView message,
+            const Signature& signature);
+
+}  // namespace predis

@@ -1,0 +1,53 @@
+// Core value types shared by every module in the framework.
+//
+// All identifiers are strong-ish typedefs (plain integral aliases kept
+// deliberately simple for serialization); simulated time is integral
+// nanoseconds so the discrete-event scheduler is exact and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace predis {
+
+/// Identifier of a node (consensus node, relayer, ordinary full node or
+/// client) inside one simulated network. Dense, assigned at construction.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Height of a bundle within one producer's bundle chain (1-based; 0 means
+/// "nothing received yet" in tip lists).
+using BundleHeight = std::uint64_t;
+
+/// Height of a block in the ledger.
+using BlockHeight = std::uint64_t;
+
+/// Consensus view / round number.
+using View = std::uint64_t;
+
+/// Monotonically increasing sequence number (PBFT) or HotStuff round.
+using SeqNum = std::uint64_t;
+
+/// Client-assigned transaction sequence, unique per client.
+using TxSeq = std::uint64_t;
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+
+/// Convenience constructors for simulated durations.
+constexpr SimTime nanoseconds(std::int64_t v) { return v; }
+constexpr SimTime microseconds(std::int64_t v) { return v * 1'000; }
+constexpr SimTime milliseconds(std::int64_t v) { return v * 1'000'000; }
+constexpr SimTime seconds(std::int64_t v) { return v * 1'000'000'000; }
+
+/// Convert simulated time to floating-point seconds (for reporting only).
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_milliseconds(SimTime t) {
+  return static_cast<double>(t) / 1e6;
+}
+
+}  // namespace predis

@@ -1,0 +1,180 @@
+// Shared consensus scaffolding: the opaque payload abstraction that lets
+// one PBFT/HotStuff state machine drive either raw transaction batches
+// (baselines) or Predis blocks / microblock-id lists (the paper's
+// systems), plus node context helpers, the cross-node commit ledger used
+// for both metrics and safety checking, and client reply batching.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/sha256.hpp"
+#include "common/types.hpp"
+#include "sim/network.hpp"
+#include "txpool/transaction.hpp"
+
+namespace predis::consensus {
+
+/// What a consensus slot decides on. Implementations: TxBatchPayload
+/// (baseline PBFT/HotStuff), PredisPayload (P-PBFT/P-HS), IdListPayload
+/// (Narwhal/Stratus-style).
+class Payload {
+ public:
+  virtual ~Payload() = default;
+  /// Bytes this payload adds to a proposal on the wire.
+  virtual std::size_t wire_size() const = 0;
+  /// Binding digest of the payload content.
+  virtual Hash32 digest() const = 0;
+  virtual const char* kind() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Replica-side payload check outcome. kPending means "cannot decide
+/// yet" (e.g. referenced bundles still in flight); the app later calls
+/// the core's revalidate hook.
+enum class Validity { kValid, kInvalid, kPending };
+
+/// Static configuration of one consensus group.
+struct ConsensusConfig {
+  std::vector<NodeId> nodes;  ///< Network ids of the n_c consensus nodes.
+  std::size_t f = 1;          ///< Tolerated Byzantine faults.
+  SimTime view_timeout = milliseconds(2000);
+};
+
+/// Convenience wrapper every consensus engine holds: identity, peers,
+/// messaging and timers.
+class NodeContext {
+ public:
+  NodeContext(sim::Network& net, NodeId self, ConsensusConfig config)
+      : net_(&net), self_(self), cfg_(std::move(config)) {
+    for (std::size_t i = 0; i < cfg_.nodes.size(); ++i) {
+      if (cfg_.nodes[i] == self) index_ = i;
+    }
+  }
+
+  sim::Network& net() const { return *net_; }
+  NodeId self() const { return self_; }
+  std::size_t index() const { return index_; }
+  std::size_t n() const { return cfg_.nodes.size(); }
+  std::size_t f() const { return cfg_.f; }
+  /// Quorum size n - f (= 2f + 1 when n = 3f + 1).
+  std::size_t quorum() const { return n() - cfg_.f; }
+  const ConsensusConfig& config() const { return cfg_; }
+
+  NodeId node(std::size_t idx) const { return cfg_.nodes[idx]; }
+
+  /// Index of a consensus node id inside the group; n() if not a member.
+  std::size_t index_of(NodeId id) const {
+    for (std::size_t i = 0; i < cfg_.nodes.size(); ++i) {
+      if (cfg_.nodes[i] == id) return i;
+    }
+    return cfg_.nodes.size();
+  }
+
+  SimTime now() const { return net_->simulator().now(); }
+
+  void send_to(std::size_t idx, sim::MsgPtr msg) const {
+    net_->send(self_, cfg_.nodes[idx], std::move(msg));
+  }
+
+  void send_node(NodeId id, sim::MsgPtr msg) const {
+    net_->send(self_, id, std::move(msg));
+  }
+
+  /// Send to every other consensus node.
+  void broadcast(const sim::MsgPtr& msg) const {
+    net_->multicast(self_, cfg_.nodes, msg);
+  }
+
+  sim::TimerHandle after(SimTime delay, std::function<void()> fn) const {
+    return net_->simulator().schedule_after(delay, std::move(fn));
+  }
+
+ private:
+  sim::Network* net_;
+  NodeId self_;
+  std::size_t index_ = 0;
+  ConsensusConfig cfg_;
+};
+
+/// Size constants for simulated signatures/certificates on the wire.
+inline constexpr std::size_t kSigBytes = 64;
+inline constexpr std::size_t kVoteBytes = 32 + kSigBytes + 16;
+/// A quorum certificate of q signatures over a 32-byte digest.
+inline constexpr std::size_t qc_bytes(std::size_t q) {
+  return 32 + 8 + q * (kSigBytes + 4);
+}
+
+/// Experiment-wide commit record shared by all consensus nodes of one
+/// simulated cluster. Serves two purposes: (a) metrics — the first
+/// commit of each slot feeds throughput; (b) safety checking — any two
+/// nodes committing different digests for the same slot is flagged.
+class CommitLedger {
+ public:
+  explicit CommitLedger(Metrics& metrics) : metrics_(&metrics) {}
+
+  void on_commit(std::size_t node_index, std::uint64_t slot,
+                 const Hash32& digest, std::size_t tx_count, SimTime when) {
+    auto [it, inserted] = slots_.try_emplace(slot, Entry{digest, when, 1});
+    if (inserted) {
+      metrics_->record_commit(when, tx_count);
+    } else {
+      ++it->second.commit_count;
+      if (it->second.digest != digest) conflicting_ = true;
+    }
+    (void)node_index;
+  }
+
+  bool consistent() const { return !conflicting_; }
+  std::size_t committed_slots() const { return slots_.size(); }
+  Metrics& metrics() { return *metrics_; }
+
+ private:
+  struct Entry {
+    Hash32 digest;
+    SimTime first_commit;
+    std::size_t commit_count;
+  };
+  Metrics* metrics_;
+  std::map<std::uint64_t, Entry> slots_;
+  bool conflicting_ = false;
+};
+
+/// Batches committed-transaction acknowledgements into one ClientReplyMsg
+/// per client per commit, sent by exactly one designated replica (chosen
+/// by client id) so the simulated reply traffic matches one logical
+/// reply per transaction.
+class ReplyManager {
+ public:
+  ReplyManager(NodeContext& ctx) : ctx_(&ctx) {}
+
+  void reply_committed(const std::vector<Transaction>& txs) {
+    std::map<NodeId, std::vector<TxSeq>> by_client;
+    for (const auto& tx : txs) {
+      if (tx.client == kNoNode) continue;
+      if (tx.client % ctx_->n() != ctx_->index()) continue;  // not ours
+      by_client[tx.client].push_back(tx.seq);
+    }
+    const SimTime now = ctx_->now();
+    for (auto& [client, seqs] : by_client) {
+      auto msg = std::make_shared<ClientReplyMsg>();
+      msg->seqs = std::move(seqs);
+      msg->committed_at = now;
+      ctx_->send_node(client, std::move(msg));
+    }
+  }
+
+ private:
+  NodeContext* ctx_;
+};
+
+/// Round-robin leader for view/round `v`.
+inline std::size_t leader_index(View v, std::size_t n) {
+  return static_cast<std::size_t>(v % n);
+}
+
+}  // namespace predis::consensus

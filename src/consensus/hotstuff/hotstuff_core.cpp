@@ -1,0 +1,380 @@
+#include "consensus/hotstuff/hotstuff_core.hpp"
+
+#include "common/codec.hpp"
+#include "consensus/payloads.hpp"
+
+namespace predis::consensus::hotstuff {
+
+Hash32 block_hash(Round round, const Hash32& parent, const Hash32& justify,
+                  const Hash32& payload_digest) {
+  Writer w;
+  w.u64(round);
+  w.hash(parent);
+  w.hash(justify);
+  w.hash(payload_digest);
+  return Sha256::hash(w.data());
+}
+
+BlockPtr make_block(Round round, const Hash32& parent, QuorumCert justify,
+                    PayloadPtr payload) {
+  auto b = std::make_shared<HsBlock>();
+  b->round = round;
+  b->parent = parent;
+  b->justify = justify;
+  b->payload = std::move(payload);
+  b->hash = block_hash(round, parent, justify.block_hash,
+                       b->payload->digest());
+  return b;
+}
+
+namespace {
+bool is_empty_payload(const PayloadPtr& p) {
+  return dynamic_cast<const EmptyPayload*>(p.get()) != nullptr;
+}
+}  // namespace
+
+HotStuffCore::HotStuffCore(NodeContext ctx, HotStuffApp& app)
+    : ctx_(std::move(ctx)), app_(app) {
+  // Genesis block at round 0, certified by a built-in QC.
+  auto genesis = make_block(0, kZeroHash, QuorumCert{},
+                            std::make_shared<EmptyPayload>());
+  genesis_hash_ = genesis->hash;
+  committed_hash_ = genesis_hash_;
+  locked_hash_ = genesis_hash_;
+  blocks_.emplace(genesis_hash_, std::move(genesis));
+  high_qc_ = QuorumCert{0, genesis_hash_, ctx_.quorum()};
+}
+
+void HotStuffCore::start() { try_propose(); }
+
+const HsBlock* HotStuffCore::get_block(const Hash32& hash) const {
+  const auto it = blocks_.find(hash);
+  return it == blocks_.end() ? nullptr : it->second.get();
+}
+
+bool HotStuffCore::handle(NodeId from, const sim::MsgPtr& msg) {
+  const std::size_t idx = ctx_.index_of(from);
+  if (const auto* m = dynamic_cast<const ProposalMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_proposal(idx, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const VoteMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_vote(idx, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const NewViewMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_new_view(idx, *m);
+    return true;
+  }
+  return false;
+}
+
+void HotStuffCore::payload_ready() {
+  if (paused_) return;
+  want_progress_ = true;
+  arm_round_timer();
+  try_propose();
+}
+
+void HotStuffCore::on_proposal(std::size_t from, const ProposalMsg& msg) {
+  const BlockPtr& block = msg.block;
+  if (block == nullptr || block->payload == nullptr) return;
+  if (from != leader_index(block->round, ctx_.n())) return;
+  if (blocks_.count(block->hash) != 0) return;
+
+  if (blocks_.count(block->parent) == 0) {
+    orphans_.emplace(block->parent, block);
+    return;
+  }
+  store_block(block);
+  process_block(block);
+  try_flush_orphans();
+}
+
+void HotStuffCore::store_block(BlockPtr block) {
+  const Hash32 hash = block->hash;
+  const Round round = block->round;
+  blocks_.emplace(hash, std::move(block));
+
+  // Votes may have arrived before the block: try to form the QC now.
+  const auto vit = votes_.find(round);
+  if (vit != votes_.end()) {
+    const auto dit = vit->second.find(hash);
+    if (dit != vit->second.end() && dit->second.size() >= ctx_.quorum()) {
+      update_high_qc(QuorumCert{round, hash, dit->second.size()});
+      advance_round(round + 1);
+      try_propose();
+    }
+  }
+}
+
+void HotStuffCore::try_flush_orphans() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = orphans_.begin(); it != orphans_.end();) {
+      if (blocks_.count(it->first) == 0) {
+        ++it;
+        continue;
+      }
+      BlockPtr block = it->second;
+      it = orphans_.erase(it);
+      if (blocks_.count(block->hash) == 0) {
+        store_block(block);
+        process_block(block);
+        progressed = true;
+      }
+    }
+  }
+}
+
+void HotStuffCore::process_block(const BlockPtr& block) {
+  update_high_qc(block->justify);
+
+  // Chain rules (chained HotStuff): b'' = justify target, b' its justify
+  // target, b the one below. Lock on the 2-chain, commit on a 3-chain of
+  // consecutive rounds.
+  const HsBlock* b2 = get_block(block->justify.block_hash);
+  if (b2 != nullptr) {
+    const HsBlock* b1 = get_block(b2->justify.block_hash);
+    if (b1 != nullptr) {
+      if (b1->round > locked_round_) {
+        locked_round_ = b1->round;
+        locked_hash_ = b1->hash;
+      }
+      const HsBlock* b0 = get_block(b1->justify.block_hash);
+      if (b0 != nullptr && b2->round == b1->round + 1 &&
+          b1->round == b0->round + 1 && b0->round > committed_round_) {
+        commit_chain(*b0);
+      }
+    }
+  }
+
+  try_vote(block);
+  advance_round(block->round + 1);
+}
+
+void HotStuffCore::try_vote(const BlockPtr& block) {
+  if (paused_) return;
+  if (block->round <= last_voted_round_) return;
+  // Safety rule: extend the locked block, or see a newer QC.
+  if (!(block->justify.round > locked_round_ ||
+        extends(block->hash, locked_hash_))) {
+    return;
+  }
+
+  Validity validity;
+  if (is_empty_payload(block->payload)) {
+    validity = Validity::kValid;
+  } else {
+    validity = app_.validate(block->round, block->payload,
+                             ancestors_of(block->parent));
+  }
+  if (validity == Validity::kInvalid) return;
+  if (validity == Validity::kPending) {
+    pending_validation_[block->round] = block;
+    return;
+  }
+
+  last_voted_round_ = block->round;
+  send_vote(block->round, block->hash);
+}
+
+void HotStuffCore::send_vote(Round round, const Hash32& hash) {
+  // Votes go to the next leader — and to the one after it. With a
+  // strict round-robin pacemaker, a single crashed node would otherwise
+  // swallow exactly the QC that completes every three-chain (votes for
+  // the round before its turn are addressed to it), stalling commits
+  // forever at n = 4. Double-targeting is the standard hardening and
+  // keeps the vote pattern O(n).
+  auto vote = std::make_shared<VoteMsg>();
+  vote->round = round;
+  vote->block_hash = hash;
+  const std::size_t first = leader_index(round + 1, ctx_.n());
+  const std::size_t second = leader_index(round + 2, ctx_.n());
+  for (const std::size_t target : {first, second}) {
+    if (target == second && second == first) break;  // n == 1 edge case
+    if (target == ctx_.index()) {
+      on_vote(ctx_.index(), *vote);
+    } else {
+      ctx_.send_to(target, vote);
+    }
+  }
+}
+
+void HotStuffCore::revalidate() {
+  if (paused_) return;
+  while (!pending_validation_.empty()) {
+    const auto it = pending_validation_.begin();
+    BlockPtr block = it->second;
+    if (block->round <= last_voted_round_) {
+      // We already voted past this round; the chance is gone.
+      pending_validation_.erase(it);
+      continue;
+    }
+    const Validity validity = app_.validate(block->round, block->payload,
+                                            ancestors_of(block->parent));
+    if (validity == Validity::kPending) return;  // still waiting
+    pending_validation_.erase(it);
+    if (validity == Validity::kInvalid) continue;
+    last_voted_round_ = block->round;
+    send_vote(block->round, block->hash);
+  }
+}
+
+void HotStuffCore::on_vote(std::size_t from, const VoteMsg& msg) {
+  auto& voters = votes_[msg.round][msg.block_hash];
+  voters.insert(from);
+  if (voters.size() != ctx_.quorum()) return;
+  if (blocks_.count(msg.block_hash) == 0) return;  // QC formed on arrival
+
+  update_high_qc(QuorumCert{msg.round, msg.block_hash, voters.size()});
+  advance_round(msg.round + 1);
+  // advance_round may have been a no-op (we already entered this round
+  // when the proposal arrived); with the QC in hand we can propose now.
+  try_propose();
+}
+
+void HotStuffCore::on_new_view(std::size_t from, const NewViewMsg& msg) {
+  update_high_qc(msg.high_qc);
+  auto& senders = new_views_[msg.round];
+  senders.insert(from);
+  if (leader_index(msg.round, ctx_.n()) == ctx_.index() &&
+      senders.size() >= ctx_.quorum()) {
+    advance_round(msg.round);
+    try_propose();
+  }
+}
+
+void HotStuffCore::update_high_qc(const QuorumCert& qc) {
+  if (qc.round > high_qc_.round) {
+    high_qc_ = qc;
+  }
+}
+
+void HotStuffCore::advance_round(Round round) {
+  if (round <= cur_round_) return;
+  cur_round_ = round;
+  round_timer_.cancel();
+  if (want_progress_) arm_round_timer();
+  try_propose();
+}
+
+void HotStuffCore::try_propose() {
+  if (paused_) return;
+  if (leader_index(cur_round_, ctx_.n()) != ctx_.index()) return;
+  if (proposed_round_ >= cur_round_) return;
+
+  // A leader may propose when it holds the QC of the previous round, or
+  // when a quorum of NewView messages lets it re-anchor on high_qc.
+  const bool fresh_qc = high_qc_.round + 1 == cur_round_;
+  const auto nv = new_views_.find(cur_round_);
+  const bool timeout_quorum =
+      nv != new_views_.end() && nv->second.size() >= ctx_.quorum();
+  if (!fresh_qc && !timeout_quorum) return;
+
+  PayloadPtr payload =
+      app_.make_payload(cur_round_, ancestors_of(high_qc_.block_hash));
+  if (payload == nullptr) {
+    // Keep the pipeline moving only if an uncommitted real payload
+    // needs the extra rounds to reach its three-chain commit.
+    if (!has_uncommitted_payload()) return;
+    payload = std::make_shared<EmptyPayload>();
+  }
+
+  proposed_round_ = cur_round_;
+  BlockPtr block =
+      make_block(cur_round_, high_qc_.block_hash, high_qc_, std::move(payload));
+  store_block(block);
+
+  auto msg = std::make_shared<ProposalMsg>();
+  msg->block = block;
+  ctx_.broadcast(msg);
+  want_progress_ = true;
+  arm_round_timer();
+  process_block(block);
+}
+
+void HotStuffCore::commit_chain(const HsBlock& anchor) {
+  // Collect the uncommitted chain anchor .. committed (exclusive).
+  std::vector<const HsBlock*> chain;
+  const HsBlock* cursor = &anchor;
+  while (cursor != nullptr && cursor->hash != committed_hash_ &&
+         cursor->round > 0) {
+    chain.push_back(cursor);
+    cursor = get_block(cursor->parent);
+  }
+  committed_round_ = anchor.round;
+  committed_hash_ = anchor.hash;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!is_empty_payload((*it)->payload)) {
+      app_.on_commit((*it)->round, (*it)->payload);
+    }
+  }
+  if (!has_uncommitted_payload() && pending_validation_.empty()) {
+    want_progress_ = false;
+    round_timer_.cancel();
+  }
+}
+
+std::vector<PayloadPtr> HotStuffCore::ancestors_of(
+    const Hash32& parent_hash) const {
+  std::vector<PayloadPtr> out;
+  const HsBlock* cursor = get_block(parent_hash);
+  while (cursor != nullptr && cursor->hash != committed_hash_ &&
+         cursor->round > 0) {
+    out.push_back(cursor->payload);
+    cursor = get_block(cursor->parent);
+  }
+  return out;
+}
+
+bool HotStuffCore::extends(const Hash32& descendant,
+                           const Hash32& ancestor) const {
+  const HsBlock* cursor = get_block(descendant);
+  const HsBlock* target = get_block(ancestor);
+  if (target == nullptr) return false;
+  while (cursor != nullptr) {
+    if (cursor->hash == ancestor) return true;
+    if (cursor->round <= target->round) return false;
+    cursor = get_block(cursor->parent);
+  }
+  return false;
+}
+
+bool HotStuffCore::has_uncommitted_payload() const {
+  const HsBlock* cursor = get_block(high_qc_.block_hash);
+  while (cursor != nullptr && cursor->hash != committed_hash_ &&
+         cursor->round > 0) {
+    if (!is_empty_payload(cursor->payload)) return true;
+    cursor = get_block(cursor->parent);
+  }
+  return false;
+}
+
+void HotStuffCore::arm_round_timer() {
+  if (round_timer_.scheduled()) return;
+  round_timer_ = ctx_.after(ctx_.config().view_timeout,
+                            [this] { on_round_timeout(); });
+}
+
+void HotStuffCore::on_round_timeout() {
+  if (paused_ || !want_progress_) return;
+  ++timeouts_;
+  cur_round_ += 1;
+  auto msg = std::make_shared<NewViewMsg>();
+  msg->round = cur_round_;
+  msg->high_qc = high_qc_;
+  const std::size_t leader = leader_index(cur_round_, ctx_.n());
+  if (leader == ctx_.index()) {
+    on_new_view(ctx_.index(), *msg);
+  } else {
+    ctx_.send_to(leader, std::move(msg));
+    // Count ourselves toward the quorum as well.
+    new_views_[cur_round_].insert(ctx_.index());
+  }
+  round_timer_ = ctx_.after(ctx_.config().view_timeout,
+                            [this] { on_round_timeout(); });
+}
+
+}  // namespace predis::consensus::hotstuff

@@ -1,0 +1,178 @@
+// Chained HotStuff (Yin et al., PODC'19) over opaque payloads.
+//
+// One block per round; votes go to the *next* round's leader, which
+// aggregates them into a quorum certificate embedded in its own
+// proposal — the O(n) all-to-one pattern that gives HotStuff its
+// scalability. Commit uses the three-chain rule with consecutive
+// rounds; safety uses the standard locked-round voting rule. A simple
+// pacemaker (round-robin leaders, timeout → NewView with the highest
+// known QC) restores progress after leader failure.
+//
+// The same core drives baseline HotStuff (TxBatchPayload), P-HS
+// (PredisPayload) and the Narwhal/Stratus comparisons (IdListPayload).
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "consensus/common.hpp"
+
+namespace predis::consensus::hotstuff {
+
+using Round = std::uint64_t;
+
+struct QuorumCert {
+  Round round = 0;               ///< Round of the certified block.
+  Hash32 block_hash = kZeroHash;
+  std::size_t signers = 0;       ///< For wire-size accounting only.
+
+  std::size_t wire_size() const { return qc_bytes(signers); }
+};
+
+struct HsBlock {
+  Round round = 0;
+  Hash32 parent = kZeroHash;  ///< Hash of the parent block.
+  QuorumCert justify;         ///< QC this block carries (for its parent).
+  PayloadPtr payload;
+  Hash32 hash = kZeroHash;    ///< Computed at construction.
+};
+
+using BlockPtr = std::shared_ptr<const HsBlock>;
+
+/// Deterministic block hash binding round, parent, justify and payload.
+Hash32 block_hash(Round round, const Hash32& parent, const Hash32& justify,
+                  const Hash32& payload_digest);
+
+BlockPtr make_block(Round round, const Hash32& parent, QuorumCert justify,
+                    PayloadPtr payload);
+
+struct ProposalMsg final : sim::Message {
+  BlockPtr block;
+
+  std::size_t wire_size() const override {
+    return 48 + kSigBytes + block->justify.wire_size() +
+           block->payload->wire_size();
+  }
+  const char* name() const override { return "HsProposal"; }
+};
+
+struct VoteMsg final : sim::Message {
+  Round round = 0;
+  Hash32 block_hash = kZeroHash;
+
+  std::size_t wire_size() const override { return kVoteBytes; }
+  const char* name() const override { return "HsVote"; }
+};
+
+struct NewViewMsg final : sim::Message {
+  Round round = 0;  ///< Round the sender wants to enter.
+  QuorumCert high_qc;
+
+  std::size_t wire_size() const override {
+    return 16 + kSigBytes + high_qc.wire_size();
+  }
+  const char* name() const override { return "HsNewView"; }
+};
+
+class HotStuffApp {
+ public:
+  virtual ~HotStuffApp() = default;
+
+  /// Leader-side payload for `round`. `ancestors` lists the payloads of
+  /// uncommitted ancestor blocks, nearest first — apps use it to avoid
+  /// double-ordering (tx dedup, Predis prev-cut chaining). Return
+  /// nullptr when nothing needs ordering.
+  virtual PayloadPtr make_payload(Round round,
+                                  const std::vector<PayloadPtr>& ancestors) = 0;
+
+  /// Replica-side check; kPending defers the vote until the app calls
+  /// HotStuffCore::revalidate().
+  virtual Validity validate(Round round, const PayloadPtr& payload,
+                            const std::vector<PayloadPtr>& ancestors) = 0;
+
+  /// Block committed (three-chain rule), in round order, exactly once.
+  virtual void on_commit(Round round, const PayloadPtr& payload) = 0;
+};
+
+class HotStuffCore {
+ public:
+  HotStuffCore(NodeContext ctx, HotStuffApp& app);
+
+  void start();
+  bool handle(NodeId from, const sim::MsgPtr& msg);
+
+  /// App signals: data ready / pending validation may now pass.
+  void payload_ready();
+  void revalidate();
+
+  Round current_round() const { return cur_round_; }
+  Round committed_round() const { return committed_round_; }
+  bool is_leader() const {
+    return leader_index(cur_round_, ctx_.n()) == ctx_.index();
+  }
+  std::uint64_t timeouts() const { return timeouts_; }
+
+  /// Fault injection: paused nodes neither vote nor propose.
+  void set_paused(bool paused) { paused_ = paused; }
+
+ private:
+  struct HashKey {
+    std::size_t operator()(const Hash32& h) const {
+      std::size_t v;
+      static_assert(sizeof(v) <= 32);
+      __builtin_memcpy(&v, h.data(), sizeof(v));
+      return v;
+    }
+  };
+
+  const HsBlock* get_block(const Hash32& hash) const;
+  void store_block(BlockPtr block);
+  void try_flush_orphans();
+  void on_proposal(std::size_t from, const ProposalMsg& msg);
+  void process_block(const BlockPtr& block);
+  void try_vote(const BlockPtr& block);
+  void send_vote(Round round, const Hash32& hash);
+  void on_vote(std::size_t from, const VoteMsg& msg);
+  void on_new_view(std::size_t from, const NewViewMsg& msg);
+  void update_high_qc(const QuorumCert& qc);
+  void advance_round(Round round);
+  void try_propose();
+  void commit_chain(const HsBlock& anchor);
+  std::vector<PayloadPtr> ancestors_of(const Hash32& parent_hash) const;
+  bool extends(const Hash32& descendant, const Hash32& ancestor) const;
+  bool has_uncommitted_payload() const;
+  void arm_round_timer();
+  void on_round_timeout();
+
+  NodeContext ctx_;
+  HotStuffApp& app_;
+
+  std::unordered_map<Hash32, BlockPtr, HashKey> blocks_;
+  std::multimap<Hash32, BlockPtr, std::less<>> orphans_;  // keyed by parent
+  Hash32 genesis_hash_ = kZeroHash;
+
+  Round cur_round_ = 1;
+  Round last_voted_round_ = 0;
+  Round locked_round_ = 0;
+  Hash32 locked_hash_ = kZeroHash;  // set to genesis at construction
+  Round committed_round_ = 0;
+  Hash32 committed_hash_ = kZeroHash;  // genesis
+  QuorumCert high_qc_;
+  Round proposed_round_ = 0;  ///< Highest round we proposed in.
+
+  // Vote aggregation at the next leader: round -> digest -> voters.
+  std::map<Round, std::map<Hash32, std::set<std::size_t>>> votes_;
+  // NewView aggregation: round -> senders.
+  std::map<Round, std::set<std::size_t>> new_views_;
+
+  // Blocks whose validation returned kPending (await revalidate()).
+  std::map<Round, BlockPtr> pending_validation_;
+
+  bool paused_ = false;
+  bool want_progress_ = false;
+  sim::TimerHandle round_timer_;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace predis::consensus::hotstuff

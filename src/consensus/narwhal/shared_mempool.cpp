@@ -1,0 +1,241 @@
+#include "consensus/narwhal/shared_mempool.hpp"
+
+#include <algorithm>
+
+namespace predis::consensus::narwhal {
+
+SharedMempoolNode::SharedMempoolNode(NodeContext ctx,
+                                     SharedMempoolConfig config,
+                                     CommitLedger& ledger)
+    : ctx_(std::move(ctx)),
+      cfg_(config),
+      ledger_(ledger),
+      replies_(ctx_),
+      core_(ctx_, *this),
+      rng_(config.seed ^ (0x51f15eedULL * (ctx_.index() + 1))) {}
+
+void SharedMempoolNode::on_start() {
+  schedule_packing();
+  core_.start();
+}
+
+void SharedMempoolNode::schedule_packing() {
+  ctx_.after(cfg_.pack_interval, [this] {
+    pack_microblock();
+    schedule_packing();
+  });
+}
+
+void SharedMempoolNode::enqueue(const std::vector<Transaction>& txs) {
+  // Backpressure: shed client load once the uplink queue is far behind.
+  if (ctx_.net().uplink_backlog(ctx_.self()) > milliseconds(400)) return;
+  if (tx_queue_.size() >= 4000) return;
+  tx_queue_.insert(tx_queue_.end(), txs.begin(), txs.end());
+  while (tx_queue_.size() >= cfg_.microblock_size) pack_microblock();
+}
+
+void SharedMempoolNode::pack_microblock() {
+  if (tx_queue_.empty()) return;  // no empty microblocks
+  const std::size_t take =
+      std::min(tx_queue_.size(), cfg_.microblock_size);
+
+  Microblock mb;
+  mb.producer = static_cast<NodeId>(ctx_.index());
+  mb.index = own_index_++;
+  mb.txs.assign(tx_queue_.begin(),
+                tx_queue_.begin() + static_cast<std::ptrdiff_t>(take));
+  tx_queue_.erase(tx_queue_.begin(),
+                  tx_queue_.begin() + static_cast<std::ptrdiff_t>(take));
+
+  pool_.emplace(Key{mb.producer, mb.index}, mb);
+  acks_[Key{mb.producer, mb.index}].insert(ctx_.index());  // self-ack
+
+  auto msg = std::make_shared<MicroblockMsg>();
+  msg->mb = std::move(mb);
+  ctx_.broadcast(msg);
+}
+
+void SharedMempoolNode::on_message(NodeId from, const sim::MsgPtr& msg) {
+  if (const auto* req = dynamic_cast<const ClientRequestMsg*>(msg.get())) {
+    enqueue(req->txs);
+    return;
+  }
+  if (handle_mempool(from, msg)) return;
+  core_.handle(from, msg);
+}
+
+bool SharedMempoolNode::handle_mempool(NodeId from, const sim::MsgPtr& msg) {
+  if (const auto* m = dynamic_cast<const MicroblockMsg*>(msg.get())) {
+    const Key key{m->mb.producer, m->mb.index};
+    if (pool_.count(key) == 0) {
+      pool_.emplace(key, m->mb);
+      fetching_.erase(key);
+      // Availability ack back to the producer (RBC / PAB reply).
+      auto ack = std::make_shared<MbAckMsg>();
+      ack->ref = {m->mb.producer, m->mb.index, m->mb.id()};
+      if (m->mb.producer < ctx_.n()) {
+        ctx_.send_to(m->mb.producer, std::move(ack));
+      }
+      core_.revalidate();
+    }
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const MbAckMsg*>(msg.get())) {
+    const std::size_t idx = ctx_.index_of(from);
+    if (idx >= ctx_.n()) return true;
+    if (m->ref.producer != ctx_.index()) return true;
+    auto& set = acks_[m->ref.key()];
+    set.insert(idx);
+    if (set.size() == cfg_.ack_quorum &&
+        certified_.count(m->ref.key()) == 0) {
+      certify(m->ref, set.size());
+      auto cert = std::make_shared<MbCertMsg>();
+      cert->ref = m->ref;
+      cert->signers = set.size();
+      ctx_.broadcast(cert);
+    }
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const MbCertMsg*>(msg.get())) {
+    if (certified_.count(m->ref.key()) == 0) {
+      certify(m->ref, m->signers);
+    }
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const MbFetchMsg*>(msg.get())) {
+    auto reply = std::make_shared<MbBatchMsg>();
+    for (const auto& ref : m->refs) {
+      const auto it = pool_.find(ref.key());
+      if (it != pool_.end()) reply->mbs.push_back(it->second);
+    }
+    if (!reply->mbs.empty()) ctx_.send_node(from, std::move(reply));
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const MbBatchMsg*>(msg.get())) {
+    for (const auto& mb : m->mbs) {
+      const Key key{mb.producer, mb.index};
+      if (pool_.count(key) == 0) {
+        pool_.emplace(key, mb);
+        fetching_.erase(key);
+      }
+    }
+    core_.revalidate();
+    return true;
+  }
+  return false;
+}
+
+void SharedMempoolNode::certify(const MicroblockRef& ref,
+                                std::size_t /*signers*/) {
+  certified_.insert(ref.key());
+  if (committed_.count(ref.key()) == 0) {
+    proposable_.push_back(ref);
+    core_.payload_ready();
+  }
+}
+
+PayloadPtr SharedMempoolNode::make_payload(
+    hotstuff::Round /*round*/, const std::vector<PayloadPtr>& ancestors) {
+  if (proposable_.empty()) return nullptr;
+
+  std::set<Key> in_flight;
+  for (const auto& payload : ancestors) {
+    const auto* ids = dynamic_cast<const IdListPayload*>(payload.get());
+    if (ids == nullptr) continue;
+    for (const auto& ref : ids->refs()) in_flight.insert(ref.key());
+  }
+
+  std::vector<MicroblockRef> picked;
+  std::deque<MicroblockRef> keep;
+  while (!proposable_.empty() && picked.size() < cfg_.id_cap) {
+    MicroblockRef ref = proposable_.front();
+    proposable_.pop_front();
+    if (committed_.count(ref.key()) != 0) continue;
+    if (in_flight.count(ref.key()) != 0) {
+      keep.push_back(ref);
+      continue;
+    }
+    picked.push_back(ref);
+  }
+  // Anything skipped (in flight) or not picked stays queued.
+  for (auto it = keep.rbegin(); it != keep.rend(); ++it) {
+    proposable_.push_front(*it);
+  }
+  if (picked.empty()) return nullptr;
+  return std::make_shared<IdListPayload>(std::move(picked), cfg_.ack_quorum);
+}
+
+Validity SharedMempoolNode::validate(
+    hotstuff::Round /*round*/, const PayloadPtr& payload,
+    const std::vector<PayloadPtr>& /*ancestors*/) {
+  const auto* ids = dynamic_cast<const IdListPayload*>(payload.get());
+  if (ids == nullptr) return Validity::kInvalid;
+
+  // The certificate proves availability; we only fetch the bodies we
+  // lack before voting (Narwhal workers sync the same way).
+  std::vector<MicroblockRef> missing;
+  for (const auto& ref : ids->refs()) {
+    if (pool_.count(ref.key()) == 0 && fetching_.count(ref.key()) == 0) {
+      missing.push_back(ref);
+    }
+  }
+  bool pending = false;
+  for (const auto& ref : ids->refs()) {
+    if (pool_.count(ref.key()) == 0) pending = true;
+  }
+  if (!missing.empty()) {
+    for (const auto& ref : missing) fetching_.emplace(ref.key(), ref);
+    std::map<NodeId, std::vector<MicroblockRef>> by_producer;
+    for (const auto& ref : missing) by_producer[ref.producer].push_back(ref);
+    for (auto& [producer, refs] : by_producer) {
+      auto fetch = std::make_shared<MbFetchMsg>();
+      fetch->refs = std::move(refs);
+      if (producer < ctx_.n()) ctx_.send_to(producer, std::move(fetch));
+    }
+    if (!fetch_timer_.scheduled()) {
+      fetch_timer_ =
+          ctx_.after(cfg_.fetch_retry, [this] { retry_fetches(); });
+    }
+  }
+  return pending ? Validity::kPending : Validity::kValid;
+}
+
+void SharedMempoolNode::retry_fetches() {
+  // The producer may have crashed; a certified microblock is held by at
+  // least ack_quorum nodes, so re-request outstanding bodies from a
+  // random peer until they arrive.
+  std::vector<MicroblockRef> still_missing;
+  for (const auto& [key, ref] : fetching_) {
+    if (pool_.count(key) == 0) still_missing.push_back(ref);
+  }
+  fetching_.clear();
+  if (still_missing.empty()) return;
+  for (const auto& ref : still_missing) fetching_.emplace(ref.key(), ref);
+
+  std::size_t target = rng_.next_below(ctx_.n());
+  if (target == ctx_.index()) target = (target + 1) % ctx_.n();
+  auto fetch = std::make_shared<MbFetchMsg>();
+  fetch->refs = std::move(still_missing);
+  ctx_.send_to(target, std::move(fetch));
+  fetch_timer_ = ctx_.after(cfg_.fetch_retry, [this] { retry_fetches(); });
+}
+
+void SharedMempoolNode::on_commit(hotstuff::Round round,
+                                  const PayloadPtr& payload) {
+  const auto& ids = dynamic_cast<const IdListPayload&>(*payload);
+  std::vector<Transaction> txs;
+  for (const auto& ref : ids.refs()) {
+    committed_.insert(ref.key());
+    const auto it = pool_.find(ref.key());
+    if (it == pool_.end()) continue;  // certified elsewhere; body lagging
+    txs.insert(txs.end(), it->second.txs.begin(), it->second.txs.end());
+  }
+  ledger_.on_commit(ctx_.index(), round, payload->digest(), txs.size(),
+                    ctx_.now());
+  if (on_committed_block) {
+    on_committed_block(payload->digest(), txs, ctx_.now());
+  }
+  replies_.reply_committed(txs);
+}
+
+}  // namespace predis::consensus::narwhal

@@ -1,0 +1,388 @@
+#include "consensus/pbft/pbft_core.hpp"
+
+#include "common/log.hpp"
+#include "consensus/payloads.hpp"
+
+namespace predis::consensus::pbft {
+
+PbftCore::PbftCore(NodeContext ctx, PbftApp& app)
+    : ctx_(std::move(ctx)), app_(app) {}
+
+void PbftCore::start() {
+  if (is_leader()) try_propose();
+}
+
+PbftCore::Slot& PbftCore::slot(SeqNum seq) { return slots_[seq]; }
+
+void PbftCore::payload_ready() {
+  if (paused_) return;
+  want_progress_ = true;
+  if (is_leader()) {
+    try_propose();
+  } else {
+    // A replica with work outstanding expects the leader to make
+    // progress within the view timeout.
+    arm_view_timer();
+  }
+}
+
+void PbftCore::try_propose() {
+  if (paused_ || !is_leader()) return;
+  if (next_propose_ <= last_exec_) next_propose_ = last_exec_ + 1;
+  // Propose every slot the pipelining window allows (window_ == 1
+  // reproduces the strictly serialized round model).
+  while (next_propose_ <= last_exec_ + window_) {
+    const SeqNum seq = next_propose_;
+    PayloadPtr payload = app_.make_payload(seq);
+    if (payload == nullptr) return;
+
+    ++next_propose_;
+    want_progress_ = true;
+    Slot& s = slot(seq);
+    s.view = view_;
+    s.payload = payload;
+    s.digest = payload->digest();
+    s.preprepared = true;
+    s.validity = Validity::kValid;  // leaders trust their own payload
+
+    auto msg = std::make_shared<PrePrepareMsg>();
+    msg->view = view_;
+    msg->seq = seq;
+    msg->payload = payload;
+    ctx_.broadcast(msg);
+    arm_view_timer();
+    maybe_send_prepare(seq);
+  }
+}
+
+bool PbftCore::handle(NodeId from, const sim::MsgPtr& msg) {
+  const std::size_t idx = ctx_.index_of(from);
+  if (const auto* m = dynamic_cast<const PrePrepareMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_preprepare(idx, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const PrepareMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_prepare(idx, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const CommitMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_commit_msg(idx, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const ViewChangeMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_view_change(idx, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const NewViewMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_new_view(idx, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const CheckpointMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_checkpoint(idx, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const StateRequestMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_state_request(idx, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const StateSnapshotMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_state_snapshot(idx, *m);
+    return true;
+  }
+  return false;
+}
+
+void PbftCore::on_preprepare(std::size_t from, const PrePrepareMsg& msg) {
+  if (msg.view != view_) return;
+  if (from != leader_index(view_, ctx_.n())) return;
+  if (msg.seq <= last_exec_) return;
+
+  Slot& s = slot(msg.seq);
+  if (s.preprepared && s.view == msg.view) return;  // duplicate
+  s.view = msg.view;
+  s.payload = msg.payload;
+  s.digest = msg.payload->digest();
+  s.preprepared = true;
+  s.validity = app_.validate(msg.seq, msg.payload);
+  want_progress_ = true;
+  arm_view_timer();
+  maybe_send_prepare(msg.seq);
+}
+
+void PbftCore::maybe_send_prepare(SeqNum seq) {
+  Slot& s = slot(seq);
+  if (!s.preprepared || s.sent_prepare) return;
+  if (s.validity == Validity::kPending) return;
+  if (s.validity == Validity::kInvalid) return;  // refuse to vote
+
+  s.sent_prepare = true;
+  auto msg = std::make_shared<PrepareMsg>();
+  msg->view = s.view;
+  msg->seq = seq;
+  msg->digest = s.digest;
+  ctx_.broadcast(msg);
+  // Count own vote.
+  s.prepares[s.digest].insert(ctx_.index());
+  maybe_send_commit(seq);
+}
+
+void PbftCore::revalidate(SeqNum seq) {
+  if (paused_) return;
+  auto it = slots_.find(seq);
+  if (it == slots_.end()) return;
+  Slot& s = it->second;
+  if (!s.preprepared || s.validity != Validity::kPending) return;
+  s.validity = app_.validate(seq, s.payload);
+  maybe_send_prepare(seq);
+}
+
+void PbftCore::on_prepare(std::size_t from, const PrepareMsg& msg) {
+  if (msg.view != view_ || msg.seq <= last_exec_) return;
+  Slot& s = slot(msg.seq);
+  s.prepares[msg.digest].insert(from);
+  maybe_send_commit(msg.seq);
+}
+
+void PbftCore::maybe_send_commit(SeqNum seq) {
+  Slot& s = slot(seq);
+  if (!s.preprepared || !s.sent_prepare || s.sent_commit) return;
+  // Prepared: 2f matching prepares besides the pre-prepare — with our
+  // self-counted vote this is quorum() votes for the digest.
+  if (s.prepares[s.digest].size() < ctx_.quorum()) return;
+
+  s.sent_commit = true;
+  auto msg = std::make_shared<CommitMsg>();
+  msg->view = s.view;
+  msg->seq = seq;
+  msg->digest = s.digest;
+  ctx_.broadcast(msg);
+  s.commits[s.digest].insert(ctx_.index());
+  maybe_execute(seq);
+}
+
+void PbftCore::on_commit_msg(std::size_t from, const CommitMsg& msg) {
+  if (msg.view != view_ || msg.seq <= last_exec_) return;
+  Slot& s = slot(msg.seq);
+  s.commits[msg.digest].insert(from);
+  maybe_execute(msg.seq);
+}
+
+void PbftCore::maybe_execute(SeqNum seq) {
+  {
+    Slot& s = slot(seq);
+    if (s.executed || !s.preprepared) return;
+    if (s.commits[s.digest].size() < ctx_.quorum()) return;
+    if (seq != last_exec_ + 1) return;  // in-order execution
+
+    s.executed = true;
+    last_exec_ = seq;
+    app_.on_commit(seq, s.payload);
+  }
+  slots_.erase(slots_.begin(), slots_.upper_bound(seq));
+  maybe_checkpoint(seq);
+
+  // With pipelining, the next slot may already have its commit quorum.
+  const auto next = slots_.find(seq + 1);
+  if (next != slots_.end() && next->second.preprepared &&
+      next->second.commits[next->second.digest].size() >= ctx_.quorum()) {
+    maybe_execute(seq + 1);
+    return;
+  }
+  // Progress happened: reset the view timer. Quiesce it entirely when
+  // nothing remains in flight; otherwise re-arm so the timeout measures
+  // "no progress within T", not "pipeline non-empty for T".
+  bool in_flight = false;
+  for (const auto& [sq, sl] : slots_) {
+    if (!sl.executed && sl.preprepared) in_flight = true;
+  }
+  disarm_view_timer();
+  if (!in_flight) {
+    want_progress_ = false;
+  } else {
+    arm_view_timer();
+  }
+  if (is_leader()) try_propose();
+}
+
+void PbftCore::maybe_checkpoint(SeqNum seq) {
+  if (checkpoint_interval_ == 0 || seq % checkpoint_interval_ != 0) return;
+  // Capture the snapshot at this boundary so state requests can be
+  // served with exactly the certified state.
+  snapshot_seq_ = seq;
+  snapshot_blob_ = app_.make_snapshot();
+  snapshot_digest_ = app_.state_digest();
+
+  auto msg = std::make_shared<CheckpointMsg>();
+  msg->seq = seq;
+  msg->digest = snapshot_digest_;
+  ctx_.broadcast(msg);
+  on_checkpoint(ctx_.index(), *msg);
+}
+
+void PbftCore::on_checkpoint(std::size_t from, const CheckpointMsg& msg) {
+  auto& voters = ckpt_votes_[msg.seq][msg.digest];
+  voters.insert(from);
+  if (voters.size() >= ctx_.quorum()) {
+    ckpt_certs_[msg.seq] = msg.digest;
+    if (msg.seq > stable_checkpoint_) {
+      stable_checkpoint_ = msg.seq;
+      // Prune vote bookkeeping below the stable checkpoint.
+      ckpt_votes_.erase(ckpt_votes_.begin(),
+                        ckpt_votes_.lower_bound(stable_checkpoint_));
+    }
+    // A certified checkpoint far ahead of our execution means we missed
+    // whole slots (e.g. we were offline): fetch state.
+    if (checkpoint_interval_ > 0 &&
+        stable_checkpoint_ >= last_exec_ + 2 * checkpoint_interval_) {
+      request_state_transfer();
+    }
+  }
+}
+
+void PbftCore::request_state_transfer() {
+  if (state_requested_) return;
+  state_requested_ = true;
+  auto msg = std::make_shared<StateRequestMsg>();
+  msg->have_seq = last_exec_;
+  ctx_.broadcast(msg);
+}
+
+void PbftCore::on_state_request(std::size_t from, const StateRequestMsg& msg) {
+  if (snapshot_seq_ == 0 || snapshot_seq_ <= msg.have_seq) return;
+  auto reply = std::make_shared<StateSnapshotMsg>();
+  reply->seq = snapshot_seq_;
+  reply->digest = snapshot_digest_;
+  reply->blob = snapshot_blob_;
+  ctx_.send_to(from, std::move(reply));
+}
+
+void PbftCore::on_state_snapshot(std::size_t /*from*/,
+                                 const StateSnapshotMsg& msg) {
+  if (msg.seq <= last_exec_) {
+    state_requested_ = false;
+    return;
+  }
+  // Only adopt snapshots matching a quorum-certified checkpoint.
+  const auto cert = ckpt_certs_.find(msg.seq);
+  if (cert == ckpt_certs_.end() || cert->second != msg.digest) return;
+
+  app_.apply_snapshot(msg.seq, msg.blob);
+  last_exec_ = msg.seq;
+  next_propose_ = last_exec_ + 1;
+  state_requested_ = false;
+  ++state_transfers_;
+  slots_.erase(slots_.begin(), slots_.upper_bound(last_exec_));
+  disarm_view_timer();
+  // Resume normal operation from the adopted state.
+  if (is_leader()) try_propose();
+}
+
+void PbftCore::arm_view_timer() {
+  if (view_timer_.scheduled()) return;
+  view_timer_ = ctx_.after(ctx_.config().view_timeout,
+                           [this] { on_view_timeout(); });
+}
+
+void PbftCore::disarm_view_timer() { view_timer_.cancel(); }
+
+void PbftCore::on_view_timeout() {
+  if (paused_) return;
+  if (!want_progress_) return;  // idle system: nothing to blame the leader for
+  // Suspect the leader; vote to move to the next view.
+  const View target = view_ + 1;
+  auto msg = std::make_shared<ViewChangeMsg>();
+  msg->new_view = target;
+  msg->last_exec = last_exec_;
+  for (const auto& [sq, sl] : slots_) {
+    if (sq > last_exec_ && sl.sent_commit && !sl.executed) {
+      msg->prepared.push_back({sl.view, sq, sl.payload});
+    }
+  }
+  ctx_.broadcast(msg);
+  vc_votes_[target][ctx_.index()] = *msg;
+  // Re-arm: if the view change stalls, try the next view.
+  view_timer_ = ctx_.after(ctx_.config().view_timeout,
+                           [this] { on_view_timeout(); });
+  // Count own vote toward the new view.
+  on_view_change(ctx_.index(), *msg);
+}
+
+void PbftCore::on_view_change(std::size_t from, const ViewChangeMsg& msg) {
+  if (msg.new_view <= view_) return;
+  vc_votes_[msg.new_view][from] = msg;
+  if (vc_votes_[msg.new_view].size() < ctx_.quorum()) return;
+  if (leader_index(msg.new_view, ctx_.n()) != ctx_.index()) return;
+
+  // We are the new leader with a quorum of view-change votes. Copy the
+  // votes first: enter_view() prunes vc_votes_ under our feet.
+  const std::map<std::size_t, ViewChangeMsg> votes = vc_votes_[msg.new_view];
+  enter_view(msg.new_view);
+  auto nv = std::make_shared<NewViewMsg>();
+  nv->new_view = view_;
+  ctx_.broadcast(nv);
+
+  // Safety carry-over: for every in-flight slot any vote reported as
+  // prepared, re-propose the highest-view payload; fill sequence gaps
+  // below the highest prepared slot with null requests.
+  std::map<SeqNum, std::pair<View, PayloadPtr>> carry;
+  for (const auto& [idx, vote] : votes) {
+    for (const auto& p : vote.prepared) {
+      if (p.seq <= last_exec_ || p.payload == nullptr) continue;
+      auto [it, inserted] = carry.try_emplace(p.seq, p.view, p.payload);
+      if (!inserted && p.view > it->second.first) {
+        it->second = {p.view, p.payload};
+      }
+    }
+  }
+  if (!carry.empty()) {
+    const SeqNum top = carry.rbegin()->first;
+    for (SeqNum seq = last_exec_ + 1; seq <= top; ++seq) {
+      PayloadPtr payload;
+      const auto it = carry.find(seq);
+      payload = it != carry.end() ? it->second.second
+                                  : std::make_shared<NoopPayload>();
+      Slot& s = slot(seq);
+      s.view = view_;
+      s.payload = payload;
+      s.digest = payload->digest();
+      s.preprepared = true;
+      s.validity = Validity::kValid;
+      auto pp = std::make_shared<PrePrepareMsg>();
+      pp->view = view_;
+      pp->seq = seq;
+      pp->payload = payload;
+      ctx_.broadcast(pp);
+      arm_view_timer();
+      maybe_send_prepare(seq);
+    }
+    next_propose_ = top + 1;
+  }
+  try_propose();
+}
+
+void PbftCore::on_new_view(std::size_t from, const NewViewMsg& msg) {
+  if (msg.new_view <= view_) return;
+  if (from != leader_index(msg.new_view, ctx_.n())) return;
+  enter_view(msg.new_view);
+}
+
+void PbftCore::enter_view(View v) {
+  if (v <= view_) return;
+  view_ = v;
+  ++view_changes_;
+  next_propose_ = last_exec_ + 1;
+  disarm_view_timer();
+  // Reset vote state of every in-flight slot: votes are per-view.
+  for (auto& [sq, sl] : slots_) {
+    if (sq <= last_exec_ || sl.executed) continue;
+    sl.preprepared = false;
+    sl.sent_prepare = false;
+    sl.sent_commit = false;
+    sl.prepares.clear();
+    sl.commits.clear();
+  }
+  vc_votes_.erase(vc_votes_.begin(), vc_votes_.upper_bound(v));
+  if (want_progress_) arm_view_timer();
+}
+
+}  // namespace predis::consensus::pbft

@@ -1,0 +1,254 @@
+// PBFT (Castro & Liskov) state machine over opaque payloads.
+//
+// One slot (sequence number) at a time is in flight — the leader
+// proposes slot s+1 once slot s executes, which matches the round
+// model of the paper's §III-F analysis (P_i, W_i, A_i back to back).
+// Three phases: PrePrepare (leader multicast, carries the payload),
+// Prepare and Commit (all-to-all, digest-sized) — the O(n²) message
+// pattern PBFT is known for. View change replaces a silent or
+// misbehaving leader and safely re-proposes any prepared payload.
+//
+// The same core drives the baseline (TxBatchPayload) and P-PBFT
+// (PredisPayload) engines; only the PbftApp differs.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "consensus/common.hpp"
+
+namespace predis::consensus::pbft {
+
+struct PrePrepareMsg final : sim::Message {
+  View view = 0;
+  SeqNum seq = 0;
+  PayloadPtr payload;
+
+  std::size_t wire_size() const override {
+    return 16 + 32 + kSigBytes + payload->wire_size();
+  }
+  const char* name() const override { return "PrePrepare"; }
+};
+
+struct PrepareMsg final : sim::Message {
+  View view = 0;
+  SeqNum seq = 0;
+  Hash32 digest = kZeroHash;
+
+  std::size_t wire_size() const override { return 16 + kVoteBytes; }
+  const char* name() const override { return "Prepare"; }
+};
+
+struct CommitMsg final : sim::Message {
+  View view = 0;
+  SeqNum seq = 0;
+  Hash32 digest = kZeroHash;
+
+  std::size_t wire_size() const override { return 16 + kVoteBytes; }
+  const char* name() const override { return "Commit"; }
+};
+
+struct ViewChangeMsg final : sim::Message {
+  View new_view = 0;
+  SeqNum last_exec = 0;
+
+  /// Prepared-but-unexecuted proposals (safety carry-over): with a
+  /// pipelining window > 1 there may be several in flight.
+  struct Prepared {
+    View view = 0;
+    SeqNum seq = 0;
+    PayloadPtr payload;
+  };
+  std::vector<Prepared> prepared;
+
+  std::size_t wire_size() const override {
+    std::size_t size = 32 + kSigBytes + qc_bytes(2);
+    for (const Prepared& p : prepared) {
+      size += 48 + (p.payload ? p.payload->wire_size() : 0);
+    }
+    return size;
+  }
+  const char* name() const override { return "ViewChange"; }
+};
+
+struct NewViewMsg final : sim::Message {
+  View new_view = 0;
+
+  std::size_t wire_size() const override {
+    return 16 + kSigBytes + qc_bytes(3);
+  }
+  const char* name() const override { return "NewView"; }
+};
+
+/// Periodic checkpoint vote (Castro-Liskov): "I executed up to `seq`
+/// and my state digest is `digest`". A quorum of matching votes makes
+/// the checkpoint *stable*, letting logs be pruned and lagging replicas
+/// adopt snapshots safely.
+struct CheckpointMsg final : sim::Message {
+  SeqNum seq = 0;
+  Hash32 digest = kZeroHash;
+
+  std::size_t wire_size() const override { return 8 + kVoteBytes; }
+  const char* name() const override { return "Checkpoint"; }
+};
+
+/// A lagging replica asking for a certified snapshot.
+struct StateRequestMsg final : sim::Message {
+  SeqNum have_seq = 0;
+
+  std::size_t wire_size() const override { return 16 + kSigBytes; }
+  const char* name() const override { return "StateRequest"; }
+};
+
+/// Snapshot at a checkpoint boundary. The receiver adopts it only if
+/// (seq, digest(blob-derived)) matches a quorum-certified checkpoint it
+/// has observed, so a single Byzantine sender cannot poison state.
+struct StateSnapshotMsg final : sim::Message {
+  SeqNum seq = 0;
+  Hash32 digest = kZeroHash;
+  Bytes blob;
+
+  std::size_t wire_size() const override {
+    return 48 + kSigBytes + blob.size();
+  }
+  const char* name() const override { return "StateSnapshot"; }
+};
+
+/// Application hooks: what gets ordered and what happens on commit.
+class PbftApp {
+ public:
+  virtual ~PbftApp() = default;
+
+  /// Leader-side: produce the payload for the next slot, or nullptr if
+  /// nothing is ready (the core will retry on payload_ready()).
+  virtual PayloadPtr make_payload(SeqNum seq) = 0;
+
+  /// Replica-side validation. kPending defers the Prepare vote until
+  /// the app calls PbftCore::revalidate(seq).
+  virtual Validity validate(SeqNum seq, const PayloadPtr& payload) = 0;
+
+  /// Slot executed (exactly once, in seq order).
+  virtual void on_commit(SeqNum seq, const PayloadPtr& payload) = 0;
+
+  /// Digest of the application state after the last on_commit —
+  /// checkpoint votes carry it. Default: no state.
+  virtual Hash32 state_digest() { return kZeroHash; }
+
+  /// Serialize the application state for state transfer (captured at
+  /// checkpoint boundaries). Default: stateless.
+  virtual Bytes make_snapshot() { return {}; }
+
+  /// Fast-forward to a certified snapshot taken after slot `seq`.
+  virtual void apply_snapshot(SeqNum seq, BytesView blob) {
+    (void)seq;
+    (void)blob;
+  }
+};
+
+class PbftCore {
+ public:
+  PbftCore(NodeContext ctx, PbftApp& app);
+
+  /// Arm the engine (leader tries to propose).
+  void start();
+
+  /// Feed a consensus message; returns false if the message type is not
+  /// a PBFT message (caller may route it elsewhere).
+  bool handle(NodeId from, const sim::MsgPtr& msg);
+
+  /// App signal: new data available; leader may propose, and replicas
+  /// (re)arm their "expecting progress" timer.
+  void payload_ready();
+
+  /// App signal: a kPending validation may now succeed.
+  void revalidate(SeqNum seq);
+
+  View view() const { return view_; }
+  bool is_leader() const { return leader_index(view_, ctx_.n()) == ctx_.index(); }
+  SeqNum last_executed() const { return last_exec_; }
+  std::uint64_t view_changes() const { return view_changes_; }
+  SeqNum stable_checkpoint() const { return stable_checkpoint_; }
+  std::uint64_t state_transfers() const { return state_transfers_; }
+
+  /// Checkpoint every this-many executed slots (0 disables).
+  void set_checkpoint_interval(SeqNum interval) {
+    checkpoint_interval_ = interval;
+  }
+
+  /// Pipelining window: how many slots may be in flight at once.
+  /// 1 (default) = the strictly serialized round model of the paper's
+  /// §III-F analysis; larger values overlap proposal phases like
+  /// classic watermarked PBFT.
+  void set_pipeline_window(SeqNum window) {
+    window_ = window == 0 ? 1 : window;
+  }
+  SeqNum pipeline_window() const { return window_; }
+
+  /// Fault injection: a paused node neither votes nor proposes.
+  void set_paused(bool paused) { paused_ = paused; }
+
+ private:
+  struct Slot {
+    View view = 0;
+    PayloadPtr payload;
+    Hash32 digest = kZeroHash;
+    bool preprepared = false;
+    Validity validity = Validity::kPending;
+    bool sent_prepare = false;
+    bool sent_commit = false;
+    bool executed = false;
+    // Votes per digest (buffered even before the PrePrepare arrives).
+    std::map<Hash32, std::set<std::size_t>> prepares;
+    std::map<Hash32, std::set<std::size_t>> commits;
+  };
+
+  Slot& slot(SeqNum seq);
+  void try_propose();
+  void on_preprepare(std::size_t from, const PrePrepareMsg& msg);
+  void on_prepare(std::size_t from, const PrepareMsg& msg);
+  void on_commit_msg(std::size_t from, const CommitMsg& msg);
+  void on_view_change(std::size_t from, const ViewChangeMsg& msg);
+  void on_new_view(std::size_t from, const NewViewMsg& msg);
+  void on_checkpoint(std::size_t from, const CheckpointMsg& msg);
+  void on_state_request(std::size_t from, const StateRequestMsg& msg);
+  void on_state_snapshot(std::size_t from, const StateSnapshotMsg& msg);
+  void maybe_checkpoint(SeqNum seq);
+  void request_state_transfer();
+  void maybe_send_prepare(SeqNum seq);
+  void maybe_send_commit(SeqNum seq);
+  void maybe_execute(SeqNum seq);
+  void enter_view(View v);
+  void arm_view_timer();
+  void disarm_view_timer();
+  void on_view_timeout();
+
+  NodeContext ctx_;
+  PbftApp& app_;
+  View view_ = 0;
+  SeqNum last_exec_ = 0;
+  std::map<SeqNum, Slot> slots_;
+  bool paused_ = false;
+  bool want_progress_ = false;     ///< Outstanding work justifies timeouts.
+  SeqNum window_ = 1;              ///< Max slots in flight (watermarks).
+  SeqNum next_propose_ = 1;        ///< Leader's next unproposed slot.
+  sim::TimerHandle view_timer_;
+  std::uint64_t view_changes_ = 0;
+  // View-change vote collection: view -> (voter index -> message).
+  std::map<View, std::map<std::size_t, ViewChangeMsg>> vc_votes_;
+
+  // --- Checkpointing / state transfer ---------------------------------
+  SeqNum checkpoint_interval_ = 16;
+  SeqNum stable_checkpoint_ = 0;
+  std::uint64_t state_transfers_ = 0;
+  bool state_requested_ = false;
+  // Vote collection: seq -> digest -> voters.
+  std::map<SeqNum, std::map<Hash32, std::set<std::size_t>>> ckpt_votes_;
+  // Quorum-certified checkpoints we observed: seq -> digest.
+  std::map<SeqNum, Hash32> ckpt_certs_;
+  // Our own snapshot at the latest checkpoint boundary we executed.
+  SeqNum snapshot_seq_ = 0;
+  Hash32 snapshot_digest_ = kZeroHash;
+  Bytes snapshot_blob_;
+};
+
+}  // namespace predis::consensus::pbft

@@ -1,0 +1,132 @@
+// Baseline PBFT consensus node: clients broadcast transactions to every
+// replica; the leader packs full batches (the paper's "batch size")
+// into its proposals. This is the system Predis is measured against in
+// Fig. 4(a)/(c).
+#pragma once
+
+#include <deque>
+#include <set>
+
+#include "consensus/payloads.hpp"
+#include "consensus/pbft/pbft_core.hpp"
+
+namespace predis::consensus::pbft {
+
+struct PbftNodeConfig {
+  /// Transactions per block (the paper's "batch size", default 800).
+  /// Partial batches are proposed immediately when the queue is short,
+  /// so low offered load still commits promptly.
+  std::size_t batch_size = 800;
+  /// Slots in flight at once (1 = the paper's serialized round model).
+  SeqNum pipeline_window = 1;
+};
+
+class PbftNode final : public sim::Actor, private PbftApp {
+ public:
+  PbftNode(NodeContext ctx, PbftNodeConfig config, CommitLedger& ledger)
+      : ctx_(std::move(ctx)),
+        cfg_(config),
+        ledger_(ledger),
+        replies_(ctx_),
+        core_(ctx_, *this) {
+    core_.set_pipeline_window(cfg_.pipeline_window);
+  }
+
+  void on_start() override { core_.start(); }
+
+  void on_message(NodeId from, const sim::MsgPtr& msg) override {
+    if (const auto* req = dynamic_cast<const ClientRequestMsg*>(msg.get())) {
+      enqueue(req->txs);
+      return;
+    }
+    core_.handle(from, msg);
+  }
+
+  PbftCore& core() { return core_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Observation hook: fired for every executed block (digest, its
+  /// transactions, commit time). Used to feed per-node Ledgers.
+  std::function<void(const Hash32&, const std::vector<Transaction>&,
+                     SimTime)>
+      on_committed_block;
+
+ private:
+  using TxKey = std::pair<NodeId, TxSeq>;
+
+  void enqueue(const std::vector<Transaction>& txs) {
+    // Backpressure: shed client load once the uplink queue is far
+    // behind, so saturation is graceful (TCP push-back analogue).
+    if (ctx_.net().uplink_backlog(ctx_.self()) > milliseconds(400)) return;
+    if (queue_.size() >= 8000) return;
+    for (const auto& tx : txs) {
+      const TxKey key{tx.client, tx.seq};
+      if (seen_.count(key) != 0) continue;
+      seen_.insert(key);
+      queue_.push_back(tx);
+    }
+    core_.payload_ready();
+  }
+
+  // --- PbftApp ---------------------------------------------------------
+
+  PayloadPtr make_payload(SeqNum /*seq*/) override {
+    if (queue_.empty()) return nullptr;
+    const std::size_t take = std::min(queue_.size(), cfg_.batch_size);
+    std::vector<Transaction> batch(queue_.begin(),
+                                   queue_.begin() +
+                                       static_cast<std::ptrdiff_t>(take));
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    return std::make_shared<TxBatchPayload>(std::move(batch));
+  }
+
+  Validity validate(SeqNum /*seq*/,
+                    const PayloadPtr& payload) override {
+    if (is_noop(payload)) return Validity::kValid;
+    return dynamic_cast<const TxBatchPayload*>(payload.get()) != nullptr
+               ? Validity::kValid
+               : Validity::kInvalid;
+  }
+
+  void on_commit(SeqNum seq, const PayloadPtr& payload) override {
+    if (is_noop(payload)) {
+      ledger_.on_commit(ctx_.index(), seq, payload->digest(), 0,
+                        ctx_.now());
+      if (on_committed_block) {
+        on_committed_block(payload->digest(), {}, ctx_.now());
+      }
+      return;
+    }
+    const auto& batch = dynamic_cast<const TxBatchPayload&>(*payload);
+    // Drop committed txs from the local queue (they were broadcast to
+    // everyone, so replicas hold duplicates of what the leader packed).
+    std::set<TxKey> committed;
+    for (const auto& tx : batch.txs()) committed.insert({tx.client, tx.seq});
+    std::deque<Transaction> remaining;
+    for (auto& tx : queue_) {
+      if (committed.count({tx.client, tx.seq}) == 0) {
+        remaining.push_back(tx);
+      }
+    }
+    queue_ = std::move(remaining);
+
+    ledger_.on_commit(ctx_.index(), seq, payload->digest(),
+                      batch.txs().size(), ctx_.now());
+    if (on_committed_block) {
+      on_committed_block(payload->digest(), batch.txs(), ctx_.now());
+    }
+    replies_.reply_committed(batch.txs());
+    if (!queue_.empty()) core_.payload_ready();
+  }
+
+  NodeContext ctx_;
+  PbftNodeConfig cfg_;
+  CommitLedger& ledger_;
+  ReplyManager replies_;
+  PbftCore core_;
+  std::deque<Transaction> queue_;
+  std::set<TxKey> seen_;
+};
+
+}  // namespace predis::consensus::pbft

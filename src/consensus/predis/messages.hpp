@@ -1,0 +1,49 @@
+// Wire messages of the Predis data-production layer.
+#pragma once
+
+#include "bundle/predis_block.hpp"
+#include "sim/message.hpp"
+
+namespace predis::consensus::predis {
+
+/// Producer -> consensus peers: one freshly packed bundle.
+struct BundleMsg final : sim::Message {
+  Bundle bundle;
+
+  std::size_t wire_size() const override { return bundle.wire_size(); }
+  const char* name() const override { return "Bundle"; }
+};
+
+/// Request for bundles we are missing (after a Predis block referenced
+/// them, §III-D case 2).
+struct BundleFetchMsg final : sim::Message {
+  std::vector<MissingBundleRef> refs;
+
+  std::size_t wire_size() const override { return 16 + refs.size() * 12; }
+  const char* name() const override { return "BundleFetch"; }
+};
+
+/// Response to a fetch: the requested bundles we hold.
+struct BundleBatchMsg final : sim::Message {
+  std::vector<Bundle> bundles;
+
+  std::size_t wire_size() const override {
+    std::size_t size = 16;
+    for (const auto& b : bundles) size += b.wire_size();
+    return size;
+  }
+  const char* name() const override { return "BundleBatch"; }
+};
+
+/// Gossip of equivocation evidence: two conflicting signed headers from
+/// one producer. Receivers verify and ban the producer (§III-A).
+struct ConflictMsg final : sim::Message {
+  ConflictEvidence evidence;
+
+  std::size_t wire_size() const override {
+    return evidence.first.wire_size() + evidence.second.wire_size();
+  }
+  const char* name() const override { return "Conflict"; }
+};
+
+}  // namespace predis::consensus::predis

@@ -1,0 +1,322 @@
+#include "consensus/predis/predis_engine.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace predis::consensus::predis {
+
+PredisEngine::PredisEngine(NodeContext& ctx, PredisConfig config,
+                           std::vector<PublicKey> keys, KeyPair own_key)
+    : ctx_(ctx),
+      cfg_(config),
+      mempool_(ctx.n(), std::move(keys)),
+      own_key_(std::move(own_key)),
+      rng_(config.seed ^ (0x9e3779b9ULL * (ctx.index() + 1))),
+      last_cut_(ctx.n(), 0) {
+  mempool_.set_gc_retention(cfg_.gc_retention);
+}
+
+void PredisEngine::start() {
+  if (cfg_.fault == FaultMode::kSilent) return;
+  schedule_production();
+}
+
+void PredisEngine::schedule_production() {
+  ctx_.after(cfg_.bundle_interval, [this] {
+    produce_bundle();
+    schedule_production();
+  });
+}
+
+void PredisEngine::enqueue(const std::vector<Transaction>& txs) {
+  if (cfg_.fault == FaultMode::kSilent) return;
+  // Backpressure: when the uplink is already far behind, shed incoming
+  // client load (the simulated analogue of TCP push-back) so the node
+  // saturates gracefully instead of queueing unboundedly.
+  if (ctx_.net().uplink_backlog(ctx_.self()) > cfg_.backpressure) return;
+  if (tx_queue_.size() >= cfg_.max_tx_queue) return;
+  tx_queue_.insert(tx_queue_.end(), txs.begin(), txs.end());
+  // Pack eagerly once a full bundle's worth is waiting.
+  while (tx_queue_.size() >= cfg_.bundle_size) produce_bundle();
+}
+
+void PredisEngine::produce_bundle() {
+  const std::size_t take = std::min(tx_queue_.size(), cfg_.bundle_size);
+  std::vector<Transaction> txs(tx_queue_.begin(),
+                               tx_queue_.begin() +
+                                   static_cast<std::ptrdiff_t>(take));
+  tx_queue_.erase(tx_queue_.begin(),
+                  tx_queue_.begin() + static_cast<std::ptrdiff_t>(take));
+
+  // Continuous production: empty bundles still carry fresh tip lists,
+  // which is what keeps the cutting rule advancing (§III-D liveness).
+  std::vector<BundleHeight> tips = mempool_.tip_list();
+  tips[ctx_.index()] = own_height_ + 1;
+
+  Bundle bundle = make_bundle(static_cast<NodeId>(ctx_.index()),
+                              own_height_ + 1, own_parent_hash_,
+                              std::move(tips), std::move(txs), own_key_);
+  own_height_ += 1;
+  own_parent_hash_ = bundle.header.hash();
+
+  const AddBundleResult result = mempool_.add(bundle);
+  if (result != AddBundleResult::kAdded) {
+    log_warn("own bundle rejected: ", to_string(result));
+    return;
+  }
+  disseminate(bundle);
+  if (on_bundle_produced) on_bundle_produced(bundle);
+  if (on_bundle_stored) on_bundle_stored(bundle);
+  if (on_mempool_grew) on_mempool_grew();
+}
+
+void PredisEngine::disseminate(const Bundle& bundle) {
+  auto msg = std::make_shared<BundleMsg>();
+  msg->bundle = bundle;
+
+  if (cfg_.fault == FaultMode::kPartialDissemination) {
+    // Case 2 of Fig. 6: send to a random subset of n_c - f - 1 peers.
+    std::vector<NodeId> peers;
+    for (std::size_t i = 0; i < ctx_.n(); ++i) {
+      if (i != ctx_.index()) peers.push_back(ctx_.node(i));
+    }
+    rng_.shuffle(peers);
+    const std::size_t keep = ctx_.n() - ctx_.f() - 1;
+    peers.resize(std::min(peers.size(), keep));
+    for (NodeId peer : peers) ctx_.send_node(peer, msg);
+    return;
+  }
+  ctx_.broadcast(msg);
+}
+
+bool PredisEngine::handle(NodeId from, const sim::MsgPtr& msg) {
+  if (const auto* m = dynamic_cast<const BundleMsg*>(msg.get())) {
+    add_bundle(from, m->bundle);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const BundleFetchMsg*>(msg.get())) {
+    auto reply = std::make_shared<BundleBatchMsg>();
+    for (const auto& ref : m->refs) {
+      if (ref.chain >= mempool_.chain_count()) continue;
+      const Bundle* b = mempool_.chain(ref.chain).get(ref.height);
+      if (b != nullptr) reply->bundles.push_back(*b);
+    }
+    if (!reply->bundles.empty()) ctx_.send_node(from, std::move(reply));
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const BundleBatchMsg*>(msg.get())) {
+    for (const auto& bundle : m->bundles) add_bundle(from, bundle);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const ConflictMsg*>(msg.get())) {
+    const auto& ev = m->evidence;
+    // Believe the evidence only if both headers are properly signed by
+    // the same producer and genuinely conflict — forged evidence must
+    // not let an attacker ban honest producers.
+    if (ev.first.producer == ev.second.producer &&
+        ev.first.producer < ctx_.n() && !(ev.first == ev.second) &&
+        ev.first.height == ev.second.height &&
+        verify_bundle_signature(ev.first,
+                                mempool_.producer_key(ev.first.producer)) &&
+        verify_bundle_signature(ev.second,
+                                mempool_.producer_key(ev.second.producer))) {
+      apply_ban(ev.first.producer);
+    }
+    return true;
+  }
+  return false;
+}
+
+void PredisEngine::apply_ban(NodeId producer) {
+  mempool_.ban(producer);
+  if (cfg_.ban_duration <= 0) return;
+  ctx_.after(cfg_.ban_duration, [this, producer] {
+    mempool_.allow_rejoin(producer);
+    if (producer == ctx_.index()) {
+      // We served our sentence: restart our chain with a new genesis
+      // bundle at the confirmed height.
+      own_height_ = mempool_.confirmed()[producer];
+      own_parent_hash_ = kZeroHash;
+    }
+  });
+}
+
+void PredisEngine::add_bundle(NodeId from, const Bundle& bundle) {
+  ConflictEvidence evidence;
+  const AddBundleResult result = mempool_.add(bundle, &evidence);
+  switch (result) {
+    case AddBundleResult::kAdded: {
+      outstanding_fetches_.erase({bundle.header.producer,
+                                  bundle.header.height});
+      if (on_bundle_stored) on_bundle_stored(bundle);
+      if (on_mempool_grew) on_mempool_grew();
+      flush_deferred();
+      break;
+    }
+    case AddBundleResult::kMissingParent: {
+      // Rule 1: ask the producer for the gap (contiguous+1 .. height-1).
+      std::vector<MissingBundleRef> refs;
+      const BundleHeight from_h =
+          mempool_.chain(bundle.header.producer).contiguous_height() + 1;
+      for (BundleHeight h = from_h; h < bundle.header.height; ++h) {
+        refs.push_back({bundle.header.producer, h});
+      }
+      if (!refs.empty()) {
+        request_missing(refs, ctx_.node(bundle.header.producer));
+      }
+      break;
+    }
+    case AddBundleResult::kConflict: {
+      // Spread the evidence so every honest node bans the producer
+      // (mempool_.add already banned it locally; apply_ban arms the
+      // rejoin timer on top).
+      apply_ban(bundle.header.producer);
+      auto msg = std::make_shared<ConflictMsg>();
+      msg->evidence = evidence;
+      ctx_.broadcast(msg);
+      break;
+    }
+    default:
+      break;
+  }
+  (void)from;
+}
+
+PayloadPtr PredisEngine::build_payload(
+    BlockHeight height, View view, const Hash32& parent_hash,
+    const std::vector<BundleHeight>& prev_heights) {
+  const std::size_t cut_f =
+      cfg_.cut_f_override == static_cast<std::size_t>(-1)
+          ? ctx_.f()
+          : std::min(cfg_.cut_f_override, ctx_.n() - 1);
+  PredisBlock block = build_predis_block(
+      mempool_, static_cast<NodeId>(ctx_.index()), cut_f, height, view,
+      parent_hash, prev_heights, own_key_);
+  if (block.header_hashes.empty()) return nullptr;  // nothing new to confirm
+  return std::make_shared<PredisPayload>(std::move(block));
+}
+
+Validity PredisEngine::validate_payload(
+    const PayloadPtr& payload,
+    const std::vector<BundleHeight>& expected_prev) {
+  const auto* pp = dynamic_cast<const PredisPayload*>(payload.get());
+  if (pp == nullptr) return Validity::kInvalid;
+  const PredisBlock& block = pp->block();
+  if (block.prev_heights != expected_prev) return Validity::kInvalid;
+  if (block.leader >= ctx_.n()) return Validity::kInvalid;
+
+  std::vector<MissingBundleRef> missing;
+  const BlockVerifyResult result = verify_predis_block(
+      mempool_, block, KeyPair::from_seed(ctx_.node(block.leader)).public_key(),
+      &missing);
+  switch (result) {
+    case BlockVerifyResult::kOk:
+      return Validity::kValid;
+    case BlockVerifyResult::kMissingBundles:
+      request_missing(missing, ctx_.node(block.leader));
+      return Validity::kPending;
+    default:
+      log_debug("predis block rejected: ", to_string(result));
+      return Validity::kInvalid;
+  }
+}
+
+void PredisEngine::request_missing(const std::vector<MissingBundleRef>& refs,
+                                   NodeId /*block_sender*/) {
+  std::map<NodeId, std::vector<MissingBundleRef>> by_producer;
+  for (const auto& ref : refs) {
+    if (outstanding_fetches_.count({ref.chain, ref.height}) != 0) continue;
+    outstanding_fetches_.insert({ref.chain, ref.height});
+    by_producer[ref.chain].push_back(ref);
+  }
+  // First attempt goes to the bundle producer itself (§III-D).
+  for (auto& [chain, chain_refs] : by_producer) {
+    auto msg = std::make_shared<BundleFetchMsg>();
+    msg->refs = std::move(chain_refs);
+    ctx_.send_node(ctx_.node(chain), std::move(msg));
+  }
+  if (!outstanding_fetches_.empty() && !fetch_timer_.scheduled()) {
+    fetch_timer_ = ctx_.after(cfg_.fetch_retry, [this] { retry_fetches(); });
+  }
+}
+
+void PredisEngine::retry_fetches() {
+  // Drop satisfied refs, re-request the rest from a random *other* node
+  // ("other available nodes", §III-D) — the producer may be withholding.
+  std::vector<MissingBundleRef> still_missing;
+  for (const auto& [chain, height] : outstanding_fetches_) {
+    if (!mempool_.chain(chain).has(height)) {
+      still_missing.push_back({chain, height});
+    }
+  }
+  outstanding_fetches_.clear();
+  if (still_missing.empty()) return;
+
+  for (const auto& ref : still_missing) {
+    outstanding_fetches_.insert({ref.chain, ref.height});
+  }
+  std::size_t target = rng_.next_below(ctx_.n());
+  if (target == ctx_.index()) target = (target + 1) % ctx_.n();
+  auto msg = std::make_shared<BundleFetchMsg>();
+  msg->refs = std::move(still_missing);
+  ctx_.send_to(target, std::move(msg));
+
+  fetch_timer_ = ctx_.after(cfg_.fetch_retry, [this] { retry_fetches(); });
+}
+
+void PredisEngine::commit_block(std::uint64_t slot,
+                                const PayloadPtr& payload) {
+  deferred_commits_.emplace(slot, payload);
+  flush_deferred();
+}
+
+void PredisEngine::fast_forward(const std::vector<BundleHeight>& cut,
+                                std::uint64_t upto_slot) {
+  mempool_.confirm(cut);
+  for (std::size_t i = 0; i < last_cut_.size() && i < cut.size(); ++i) {
+    last_cut_[i] = std::max(last_cut_[i], cut[i]);
+  }
+  deferred_commits_.erase(deferred_commits_.begin(),
+                          deferred_commits_.upper_bound(upto_slot));
+  flush_deferred();
+}
+
+void PredisEngine::flush_deferred() {
+  while (!deferred_commits_.empty()) {
+    const auto it = deferred_commits_.begin();
+    const auto* pp = dynamic_cast<const PredisPayload*>(it->second.get());
+    if (pp == nullptr) {
+      deferred_commits_.erase(it);
+      continue;
+    }
+    const PredisBlock& block = pp->block();
+
+    // All referenced bundles must be present to execute.
+    std::vector<MissingBundleRef> missing;
+    for (std::size_t i = 0; i < block.cut_heights.size(); ++i) {
+      for (BundleHeight h = block.prev_heights[i] + 1;
+           h <= block.cut_heights[i]; ++h) {
+        if (!mempool_.chain(i).has(h)) missing.push_back({(NodeId)i, h});
+      }
+    }
+    if (!missing.empty()) {
+      request_missing(missing, ctx_.node(block.leader));
+      return;  // retry when bundles arrive
+    }
+
+    const std::vector<Transaction> txs =
+        extract_transactions(mempool_, block);
+    mempool_.confirm(block.cut_heights);
+    for (std::size_t i = 0; i < last_cut_.size(); ++i) {
+      last_cut_[i] = std::max(last_cut_[i], block.cut_heights[i]);
+    }
+    const std::uint64_t slot = it->first;
+    deferred_commits_.erase(it);
+    if (on_execute) on_execute(slot, block, txs);
+    if (on_block_executed) on_block_executed(block, txs);
+  }
+}
+
+}  // namespace predis::consensus::predis

@@ -1,0 +1,166 @@
+// The Predis data-production engine (§III): continuous bundle packing
+// and multicast, mempool maintenance, conflict/ban handling, missing-
+// bundle fetch, Predis-block construction/validation, and deferred
+// commit execution. P-PBFT and P-HS embed one engine each and adapt it
+// to their consensus core through thin PbftApp/HotStuffApp shims.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <set>
+
+#include "bundle/predis_block.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "consensus/common.hpp"
+#include "consensus/payloads.hpp"
+#include "consensus/predis/messages.hpp"
+
+namespace predis::consensus::predis {
+
+/// Byzantine behaviours used in the Fig. 6 experiment.
+enum class FaultMode {
+  kNone,
+  /// Case 1: neither produces bundles nor votes.
+  kSilent,
+  /// Case 2: refuses to vote; sends each bundle to a random subset of
+  /// n_c - f - 1 peers, so quorum votes stall until fetches resolve.
+  kPartialDissemination,
+};
+
+struct PredisConfig {
+  std::size_t bundle_size = 50;  ///< Max transactions per bundle (paper).
+  SimTime bundle_interval = milliseconds(25);  ///< Continuous production.
+  SimTime fetch_retry = milliseconds(150);     ///< Missing-bundle re-request.
+  /// Bundle-body GC horizon below the confirmed watermark. Consensus
+  /// nodes that also feed a full-node distribution layer keep more
+  /// history so lagging relayers can still pull (0 = keep everything).
+  BundleHeight gc_retention = 64;
+  /// Ablation knob: override the `f` used by the cutting rule
+  /// (SIZE_MAX = use the consensus group's f). f_cut = 0 waits for every
+  /// node ("slowest"), f_cut = n-1 cuts at the leader's own knowledge
+  /// ("optimistic", forces fetches).
+  std::size_t cut_f_override = static_cast<std::size_t>(-1);
+  /// Shed client transactions once the uplink queue extends this far
+  /// into the future (graceful saturation).
+  SimTime backpressure = milliseconds(150);
+  /// §III-E: how long an equivocating producer stays banned before it
+  /// may rejoin with a new genesis bundle. 0 = banned forever.
+  SimTime ban_duration = 0;
+  /// Also shed when this many transactions already await bundling, so
+  /// client-observed latency stays bounded at saturation.
+  std::size_t max_tx_queue = 4000;
+  FaultMode fault = FaultMode::kNone;
+  std::uint64_t seed = 1;
+};
+
+class PredisEngine {
+ public:
+  /// `keys` = public keys of all n_c producers (chain order);
+  /// `own_key` must be this node's keypair.
+  PredisEngine(NodeContext& ctx, PredisConfig config,
+               std::vector<PublicKey> keys, KeyPair own_key);
+
+  // --- Wiring ----------------------------------------------------------
+
+  /// Called by the embedding node when any Predis-layer message arrives.
+  /// Returns false if the message belongs to someone else.
+  bool handle(NodeId from, const sim::MsgPtr& msg);
+
+  /// Start the continuous bundle-production loop.
+  void start();
+
+  /// Client transactions enter the local bundle queue here.
+  void enqueue(const std::vector<Transaction>& txs);
+
+  /// Fired whenever the mempool gained bundles (new bundle or fetch
+  /// response) — consensus shims hook payload_ready / revalidate here.
+  std::function<void()> on_mempool_grew;
+
+  /// Optional dissemination override: Multi-Zone taps produced bundles
+  /// here (to erasure-code toward relayers) *in addition to* the default
+  /// consensus-peer multicast.
+  std::function<void(const Bundle&)> on_bundle_produced;
+
+  /// Fired for every bundle stored in the mempool — own productions and
+  /// bundles received from peers. Multi-Zone consensus nodes stripe
+  /// every stored bundle toward their subscribers (§IV-D: "when a
+  /// consensus node receives a new bundle, it encodes that bundle...").
+  std::function<void(const Bundle&)> on_bundle_stored;
+
+  /// Optional hook invoked when a block's transactions execute.
+  std::function<void(const PredisBlock&, const std::vector<Transaction>&)>
+      on_block_executed;
+
+  // --- Consensus-side API ----------------------------------------------
+
+  /// Leader: build the next Predis block on top of `prev_heights`.
+  /// Returns nullptr when the cut would confirm nothing new.
+  PayloadPtr build_payload(BlockHeight height, View view,
+                           const Hash32& parent_hash,
+                           const std::vector<BundleHeight>& prev_heights);
+
+  /// Replica: §III-B checks. kPending triggers missing-bundle fetches.
+  Validity validate_payload(const PayloadPtr& payload,
+                            const std::vector<BundleHeight>& expected_prev);
+
+  /// A block was decided: execute now if possible, else defer until the
+  /// referenced bundles arrive. Slot key orders deferred executions.
+  void commit_block(std::uint64_t slot, const PayloadPtr& payload);
+
+  /// Cut of the newest committed block (prev_heights for the next one).
+  const std::vector<BundleHeight>& last_cut() const { return last_cut_; }
+
+  /// State-transfer support: jump the engine to a certified cut without
+  /// executing the skipped blocks (their transactions were delivered to
+  /// clients by the nodes that stayed up). Deferred commits at or below
+  /// `upto_slot` are dropped.
+  void fast_forward(const std::vector<BundleHeight>& cut,
+                    std::uint64_t upto_slot);
+
+  const Mempool& mempool() const { return mempool_; }
+  Mempool& mempool() { return mempool_; }
+  const PredisConfig& config() const { return cfg_; }
+
+  /// Number of transactions waiting to be packed into bundles.
+  std::size_t queue_depth() const { return tx_queue_.size(); }
+
+  /// Callback used by commit execution to deliver replies + metrics.
+  std::function<void(std::uint64_t slot, const PredisBlock&,
+                     const std::vector<Transaction>&)>
+      on_execute;
+
+ private:
+  void produce_bundle();
+  void schedule_production();
+  /// Ban + (if ban_duration > 0) schedule the rejoin grant.
+  void apply_ban(NodeId producer);
+  void disseminate(const Bundle& bundle);
+  void add_bundle(NodeId from, const Bundle& bundle);
+  void request_missing(const std::vector<MissingBundleRef>& refs,
+                       NodeId block_sender);
+  void retry_fetches();
+  void flush_deferred();
+
+  NodeContext& ctx_;
+  PredisConfig cfg_;
+  Mempool mempool_;
+  KeyPair own_key_;
+  Rng rng_;
+
+  std::deque<Transaction> tx_queue_;
+  BundleHeight own_height_ = 0;
+  Hash32 own_parent_hash_ = kZeroHash;
+
+  std::vector<BundleHeight> last_cut_;
+
+  // Outstanding fetches: refs we asked for and have not yet received.
+  std::set<std::pair<NodeId, BundleHeight>> outstanding_fetches_;
+  sim::TimerHandle fetch_timer_;
+
+  // Committed blocks whose bundles have not all arrived yet.
+  std::map<std::uint64_t, PayloadPtr> deferred_commits_;
+};
+
+}  // namespace predis::consensus::predis

@@ -1,0 +1,158 @@
+#include "erasure/gf256.hpp"
+
+#include <stdexcept>
+
+namespace predis::erasure {
+
+GF256::Tables::Tables() {
+  // Generator 2 over polynomial 0x11D.
+  int x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp[static_cast<std::size_t>(i)] = static_cast<GF>(x);
+    log[static_cast<std::size_t>(x)] = i;
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11D;
+  }
+  for (int i = 255; i < 512; ++i) {
+    exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+  }
+  log[0] = -1;
+}
+
+const GF256::Tables& GF256::tables() {
+  static const Tables t;
+  return t;
+}
+
+GF GF256::mul(GF a, GF b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a] + t.log[b])];
+}
+
+GF GF256::div(GF a, GF b) {
+  if (b == 0) throw std::domain_error("GF256: division by zero");
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a] - t.log[b] + 255)];
+}
+
+GF GF256::inv(GF a) {
+  if (a == 0) throw std::domain_error("GF256: inverse of zero");
+  const auto& t = tables();
+  return t.exp[static_cast<std::size_t>(255 - t.log[a])];
+}
+
+GF GF256::exp(int power) {
+  const auto& t = tables();
+  power %= 255;
+  if (power < 0) power += 255;
+  return t.exp[static_cast<std::size_t>(power)];
+}
+
+GF GF256::log(GF a) {
+  if (a == 0) throw std::domain_error("GF256: log of zero");
+  return static_cast<GF>(tables().log[a]);
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::vandermonde(std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    GF value = 1;
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = value;
+      value = GF256::mul(value, static_cast<GF>(r));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw std::invalid_argument("Matrix::multiply: dimension mismatch");
+  }
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const GF a = at(r, k);
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) ^= GF256::mul(a, rhs.at(k, c));
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::sub_rows(std::size_t first, std::size_t count) const {
+  if (first + count > rows_) {
+    throw std::out_of_range("Matrix::sub_rows: out of range");
+  }
+  Matrix out(count, cols_);
+  for (std::size_t r = 0; r < count; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.at(r, c) = at(first + r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& rows) const {
+  Matrix out(rows.size(), cols_);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r] >= rows_) {
+      throw std::out_of_range("Matrix::select_rows: out of range");
+    }
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.at(r, c) = at(rows[r], c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::inverted() const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("Matrix::inverted: not square");
+  }
+  const std::size_t n = rows_;
+  Matrix work = *this;
+  Matrix inv = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) throw std::domain_error("Matrix::inverted: singular");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work.at(pivot, c), work.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    // Scale pivot row to 1.
+    const GF scale = GF256::inv(work.at(col, col));
+    for (std::size_t c = 0; c < n; ++c) {
+      work.at(col, c) = GF256::mul(work.at(col, c), scale);
+      inv.at(col, c) = GF256::mul(inv.at(col, c), scale);
+    }
+    // Eliminate other rows.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const GF factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        work.at(r, c) ^= GF256::mul(factor, work.at(col, c));
+        inv.at(r, c) ^= GF256::mul(factor, inv.at(col, c));
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace predis::erasure

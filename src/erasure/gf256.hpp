@@ -1,0 +1,73 @@
+// Arithmetic over GF(2^8) with the AES/Backblaze-compatible reducing
+// polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), plus a small dense
+// matrix type used to build and invert Reed-Solomon coding matrices.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace predis::erasure {
+
+/// Field element.
+using GF = std::uint8_t;
+
+/// Table-driven GF(2^8) operations. Tables are built once, lazily.
+class GF256 {
+ public:
+  static GF add(GF a, GF b) { return a ^ b; }
+  static GF sub(GF a, GF b) { return a ^ b; }
+  static GF mul(GF a, GF b);
+  static GF div(GF a, GF b);  // throws on b == 0
+  static GF inv(GF a);        // throws on a == 0
+  static GF exp(int power);   // generator^power (power may exceed 255)
+  static GF log(GF a);        // throws on a == 0
+
+ private:
+  struct Tables {
+    std::array<GF, 512> exp;
+    std::array<int, 256> log;
+    Tables();
+  };
+  static const Tables& tables();
+};
+
+/// Dense matrix over GF(2^8). Row-major.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  static Matrix identity(std::size_t n);
+
+  /// Extended Vandermonde matrix: element (r, c) = r^c. Any k rows of
+  /// the rows x k matrix are linearly independent (distinct evaluation
+  /// points), which is the property Reed-Solomon needs.
+  static Matrix vandermonde(std::size_t rows, std::size_t cols);
+
+  GF& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  GF at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Matrix multiply(const Matrix& rhs) const;
+
+  /// Rows [first, first + count).
+  Matrix sub_rows(std::size_t first, std::size_t count) const;
+
+  /// Matrix made of the listed rows, in order.
+  Matrix select_rows(const std::vector<std::size_t>& rows) const;
+
+  /// Gauss-Jordan inverse; throws std::domain_error if singular.
+  Matrix inverted() const;
+
+  bool operator==(const Matrix& rhs) const = default;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<GF> data_;
+};
+
+}  // namespace predis::erasure

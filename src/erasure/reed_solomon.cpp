@@ -1,0 +1,154 @@
+#include "erasure/reed_solomon.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/codec.hpp"
+
+namespace predis::erasure {
+
+ReedSolomon::ReedSolomon(std::size_t data_shards, std::size_t total_shards)
+    : k_(data_shards), n_(total_shards), coding_(1, 1) {
+  if (k_ == 0 || k_ > n_ || n_ > 256) {
+    throw std::invalid_argument("ReedSolomon: invalid (k, n)");
+  }
+  const Matrix vm = Matrix::vandermonde(n_, k_);
+  const Matrix top = vm.sub_rows(0, k_);
+  coding_ = vm.multiply(top.inverted());
+}
+
+std::vector<Bytes> ReedSolomon::encode(BytesView payload) const {
+  // 4-byte little-endian length prefix, then payload, then zero padding.
+  const std::size_t total = 4 + payload.size();
+  const std::size_t shard_size = (total + k_ - 1) / k_;
+
+  std::vector<Bytes> shards(n_, Bytes(shard_size, 0));
+  Bytes prefixed(shard_size * k_, 0);
+  prefixed[0] = static_cast<std::uint8_t>(payload.size());
+  prefixed[1] = static_cast<std::uint8_t>(payload.size() >> 8);
+  prefixed[2] = static_cast<std::uint8_t>(payload.size() >> 16);
+  prefixed[3] = static_cast<std::uint8_t>(payload.size() >> 24);
+  if (!payload.empty()) {
+    std::memcpy(prefixed.data() + 4, payload.data(), payload.size());
+  }
+
+  // Data shards (systematic part) are plain slices.
+  for (std::size_t i = 0; i < k_; ++i) {
+    std::memcpy(shards[i].data(), prefixed.data() + i * shard_size,
+                shard_size);
+  }
+  // Parity shards = coding rows k..n-1 times the data shards.
+  for (std::size_t r = k_; r < n_; ++r) {
+    Bytes& out = shards[r];
+    for (std::size_t c = 0; c < k_; ++c) {
+      const GF factor = coding_.at(r, c);
+      if (factor == 0) continue;
+      const Bytes& in = shards[c];
+      for (std::size_t b = 0; b < shard_size; ++b) {
+        out[b] ^= GF256::mul(factor, in[b]);
+      }
+    }
+  }
+  return shards;
+}
+
+std::vector<Bytes> ReedSolomon::recover_data(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  if (shards.size() != n_) {
+    throw std::invalid_argument("ReedSolomon::decode: wrong shard count");
+  }
+  std::vector<std::size_t> present;
+  std::size_t shard_size = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!shards[i].has_value()) continue;
+    if (present.empty()) {
+      shard_size = shards[i]->size();
+    } else if (shards[i]->size() != shard_size) {
+      throw std::invalid_argument("ReedSolomon::decode: shard size mismatch");
+    }
+    present.push_back(i);
+    if (present.size() == k_) break;
+  }
+  if (present.size() < k_) {
+    throw std::invalid_argument("ReedSolomon::decode: not enough shards");
+  }
+
+  // Fast path: all k data shards available.
+  bool systematic = true;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (present[i] != i) {
+      systematic = false;
+      break;
+    }
+  }
+
+  std::vector<Bytes> data(k_);
+  if (systematic) {
+    for (std::size_t i = 0; i < k_; ++i) data[i] = *shards[i];
+    return data;
+  }
+
+  const Matrix decode_matrix = coding_.select_rows(present).inverted();
+  for (std::size_t r = 0; r < k_; ++r) {
+    data[r] = Bytes(shard_size, 0);
+    for (std::size_t c = 0; c < k_; ++c) {
+      const GF factor = decode_matrix.at(r, c);
+      if (factor == 0) continue;
+      const Bytes& in = *shards[present[c]];
+      for (std::size_t b = 0; b < shard_size; ++b) {
+        data[r][b] ^= GF256::mul(factor, in[b]);
+      }
+    }
+  }
+  return data;
+}
+
+Bytes ReedSolomon::decode(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  const std::vector<Bytes> data = recover_data(shards);
+  const std::size_t shard_size = data[0].size();
+
+  Bytes prefixed;
+  prefixed.reserve(shard_size * k_);
+  for (const Bytes& shard : data) {
+    prefixed.insert(prefixed.end(), shard.begin(), shard.end());
+  }
+  if (prefixed.size() < 4) {
+    throw CodecError("ReedSolomon::decode: truncated prefix");
+  }
+  const std::size_t len = static_cast<std::size_t>(prefixed[0]) |
+                          (static_cast<std::size_t>(prefixed[1]) << 8) |
+                          (static_cast<std::size_t>(prefixed[2]) << 16) |
+                          (static_cast<std::size_t>(prefixed[3]) << 24);
+  if (4 + len > prefixed.size()) {
+    throw CodecError("ReedSolomon::decode: corrupt length prefix");
+  }
+  return Bytes(prefixed.begin() + 4,
+               prefixed.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+}
+
+std::vector<Bytes> ReedSolomon::reconstruct_all(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  const std::vector<Bytes> data = recover_data(shards);
+  const std::size_t shard_size = data[0].size();
+
+  std::vector<Bytes> out(n_);
+  for (std::size_t i = 0; i < k_; ++i) out[i] = data[i];
+  for (std::size_t r = k_; r < n_; ++r) {
+    if (r < shards.size() && shards[r].has_value()) {
+      out[r] = *shards[r];
+      continue;
+    }
+    out[r] = Bytes(shard_size, 0);
+    for (std::size_t c = 0; c < k_; ++c) {
+      const GF factor = coding_.at(r, c);
+      if (factor == 0) continue;
+      for (std::size_t b = 0; b < shard_size; ++b) {
+        out[r][b] ^= GF256::mul(factor, data[c][b]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace predis::erasure

@@ -1,0 +1,62 @@
+// Systematic Reed-Solomon erasure coding over GF(2^8).
+//
+// Multi-Zone encodes every bundle into n_c stripes such that any
+// n_c − f of them reconstruct the bundle (§IV-D of the paper). This
+// module provides exactly that: a (k = data shards, n = total shards)
+// code where the first k output shards are the data itself (systematic)
+// and the remaining n − k are parity.
+//
+// Construction follows the Backblaze JavaReedSolomon approach the paper
+// used: take an n × k Vandermonde matrix, normalize its top k × k block
+// to the identity (multiplying by the block's inverse preserves the
+// any-k-rows-invertible property), and use the result as the coding
+// matrix.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "erasure/gf256.hpp"
+
+namespace predis::erasure {
+
+class ReedSolomon {
+ public:
+  /// k data shards, n total shards; requires 0 < k <= n <= 256.
+  ReedSolomon(std::size_t data_shards, std::size_t total_shards);
+
+  std::size_t data_shards() const { return k_; }
+  std::size_t total_shards() const { return n_; }
+  std::size_t parity_shards() const { return n_ - k_; }
+
+  /// Split `payload` into n shards (each of equal size). The payload is
+  /// length-prefixed and zero-padded so decode can recover the exact
+  /// original bytes. Shard size is ceil((4 + |payload|) / k).
+  std::vector<Bytes> encode(BytesView payload) const;
+
+  /// Reconstruct the payload from any subset of >= k shards (missing
+  /// shards are nullopt). All present shards must have equal size.
+  /// Throws std::invalid_argument if fewer than k shards are present or
+  /// sizes are inconsistent; throws CodecError if the recovered prefix
+  /// is malformed (e.g. corrupted shards).
+  Bytes decode(const std::vector<std::optional<Bytes>>& shards) const;
+
+  /// Recompute all n shards from any >= k present shards (used by
+  /// relayers that must forward stripes they did not receive directly).
+  std::vector<Bytes> reconstruct_all(
+      const std::vector<std::optional<Bytes>>& shards) const;
+
+  const Matrix& coding_matrix() const { return coding_; }
+
+ private:
+  /// Recover the k data shards from any >= k present shards.
+  std::vector<Bytes> recover_data(
+      const std::vector<std::optional<Bytes>>& shards) const;
+
+  std::size_t k_;
+  std::size_t n_;
+  Matrix coding_;  // n x k, top k x k == identity
+};
+
+}  // namespace predis::erasure

@@ -1,0 +1,69 @@
+#include "erasure/stripe_codec.hpp"
+
+#include <stdexcept>
+
+namespace predis::erasure {
+
+Bytes StripeCodec::serialize_bundle(const Bundle& bundle) {
+  Writer w;
+  bundle.header.encode(w);
+  w.vec(bundle.txs);
+  return std::move(w).take();
+}
+
+Bundle StripeCodec::deserialize_bundle(BytesView bytes) {
+  Reader r(bytes);
+  Bundle b;
+  b.header = BundleHeader::decode(r);
+  b.txs = r.vec<Transaction>();
+  if (!r.done()) {
+    throw CodecError("StripeCodec: trailing bytes after bundle");
+  }
+  return b;
+}
+
+StripeCodec::Encoded StripeCodec::encode(const Bundle& bundle) const {
+  const Bytes payload = serialize_bundle(bundle);
+  std::vector<Bytes> shards = rs_.encode(payload);
+
+  // Merkle tree over the shard hashes — the producer signs its root.
+  std::vector<Hash32> leaves;
+  leaves.reserve(shards.size());
+  for (const Bytes& shard : shards) {
+    leaves.push_back(Sha256::hash(shard));
+  }
+  const MerkleTree tree(leaves);
+
+  Encoded out;
+  out.stripe_root = tree.root();
+  out.stripes.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    Stripe stripe;
+    stripe.index = static_cast<std::uint32_t>(i);
+    stripe.data = std::move(shards[i]);
+    stripe.proof = tree.prove(i);
+    out.stripes.push_back(std::move(stripe));
+  }
+  return out;
+}
+
+bool StripeCodec::verify(const Stripe& stripe, const Hash32& stripe_root) {
+  if (stripe.proof.leaf_index != stripe.index) return false;
+  return MerkleTree::verify(stripe_root, Sha256::hash(stripe.data),
+                            stripe.proof);
+}
+
+Bundle StripeCodec::decode(
+    const std::vector<std::optional<Stripe>>& stripes) const {
+  std::vector<std::optional<Bytes>> shards(rs_.total_shards());
+  for (const auto& stripe : stripes) {
+    if (!stripe.has_value()) continue;
+    if (stripe->index >= shards.size()) {
+      throw std::invalid_argument("StripeCodec::decode: bad stripe index");
+    }
+    shards[stripe->index] = stripe->data;
+  }
+  return deserialize_bundle(rs_.decode(shards));
+}
+
+}  // namespace predis::erasure

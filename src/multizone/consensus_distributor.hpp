@@ -1,0 +1,205 @@
+// Consensus-node distribution adapters for the two topologies the paper
+// compares in Fig. 7: Multi-Zone (stripes + Predis blocks to relayer
+// subscribers) and star (complete blocks pushed to assigned full
+// nodes). Both wrap a P-PBFT node, so the consensus layer is identical
+// and only the distribution work on the uplink differs.
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "consensus/predis/predis_nodes.hpp"
+#include "multizone/directory.hpp"
+#include "multizone/messages.hpp"
+
+namespace predis::multizone {
+
+enum class DistributionMode { kMultiZone, kStar };
+
+class MultiZoneConsensusNode final : public sim::Actor {
+ public:
+  MultiZoneConsensusNode(consensus::NodeContext ctx,
+                         consensus::predis::PredisConfig pcfg,
+                         std::vector<PublicKey> keys, KeyPair own_key,
+                         consensus::CommitLedger& ledger,
+                         MultiZoneConfig mz_config, ZoneDirectory& directory,
+                         DistributionMode mode)
+      : ctx_(std::move(ctx)),
+        inner_(ctx_, std::move(pcfg), std::move(keys), std::move(own_key),
+               ledger),
+        cfg_(mz_config),
+        dir_(directory),
+        mode_(mode) {
+    inner_.engine().on_bundle_stored = [this](const Bundle& bundle) {
+      dir_.publish_bundle(bundle);
+      if (mode_ == DistributionMode::kMultiZone) send_stripes(bundle);
+    };
+    inner_.engine().on_block_executed =
+        [this](const PredisBlock& block, const std::vector<Transaction>& txs) {
+          distribute_block(block, txs);
+        };
+  }
+
+  void on_start() override { inner_.on_start(); }
+
+  /// Star mode: the full nodes this consensus node serves directly.
+  void set_star_children(std::vector<NodeId> children) {
+    star_children_ = std::move(children);
+  }
+
+  std::size_t subscriber_count() const { return subscribers_.size(); }
+  consensus::predis::PredisPbftNode& inner() { return inner_; }
+
+  /// Fired after each committed block has been pushed to the
+  /// distribution layer (experiment bookkeeping).
+  std::function<void(const PredisBlock&)> on_block_distributed;
+
+  void on_message(NodeId from, const sim::MsgPtr& msg) override {
+    if (subscribers_.count(from) != 0) last_heard_[from] = ctx_.now();
+    if (const auto* m = dynamic_cast<const SubscribeMsg*>(msg.get())) {
+      on_subscribe(from, *m);
+      return;
+    }
+    if (const auto* m = dynamic_cast<const UnsubscribeMsg*>(msg.get())) {
+      for (StripeIndex s : m->stripes) {
+        if (s == my_stripe()) subscribers_.erase(from);
+      }
+      return;
+    }
+    if (const auto* m = dynamic_cast<const HeartbeatMsg*>(msg.get())) {
+      if (!m->reply) {
+        auto echo = std::make_shared<HeartbeatMsg>();
+        echo->reply = true;
+        ctx_.send_node(from, std::move(echo));
+      }
+      return;
+    }
+    if (const auto* m = dynamic_cast<const BundlePullMsg*>(msg.get())) {
+      serve_pull(from, *m);
+      return;
+    }
+    inner_.on_message(from, msg);
+  }
+
+ private:
+  StripeIndex my_stripe() const {
+    return static_cast<StripeIndex>(ctx_.index());
+  }
+
+  void on_subscribe(NodeId from, const SubscribeMsg& msg) {
+    prune_stale_subscribers();
+    // A consensus node only originates its own stripe index (§IV-D) and
+    // serves only a handful of relayers — roughly one per zone; everyone
+    // else is referred to those relayers (Fig. 3).
+    std::vector<StripeIndex> accepted;
+    std::vector<StripeIndex> rejected;
+    for (StripeIndex s : msg.stripes) {
+      if (s == my_stripe() &&
+          (subscribers_.count(from) != 0 ||
+           subscribers_.size() < cfg_.effective_consensus_cap())) {
+        subscribers_.insert(from);
+        last_heard_[from] = ctx_.now();
+        accepted.push_back(s);
+      } else {
+        rejected.push_back(s);
+      }
+    }
+    if (!accepted.empty()) {
+      auto ok = std::make_shared<AcceptSubscribeMsg>();
+      ok->stripes = std::move(accepted);
+      ok->from_consensus = true;
+      ctx_.send_node(from, std::move(ok));
+    }
+    if (!rejected.empty()) {
+      auto no = std::make_shared<RejectSubscribeMsg>();
+      no->stripes = std::move(rejected);
+      no->children.assign(subscribers_.begin(), subscribers_.end());
+      ctx_.send_node(from, std::move(no));
+    }
+  }
+
+  void send_stripes(const Bundle& bundle) {
+    if (subscribers_.empty()) return;
+    const std::size_t k = ctx_.n() - ctx_.f();
+    auto msg = std::make_shared<StripeMsg>();
+    msg->header = bundle.header;
+    msg->index = my_stripe();
+    msg->body_bytes = (bundle.wire_size() + k - 1) / k;
+    msg->proof_bytes =
+        32 * static_cast<std::size_t>(
+                 std::ceil(std::log2(std::max<std::size_t>(2, ctx_.n()))));
+    for (NodeId sub : subscribers_) ctx_.send_node(sub, msg);
+  }
+
+  void distribute_block(const PredisBlock& block,
+                        const std::vector<Transaction>& txs) {
+    if (mode_ == DistributionMode::kMultiZone) {
+      auto msg = std::make_shared<PredisBlockMsg>();
+      msg->block = block;
+      for (NodeId sub : subscribers_) ctx_.send_node(sub, msg);
+    } else {
+      auto msg = std::make_shared<FullBlockMsg>();
+      msg->block_id = block.height;
+      msg->body_bytes = payload_bytes(txs) + txs.size() * 8;
+      for (NodeId child : star_children_) ctx_.send_node(child, msg);
+    }
+    if (on_block_distributed) on_block_distributed(block);
+  }
+
+  void serve_pull(NodeId from, const BundlePullMsg& msg) {
+    auto push = std::make_shared<BundlePushMsg>();
+    const Mempool& pool = inner_.engine().mempool();
+    for (const auto& ref : msg.refs) {
+      if (ref.chain >= pool.chain_count()) continue;
+      const Bundle* b = pool.chain(ref.chain).get(ref.height);
+      if (b != nullptr) push->bundles.push_back(*b);
+    }
+    if (!push->bundles.empty()) ctx_.send_node(from, std::move(push));
+  }
+
+  void prune_stale_subscribers() {
+    // Subscribers heartbeat every heartbeat_interval; one that went
+    // silent has crashed or unsubscribed uncleanly. Free its slot.
+    const SimTime deadline = ctx_.now() - 2 * cfg_.heartbeat_timeout;
+    for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+      const auto heard = last_heard_.find(*it);
+      if (heard != last_heard_.end() && heard->second < deadline) {
+        it = subscribers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  consensus::NodeContext ctx_;
+  consensus::predis::PredisPbftNode inner_;
+  MultiZoneConfig cfg_;
+  ZoneDirectory& dir_;
+  DistributionMode mode_;
+  std::set<NodeId> subscribers_;
+  std::map<NodeId, SimTime> last_heard_;
+  std::vector<NodeId> star_children_;
+};
+
+/// Star-topology full node: passively receives complete blocks.
+class StarFullNode final : public sim::Actor {
+ public:
+  std::function<void(std::uint64_t block_id, SimTime when)> on_block;
+
+  void on_message(NodeId /*from*/, const sim::MsgPtr& msg) override {
+    const auto* m = dynamic_cast<const FullBlockMsg*>(msg.get());
+    if (m == nullptr) return;
+    if (!seen_.insert(m->block_id).second) return;
+    if (on_block) on_block(m->block_id, when_());
+  }
+
+  explicit StarFullNode(sim::Network& net) : net_(net) {}
+
+ private:
+  SimTime when_() const { return net_.simulator().now(); }
+  sim::Network& net_;
+  std::set<std::uint64_t> seen_;
+};
+
+}  // namespace predis::multizone

@@ -1,0 +1,123 @@
+// Experiment-wide Multi-Zone bookkeeping.
+//
+// SUBSTITUTION (documented in DESIGN.md): in the paper, a joining node
+// registers through an on-chain transaction, and join order is derived
+// from the position of registration transactions in the ledger
+// (§IV-C). Inside one simulated process we keep that registry here:
+// zone membership, join order, and the consensus-node list. Data still
+// flows only through simulated messages.
+//
+// The directory also acts as the stripe "decode oracle": producers
+// publish each bundle by header hash, and a node that has gathered
+// n_c − f stripes of that bundle materializes it from here — the real
+// Reed-Solomon algebra is implemented and tested in src/erasure; the
+// network layer simulates stripe *bytes* (sizes) only.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "bundle/bundle.hpp"
+#include "common/types.hpp"
+
+namespace predis::multizone {
+
+class ZoneDirectory {
+ public:
+  explicit ZoneDirectory(std::size_t n_zones) : zones_(n_zones) {}
+
+  std::size_t zone_count() const { return zones_.size(); }
+
+  void set_consensus_nodes(std::vector<NodeId> ids) {
+    consensus_ = std::move(ids);
+  }
+  const std::vector<NodeId>& consensus_nodes() const { return consensus_; }
+
+  /// Register a full node; join order is registration order.
+  void register_node(NodeId id, std::uint32_t zone, SimTime join_time) {
+    zones_[zone].push_back(id);
+    info_[id] = {zone, join_time};
+  }
+
+  const std::vector<NodeId>& members(std::uint32_t zone) const {
+    return zones_[zone];
+  }
+
+  std::uint32_t zone_of(NodeId id) const { return info_.at(id).zone; }
+  SimTime join_time(NodeId id) const { return info_.at(id).join_time; }
+
+  /// Zone members registered strictly before `id` (its bootstrap peers).
+  std::vector<NodeId> earlier_members(NodeId id) const {
+    const auto& zone = zones_[zone_of(id)];
+    std::vector<NodeId> out;
+    for (NodeId member : zone) {
+      if (member == id) break;
+      out.push_back(member);
+    }
+    return out;
+  }
+
+  // --- Bundle decode oracle ---------------------------------------------
+
+  void publish_bundle(const Bundle& bundle) {
+    store_.emplace(bundle.header.hash(), bundle);
+  }
+
+  const Bundle* bundle(const Hash32& header_hash) const {
+    const auto it = store_.find(header_hash);
+    return it == store_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  struct Info {
+    std::uint32_t zone = 0;
+    SimTime join_time = 0;
+  };
+  struct HashKey {
+    std::size_t operator()(const Hash32& h) const {
+      std::size_t v;
+      __builtin_memcpy(&v, h.data(), sizeof(v));
+      return v;
+    }
+  };
+
+  std::vector<std::vector<NodeId>> zones_;
+  std::map<NodeId, Info> info_;
+  std::vector<NodeId> consensus_;
+  std::unordered_map<Hash32, Bundle, HashKey> store_;
+};
+
+struct MultiZoneConfig {
+  std::size_t n_consensus = 4;  ///< n_c == number of stripes.
+  std::size_t f = 1;            ///< Decode threshold k = n_c - f.
+  std::size_t n_zones = 3;
+  std::size_t max_subscribers = 24;  ///< Paper's Fig. 8 fairness cap.
+  /// Cap on direct subscribers per consensus node. Multi-Zone's whole
+  /// point is that consensus nodes serve roughly one relayer per zone;
+  /// rejected subscribers are referred to existing relayers (Fig. 3).
+  /// 0 = auto: n_zones + 2.
+  std::size_t consensus_max_subscribers = 0;
+
+  std::size_t effective_consensus_cap() const {
+    if (consensus_max_subscribers != 0) return consensus_max_subscribers;
+    // One relayer per zone is the design point (§IV-D); +1 slot of
+    // headroom lets a replacement subscribe before its predecessor
+    // unsubscribes. More than this saturates the consensus uplink with
+    // stripe streams at high load.
+    return n_zones + 1;
+  }
+  SimTime relayer_alive_interval = milliseconds(500);
+  SimTime relayer_check_interval = milliseconds(1200);
+  SimTime heartbeat_interval = milliseconds(500);
+  SimTime heartbeat_timeout = milliseconds(1600);
+  SimTime digest_interval = milliseconds(1000);
+  /// Missing-bundle pull delay after a block announcement. Stripes of
+  /// just-cut bundles are typically still in flight down the multicast
+  /// tree (one 25 ms hop per level), so pulling too eagerly creates a
+  /// bandwidth spiral of full-bundle pushes.
+  SimTime pull_timeout = milliseconds(700);
+};
+
+}  // namespace predis::multizone

@@ -1,0 +1,152 @@
+// Multi-Zone full node: the actor implementing §IV — Algorithm 1
+// (subscribe / become a relayer on join), Algorithm 2 (relayerAlive
+// processing and redundancy trimming), stripe reception/forwarding,
+// bundle decoding, Predis-block forwarding and block reconstruction,
+// relayer-count maintenance, heartbeats, graceful leave, and
+// cross-zone digest backup (§IV-F).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "multizone/directory.hpp"
+#include "multizone/messages.hpp"
+#include "sim/network.hpp"
+#include "txpool/transaction.hpp"
+
+namespace predis::multizone {
+
+class MultiZoneFullNode : public sim::Actor {
+ public:
+  MultiZoneFullNode(sim::Network& net, NodeId self, MultiZoneConfig config,
+                    ZoneDirectory& directory, std::uint64_t seed = 1);
+
+  void on_start() override;
+  void on_message(NodeId from, const sim::MsgPtr& msg) override;
+
+  /// Fired when this node can rebuild a freshly announced block (it has
+  /// the Predis block and every referenced bundle).
+  std::function<void(const PredisBlock&, SimTime)> on_block_complete;
+
+  /// Fired when a bundle is first decoded/stored at this node.
+  std::function<void(const BundleHeader&, SimTime)> on_bundle_decoded;
+
+  /// Graceful departure per §IV-E; the caller marks the network node
+  /// down afterwards.
+  void leave();
+
+  // --- Introspection (tests / experiments) -----------------------------
+
+  bool is_relayer() const { return !direct_.empty(); }
+  const std::set<StripeIndex>& direct_stripes() const { return direct_; }
+  NodeId provider_of(StripeIndex s) const { return providers_[s]; }
+  std::size_t subscriber_count() const;
+  std::size_t decoded_bundles() const { return decoded_count_; }
+  std::size_t completed_blocks() const { return completed_count_; }
+  BundleHeight contiguous_height(std::size_t chain) const {
+    return contiguous_[chain];
+  }
+  /// Relayers this node currently believes are active in its zone.
+  std::size_t known_active_relayers() const;
+
+ private:
+  struct StripeState {
+    BundleHeader header;
+    std::set<StripeIndex> have;
+    bool decoded = false;
+  };
+  struct RelayerState {
+    std::set<StripeIndex> relayed;
+    SimTime join_time = 0;
+    SimTime last_seen = 0;
+  };
+  struct HashKey {
+    std::size_t operator()(const Hash32& h) const {
+      std::size_t v;
+      __builtin_memcpy(&v, h.data(), sizeof(v));
+      return v;
+    }
+  };
+
+  std::size_t k() const { return cfg_.n_consensus - cfg_.f; }
+  SimTime now() const { return net_.simulator().now(); }
+
+  // Join / subscription management.
+  void bootstrap();
+  void run_algorithm1(const std::vector<RelayerInfo>& relayers);
+  void send_subscribe(NodeId target, std::vector<StripeIndex> stripes);
+  void subscribe_to_consensus(const std::vector<StripeIndex>& stripes);
+  void resubscribe(StripeIndex stripe);
+  void announce_relayer();
+
+  // Message handlers.
+  void on_subscribe(NodeId from, const SubscribeMsg& msg);
+  void on_accept(NodeId from, const AcceptSubscribeMsg& msg);
+  void on_reject(NodeId from, const RejectSubscribeMsg& msg);
+  void on_unsubscribe(NodeId from, const UnsubscribeMsg& msg);
+  void on_relayer_alive(NodeId from, const RelayerAliveMsg& msg);
+  void on_stripe(NodeId from, const StripeMsg& msg);
+  void on_predis_block(NodeId from, const PredisBlockMsg& msg);
+  void on_leave(NodeId from);
+  void on_digest(NodeId from, const DigestMsg& msg);
+  void forward_client_txs(const ClientRequestMsg& msg);
+  void on_pull(NodeId from, const BundlePullMsg& msg);
+  void on_push(NodeId from, const BundlePushMsg& msg);
+
+  // Data plane.
+  void store_bundle_record(const BundleHeader& header);
+  void try_reconstruct_blocks();
+  void schedule_pull(const Hash32& block_hash, NodeId sender);
+
+  // Periodic duties.
+  void tick_relayer_alive();
+  void tick_relayer_check();
+  void tick_heartbeat();
+  void tick_digest();
+
+  void zone_multicast(const sim::MsgPtr& msg);
+  std::vector<NodeId> subscriber_union() const;
+
+  sim::Network& net_;
+  NodeId self_;
+  MultiZoneConfig cfg_;
+  ZoneDirectory& dir_;
+  Rng rng_;
+  std::uint32_t zone_ = 0;
+  SimTime join_time_ = 0;
+  bool left_ = false;
+
+  // Subscription state.
+  std::vector<NodeId> providers_;            ///< Per stripe index.
+  std::vector<NodeId> pending_;              ///< Outstanding subscribe.
+  std::vector<std::set<NodeId>> subscribers_;  ///< Per stripe index.
+  std::set<StripeIndex> direct_;  ///< Stripes received from consensus.
+  std::map<NodeId, RelayerState> known_relayers_;
+  std::map<NodeId, SimTime> last_heard_;
+
+  // Data plane state.
+  std::vector<SimTime> last_stripe_at_;   ///< Per stripe index.
+  std::vector<SimTime> provider_since_;   ///< When current provider set.
+  SimTime last_any_stripe_ = 0;
+  std::unordered_map<Hash32, StripeState, HashKey> stripes_;
+  std::vector<std::map<BundleHeight, Hash32>> chains_;
+  std::vector<BundleHeight> contiguous_;
+  std::size_t decoded_count_ = 0;
+  std::size_t completed_count_ = 0;
+
+  struct PendingBlock {
+    PredisBlock block;
+    NodeId sender = kNoNode;
+    std::size_t pull_attempts = 0;
+  };
+  std::unordered_map<Hash32, PendingBlock, HashKey> pending_blocks_;
+  std::set<Hash32> seen_blocks_;
+
+  NodeId backup_peer_ = kNoNode;  ///< Neighbour-zone digest partner.
+};
+
+}  // namespace predis::multizone

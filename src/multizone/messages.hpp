@@ -1,0 +1,177 @@
+// Wire messages of the Multi-Zone distribution layer (§IV).
+#pragma once
+
+#include <vector>
+
+#include "bundle/predis_block.hpp"
+#include "sim/message.hpp"
+
+namespace predis::multizone {
+
+/// Stripe stream identifier: stripe i of every bundle originates at
+/// consensus node i (§IV-D).
+using StripeIndex = std::uint32_t;
+
+/// One erasure-coded stripe of one bundle, carrying the bundle header
+/// and a Merkle proof against header.stripe_root so receivers can
+/// detect tampering. The stripe body itself is simulated by size: the
+/// in-process BundleDirectory materializes decoded bundles (the real
+/// Reed-Solomon path is exercised and tested in src/erasure).
+struct StripeMsg final : sim::Message {
+  BundleHeader header;       ///< Which bundle this stripe belongs to.
+  StripeIndex index = 0;     ///< Which of the n_c stripes.
+  std::size_t body_bytes = 0;  ///< ceil(bundle bytes / (n_c - f)).
+  std::size_t proof_bytes = 0; ///< Merkle proof size (log2 n_c hashes).
+
+  std::size_t wire_size() const override {
+    return header.wire_size() + 8 + body_bytes + proof_bytes;
+  }
+  const char* name() const override { return "Stripe"; }
+};
+
+/// New block announcement flowing consensus -> relayers -> ordinary
+/// nodes; tiny (the Predis property).
+struct PredisBlockMsg final : sim::Message {
+  PredisBlock block;
+
+  std::size_t wire_size() const override { return block.wire_size(); }
+  const char* name() const override { return "PredisBlock"; }
+};
+
+/// Complete block for the star / random baselines (they ship full
+/// content on every block, §V-B).
+struct FullBlockMsg final : sim::Message {
+  std::uint64_t block_id = 0;
+  std::size_t body_bytes = 0;
+
+  std::size_t wire_size() const override { return 48 + body_bytes; }
+  const char* name() const override { return "FullBlock"; }
+};
+
+/// Subscribe for the given stripe streams (Algorithm 1).
+struct SubscribeMsg final : sim::Message {
+  std::vector<StripeIndex> stripes;
+
+  std::size_t wire_size() const override { return 16 + stripes.size() * 4; }
+  const char* name() const override { return "Subscribe"; }
+};
+
+struct AcceptSubscribeMsg final : sim::Message {
+  std::vector<StripeIndex> stripes;
+  bool from_consensus = false;  ///< Sender is a consensus node.
+
+  std::size_t wire_size() const override { return 17 + stripes.size() * 4; }
+  const char* name() const override { return "AcceptSubscribe"; }
+};
+
+/// Decline + referral to children that still have capacity.
+struct RejectSubscribeMsg final : sim::Message {
+  std::vector<StripeIndex> stripes;
+  std::vector<NodeId> children;
+
+  std::size_t wire_size() const override {
+    return 16 + stripes.size() * 4 + children.size() * 4;
+  }
+  const char* name() const override { return "RejectSubscribe"; }
+};
+
+struct UnsubscribeMsg final : sim::Message {
+  std::vector<StripeIndex> stripes;
+
+  std::size_t wire_size() const override { return 16 + stripes.size() * 4; }
+  const char* name() const override { return "Unsubscribe"; }
+};
+
+/// Periodic relayer advertisement (Algorithm 2): identity, the stripes
+/// it relays (empty set = demotion to ordinary node), and its join time
+/// so overlapping relayers can break ties.
+struct RelayerAliveMsg final : sim::Message {
+  NodeId relayer = kNoNode;
+  std::vector<StripeIndex> relayed;
+  SimTime join_time = 0;
+
+  std::size_t wire_size() const override { return 24 + relayed.size() * 4; }
+  const char* name() const override { return "RelayerAlive"; }
+};
+
+/// Bootstrap: ask an existing zone member for the current relayer set
+/// (the "getRelayer" message of §IV-C).
+struct GetRelayersMsg final : sim::Message {
+  std::size_t wire_size() const override { return 8; }
+  const char* name() const override { return "GetRelayers"; }
+};
+
+struct RelayerInfo {
+  NodeId id = kNoNode;
+  std::vector<StripeIndex> relayed;
+  SimTime join_time = 0;
+};
+
+struct RelayersMsg final : sim::Message {
+  std::vector<RelayerInfo> relayers;
+
+  std::size_t wire_size() const override {
+    std::size_t size = 16;
+    for (const auto& r : relayers) size += 16 + r.relayed.size() * 4;
+    return size;
+  }
+  const char* name() const override { return "Relayers"; }
+};
+
+/// FEG/random-topology baseline: block-id digest and pull.
+struct BlockDigestMsg final : sim::Message {
+  std::uint64_t block_id = 0;
+  std::size_t wire_size() const override { return 40; }
+  const char* name() const override { return "BlockDigest"; }
+};
+
+struct BlockPullMsg final : sim::Message {
+  std::uint64_t block_id = 0;
+  std::size_t wire_size() const override { return 40; }
+  const char* name() const override { return "BlockPull"; }
+};
+
+/// Graceful departure (§IV-E).
+struct LeaveMsg final : sim::Message {
+  std::size_t wire_size() const override { return 8; }
+  const char* name() const override { return "Leave"; }
+};
+
+struct HeartbeatMsg final : sim::Message {
+  /// Echoes carry reply = true and MUST NOT be echoed again, or every
+  /// ping would spawn an unbounded ping-pong loop.
+  bool reply = false;
+  std::size_t wire_size() const override { return 9; }
+  const char* name() const override { return "Heartbeat"; }
+};
+
+/// Backup-connection digest (§IV-F): bundle heights we hold, so
+/// neighbours in other zones can detect what we miss.
+struct DigestMsg final : sim::Message {
+  std::vector<BundleHeight> heights;  ///< Contiguous height per chain.
+
+  std::size_t wire_size() const override { return 16 + heights.size() * 8; }
+  const char* name() const override { return "Digest"; }
+};
+
+/// Pull request for bundles we are missing (digest gap or slow stripes).
+struct BundlePullMsg final : sim::Message {
+  std::vector<MissingBundleRef> refs;
+
+  std::size_t wire_size() const override { return 16 + refs.size() * 12; }
+  const char* name() const override { return "BundlePull"; }
+};
+
+/// Pull response: full bundles.
+struct BundlePushMsg final : sim::Message {
+  std::vector<Bundle> bundles;
+
+  std::size_t wire_size() const override {
+    std::size_t size = 16;
+    for (const auto& b : bundles) size += b.wire_size();
+    return size;
+  }
+  const char* name() const override { return "BundlePush"; }
+};
+
+}  // namespace predis::multizone

@@ -1,0 +1,115 @@
+// Random-topology baseline with FEG-style gossip (Fig. 8): every node
+// keeps a fixed set of random peers (8, the common Bitcoin/Ethereum
+// setting); on first receipt of a block it pushes the full block to
+// `fanout` peers and a tiny digest to the rest; digest receivers that
+// are still missing the block pull it after a short grace period —
+// the push/digest/pull structure of Fair-and-Efficient Gossip.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "multizone/messages.hpp"
+#include "sim/network.hpp"
+
+namespace predis::multizone {
+
+struct GossipConfig {
+  std::size_t fanout = 4;  ///< Full-block pushes per hop (paper setting).
+  SimTime pull_delay = milliseconds(100);  ///< Digest -> pull grace.
+};
+
+class RandomGossipNode final : public sim::Actor {
+ public:
+  RandomGossipNode(sim::Network& net, NodeId self, GossipConfig config,
+                   std::uint64_t seed)
+      : net_(net), self_(self), cfg_(config), rng_(seed ^ (self * 2654435761ULL)) {}
+
+  void set_peers(std::vector<NodeId> peers) { peers_ = std::move(peers); }
+  const std::vector<NodeId>& peers() const { return peers_; }
+
+  std::function<void(std::uint64_t block_id, SimTime when)> on_block;
+
+  /// Source-side entry: this node produced/holds the block natively
+  /// (consensus nodes in the random topology) and starts the gossip.
+  void inject(std::uint64_t block_id, std::size_t body_bytes) {
+    have_[block_id] = body_bytes;
+    if (!seen_.insert(block_id).second) return;
+    FullBlockMsg msg;
+    msg.block_id = block_id;
+    msg.body_bytes = body_bytes;
+    relay(msg, self_);
+  }
+
+  void on_message(NodeId from, const sim::MsgPtr& msg) override {
+    if (const auto* m = dynamic_cast<const FullBlockMsg*>(msg.get())) {
+      have_[m->block_id] = m->body_bytes;
+      knows_[m->block_id].insert(from);
+      if (!seen_.insert(m->block_id).second) return;
+      if (on_block) on_block(m->block_id, net_.simulator().now());
+      relay(*m, from);
+      return;
+    }
+    if (const auto* m = dynamic_cast<const BlockDigestMsg*>(msg.get())) {
+      knows_[m->block_id].insert(from);
+      if (seen_.count(m->block_id) != 0) return;
+      const std::uint64_t id = m->block_id;
+      const NodeId sender = from;
+      net_.simulator().schedule_after(cfg_.pull_delay, [this, id, sender] {
+        if (seen_.count(id) != 0) return;
+        auto pull = std::make_shared<BlockPullMsg>();
+        pull->block_id = id;
+        net_.send(self_, sender, std::move(pull));
+      });
+      return;
+    }
+    if (const auto* m = dynamic_cast<const BlockPullMsg*>(msg.get())) {
+      const auto it = have_.find(m->block_id);
+      if (it == have_.end()) return;
+      auto full = std::make_shared<FullBlockMsg>();
+      full->block_id = it->first;
+      full->body_bytes = it->second;
+      net_.send(self_, from, std::move(full));
+      return;
+    }
+  }
+
+ private:
+  void relay(const FullBlockMsg& msg, NodeId from) {
+    // Candidates: peers not yet known to have the block.
+    std::vector<NodeId> candidates;
+    for (NodeId peer : peers_) {
+      if (peer == from) continue;
+      if (knows_[msg.block_id].count(peer) != 0) continue;
+      candidates.push_back(peer);
+    }
+    rng_.shuffle(candidates);
+
+    auto full = std::make_shared<FullBlockMsg>(msg);
+    auto digest = std::make_shared<BlockDigestMsg>();
+    digest->block_id = msg.block_id;
+
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (i < cfg_.fanout) {
+        net_.send(self_, candidates[i], full);
+      } else {
+        net_.send(self_, candidates[i], digest);
+      }
+      knows_[msg.block_id].insert(candidates[i]);  // optimistic
+    }
+  }
+
+  sim::Network& net_;
+  NodeId self_;
+  GossipConfig cfg_;
+  Rng rng_;
+  std::vector<NodeId> peers_;
+  std::set<std::uint64_t> seen_;
+  std::map<std::uint64_t, std::size_t> have_;  ///< id -> body bytes
+  std::map<std::uint64_t, std::set<NodeId>> knows_;
+};
+
+}  // namespace predis::multizone

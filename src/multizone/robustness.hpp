@@ -1,0 +1,56 @@
+// §IV-B robustness analysis, as runnable math.
+//
+// The paper models malicious delay/omission in the network layer with
+// a node failure probability:  p_c = (f/N)·p_b + (1 − f/N)·p_h ≈ f/N
+// (Eq. 3, with p_b = 1 and p_h ≈ the ~3%/year server failure rate),
+// and sizes the relayer set per zone so that the probability of *all*
+// relayers failing stays below a threshold:  (f/N)^{n_zr} ≤ p_r
+// (Eq. 4). With the paper's choice n_zr = n_c, a node receives data
+// from at least one relayer with probability > 99.98% once n_c ≥ 4.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace predis::multizone {
+
+/// Eq. 3: general node failure probability. `p_b` defaults to 1
+/// (malicious nodes always "fail" to deliver); `p_h` to the annual
+/// server failure rate from the paper's citation.
+inline double node_failure_probability(std::size_t f, std::size_t total,
+                                        double p_b = 1.0,
+                                        double p_h = 0.03) {
+  if (total == 0) return 0.0;
+  const double malicious = static_cast<double>(f) /
+                           static_cast<double>(total);
+  return malicious * p_b + (1.0 - malicious) * p_h;
+}
+
+/// Probability that every one of `n_zr` independent relayers fails.
+inline double all_relayers_fail_probability(double p_c,
+                                             std::size_t n_zr) {
+  return std::pow(p_c, static_cast<double>(n_zr));
+}
+
+/// Eq. 4: smallest relayer count per zone such that
+/// p_c^{n_zr} <= p_r. Returns at least 1.
+inline std::size_t min_relayers_per_zone(double p_c, double p_r) {
+  if (p_c <= 0.0) return 1;
+  if (p_c >= 1.0) return static_cast<std::size_t>(-1);  // unsatisfiable
+  if (p_r <= 0.0) return static_cast<std::size_t>(-1);
+  if (p_r >= 1.0) return 1;
+  const double n = std::log(p_r) / std::log(p_c);
+  const auto up = static_cast<std::size_t>(std::ceil(n));
+  return up == 0 ? 1 : up;
+}
+
+/// The paper's headline number: with n_zr = n_c relayers, the chance a
+/// node can reach at least one live relayer.
+inline double relayer_availability(std::size_t f, std::size_t total,
+                                    std::size_t n_zr) {
+  return 1.0 -
+         all_relayers_fail_probability(node_failure_probability(f, total),
+                                       n_zr);
+}
+
+}  // namespace predis::multizone

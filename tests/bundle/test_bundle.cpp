@@ -1,0 +1,108 @@
+#include "bundle/bundle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace predis {
+namespace {
+
+std::vector<Transaction> make_txs(std::size_t n, NodeId client = 9) {
+  std::vector<Transaction> txs;
+  for (std::size_t i = 0; i < n; ++i) {
+    Transaction tx;
+    tx.client = client;
+    tx.seq = i;
+    tx.size = 512;
+    tx.payload_seed = 1000 + i;
+    txs.push_back(tx);
+  }
+  return txs;
+}
+
+TEST(Bundle, MakeBundleSignsAndVerifies) {
+  const KeyPair key = KeyPair::from_seed(100);
+  const Bundle b =
+      make_bundle(0, 1, kZeroHash, {1, 0, 0, 0}, make_txs(5), key);
+  EXPECT_TRUE(verify_bundle_signature(b.header, key.public_key()));
+  EXPECT_EQ(b.header.tx_root, Bundle::tx_root_of(b.txs));
+}
+
+TEST(Bundle, WrongKeyFailsVerification) {
+  const Bundle b = make_bundle(0, 1, kZeroHash, {1, 0, 0, 0}, make_txs(3),
+                               KeyPair::from_seed(101));
+  EXPECT_FALSE(verify_bundle_signature(
+      b.header, KeyPair::from_seed(102).public_key()));
+}
+
+TEST(Bundle, TamperedHeaderFailsVerification) {
+  const KeyPair key = KeyPair::from_seed(103);
+  Bundle b = make_bundle(0, 1, kZeroHash, {1, 0, 0, 0}, make_txs(3), key);
+  b.header.height = 2;
+  EXPECT_FALSE(verify_bundle_signature(b.header, key.public_key()));
+}
+
+TEST(Bundle, HeaderHashBindsAllFields) {
+  const KeyPair key = KeyPair::from_seed(104);
+  const Bundle base =
+      make_bundle(0, 1, kZeroHash, {1, 0, 0, 0}, make_txs(3), key);
+
+  BundleHeader h = base.header;
+  h.height = 2;
+  EXPECT_NE(h.hash(), base.header.hash());
+
+  h = base.header;
+  h.tip_list[1] = 5;
+  EXPECT_NE(h.hash(), base.header.hash());
+
+  h = base.header;
+  h.parent_hash = Sha256::hash(as_bytes(std::string("x")));
+  EXPECT_NE(h.hash(), base.header.hash());
+
+  // The signature is not part of the identity hash.
+  h = base.header;
+  h.signature[0] ^= 0xff;
+  EXPECT_EQ(h.hash(), base.header.hash());
+}
+
+TEST(Bundle, HeaderEncodeDecodeRoundTrip) {
+  const KeyPair key = KeyPair::from_seed(105);
+  const Bundle b =
+      make_bundle(2, 7, Sha256::hash(as_bytes(std::string("parent"))),
+                  {3, 4, 7, 1}, make_txs(2), key);
+  Writer w;
+  b.header.encode(w);
+  EXPECT_EQ(w.size(), b.header.wire_size());
+
+  Reader r(w.data());
+  const BundleHeader decoded = BundleHeader::decode(r);
+  EXPECT_EQ(decoded, b.header);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bundle, TxRootOfEmptyIsZero) {
+  EXPECT_EQ(Bundle::tx_root_of({}), kZeroHash);
+}
+
+TEST(Bundle, TxRootOrderSensitive) {
+  auto txs = make_txs(4);
+  const Hash32 root = Bundle::tx_root_of(txs);
+  std::swap(txs[0], txs[1]);
+  EXPECT_NE(Bundle::tx_root_of(txs), root);
+}
+
+TEST(Bundle, WireSizeAccountsForPayload) {
+  const KeyPair key = KeyPair::from_seed(106);
+  const Bundle small =
+      make_bundle(0, 1, kZeroHash, {1, 0, 0, 0}, make_txs(1), key);
+  const Bundle large =
+      make_bundle(0, 1, kZeroHash, {1, 0, 0, 0}, make_txs(50), key);
+  EXPECT_GT(large.wire_size(), small.wire_size() + 49 * 512);
+}
+
+TEST(Bundle, EmptyBundleIsSmall) {
+  const KeyPair key = KeyPair::from_seed(107);
+  const Bundle b = make_bundle(0, 1, kZeroHash, {1, 0, 0, 0}, {}, key);
+  EXPECT_LT(b.wire_size(), 300u);  // headers only
+}
+
+}  // namespace
+}  // namespace predis

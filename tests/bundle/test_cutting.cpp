@@ -1,0 +1,147 @@
+// The cutting rule (§III-B): the leader cuts every chain at the height
+// the fastest n_c − f nodes have reached, clamped to what the leader
+// itself holds and floored at the confirmed height.
+#include <gtest/gtest.h>
+
+#include "bundle/mempool.hpp"
+#include "common/rng.hpp"
+
+namespace predis {
+namespace {
+
+/// Build a mempool holding `own[i]` bundles on every chain i, where the
+/// latest bundle of chain j carries tip list `tips[j]`.
+class CutFixture {
+ public:
+  explicit CutFixture(std::size_t n) : n_(n), mempool_(n, keys(n)) {}
+
+  static std::vector<PublicKey> keys(std::size_t n) {
+    std::vector<PublicKey> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(KeyPair::from_seed(i).public_key());
+    }
+    return out;
+  }
+
+  /// Fill chain `producer` up to `height`; every bundle carries
+  /// `final_tips` as its tip list (only the latest matters for the cut).
+  void fill_chain(NodeId producer, BundleHeight height,
+                  std::vector<BundleHeight> final_tips) {
+    Hash32 parent = kZeroHash;
+    for (BundleHeight h = 1; h <= height; ++h) {
+      Bundle b = make_bundle(producer, h, parent, final_tips, {},
+                             KeyPair::from_seed(producer));
+      parent = b.header.hash();
+      ASSERT_EQ(mempool_.add(b), AddBundleResult::kAdded);
+    }
+  }
+
+  Mempool& mempool() { return mempool_; }
+  std::size_t n() const { return n_; }
+
+ private:
+  std::size_t n_;
+  Mempool mempool_;
+};
+
+TEST(CuttingRule, PaperFigure1Example) {
+  // Fig. 1: leader node 1 holds chains of heights [5, 6, 5, 5] (its own
+  // tip list, shown in the figure). With the producers' latest tip
+  // lists below, the fastest n_c − f = 3 nodes determine the cut, and
+  // the paper's resulting bundle-height list is [5, 5, 4, 4].
+  CutFixture fx(4);
+  fx.fill_chain(0, 5, {5, 6, 5, 5});  // leader's chain
+  fx.fill_chain(1, 6, {5, 6, 4, 4});
+  fx.fill_chain(2, 5, {5, 5, 5, 4});
+  fx.fill_chain(3, 5, {4, 4, 4, 5});
+
+  const auto cut = compute_cut(fx.mempool(), /*leader=*/0, /*f=*/1);
+  EXPECT_EQ(cut, (std::vector<BundleHeight>{5, 5, 4, 4}));
+}
+
+TEST(CuttingRule, LeaderCannotCutBeyondItsOwnChainKnowledge) {
+  CutFixture fx(4);
+  // Peers report chain 3 at height 9, but the leader only holds 2.
+  fx.fill_chain(0, 2, {2, 0, 0, 2});
+  fx.fill_chain(1, 1, {0, 1, 0, 9});
+  fx.fill_chain(2, 1, {0, 0, 1, 9});
+  fx.fill_chain(3, 2, {0, 0, 0, 9});
+
+  const auto cut = compute_cut(fx.mempool(), 0, 1);
+  EXPECT_EQ(cut[3], 2u);  // clamped to the leader's contiguous height
+}
+
+TEST(CuttingRule, BannedChainNeverAdvances) {
+  CutFixture fx(4);
+  fx.fill_chain(0, 3, {3, 3, 3, 3});
+  fx.fill_chain(1, 3, {3, 3, 3, 3});
+  fx.fill_chain(2, 3, {3, 3, 3, 3});
+  fx.fill_chain(3, 3, {3, 3, 3, 3});
+  fx.mempool().ban(2);
+
+  const auto cut = compute_cut(fx.mempool(), 0, 1);
+  EXPECT_EQ(cut[2], 0u);
+  EXPECT_EQ(cut[0], 3u);
+}
+
+TEST(CuttingRule, FloorsAtConfirmedHeights) {
+  CutFixture fx(4);
+  fx.fill_chain(0, 4, {4, 0, 0, 0});
+  fx.mempool().confirm({3, 0, 0, 0});
+  const auto cut = compute_cut(fx.mempool(), 0, 1);
+  // Nobody else reports chain 0, but the confirmed floor holds.
+  EXPECT_GE(cut[0], 3u);
+}
+
+TEST(CuttingRule, EmptyMempoolCutsNothing) {
+  CutFixture fx(4);
+  EXPECT_EQ(compute_cut(fx.mempool(), 0, 1),
+            (std::vector<BundleHeight>(4, 0)));
+}
+
+/// Property: for every chain, the cut height is reported as received by
+/// at least n − f nodes (counting the leader's own knowledge).
+class CutQuorumProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CutQuorumProperty, QuorumHoldsUnderRandomTipMatrices) {
+  Rng rng(GetParam());
+  const std::size_t n = 4;
+  const std::size_t f = 1;
+  CutFixture fx(n);
+
+  // Random own heights and tip lists (tips <= 12).
+  std::vector<std::vector<BundleHeight>> tips(n);
+  std::vector<BundleHeight> own(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    own[j] = 1 + rng.next_below(12);
+    tips[j].resize(n);
+    for (std::size_t i = 0; i < n; ++i) tips[j][i] = rng.next_below(13);
+    tips[j][j] = own[j];  // producers know their own chain
+    fx.fill_chain(static_cast<NodeId>(j), own[j], tips[j]);
+  }
+
+  const NodeId leader = static_cast<NodeId>(rng.next_below(n));
+  const auto cut = compute_cut(fx.mempool(), leader, f);
+  const auto own_tips = fx.mempool().tip_list();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cut[i] == 0) continue;
+    // Count nodes that (by their latest tip list, or the leader's own
+    // mempool) have received chain i up to the cut height.
+    std::size_t have = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const BundleHeight reported =
+          (j == leader) ? own_tips[i] : tips[j][i];
+      if (reported >= cut[i]) ++have;
+    }
+    EXPECT_GE(have, n - f) << "chain " << i << " cut " << cut[i];
+    // And the leader must actually hold the cut bundle.
+    EXPECT_TRUE(fx.mempool().chain(i).has(cut[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutQuorumProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace predis

@@ -1,0 +1,103 @@
+// Property tests on the mempool: the final state is independent of the
+// delivery order of valid bundles, and the cutting rule is monotone in
+// the information available.
+#include <gtest/gtest.h>
+
+#include "bundle/mempool.hpp"
+#include "common/rng.hpp"
+
+namespace predis {
+namespace {
+
+constexpr std::size_t kN = 4;
+
+std::vector<PublicKey> keys() {
+  std::vector<PublicKey> out;
+  for (std::size_t i = 0; i < kN; ++i) {
+    out.push_back(KeyPair::from_seed(i).public_key());
+  }
+  return out;
+}
+
+/// Deterministic set of valid bundles: every chain filled to `height`.
+std::vector<Bundle> make_bundles(BundleHeight height) {
+  std::vector<Bundle> all;
+  for (std::size_t producer = 0; producer < kN; ++producer) {
+    Hash32 parent = kZeroHash;
+    for (BundleHeight h = 1; h <= height; ++h) {
+      Transaction tx;
+      tx.client = 8;
+      tx.seq = producer * 1000 + h;
+      Bundle b = make_bundle(static_cast<NodeId>(producer), h, parent,
+                             std::vector<BundleHeight>(kN, h), {tx},
+                             KeyPair::from_seed(producer));
+      parent = b.header.hash();
+      all.push_back(std::move(b));
+    }
+  }
+  return all;
+}
+
+class MempoolOrderProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MempoolOrderProperty, FinalStateIndependentOfDeliveryOrder) {
+  const BundleHeight height = 6;
+  std::vector<Bundle> bundles = make_bundles(height);
+  Rng rng(GetParam());
+  rng.shuffle(bundles);
+
+  Mempool mp(kN, keys());
+  for (const Bundle& b : bundles) {
+    const AddBundleResult r = mp.add(b);
+    // Any order yields only "added" or "buffered for parent".
+    ASSERT_TRUE(r == AddBundleResult::kAdded ||
+                r == AddBundleResult::kMissingParent)
+        << to_string(r);
+  }
+  // Regardless of order, everything lands and chains are contiguous.
+  for (std::size_t chain = 0; chain < kN; ++chain) {
+    EXPECT_EQ(mp.chain(chain).contiguous_height(), height);
+    EXPECT_EQ(mp.pending_count(chain), 0u);
+  }
+  // And the cut equals the in-order reference cut.
+  Mempool reference(kN, keys());
+  for (const Bundle& b : make_bundles(height)) reference.add(b);
+  EXPECT_EQ(compute_cut(mp, 0, 1), compute_cut(reference, 0, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MempoolOrderProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(MempoolProperty, CutIsMonotoneInReceivedBundles) {
+  // Adding more bundles never lowers any component of the cut.
+  const auto bundles = make_bundles(8);
+  Mempool mp(kN, keys());
+  std::vector<BundleHeight> previous(kN, 0);
+  for (const Bundle& b : bundles) {
+    mp.add(b);
+    const auto cut = compute_cut(mp, 0, 1);
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_GE(cut[i], previous[i]);
+    }
+    previous = cut;
+  }
+}
+
+TEST(MempoolProperty, DuplicateDeliveryIsIdempotent) {
+  const auto bundles = make_bundles(4);
+  Mempool once(kN, keys());
+  Mempool twice(kN, keys());
+  for (const Bundle& b : bundles) once.add(b);
+  for (const Bundle& b : bundles) twice.add(b);
+  for (const Bundle& b : bundles) twice.add(b);  // replay everything
+
+  for (std::size_t chain = 0; chain < kN; ++chain) {
+    EXPECT_EQ(once.chain(chain).contiguous_height(),
+              twice.chain(chain).contiguous_height());
+  }
+  EXPECT_EQ(compute_cut(once, 2, 1), compute_cut(twice, 2, 1));
+}
+
+}  // namespace
+}  // namespace predis

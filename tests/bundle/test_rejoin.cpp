@@ -1,0 +1,108 @@
+// §III-E forking attack: ban, rejoin with a new genesis bundle.
+#include <gtest/gtest.h>
+
+#include "bundle/mempool.hpp"
+
+namespace predis {
+namespace {
+
+constexpr std::size_t kN = 4;
+
+std::vector<PublicKey> keys() {
+  std::vector<PublicKey> out;
+  for (std::size_t i = 0; i < kN; ++i) {
+    out.push_back(KeyPair::from_seed(i).public_key());
+  }
+  return out;
+}
+
+Bundle chain_bundle(NodeId producer, BundleHeight h, const Hash32& parent,
+                    std::uint64_t tag) {
+  Transaction tx;
+  tx.client = 5;
+  tx.seq = tag;
+  return make_bundle(producer, h, parent, std::vector<BundleHeight>(kN, h),
+                     {tx}, KeyPair::from_seed(producer));
+}
+
+TEST(Rejoin, AllowRejoinDiscardsUnconfirmedSuffixAndUnbans) {
+  Mempool mp(kN, keys());
+  Hash32 parent = kZeroHash;
+  for (BundleHeight h = 1; h <= 5; ++h) {
+    const Bundle b = chain_bundle(0, h, parent, h);
+    parent = b.header.hash();
+    ASSERT_EQ(mp.add(b), AddBundleResult::kAdded);
+  }
+  mp.confirm({2, 0, 0, 0});
+  mp.ban(0);
+  ASSERT_TRUE(mp.is_banned(0));
+
+  mp.allow_rejoin(0);
+  EXPECT_FALSE(mp.is_banned(0));
+  EXPECT_TRUE(mp.rejoin_pending(0));
+  // Unconfirmed suffix (heights 3-5) discarded; confirmed prefix kept.
+  EXPECT_TRUE(mp.chain(0).has(2));
+  EXPECT_FALSE(mp.chain(0).has(3));
+  EXPECT_EQ(mp.chain(0).contiguous_height(), 2u);
+}
+
+TEST(Rejoin, NewGenesisBundleAcceptedOnceAtConfirmedHeight) {
+  Mempool mp(kN, keys());
+  Hash32 parent = kZeroHash;
+  for (BundleHeight h = 1; h <= 3; ++h) {
+    const Bundle b = chain_bundle(1, h, parent, h);
+    parent = b.header.hash();
+    ASSERT_EQ(mp.add(b), AddBundleResult::kAdded);
+  }
+  mp.confirm({0, 3, 0, 0});
+  mp.ban(1);
+  mp.allow_rejoin(1);
+
+  // The rejoin genesis chains from the null parent at confirmed + 1.
+  const Bundle genesis = chain_bundle(1, 4, kZeroHash, 100);
+  EXPECT_EQ(mp.add(genesis), AddBundleResult::kAdded);
+  EXPECT_FALSE(mp.rejoin_pending(1));
+  EXPECT_EQ(mp.chain(1).contiguous_height(), 4u);
+
+  // The chain continues normally from the new genesis.
+  const Bundle next = chain_bundle(1, 5, genesis.header.hash(), 101);
+  EXPECT_EQ(mp.add(next), AddBundleResult::kAdded);
+}
+
+TEST(Rejoin, ZeroParentRejectedWithoutArmedSlot) {
+  Mempool mp(kN, keys());
+  const Bundle b1 = chain_bundle(2, 1, kZeroHash, 1);
+  ASSERT_EQ(mp.add(b1), AddBundleResult::kAdded);
+  // A mid-chain zero-parent bundle is just an orphan, not a restart.
+  const Bundle fake = chain_bundle(2, 3, kZeroHash, 2);
+  EXPECT_EQ(mp.add(fake), AddBundleResult::kMissingParent);
+}
+
+TEST(Rejoin, RejoinAtWrongHeightNotAccepted) {
+  Mempool mp(kN, keys());
+  const Bundle b1 = chain_bundle(3, 1, kZeroHash, 1);
+  ASSERT_EQ(mp.add(b1), AddBundleResult::kAdded);
+  mp.confirm({0, 0, 0, 1});
+  mp.ban(3);
+  mp.allow_rejoin(3);
+  // Slot is armed for height 2; a zero-parent bundle at height 5 does
+  // not match it.
+  const Bundle wrong = chain_bundle(3, 5, kZeroHash, 2);
+  EXPECT_EQ(mp.add(wrong), AddBundleResult::kMissingParent);
+  EXPECT_TRUE(mp.rejoin_pending(3));
+}
+
+TEST(Rejoin, SecondRestartNeedsANewGrant) {
+  Mempool mp(kN, keys());
+  mp.ban(0);
+  mp.allow_rejoin(0);
+  const Bundle genesis = chain_bundle(0, 1, kZeroHash, 1);
+  ASSERT_EQ(mp.add(genesis), AddBundleResult::kAdded);
+  // Another zero-parent bundle at the same height now conflicts.
+  const Bundle again = chain_bundle(0, 1, kZeroHash, 2);
+  EXPECT_EQ(mp.add(again), AddBundleResult::kConflict);
+  EXPECT_TRUE(mp.is_banned(0));
+}
+
+}  // namespace
+}  // namespace predis

@@ -1,0 +1,40 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace predis {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+}
+
+TEST(Bytes, FromHexAcceptsUppercase) {
+  EXPECT_EQ(from_hex("ABCDEF"), (Bytes{0xab, 0xcd, 0xef}));
+}
+
+TEST(Bytes, FromHexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, FromHexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, EmptyRoundTrip) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, AsBytesViewsString) {
+  const std::string s = "hi";
+  const BytesView view = as_bytes(s);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0], 'h');
+  EXPECT_EQ(view[1], 'i');
+}
+
+}  // namespace
+}  // namespace predis

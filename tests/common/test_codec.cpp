@@ -1,0 +1,115 @@
+#include "common/codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace predis {
+namespace {
+
+TEST(Codec, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, BytesAndStrings) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  w.bytes(Bytes{});
+
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, HashRoundTrip) {
+  const Hash32 h = Sha256::hash(as_bytes(std::string("payload")));
+  Writer w;
+  w.hash(h);
+  Reader r(w.data());
+  EXPECT_EQ(r.hash(), h);
+}
+
+TEST(Codec, VectorHelpers) {
+  Writer w;
+  w.vec_u64({1, 2, 3});
+  w.vec_hash({kZeroHash, Sha256::hash(as_bytes(std::string("x")))});
+
+  Reader r(w.data());
+  EXPECT_EQ(r.vec_u64(), (std::vector<std::uint64_t>{1, 2, 3}));
+  const auto hashes = r.vec_hash();
+  ASSERT_EQ(hashes.size(), 2u);
+  EXPECT_EQ(hashes[0], kZeroHash);
+}
+
+TEST(Codec, TruncatedInputThrows) {
+  Writer w;
+  w.u64(7);
+  Reader r(BytesView(w.data().data(), 4));
+  EXPECT_THROW(r.u64(), CodecError);
+}
+
+TEST(Codec, TruncatedBytesThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow, but none do
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), CodecError);
+}
+
+TEST(Codec, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+struct Point {
+  std::uint32_t x = 0, y = 0;
+  void encode(Writer& w) const {
+    w.u32(x);
+    w.u32(y);
+  }
+  static Point decode(Reader& r) {
+    Point p;
+    p.x = r.u32();
+    p.y = r.u32();
+    return p;
+  }
+  bool operator==(const Point&) const = default;
+};
+
+TEST(Codec, StructuredVectorRoundTrip) {
+  const std::vector<Point> points = {{1, 2}, {3, 4}};
+  Writer w;
+  w.vec(points);
+  Reader r(w.data());
+  EXPECT_EQ(r.vec<Point>(), points);
+}
+
+TEST(Codec, HashOfIsDeterministicAndSensitive) {
+  const Point a{1, 2};
+  const Point b{1, 3};
+  EXPECT_EQ(hash_of(a), hash_of(a));
+  EXPECT_NE(hash_of(a), hash_of(b));
+}
+
+}  // namespace
+}  // namespace predis

@@ -1,0 +1,87 @@
+#include "common/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace predis {
+namespace {
+
+std::vector<Hash32> make_leaves(std::size_t n) {
+  std::vector<Hash32> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256::hash(as_bytes("leaf-" + std::to_string(i))));
+  }
+  return leaves;
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  const auto leaves = make_leaves(1);
+  EXPECT_EQ(MerkleTree::root_of(leaves), leaves[0]);
+}
+
+TEST(Merkle, TwoLeavesRootIsPairHash) {
+  const auto leaves = make_leaves(2);
+  EXPECT_EQ(MerkleTree::root_of(leaves), hash_pair(leaves[0], leaves[1]));
+}
+
+TEST(Merkle, OddLeafCountDuplicatesLast) {
+  const auto leaves = make_leaves(3);
+  const Hash32 expected = hash_pair(hash_pair(leaves[0], leaves[1]),
+                                    hash_pair(leaves[2], leaves[2]));
+  EXPECT_EQ(MerkleTree::root_of(leaves), expected);
+}
+
+TEST(Merkle, EmptyLeavesThrow) {
+  EXPECT_THROW(MerkleTree tree({}), std::invalid_argument);
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto leaves = make_leaves(8);
+  const Hash32 root = MerkleTree::root_of(leaves);
+  leaves[3] = Sha256::hash(as_bytes(std::string("tampered")));
+  EXPECT_NE(MerkleTree::root_of(leaves), root);
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, EveryLeafProves) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MerkleProof proof = tree.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], proof))
+        << "leaf " << i << " of " << n;
+  }
+}
+
+TEST_P(MerkleProofTest, WrongLeafFailsProof) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree(leaves);
+  const Hash32 bogus = Sha256::hash(as_bytes(std::string("bogus")));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), bogus, tree.prove(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCounts, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 17,
+                                           31, 32, 33, 64, 100));
+
+TEST(Merkle, ProofAgainstWrongRootFails) {
+  const auto leaves = make_leaves(6);
+  const MerkleTree tree(leaves);
+  const auto other = make_leaves(7);
+  const Hash32 other_root = MerkleTree::root_of(other);
+  EXPECT_FALSE(MerkleTree::verify(other_root, leaves[2], tree.prove(2)));
+}
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+  const MerkleTree tree(make_leaves(4));
+  EXPECT_THROW(tree.prove(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace predis

@@ -1,0 +1,67 @@
+#include "common/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace predis {
+namespace {
+
+std::string hex_of(const std::string& input) {
+  return to_hex(Sha256::hash(as_bytes(input)));
+}
+
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(hex_of(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, NistTwoBlockMessage) {
+  EXPECT_EQ(hex_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes: exactly one block before padding.
+  const std::string input(64, 'a');
+  EXPECT_EQ(hex_of(input),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(as_bytes(chunk));
+  EXPECT_EQ(to_hex(ctx.digest()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string input = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= input.size(); ++split) {
+    Sha256 ctx;
+    ctx.update(as_bytes(input.substr(0, split)));
+    ctx.update(as_bytes(input.substr(split)));
+    EXPECT_EQ(ctx.digest(), Sha256::hash(as_bytes(input)))
+        << "split at " << split;
+  }
+}
+
+TEST(Sha256, HashPairDiffersFromConcatenatedReverse) {
+  const Hash32 a = Sha256::hash(as_bytes(std::string("a")));
+  const Hash32 b = Sha256::hash(as_bytes(std::string("b")));
+  EXPECT_NE(hash_pair(a, b), hash_pair(b, a));
+}
+
+TEST(Sha256, ShortHexIsPrefix) {
+  const Hash32 h = Sha256::hash(as_bytes(std::string("x")));
+  EXPECT_EQ(short_hex(h), to_hex(h).substr(0, 8));
+}
+
+}  // namespace
+}  // namespace predis

@@ -1,0 +1,57 @@
+#include "common/signature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace predis {
+namespace {
+
+TEST(Signature, SignVerifyRoundTrip) {
+  const KeyPair kp = KeyPair::from_seed(1);
+  const std::string msg = "authorize bundle 42";
+  const Signature sig = kp.sign(as_bytes(msg));
+  EXPECT_TRUE(verify(kp.public_key(), as_bytes(msg), sig));
+}
+
+TEST(Signature, WrongMessageFails) {
+  const KeyPair kp = KeyPair::from_seed(2);
+  const Signature sig = kp.sign(as_bytes(std::string("original")));
+  EXPECT_FALSE(verify(kp.public_key(), as_bytes(std::string("tampered")), sig));
+}
+
+TEST(Signature, WrongKeyFails) {
+  const KeyPair alice = KeyPair::from_seed(3);
+  const KeyPair bob = KeyPair::from_seed(4);
+  const std::string msg = "hello";
+  const Signature sig = alice.sign(as_bytes(msg));
+  EXPECT_FALSE(verify(bob.public_key(), as_bytes(msg), sig));
+}
+
+TEST(Signature, DeterministicAcrossInstances) {
+  const KeyPair a = KeyPair::from_seed(5);
+  const KeyPair b = KeyPair::from_seed(5);
+  EXPECT_EQ(a.public_key(), b.public_key());
+  EXPECT_EQ(a.sign(as_bytes(std::string("m"))),
+            b.sign(as_bytes(std::string("m"))));
+}
+
+TEST(Signature, DistinctSeedsDistinctKeys) {
+  EXPECT_NE(KeyPair::from_seed(6).public_key(),
+            KeyPair::from_seed(7).public_key());
+}
+
+TEST(Signature, UnknownKeyNeverVerifies) {
+  PublicKey unknown{};
+  unknown[0] = 0x5a;
+  Signature sig{};
+  EXPECT_FALSE(verify(unknown, as_bytes(std::string("m")), sig));
+}
+
+TEST(Signature, ForgedSignatureFails) {
+  const KeyPair kp = KeyPair::from_seed(8);
+  Signature forged = kp.sign(as_bytes(std::string("m")));
+  forged[10] ^= 0xff;
+  EXPECT_FALSE(verify(kp.public_key(), as_bytes(std::string("m")), forged));
+}
+
+}  // namespace
+}  // namespace predis

@@ -1,0 +1,71 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.hpp"
+
+namespace predis {
+namespace {
+
+TEST(Summary, TracksMinMaxMeanCount) {
+  Summary s;
+  s.add(2.0);
+  s.add(4.0);
+  s.add(9.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Percentiles, MedianOfOddSet) {
+  Percentiles p;
+  for (double v : {5.0, 1.0, 3.0}) p.add(v);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(Percentiles, InterpolatesBetweenRanks) {
+  Percentiles p;
+  p.add(0.0);
+  p.add(10.0);
+  EXPECT_DOUBLE_EQ(p.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100), 10.0);
+}
+
+TEST(Percentiles, EmptyIsZero) {
+  Percentiles p;
+  EXPECT_DOUBLE_EQ(p.percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 0.0);
+}
+
+TEST(Metrics, ThroughputCountsWindowOnly) {
+  Metrics m;
+  m.record_commit(seconds(1), 100);
+  m.record_commit(seconds(5), 200);
+  m.record_commit(seconds(9), 300);
+  // Window [4s, 10s]: 500 txs over 6 seconds.
+  EXPECT_NEAR(m.throughput_tps(seconds(4), seconds(10)), 500.0 / 6.0, 1e-9);
+  EXPECT_EQ(m.committed_txs(), 600u);
+  EXPECT_EQ(m.commit_events(), 3u);
+}
+
+TEST(Metrics, LatenciesInMilliseconds) {
+  Metrics m;
+  m.record_latency(milliseconds(250));
+  EXPECT_DOUBLE_EQ(m.latencies().mean(), 250.0);
+}
+
+TEST(Metrics, EmptyWindowIsZero) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.throughput_tps(seconds(1), seconds(1)), 0.0);
+}
+
+}  // namespace
+}  // namespace predis

@@ -1,0 +1,61 @@
+// Shared fixture pieces for consensus-layer tests: a small simulated
+// LAN cluster with direct access to node actors and cores.
+#pragma once
+
+#include "common/metrics.hpp"
+#include "common/signature.hpp"
+#include "consensus/common.hpp"
+#include "sim/environments.hpp"
+#include "txpool/client.hpp"
+
+namespace predis::consensus::testing {
+
+struct TestCluster {
+  explicit TestCluster(std::size_t n, std::size_t f,
+                       SimTime latency = milliseconds(10),
+                       SimTime view_timeout = milliseconds(400))
+      : net(sim, sim::LatencyMatrix::uniform(1, latency)), ledger(metrics) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(net.add_node(sim::node_100mbps(0)));
+    }
+    config.nodes = ids;
+    config.f = f;
+    config.view_timeout = view_timeout;
+  }
+
+  NodeContext context(std::size_t i) { return NodeContext(net, ids[i], config); }
+
+  /// Adds an open-loop client targeting the given consensus nodes.
+  ClientActor* add_client(std::vector<NodeId> targets, double tps,
+                          SimTime stop_at, std::uint64_t seed = 7) {
+    sim::NodeConfig ncfg;
+    ncfg.up_bw = 10 * sim::kBandwidth100Mbps;
+    ncfg.down_bw = 10 * sim::kBandwidth100Mbps;
+    const NodeId id = net.add_node(ncfg);
+    ClientConfig ccfg;
+    ccfg.self = id;
+    ccfg.targets = std::move(targets);
+    ccfg.tx_per_second = tps;
+    ccfg.stop_at = stop_at;
+    ccfg.seed = seed;
+    clients.push_back(std::make_unique<ClientActor>(net, ccfg, metrics));
+    net.attach(id, clients.back().get());
+    return clients.back().get();
+  }
+
+  std::vector<PublicKey> producer_keys() const {
+    std::vector<PublicKey> keys;
+    for (NodeId id : ids) keys.push_back(KeyPair::from_seed(id).public_key());
+    return keys;
+  }
+
+  sim::Simulator sim;
+  sim::Network net;
+  Metrics metrics;
+  CommitLedger ledger;
+  ConsensusConfig config;
+  std::vector<NodeId> ids;
+  std::vector<std::unique_ptr<ClientActor>> clients;
+};
+
+}  // namespace predis::consensus::testing

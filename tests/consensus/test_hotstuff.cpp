@@ -1,0 +1,125 @@
+#include "consensus/hotstuff/hotstuff_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster.hpp"
+
+namespace predis::consensus::hotstuff {
+namespace {
+
+using testing::TestCluster;
+
+struct HsCluster : TestCluster {
+  explicit HsCluster(std::size_t n = 4, std::size_t f = 1)
+      : TestCluster(n, f) {
+    HotStuffNodeConfig ncfg;
+    ncfg.batch_size = 100;
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(
+          std::make_unique<HotStuffNode>(context(i), ncfg, ledger));
+      net.attach(ids[i], nodes.back().get());
+    }
+  }
+  std::vector<std::unique_ptr<HotStuffNode>> nodes;
+};
+
+TEST(HotStuff, CommitsClientTransactions) {
+  HsCluster cluster;
+  cluster.add_client(cluster.ids, 500, seconds(2));
+  cluster.net.start();
+  cluster.sim.run_until(seconds(3));
+
+  EXPECT_GT(cluster.metrics.committed_txs(), 800u);
+  EXPECT_TRUE(cluster.ledger.consistent());
+}
+
+TEST(HotStuff, RotatesLeadersAcrossRounds) {
+  HsCluster cluster;
+  cluster.add_client(cluster.ids, 300, seconds(2));
+  cluster.net.start();
+  cluster.sim.run_until(seconds(3));
+  // Many rounds must have passed (pipelined block per round).
+  for (auto& node : cluster.nodes) {
+    EXPECT_GT(node->core().committed_round(), 8u);
+  }
+}
+
+TEST(HotStuff, NoTimeoutsWhenHealthy) {
+  HsCluster cluster;
+  cluster.add_client(cluster.ids, 300, seconds(2));
+  cluster.net.start();
+  cluster.sim.run_until(seconds(3));
+  for (auto& node : cluster.nodes) {
+    EXPECT_EQ(node->core().timeouts(), 0u);
+  }
+}
+
+TEST(HotStuff, CommittedTransactionsAreNotDuplicated) {
+  HsCluster cluster;
+  auto* client = cluster.add_client(cluster.ids, 400, seconds(2));
+  cluster.net.start();
+  cluster.sim.run_until(seconds(3));
+  // Every submitted tx commits at most once: committed == submitted.
+  EXPECT_EQ(cluster.metrics.committed_txs(), client->submitted());
+}
+
+TEST(HotStuff, LeaderCrashRecoversThroughPacemaker) {
+  HsCluster cluster;
+  cluster.add_client(cluster.ids, 300, seconds(4));
+  cluster.net.start();
+  cluster.sim.run_until(milliseconds(600));
+  const auto before = cluster.metrics.committed_txs();
+  EXPECT_GT(before, 0u);
+
+  // Crash one node; the rotating pacemaker must keep making progress
+  // through its rounds via NewView quorums.
+  cluster.net.set_node_down(cluster.ids[1], true);
+  cluster.sim.run_until(seconds(4));
+  EXPECT_GT(cluster.metrics.committed_txs(), before);
+  EXPECT_TRUE(cluster.ledger.consistent());
+  std::size_t timeouts = 0;
+  for (auto& node : cluster.nodes) timeouts += node->core().timeouts();
+  EXPECT_GT(timeouts, 0u);
+}
+
+TEST(HotStuff, StallsBeyondFFailures) {
+  HsCluster cluster;
+  cluster.nodes[2]->core().set_paused(true);
+  cluster.nodes[3]->core().set_paused(true);
+  cluster.add_client(cluster.ids, 300, seconds(2));
+  cluster.net.start();
+  cluster.sim.run_until(seconds(2));
+  EXPECT_EQ(cluster.metrics.committed_txs(), 0u);
+}
+
+class HsSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HsSeeds, SafetyHoldsWithRandomCrash) {
+  HsCluster cluster;
+  const std::uint64_t seed = GetParam();
+  cluster.add_client(cluster.ids, 400, seconds(3), seed);
+  cluster.net.start();
+  cluster.sim.schedule_at(
+      milliseconds(150 + 130 * static_cast<SimTime>(seed % 5)),
+      [&cluster, seed] {
+        cluster.net.set_node_down(cluster.ids[seed % 4], true);
+      });
+  cluster.sim.run_until(seconds(4));
+  EXPECT_TRUE(cluster.ledger.consistent());
+  EXPECT_GT(cluster.metrics.committed_txs(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HsSeeds,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(HotStuff, SevenNodeClusterCommits) {
+  HsCluster cluster(7, 2);
+  cluster.add_client(cluster.ids, 500, seconds(2));
+  cluster.net.start();
+  cluster.sim.run_until(seconds(3));
+  EXPECT_GT(cluster.metrics.committed_txs(), 500u);
+  EXPECT_TRUE(cluster.ledger.consistent());
+}
+
+}  // namespace
+}  // namespace predis::consensus::hotstuff

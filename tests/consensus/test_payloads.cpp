@@ -1,0 +1,76 @@
+// Unit tests for the consensus payload types.
+#include "consensus/payloads.hpp"
+
+#include <gtest/gtest.h>
+
+namespace predis::consensus {
+namespace {
+
+std::vector<Transaction> txs(std::size_t n) {
+  std::vector<Transaction> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].client = 4;
+    out[i].seq = i;
+  }
+  return out;
+}
+
+TEST(Payloads, TxBatchDigestBindsContentAndOrder) {
+  auto a = txs(5);
+  const TxBatchPayload p1(a);
+  const TxBatchPayload p2(a);
+  EXPECT_EQ(p1.digest(), p2.digest());
+
+  std::swap(a[0], a[1]);
+  const TxBatchPayload reordered(a);
+  EXPECT_NE(p1.digest(), reordered.digest());
+
+  a[0].seq = 999;
+  const TxBatchPayload mutated(a);
+  EXPECT_NE(reordered.digest(), mutated.digest());
+}
+
+TEST(Payloads, TxBatchWireSizeScalesWithPayload) {
+  const TxBatchPayload small(txs(10));
+  const TxBatchPayload large(txs(800));
+  EXPECT_GT(large.wire_size(), 79 * small.wire_size() / 10);
+  // 800 x 512-byte transactions dominate the wire size.
+  EXPECT_GT(large.wire_size(), 800u * 512u);
+}
+
+TEST(Payloads, EmptyBatchHasZeroDigest) {
+  const TxBatchPayload empty{{}};
+  EXPECT_EQ(empty.digest(), kZeroHash);
+  EXPECT_LT(empty.wire_size(), 64u);
+}
+
+TEST(Payloads, EmptyAndNoopAreDistinct) {
+  const EmptyPayload empty;
+  const NoopPayload noop;
+  EXPECT_NE(empty.digest(), noop.digest());
+  EXPECT_STRNE(empty.kind(), noop.kind());
+
+  const PayloadPtr as_noop = std::make_shared<NoopPayload>();
+  const PayloadPtr as_empty = std::make_shared<EmptyPayload>();
+  EXPECT_TRUE(is_noop(as_noop));
+  EXPECT_FALSE(is_noop(as_empty));
+}
+
+TEST(Payloads, PredisPayloadDigestIsBlockHash) {
+  PredisBlock block;
+  block.height = 7;
+  block.prev_heights = {0, 0};
+  block.cut_heights = {1, 2};
+  block.header_hashes = {kZeroHash, kZeroHash};
+  const PredisPayload payload(block);
+  EXPECT_EQ(payload.digest(), block.hash());
+  EXPECT_EQ(payload.wire_size(), block.wire_size());
+}
+
+TEST(Payloads, QcBytesGrowWithSigners) {
+  EXPECT_LT(qc_bytes(3), qc_bytes(11));
+  EXPECT_GE(qc_bytes(1), 32u + 8u + kSigBytes);
+}
+
+}  // namespace
+}  // namespace predis::consensus

@@ -1,0 +1,129 @@
+#include "consensus/pbft/pbft_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster.hpp"
+
+namespace predis::consensus::pbft {
+namespace {
+
+using testing::TestCluster;
+
+struct PbftCluster : TestCluster {
+  explicit PbftCluster(std::size_t n = 4, std::size_t f = 1)
+      : TestCluster(n, f) {
+    PbftNodeConfig ncfg;
+    ncfg.batch_size = 100;
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<PbftNode>(context(i), ncfg, ledger));
+      net.attach(ids[i], nodes.back().get());
+    }
+  }
+  std::vector<std::unique_ptr<PbftNode>> nodes;
+};
+
+TEST(Pbft, CommitsClientTransactions) {
+  PbftCluster cluster;
+  cluster.add_client(cluster.ids, 500, seconds(2));
+  cluster.net.start();
+  cluster.sim.run_until(seconds(3));
+
+  EXPECT_GT(cluster.metrics.committed_txs(), 800u);
+  EXPECT_TRUE(cluster.ledger.consistent());
+  EXPECT_EQ(cluster.metrics.latencies().count(),
+            cluster.metrics.committed_txs());
+  // All replicas executed the same prefix.
+  for (auto& node : cluster.nodes) {
+    EXPECT_EQ(node->core().last_executed(),
+              cluster.nodes[0]->core().last_executed());
+  }
+}
+
+TEST(Pbft, NoViewChangesWhenLeaderHealthy) {
+  PbftCluster cluster;
+  cluster.add_client(cluster.ids, 200, seconds(2));
+  cluster.net.start();
+  cluster.sim.run_until(seconds(3));
+  for (auto& node : cluster.nodes) {
+    EXPECT_EQ(node->core().view(), 0u);
+    EXPECT_EQ(node->core().view_changes(), 0u);
+  }
+}
+
+TEST(Pbft, LeaderCrashTriggersViewChangeAndRecovers) {
+  PbftCluster cluster;
+  cluster.add_client(cluster.ids, 300, seconds(4));
+  cluster.net.start();
+  cluster.sim.run_until(seconds(1));
+  const auto committed_before = cluster.metrics.committed_txs();
+  EXPECT_GT(committed_before, 0u);
+
+  // Kill the view-0 leader (node 0).
+  cluster.net.set_node_down(cluster.ids[0], true);
+  cluster.sim.run_until(seconds(4));
+
+  EXPECT_GT(cluster.metrics.committed_txs(), committed_before);
+  EXPECT_TRUE(cluster.ledger.consistent());
+  for (std::size_t i = 1; i < cluster.nodes.size(); ++i) {
+    EXPECT_GE(cluster.nodes[i]->core().view(), 1u);
+  }
+}
+
+TEST(Pbft, ToleratesFSilentReplicas) {
+  PbftCluster cluster;
+  // Pause the last replica (not the leader): quorum 3 of 4 remains.
+  cluster.nodes[3]->core().set_paused(true);
+  cluster.add_client(cluster.ids, 300, seconds(2));
+  cluster.net.start();
+  cluster.sim.run_until(seconds(3));
+  EXPECT_GT(cluster.metrics.committed_txs(), 400u);
+  EXPECT_TRUE(cluster.ledger.consistent());
+}
+
+TEST(Pbft, StallsBeyondFFailuresUntilNodeReturns) {
+  PbftCluster cluster;
+  cluster.nodes[2]->core().set_paused(true);
+  cluster.nodes[3]->core().set_paused(true);  // 2 > f = 1
+  cluster.add_client(cluster.ids, 300, seconds(2));
+  cluster.net.start();
+  cluster.sim.run_until(seconds(2));
+  EXPECT_EQ(cluster.metrics.committed_txs(), 0u);
+
+  // One paused node resumes; progress returns (possibly in a new view).
+  cluster.nodes[2]->core().set_paused(false);
+  cluster.add_client(cluster.ids, 300, seconds(4), 11);
+  cluster.sim.run_until(seconds(5));
+  EXPECT_GT(cluster.metrics.committed_txs(), 0u);
+  EXPECT_TRUE(cluster.ledger.consistent());
+}
+
+class PbftSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PbftSeeds, SafetyHoldsAcrossSeedsWithLeaderCrash) {
+  PbftCluster cluster(4, 1);
+  cluster.add_client(cluster.ids, 400, seconds(3), GetParam());
+  cluster.net.start();
+  const SimTime crash_at =
+      milliseconds(200 + 150 * static_cast<SimTime>(GetParam() % 7));
+  cluster.sim.schedule_at(crash_at, [&cluster] {
+    cluster.net.set_node_down(cluster.ids[0], true);
+  });
+  cluster.sim.run_until(seconds(4));
+  EXPECT_TRUE(cluster.ledger.consistent());
+  EXPECT_GT(cluster.metrics.committed_txs(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PbftSeeds,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Pbft, SevenNodeClusterCommits) {
+  PbftCluster cluster(7, 2);
+  cluster.add_client(cluster.ids, 500, seconds(2));
+  cluster.net.start();
+  cluster.sim.run_until(seconds(3));
+  EXPECT_GT(cluster.metrics.committed_txs(), 500u);
+  EXPECT_TRUE(cluster.ledger.consistent());
+}
+
+}  // namespace
+}  // namespace predis::consensus::pbft

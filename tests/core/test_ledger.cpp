@@ -1,0 +1,111 @@
+#include "core/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace predis::core {
+namespace {
+
+std::vector<Transaction> txs(std::size_t n, std::uint64_t tag) {
+  std::vector<Transaction> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].client = 1;
+    out[i].seq = tag * 100 + i;
+  }
+  return out;
+}
+
+Hash32 digest(std::uint64_t tag) {
+  return Sha256::hash(as_bytes("payload-" + std::to_string(tag)));
+}
+
+TEST(Ledger, AppendsChainAndCounts) {
+  Ledger ledger;
+  ledger.append_block(digest(1), txs(5, 1), milliseconds(10));
+  ledger.append_block(digest(2), txs(3, 2), milliseconds(20));
+  EXPECT_EQ(ledger.size(), 2u);
+  EXPECT_EQ(ledger.total_txs(), 8u);
+  EXPECT_TRUE(ledger.verify_chain());
+  EXPECT_EQ(ledger.at(1)->parent, kZeroHash);
+  EXPECT_EQ(ledger.at(2)->parent, ledger.at(1)->record_hash());
+  EXPECT_EQ(ledger.head()->height, 2u);
+}
+
+TEST(Ledger, RejectsNonChainingAppends) {
+  Ledger ledger;
+  ledger.append_block(digest(1), txs(1, 1), 0);
+
+  LedgerEntry bad;
+  bad.height = 3;  // skips height 2
+  bad.parent = ledger.head_hash();
+  EXPECT_THROW(ledger.append(bad), std::logic_error);
+
+  bad.height = 2;
+  bad.parent = kZeroHash;  // wrong parent
+  EXPECT_THROW(ledger.append(bad), std::logic_error);
+}
+
+TEST(Ledger, VerifyChainDetectsTampering) {
+  Ledger a;
+  a.append_block(digest(1), txs(2, 1), 0);
+  a.append_block(digest(2), txs(2, 2), 0);
+  EXPECT_TRUE(a.verify_chain());
+  // Ledger's API prevents tampering; simulate divergence via two
+  // ledgers built from different histories instead.
+  Ledger b;
+  b.append_block(digest(9), txs(2, 9), 0);
+  EXPECT_FALSE(a.prefix_consistent_with(b));
+}
+
+TEST(Ledger, PrefixConsistencyToleratesDifferentLengths) {
+  Ledger a, b;
+  a.append_block(digest(1), txs(1, 1), 0);
+  a.append_block(digest(2), txs(1, 2), 0);
+  b.append_block(digest(1), txs(1, 1), 0);
+  EXPECT_TRUE(a.prefix_consistent_with(b));
+  EXPECT_TRUE(b.prefix_consistent_with(a));
+}
+
+TEST(Ledger, ExportImportStateTransfer) {
+  Ledger full;
+  for (int i = 1; i <= 6; ++i) {
+    full.append_block(digest(i), txs(2, i), milliseconds(i));
+  }
+  Ledger lagging;
+  for (int i = 1; i <= 2; ++i) {
+    lagging.append_block(digest(i), txs(2, i), milliseconds(i));
+  }
+  const Bytes range = full.export_range(1, 6);
+  EXPECT_EQ(lagging.import_range(range), 4u);
+  EXPECT_EQ(lagging.size(), 6u);
+  EXPECT_TRUE(lagging.verify_chain());
+  EXPECT_TRUE(lagging.prefix_consistent_with(full));
+  EXPECT_EQ(lagging.head_hash(), full.head_hash());
+}
+
+TEST(Ledger, ImportDetectsDivergentHistory) {
+  Ledger a, b;
+  a.append_block(digest(1), txs(1, 1), 0);
+  b.append_block(digest(99), txs(1, 99), 0);
+  const Bytes range = a.export_range(1, 1);
+  EXPECT_THROW(b.import_range(range), std::logic_error);
+}
+
+TEST(Ledger, ExportRangeValidation) {
+  Ledger ledger;
+  ledger.append_block(digest(1), txs(1, 1), 0);
+  EXPECT_THROW(ledger.export_range(0, 1), std::out_of_range);
+  EXPECT_THROW(ledger.export_range(1, 2), std::out_of_range);
+  EXPECT_THROW(ledger.export_range(2, 1), std::out_of_range);
+}
+
+TEST(Ledger, EmptyLedgerBasics) {
+  Ledger ledger;
+  EXPECT_TRUE(ledger.empty());
+  EXPECT_EQ(ledger.head(), nullptr);
+  EXPECT_EQ(ledger.head_hash(), kZeroHash);
+  EXPECT_EQ(ledger.at(1), nullptr);
+  EXPECT_TRUE(ledger.verify_chain());
+}
+
+}  // namespace
+}  // namespace predis::core

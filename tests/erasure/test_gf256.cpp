@@ -1,0 +1,130 @@
+#include "erasure/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace predis::erasure {
+namespace {
+
+TEST(GF256, AdditionIsXor) {
+  EXPECT_EQ(GF256::add(0x57, 0x83), 0x57 ^ 0x83);
+  EXPECT_EQ(GF256::sub(0x57, 0x83), 0x57 ^ 0x83);
+}
+
+TEST(GF256, MultiplicationIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(static_cast<GF>(a), 1), a);
+    EXPECT_EQ(GF256::mul(static_cast<GF>(a), 0), 0);
+    EXPECT_EQ(GF256::mul(0, static_cast<GF>(a)), 0);
+  }
+}
+
+TEST(GF256, MultiplicationCommutes) {
+  for (int a = 1; a < 256; a += 7) {
+    for (int b = 1; b < 256; b += 11) {
+      EXPECT_EQ(GF256::mul(static_cast<GF>(a), static_cast<GF>(b)),
+                GF256::mul(static_cast<GF>(b), static_cast<GF>(a)));
+    }
+  }
+}
+
+TEST(GF256, EveryNonZeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const GF inv = GF256::inv(static_cast<GF>(a));
+    EXPECT_EQ(GF256::mul(static_cast<GF>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 1; b < 256; b += 9) {
+      const GF prod = GF256::mul(static_cast<GF>(a), static_cast<GF>(b));
+      EXPECT_EQ(GF256::div(prod, static_cast<GF>(b)), a);
+    }
+  }
+}
+
+TEST(GF256, DistributiveLaw) {
+  for (int a = 1; a < 256; a += 13) {
+    for (int b = 1; b < 256; b += 17) {
+      for (int c = 1; c < 256; c += 29) {
+        const GF left = GF256::mul(
+            static_cast<GF>(a), GF256::add(static_cast<GF>(b),
+                                           static_cast<GF>(c)));
+        const GF right =
+            GF256::add(GF256::mul(static_cast<GF>(a), static_cast<GF>(b)),
+                       GF256::mul(static_cast<GF>(a), static_cast<GF>(c)));
+        EXPECT_EQ(left, right);
+      }
+    }
+  }
+}
+
+TEST(GF256, ZeroHasNoInverse) {
+  EXPECT_THROW(GF256::inv(0), std::domain_error);
+  EXPECT_THROW(GF256::div(1, 0), std::domain_error);
+  EXPECT_THROW(GF256::log(0), std::domain_error);
+}
+
+TEST(GF256, ExpLogRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(GF256::exp(GF256::log(static_cast<GF>(a))), a);
+  }
+}
+
+TEST(GF256, ExpHandlesNegativeAndLargePowers) {
+  EXPECT_EQ(GF256::exp(0), 1);
+  EXPECT_EQ(GF256::exp(255), GF256::exp(0));
+  EXPECT_EQ(GF256::exp(-1), GF256::exp(254));
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix id = Matrix::identity(4);
+  Matrix m(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      m.at(r, c) = static_cast<GF>(r * 4 + c + 1);
+    }
+  }
+  EXPECT_EQ(m.multiply(id), m);
+  EXPECT_EQ(id.multiply(m), m);
+}
+
+TEST(Matrix, InverseProducesIdentity) {
+  const Matrix vm = Matrix::vandermonde(5, 5);
+  const Matrix inv = vm.inverted();
+  EXPECT_EQ(vm.multiply(inv), Matrix::identity(5));
+  EXPECT_EQ(inv.multiply(vm), Matrix::identity(5));
+}
+
+TEST(Matrix, SingularMatrixThrows) {
+  Matrix m(2, 2);  // all zeros
+  EXPECT_THROW(m.inverted(), std::domain_error);
+}
+
+TEST(Matrix, VandermondeAnyKRowsInvertible) {
+  // The Reed-Solomon property: any k rows of an n x k Vandermonde
+  // matrix form an invertible matrix.
+  const std::size_t n = 8, k = 4;
+  const Matrix vm = Matrix::vandermonde(n, k);
+  // Check several row subsets including adversarial ones.
+  const std::vector<std::vector<std::size_t>> subsets = {
+      {0, 1, 2, 3}, {4, 5, 6, 7}, {0, 2, 4, 6}, {1, 3, 5, 7}, {0, 1, 6, 7}};
+  for (const auto& rows : subsets) {
+    EXPECT_NO_THROW(vm.select_rows(rows).inverted());
+  }
+}
+
+TEST(Matrix, SubAndSelectRows) {
+  const Matrix vm = Matrix::vandermonde(4, 3);
+  const Matrix sub = vm.sub_rows(1, 2);
+  EXPECT_EQ(sub.rows(), 2u);
+  EXPECT_EQ(sub.at(0, 0), vm.at(1, 0));
+  const Matrix sel = vm.select_rows({3, 0});
+  EXPECT_EQ(sel.at(0, 1), vm.at(3, 1));
+  EXPECT_EQ(sel.at(1, 1), vm.at(0, 1));
+  EXPECT_THROW(vm.sub_rows(3, 2), std::out_of_range);
+  EXPECT_THROW(vm.select_rows({4}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace predis::erasure

@@ -1,0 +1,163 @@
+#include "erasure/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace predis::erasure {
+namespace {
+
+Bytes random_payload(std::size_t size, std::uint64_t seed) {
+  predis::Rng rng(seed);
+  Bytes out(size);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+TEST(ReedSolomon, RoundTripAllShardsPresent) {
+  const ReedSolomon rs(4, 6);
+  const Bytes payload = random_payload(1000, 1);
+  const auto shards = rs.encode(payload);
+  ASSERT_EQ(shards.size(), 6u);
+
+  std::vector<std::optional<Bytes>> input(shards.begin(), shards.end());
+  EXPECT_EQ(rs.decode(input), payload);
+}
+
+TEST(ReedSolomon, SystematicPrefixIsPayload) {
+  const ReedSolomon rs(4, 6);
+  const Bytes payload = random_payload(396, 2);  // 4+396 = 400 = 4*100
+  const auto shards = rs.encode(payload);
+  // Data shards hold the length-prefixed payload verbatim.
+  Bytes joined;
+  for (std::size_t i = 0; i < 4; ++i) {
+    joined.insert(joined.end(), shards[i].begin(), shards[i].end());
+  }
+  EXPECT_EQ(Bytes(joined.begin() + 4, joined.end()), payload);
+}
+
+/// Parameterized over (data shards, total shards).
+class RsParamTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(RsParamTest, RecoversFromEveryMaximalLossPattern) {
+  const auto [k, n] = GetParam();
+  const ReedSolomon rs(k, n);
+  const Bytes payload = random_payload(777, k * 31 + n);
+  const auto shards = rs.encode(payload);
+
+  // Drop every combination of n-k shards (bitmask sweep; n <= 10 here).
+  const std::size_t m = n - k;
+  std::vector<std::size_t> drop(m);
+  std::function<void(std::size_t, std::size_t)> sweep =
+      [&](std::size_t start, std::size_t depth) {
+        if (depth == m) {
+          std::vector<std::optional<Bytes>> input(shards.begin(),
+                                                  shards.end());
+          for (std::size_t d : drop) input[d].reset();
+          EXPECT_EQ(rs.decode(input), payload);
+          return;
+        }
+        for (std::size_t i = start; i < n; ++i) {
+          drop[depth] = i;
+          sweep(i + 1, depth + 1);
+        }
+      };
+  sweep(0, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RsParamTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 2},
+                      std::pair<std::size_t, std::size_t>{2, 3},
+                      std::pair<std::size_t, std::size_t>{3, 4},   // n_c=4,f=1
+                      std::pair<std::size_t, std::size_t>{6, 8},   // n_c=8,f=2
+                      std::pair<std::size_t, std::size_t>{4, 7},
+                      std::pair<std::size_t, std::size_t>{5, 10}));
+
+TEST(ReedSolomon, PaperConfiguration16Nodes) {
+  // n_c = 16, f = 5: any 11 of 16 stripes rebuild the bundle.
+  const ReedSolomon rs(11, 16);
+  const Bytes payload = random_payload(25'600, 99);  // 50 txs x 512 B
+  auto shards = rs.encode(payload);
+  std::vector<std::optional<Bytes>> input(shards.begin(), shards.end());
+  // Drop five parity + zero data, five data, and a mix.
+  for (std::size_t d : {0u, 3u, 7u, 12u, 15u}) input[d].reset();
+  EXPECT_EQ(rs.decode(input), payload);
+}
+
+TEST(ReedSolomon, TooFewShardsThrows) {
+  const ReedSolomon rs(3, 5);
+  const auto shards = rs.encode(random_payload(100, 5));
+  std::vector<std::optional<Bytes>> input(5);
+  input[0] = shards[0];
+  input[4] = shards[4];
+  EXPECT_THROW(rs.decode(input), std::invalid_argument);
+}
+
+TEST(ReedSolomon, MismatchedShardSizesThrow) {
+  const ReedSolomon rs(2, 4);
+  auto shards = rs.encode(random_payload(100, 6));
+  std::vector<std::optional<Bytes>> input(shards.begin(), shards.end());
+  input[1]->push_back(0);
+  EXPECT_THROW(rs.decode(input), std::invalid_argument);
+}
+
+TEST(ReedSolomon, WrongShardCountThrows) {
+  const ReedSolomon rs(2, 4);
+  std::vector<std::optional<Bytes>> input(3);
+  EXPECT_THROW(rs.decode(input), std::invalid_argument);
+}
+
+TEST(ReedSolomon, InvalidParametersThrow) {
+  EXPECT_THROW(ReedSolomon(0, 4), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(5, 4), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(4, 300), std::invalid_argument);
+}
+
+TEST(ReedSolomon, EmptyPayloadRoundTrips) {
+  const ReedSolomon rs(3, 5);
+  const auto shards = rs.encode(Bytes{});
+  std::vector<std::optional<Bytes>> input(shards.begin(), shards.end());
+  input[0].reset();
+  input[2].reset();
+  EXPECT_TRUE(rs.decode(input).empty());
+}
+
+TEST(ReedSolomon, ReconstructAllRebuildsMissingStripes) {
+  const ReedSolomon rs(3, 5);
+  const Bytes payload = random_payload(512, 7);
+  const auto shards = rs.encode(payload);
+
+  std::vector<std::optional<Bytes>> input(shards.begin(), shards.end());
+  input[1].reset();
+  input[4].reset();
+  const auto rebuilt = rs.reconstruct_all(input);
+  ASSERT_EQ(rebuilt.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(rebuilt[i], shards[i]) << "stripe " << i;
+  }
+}
+
+TEST(ReedSolomon, LargePayloadRoundTrip) {
+  const ReedSolomon rs(6, 8);
+  const Bytes payload = random_payload(1 << 20, 11);  // 1 MB
+  auto shards = rs.encode(payload);
+  std::vector<std::optional<Bytes>> input(shards.begin(), shards.end());
+  input[0].reset();
+  input[5].reset();
+  EXPECT_EQ(rs.decode(input), payload);
+}
+
+TEST(ReedSolomon, CodingMatrixIsSystematic) {
+  const ReedSolomon rs(4, 7);
+  const Matrix& m = rs.coding_matrix();
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(m.at(r, c), r == c ? 1 : 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace predis::erasure

@@ -1,0 +1,354 @@
+// Multi-Zone topology behaviour: Algorithm 1 joins, Algorithm 2
+// trimming, relayer-count maintenance, stripe flow + decoding, block
+// reconstruction, leave/crash recovery and the backup digest path.
+#include "multizone/full_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/environments.hpp"
+
+namespace predis::multizone {
+namespace {
+
+constexpr std::size_t kN = 4;  // consensus nodes / stripes
+constexpr std::size_t kF = 1;
+
+/// Minimal stripe source standing in for consensus node `index`.
+class TestProducer final : public sim::Actor {
+ public:
+  TestProducer(sim::Network& net, NodeId self, StripeIndex index)
+      : net_(net), self_(self), index_(index) {}
+
+  void on_message(NodeId from, const sim::MsgPtr& msg) override {
+    if (const auto* m = dynamic_cast<const SubscribeMsg*>(msg.get())) {
+      std::vector<StripeIndex> ok;
+      for (StripeIndex s : m->stripes) {
+        if (s == index_) {
+          subscribers.insert(from);
+          ok.push_back(s);
+        }
+      }
+      if (!ok.empty()) {
+        auto accept = std::make_shared<AcceptSubscribeMsg>();
+        accept->stripes = std::move(ok);
+        accept->from_consensus = true;
+        net_.send(self_, from, std::move(accept));
+      }
+      return;
+    }
+    if (const auto* m = dynamic_cast<const UnsubscribeMsg*>(msg.get())) {
+      for (StripeIndex s : m->stripes) {
+        if (s == index_) subscribers.erase(from);
+      }
+      return;
+    }
+    if (const auto* m = dynamic_cast<const HeartbeatMsg*>(msg.get())) {
+      if (!m->reply) {
+        auto echo = std::make_shared<HeartbeatMsg>();
+        echo->reply = true;
+        net_.send(self_, from, std::move(echo));
+      }
+      return;
+    }
+  }
+
+  void send_stripe(const BundleHeader& header, std::size_t bundle_bytes) {
+    auto msg = std::make_shared<StripeMsg>();
+    msg->header = header;
+    msg->index = index_;
+    msg->body_bytes = (bundle_bytes + kN - kF - 1) / (kN - kF);
+    msg->proof_bytes = 64;
+    for (NodeId sub : subscribers) net_.send(self_, sub, msg);
+  }
+
+  void send_block(const PredisBlock& block) {
+    auto msg = std::make_shared<PredisBlockMsg>();
+    msg->block = block;
+    for (NodeId sub : subscribers) net_.send(self_, sub, msg);
+  }
+
+  std::set<NodeId> subscribers;
+
+ private:
+  sim::Network& net_;
+  NodeId self_;
+  StripeIndex index_;
+};
+
+struct ZoneFixture : ::testing::Test {
+  ZoneFixture()
+      : net(sim, sim::LatencyMatrix::uniform(1, milliseconds(5))),
+        dir(n_zones) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      const NodeId id = net.add_node(sim::node_100mbps(0));
+      producer_ids.push_back(id);
+      producers.push_back(std::make_unique<TestProducer>(
+          net, id, static_cast<StripeIndex>(i)));
+      net.attach(id, producers.back().get());
+    }
+    dir.set_consensus_nodes(producer_ids);
+    cfg.n_consensus = kN;
+    cfg.f = kF;
+    cfg.n_zones = n_zones;
+  }
+
+  MultiZoneFullNode* add_full_node(std::uint32_t zone, SimTime join_time) {
+    const NodeId id = net.add_node(sim::node_100mbps(0));
+    dir.register_node(id, zone, join_time);
+    full_nodes.push_back(
+        std::make_unique<MultiZoneFullNode>(net, id, cfg, dir, 3));
+    net.attach(id, full_nodes.back().get());
+    full_ids.push_back(id);
+    return full_nodes.back().get();
+  }
+
+  /// Produce one bundle on `chain` and stripe it from every producer.
+  Bundle produce_bundle(std::size_t chain) {
+    const BundleHeight h = heights[chain] + 1;
+    std::vector<Transaction> txs(3);
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      txs[i].client = 9;
+      txs[i].seq = chain * 1000 + h * 10 + i;
+    }
+    Bundle b = make_bundle(static_cast<NodeId>(chain), h, parents[chain],
+                           std::vector<BundleHeight>(kN, 0), std::move(txs),
+                           KeyPair::from_seed(1000 + chain));
+    heights[chain] = h;
+    parents[chain] = b.header.hash();
+    dir.publish_bundle(b);
+    for (auto& p : producers) p->send_stripe(b.header, b.wire_size());
+    return b;
+  }
+
+  PredisBlock announce_block(std::uint64_t height) {
+    PredisBlock block;
+    block.height = height;
+    block.leader = 0;
+    block.prev_heights = last_cut;
+    block.cut_heights.assign(heights.begin(), heights.end());
+    for (std::size_t i = 0; i < kN; ++i) {
+      if (block.cut_heights[i] > block.prev_heights[i]) {
+        // Content does not matter for reconstruction bookkeeping.
+        block.header_hashes.push_back(
+            Sha256::hash(as_bytes("hdr" + std::to_string(i))));
+      }
+    }
+    last_cut = block.cut_heights;
+    for (auto& p : producers) p->send_block(block);
+    return block;
+  }
+
+  sim::Simulator sim;
+  sim::Network net;
+  std::size_t n_zones = 2;
+  ZoneDirectory dir;
+  MultiZoneConfig cfg;
+  std::vector<NodeId> producer_ids;
+  std::vector<std::unique_ptr<TestProducer>> producers;
+  std::vector<std::unique_ptr<MultiZoneFullNode>> full_nodes;
+  std::vector<NodeId> full_ids;
+  std::array<BundleHeight, kN> heights{};
+  std::array<Hash32, kN> parents{kZeroHash, kZeroHash, kZeroHash, kZeroHash};
+  std::vector<BundleHeight> last_cut = std::vector<BundleHeight>(kN, 0);
+};
+
+TEST_F(ZoneFixture, FirstNodeBecomesFullRelayer) {
+  auto* node = add_full_node(0, 0);
+  net.start();
+  sim.run_until(milliseconds(200));
+  EXPECT_TRUE(node->is_relayer());
+  EXPECT_EQ(node->direct_stripes().size(), kN);
+  for (auto& p : producers) EXPECT_EQ(p->subscribers.size(), 1u);
+}
+
+TEST_F(ZoneFixture, ZoneConvergesToOneDirectStripePerRelayer) {
+  for (std::size_t i = 0; i < kN; ++i) {
+    add_full_node(0, static_cast<SimTime>(i) * milliseconds(150));
+  }
+  net.start();
+  sim.run_until(seconds(8));
+
+  std::size_t relayers = 0;
+  std::set<StripeIndex> covered;
+  for (auto& node : full_nodes) {
+    if (node->is_relayer()) {
+      ++relayers;
+      covered.insert(node->direct_stripes().begin(),
+                     node->direct_stripes().end());
+    }
+    // Every node must have a provider for every stripe.
+    for (StripeIndex s = 0; s < kN; ++s) {
+      EXPECT_NE(node->provider_of(s), kNoNode) << "stripe " << s;
+    }
+  }
+  EXPECT_EQ(relayers, kN);
+  EXPECT_EQ(covered.size(), kN);  // all stripes consensus-direct somewhere
+  // Consensus load is balanced: one direct subscriber per producer.
+  for (auto& p : producers) {
+    EXPECT_EQ(p->subscribers.size(), 1u);
+  }
+}
+
+TEST_F(ZoneFixture, StripesDecodeIntoBundles) {
+  auto* node = add_full_node(0, 0);
+  std::size_t decoded = 0;
+  node->on_bundle_decoded = [&decoded](const BundleHeader&, SimTime) {
+    ++decoded;
+  };
+  net.start();
+  sim.run_until(milliseconds(200));
+
+  produce_bundle(0);
+  produce_bundle(1);
+  sim.run_until(milliseconds(400));
+  EXPECT_EQ(decoded, 2u);
+  EXPECT_EQ(node->contiguous_height(0), 1u);
+  EXPECT_EQ(node->contiguous_height(1), 1u);
+}
+
+TEST_F(ZoneFixture, OrdinaryNodeReconstructsBlocksThroughRelayers) {
+  // Fill the zone with kN relayers plus one ordinary node.
+  for (std::size_t i = 0; i < kN + 1; ++i) {
+    add_full_node(0, static_cast<SimTime>(i) * milliseconds(120));
+  }
+  std::vector<std::pair<NodeId, std::uint64_t>> completions;
+  for (auto& node : full_nodes) {
+    node->on_block_complete = [&completions, &node](const PredisBlock& b,
+                                                    SimTime) {
+      completions.emplace_back(0, b.height);
+      (void)node;
+    };
+  }
+  net.start();
+  sim.run_until(seconds(6));
+
+  for (int i = 0; i < 6; ++i) produce_bundle(i % kN);
+  sim.run_until(seconds(7));
+  announce_block(0);
+  sim.run_until(seconds(9));
+
+  // Every full node (including the ordinary one) rebuilt block 0.
+  EXPECT_EQ(completions.size(), full_nodes.size());
+  EXPECT_FALSE(full_nodes.back()->is_relayer());
+}
+
+TEST_F(ZoneFixture, RelayerLeaveHandsRoleOver) {
+  for (std::size_t i = 0; i < kN + 1; ++i) {
+    add_full_node(0, static_cast<SimTime>(i) * milliseconds(120));
+  }
+  net.start();
+  sim.run_until(seconds(8));
+
+  // Find a relayer and make it leave gracefully.
+  MultiZoneFullNode* leaver = nullptr;
+  for (auto& node : full_nodes) {
+    if (node->is_relayer()) {
+      leaver = node.get();
+      break;
+    }
+  }
+  ASSERT_NE(leaver, nullptr);
+  leaver->leave();
+  sim.run_until(seconds(16));
+
+  // The zone still has kN relayers among the remaining nodes.
+  std::size_t relayers = 0;
+  for (auto& node : full_nodes) {
+    if (node.get() == leaver) continue;
+    if (node->is_relayer()) ++relayers;
+  }
+  EXPECT_GE(relayers, kN - 1);
+
+  // And data still flows to everyone.
+  produce_bundle(0);
+  sim.run_until(seconds(17));
+  for (auto& node : full_nodes) {
+    if (node.get() == leaver) continue;
+    EXPECT_EQ(node->contiguous_height(0), 1u);
+  }
+}
+
+TEST_F(ZoneFixture, RelayerCrashRecoveredByHeartbeat) {
+  for (std::size_t i = 0; i < kN + 1; ++i) {
+    add_full_node(0, static_cast<SimTime>(i) * milliseconds(120));
+  }
+  net.start();
+  sim.run_until(seconds(8));
+
+  // Hard-crash the first relayer (no leave message).
+  std::size_t crashed_index = 0;
+  for (std::size_t i = 0; i < full_nodes.size(); ++i) {
+    if (full_nodes[i]->is_relayer()) {
+      crashed_index = i;
+      break;
+    }
+  }
+  net.set_node_down(full_ids[crashed_index], true);
+  sim.run_until(seconds(20));
+
+  // Remaining nodes re-subscribed away from the dead provider and data
+  // still reaches everyone.
+  produce_bundle(2);
+  sim.run_until(seconds(21));
+  for (std::size_t i = 0; i < full_nodes.size(); ++i) {
+    if (i == crashed_index) continue;
+    EXPECT_EQ(full_nodes[i]->contiguous_height(2), 1u) << "node " << i;
+    for (StripeIndex s = 0; s < kN; ++s) {
+      EXPECT_NE(full_nodes[i]->provider_of(s), full_ids[crashed_index]);
+    }
+  }
+}
+
+TEST_F(ZoneFixture, ForwardsClientTransactionsToTargetConsensus) {
+  // §IV-D strategy two: a client hands a transaction naming consensus
+  // node 2 to an ordinary full node, which forwards it there.
+  class TxSink final : public sim::Actor {
+   public:
+    void on_message(NodeId, const sim::MsgPtr& msg) override {
+      const auto* m = dynamic_cast<const ClientRequestMsg*>(msg.get());
+      if (m != nullptr) received += m->txs.size();
+    }
+    std::size_t received = 0;
+  };
+  // Replace producer 2 with a sink that counts forwarded transactions.
+  TxSink sink;
+  net.attach(producer_ids[2], &sink);
+
+  auto* node = add_full_node(0, 0);
+  (void)node;
+  net.start();
+  sim.run_until(milliseconds(300));
+
+  auto msg = std::make_shared<ClientRequestMsg>();
+  Transaction tx;
+  tx.client = 99;
+  tx.seq = 1;
+  tx.target_consensus = 2;
+  msg->txs.push_back(tx);
+  // A client (use producer 3's id as a stand-in sender) submits via the
+  // full node.
+  net.send(producer_ids[3], full_ids[0], msg);
+  sim.run_until(milliseconds(600));
+  EXPECT_EQ(sink.received, 1u);
+}
+
+TEST_F(ZoneFixture, CrossZoneDigestBackfillsMissedBundles) {
+  // Zone 0 gets a healthy relayer; zone 1's node joins *after* the
+  // bundle was distributed, so it can only catch up via the digest
+  // backup path to its neighbour zone.
+  auto* early = add_full_node(0, 0);
+  net.start();
+  sim.run_until(milliseconds(300));
+  produce_bundle(0);
+  sim.run_until(milliseconds(600));
+  ASSERT_EQ(early->contiguous_height(0), 1u);
+
+  auto* late = add_full_node(1, milliseconds(700));
+  late->on_start();
+  sim.run_until(seconds(6));
+  // The late node's digest partner is in zone 0 and pushes the gap.
+  EXPECT_EQ(late->contiguous_height(0), 1u);
+}
+
+}  // namespace
+}  // namespace predis::multizone

@@ -1,0 +1,62 @@
+// §IV-B equations as executable checks.
+#include "multizone/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace predis::multizone {
+namespace {
+
+TEST(Robustness, Eq3ApproximatesFOverN) {
+  // The paper argues p_c ≈ f/N because p_h (~3%) is small.
+  const double pc = node_failure_probability(8, 25);
+  EXPECT_NEAR(pc, 8.0 / 25.0, 0.03);
+  EXPECT_GT(pc, 8.0 / 25.0);  // p_h adds a little on top
+}
+
+TEST(Robustness, HonestOnlyNetworkFailsAtServerRate) {
+  EXPECT_DOUBLE_EQ(node_failure_probability(0, 100), 0.03);
+}
+
+TEST(Robustness, PaperHeadlineAvailability) {
+  // "a node receives data from relayers with probability higher than
+  // 99.98% when n_c >= 4" — with n_zr = n_c and p_c ≈ f/N.
+  // Take the paper's implicit worst case p_c ≈ 1/4 (f = N/4 at the
+  // consensus bound): 1 - 0.25^4 = 99.6%; with the network-layer
+  // population (N >> n_c) p_c is far smaller. Use N = 3f+1-style
+  // network of 100 nodes with f = 8:
+  const double availability = relayer_availability(8, 100, 4);
+  EXPECT_GT(availability, 0.9998);
+}
+
+TEST(Robustness, Eq4MinimumRelayerCount) {
+  // p_c = 0.1, p_r = 1e-4 -> need 4 relayers (0.1^4 = 1e-4).
+  EXPECT_EQ(min_relayers_per_zone(0.1, 1e-4), 4u);
+  // Slightly tighter threshold needs one more.
+  EXPECT_EQ(min_relayers_per_zone(0.1, 9e-5), 5u);
+  // Very reliable nodes need just one.
+  EXPECT_EQ(min_relayers_per_zone(1e-6, 1e-4), 1u);
+}
+
+TEST(Robustness, MonotoneInRelayerCount) {
+  const double pc = node_failure_probability(10, 100);
+  double previous = 1.0;
+  for (std::size_t n = 1; n <= 8; ++n) {
+    const double fail = all_relayers_fail_probability(pc, n);
+    EXPECT_LT(fail, previous);
+    previous = fail;
+  }
+}
+
+TEST(Robustness, ChosenConfigurationSatisfiesEq4) {
+  // The paper sets n_zr = n_c; check that this satisfies Eq. 4 for the
+  // evaluation configurations (n_c = 4..32, N = 100, f = (n_c-1)/3).
+  for (std::size_t n_c : {4u, 8u, 16u, 32u}) {
+    const std::size_t f = (n_c - 1) / 3;
+    const double pc = node_failure_probability(f, 100);
+    EXPECT_LE(all_relayers_fail_probability(pc, n_c), 2e-4) << n_c;
+    EXPECT_LE(min_relayers_per_zone(pc, 2e-4), n_c) << n_c;
+  }
+}
+
+}  // namespace
+}  // namespace predis::multizone
