@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_predis.dir/ablation_predis.cpp.o"
+  "CMakeFiles/ablation_predis.dir/ablation_predis.cpp.o.d"
+  "ablation_predis"
+  "ablation_predis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_predis_improvement.dir/fig4_predis_improvement.cpp.o"
+  "CMakeFiles/fig4_predis_improvement.dir/fig4_predis_improvement.cpp.o.d"
+  "fig4_predis_improvement"
+  "fig4_predis_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_predis_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

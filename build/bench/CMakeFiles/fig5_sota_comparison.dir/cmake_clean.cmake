@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sota_comparison.dir/fig5_sota_comparison.cpp.o"
+  "CMakeFiles/fig5_sota_comparison.dir/fig5_sota_comparison.cpp.o.d"
+  "fig5_sota_comparison"
+  "fig5_sota_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sota_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_faults.dir/fig6_faults.cpp.o"
+  "CMakeFiles/fig6_faults.dir/fig6_faults.cpp.o.d"
+  "fig6_faults"
+  "fig6_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

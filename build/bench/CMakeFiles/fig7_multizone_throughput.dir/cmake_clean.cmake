@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_multizone_throughput.dir/fig7_multizone_throughput.cpp.o"
+  "CMakeFiles/fig7_multizone_throughput.dir/fig7_multizone_throughput.cpp.o.d"
+  "fig7_multizone_throughput"
+  "fig7_multizone_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_multizone_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

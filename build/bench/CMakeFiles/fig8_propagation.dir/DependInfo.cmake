@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_propagation.cpp" "bench/CMakeFiles/fig8_propagation.dir/fig8_propagation.cpp.o" "gcc" "bench/CMakeFiles/fig8_propagation.dir/fig8_propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/predis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/multizone/CMakeFiles/predis_multizone.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/predis_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/predis_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/bundle/CMakeFiles/predis_bundle.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/predis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/predis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_propagation.dir/fig8_propagation.cpp.o"
+  "CMakeFiles/fig8_propagation.dir/fig8_propagation.cpp.o.d"
+  "fig8_propagation"
+  "fig8_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_propagation.dir/block_propagation.cpp.o"
+  "CMakeFiles/block_propagation.dir/block_propagation.cpp.o.d"
+  "block_propagation"
+  "block_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

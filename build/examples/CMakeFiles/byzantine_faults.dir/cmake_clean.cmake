@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_faults.dir/byzantine_faults.cpp.o"
+  "CMakeFiles/byzantine_faults.dir/byzantine_faults.cpp.o.d"
+  "byzantine_faults"
+  "byzantine_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multizone_network.dir/multizone_network.cpp.o"
+  "CMakeFiles/multizone_network.dir/multizone_network.cpp.o.d"
+  "multizone_network"
+  "multizone_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multizone_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

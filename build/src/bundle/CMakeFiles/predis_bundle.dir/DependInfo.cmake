@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bundle/bundle.cpp" "src/bundle/CMakeFiles/predis_bundle.dir/bundle.cpp.o" "gcc" "src/bundle/CMakeFiles/predis_bundle.dir/bundle.cpp.o.d"
+  "/root/repo/src/bundle/mempool.cpp" "src/bundle/CMakeFiles/predis_bundle.dir/mempool.cpp.o" "gcc" "src/bundle/CMakeFiles/predis_bundle.dir/mempool.cpp.o.d"
+  "/root/repo/src/bundle/predis_block.cpp" "src/bundle/CMakeFiles/predis_bundle.dir/predis_block.cpp.o" "gcc" "src/bundle/CMakeFiles/predis_bundle.dir/predis_block.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/predis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/predis_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

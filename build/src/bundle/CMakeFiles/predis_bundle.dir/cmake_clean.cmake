@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predis_bundle.dir/bundle.cpp.o"
+  "CMakeFiles/predis_bundle.dir/bundle.cpp.o.d"
+  "CMakeFiles/predis_bundle.dir/mempool.cpp.o"
+  "CMakeFiles/predis_bundle.dir/mempool.cpp.o.d"
+  "CMakeFiles/predis_bundle.dir/predis_block.cpp.o"
+  "CMakeFiles/predis_bundle.dir/predis_block.cpp.o.d"
+  "libpredis_bundle.a"
+  "libpredis_bundle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predis_bundle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpredis_bundle.a"
+)

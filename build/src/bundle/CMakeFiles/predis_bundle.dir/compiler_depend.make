@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for predis_bundle.
+# This may be replaced when dependencies are built.

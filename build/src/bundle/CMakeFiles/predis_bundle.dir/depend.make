@@ -1,0 +1,2 @@
+# Empty dependencies file for predis_bundle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predis_common.dir/bytes.cpp.o"
+  "CMakeFiles/predis_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/predis_common.dir/log.cpp.o"
+  "CMakeFiles/predis_common.dir/log.cpp.o.d"
+  "CMakeFiles/predis_common.dir/merkle.cpp.o"
+  "CMakeFiles/predis_common.dir/merkle.cpp.o.d"
+  "CMakeFiles/predis_common.dir/rng.cpp.o"
+  "CMakeFiles/predis_common.dir/rng.cpp.o.d"
+  "CMakeFiles/predis_common.dir/sha256.cpp.o"
+  "CMakeFiles/predis_common.dir/sha256.cpp.o.d"
+  "CMakeFiles/predis_common.dir/signature.cpp.o"
+  "CMakeFiles/predis_common.dir/signature.cpp.o.d"
+  "libpredis_common.a"
+  "libpredis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/hotstuff/hotstuff_core.cpp" "src/consensus/CMakeFiles/predis_consensus.dir/hotstuff/hotstuff_core.cpp.o" "gcc" "src/consensus/CMakeFiles/predis_consensus.dir/hotstuff/hotstuff_core.cpp.o.d"
+  "/root/repo/src/consensus/narwhal/shared_mempool.cpp" "src/consensus/CMakeFiles/predis_consensus.dir/narwhal/shared_mempool.cpp.o" "gcc" "src/consensus/CMakeFiles/predis_consensus.dir/narwhal/shared_mempool.cpp.o.d"
+  "/root/repo/src/consensus/pbft/pbft_core.cpp" "src/consensus/CMakeFiles/predis_consensus.dir/pbft/pbft_core.cpp.o" "gcc" "src/consensus/CMakeFiles/predis_consensus.dir/pbft/pbft_core.cpp.o.d"
+  "/root/repo/src/consensus/predis/predis_engine.cpp" "src/consensus/CMakeFiles/predis_consensus.dir/predis/predis_engine.cpp.o" "gcc" "src/consensus/CMakeFiles/predis_consensus.dir/predis/predis_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/predis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/predis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bundle/CMakeFiles/predis_bundle.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

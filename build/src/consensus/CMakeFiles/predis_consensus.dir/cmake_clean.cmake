@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predis_consensus.dir/hotstuff/hotstuff_core.cpp.o"
+  "CMakeFiles/predis_consensus.dir/hotstuff/hotstuff_core.cpp.o.d"
+  "CMakeFiles/predis_consensus.dir/narwhal/shared_mempool.cpp.o"
+  "CMakeFiles/predis_consensus.dir/narwhal/shared_mempool.cpp.o.d"
+  "CMakeFiles/predis_consensus.dir/pbft/pbft_core.cpp.o"
+  "CMakeFiles/predis_consensus.dir/pbft/pbft_core.cpp.o.d"
+  "CMakeFiles/predis_consensus.dir/predis/predis_engine.cpp.o"
+  "CMakeFiles/predis_consensus.dir/predis/predis_engine.cpp.o.d"
+  "libpredis_consensus.a"
+  "libpredis_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predis_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predis_core.dir/experiment.cpp.o"
+  "CMakeFiles/predis_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/predis_core.dir/ledger.cpp.o"
+  "CMakeFiles/predis_core.dir/ledger.cpp.o.d"
+  "libpredis_core.a"
+  "libpredis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predis_erasure.dir/gf256.cpp.o"
+  "CMakeFiles/predis_erasure.dir/gf256.cpp.o.d"
+  "CMakeFiles/predis_erasure.dir/reed_solomon.cpp.o"
+  "CMakeFiles/predis_erasure.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/predis_erasure.dir/stripe_codec.cpp.o"
+  "CMakeFiles/predis_erasure.dir/stripe_codec.cpp.o.d"
+  "libpredis_erasure.a"
+  "libpredis_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predis_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

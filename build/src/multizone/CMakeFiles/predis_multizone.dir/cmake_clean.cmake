@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predis_multizone.dir/experiments.cpp.o"
+  "CMakeFiles/predis_multizone.dir/experiments.cpp.o.d"
+  "CMakeFiles/predis_multizone.dir/full_node.cpp.o"
+  "CMakeFiles/predis_multizone.dir/full_node.cpp.o.d"
+  "libpredis_multizone.a"
+  "libpredis_multizone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predis_multizone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpredis_multizone.a"
+)

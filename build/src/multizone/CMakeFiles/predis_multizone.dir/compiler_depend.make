@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for predis_multizone.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predis_sim.dir/network.cpp.o"
+  "CMakeFiles/predis_sim.dir/network.cpp.o.d"
+  "CMakeFiles/predis_sim.dir/simulator.cpp.o"
+  "CMakeFiles/predis_sim.dir/simulator.cpp.o.d"
+  "libpredis_sim.a"
+  "libpredis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

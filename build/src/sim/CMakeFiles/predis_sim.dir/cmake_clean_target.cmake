@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpredis_sim.a"
+)

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bundle/test_bundle.cpp" "tests/CMakeFiles/predis_tests.dir/bundle/test_bundle.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/bundle/test_bundle.cpp.o.d"
+  "/root/repo/tests/bundle/test_cutting.cpp" "tests/CMakeFiles/predis_tests.dir/bundle/test_cutting.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/bundle/test_cutting.cpp.o.d"
+  "/root/repo/tests/bundle/test_mempool.cpp" "tests/CMakeFiles/predis_tests.dir/bundle/test_mempool.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/bundle/test_mempool.cpp.o.d"
+  "/root/repo/tests/bundle/test_mempool_properties.cpp" "tests/CMakeFiles/predis_tests.dir/bundle/test_mempool_properties.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/bundle/test_mempool_properties.cpp.o.d"
+  "/root/repo/tests/bundle/test_predis_block.cpp" "tests/CMakeFiles/predis_tests.dir/bundle/test_predis_block.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/bundle/test_predis_block.cpp.o.d"
+  "/root/repo/tests/bundle/test_rejoin.cpp" "tests/CMakeFiles/predis_tests.dir/bundle/test_rejoin.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/bundle/test_rejoin.cpp.o.d"
+  "/root/repo/tests/common/test_bytes.cpp" "tests/CMakeFiles/predis_tests.dir/common/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/common/test_bytes.cpp.o.d"
+  "/root/repo/tests/common/test_codec.cpp" "tests/CMakeFiles/predis_tests.dir/common/test_codec.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/common/test_codec.cpp.o.d"
+  "/root/repo/tests/common/test_codec_fuzz.cpp" "tests/CMakeFiles/predis_tests.dir/common/test_codec_fuzz.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/common/test_codec_fuzz.cpp.o.d"
+  "/root/repo/tests/common/test_merkle.cpp" "tests/CMakeFiles/predis_tests.dir/common/test_merkle.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/common/test_merkle.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/predis_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_sha256.cpp" "tests/CMakeFiles/predis_tests.dir/common/test_sha256.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/common/test_sha256.cpp.o.d"
+  "/root/repo/tests/common/test_signature.cpp" "tests/CMakeFiles/predis_tests.dir/common/test_signature.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/common/test_signature.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/predis_tests.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/consensus/test_censorship.cpp" "tests/CMakeFiles/predis_tests.dir/consensus/test_censorship.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/consensus/test_censorship.cpp.o.d"
+  "/root/repo/tests/consensus/test_hotstuff.cpp" "tests/CMakeFiles/predis_tests.dir/consensus/test_hotstuff.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/consensus/test_hotstuff.cpp.o.d"
+  "/root/repo/tests/consensus/test_hotstuff_edge.cpp" "tests/CMakeFiles/predis_tests.dir/consensus/test_hotstuff_edge.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/consensus/test_hotstuff_edge.cpp.o.d"
+  "/root/repo/tests/consensus/test_narwhal.cpp" "tests/CMakeFiles/predis_tests.dir/consensus/test_narwhal.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/consensus/test_narwhal.cpp.o.d"
+  "/root/repo/tests/consensus/test_partitions.cpp" "tests/CMakeFiles/predis_tests.dir/consensus/test_partitions.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/consensus/test_partitions.cpp.o.d"
+  "/root/repo/tests/consensus/test_payloads.cpp" "tests/CMakeFiles/predis_tests.dir/consensus/test_payloads.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/consensus/test_payloads.cpp.o.d"
+  "/root/repo/tests/consensus/test_pbft.cpp" "tests/CMakeFiles/predis_tests.dir/consensus/test_pbft.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/consensus/test_pbft.cpp.o.d"
+  "/root/repo/tests/consensus/test_pbft_pipeline.cpp" "tests/CMakeFiles/predis_tests.dir/consensus/test_pbft_pipeline.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/consensus/test_pbft_pipeline.cpp.o.d"
+  "/root/repo/tests/consensus/test_predis.cpp" "tests/CMakeFiles/predis_tests.dir/consensus/test_predis.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/consensus/test_predis.cpp.o.d"
+  "/root/repo/tests/consensus/test_rejoin_flow.cpp" "tests/CMakeFiles/predis_tests.dir/consensus/test_rejoin_flow.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/consensus/test_rejoin_flow.cpp.o.d"
+  "/root/repo/tests/consensus/test_state_transfer.cpp" "tests/CMakeFiles/predis_tests.dir/consensus/test_state_transfer.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/consensus/test_state_transfer.cpp.o.d"
+  "/root/repo/tests/core/test_experiment.cpp" "tests/CMakeFiles/predis_tests.dir/core/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/core/test_experiment.cpp.o.d"
+  "/root/repo/tests/core/test_ledger.cpp" "tests/CMakeFiles/predis_tests.dir/core/test_ledger.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/core/test_ledger.cpp.o.d"
+  "/root/repo/tests/erasure/test_gf256.cpp" "tests/CMakeFiles/predis_tests.dir/erasure/test_gf256.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/erasure/test_gf256.cpp.o.d"
+  "/root/repo/tests/erasure/test_reed_solomon.cpp" "tests/CMakeFiles/predis_tests.dir/erasure/test_reed_solomon.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/erasure/test_reed_solomon.cpp.o.d"
+  "/root/repo/tests/erasure/test_stripe_codec.cpp" "tests/CMakeFiles/predis_tests.dir/erasure/test_stripe_codec.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/erasure/test_stripe_codec.cpp.o.d"
+  "/root/repo/tests/multizone/test_experiments.cpp" "tests/CMakeFiles/predis_tests.dir/multizone/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/multizone/test_experiments.cpp.o.d"
+  "/root/repo/tests/multizone/test_full_node.cpp" "tests/CMakeFiles/predis_tests.dir/multizone/test_full_node.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/multizone/test_full_node.cpp.o.d"
+  "/root/repo/tests/multizone/test_robustness.cpp" "tests/CMakeFiles/predis_tests.dir/multizone/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/multizone/test_robustness.cpp.o.d"
+  "/root/repo/tests/sim/test_environments.cpp" "tests/CMakeFiles/predis_tests.dir/sim/test_environments.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/sim/test_environments.cpp.o.d"
+  "/root/repo/tests/sim/test_network.cpp" "tests/CMakeFiles/predis_tests.dir/sim/test_network.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/sim/test_network.cpp.o.d"
+  "/root/repo/tests/sim/test_network_properties.cpp" "tests/CMakeFiles/predis_tests.dir/sim/test_network_properties.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/sim/test_network_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/predis_tests.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/predis_tests.dir/sim/test_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/predis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/multizone/CMakeFiles/predis_multizone.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/predis_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/predis_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/bundle/CMakeFiles/predis_bundle.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/predis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/predis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

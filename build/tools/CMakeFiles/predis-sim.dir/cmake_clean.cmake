@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predis-sim.dir/predis_sim.cpp.o"
+  "CMakeFiles/predis-sim.dir/predis_sim.cpp.o.d"
+  "predis-sim"
+  "predis-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predis-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
