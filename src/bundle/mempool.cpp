@@ -206,9 +206,13 @@ void Mempool::confirm(const std::vector<BundleHeight>& heights) {
   }
 }
 
-void Mempool::ban(NodeId producer) { banned_.insert(producer); }
+void Mempool::ban(NodeId producer) {
+  if (banned_.insert(producer).second && on_ban) on_ban(producer);
+}
 
-void Mempool::unban(NodeId producer) { banned_.erase(producer); }
+void Mempool::unban(NodeId producer) {
+  if (banned_.erase(producer) != 0 && on_unban) on_unban(producer);
+}
 
 void Mempool::allow_rejoin(NodeId producer) {
   if (producer >= chains_.size()) return;

@@ -105,6 +105,12 @@ class Mempool {
   void ban(NodeId producer);
   void unban(NodeId producer);
 
+  /// Observation hooks fired when a producer enters / leaves the ban
+  /// list (first insertion / removal only). Used by the invariant
+  /// checker; engines leave them unset.
+  std::function<void(NodeId)> on_ban;
+  std::function<void(NodeId)> on_unban;
+
   /// §III-E forking attack: after a ban period, a producer may rejoin
   /// by proposing a *new genesis bundle*. This unbans it, discards its
   /// unconfirmed (possibly forked) suffix, and arms a one-shot

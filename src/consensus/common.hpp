@@ -117,8 +117,20 @@ class CommitLedger {
  public:
   explicit CommitLedger(Metrics& metrics) : metrics_(&metrics) {}
 
+  /// Optional per-commit observer: fired for *every* node's commit of
+  /// every slot (not just the first), with the committing node's index.
+  /// The swarm harness hooks its invariant checker here, which is how
+  /// all four engines (PBFT, HotStuff, Predis, Narwhal) feed the safety
+  /// invariants without protocol-specific wiring.
+  using Observer = std::function<void(std::size_t node_index,
+                                      std::uint64_t slot,
+                                      const Hash32& digest,
+                                      std::size_t tx_count, SimTime when)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
   void on_commit(std::size_t node_index, std::uint64_t slot,
                  const Hash32& digest, std::size_t tx_count, SimTime when) {
+    if (observer_) observer_(node_index, slot, digest, tx_count, when);
     auto [it, inserted] = slots_.try_emplace(slot, Entry{digest, when, 1});
     if (inserted) {
       metrics_->record_commit(when, tx_count);
@@ -140,6 +152,7 @@ class CommitLedger {
     std::size_t commit_count;
   };
   Metrics* metrics_;
+  Observer observer_;
   std::map<std::uint64_t, Entry> slots_;
   bool conflicting_ = false;
 };

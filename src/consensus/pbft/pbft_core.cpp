@@ -1,5 +1,7 @@
 #include "consensus/pbft/pbft_core.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "consensus/payloads.hpp"
 
@@ -151,6 +153,11 @@ void PbftCore::maybe_send_commit(SeqNum seq) {
   if (s.prepares[s.digest].size() < ctx_.quorum()) return;
 
   s.sent_commit = true;
+  // Prepared: record the certificate. It outlives view changes and
+  // execution so later ViewChangeMsgs can still attest to this value.
+  s.has_prepared = true;
+  s.prepared_view = s.view;
+  s.prepared_payload = s.payload;
   auto msg = std::make_shared<CommitMsg>();
   msg->view = s.view;
   msg->seq = seq;
@@ -178,7 +185,11 @@ void PbftCore::maybe_execute(SeqNum seq) {
     last_exec_ = seq;
     app_.on_commit(seq, s.payload);
   }
-  slots_.erase(slots_.begin(), slots_.upper_bound(seq));
+  // Executed slots stay in the log until a stable checkpoint covers
+  // them: their prepared certificates are what a view change re-proposes
+  // to peers that have not executed this far yet.
+  slots_.erase(slots_.begin(),
+               slots_.upper_bound(std::min(stable_checkpoint_, seq)));
   maybe_checkpoint(seq);
 
   // With pipelining, the next slot may already have its commit quorum.
@@ -226,9 +237,13 @@ void PbftCore::on_checkpoint(std::size_t from, const CheckpointMsg& msg) {
     ckpt_certs_[msg.seq] = msg.digest;
     if (msg.seq > stable_checkpoint_) {
       stable_checkpoint_ = msg.seq;
-      // Prune vote bookkeeping below the stable checkpoint.
+      // Prune vote bookkeeping and the slot log (with its prepared
+      // certificates) below the stable checkpoint.
       ckpt_votes_.erase(ckpt_votes_.begin(),
                         ckpt_votes_.lower_bound(stable_checkpoint_));
+      slots_.erase(slots_.begin(),
+                   slots_.upper_bound(std::min(stable_checkpoint_,
+                                               last_exec_)));
     }
     // A certified checkpoint far ahead of our execution means we missed
     // whole slots (e.g. we were offline): fetch state.
@@ -293,9 +308,13 @@ void PbftCore::on_view_timeout() {
   auto msg = std::make_shared<ViewChangeMsg>();
   msg->new_view = target;
   msg->last_exec = last_exec_;
+  // P-set: every prepared certificate above the stable checkpoint,
+  // including executed-here slots — a peer (or the new leader) may not
+  // have executed them, and re-proposing anything else at those
+  // sequences would fork the committed history.
   for (const auto& [sq, sl] : slots_) {
-    if (sq > last_exec_ && sl.sent_commit && !sl.executed) {
-      msg->prepared.push_back({sl.view, sq, sl.payload});
+    if (sq > stable_checkpoint_ && sl.has_prepared) {
+      msg->prepared.push_back({sl.prepared_view, sq, sl.prepared_payload});
     }
   }
   ctx_.broadcast(msg);
@@ -372,7 +391,9 @@ void PbftCore::enter_view(View v) {
   ++view_changes_;
   next_propose_ = last_exec_ + 1;
   disarm_view_timer();
-  // Reset vote state of every in-flight slot: votes are per-view.
+  // Reset vote state of every in-flight slot: votes are per-view. The
+  // prepared certificate (has_prepared / prepared_payload) deliberately
+  // survives — it is the safety carry-over a later view change attests.
   for (auto& [sq, sl] : slots_) {
     if (sq <= last_exec_ || sl.executed) continue;
     sl.preprepared = false;

@@ -197,6 +197,15 @@ class PbftCore {
     bool sent_prepare = false;
     bool sent_commit = false;
     bool executed = false;
+    // Prepared certificate: the highest view in which this replica
+    // collected a prepare quorum for the slot, and the payload it
+    // prepared. Unlike the per-view vote flags above, this survives
+    // view changes and execution — it is the evidence a ViewChangeMsg
+    // carries so a new leader re-proposes the value instead of minting
+    // a fresh one (pruned only at stable checkpoints).
+    bool has_prepared = false;
+    View prepared_view = 0;
+    PayloadPtr prepared_payload;
     // Votes per digest (buffered even before the PrePrepare arrives).
     std::map<Hash32, std::set<std::size_t>> prepares;
     std::map<Hash32, std::set<std::size_t>> commits;

@@ -72,6 +72,46 @@ void PredisEngine::produce_bundle() {
   if (on_mempool_grew) on_mempool_grew();
 }
 
+void PredisEngine::inject_equivocation() {
+  if (mempool_.is_banned(static_cast<NodeId>(ctx_.index()))) return;
+
+  std::vector<BundleHeight> tips = mempool_.tip_list();
+  tips[ctx_.index()] = own_height_ + 1;
+
+  // Two bundles at the same height with the same parent but different
+  // contents: an empty one and one carrying a synthetic marker
+  // transaction, so the transaction roots (and hence headers) differ.
+  Transaction marker;
+  marker.client = kNoNode;
+  marker.seq = rng_.next();
+  marker.size = 8;
+  marker.payload_seed = rng_.next();
+
+  const Bundle first = make_bundle(static_cast<NodeId>(ctx_.index()),
+                                   own_height_ + 1, own_parent_hash_, tips,
+                                   {}, own_key_);
+  const Bundle second = make_bundle(static_cast<NodeId>(ctx_.index()),
+                                    own_height_ + 1, own_parent_hash_,
+                                    std::move(tips), {marker}, own_key_);
+  own_height_ += 1;
+  own_parent_hash_ = first.header.hash();
+  mempool_.add(first);
+
+  std::vector<NodeId> peers;
+  for (std::size_t i = 0; i < ctx_.n(); ++i) {
+    if (i != ctx_.index()) peers.push_back(ctx_.node(i));
+  }
+  rng_.shuffle(peers);
+  auto msg_a = std::make_shared<BundleMsg>();
+  msg_a->bundle = first;
+  auto msg_b = std::make_shared<BundleMsg>();
+  msg_b->bundle = second;
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    ctx_.send_node(peers[i], i < peers.size() / 2 ? msg_a : msg_b);
+  }
+  if (on_mempool_grew) on_mempool_grew();
+}
+
 void PredisEngine::disseminate(const Bundle& bundle) {
   auto msg = std::make_shared<BundleMsg>();
   msg->bundle = bundle;
@@ -114,10 +154,18 @@ bool PredisEngine::handle(NodeId from, const sim::MsgPtr& msg) {
     const auto& ev = m->evidence;
     // Believe the evidence only if both headers are properly signed by
     // the same producer and genuinely conflict — forged evidence must
-    // not let an attacker ban honest producers.
+    // not let an attacker ban honest producers. Mirroring the mempool's
+    // two detection shapes, a fork is proven by two different headers
+    // at the same height, or by a child whose parent hash contradicts
+    // the signed bundle one height below it (the producer must have
+    // signed a different parent at that height).
+    const bool same_height_fork = ev.first.height == ev.second.height &&
+                                  !(ev.first == ev.second);
+    const bool parent_fork = ev.second.height == ev.first.height + 1 &&
+                             ev.second.parent_hash != ev.first.hash();
     if (ev.first.producer == ev.second.producer &&
-        ev.first.producer < ctx_.n() && !(ev.first == ev.second) &&
-        ev.first.height == ev.second.height &&
+        ev.first.producer < ctx_.n() &&
+        (same_height_fork || parent_fork) &&
         verify_bundle_signature(ev.first,
                                 mempool_.producer_key(ev.first.producer)) &&
         verify_bundle_signature(ev.second,
@@ -195,6 +243,7 @@ PayloadPtr PredisEngine::build_payload(
       mempool_, static_cast<NodeId>(ctx_.index()), cut_f, height, view,
       parent_hash, prev_heights, own_key_);
   if (block.header_hashes.empty()) return nullptr;  // nothing new to confirm
+  if (on_block_proposal) on_block_proposal(block);
   return std::make_shared<PredisPayload>(std::move(block));
 }
 
@@ -204,6 +253,7 @@ Validity PredisEngine::validate_payload(
   const auto* pp = dynamic_cast<const PredisPayload*>(payload.get());
   if (pp == nullptr) return Validity::kInvalid;
   const PredisBlock& block = pp->block();
+  if (on_block_proposal) on_block_proposal(block);
   if (block.prev_heights != expected_prev) return Validity::kInvalid;
   if (block.leader >= ctx_.n()) return Validity::kInvalid;
 

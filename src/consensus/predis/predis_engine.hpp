@@ -74,6 +74,14 @@ class PredisEngine {
   /// Client transactions enter the local bundle queue here.
   void enqueue(const std::vector<Transaction>& txs);
 
+  /// Byzantine test hook (swarm harness): produce two *conflicting*
+  /// bundles at the next height — same parent, different transaction
+  /// roots — and send each to a disjoint half of the peers. Honest
+  /// nodes that see both detect the §III-A conflict, ban this producer
+  /// and gossip the signed evidence; the engine keeps building on the
+  /// first bundle, so its later output is rejected everywhere.
+  void inject_equivocation();
+
   /// Fired whenever the mempool gained bundles (new bundle or fetch
   /// response) — consensus shims hook payload_ready / revalidate here.
   std::function<void()> on_mempool_grew;
@@ -92,6 +100,12 @@ class PredisEngine {
   /// Optional hook invoked when a block's transactions execute.
   std::function<void(const PredisBlock&, const std::vector<Transaction>&)>
       on_block_executed;
+
+  /// Fired the moment this node first handles a block proposal — when
+  /// the leader builds one, and when a replica validates one. Test
+  /// harnesses use the earliest sighting across nodes as the block's
+  /// birth time (decision timestamps lag arbitrarily under faults).
+  std::function<void(const PredisBlock&)> on_block_proposal;
 
   // --- Consensus-side API ----------------------------------------------
 

@@ -1,0 +1,157 @@
+// Cross-protocol safety invariants for fault-schedule swarm testing.
+//
+// The checker is a passive registry of invariant assertions fed by run
+// events; it never aborts, it accumulates Violations so a swarm runner
+// can report the first offending seed with full context. Invariants:
+//
+//   agreement        no two correct nodes commit different digests at
+//                    the same consensus slot (all four engines, via the
+//                    CommitLedger observer);
+//   prefix           each correct node's committed (slot, digest) log
+//                    is consistent with every other's on the slots both
+//                    committed (finalize());
+//   chain-link       consecutive executed Predis blocks hash-chain:
+//                    a block whose prev_heights equal the previously
+//                    executed block's cut must carry its parent hash
+//                    (enable only for serialized P-PBFT, where the
+//                    proposer always builds on the last committed
+//                    block);
+//   cut-monotone     executed Predis cuts never regress, per node;
+//   reconstruction   every bundle confirmed by a committed Predis
+//                    block decodes bit-exactly from n_c − f of its n_c
+//                    erasure stripes (§IV-D availability), checked once
+//                    per (chain, height) with a deterministic erasure
+//                    pattern derived from the bundle hash;
+//   ban-list         once a node has banned a producer, no committed
+//                    block first *proposed* after a grace window —
+//                    measured from the later of the ban and the end of
+//                    the fault plan — advances that producer's chain
+//                    (§III-E), unless a rejoin was granted. Keyed on
+//                    the block's birth time (earliest correct node to
+//                    build or validate it) because the rule constrains
+//                    proposers and voters at proposal time: a pre-ban
+//                    proposal can legitimately commit arbitrarily late
+//                    when partitions and pacemaker resync stall the
+//                    pipeline, while a block born after the quiesced
+//                    network converged on the ban must never commit.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bundle/predis_block.hpp"
+#include "common/types.hpp"
+
+namespace predis::core {
+
+struct Violation {
+  std::string invariant;
+  std::string detail;
+  std::uint64_t slot = 0;
+  SimTime when = 0;
+};
+
+struct InvariantConfig {
+  std::size_t n_nodes = 4;
+  std::size_t f = 1;
+  /// In-flight blocks may still advance a freshly banned chain; after
+  /// this grace the ban must be respected by every later decision. Must
+  /// exceed the view timeout: a stalled pre-ban proposal can only
+  /// commit after the pacemaker recovers.
+  SimTime ban_grace = seconds(3);
+  /// Earliest time the network is fault-free again (the fault plan's
+  /// healed_by). Partitions stall decisions arbitrarily long, so the
+  /// ban-list clock only starts once the network has quiesced.
+  SimTime quiet_after = 0;
+  /// Cap on erasure-coding round-trips per run (they cost real CPU).
+  std::size_t max_reconstruction_checks = 256;
+  /// Enable the chain-link invariant (serialized P-PBFT only; chained
+  /// HotStuff proposers legitimately build on uncommitted ancestors).
+  bool check_chain_link = false;
+  bool check_reconstruction = true;
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(InvariantConfig config);
+
+  /// Exclude a node's events from correctness checks (it is configured
+  /// Byzantine; its commits and observations prove nothing).
+  void set_byzantine(std::size_t node, bool byzantine);
+
+  // --- Event feeds -----------------------------------------------------
+
+  /// Every engine's every commit (wired through CommitLedger).
+  void on_commit(std::size_t node, std::uint64_t slot, const Hash32& digest,
+                 SimTime when);
+
+  /// A Predis block executed on `node` whose mempool is `pool` (wired
+  /// through PredisEngine::on_block_executed).
+  void on_predis_executed(std::size_t node, const PredisBlock& block,
+                          const Mempool& pool, SimTime when);
+
+  /// `node` first handled a block proposal — built it as leader or
+  /// validated it as replica (wired through
+  /// PredisEngine::on_block_proposal). The earliest sighting across
+  /// correct nodes is the block's birth time for the ban-list check.
+  void on_predis_proposed(std::size_t node, const PredisBlock& block,
+                          SimTime when);
+
+  /// Node `observer` banned / granted rejoin to `producer` (wired
+  /// through Mempool::on_ban / on_unban).
+  void on_ban(std::size_t observer, NodeId producer, SimTime when);
+  void on_unban(std::size_t observer, NodeId producer);
+
+  // --- Final sweep -----------------------------------------------------
+
+  /// Cross-node prefix consistency over the recorded per-node logs.
+  /// Call once after the run.
+  void finalize();
+
+  // --- Results ---------------------------------------------------------
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::string report() const;
+
+  std::uint64_t commits_checked() const { return commits_; }
+  std::size_t reconstructions_checked() const {
+    return reconstruction_checks_;
+  }
+
+ private:
+  void add(const char* invariant, std::uint64_t slot, SimTime when,
+           std::string detail);
+  void check_reconstruction(const Bundle& bundle, std::uint64_t slot,
+                            SimTime when);
+
+  InvariantConfig cfg_;
+  std::vector<bool> byzantine_;
+
+  // agreement / prefix
+  std::map<std::uint64_t, std::pair<Hash32, std::size_t>> slot_digests_;
+  std::vector<std::map<std::uint64_t, Hash32>> per_node_;
+  /// Per-node slot decision times: deferred execution can run long
+  /// after the decision, and the ban-list invariant is about what a
+  /// node *decides* after banning, not when the bundles finally arrive.
+  std::vector<std::map<std::uint64_t, SimTime>> decided_at_;
+  std::uint64_t commits_ = 0;
+
+  // predis-specific
+  std::vector<std::vector<BundleHeight>> last_cut_;
+  std::vector<Hash32> last_block_hash_;
+  std::vector<bool> has_executed_;
+  std::vector<std::map<NodeId, SimTime>> ban_time_;
+  /// Earliest time any correct node handled each proposal (by block
+  /// hash): the ban-list clock for a block starts when it was born,
+  /// not when a stalled pacemaker finally commits it.
+  std::map<Hash32, SimTime> first_proposed_;
+  std::set<std::pair<NodeId, BundleHeight>> reconstructed_;
+  std::size_t reconstruction_checks_ = 0;
+
+  std::vector<Violation> violations_;
+};
+
+}  // namespace predis::core

@@ -1,0 +1,212 @@
+#include "core/swarm.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "consensus/hotstuff/hotstuff_node.hpp"
+#include "consensus/narwhal/shared_mempool.hpp"
+#include "consensus/pbft/pbft_node.hpp"
+#include "consensus/predis/predis_nodes.hpp"
+#include "sim/environments.hpp"
+#include "txpool/client.hpp"
+
+namespace predis::core {
+
+using namespace predis::consensus;
+
+namespace {
+
+bool has_predis_engine(Protocol p) {
+  return p == Protocol::kPredisPbft || p == Protocol::kPredisHotStuff;
+}
+
+}  // namespace
+
+SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
+  sim::Simulator simulator;
+  sim::Network net(simulator,
+                   cfg.wan ? sim::wan_latency() : sim::lan_latency());
+  const std::size_t regions = cfg.wan ? sim::kWanRegions : 1;
+
+  sim::TraceHasher tracer;
+  net.set_tracer(&tracer);
+
+  // --- Consensus nodes -------------------------------------------------
+  std::vector<NodeId> consensus_ids;
+  for (std::size_t i = 0; i < cfg.n_consensus; ++i) {
+    consensus_ids.push_back(net.add_node(
+        sim::node_100mbps(static_cast<std::uint32_t>(i % regions))));
+  }
+
+  ConsensusConfig ccfg;
+  ccfg.nodes = consensus_ids;
+  ccfg.f = cfg.f;
+
+  std::vector<PublicKey> keys;
+  for (NodeId id : consensus_ids) {
+    keys.push_back(KeyPair::from_seed(id).public_key());
+  }
+
+  Metrics metrics;
+  CommitLedger ledger(metrics);
+
+  // --- Fault schedule --------------------------------------------------
+  sim::FaultPlanConfig fplan = cfg.faults;
+  fplan.seed = cfg.seed;
+  fplan.max_crashed = std::min(fplan.max_crashed, cfg.f);
+  fplan.max_equivocators = std::min(fplan.max_equivocators, cfg.f);
+  // Equivocation needs a bundle producer to corrupt.
+  fplan.equivocation =
+      fplan.equivocation && has_predis_engine(cfg.protocol);
+  sim::FaultScheduler faults(net, consensus_ids, fplan);
+
+  InvariantConfig icfg = cfg.invariants;
+  icfg.n_nodes = cfg.n_consensus;
+  icfg.f = cfg.f;
+  icfg.quiet_after = faults.healed_by();
+  // Serialized P-PBFT proposers always build on the last committed
+  // block, so consecutive executed blocks must hash-chain there.
+  if (cfg.protocol == Protocol::kPredisPbft) icfg.check_chain_link = true;
+  InvariantChecker inv(icfg);
+
+  ledger.set_observer([&inv](std::size_t node_index, std::uint64_t slot,
+                             const Hash32& digest, std::size_t /*tx_count*/,
+                             SimTime when) {
+    inv.on_commit(node_index, slot, digest, when);
+  });
+
+  std::vector<std::unique_ptr<sim::Actor>> actors;
+  std::vector<predis::PredisEngine*> engines(cfg.n_consensus, nullptr);
+  for (std::size_t i = 0; i < cfg.n_consensus; ++i) {
+    NodeContext ctx(net, consensus_ids[i], ccfg);
+    switch (cfg.protocol) {
+      case Protocol::kPbft: {
+        pbft::PbftNodeConfig ncfg;
+        actors.push_back(
+            std::make_unique<pbft::PbftNode>(ctx, ncfg, ledger));
+        break;
+      }
+      case Protocol::kHotStuff: {
+        hotstuff::HotStuffNodeConfig ncfg;
+        actors.push_back(
+            std::make_unique<hotstuff::HotStuffNode>(ctx, ncfg, ledger));
+        break;
+      }
+      case Protocol::kPredisPbft:
+      case Protocol::kPredisHotStuff: {
+        predis::PredisConfig pcfg;
+        pcfg.seed = cfg.seed;
+        KeyPair own = KeyPair::from_seed(consensus_ids[i]);
+        if (cfg.protocol == Protocol::kPredisPbft) {
+          auto node = std::make_unique<predis::PredisPbftNode>(
+              ctx, pcfg, keys, own, ledger);
+          engines[i] = &node->engine();
+          actors.push_back(std::move(node));
+        } else {
+          auto node = std::make_unique<predis::PredisHotStuffNode>(
+              ctx, pcfg, keys, own, ledger);
+          engines[i] = &node->engine();
+          actors.push_back(std::move(node));
+        }
+        break;
+      }
+      case Protocol::kNarwhal:
+      case Protocol::kStratus: {
+        narwhal::SharedMempoolConfig ncfg;
+        ncfg.seed = cfg.seed;
+        ncfg.ack_quorum = cfg.protocol == Protocol::kNarwhal
+                              ? cfg.n_consensus - cfg.f
+                              : cfg.f + 1;
+        actors.push_back(
+            std::make_unique<narwhal::SharedMempoolNode>(ctx, ncfg, ledger));
+        break;
+      }
+    }
+    net.attach(consensus_ids[i], actors.back().get());
+
+    if (engines[i] != nullptr) {
+      predis::PredisEngine* engine = engines[i];
+      engine->on_block_executed =
+          [&inv, &simulator, engine, i](const PredisBlock& block,
+                                        const std::vector<Transaction>&) {
+            inv.on_predis_executed(i, block, engine->mempool(),
+                                   simulator.now());
+          };
+      engine->on_block_proposal = [&inv, &simulator, i](
+                                      const PredisBlock& block) {
+        inv.on_predis_proposed(i, block, simulator.now());
+      };
+      engine->mempool().on_ban = [&inv, &simulator, i](NodeId producer) {
+        inv.on_ban(i, producer, simulator.now());
+      };
+      engine->mempool().on_unban = [&inv, i](NodeId producer) {
+        inv.on_unban(i, producer);
+      };
+    }
+  }
+
+  faults.on_equivocate = [&](NodeId id) {
+    for (std::size_t i = 0; i < consensus_ids.size(); ++i) {
+      if (consensus_ids[i] != id) continue;
+      inv.set_byzantine(i, true);
+      if (engines[i] != nullptr) engines[i]->inject_equivocation();
+    }
+  };
+  faults.arm();
+
+  // --- Clients ---------------------------------------------------------
+  const double per_client =
+      cfg.offered_load_tps / static_cast<double>(cfg.n_clients);
+  std::vector<std::unique_ptr<ClientActor>> clients;
+  for (std::size_t c = 0; c < cfg.n_clients; ++c) {
+    sim::NodeConfig ncfg;
+    ncfg.region = static_cast<std::uint32_t>(c % regions);
+    ncfg.up_bw = 10 * sim::kBandwidth100Mbps;
+    ncfg.down_bw = 10 * sim::kBandwidth100Mbps;
+    const NodeId id = net.add_node(ncfg);
+
+    ClientConfig ccfg2;
+    ccfg2.self = id;
+    if (cfg.protocol == Protocol::kPbft ||
+        cfg.protocol == Protocol::kHotStuff) {
+      ccfg2.targets = consensus_ids;
+    } else {
+      ccfg2.targets = {consensus_ids[c % cfg.n_consensus]};
+    }
+    ccfg2.tx_per_second = per_client;
+    ccfg2.tx_size = cfg.tx_size;
+    ccfg2.stop_at = cfg.duration;
+    ccfg2.record_from = 0;
+    ccfg2.seed = cfg.seed * 1000 + c;
+    clients.push_back(std::make_unique<ClientActor>(net, ccfg2, metrics));
+    net.attach(id, clients.back().get());
+  }
+
+  // --- Run -------------------------------------------------------------
+  net.start();
+  simulator.run_until(cfg.duration + milliseconds(500));
+  inv.finalize();
+
+  // --- Collect ---------------------------------------------------------
+  SwarmCaseResult result;
+  result.seed = cfg.seed;
+  result.ok = inv.ok();
+  result.violations = inv.violations();
+  result.report = inv.report();
+  result.fault_plan = faults.describe();
+  result.trace_digest = tracer.digest();
+  result.trace_events = tracer.events();
+  result.commits_checked = inv.commits_checked();
+  result.reconstructions_checked = inv.reconstructions_checked();
+  result.faults_injected = faults.faults_injected();
+  result.committed_slots = ledger.committed_slots();
+  result.throughput_tps = metrics.throughput_tps(0, cfg.duration);
+  result.healed_by = faults.healed_by();
+  if (result.healed_by > 0 && result.healed_by < cfg.duration) {
+    result.post_heal_tps =
+        metrics.throughput_tps(result.healed_by, cfg.duration);
+  }
+  return result;
+}
+
+}  // namespace predis::core

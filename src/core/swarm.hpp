@@ -1,0 +1,72 @@
+// Fault-schedule swarm harness: run one seeded cluster simulation under
+// a deterministic fault plan (sim/faults.hpp) with every safety
+// invariant armed (core/invariants.hpp), and report violations plus a
+// trace digest that makes same-seed runs verifiably byte-identical.
+//
+// One seed fully determines the run: the client workload, the fault
+// plan (crashes, partitions, jitter, drops, equivocation) and every
+// protocol-level random choice. A violating seed is therefore a
+// one-line repro: `swarm --protocol <p> --seed-base <s> --seeds 1`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/invariants.hpp"
+#include "sim/faults.hpp"
+
+namespace predis::core {
+
+struct SwarmCaseConfig {
+  Protocol protocol = Protocol::kPredisPbft;
+  std::size_t n_consensus = 4;
+  std::size_t f = 1;
+  bool wan = true;
+
+  double offered_load_tps = 2'000.0;
+  std::size_t n_clients = 4;
+  std::uint32_t tx_size = 512;
+  SimTime duration = seconds(8);
+
+  /// Master seed: drives workload, protocol randomness and fault plan.
+  std::uint64_t seed = 1;
+
+  /// Fault-plan shape; `seed` and (for equivocation) `max_equivocators`
+  /// are overridden per case. Equivocation only fires for Predis-family
+  /// protocols (the hook needs a bundle producer to corrupt).
+  sim::FaultPlanConfig faults;
+
+  InvariantConfig invariants;
+
+  /// Log the fault plan even when the run is clean.
+  bool verbose = false;
+};
+
+struct SwarmCaseResult {
+  std::uint64_t seed = 0;
+  bool ok = true;
+  std::vector<Violation> violations;
+  std::string report;        ///< InvariantChecker::report().
+  std::string fault_plan;    ///< FaultScheduler::describe().
+
+  Hash32 trace_digest = kZeroHash;  ///< Running hash of every delivery.
+  std::uint64_t trace_events = 0;
+
+  std::uint64_t commits_checked = 0;
+  std::size_t reconstructions_checked = 0;
+  std::size_t faults_injected = 0;
+  std::size_t committed_slots = 0;
+
+  double throughput_tps = 0.0;  ///< Whole-run committed tx/s.
+  /// Committed tx/s after every windowed fault healed (0 when the fault
+  /// plan extends to the end of the run). Informational: a short
+  /// post-heal window may legitimately be empty while views re-sync.
+  double post_heal_tps = 0.0;
+  SimTime healed_by = 0;
+};
+
+/// Run one fault-injected cluster simulation and check every invariant.
+SwarmCaseResult run_swarm_case(const SwarmCaseConfig& config);
+
+}  // namespace predis::core

@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <optional>
 
 namespace predis::multizone {
 
@@ -33,15 +34,18 @@ inline double all_relayers_fail_probability(double p_c,
 }
 
 /// Eq. 4: smallest relayer count per zone such that
-/// p_c^{n_zr} <= p_r. Returns at least 1.
-inline std::size_t min_relayers_per_zone(double p_c, double p_r) {
+/// p_c^{n_zr} <= p_r. Returns at least 1, or nullopt when no finite
+/// relayer count can satisfy the bound (every relayer surely fails, or
+/// the target probability is not achievable).
+inline std::optional<std::size_t> min_relayers_per_zone(double p_c,
+                                                        double p_r) {
   if (p_c <= 0.0) return 1;
-  if (p_c >= 1.0) return static_cast<std::size_t>(-1);  // unsatisfiable
-  if (p_r <= 0.0) return static_cast<std::size_t>(-1);
+  if (p_c >= 1.0) return std::nullopt;
+  if (p_r <= 0.0) return std::nullopt;
   if (p_r >= 1.0) return 1;
   const double n = std::log(p_r) / std::log(p_c);
   const auto up = static_cast<std::size_t>(std::ceil(n));
-  return up == 0 ? 1 : up;
+  return up == 0 ? std::size_t{1} : up;
 }
 
 /// The paper's headline number: with n_zr = n_c relayers, the chance a

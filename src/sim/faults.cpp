@@ -1,0 +1,264 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace predis::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kPairPartition:
+      return "pair-partition";
+    case FaultKind::kZonePartition:
+      return "zone-partition";
+    case FaultKind::kJitter:
+      return "jitter";
+    case FaultKind::kDrops:
+      return "drops";
+    case FaultKind::kEquivocate:
+      return "equivocate";
+  }
+  return "?";
+}
+
+FaultScheduler::FaultScheduler(Network& net, std::vector<NodeId> targets,
+                               FaultPlanConfig config)
+    : net_(net),
+      targets_(std::move(targets)),
+      cfg_(config),
+      rng_(config.seed ^ 0xfa1175c0de0001ULL),
+      drop_rng_(config.seed * 0x9e3779b97f4a7c15ULL + 1) {
+  build_plan();
+}
+
+bool FaultScheduler::is_target(NodeId id) const {
+  return std::find(targets_.begin(), targets_.end(), id) != targets_.end();
+}
+
+void FaultScheduler::build_plan() {
+  if (targets_.empty() || cfg_.horizon <= cfg_.start) return;
+
+  std::vector<FaultKind> kinds;
+  if (cfg_.crashes) kinds.push_back(FaultKind::kCrash);
+  if (cfg_.pair_partitions && targets_.size() >= 2) {
+    kinds.push_back(FaultKind::kPairPartition);
+  }
+  if (cfg_.zone_partitions && targets_.size() >= 2) {
+    kinds.push_back(FaultKind::kZonePartition);
+  }
+  if (cfg_.jitter) kinds.push_back(FaultKind::kJitter);
+  if (cfg_.drops) kinds.push_back(FaultKind::kDrops);
+  if (cfg_.equivocation) kinds.push_back(FaultKind::kEquivocate);
+  if (kinds.empty()) return;
+
+  // Per-node planned downtime intervals, for the crash-concurrency cap.
+  std::vector<std::pair<SimTime, SimTime>> crash_windows;
+  std::set<NodeId> crashed_nodes;
+  std::set<NodeId> equivocators;
+
+  const auto window_range =
+      static_cast<std::uint64_t>(cfg_.max_window - cfg_.min_window + 1);
+
+  for (std::size_t e = 0; e < cfg_.events; ++e) {
+    FaultEvent ev;
+    ev.at = cfg_.start + static_cast<SimTime>(rng_.next_below(
+                             static_cast<std::uint64_t>(cfg_.horizon -
+                                                        cfg_.start)));
+    ev.window = cfg_.min_window +
+                static_cast<SimTime>(rng_.next_below(window_range));
+    ev.kind = kinds[rng_.next_below(kinds.size())];
+    ev.a = targets_[rng_.next_below(targets_.size())];
+
+    switch (ev.kind) {
+      case FaultKind::kCrash: {
+        std::size_t overlapping = 0;
+        for (const auto& [from, to] : crash_windows) {
+          if (ev.at < to && from < ev.at + ev.window) ++overlapping;
+        }
+        // Cap concurrent downtime (and repeated crashes of one node,
+        // whose restart timers would interleave confusingly): demote
+        // the event to jitter instead of dropping it, so every seed
+        // still schedules exactly cfg_.events faults.
+        if (overlapping >= cfg_.max_crashed ||
+            crashed_nodes.count(ev.a) != 0) {
+          ev.kind = FaultKind::kJitter;
+          ev.jitter = 1 + static_cast<SimTime>(rng_.next_below(
+                              static_cast<std::uint64_t>(cfg_.max_jitter)));
+          break;
+        }
+        crash_windows.emplace_back(ev.at, ev.at + ev.window);
+        crashed_nodes.insert(ev.a);
+        break;
+      }
+      case FaultKind::kPairPartition: {
+        ev.b = targets_[rng_.next_below(targets_.size())];
+        while (ev.b == ev.a) {
+          ev.b = targets_[(std::find(targets_.begin(), targets_.end(), ev.b) -
+                           targets_.begin() + 1) %
+                          targets_.size()];
+        }
+        break;
+      }
+      case FaultKind::kZonePartition: {
+        // Cut one region off when the targets span several; otherwise a
+        // random half (LAN clusters live in a single region).
+        std::map<std::uint32_t, std::vector<NodeId>> by_region;
+        for (NodeId id : targets_) by_region[net_.region_of(id)].push_back(id);
+        if (by_region.size() >= 2) {
+          auto it = by_region.begin();
+          std::advance(it, rng_.next_below(by_region.size()));
+          ev.side = it->second;
+        } else {
+          std::vector<NodeId> shuffled = targets_;
+          rng_.shuffle(shuffled);
+          shuffled.resize(std::max<std::size_t>(1, shuffled.size() / 2));
+          std::sort(shuffled.begin(), shuffled.end());
+          ev.side = std::move(shuffled);
+        }
+        break;
+      }
+      case FaultKind::kJitter: {
+        ev.jitter = 1 + static_cast<SimTime>(rng_.next_below(
+                            static_cast<std::uint64_t>(cfg_.max_jitter)));
+        break;
+      }
+      case FaultKind::kDrops: {
+        ev.p = rng_.next_double() * cfg_.max_drop_prob;
+        break;
+      }
+      case FaultKind::kEquivocate: {
+        if (equivocators.size() >= cfg_.max_equivocators &&
+            equivocators.count(ev.a) == 0) {
+          // Keep the Byzantine population <= f: demote to drops.
+          ev.kind = FaultKind::kDrops;
+          ev.p = rng_.next_double() * cfg_.max_drop_prob;
+          break;
+        }
+        equivocators.insert(ev.a);
+        ev.window = 0;  // equivocation does not heal
+        break;
+      }
+    }
+    plan_.push_back(std::move(ev));
+  }
+
+  std::stable_sort(plan_.begin(), plan_.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  for (const FaultEvent& ev : plan_) {
+    healed_by_ = std::max(healed_by_, ev.at + ev.window);
+  }
+}
+
+void FaultScheduler::arm() {
+  net_.set_drop_filter([this](NodeId from, NodeId to, const Message&) {
+    return should_drop(from, to);
+  });
+  net_.set_extra_delay(
+      [this](NodeId from, NodeId to) { return extra_delay(from, to); });
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    net_.simulator().schedule_at(plan_[i].at, [this, i] { apply(plan_[i]); });
+  }
+}
+
+void FaultScheduler::apply(const FaultEvent& ev) {
+  ++injected_;
+  const SimTime now = net_.simulator().now();
+  const SimTime until = ev.at + ev.window;
+  switch (ev.kind) {
+    case FaultKind::kCrash: {
+      net_.set_node_down(ev.a, true);
+      net_.simulator().schedule_at(until, [this, node = ev.a] {
+        net_.set_node_down(node, false);
+      });
+      break;
+    }
+    case FaultKind::kPairPartition: {
+      pairs_.push_back({ev.a, ev.b, until});
+      break;
+    }
+    case FaultKind::kZonePartition: {
+      cuts_.push_back(
+          {std::set<NodeId>(ev.side.begin(), ev.side.end()), until});
+      break;
+    }
+    case FaultKind::kJitter: {
+      jitter_max_ = now < jitter_until_ ? std::max(jitter_max_, ev.jitter)
+                                        : ev.jitter;
+      jitter_until_ = std::max(jitter_until_, until);
+      break;
+    }
+    case FaultKind::kDrops: {
+      drop_p_ = now < drop_until_ ? std::max(drop_p_, ev.p) : ev.p;
+      drop_until_ = std::max(drop_until_, until);
+      break;
+    }
+    case FaultKind::kEquivocate: {
+      if (on_equivocate) on_equivocate(ev.a);
+      break;
+    }
+  }
+}
+
+bool FaultScheduler::should_drop(NodeId from, NodeId to) {
+  if (!is_target(from) || !is_target(to)) return false;
+  const SimTime now = net_.simulator().now();
+  for (const ActivePair& pair : pairs_) {
+    if (now >= pair.until) continue;
+    if ((from == pair.a && to == pair.b) || (from == pair.b && to == pair.a)) {
+      return true;
+    }
+  }
+  for (const ActiveCut& cut : cuts_) {
+    if (now >= cut.until) continue;
+    if ((cut.side.count(from) != 0) != (cut.side.count(to) != 0)) return true;
+  }
+  if (now < drop_until_ && drop_p_ > 0.0) return drop_rng_.chance(drop_p_);
+  return false;
+}
+
+SimTime FaultScheduler::extra_delay(NodeId from, NodeId to) {
+  if (jitter_max_ <= 0 || net_.simulator().now() >= jitter_until_) return 0;
+  if (!is_target(from) || !is_target(to)) return 0;
+  return static_cast<SimTime>(
+      drop_rng_.next_below(static_cast<std::uint64_t>(jitter_max_) + 1));
+}
+
+std::string FaultScheduler::describe() const {
+  std::ostringstream oss;
+  for (const FaultEvent& ev : plan_) {
+    oss << "  t=" << to_seconds(ev.at) << "s " << to_string(ev.kind);
+    switch (ev.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kEquivocate:
+        oss << " node " << ev.a;
+        break;
+      case FaultKind::kPairPartition:
+        oss << " " << ev.a << "<->" << ev.b;
+        break;
+      case FaultKind::kZonePartition: {
+        oss << " {";
+        for (std::size_t i = 0; i < ev.side.size(); ++i) {
+          oss << (i != 0 ? "," : "") << ev.side[i];
+        }
+        oss << "}";
+        break;
+      }
+      case FaultKind::kJitter:
+        oss << " <=" << to_milliseconds(ev.jitter) << "ms";
+        break;
+      case FaultKind::kDrops:
+        oss << " p=" << ev.p;
+        break;
+    }
+    if (ev.window > 0) oss << " for " << to_seconds(ev.window) << "s";
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace predis::sim

@@ -1,0 +1,134 @@
+// Seed-driven fault schedules for swarm testing.
+//
+// A FaultScheduler derives, from a single RNG seed, a deterministic
+// plan of timed fault events over a run — node crash/restart, pairwise
+// and zone-level partitions that heal after a window, extra-delay
+// jitter, probabilistic message drops, and Byzantine producer
+// equivocation (delegated to the embedding harness via a hook) — and
+// drives them through the Network's existing fault-injection surface
+// (set_node_down, DropFilter, DelayFn). Every random choice comes from
+// the scheduler's own Rng and every action is scheduled through the
+// simulator, so two runs with the same seed replay the exact same
+// fault sequence.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+
+namespace predis::sim {
+
+enum class FaultKind {
+  kCrash,          ///< Node down, restarts after the window.
+  kPairPartition,  ///< Both directions between two nodes cut.
+  kZonePartition,  ///< One region (or random half) cut from the rest.
+  kJitter,         ///< Random extra delay on every target link.
+  kDrops,          ///< Each target-to-target message dropped with prob p.
+  kEquivocate,     ///< Byzantine producer equivocation (via hook).
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  SimTime at = 0;      ///< Injection time.
+  SimTime window = 0;  ///< Duration until heal/restart (0 = permanent).
+  FaultKind kind = FaultKind::kCrash;
+  NodeId a = kNoNode;  ///< Crashed node / pair member / equivocator.
+  NodeId b = kNoNode;  ///< Second pair member.
+  std::vector<NodeId> side;  ///< Zone partition: nodes cut from the rest.
+  double p = 0.0;            ///< Drop probability.
+  SimTime jitter = 0;        ///< Max extra one-way delay.
+};
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 1;
+  /// Faults are injected inside [start, horizon); every windowed fault
+  /// heals by horizon + max_window, leaving the tail of the run clean
+  /// so liveness-after-heal is checkable.
+  SimTime start = seconds(1);
+  SimTime horizon = seconds(5);
+  std::size_t events = 6;  ///< Fault events composed per run.
+  /// Crash-concurrency cap: at most this many targets down at once
+  /// (keep <= f so a quorum of correct nodes always exists).
+  std::size_t max_crashed = 1;
+  SimTime min_window = milliseconds(200);
+  SimTime max_window = milliseconds(1200);
+  double max_drop_prob = 0.25;
+  SimTime max_jitter = milliseconds(100);
+  /// Per-kind enables; disabled kinds are never drawn.
+  bool crashes = true;
+  bool pair_partitions = true;
+  bool zone_partitions = true;
+  bool jitter = true;
+  bool drops = true;
+  bool equivocation = false;
+  /// At most this many distinct equivocators (keep <= f).
+  std::size_t max_equivocators = 1;
+};
+
+class FaultScheduler {
+ public:
+  /// `targets` are the nodes faults apply to (the consensus group);
+  /// traffic to or from non-targets (clients) is never disturbed.
+  FaultScheduler(Network& net, std::vector<NodeId> targets,
+                 FaultPlanConfig config);
+
+  /// Install the drop filter / delay hook on the network and schedule
+  /// every planned event. Call before Network::start().
+  void arm();
+
+  const std::vector<FaultEvent>& plan() const { return plan_; }
+
+  /// Earliest time by which every windowed fault has healed.
+  SimTime healed_by() const { return healed_by_; }
+
+  /// Events whose injection time has passed (after a run: all of them).
+  std::size_t faults_injected() const { return injected_; }
+
+  /// One line per planned event, for repro logs.
+  std::string describe() const;
+
+  /// Equivocation delegate: the harness flips the node's producer into
+  /// emitting conflicting bundles. Unset = equivocation events no-op.
+  std::function<void(NodeId)> on_equivocate;
+
+ private:
+  void build_plan();
+  void apply(const FaultEvent& event);
+  bool should_drop(NodeId from, NodeId to);
+  SimTime extra_delay(NodeId from, NodeId to);
+  bool is_target(NodeId id) const;
+
+  Network& net_;
+  std::vector<NodeId> targets_;
+  FaultPlanConfig cfg_;
+  Rng rng_;       ///< Plan construction (exhausted before the run).
+  Rng drop_rng_;  ///< Runtime per-message drop/jitter decisions.
+
+  std::vector<FaultEvent> plan_;
+  SimTime healed_by_ = 0;
+  std::size_t injected_ = 0;
+
+  // Active-fault state consulted by the installed hooks.
+  struct ActiveCut {
+    std::set<NodeId> side;
+    SimTime until = 0;
+  };
+  struct ActivePair {
+    NodeId a = kNoNode;
+    NodeId b = kNoNode;
+    SimTime until = 0;
+  };
+  std::vector<ActiveCut> cuts_;
+  std::vector<ActivePair> pairs_;
+  double drop_p_ = 0.0;
+  SimTime drop_until_ = 0;
+  SimTime jitter_max_ = 0;
+  SimTime jitter_until_ = 0;
+};
+
+}  // namespace predis::sim

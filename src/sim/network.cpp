@@ -42,7 +42,10 @@ void Network::send(NodeId from, NodeId to, MsgPtr msg) {
   }
   Node& src = nodes_[from];
   Node& dst = nodes_[to];
-  if (src.down) return;
+  if (src.down) {
+    ++src.stats.messages_dropped;
+    return;
+  }
 
   const std::size_t size = msg->wire_size() + kTransportOverhead;
 
@@ -79,6 +82,9 @@ void Network::send(NodeId from, NodeId to, MsgPtr msg) {
     if (dst2.down || dst2.actor == nullptr) return;
     dst2.stats.bytes_received += size;
     ++dst2.stats.messages_received;
+    if (tracer_ != nullptr) {
+      tracer_->record_delivery(sim_.now(), from, to, size, msg->name());
+    }
     dst2.actor->on_message(from, msg);
   });
 }

@@ -23,6 +23,7 @@
 #include "common/types.hpp"
 #include "sim/message.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 
 namespace predis::sim {
 
@@ -119,6 +120,10 @@ class Network {
   using DelayFn = std::function<SimTime(NodeId from, NodeId to)>;
   void set_extra_delay(DelayFn fn) { extra_delay_ = std::move(fn); }
 
+  /// Optional trace hasher folding every completed delivery into a
+  /// running digest (see sim/trace.hpp). Must outlive the run.
+  void set_tracer(TraceHasher* tracer) { tracer_ = tracer; }
+
   // --- Accounting ------------------------------------------------------
 
   const TrafficStats& stats(NodeId id) const { return nodes_[id].stats; }
@@ -151,6 +156,7 @@ class Network {
   std::vector<Node> nodes_;
   DropFilter drop_filter_;
   DelayFn extra_delay_;
+  TraceHasher* tracer_ = nullptr;
 };
 
 }  // namespace predis::sim

@@ -1,0 +1,180 @@
+// InvariantChecker: each invariant trips on the exact violation shape
+// it documents and stays quiet on conforming histories.
+#include "core/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bundle/mempool.hpp"
+
+namespace predis::core {
+namespace {
+
+Hash32 digest(std::uint8_t tag) {
+  Hash32 h = kZeroHash;
+  h[0] = tag;
+  return h;
+}
+
+InvariantConfig quiet_config() {
+  InvariantConfig cfg;
+  cfg.check_reconstruction = false;  // no mempool in these tests
+  return cfg;
+}
+
+TEST(Invariants, AgreementHoldsOnIdenticalLogs) {
+  InvariantChecker inv(quiet_config());
+  for (std::size_t node = 0; node < 4; ++node) {
+    for (std::uint64_t slot = 1; slot <= 5; ++slot) {
+      inv.on_commit(node, slot, digest(static_cast<std::uint8_t>(slot)),
+                    seconds(1));
+    }
+  }
+  inv.finalize();
+  EXPECT_TRUE(inv.ok()) << inv.report();
+  EXPECT_EQ(inv.commits_checked(), 20u);
+}
+
+TEST(Invariants, AgreementTripsOnConflictingDigests) {
+  InvariantChecker inv(quiet_config());
+  inv.on_commit(0, 7, digest(1), seconds(1));
+  inv.on_commit(1, 7, digest(2), seconds(1));
+  ASSERT_FALSE(inv.ok());
+  EXPECT_EQ(inv.violations()[0].invariant, "agreement");
+  EXPECT_EQ(inv.violations()[0].slot, 7u);
+}
+
+TEST(Invariants, AgreementTripsOnSelfRecommitWithNewDigest) {
+  InvariantChecker inv(quiet_config());
+  inv.on_commit(2, 3, digest(1), seconds(1));
+  inv.on_commit(2, 3, digest(9), seconds(2));
+  ASSERT_FALSE(inv.ok());
+  EXPECT_EQ(inv.violations()[0].invariant, "agreement");
+}
+
+TEST(Invariants, ByzantineNodesAreExcused) {
+  InvariantChecker inv(quiet_config());
+  inv.set_byzantine(1, true);
+  inv.on_commit(0, 7, digest(1), seconds(1));
+  inv.on_commit(1, 7, digest(2), seconds(1));  // byzantine: ignored
+  inv.finalize();
+  EXPECT_TRUE(inv.ok()) << inv.report();
+}
+
+TEST(Invariants, PrefixSweepPinsDivergedPair) {
+  InvariantChecker inv(quiet_config());
+  // Slot 4 agrees; slot 5 diverges between nodes 0 and 2. The
+  // streaming check already flags slot 5 once; finalize() attributes
+  // the pair.
+  inv.on_commit(0, 4, digest(4), seconds(1));
+  inv.on_commit(2, 4, digest(4), seconds(1));
+  inv.on_commit(0, 5, digest(5), seconds(1));
+  inv.on_commit(2, 5, digest(6), seconds(1));
+  inv.finalize();
+  ASSERT_FALSE(inv.ok());
+  bool prefix_found = false;
+  for (const Violation& v : inv.violations()) {
+    if (v.invariant == std::string("prefix")) {
+      prefix_found = true;
+      EXPECT_EQ(v.slot, 5u);
+    }
+  }
+  EXPECT_TRUE(prefix_found);
+}
+
+// --- Predis block invariants -------------------------------------------
+
+Mempool make_pool() {
+  std::vector<PublicKey> keys;
+  for (NodeId id = 0; id < 4; ++id) {
+    keys.push_back(KeyPair::from_seed(id).public_key());
+  }
+  return Mempool(4, std::move(keys));
+}
+
+PredisBlock make_block(std::uint64_t height,
+                       std::vector<BundleHeight> prev,
+                       std::vector<BundleHeight> cut) {
+  PredisBlock b;
+  b.height = height;
+  b.view = height;
+  b.leader = 0;
+  b.prev_heights = std::move(prev);
+  b.cut_heights = std::move(cut);
+  return b;
+}
+
+TEST(Invariants, CutMonotoneTripsOnRegression) {
+  InvariantConfig cfg = quiet_config();
+  InvariantChecker inv(cfg);
+  Mempool pool = make_pool();
+  inv.on_predis_executed(0, make_block(1, {0, 0, 0, 0}, {5, 5, 5, 5}),
+                         pool, seconds(1));
+  EXPECT_TRUE(inv.ok()) << inv.report();
+  // Cut for chain 2 regresses below the previously executed cut.
+  inv.on_predis_executed(0, make_block(2, {5, 5, 5, 5}, {6, 6, 4, 6}),
+                         pool, seconds(2));
+  ASSERT_FALSE(inv.ok());
+  EXPECT_EQ(inv.violations()[0].invariant, "cut-monotone");
+}
+
+TEST(Invariants, BanListTripsOnPostBanProposal) {
+  InvariantConfig cfg = quiet_config();
+  cfg.ban_grace = seconds(1);
+  InvariantChecker inv(cfg);
+  Mempool pool = make_pool();
+
+  inv.on_ban(0, 2, seconds(1));
+  // Block advancing chain 2, born (first proposed) well past the
+  // ban + grace: violation.
+  PredisBlock late = make_block(9, {5, 5, 5, 5}, {6, 6, 7, 6});
+  inv.on_predis_proposed(1, late, seconds(5));
+  inv.on_commit(0, 9, digest(9), seconds(5) + milliseconds(100));
+  inv.on_predis_executed(0, late, pool, seconds(5) + milliseconds(200));
+  ASSERT_FALSE(inv.ok());
+  EXPECT_EQ(inv.violations()[0].invariant, "ban-list");
+}
+
+TEST(Invariants, BanListExcusesPreBanProposalsCommittedLate) {
+  InvariantConfig cfg = quiet_config();
+  cfg.ban_grace = seconds(1);
+  InvariantChecker inv(cfg);
+  Mempool pool = make_pool();
+
+  // Block born before the ban, stalled by faults, committed long
+  // after: legitimate.
+  PredisBlock stalled = make_block(9, {5, 5, 5, 5}, {6, 6, 7, 6});
+  inv.on_predis_proposed(1, stalled, milliseconds(900));
+  inv.on_ban(0, 2, seconds(1));
+  inv.on_commit(0, 9, digest(9), seconds(8));
+  inv.on_predis_executed(0, stalled, pool, seconds(8));
+  EXPECT_TRUE(inv.ok()) << inv.report();
+}
+
+TEST(Invariants, BanListClearedByRejoin) {
+  InvariantConfig cfg = quiet_config();
+  cfg.ban_grace = seconds(1);
+  InvariantChecker inv(cfg);
+  Mempool pool = make_pool();
+
+  inv.on_ban(0, 2, seconds(1));
+  inv.on_unban(0, 2);
+  PredisBlock late = make_block(9, {5, 5, 5, 5}, {6, 6, 7, 6});
+  inv.on_predis_proposed(1, late, seconds(5));
+  inv.on_commit(0, 9, digest(9), seconds(5));
+  inv.on_predis_executed(0, late, pool, seconds(5));
+  EXPECT_TRUE(inv.ok()) << inv.report();
+}
+
+TEST(Invariants, ReportListsEveryViolation) {
+  InvariantChecker inv(quiet_config());
+  inv.on_commit(0, 1, digest(1), seconds(1));
+  inv.on_commit(1, 1, digest(2), seconds(1));
+  inv.on_commit(0, 2, digest(3), seconds(1));
+  inv.on_commit(1, 2, digest(4), seconds(1));
+  const std::string report = inv.report();
+  EXPECT_NE(report.find("2 violation(s)"), std::string::npos);
+  EXPECT_NE(report.find("agreement"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace predis::core

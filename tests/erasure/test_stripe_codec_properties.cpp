@@ -1,0 +1,100 @@
+// Randomized availability property (§IV-D): for random bundles and
+// random erasure patterns, any n_c − f of the n_c stripes reconstruct
+// the bundle bit-exactly, while f + 1 losses fail cleanly (throw, never
+// a wrong bundle). Seeded Rng keeps every run reproducible.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "erasure/stripe_codec.hpp"
+
+namespace predis::erasure {
+namespace {
+
+Bundle random_bundle(Rng& rng) {
+  std::vector<Transaction> txs;
+  const std::size_t tx_count = rng.next_below(60);
+  for (std::size_t i = 0; i < tx_count; ++i) {
+    Transaction tx;
+    tx.client = static_cast<NodeId>(rng.next_below(16));
+    tx.seq = rng.next();
+    tx.size = 128 + static_cast<std::uint32_t>(rng.next_below(1024));
+    tx.payload_seed = rng.next();
+    txs.push_back(tx);
+  }
+  std::vector<BundleHeight> tips;
+  for (std::size_t i = 0; i < 4; ++i) tips.push_back(rng.next_below(100));
+  Hash32 parent = kZeroHash;
+  parent[0] = static_cast<std::uint8_t>(rng.next_below(256));
+  const NodeId producer = static_cast<NodeId>(rng.next_below(4));
+  return make_bundle(producer, 1 + rng.next_below(50), parent,
+                     std::move(tips), std::move(txs),
+                     KeyPair::from_seed(producer));
+}
+
+/// Drop exactly `losses` distinct random stripes.
+std::vector<std::optional<Stripe>> with_losses(
+    const std::vector<Stripe>& stripes, std::size_t losses, Rng& rng) {
+  std::vector<std::optional<Stripe>> input(stripes.begin(), stripes.end());
+  std::vector<std::size_t> order(stripes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < losses; ++i) input[order[i]].reset();
+  return input;
+}
+
+TEST(StripeCodecProperties, AnyFLossesDecodeForRandomBundles) {
+  Rng rng(20260806);
+  for (const auto& [n_c, f] : std::vector<std::pair<std::size_t,
+                                                    std::size_t>>{
+           {4, 1}, {7, 2}, {10, 3}}) {
+    const StripeCodec codec(n_c - f, n_c);
+    for (int round = 0; round < 20; ++round) {
+      const Bundle b = random_bundle(rng);
+      const auto encoded = codec.encode(b);
+      ASSERT_EQ(encoded.stripes.size(), n_c);
+      for (const Stripe& s : encoded.stripes) {
+        EXPECT_TRUE(StripeCodec::verify(s, encoded.stripe_root));
+      }
+      const std::size_t losses = rng.next_below(f + 1);  // 0..f
+      const auto input = with_losses(encoded.stripes, losses, rng);
+      EXPECT_EQ(codec.decode(input), b)
+          << "n_c=" << n_c << " losses=" << losses << " round=" << round;
+    }
+  }
+}
+
+TEST(StripeCodecProperties, FPlusOneLossesFailCleanly) {
+  Rng rng(997);
+  for (const auto& [n_c, f] : std::vector<std::pair<std::size_t,
+                                                    std::size_t>>{
+           {4, 1}, {7, 2}, {10, 3}}) {
+    const StripeCodec codec(n_c - f, n_c);
+    for (int round = 0; round < 10; ++round) {
+      const Bundle b = random_bundle(rng);
+      const auto encoded = codec.encode(b);
+      // One loss past the tolerance: decode must throw, never hand
+      // back a wrong bundle.
+      const auto input = with_losses(
+          encoded.stripes, f + 1 + rng.next_below(f + 1), rng);
+      EXPECT_THROW(codec.decode(input), std::invalid_argument)
+          << "n_c=" << n_c << " round=" << round;
+    }
+  }
+}
+
+TEST(StripeCodecProperties, TamperedStripeFailsVerification) {
+  Rng rng(31337);
+  const StripeCodec codec(3, 4);
+  for (int round = 0; round < 10; ++round) {
+    const Bundle b = random_bundle(rng);
+    auto encoded = codec.encode(b);
+    Stripe& victim =
+        encoded.stripes[rng.next_below(encoded.stripes.size())];
+    ASSERT_FALSE(victim.data.empty());
+    victim.data[rng.next_below(victim.data.size())] ^= 0x01;
+    EXPECT_FALSE(StripeCodec::verify(victim, encoded.stripe_root));
+  }
+}
+
+}  // namespace
+}  // namespace predis::erasure

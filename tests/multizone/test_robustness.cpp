@@ -37,6 +37,16 @@ TEST(Robustness, Eq4MinimumRelayerCount) {
   EXPECT_EQ(min_relayers_per_zone(1e-6, 1e-4), 1u);
 }
 
+TEST(Robustness, Eq4UnsatisfiableReturnsNullopt) {
+  // Relayers that surely fail can never meet any finite bound.
+  EXPECT_EQ(min_relayers_per_zone(1.0, 1e-4), std::nullopt);
+  // A zero failure target is unreachable with fallible relayers.
+  EXPECT_EQ(min_relayers_per_zone(0.1, 0.0), std::nullopt);
+  // Infallible relayers and trivial targets need exactly one.
+  EXPECT_EQ(min_relayers_per_zone(0.0, 1e-4), 1u);
+  EXPECT_EQ(min_relayers_per_zone(0.1, 1.0), 1u);
+}
+
 TEST(Robustness, MonotoneInRelayerCount) {
   const double pc = node_failure_probability(10, 100);
   double previous = 1.0;

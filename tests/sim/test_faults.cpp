@@ -1,0 +1,116 @@
+// FaultScheduler: seed determinism, plan shape, and network effects.
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/environments.hpp"
+
+namespace predis::sim {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Network net{sim, LatencyMatrix::uniform(1, milliseconds(10))};
+  std::vector<NodeId> targets;
+
+  explicit Fixture(std::size_t n = 4) {
+    for (std::size_t i = 0; i < n; ++i) {
+      targets.push_back(net.add_node(NodeConfig{}));
+    }
+  }
+};
+
+TEST(FaultScheduler, SameSeedSamePlan) {
+  FaultPlanConfig cfg;
+  cfg.seed = 42;
+  cfg.events = 8;
+  cfg.equivocation = true;
+  Fixture a, b;
+  FaultScheduler fa(a.net, a.targets, cfg);
+  FaultScheduler fb(b.net, b.targets, cfg);
+  EXPECT_EQ(fa.describe(), fb.describe());
+  EXPECT_EQ(fa.healed_by(), fb.healed_by());
+  ASSERT_EQ(fa.plan().size(), fb.plan().size());
+  for (std::size_t i = 0; i < fa.plan().size(); ++i) {
+    EXPECT_EQ(fa.plan()[i].at, fb.plan()[i].at) << i;
+    EXPECT_EQ(fa.plan()[i].kind, fb.plan()[i].kind) << i;
+  }
+}
+
+TEST(FaultScheduler, DifferentSeedsDifferentPlans) {
+  FaultPlanConfig cfg;
+  cfg.events = 8;
+  Fixture a, b;
+  cfg.seed = 1;
+  FaultScheduler fa(a.net, a.targets, cfg);
+  cfg.seed = 2;
+  FaultScheduler fb(b.net, b.targets, cfg);
+  EXPECT_NE(fa.describe(), fb.describe());
+}
+
+TEST(FaultScheduler, PlanRespectsConfig) {
+  FaultPlanConfig cfg;
+  cfg.seed = 7;
+  cfg.events = 12;
+  cfg.equivocation = false;
+  Fixture f;
+  FaultScheduler fs(f.net, f.targets, cfg);
+
+  EXPECT_EQ(fs.plan().size(), cfg.events);
+  SimTime latest_heal = 0;
+  for (const FaultEvent& e : fs.plan()) {
+    EXPECT_GE(e.at, cfg.start);
+    EXPECT_LT(e.at, cfg.horizon);
+    EXPECT_NE(e.kind, FaultKind::kEquivocate);
+    latest_heal = std::max(latest_heal, e.at + e.window);
+  }
+  EXPECT_GE(fs.healed_by(), latest_heal);
+}
+
+TEST(FaultScheduler, InjectsEveryEventAndHealsByDeadline) {
+  FaultPlanConfig cfg;
+  cfg.seed = 11;
+  cfg.events = 6;
+  Fixture f;
+  FaultScheduler fs(f.net, f.targets, cfg);
+  fs.arm();
+  f.sim.run_until(fs.healed_by() + seconds(1));
+
+  EXPECT_EQ(fs.faults_injected(), cfg.events);
+  // Every crash healed: no target still down.
+  for (NodeId id : f.targets) {
+    EXPECT_FALSE(f.net.is_down(id)) << id;
+  }
+}
+
+TEST(FaultScheduler, EquivocatorPopulationStaysWithinCap) {
+  FaultPlanConfig cfg;
+  cfg.seed = 3;
+  cfg.events = 10;
+  cfg.equivocation = true;
+  cfg.max_equivocators = 1;
+  // Only equivocation enabled -> every drawn event targets the
+  // Byzantine population, which must stay within max_equivocators
+  // distinct nodes (excess draws are demoted to benign drops).
+  cfg.crashes = cfg.pair_partitions = cfg.zone_partitions = false;
+  cfg.jitter = cfg.drops = false;
+  Fixture f;
+  FaultScheduler fs(f.net, f.targets, cfg);
+  std::vector<NodeId> hits;
+  fs.on_equivocate = [&](NodeId id) { hits.push_back(id); };
+  fs.arm();
+  f.sim.run_until(cfg.horizon + seconds(1));
+
+  ASSERT_GE(hits.size(), 1u);
+  const std::set<NodeId> distinct(hits.begin(), hits.end());
+  EXPECT_LE(distinct.size(), cfg.max_equivocators);
+  for (NodeId id : distinct) {
+    EXPECT_EQ(std::count(f.targets.begin(), f.targets.end(), id), 1);
+  }
+}
+
+}  // namespace
+}  // namespace predis::sim
