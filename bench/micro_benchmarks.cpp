@@ -49,36 +49,101 @@ void BM_SignVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_SignVerify);
 
+// The GF(2^8) row kernel underneath every Reed-Solomon byte: one fused
+// dst ^= coeff * src pass. Arg: row length in bytes.
+void BM_GfMulRowAdd(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const Bytes src = random_bytes(len, 17);
+  Bytes dst = random_bytes(len, 18);
+  for (auto _ : state) {
+    erasure::GF256::mul_row_add(dst.data(), src.data(), 0x57, len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_GfMulRowAdd)->Arg(1024)->Arg(9362)->Arg(65536);
+
+void BM_GfMulRowAddPortable(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const Bytes src = random_bytes(len, 17);
+  Bytes dst = random_bytes(len, 18);
+  for (auto _ : state) {
+    erasure::GF256::mul_row_add_portable(dst.data(), src.data(), 0x57, len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_GfMulRowAddPortable)->Arg(1024)->Arg(9362)->Arg(65536);
+
 // The paper's §V-B observation: encoding/decoding a 50-tx bundle costs
-// "several microseconds". Args: {k, n} with a 25.6 KB payload.
+// "several microseconds". Args: {k, n, payload bytes}. 25'600 = 50 txs
+// x 512 B (the paper's bundle); 65'536 = the BENCH_erasure.json
+// reference point at (7, 10).
 void BM_ReedSolomonEncode(benchmark::State& state) {
   const erasure::ReedSolomon rs(static_cast<std::size_t>(state.range(0)),
                                 static_cast<std::size_t>(state.range(1)));
-  const Bytes bundle = random_bytes(25'600, 3);  // 50 x 512 B
+  const auto payload_size = static_cast<std::size_t>(state.range(2));
+  const Bytes bundle = random_bytes(payload_size, 3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(rs.encode(bundle));
   }
-  state.SetBytesProcessed(state.iterations() * 25'600);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload_size));
 }
-BENCHMARK(BM_ReedSolomonEncode)->Args({3, 4})->Args({6, 8})->Args({11, 16});
+BENCHMARK(BM_ReedSolomonEncode)
+    ->Args({3, 4, 25'600})
+    ->Args({6, 8, 25'600})
+    ->Args({11, 16, 25'600})
+    ->Args({7, 10, 16'384})
+    ->Args({7, 10, 65'536})
+    ->Args({7, 10, 262'144});
+
+// Allocation-free variant: shard buffers provided by the caller.
+void BM_ReedSolomonEncodeInto(benchmark::State& state) {
+  const erasure::ReedSolomon rs(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)));
+  const auto payload_size = static_cast<std::size_t>(state.range(2));
+  const Bytes bundle = random_bytes(payload_size, 3);
+  std::vector<Bytes> shards(rs.total_shards(),
+                            Bytes(rs.shard_size(payload_size)));
+  std::vector<MutBytesView> views(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    views[i] = MutBytesView(shards[i]);
+  }
+  for (auto _ : state) {
+    rs.encode_into(bundle, views);
+    benchmark::DoNotOptimize(shards.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload_size));
+}
+BENCHMARK(BM_ReedSolomonEncodeInto)
+    ->Args({3, 4, 25'600})
+    ->Args({7, 10, 65'536})
+    ->Args({11, 16, 25'600});
 
 void BM_ReedSolomonDecodeWithLoss(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   const auto n = static_cast<std::size_t>(state.range(1));
+  const auto payload_size = static_cast<std::size_t>(state.range(2));
   const erasure::ReedSolomon rs(k, n);
-  const Bytes bundle = random_bytes(25'600, 4);
+  const Bytes bundle = random_bytes(payload_size, 4);
   const auto shards = rs.encode(bundle);
   std::vector<std::optional<Bytes>> input(shards.begin(), shards.end());
   for (std::size_t i = 0; i < n - k; ++i) input[i].reset();  // worst case
   for (auto _ : state) {
     benchmark::DoNotOptimize(rs.decode(input));
   }
-  state.SetBytesProcessed(state.iterations() * 25'600);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload_size));
 }
 BENCHMARK(BM_ReedSolomonDecodeWithLoss)
-    ->Args({3, 4})
-    ->Args({6, 8})
-    ->Args({11, 16});
+    ->Args({3, 4, 25'600})
+    ->Args({6, 8, 25'600})
+    ->Args({11, 16, 25'600})
+    ->Args({7, 10, 16'384})
+    ->Args({7, 10, 65'536})
+    ->Args({7, 10, 262'144});
 
 std::vector<Transaction> make_txs(std::size_t count) {
   std::vector<Transaction> txs(count);

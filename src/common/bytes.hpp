@@ -11,6 +11,7 @@ namespace predis {
 
 using Bytes = std::vector<std::uint8_t>;
 using BytesView = std::span<const std::uint8_t>;
+using MutBytesView = std::span<std::uint8_t>;
 
 /// Render a byte span as lowercase hex ("deadbeef").
 std::string to_hex(BytesView data);

@@ -29,6 +29,11 @@ class Writer {
  public:
   Writer() = default;
 
+  /// Adopt an existing buffer, clearing its contents but keeping its
+  /// capacity — lets hot paths reuse one allocation across encodes:
+  ///   Writer w(std::move(scratch)); ...; scratch = std::move(w).take();
+  explicit Writer(Bytes&& buf) : buf_(std::move(buf)) { buf_.clear(); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
 
   void u16(std::uint16_t v) { write_le(v); }

@@ -23,20 +23,25 @@ MerkleTree::MerkleTree(std::vector<Hash32> leaves) {
 }
 
 MerkleProof MerkleTree::prove(std::size_t index) const {
+  MerkleProof proof;
+  prove_into(index, proof);
+  return proof;
+}
+
+void MerkleTree::prove_into(std::size_t index, MerkleProof& out) const {
   if (index >= leaf_count()) {
     throw std::out_of_range("MerkleTree::prove: index out of range");
   }
-  MerkleProof proof;
-  proof.leaf_index = index;
+  out.leaf_index = index;
+  out.siblings.clear();
   std::size_t i = index;
   for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
     const auto& nodes = levels_[level];
     const std::size_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
-    proof.siblings.push_back(sibling < nodes.size() ? nodes[sibling]
-                                                    : nodes[i]);
+    out.siblings.push_back(sibling < nodes.size() ? nodes[sibling]
+                                                  : nodes[i]);
     i /= 2;
   }
-  return proof;
 }
 
 Hash32 MerkleTree::root_of(const std::vector<Hash32>& leaves) {

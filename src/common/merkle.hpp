@@ -37,6 +37,10 @@ class MerkleTree {
   /// Proof for the leaf at `index` (must be < leaf_count()).
   MerkleProof prove(std::size_t index) const;
 
+  /// Same, writing into a caller-owned proof whose siblings capacity is
+  /// reused — the stripe codec's per-stripe-allocation-free path.
+  void prove_into(std::size_t index, MerkleProof& out) const;
+
   /// Convenience: root over leaves without keeping the tree.
   static Hash32 root_of(const std::vector<Hash32>& leaves);
 

@@ -1,6 +1,9 @@
 // Cross-cutting experiment metrics: committed-transaction throughput,
-// client-observed latency, block production and per-node bandwidth are
-// recorded here by protocol engines and read by the bench harness.
+// client-observed latency, block production, and aggregate bytes
+// sent/received are recorded here by protocol engines and experiment
+// drivers and read by the bench harness. (Per-node bandwidth lives in
+// sim::Network::stats(node); experiments fold it into these aggregate
+// byte counters.)
 #pragma once
 
 #include <cstdint>
@@ -27,8 +30,14 @@ class Metrics {
   /// Count a transaction submitted by a client (offered load).
   void record_submitted(std::size_t n = 1) { submitted_txs_ += n; }
 
+  /// Aggregate wire bytes (all nodes; dissemination + consensus).
+  void record_bytes_sent(std::uint64_t n) { bytes_sent_ += n; }
+  void record_bytes_received(std::uint64_t n) { bytes_received_ += n; }
+
   std::uint64_t committed_txs() const { return committed_txs_; }
   std::uint64_t submitted_txs() const { return submitted_txs_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
 
   /// Committed transactions per second inside [from, to].
   double throughput_tps(SimTime from, SimTime to) const {
@@ -56,6 +65,8 @@ class Metrics {
   Percentiles latencies_;
   std::uint64_t committed_txs_ = 0;
   std::uint64_t submitted_txs_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
 };
 
 }  // namespace predis

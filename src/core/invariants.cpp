@@ -149,31 +149,31 @@ void InvariantChecker::check_reconstruction(const Bundle& bundle,
     add("reconstruction", slot, when, oss.str());
   };
 
-  try {
-    const auto encoded = codec.encode(bundle);
-    std::vector<std::optional<erasure::Stripe>> received;
-    received.reserve(n);
-    for (const auto& stripe : encoded.stripes) {
-      if (!erasure::StripeCodec::verify(stripe, encoded.stripe_root)) {
-        fail("stripe fails verification against its own root");
-        return;
-      }
-      received.emplace_back(stripe);
+  const auto encoded = codec.encode(bundle);
+  std::vector<std::optional<erasure::Stripe>> received;
+  received.reserve(n);
+  for (const auto& stripe : encoded.stripes) {
+    if (!erasure::StripeCodec::verify(stripe, encoded.stripe_root)) {
+      fail("stripe fails verification against its own root");
+      return;
     }
-    // Deterministic erasure pattern: drop f stripes chosen from the
-    // bundle's header hash, so reruns of a seed re-check identically.
-    const Hash32 h = bundle.header.hash();
-    for (std::size_t e = 0; e < cfg_.f; ++e) {
-      std::size_t idx = h[e % h.size()] % n;
-      while (!received[idx].has_value()) idx = (idx + 1) % n;
-      received[idx].reset();
-    }
-    const Bundle decoded = codec.decode(received);
-    if (!(decoded == bundle)) {
-      fail("decoded bundle differs from the original");
-    }
-  } catch (const std::exception& e) {
-    fail(e.what());
+    received.emplace_back(stripe);
+  }
+  // Deterministic erasure pattern: drop f stripes chosen from the
+  // bundle's header hash, so reruns of a seed re-check identically.
+  const Hash32 h = bundle.header.hash();
+  for (std::size_t e = 0; e < cfg_.f; ++e) {
+    std::size_t idx = h[e % h.size()] % n;
+    while (!received[idx].has_value()) idx = (idx + 1) % n;
+    received[idx].reset();
+  }
+  const erasure::Expected<Bundle> decoded = codec.try_decode(received);
+  if (!decoded.ok()) {
+    fail(decoded.error().message.c_str());
+    return;
+  }
+  if (!(decoded.value() == bundle)) {
+    fail("decoded bundle differs from the original");
   }
 }
 

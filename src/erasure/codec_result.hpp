@@ -1,0 +1,90 @@
+// Non-throwing result type for the erasure codec's in-loop callers
+// (swarm harness invariant checks, relayer decode paths): a minimal
+// expected<T, CodecFailure> — std::expected is C++23 and this codebase
+// is C++20. The throwing decode()/deserialize() entry points are thin
+// wrappers that translate a CodecFailure back into the exception the
+// original API contract promised (see throw_failure below).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/codec.hpp"
+
+namespace predis::erasure {
+
+enum class CodecErrorCode {
+  kWrongShardCount,    ///< Input has != n shard slots.
+  kShardSizeMismatch,  ///< Present shards have unequal sizes.
+  kNotEnoughShards,    ///< Fewer than k shards present.
+  kSingularMatrix,     ///< Decode submatrix not invertible.
+  kCorruptPayload,     ///< Recovered length prefix is malformed.
+  kBadStripeIndex,     ///< Stripe index >= n.
+  kMalformedBundle,    ///< Payload decoded but bundle deserialization failed.
+};
+
+inline const char* to_string(CodecErrorCode code) {
+  switch (code) {
+    case CodecErrorCode::kWrongShardCount: return "wrong shard count";
+    case CodecErrorCode::kShardSizeMismatch: return "shard size mismatch";
+    case CodecErrorCode::kNotEnoughShards: return "not enough shards";
+    case CodecErrorCode::kSingularMatrix: return "singular decode matrix";
+    case CodecErrorCode::kCorruptPayload: return "corrupt payload";
+    case CodecErrorCode::kBadStripeIndex: return "bad stripe index";
+    case CodecErrorCode::kMalformedBundle: return "malformed bundle";
+  }
+  return "?";
+}
+
+struct CodecFailure {
+  CodecErrorCode code = CodecErrorCode::kCorruptPayload;
+  std::string message;
+};
+
+/// Re-raise a failure as the exception the throwing API contract uses:
+/// argument-shaped problems (counts, sizes, indices) are
+/// std::invalid_argument, algebra failures std::domain_error, and
+/// corrupted byte content CodecError.
+[[noreturn]] inline void throw_failure(const CodecFailure& failure) {
+  switch (failure.code) {
+    case CodecErrorCode::kCorruptPayload:
+    case CodecErrorCode::kMalformedBundle:
+      throw CodecError(failure.message);
+    case CodecErrorCode::kSingularMatrix:
+      throw std::domain_error(failure.message);
+    default:
+      throw std::invalid_argument(failure.message);
+  }
+}
+
+/// Holds either a T or the CodecFailure explaining why there is none.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value)  // NOLINT(google-explicit-constructor)
+      : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(CodecFailure failure)  // NOLINT(google-explicit-constructor)
+      : state_(std::in_place_index<1>, std::move(failure)) {}
+
+  bool ok() const { return state_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & { return std::get<0>(state_); }
+  const T& value() const& { return std::get<0>(state_); }
+  T&& value() && { return std::get<0>(std::move(state_)); }
+
+  const CodecFailure& error() const { return std::get<1>(state_); }
+
+  /// value() or throw the failure via throw_failure (wrapper helper).
+  T&& value_or_throw() && {
+    if (!ok()) throw_failure(error());
+    return std::get<0>(std::move(state_));
+  }
+
+ private:
+  std::variant<T, CodecFailure> state_;
+};
+
+}  // namespace predis::erasure

@@ -1,6 +1,7 @@
 // Arithmetic over GF(2^8) with the AES/Backblaze-compatible reducing
 // polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), plus a small dense
-// matrix type used to build and invert Reed-Solomon coding matrices.
+// matrix type used to build and invert Reed-Solomon coding matrices,
+// plus the fused row kernels the erasure hot path is built on.
 #pragma once
 
 #include <array>
@@ -23,6 +24,27 @@ class GF256 {
   static GF exp(int power);   // generator^power (power may exceed 255)
   static GF log(GF a);        // throws on a == 0
 
+  /// Fused row kernel: dst[i] ^= coeff * src[i] for i in [0, len).
+  ///
+  /// This is THE erasure hot path: one call per (coding-matrix row,
+  /// shard) pair replaces len element-wise mul() lookups. Backed by
+  /// per-coefficient split low/high-nibble product tables; dispatches
+  /// to an SSSE3 pshufb implementation (16 bytes per step) when the
+  /// build and the CPU both support it, and to the unrolled scalar
+  /// kernel otherwise. dst and src must not overlap unless dst == src.
+  static void mul_row_add(std::uint8_t* dst, const std::uint8_t* src,
+                          GF coeff, std::size_t len);
+
+  /// Portable scalar kernel (same nibble tables, 8 bytes per unrolled
+  /// step). Exposed so tests can pin both paths against the element-wise
+  /// reference independently of what mul_row_add dispatches to.
+  static void mul_row_add_portable(std::uint8_t* dst,
+                                   const std::uint8_t* src, GF coeff,
+                                   std::size_t len);
+
+  /// True when mul_row_add dispatches to the SIMD path on this machine.
+  static bool simd_enabled();
+
  private:
   struct Tables {
     std::array<GF, 512> exp;
@@ -30,6 +52,19 @@ class GF256 {
     Tables();
   };
   static const Tables& tables();
+
+  /// Split product tables: for every coefficient c,
+  ///   lo[c][x] = c * x          (x = low nibble of the source byte)
+  ///   hi[c][x] = c * (x << 4)   (x = high nibble)
+  /// so c * b == lo[c][b & 0xf] ^ hi[c][b >> 4]. Each 16-entry half is
+  /// 16-byte aligned: it is the pshufb shuffle operand of the SSSE3
+  /// kernel and the two-cache-line working set of the scalar one.
+  struct NibbleTables {
+    alignas(16) std::uint8_t lo[256][16];
+    alignas(16) std::uint8_t hi[256][16];
+    NibbleTables();
+  };
+  static const NibbleTables& nibble_tables();
 };
 
 /// Dense matrix over GF(2^8). Row-major.
@@ -47,6 +82,10 @@ class Matrix {
 
   GF& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   GF at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Contiguous row r (cols() coefficients) — the codec streams these
+  /// over shard buffers with GF256::mul_row_add.
+  const GF* row(std::size_t r) const { return data_.data() + r * cols_; }
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }

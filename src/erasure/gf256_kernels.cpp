@@ -1,0 +1,82 @@
+// Row kernels for GF(2^8): the byte-path that Reed-Solomon encode and
+// decode stream coding-matrix rows through. The scalar kernel reads the
+// per-coefficient split-nibble tables eight bytes per unrolled step;
+// when the build enables SSSE3 (see src/erasure/CMakeLists.txt) and the
+// CPU reports support at runtime, dispatch switches to the pshufb
+// kernel in gf256_ssse3.cpp.
+#include "erasure/gf256.hpp"
+
+namespace predis::erasure {
+
+namespace detail {
+#if defined(PREDIS_HAVE_SSSE3)
+bool ssse3_supported();
+void mul_row_add_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                       const std::uint8_t* lo, const std::uint8_t* hi,
+                       std::size_t len);
+#endif
+}  // namespace detail
+
+GF256::NibbleTables::NibbleTables() {
+  for (int c = 0; c < 256; ++c) {
+    for (int x = 0; x < 16; ++x) {
+      lo[c][x] = GF256::mul(static_cast<GF>(c), static_cast<GF>(x));
+      hi[c][x] = GF256::mul(static_cast<GF>(c), static_cast<GF>(x << 4));
+    }
+  }
+}
+
+const GF256::NibbleTables& GF256::nibble_tables() {
+  static const NibbleTables t;
+  return t;
+}
+
+bool GF256::simd_enabled() {
+#if defined(PREDIS_HAVE_SSSE3)
+  return detail::ssse3_supported();
+#else
+  return false;
+#endif
+}
+
+void GF256::mul_row_add_portable(std::uint8_t* dst, const std::uint8_t* src,
+                                 GF coeff, std::size_t len) {
+  const NibbleTables& t = nibble_tables();
+  const std::uint8_t* lo = t.lo[coeff];
+  const std::uint8_t* hi = t.hi[coeff];
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    dst[i + 0] ^= lo[src[i + 0] & 0x0f] ^ hi[src[i + 0] >> 4];
+    dst[i + 1] ^= lo[src[i + 1] & 0x0f] ^ hi[src[i + 1] >> 4];
+    dst[i + 2] ^= lo[src[i + 2] & 0x0f] ^ hi[src[i + 2] >> 4];
+    dst[i + 3] ^= lo[src[i + 3] & 0x0f] ^ hi[src[i + 3] >> 4];
+    dst[i + 4] ^= lo[src[i + 4] & 0x0f] ^ hi[src[i + 4] >> 4];
+    dst[i + 5] ^= lo[src[i + 5] & 0x0f] ^ hi[src[i + 5] >> 4];
+    dst[i + 6] ^= lo[src[i + 6] & 0x0f] ^ hi[src[i + 6] >> 4];
+    dst[i + 7] ^= lo[src[i + 7] & 0x0f] ^ hi[src[i + 7] >> 4];
+  }
+  for (; i < len; ++i) {
+    dst[i] ^= lo[src[i] & 0x0f] ^ hi[src[i] >> 4];
+  }
+}
+
+void GF256::mul_row_add(std::uint8_t* dst, const std::uint8_t* src, GF coeff,
+                        std::size_t len) {
+  if (coeff == 0 || len == 0) return;
+  if (coeff == 1) {
+    // Plain XOR; the compiler vectorizes this with baseline SSE2.
+    for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+    return;
+  }
+#if defined(PREDIS_HAVE_SSSE3)
+  static const bool use_simd = detail::ssse3_supported();
+  if (use_simd) {
+    const NibbleTables& t = nibble_tables();
+    detail::mul_row_add_ssse3(dst, src, t.lo[coeff], t.hi[coeff], len);
+    return;
+  }
+#endif
+  mul_row_add_portable(dst, src, coeff, len);
+}
+
+}  // namespace predis::erasure

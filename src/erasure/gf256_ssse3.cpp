@@ -1,0 +1,76 @@
+// SSSE3 pshufb kernel for GF(2^8) row multiply-accumulate.
+//
+// The classic split-table trick (ISA-L / klauspost lineage): load the
+// coefficient's 16-entry low- and high-nibble product tables into two
+// xmm registers, then each 16-byte block of the source costs two
+// pshufb table lookups and three XORs. This translation unit is the
+// only one compiled with -mssse3 (set in src/erasure/CMakeLists.txt
+// after a compile check), so the rest of the library never emits SSSE3
+// instructions; callers gate on ssse3_supported() at runtime.
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSSE3__)
+#include <tmmintrin.h>
+#endif
+
+namespace predis::erasure::detail {
+
+bool ssse3_supported() {
+#if defined(__SSSE3__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("ssse3");
+#else
+  return false;
+#endif
+}
+
+void mul_row_add_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                       const std::uint8_t* lo, const std::uint8_t* hi,
+                       std::size_t len) {
+#if defined(__SSSE3__)
+  const __m128i vlo = _mm_load_si128(reinterpret_cast<const __m128i*>(lo));
+  const __m128i vhi = _mm_load_si128(reinterpret_cast<const __m128i*>(hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m128i s0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i s1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
+    const __m128i d0 = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    const __m128i d1 =
+        _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i + 16));
+    const __m128i p0 = _mm_xor_si128(
+        _mm_shuffle_epi8(vlo, _mm_and_si128(s0, mask)),
+        _mm_shuffle_epi8(vhi, _mm_and_si128(_mm_srli_epi64(s0, 4), mask)));
+    const __m128i p1 = _mm_xor_si128(
+        _mm_shuffle_epi8(vlo, _mm_and_si128(s1, mask)),
+        _mm_shuffle_epi8(vhi, _mm_and_si128(_mm_srli_epi64(s1, 4), mask)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d0, p0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16),
+                     _mm_xor_si128(d1, p1));
+  }
+  for (; i + 16 <= len; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    const __m128i p = _mm_xor_si128(
+        _mm_shuffle_epi8(vlo, _mm_and_si128(s, mask)),
+        _mm_shuffle_epi8(vhi, _mm_and_si128(_mm_srli_epi64(s, 4), mask)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, p));
+  }
+  for (; i < len; ++i) {
+    dst[i] ^= lo[src[i] & 0x0f] ^ hi[src[i] >> 4];
+  }
+#else
+  (void)dst;
+  (void)src;
+  (void)lo;
+  (void)hi;
+  (void)len;
+#endif
+}
+
+}  // namespace predis::erasure::detail

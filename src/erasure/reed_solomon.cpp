@@ -1,11 +1,27 @@
 #include "erasure/reed_solomon.hpp"
 
+#include <array>
 #include <cstring>
 #include <stdexcept>
 
 #include "common/codec.hpp"
 
 namespace predis::erasure {
+
+namespace {
+
+/// Bridge vector<optional<Bytes>> (owning API) to the span-of-views
+/// core without copying shard bytes.
+std::vector<std::optional<BytesView>> as_views(
+    const std::vector<std::optional<Bytes>>& shards) {
+  std::vector<std::optional<BytesView>> views(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].has_value()) views[i] = BytesView(*shards[i]);
+  }
+  return views;
+}
+
+}  // namespace
 
 ReedSolomon::ReedSolomon(std::size_t data_shards, std::size_t total_shards)
     : k_(data_shards), n_(total_shards), coding_(1, 1) {
@@ -17,63 +33,109 @@ ReedSolomon::ReedSolomon(std::size_t data_shards, std::size_t total_shards)
   coding_ = vm.multiply(top.inverted());
 }
 
-std::vector<Bytes> ReedSolomon::encode(BytesView payload) const {
-  // 4-byte little-endian length prefix, then payload, then zero padding.
-  const std::size_t total = 4 + payload.size();
-  const std::size_t shard_size = (total + k_ - 1) / k_;
-
-  std::vector<Bytes> shards(n_, Bytes(shard_size, 0));
-  Bytes prefixed(shard_size * k_, 0);
-  prefixed[0] = static_cast<std::uint8_t>(payload.size());
-  prefixed[1] = static_cast<std::uint8_t>(payload.size() >> 8);
-  prefixed[2] = static_cast<std::uint8_t>(payload.size() >> 16);
-  prefixed[3] = static_cast<std::uint8_t>(payload.size() >> 24);
-  if (!payload.empty()) {
-    std::memcpy(prefixed.data() + 4, payload.data(), payload.size());
+void ReedSolomon::encode_into(BytesView payload,
+                              std::span<const MutBytesView> shards) const {
+  const std::size_t size = shard_size(payload.size());
+  if (shards.size() != n_) {
+    throw std::invalid_argument("ReedSolomon::encode_into: wrong shard count");
   }
-
-  // Data shards (systematic part) are plain slices.
-  for (std::size_t i = 0; i < k_; ++i) {
-    std::memcpy(shards[i].data(), prefixed.data() + i * shard_size,
-                shard_size);
-  }
-  // Parity shards = coding rows k..n-1 times the data shards.
-  for (std::size_t r = k_; r < n_; ++r) {
-    Bytes& out = shards[r];
-    for (std::size_t c = 0; c < k_; ++c) {
-      const GF factor = coding_.at(r, c);
-      if (factor == 0) continue;
-      const Bytes& in = shards[c];
-      for (std::size_t b = 0; b < shard_size; ++b) {
-        out[b] ^= GF256::mul(factor, in[b]);
-      }
+  for (const MutBytesView& shard : shards) {
+    if (shard.size() != size) {
+      throw std::invalid_argument(
+          "ReedSolomon::encode_into: wrong shard size");
     }
   }
+
+  // Write the 4-byte little-endian length prefix, payload, and zero
+  // padding straight into the k data shards — no staging buffer.
+  const std::array<std::uint8_t, 4> prefix = {
+      static_cast<std::uint8_t>(payload.size()),
+      static_cast<std::uint8_t>(payload.size() >> 8),
+      static_cast<std::uint8_t>(payload.size() >> 16),
+      static_cast<std::uint8_t>(payload.size() >> 24),
+  };
+  const std::uint8_t* src = payload.data();
+  std::size_t remaining = payload.size();
+  std::size_t prefix_left = prefix.size();
+  for (std::size_t i = 0; i < k_; ++i) {
+    std::uint8_t* out = shards[i].data();
+    std::size_t space = size;
+    if (prefix_left > 0) {
+      const std::size_t take = prefix_left < space ? prefix_left : space;
+      std::memcpy(out, prefix.data() + (prefix.size() - prefix_left), take);
+      out += take;
+      space -= take;
+      prefix_left -= take;
+    }
+    const std::size_t take = remaining < space ? remaining : space;
+    if (take > 0) {
+      std::memcpy(out, src, take);
+      src += take;
+      out += take;
+      space -= take;
+      remaining -= take;
+    }
+    if (space > 0) std::memset(out, 0, space);
+  }
+
+  // Parity shards = coding rows k..n-1 times the data shards, one
+  // fused row-kernel call per (row, data shard) pair.
+  for (std::size_t r = k_; r < n_; ++r) {
+    std::uint8_t* out = shards[r].data();
+    std::memset(out, 0, size);
+    const GF* row = coding_.row(r);
+    for (std::size_t c = 0; c < k_; ++c) {
+      GF256::mul_row_add(out, shards[c].data(), row[c], size);
+    }
+  }
+}
+
+std::vector<Bytes> ReedSolomon::encode(BytesView payload) const {
+  const std::size_t size = shard_size(payload.size());
+  std::vector<Bytes> shards(n_, Bytes(size));
+  std::vector<MutBytesView> views(n_);
+  for (std::size_t i = 0; i < n_; ++i) views[i] = MutBytesView(shards[i]);
+  encode_into(payload, views);
   return shards;
 }
 
-std::vector<Bytes> ReedSolomon::recover_data(
-    const std::vector<std::optional<Bytes>>& shards) const {
+std::optional<CodecFailure> ReedSolomon::select_present(
+    std::span<const std::optional<BytesView>> shards,
+    std::vector<std::size_t>& present, std::size_t& size) const {
   if (shards.size() != n_) {
-    throw std::invalid_argument("ReedSolomon::decode: wrong shard count");
+    return CodecFailure{CodecErrorCode::kWrongShardCount,
+                        "ReedSolomon::decode: wrong shard count"};
   }
-  std::vector<std::size_t> present;
-  std::size_t shard_size = 0;
+  present.clear();
+  size = 0;
   for (std::size_t i = 0; i < n_; ++i) {
     if (!shards[i].has_value()) continue;
     if (present.empty()) {
-      shard_size = shards[i]->size();
-    } else if (shards[i]->size() != shard_size) {
-      throw std::invalid_argument("ReedSolomon::decode: shard size mismatch");
+      size = shards[i]->size();
+    } else if (shards[i]->size() != size) {
+      return CodecFailure{CodecErrorCode::kShardSizeMismatch,
+                          "ReedSolomon::decode: shard size mismatch"};
     }
     present.push_back(i);
     if (present.size() == k_) break;
   }
   if (present.size() < k_) {
-    throw std::invalid_argument("ReedSolomon::decode: not enough shards");
+    return CodecFailure{CodecErrorCode::kNotEnoughShards,
+                        "ReedSolomon::decode: not enough shards"};
   }
+  return std::nullopt;
+}
 
-  // Fast path: all k data shards available.
+std::optional<CodecFailure> ReedSolomon::recover_prefixed(
+    std::span<const std::optional<BytesView>> shards, Bytes& prefixed) const {
+  std::vector<std::size_t> present;
+  std::size_t size = 0;
+  if (auto failure = select_present(shards, present, size)) return failure;
+
+  prefixed.clear();
+  prefixed.resize(size * k_);
+
+  // Fast path: all k data shards available — pure memcpy.
   bool systematic = true;
   for (std::size_t i = 0; i < k_; ++i) {
     if (present[i] != i) {
@@ -81,71 +143,111 @@ std::vector<Bytes> ReedSolomon::recover_data(
       break;
     }
   }
-
-  std::vector<Bytes> data(k_);
   if (systematic) {
-    for (std::size_t i = 0; i < k_; ++i) data[i] = *shards[i];
-    return data;
+    for (std::size_t i = 0; i < k_; ++i) {
+      std::memcpy(prefixed.data() + i * size, shards[i]->data(), size);
+    }
+    return std::nullopt;
   }
 
-  const Matrix decode_matrix = coding_.select_rows(present).inverted();
+  Matrix decode_matrix(1, 1);
+  try {
+    decode_matrix = coding_.select_rows(present).inverted();
+  } catch (const std::domain_error& err) {
+    return CodecFailure{CodecErrorCode::kSingularMatrix, err.what()};
+  }
   for (std::size_t r = 0; r < k_; ++r) {
-    data[r] = Bytes(shard_size, 0);
+    std::uint8_t* out = prefixed.data() + r * size;
+    const GF* row = decode_matrix.row(r);
     for (std::size_t c = 0; c < k_; ++c) {
-      const GF factor = decode_matrix.at(r, c);
-      if (factor == 0) continue;
-      const Bytes& in = *shards[present[c]];
-      for (std::size_t b = 0; b < shard_size; ++b) {
-        data[r][b] ^= GF256::mul(factor, in[b]);
-      }
+      GF256::mul_row_add(out, shards[present[c]]->data(), row[c], size);
     }
   }
-  return data;
+  return std::nullopt;
 }
 
-Bytes ReedSolomon::decode(
-    const std::vector<std::optional<Bytes>>& shards) const {
-  const std::vector<Bytes> data = recover_data(shards);
-  const std::size_t shard_size = data[0].size();
-
+Expected<Bytes> ReedSolomon::try_decode(
+    std::span<const std::optional<BytesView>> shards) const {
   Bytes prefixed;
-  prefixed.reserve(shard_size * k_);
-  for (const Bytes& shard : data) {
-    prefixed.insert(prefixed.end(), shard.begin(), shard.end());
+  if (auto failure = recover_prefixed(shards, prefixed)) {
+    return std::move(*failure);
   }
   if (prefixed.size() < 4) {
-    throw CodecError("ReedSolomon::decode: truncated prefix");
+    return CodecFailure{CodecErrorCode::kCorruptPayload,
+                        "ReedSolomon::decode: truncated prefix"};
   }
   const std::size_t len = static_cast<std::size_t>(prefixed[0]) |
                           (static_cast<std::size_t>(prefixed[1]) << 8) |
                           (static_cast<std::size_t>(prefixed[2]) << 16) |
                           (static_cast<std::size_t>(prefixed[3]) << 24);
   if (4 + len > prefixed.size()) {
-    throw CodecError("ReedSolomon::decode: corrupt length prefix");
+    return CodecFailure{CodecErrorCode::kCorruptPayload,
+                        "ReedSolomon::decode: corrupt length prefix"};
   }
-  return Bytes(prefixed.begin() + 4,
-               prefixed.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+  // Slide the payload to the front and trim in place — no second buffer.
+  std::memmove(prefixed.data(), prefixed.data() + 4, len);
+  prefixed.resize(len);
+  return prefixed;
+}
+
+Expected<Bytes> ReedSolomon::try_decode(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  return try_decode(as_views(shards));
+}
+
+Bytes ReedSolomon::decode(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  return try_decode(shards).value_or_throw();
 }
 
 std::vector<Bytes> ReedSolomon::reconstruct_all(
     const std::vector<std::optional<Bytes>>& shards) const {
-  const std::vector<Bytes> data = recover_data(shards);
-  const std::size_t shard_size = data[0].size();
+  const std::vector<std::optional<BytesView>> views = as_views(shards);
+  std::vector<std::size_t> present;
+  std::size_t size = 0;
+  if (auto failure = select_present(views, present, size)) {
+    throw_failure(*failure);
+  }
 
+  // Recover the k data shards first (identity copy when systematic).
   std::vector<Bytes> out(n_);
-  for (std::size_t i = 0; i < k_; ++i) out[i] = data[i];
+  bool systematic = true;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (present[i] != i) {
+      systematic = false;
+      break;
+    }
+  }
+  if (systematic) {
+    for (std::size_t i = 0; i < k_; ++i) out[i] = *shards[i];
+  } else {
+    Matrix decode_matrix(1, 1);
+    try {
+      decode_matrix = coding_.select_rows(present).inverted();
+    } catch (const std::domain_error& err) {
+      throw_failure(
+          CodecFailure{CodecErrorCode::kSingularMatrix, err.what()});
+    }
+    for (std::size_t r = 0; r < k_; ++r) {
+      out[r] = Bytes(size, 0);
+      const GF* row = decode_matrix.row(r);
+      for (std::size_t c = 0; c < k_; ++c) {
+        GF256::mul_row_add(out[r].data(), views[present[c]]->data(), row[c],
+                           size);
+      }
+    }
+  }
+
+  // Re-derive missing parity; keep parity shards that were present.
   for (std::size_t r = k_; r < n_; ++r) {
     if (r < shards.size() && shards[r].has_value()) {
       out[r] = *shards[r];
       continue;
     }
-    out[r] = Bytes(shard_size, 0);
+    out[r] = Bytes(size, 0);
+    const GF* row = coding_.row(r);
     for (std::size_t c = 0; c < k_; ++c) {
-      const GF factor = coding_.at(r, c);
-      if (factor == 0) continue;
-      for (std::size_t b = 0; b < shard_size; ++b) {
-        out[r][b] ^= GF256::mul(factor, data[c][b]);
-      }
+      GF256::mul_row_add(out[r].data(), out[c].data(), row[c], size);
     }
   }
   return out;

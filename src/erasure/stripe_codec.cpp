@@ -1,5 +1,7 @@
 #include "erasure/stripe_codec.hpp"
 
+#include <array>
+#include <span>
 #include <stdexcept>
 
 namespace predis::erasure {
@@ -22,28 +24,46 @@ Bundle StripeCodec::deserialize_bundle(BytesView bytes) {
   return b;
 }
 
-StripeCodec::Encoded StripeCodec::encode(const Bundle& bundle) const {
-  const Bytes payload = serialize_bundle(bundle);
-  std::vector<Bytes> shards = rs_.encode(payload);
+void StripeCodec::encode_into(const Bundle& bundle, Encoded& out) const {
+  const std::size_t n = rs_.total_shards();
+
+  // Serialize into the reusable payload buffer (Writer adopts and
+  // returns it, keeping its capacity).
+  Writer w(std::move(out.payload_scratch));
+  bundle.header.encode(w);
+  w.vec(bundle.txs);
+  out.payload_scratch = std::move(w).take();
+
+  // Cut into shards, writing directly into the retained stripe data
+  // buffers. resize() keeps existing Bytes elements (and their heap
+  // blocks) when the count is unchanged.
+  const std::size_t size = rs_.shard_size(out.payload_scratch.size());
+  out.stripes.resize(n);
+  std::array<MutBytesView, 256> views;  // n <= 256 by construction
+  for (std::size_t i = 0; i < n; ++i) {
+    out.stripes[i].index = static_cast<std::uint32_t>(i);
+    out.stripes[i].data.resize(size);
+    views[i] = MutBytesView(out.stripes[i].data);
+  }
+  rs_.encode_into(out.payload_scratch,
+                  std::span<const MutBytesView>(views.data(), n));
 
   // Merkle tree over the shard hashes — the producer signs its root.
-  std::vector<Hash32> leaves;
-  leaves.reserve(shards.size());
-  for (const Bytes& shard : shards) {
-    leaves.push_back(Sha256::hash(shard));
+  out.leaf_scratch.clear();
+  out.leaf_scratch.reserve(n);
+  for (const Stripe& stripe : out.stripes) {
+    out.leaf_scratch.push_back(Sha256::hash(stripe.data));
   }
-  const MerkleTree tree(leaves);
-
-  Encoded out;
+  const MerkleTree tree(out.leaf_scratch);
   out.stripe_root = tree.root();
-  out.stripes.reserve(shards.size());
-  for (std::size_t i = 0; i < shards.size(); ++i) {
-    Stripe stripe;
-    stripe.index = static_cast<std::uint32_t>(i);
-    stripe.data = std::move(shards[i]);
-    stripe.proof = tree.prove(i);
-    out.stripes.push_back(std::move(stripe));
+  for (std::size_t i = 0; i < n; ++i) {
+    tree.prove_into(i, out.stripes[i].proof);
   }
+}
+
+StripeCodec::Encoded StripeCodec::encode(const Bundle& bundle) const {
+  Encoded out;
+  encode_into(bundle, out);
   return out;
 }
 
@@ -53,17 +73,36 @@ bool StripeCodec::verify(const Stripe& stripe, const Hash32& stripe_root) {
                             stripe.proof);
 }
 
-Bundle StripeCodec::decode(
+Expected<Bundle> StripeCodec::try_decode(
     const std::vector<std::optional<Stripe>>& stripes) const {
-  std::vector<std::optional<Bytes>> shards(rs_.total_shards());
+  std::vector<std::optional<BytesView>> shards(rs_.total_shards());
   for (const auto& stripe : stripes) {
     if (!stripe.has_value()) continue;
     if (stripe->index >= shards.size()) {
-      throw std::invalid_argument("StripeCodec::decode: bad stripe index");
+      return CodecFailure{CodecErrorCode::kBadStripeIndex,
+                          "StripeCodec::decode: bad stripe index"};
     }
-    shards[stripe->index] = stripe->data;
+    shards[stripe->index] = BytesView(stripe->data);
   }
-  return deserialize_bundle(rs_.decode(shards));
+  return try_decode(std::span<const std::optional<BytesView>>(shards));
+}
+
+Expected<Bundle> StripeCodec::try_decode(
+    std::span<const std::optional<BytesView>> shards) const {
+  Expected<Bytes> payload = rs_.try_decode(shards);
+  if (!payload.ok()) return payload.error();
+  try {
+    return deserialize_bundle(payload.value());
+  } catch (const std::exception& err) {
+    // Reader underruns, trailing bytes, any decode-side validation: the
+    // stripes reassembled but the payload is not a bundle.
+    return CodecFailure{CodecErrorCode::kMalformedBundle, err.what()};
+  }
+}
+
+Bundle StripeCodec::decode(
+    const std::vector<std::optional<Stripe>>& stripes) const {
+  return try_decode(stripes).value_or_throw();
 }
 
 }  // namespace predis::erasure

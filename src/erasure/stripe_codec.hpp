@@ -9,10 +9,11 @@
 // spending memory on it, decode once k verified stripes are present,
 // and obtain the exact original bundle.
 //
-// The network simulation transfers stripe *sizes* (src/multizone); this
-// module proves the byte-level machinery and provides it as a library
-// for real deployments. Integration tests drive bundles through
-// serialize -> encode -> loss -> verify -> decode -> deserialize.
+// Hot-path design: encode_into() reuses an Encoded value as a scratch
+// arena — serialized payload, shard buffers, leaf hashes, and proof
+// sibling vectors all keep their capacity across bundles, so a steady
+// stream of same-sized bundles encodes with zero per-stripe heap
+// allocations. encode() is the allocate-fresh wrapper.
 #pragma once
 
 #include <optional>
@@ -41,14 +42,27 @@ class StripeCodec {
   StripeCodec(std::size_t data_shards, std::size_t total_shards)
       : rs_(data_shards, total_shards) {}
 
-  /// Serialize the bundle (header + transactions) and cut it into n
-  /// verifiable stripes. Returns the stripes and the stripe root the
-  /// producer must commit to in header.stripe_root before signing.
+  /// Result of encode — and, when passed back into encode_into, the
+  /// reusable scratch arena for the next bundle.
   struct Encoded {
     std::vector<Stripe> stripes;
     Hash32 stripe_root = kZeroHash;
+
+    // Scratch reused across encode_into calls (exposed only so the
+    // arena survives in the caller's Encoded between bundles).
+    Bytes payload_scratch;
+    std::vector<Hash32> leaf_scratch;
   };
+
+  /// Serialize the bundle (header + transactions) and cut it into n
+  /// verifiable stripes. Returns the stripes and the stripe root the
+  /// producer must commit to in header.stripe_root before signing.
   Encoded encode(const Bundle& bundle) const;
+
+  /// Same, writing into `out` and reusing every buffer it already
+  /// holds. Steady state (same bundle shape) performs no per-stripe
+  /// allocations.
+  void encode_into(const Bundle& bundle, Encoded& out) const;
 
   /// Check one stripe against a committed stripe root. Cheap: one
   /// SHA-256 of the shard plus a log(n)-length Merkle walk.
@@ -58,6 +72,18 @@ class StripeCodec {
   /// nullopt). Throws std::invalid_argument on insufficient stripes and
   /// CodecError on corrupted payload bytes.
   Bundle decode(const std::vector<std::optional<Stripe>>& stripes) const;
+
+  /// Non-throwing decode for in-loop callers (swarm harness, relayers):
+  /// same semantics as decode() but failures — bad indices, too few
+  /// stripes, corrupt payload, malformed bundle bytes — come back as a
+  /// CodecFailure value instead of an exception.
+  Expected<Bundle> try_decode(
+      const std::vector<std::optional<Stripe>>& stripes) const;
+
+  /// Span-of-views variant: shard bytes indexed by stripe index (entry
+  /// i is stripe i's data or nullopt). No copies of shard bytes.
+  Expected<Bundle> try_decode(
+      std::span<const std::optional<BytesView>> shards) const;
 
   std::size_t data_shards() const { return rs_.data_shards(); }
   std::size_t total_shards() const { return rs_.total_shards(); }

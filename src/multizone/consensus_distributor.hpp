@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "consensus/predis/predis_nodes.hpp"
@@ -129,6 +130,18 @@ class MultiZoneConsensusNode final : public sim::Actor {
     msg->proof_bytes =
         32 * static_cast<std::size_t>(
                  std::ceil(std::log2(std::max<std::size_t>(2, ctx_.n()))));
+    if (cfg_.real_stripe_payloads) {
+      // Encode the whole bundle (deterministic serialization, so every
+      // consensus node derives identical shards) into the reusable
+      // arena and attach our own stripe. One copy per bundle: the
+      // shared_ptr is what relayers forward down the tree.
+      if (!codec_.has_value()) codec_.emplace(k, ctx_.n());
+      codec_->encode_into(bundle, encode_scratch_);
+      const erasure::Stripe& own = encode_scratch_.stripes[msg->index];
+      msg->payload = std::make_shared<const erasure::Stripe>(own);
+      msg->body_bytes = own.data.size();
+      msg->proof_bytes = own.proof.siblings.size() * 32;
+    }
     for (NodeId sub : subscribers_) ctx_.send_node(sub, msg);
   }
 
@@ -180,6 +193,9 @@ class MultiZoneConsensusNode final : public sim::Actor {
   std::set<NodeId> subscribers_;
   std::map<NodeId, SimTime> last_heard_;
   std::vector<NodeId> star_children_;
+  // Real-payload mode only: lazily built codec + encode arena.
+  std::optional<erasure::StripeCodec> codec_;
+  erasure::StripeCodec::Encoded encode_scratch_;
 };
 
 /// Star-topology full node: passively receives complete blocks.

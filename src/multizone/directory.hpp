@@ -118,6 +118,13 @@ struct MultiZoneConfig {
   /// tree (one 25 ms hop per level), so pulling too eagerly creates a
   /// bandwidth spiral of full-bundle pushes.
   SimTime pull_timeout = milliseconds(700);
+  /// Ship real erasure-coded stripe bytes through StripeMsg::payload:
+  /// consensus nodes StripeCodec-encode each bundle, full nodes verify
+  /// stripes against header.stripe_root and Reed-Solomon-decode instead
+  /// of using the directory's decode oracle. Off by default — wire
+  /// sizes and event traces stay identical either way; this switches
+  /// who does the byte-level work.
+  bool real_stripe_payloads = false;
 };
 
 }  // namespace predis::multizone

@@ -64,6 +64,7 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
   // few children before its 100 Mbps uplink saturates, so cap fan-out
   // and let subscription referrals deepen the tree (SplitStream-style).
   mzcfg.max_subscribers = 4;
+  mzcfg.real_stripe_payloads = cfg.real_stripe_payloads;
 
   const DistributionMode mode = cfg.topology == Topology::kStar
                                     ? DistributionMode::kStar
@@ -175,8 +176,13 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
   result.consistent = ledger.consistent();
   double up = 0;
   for (NodeId id : consensus_ids) {
-    up += static_cast<double>(net.stats(id).bytes_sent);
+    const sim::TrafficStats& stats = net.stats(id);
+    metrics.record_bytes_sent(stats.bytes_sent);
+    metrics.record_bytes_received(stats.bytes_received);
+    up += static_cast<double>(stats.bytes_sent);
   }
+  result.consensus_bytes_sent = metrics.bytes_sent();
+  result.consensus_bytes_received = metrics.bytes_received();
   result.consensus_uplink_mbps = up / static_cast<double>(cfg.n_consensus) *
                                  8.0 / 1e6 / to_seconds(cfg.duration);
   // Coverage over blocks announced early enough to have had time to

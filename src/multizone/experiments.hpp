@@ -34,6 +34,9 @@ struct ThroughputConfig {
   SimTime duration = seconds(12);
   SimTime warmup = seconds(5);
   std::uint64_t seed = 1;
+  /// Ship real erasure-coded stripe bytes (see
+  /// MultiZoneConfig::real_stripe_payloads). Multi-Zone topology only.
+  bool real_stripe_payloads = false;
 };
 
 struct ThroughputResult {
@@ -41,6 +44,9 @@ struct ThroughputResult {
   double avg_latency_ms = 0.0;
   bool consistent = true;
   double consensus_uplink_mbps = 0.0;
+  /// Aggregate wire bytes over consensus nodes (Metrics byte counters).
+  std::uint64_t consensus_bytes_sent = 0;
+  std::uint64_t consensus_bytes_received = 0;
   /// Fraction of announced blocks fully reconstructed by full nodes.
   double full_node_coverage = 0.0;
   std::size_t relayers_seen = 0;  ///< Relayers active at the end.

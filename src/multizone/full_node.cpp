@@ -21,7 +21,8 @@ MultiZoneFullNode::MultiZoneFullNode(sim::Network& net, NodeId self,
       last_stripe_at_(config.n_consensus, 0),
       provider_since_(config.n_consensus, 0),
       chains_(config.n_consensus),
-      contiguous_(config.n_consensus, 0) {
+      contiguous_(config.n_consensus, 0),
+      codec_(config.n_consensus - config.f, config.n_consensus) {
   zone_ = dir_.zone_of(self_);
   join_time_ = dir_.join_time(self_);
 }
@@ -399,14 +400,36 @@ void MultiZoneFullNode::on_relayer_alive(NodeId /*from*/,
 
 void MultiZoneFullNode::on_stripe(NodeId /*from*/, const StripeMsg& msg) {
   if (msg.index >= cfg_.n_consensus) return;
+
+  // Real-bytes mode: reject stripes that fail Merkle verification
+  // against the committed stripe root before counting or forwarding
+  // them (§IV-D: verify, then spend memory). Headers whose producer
+  // never committed a root (stripe_root == 0) skip the Merkle check —
+  // the index consistency check still applies.
+  if (msg.payload) {
+    const bool index_ok = msg.payload->index == msg.index;
+    const bool merkle_ok =
+        msg.header.stripe_root == kZeroHash ||
+        erasure::StripeCodec::verify(*msg.payload, msg.header.stripe_root);
+    if (!index_ok || !merkle_ok) {
+      ++stripe_verify_failures_;
+      return;
+    }
+  }
+
   last_stripe_at_[msg.index] = now();
   last_any_stripe_ = now();
   const Hash32 hash = msg.header.hash();
   auto& state = stripes_[hash];
   if (state.have.empty()) state.header = msg.header;
   if (!state.have.insert(msg.index).second) return;  // duplicate
+  if (msg.payload) {
+    if (state.bodies.empty()) state.bodies.resize(cfg_.n_consensus);
+    state.bodies[msg.index] = msg.payload;
+  }
 
-  // Store-and-forward along the per-stripe multicast tree.
+  // Store-and-forward along the per-stripe multicast tree. The payload
+  // shared_ptr rides along unchanged — no byte copies per hop.
   if (!subscribers_[msg.index].empty()) {
     auto copy = std::make_shared<StripeMsg>(msg);
     for (NodeId child : subscribers_[msg.index]) {
@@ -415,9 +438,35 @@ void MultiZoneFullNode::on_stripe(NodeId /*from*/, const StripeMsg& msg) {
   }
 
   if (!state.decoded && state.have.size() >= k()) {
+    if (!state.bodies.empty()) {
+      if (!try_byte_decode(state)) return;  // wait for more stripes
+    }
     state.decoded = true;
     store_bundle_record(state.header);
   }
+}
+
+bool MultiZoneFullNode::try_byte_decode(StripeState& state) {
+  // Decode from the verified stripe bytes we hold. Views only — the
+  // shard buffers stay inside the shared stripes.
+  std::vector<std::optional<BytesView>> shards(cfg_.n_consensus);
+  std::size_t present = 0;
+  for (std::size_t i = 0; i < state.bodies.size(); ++i) {
+    if (!state.bodies[i]) continue;
+    shards[i] = BytesView(state.bodies[i]->data);
+    ++present;
+  }
+  if (present < k()) return false;
+  erasure::Expected<Bundle> decoded = codec_.try_decode(shards);
+  if (!decoded.ok()) {
+    ++decode_failures_;
+    return false;
+  }
+  ++byte_decoded_count_;
+  // Publish so block reconstruction (and pulls served by zone peers)
+  // can materialize the bundle exactly as in oracle mode.
+  dir_.publish_bundle(std::move(decoded).value());
+  return true;
 }
 
 void MultiZoneFullNode::store_bundle_record(const BundleHeader& header) {

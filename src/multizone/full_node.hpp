@@ -47,6 +47,13 @@ class MultiZoneFullNode : public sim::Actor {
   std::size_t subscriber_count() const;
   std::size_t decoded_bundles() const { return decoded_count_; }
   std::size_t completed_blocks() const { return completed_count_; }
+  /// Bundles recovered by actually Reed-Solomon-decoding stripe bytes
+  /// (real_stripe_payloads mode; always <= decoded_bundles()).
+  std::size_t byte_decoded_bundles() const { return byte_decoded_count_; }
+  std::size_t decode_failures() const { return decode_failures_; }
+  std::size_t stripe_verify_failures() const {
+    return stripe_verify_failures_;
+  }
   BundleHeight contiguous_height(std::size_t chain) const {
     return contiguous_[chain];
   }
@@ -58,6 +65,9 @@ class MultiZoneFullNode : public sim::Actor {
     BundleHeader header;
     std::set<StripeIndex> have;
     bool decoded = false;
+    /// Real stripe bytes, indexed by stripe index (real_stripe_payloads
+    /// mode only; empty otherwise).
+    std::vector<std::shared_ptr<const erasure::Stripe>> bodies;
   };
   struct RelayerState {
     std::set<StripeIndex> relayed;
@@ -98,6 +108,7 @@ class MultiZoneFullNode : public sim::Actor {
   void on_push(NodeId from, const BundlePushMsg& msg);
 
   // Data plane.
+  bool try_byte_decode(StripeState& state);
   void store_bundle_record(const BundleHeader& header);
   void try_reconstruct_blocks();
   void schedule_pull(const Hash32& block_hash, NodeId sender);
@@ -137,6 +148,10 @@ class MultiZoneFullNode : public sim::Actor {
   std::vector<BundleHeight> contiguous_;
   std::size_t decoded_count_ = 0;
   std::size_t completed_count_ = 0;
+  std::size_t byte_decoded_count_ = 0;
+  std::size_t decode_failures_ = 0;
+  std::size_t stripe_verify_failures_ = 0;
+  erasure::StripeCodec codec_;  ///< (k, n_c) codec for real payloads.
 
   struct PendingBlock {
     PredisBlock block;

@@ -1,9 +1,11 @@
 // Wire messages of the Multi-Zone distribution layer (§IV).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "bundle/predis_block.hpp"
+#include "erasure/stripe_codec.hpp"
 #include "sim/message.hpp"
 
 namespace predis::multizone {
@@ -14,14 +16,19 @@ using StripeIndex = std::uint32_t;
 
 /// One erasure-coded stripe of one bundle, carrying the bundle header
 /// and a Merkle proof against header.stripe_root so receivers can
-/// detect tampering. The stripe body itself is simulated by size: the
-/// in-process BundleDirectory materializes decoded bundles (the real
-/// Reed-Solomon path is exercised and tested in src/erasure).
+/// detect tampering. By default the stripe body is simulated by size
+/// (the in-process BundleDirectory materializes decoded bundles); with
+/// MultiZoneConfig::real_stripe_payloads the consensus distributor
+/// attaches the actual erasure-coded stripe and receivers verify and
+/// Reed-Solomon-decode the real bytes. The payload is shared (not
+/// copied) as relayers forward the message down the multicast tree;
+/// wire accounting still charges body_bytes + proof_bytes per hop.
 struct StripeMsg final : sim::Message {
   BundleHeader header;       ///< Which bundle this stripe belongs to.
   StripeIndex index = 0;     ///< Which of the n_c stripes.
   std::size_t body_bytes = 0;  ///< ceil(bundle bytes / (n_c - f)).
   std::size_t proof_bytes = 0; ///< Merkle proof size (log2 n_c hashes).
+  std::shared_ptr<const erasure::Stripe> payload;  ///< Real bytes (opt).
 
   std::size_t wire_size() const override {
     return header.wire_size() + 8 + body_bytes + proof_bytes;

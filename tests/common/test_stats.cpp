@@ -67,5 +67,16 @@ TEST(Metrics, EmptyWindowIsZero) {
   EXPECT_DOUBLE_EQ(m.throughput_tps(seconds(1), seconds(1)), 0.0);
 }
 
+TEST(Metrics, ByteCountersAccumulate) {
+  Metrics m;
+  EXPECT_EQ(m.bytes_sent(), 0u);
+  EXPECT_EQ(m.bytes_received(), 0u);
+  m.record_bytes_sent(1000);
+  m.record_bytes_sent(24);
+  m.record_bytes_received(512);
+  EXPECT_EQ(m.bytes_sent(), 1024u);
+  EXPECT_EQ(m.bytes_received(), 512u);
+}
+
 }  // namespace
 }  // namespace predis

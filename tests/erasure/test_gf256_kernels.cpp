@@ -1,0 +1,124 @@
+// Property tests pinning the fused row kernels (dispatched and portable
+// paths) bit-exact against the element-wise GF256::mul reference, across
+// coefficients, lengths (0, 1, non-multiples of the unroll widths), and
+// buffer alignments.
+#include <cstdio>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "erasure/gf256.hpp"
+
+namespace predis::erasure {
+namespace {
+
+/// dst[i] ^= coeff * src[i] the slow, obviously-correct way.
+void reference_mul_row_add(std::uint8_t* dst, const std::uint8_t* src,
+                           GF coeff, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    dst[i] ^= GF256::mul(coeff, src[i]);
+  }
+}
+
+using Kernel = void (*)(std::uint8_t*, const std::uint8_t*, GF, std::size_t);
+
+void expect_matches_reference(Kernel kernel, GF coeff, std::size_t len,
+                              std::size_t src_offset, std::size_t dst_offset,
+                              Rng& rng) {
+  // Over-allocate so the kernel can be pointed at any byte offset —
+  // SIMD paths must handle unaligned loads/stores and scalar tails.
+  std::vector<std::uint8_t> src(len + src_offset + 16);
+  std::vector<std::uint8_t> dst(len + dst_offset + 16);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.next());
+  for (auto& b : dst) b = static_cast<std::uint8_t>(rng.next());
+
+  std::vector<std::uint8_t> expected(dst);
+  reference_mul_row_add(expected.data() + dst_offset,
+                        src.data() + src_offset, coeff, len);
+  kernel(dst.data() + dst_offset, src.data() + src_offset, coeff, len);
+
+  ASSERT_EQ(dst, expected) << "coeff=" << static_cast<int>(coeff)
+                           << " len=" << len << " src_off=" << src_offset
+                           << " dst_off=" << dst_offset;
+}
+
+TEST(GfRowKernels, AllCoefficientsShortRows) {
+  Rng rng(2024);
+  for (int c = 0; c < 256; ++c) {
+    expect_matches_reference(&GF256::mul_row_add, static_cast<GF>(c), 37, 0,
+                             0, rng);
+    expect_matches_reference(&GF256::mul_row_add_portable,
+                             static_cast<GF>(c), 37, 0, 0, rng);
+  }
+}
+
+TEST(GfRowKernels, EdgeLengths) {
+  Rng rng(7);
+  // 0 and 1 plus every length around the 8/16/32-byte unroll boundaries.
+  const std::size_t lengths[] = {0,  1,  2,  7,  8,  9,  15, 16, 17,
+                                 23, 24, 31, 32, 33, 63, 64, 65, 100};
+  for (std::size_t len : lengths) {
+    for (GF coeff : {GF{0}, GF{1}, GF{2}, GF{0x1d}, GF{0xff}}) {
+      expect_matches_reference(&GF256::mul_row_add, coeff, len, 0, 0, rng);
+      expect_matches_reference(&GF256::mul_row_add_portable, coeff, len, 0,
+                               0, rng);
+    }
+  }
+}
+
+TEST(GfRowKernels, RandomCoefficientsLengthsAndAlignments) {
+  Rng rng(0xfeedULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const GF coeff = static_cast<GF>(rng.next());
+    const std::size_t len = rng.next_below(2048);
+    const std::size_t src_off = rng.next_below(16);
+    const std::size_t dst_off = rng.next_below(16);
+    expect_matches_reference(&GF256::mul_row_add, coeff, len, src_off,
+                             dst_off, rng);
+    expect_matches_reference(&GF256::mul_row_add_portable, coeff, len,
+                             src_off, dst_off, rng);
+  }
+}
+
+TEST(GfRowKernels, AccumulationIsLinear) {
+  // (a + b) * x == a*x + b*x: accumulating two kernels over the same dst
+  // equals one kernel with the summed coefficient.
+  Rng rng(99);
+  const std::size_t len = 777;
+  std::vector<std::uint8_t> src(len);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.next());
+
+  for (int trial = 0; trial < 32; ++trial) {
+    const GF a = static_cast<GF>(rng.next());
+    const GF b = static_cast<GF>(rng.next());
+    std::vector<std::uint8_t> two_pass(len, 0);
+    GF256::mul_row_add(two_pass.data(), src.data(), a, len);
+    GF256::mul_row_add(two_pass.data(), src.data(), b, len);
+    std::vector<std::uint8_t> one_pass(len, 0);
+    GF256::mul_row_add(one_pass.data(), src.data(), GF256::add(a, b), len);
+    ASSERT_EQ(two_pass, one_pass);
+  }
+}
+
+TEST(GfRowKernels, PortableAndDispatchedAgree) {
+  // Redundant with the reference checks above but pins the exact
+  // property the dispatcher relies on, and reports which path ran.
+  Rng rng(123);
+  const std::size_t len = 4096 + 5;
+  std::vector<std::uint8_t> src(len);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.next());
+  for (GF coeff : {GF{3}, GF{0x80}, GF{0xfe}}) {
+    std::vector<std::uint8_t> a(len, 0xaa);
+    std::vector<std::uint8_t> b(len, 0xaa);
+    GF256::mul_row_add(a.data(), src.data(), coeff, len);
+    GF256::mul_row_add_portable(b.data(), src.data(), coeff, len);
+    ASSERT_EQ(a, b);
+  }
+  // Not an assertion — just surface the dispatch decision in test logs.
+  std::printf("[          ] GF256::simd_enabled() = %s\n",
+              GF256::simd_enabled() ? "true" : "false");
+}
+
+}  // namespace
+}  // namespace predis::erasure

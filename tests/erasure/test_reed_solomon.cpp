@@ -159,5 +159,117 @@ TEST(ReedSolomon, CodingMatrixIsSystematic) {
   }
 }
 
+TEST(ReedSolomon, RoundTripEveryShapeUpTo16) {
+  // Regression across the full (k, n) grid with 1 <= k <= n <= 16:
+  // encode, drop n-k shards (worst case), decode, compare.
+  for (std::size_t n = 1; n <= 16; ++n) {
+    for (std::size_t k = 1; k <= n; ++k) {
+      const ReedSolomon rs(k, n);
+      const Bytes payload = random_payload(257, n * 100 + k);
+      const auto shards = rs.encode(payload);
+      ASSERT_EQ(shards.size(), n);
+      for (const Bytes& shard : shards) {
+        ASSERT_EQ(shard.size(), rs.shard_size(payload.size()));
+      }
+      std::vector<std::optional<Bytes>> input(shards.begin(), shards.end());
+      // Drop the first n-k shards — forces the inverted-matrix path
+      // whenever parity exists.
+      for (std::size_t d = 0; d < n - k; ++d) input[d].reset();
+      ASSERT_EQ(rs.decode(input), payload) << "k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(ReedSolomon, EncodeIntoMatchesEncode) {
+  const ReedSolomon rs(5, 9);
+  const Bytes payload = random_payload(1234, 21);
+  const auto expected = rs.encode(payload);
+
+  const std::size_t size = rs.shard_size(payload.size());
+  std::vector<Bytes> buffers(9, Bytes(size, 0xcc));  // dirty on purpose
+  std::vector<MutBytesView> views(9);
+  for (std::size_t i = 0; i < 9; ++i) views[i] = MutBytesView(buffers[i]);
+  rs.encode_into(payload, views);
+  EXPECT_EQ(buffers, expected);
+}
+
+TEST(ReedSolomon, EncodeIntoRejectsWrongBufferShapes) {
+  const ReedSolomon rs(2, 4);
+  const Bytes payload = random_payload(64, 3);
+  const std::size_t size = rs.shard_size(payload.size());
+
+  std::vector<Bytes> buffers(3, Bytes(size));
+  std::vector<MutBytesView> views(3);
+  for (std::size_t i = 0; i < 3; ++i) views[i] = MutBytesView(buffers[i]);
+  EXPECT_THROW(rs.encode_into(payload, views), std::invalid_argument);
+
+  std::vector<Bytes> wrong(4, Bytes(size + 1));
+  std::vector<MutBytesView> wrong_views(4);
+  for (std::size_t i = 0; i < 4; ++i) wrong_views[i] = MutBytesView(wrong[i]);
+  EXPECT_THROW(rs.encode_into(payload, wrong_views), std::invalid_argument);
+}
+
+TEST(ReedSolomon, TryDecodeRoundTrips) {
+  const ReedSolomon rs(4, 6);
+  const Bytes payload = random_payload(500, 31);
+  const auto shards = rs.encode(payload);
+  std::vector<std::optional<Bytes>> input(shards.begin(), shards.end());
+  input[1].reset();
+  input[3].reset();
+  auto result = rs.try_decode(input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), payload);
+}
+
+TEST(ReedSolomon, TryDecodeReportsErrorsWithoutThrowing) {
+  const ReedSolomon rs(3, 5);
+  const auto shards = rs.encode(random_payload(100, 41));
+
+  {  // Not enough shards.
+    std::vector<std::optional<Bytes>> input(5);
+    input[0] = shards[0];
+    const auto result = rs.try_decode(input);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, CodecErrorCode::kNotEnoughShards);
+  }
+  {  // Wrong slot count.
+    std::vector<std::optional<Bytes>> input(4);
+    const auto result = rs.try_decode(input);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, CodecErrorCode::kWrongShardCount);
+  }
+  {  // Mismatched sizes.
+    std::vector<std::optional<Bytes>> input(shards.begin(), shards.end());
+    input[2]->push_back(0);
+    const auto result = rs.try_decode(input);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, CodecErrorCode::kShardSizeMismatch);
+  }
+  {  // Corrupt length prefix (shard 0 carries it).
+    std::vector<std::optional<Bytes>> input(shards.begin(), shards.end());
+    (*input[0])[0] = 0xff;
+    (*input[0])[1] = 0xff;
+    (*input[0])[2] = 0xff;
+    (*input[0])[3] = 0xff;
+    const auto result = rs.try_decode(input);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, CodecErrorCode::kCorruptPayload);
+  }
+}
+
+TEST(ReedSolomon, TryDecodeAcceptsViews) {
+  const ReedSolomon rs(3, 5);
+  const Bytes payload = random_payload(300, 55);
+  const auto shards = rs.encode(payload);
+  std::vector<std::optional<BytesView>> views(5);
+  // Give it exactly k shards, skipping shard 0 (non-systematic path).
+  views[1] = BytesView(shards[1]);
+  views[2] = BytesView(shards[2]);
+  views[4] = BytesView(shards[4]);
+  auto result = rs.try_decode(views);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), payload);
+}
+
 }  // namespace
 }  // namespace predis::erasure

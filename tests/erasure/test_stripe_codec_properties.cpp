@@ -1,7 +1,9 @@
 // Randomized availability property (§IV-D): for random bundles and
 // random erasure patterns, any n_c − f of the n_c stripes reconstruct
-// the bundle bit-exactly, while f + 1 losses fail cleanly (throw, never
-// a wrong bundle). Seeded Rng keeps every run reproducible.
+// the bundle bit-exactly, while f + 1 losses fail cleanly (an error
+// value, never a wrong bundle). Seeded Rng keeps every run
+// reproducible. Uses the non-throwing try_decode API throughout; the
+// throwing wrapper's contract is covered in test_stripe_codec.cpp.
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
@@ -57,7 +59,11 @@ TEST(StripeCodecProperties, AnyFLossesDecodeForRandomBundles) {
       }
       const std::size_t losses = rng.next_below(f + 1);  // 0..f
       const auto input = with_losses(encoded.stripes, losses, rng);
-      EXPECT_EQ(codec.decode(input), b)
+      const auto decoded = codec.try_decode(input);
+      ASSERT_TRUE(decoded.ok())
+          << "n_c=" << n_c << " losses=" << losses << " round=" << round
+          << ": " << decoded.error().message;
+      EXPECT_EQ(decoded.value(), b)
           << "n_c=" << n_c << " losses=" << losses << " round=" << round;
     }
   }
@@ -72,12 +78,13 @@ TEST(StripeCodecProperties, FPlusOneLossesFailCleanly) {
     for (int round = 0; round < 10; ++round) {
       const Bundle b = random_bundle(rng);
       const auto encoded = codec.encode(b);
-      // One loss past the tolerance: decode must throw, never hand
-      // back a wrong bundle.
+      // One loss past the tolerance: decode must report failure, never
+      // hand back a wrong bundle — and try_decode must not throw.
       const auto input = with_losses(
           encoded.stripes, f + 1 + rng.next_below(f + 1), rng);
-      EXPECT_THROW(codec.decode(input), std::invalid_argument)
-          << "n_c=" << n_c << " round=" << round;
+      const auto decoded = codec.try_decode(input);
+      ASSERT_FALSE(decoded.ok()) << "n_c=" << n_c << " round=" << round;
+      EXPECT_EQ(decoded.error().code, CodecErrorCode::kNotEnoughShards);
     }
   }
 }

@@ -26,6 +26,29 @@ TEST(DistributionCluster, MultiZoneCommitsAndDistributes) {
   EXPECT_EQ(r.relayers_seen, cfg.n_zones * cfg.n_consensus);
 }
 
+TEST(DistributionCluster, MultiZoneRealStripePayloadsCommitAndDecode) {
+  // Same cluster, but consensus nodes ship real erasure-coded stripe
+  // bytes and full nodes Merkle-verify + Reed-Solomon-decode them
+  // instead of using the directory's decode oracle.
+  ThroughputConfig cfg;
+  cfg.topology = Topology::kMultiZone;
+  cfg.n_consensus = 4;
+  cfg.f = 1;
+  cfg.n_full = 9;
+  cfg.n_zones = 3;
+  cfg.offered_load_tps = 2000;
+  cfg.duration = seconds(8);
+  cfg.warmup = seconds(4);
+  cfg.real_stripe_payloads = true;
+
+  const ThroughputResult r = run_distribution_cluster(cfg);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_GT(r.throughput_tps, 1500.0);
+  EXPECT_GT(r.full_node_coverage, 0.9);
+  EXPECT_GT(r.consensus_bytes_sent, 0u);
+  EXPECT_GT(r.consensus_bytes_received, 0u);
+}
+
 TEST(DistributionCluster, StarCommitsAndDistributes) {
   ThroughputConfig cfg;
   cfg.topology = Topology::kStar;
