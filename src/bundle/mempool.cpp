@@ -90,11 +90,12 @@ AddBundleResult Mempool::validate_and_insert(const Bundle& bundle,
     // Same height, different header. If they share a parent this is the
     // canonical conflict of §III-A; a mismatched parent is equally
     // damning evidence of equivocation on this chain.
-    if (evidence != nullptr) {
-      evidence->first = existing->header;
-      evidence->second = h;
-    }
+    ConflictEvidence ev;
+    ev.first = existing->header;
+    ev.second = h;
+    if (evidence != nullptr) *evidence = ev;
     ban(h.producer);
+    if (on_conflict) on_conflict(h.producer, ev);
     return AddBundleResult::kConflict;
   }
 
@@ -131,11 +132,12 @@ AddBundleResult Mempool::validate_and_insert(const Bundle& bundle,
         return AddBundleResult::kMissingParent;
       }
     } else if (parent->header.hash() != h.parent_hash) {
-      if (evidence != nullptr) {
-        evidence->first = parent->header;
-        evidence->second = h;
-      }
+      ConflictEvidence ev;
+      ev.first = parent->header;
+      ev.second = h;
+      if (evidence != nullptr) *evidence = ev;
       ban(h.producer);
+      if (on_conflict) on_conflict(h.producer, ev);
       return AddBundleResult::kConflict;
     }
   }

@@ -111,6 +111,13 @@ class Mempool {
   std::function<void(NodeId)> on_ban;
   std::function<void(NodeId)> on_unban;
 
+  /// Fired with the signed conflicting pair every time equivocation is
+  /// detected — including while re-validating buffered out-of-order
+  /// bundles, where no caller is on the stack to receive the `evidence`
+  /// out-parameter. Engines subscribe here to broadcast ConflictMsg, so
+  /// evidence found at retry reaches the other honest nodes too.
+  std::function<void(NodeId, const ConflictEvidence&)> on_conflict;
+
   /// §III-E forking attack: after a ban period, a producer may rejoin
   /// by proposing a *new genesis bundle*. This unbans it, discards its
   /// unconfirmed (possibly forked) suffix, and arms a one-shot

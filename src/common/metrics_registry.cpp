@@ -1,0 +1,128 @@
+#include "common/metrics_registry.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "common/codec.hpp"
+
+namespace predis {
+
+namespace {
+
+// 32 sub-buckets per octave: values below 2^5 us are exact, above that
+// the bucket width is value/32, bounding relative error at ~1.6 %.
+constexpr std::uint64_t kSub = 32;
+constexpr int kSubBits = 5;
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t us) {
+  if (us < kSub) return static_cast<std::size_t>(us);
+  const int msb = std::bit_width(us) - 1;  // >= kSubBits
+  const int shift = msb - kSubBits;
+  const std::uint64_t sub = us >> shift;  // in [kSub, 2*kSub)
+  return (static_cast<std::size_t>(shift) + 1) * kSub +
+         static_cast<std::size_t>(sub - kSub);
+}
+
+std::uint64_t LatencyHistogram::bucket_mid_us(std::size_t bucket) {
+  if (bucket < kSub) return bucket;
+  const std::size_t shift = bucket / kSub - 1;
+  const std::uint64_t sub = kSub + bucket % kSub;
+  const std::uint64_t lo = sub << shift;
+  return lo + (static_cast<std::uint64_t>(1) << shift) / 2;
+}
+
+void LatencyHistogram::record(double ms) {
+  if (ms < 0.0 || !std::isfinite(ms)) ms = 0.0;
+  summary_.add(ms);
+  const auto us = static_cast<std::uint64_t>(std::llround(ms * 1000.0));
+  ++buckets_[bucket_of(us)];
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (summary_.count() == 0) return 0.0;
+  const auto total = static_cast<double>(summary_.count());
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(std::max(1.0, p / 100.0 * total)));
+  std::uint64_t seen = 0;
+  for (const auto& [bucket, n] : buckets_) {
+    seen += n;
+    if (seen >= target) {
+      const double ms = static_cast<double>(bucket_mid_us(bucket)) / 1000.0;
+      return std::min(summary_.max(), std::max(summary_.min(), ms));
+    }
+  }
+  return summary_.max();
+}
+
+void LatencyHistogram::encode(Writer& w) const {
+  w.u64(summary_.count());
+  w.u64(static_cast<std::uint64_t>(std::llround(summary_.sum() * 1000.0)));
+  w.u32(static_cast<std::uint32_t>(buckets_.size()));
+  for (const auto& [bucket, n] : buckets_) {
+    w.u64(bucket);
+    w.u64(n);
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    char tmp[160];
+    std::snprintf(tmp, sizeof(tmp), "%s\"%s\": %llu", first ? "" : ", ",
+                  name.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    out += tmp;
+    first = false;
+  }
+  out += "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    char tmp[160];
+    std::snprintf(tmp, sizeof(tmp), "%s\"%s\": %.3f", first ? "" : ", ",
+                  name.c_str(), g.value());
+    out += tmp;
+    first = false;
+  }
+  out += "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    char tmp[320];
+    std::snprintf(tmp, sizeof(tmp),
+                  "%s\n    \"%s\": {\"count\": %zu, \"mean_ms\": %.3f, "
+                  "\"min_ms\": %.3f, \"max_ms\": %.3f, \"p50_ms\": %.3f, "
+                  "\"p95_ms\": %.3f, \"p99_ms\": %.3f}",
+                  first ? "" : ",", name.c_str(), h.count(), h.mean(),
+                  h.min(), h.max(), h.percentile(50), h.percentile(95),
+                  h.percentile(99));
+    out += tmp;
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+Hash32 MetricsRegistry::digest() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(counters_.size()));
+  for (const auto& [name, c] : counters_) {
+    w.str(name);
+    w.u64(c.value());
+  }
+  w.u32(static_cast<std::uint32_t>(gauges_.size()));
+  for (const auto& [name, g] : gauges_) {
+    w.str(name);
+    w.i64(static_cast<std::int64_t>(std::llround(g.value() * 1e6)));
+  }
+  w.u32(static_cast<std::uint32_t>(histograms_.size()));
+  for (const auto& [name, h] : histograms_) {
+    w.str(name);
+    h.encode(w);
+  }
+  return Sha256::hash(BytesView{w.data()});
+}
+
+}  // namespace predis

@@ -1,0 +1,101 @@
+// Structured per-node metrics: named counters, gauges and HDR-style
+// latency histograms with p50/p95/p99, registered by name so experiment
+// drivers and tools can export every metric a run produced without
+// knowing in advance which modules recorded what.
+//
+// Histograms bucket values log-linearly (HDR layout: 32 sub-buckets per
+// octave, <= ~1.6 % relative error) so recording stays O(1) and
+// bounded-memory at any sample volume; the scalar summary side reuses
+// the stats.hpp accumulator, and the unit tests validate the bucketed
+// percentiles against the exact stats.hpp Percentiles machinery.
+//
+// Everything iterates in name order and exports deterministically, so a
+// registry digest is a seed-reproducibility check (swarm harness).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/sha256.hpp"
+#include "common/stats.hpp"
+
+namespace predis {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-linear latency histogram over milliseconds. Values are bucketed
+/// at microsecond granularity: exact below 32 us, then 32 sub-buckets
+/// per power of two, like HDR histograms.
+class LatencyHistogram {
+ public:
+  void record(double ms);
+
+  std::size_t count() const { return summary_.count(); }
+  double mean() const { return summary_.mean(); }
+  double min() const { return summary_.min(); }
+  double max() const { return summary_.max(); }
+
+  /// p in [0, 100]: nearest-rank over the bucket counts, reported at
+  /// the bucket midpoint and clamped to the observed [min, max].
+  double percentile(double p) const;
+
+  /// Deterministic content feed for registry digests.
+  void encode(class Writer& w) const;
+
+ private:
+  static std::size_t bucket_of(std::uint64_t us);
+  static std::uint64_t bucket_mid_us(std::size_t bucket);
+
+  Summary summary_;
+  std::map<std::size_t, std::uint64_t> buckets_;  ///< bucket -> count
+};
+
+/// Name-addressed metric store. Lookups create on first use; references
+/// stay valid for the registry's lifetime (node-local hot paths cache
+/// them).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LatencyHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, LatencyHistogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Machine-readable export: counters/gauges as scalars, histograms as
+  /// {count, mean, min, max, p50, p95, p99} objects. Key order is name
+  /// order, so equal registries serialize byte-identically.
+  std::string to_json() const;
+
+  /// SHA-256 over the deterministic binary encoding of every metric.
+  Hash32 digest() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace predis

@@ -1,5 +1,6 @@
 #include "consensus/hotstuff/hotstuff_core.hpp"
 
+#include "common/block_tracer.hpp"
 #include "common/codec.hpp"
 #include "consensus/payloads.hpp"
 
@@ -283,6 +284,9 @@ void HotStuffCore::try_propose() {
   }
 
   proposed_round_ = cur_round_;
+  if (tracer_ != nullptr && !is_empty_payload(payload)) {
+    tracer_->record(TraceStage::kCutProposed, payload->digest(), ctx_.now());
+  }
   BlockPtr block =
       make_block(cur_round_, high_qc_.block_hash, high_qc_, std::move(payload));
   store_block(block);
@@ -308,6 +312,10 @@ void HotStuffCore::commit_chain(const HsBlock& anchor) {
   committed_hash_ = anchor.hash;
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
     if (!is_empty_payload((*it)->payload)) {
+      if (tracer_ != nullptr) {
+        tracer_->record(TraceStage::kBlockCommitted,
+                        (*it)->payload->digest(), ctx_.now());
+      }
       app_.on_commit((*it)->round, (*it)->payload);
     }
   }

@@ -18,6 +18,10 @@
 
 #include "consensus/common.hpp"
 
+namespace predis {
+class BlockTracer;
+}  // namespace predis
+
 namespace predis::consensus::hotstuff {
 
 using Round = std::uint64_t;
@@ -116,6 +120,11 @@ class HotStuffCore {
   /// Fault injection: paused nodes neither vote nor propose.
   void set_paused(bool paused) { paused_ = paused; }
 
+  /// Attach the shared lifecycle tracer (may be null): records proposal
+  /// and commit times keyed by payload digest. Baseline protocols wire
+  /// this directly; P-HS traces through its Predis engine instead.
+  void set_tracer(BlockTracer* tracer) { tracer_ = tracer; }
+
  private:
   struct HashKey {
     std::size_t operator()(const Hash32& h) const {
@@ -147,6 +156,7 @@ class HotStuffCore {
 
   NodeContext ctx_;
   HotStuffApp& app_;
+  BlockTracer* tracer_ = nullptr;
 
   std::unordered_map<Hash32, BlockPtr, HashKey> blocks_;
   std::multimap<Hash32, BlockPtr, std::less<>> orphans_;  // keyed by parent

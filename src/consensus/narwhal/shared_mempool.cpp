@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/block_tracer.hpp"
+
 namespace predis::consensus::narwhal {
 
 SharedMempoolNode::SharedMempoolNode(NodeContext ctx,
@@ -49,6 +51,9 @@ void SharedMempoolNode::pack_microblock() {
 
   pool_.emplace(Key{mb.producer, mb.index}, mb);
   acks_[Key{mb.producer, mb.index}].insert(ctx_.index());  // self-ack
+  if (tracer_ != nullptr) {
+    tracer_->record(TraceStage::kBundleProduced, mb.id(), ctx_.now());
+  }
 
   auto msg = std::make_shared<MicroblockMsg>();
   msg->mb = std::move(mb);
@@ -127,6 +132,9 @@ bool SharedMempoolNode::handle_mempool(NodeId from, const sim::MsgPtr& msg) {
 
 void SharedMempoolNode::certify(const MicroblockRef& ref,
                                 std::size_t /*signers*/) {
+  if (tracer_ != nullptr && certified_.count(ref.key()) == 0) {
+    tracer_->record(TraceStage::kBundleStoredQuorum, ref.id, ctx_.now());
+  }
   certified_.insert(ref.key());
   if (committed_.count(ref.key()) == 0) {
     proposable_.push_back(ref);

@@ -137,6 +137,14 @@ class SharedMempoolNode final : public sim::Actor,
 
   hotstuff::HotStuffCore& core() { return core_; }
 
+  /// Attach the shared lifecycle tracer (may be null): microblock
+  /// production + availability certification feed the bundle stages,
+  /// the embedded HotStuff core the proposal/commit stages.
+  void set_tracer(BlockTracer* tracer) {
+    tracer_ = tracer;
+    core_.set_tracer(tracer);
+  }
+
   /// Observation hook: fired for every executed block.
   std::function<void(const Hash32&, const std::vector<Transaction>&,
                      SimTime)>
@@ -164,6 +172,7 @@ class SharedMempoolNode final : public sim::Actor,
   ReplyManager replies_;
   hotstuff::HotStuffCore core_;
   Rng rng_;
+  BlockTracer* tracer_ = nullptr;
 
   std::deque<Transaction> tx_queue_;
   std::uint64_t own_index_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/block_tracer.hpp"
 #include "common/log.hpp"
 #include "consensus/payloads.hpp"
 
@@ -40,6 +41,10 @@ void PbftCore::try_propose() {
 
     ++next_propose_;
     want_progress_ = true;
+    if (tracer_ != nullptr) {
+      tracer_->record(TraceStage::kCutProposed, payload->digest(),
+                      ctx_.now());
+    }
     Slot& s = slot(seq);
     s.view = view_;
     s.payload = payload;
@@ -183,6 +188,9 @@ void PbftCore::maybe_execute(SeqNum seq) {
 
     s.executed = true;
     last_exec_ = seq;
+    if (tracer_ != nullptr) {
+      tracer_->record(TraceStage::kBlockCommitted, s.digest, ctx_.now());
+    }
     app_.on_commit(seq, s.payload);
   }
   // Executed slots stay in the log until a stable checkpoint covers

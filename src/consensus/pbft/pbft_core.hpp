@@ -17,6 +17,10 @@
 
 #include "consensus/common.hpp"
 
+namespace predis {
+class BlockTracer;
+}  // namespace predis
+
 namespace predis::consensus::pbft {
 
 struct PrePrepareMsg final : sim::Message {
@@ -187,6 +191,12 @@ class PbftCore {
   /// Fault injection: a paused node neither votes nor proposes.
   void set_paused(bool paused) { paused_ = paused; }
 
+  /// Attach the shared lifecycle tracer (may be null): records proposal
+  /// and commit times keyed by payload digest. Baseline protocols wire
+  /// this directly; P-PBFT traces through its engine instead to avoid
+  /// double-counting.
+  void set_tracer(BlockTracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Slot {
     View view = 0;
@@ -233,6 +243,7 @@ class PbftCore {
 
   NodeContext ctx_;
   PbftApp& app_;
+  BlockTracer* tracer_ = nullptr;
   View view_ = 0;
   SeqNum last_exec_ = 0;
   std::map<SeqNum, Slot> slots_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/block_tracer.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 
@@ -16,6 +17,17 @@ PredisEngine::PredisEngine(NodeContext& ctx, PredisConfig config,
       rng_(config.seed ^ (0x9e3779b9ULL * (ctx.index() + 1))),
       last_cut_(ctx.n(), 0) {
   mempool_.set_gc_retention(cfg_.gc_retention);
+  // Every conflict the mempool detects — including those found while
+  // re-validating buffered out-of-order bundles, where add_bundle's
+  // evidence out-param is not on the stack — must arm the rejoin timer
+  // and spread the signed evidence to every honest node.
+  mempool_.on_conflict = [this](NodeId producer,
+                                const ConflictEvidence& ev) {
+    apply_ban(producer);
+    auto msg = std::make_shared<ConflictMsg>();
+    msg->evidence = ev;
+    ctx_.broadcast(msg);
+  };
 }
 
 void PredisEngine::start() {
@@ -38,6 +50,7 @@ void PredisEngine::enqueue(const std::vector<Transaction>& txs) {
   if (ctx_.net().uplink_backlog(ctx_.self()) > cfg_.backpressure) return;
   if (tx_queue_.size() >= cfg_.max_tx_queue) return;
   tx_queue_.insert(tx_queue_.end(), txs.begin(), txs.end());
+  tx_enqueue_times_.insert(tx_enqueue_times_.end(), txs.size(), ctx_.now());
   // Pack eagerly once a full bundle's worth is waiting.
   while (tx_queue_.size() >= cfg_.bundle_size) produce_bundle();
 }
@@ -49,6 +62,11 @@ void PredisEngine::produce_bundle() {
                                    static_cast<std::ptrdiff_t>(take));
   tx_queue_.erase(tx_queue_.begin(),
                   tx_queue_.begin() + static_cast<std::ptrdiff_t>(take));
+  const SimTime oldest_enqueue =
+      take > 0 ? tx_enqueue_times_.front() : kSimTimeNever;
+  tx_enqueue_times_.erase(
+      tx_enqueue_times_.begin(),
+      tx_enqueue_times_.begin() + static_cast<std::ptrdiff_t>(take));
 
   // Continuous production: empty bundles still carry fresh tip lists,
   // which is what keeps the cutting rule advancing (§III-D liveness).
@@ -65,6 +83,13 @@ void PredisEngine::produce_bundle() {
   if (result != AddBundleResult::kAdded) {
     log_warn("own bundle rejected: ", to_string(result));
     return;
+  }
+  if (tracer_ != nullptr) {
+    const Hash32 bh = bundle.header.hash();
+    if (take > 0) tracer_->record(TraceStage::kTxEnqueued, bh, oldest_enqueue);
+    tracer_->record(TraceStage::kBundleProduced, bh, ctx_.now());
+    tracer_->record_store(bh, ctx_.now(),
+                          static_cast<NodeId>(ctx_.index()));
   }
   disseminate(bundle);
   if (on_bundle_produced) on_bundle_produced(bundle);
@@ -179,9 +204,26 @@ bool PredisEngine::handle(NodeId from, const sim::MsgPtr& msg) {
 
 void PredisEngine::apply_ban(NodeId producer) {
   mempool_.ban(producer);
+  if (tracer_ != nullptr) {
+    tracer_->record_ban(static_cast<NodeId>(ctx_.index()), producer,
+                        ctx_.now());
+  }
   if (cfg_.ban_duration <= 0) return;
+  // One rejoin grant per ban. Duplicate ConflictMsgs for the same
+  // offence (every honest node broadcasts one) must not arm extra
+  // timers: a stale timer firing after the producer already rejoined
+  // would call allow_rejoin again, wiping the fresh post-rejoin chain
+  // suffix and — when the producer is this node — resetting
+  // own_height_/own_parent_hash_ so the next bundle equivocates against
+  // our own earlier production.
+  if (!pending_rejoins_.insert(producer).second) return;
   ctx_.after(cfg_.ban_duration, [this, producer] {
+    pending_rejoins_.erase(producer);
     mempool_.allow_rejoin(producer);
+    if (tracer_ != nullptr) {
+      tracer_->record_unban(static_cast<NodeId>(ctx_.index()), producer,
+                            ctx_.now());
+    }
     if (producer == ctx_.index()) {
       // We served our sentence: restart our chain with a new genesis
       // bundle at the confirmed height.
@@ -192,12 +234,15 @@ void PredisEngine::apply_ban(NodeId producer) {
 }
 
 void PredisEngine::add_bundle(NodeId from, const Bundle& bundle) {
-  ConflictEvidence evidence;
-  const AddBundleResult result = mempool_.add(bundle, &evidence);
+  const AddBundleResult result = mempool_.add(bundle);
   switch (result) {
     case AddBundleResult::kAdded: {
       outstanding_fetches_.erase({bundle.header.producer,
                                   bundle.header.height});
+      if (tracer_ != nullptr) {
+        tracer_->record_store(bundle.header.hash(), ctx_.now(),
+                              static_cast<NodeId>(ctx_.index()));
+      }
       if (on_bundle_stored) on_bundle_stored(bundle);
       if (on_mempool_grew) on_mempool_grew();
       flush_deferred();
@@ -216,16 +261,11 @@ void PredisEngine::add_bundle(NodeId from, const Bundle& bundle) {
       }
       break;
     }
-    case AddBundleResult::kConflict: {
-      // Spread the evidence so every honest node bans the producer
-      // (mempool_.add already banned it locally; apply_ban arms the
-      // rejoin timer on top).
-      apply_ban(bundle.header.producer);
-      auto msg = std::make_shared<ConflictMsg>();
-      msg->evidence = evidence;
-      ctx_.broadcast(msg);
+    case AddBundleResult::kConflict:
+      // The mempool's on_conflict hook (wired in the constructor)
+      // already armed the rejoin timer and broadcast the signed
+      // evidence — doing it here too would double-broadcast.
       break;
-    }
     default:
       break;
   }
@@ -243,6 +283,9 @@ PayloadPtr PredisEngine::build_payload(
       mempool_, static_cast<NodeId>(ctx_.index()), cut_f, height, view,
       parent_hash, prev_heights, own_key_);
   if (block.header_hashes.empty()) return nullptr;  // nothing new to confirm
+  if (tracer_ != nullptr) {
+    tracer_->record(TraceStage::kCutProposed, block.hash(), ctx_.now());
+  }
   if (on_block_proposal) on_block_proposal(block);
   return std::make_shared<PredisPayload>(std::move(block));
 }
@@ -253,6 +296,9 @@ Validity PredisEngine::validate_payload(
   const auto* pp = dynamic_cast<const PredisPayload*>(payload.get());
   if (pp == nullptr) return Validity::kInvalid;
   const PredisBlock& block = pp->block();
+  if (tracer_ != nullptr) {
+    tracer_->record(TraceStage::kCutProposed, block.hash(), ctx_.now());
+  }
   if (on_block_proposal) on_block_proposal(block);
   if (block.prev_heights != expected_prev) return Validity::kInvalid;
   if (block.leader >= ctx_.n()) return Validity::kInvalid;
@@ -364,6 +410,9 @@ void PredisEngine::flush_deferred() {
     }
     const std::uint64_t slot = it->first;
     deferred_commits_.erase(it);
+    if (tracer_ != nullptr) {
+      tracer_->record(TraceStage::kBlockCommitted, block.hash(), ctx_.now());
+    }
     if (on_execute) on_execute(slot, block, txs);
     if (on_block_executed) on_block_executed(block, txs);
   }

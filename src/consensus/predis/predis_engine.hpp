@@ -17,6 +17,10 @@
 #include "consensus/payloads.hpp"
 #include "consensus/predis/messages.hpp"
 
+namespace predis {
+class BlockTracer;
+}  // namespace predis
+
 namespace predis::consensus::predis {
 
 /// Byzantine behaviours used in the Fig. 6 experiment.
@@ -73,6 +77,11 @@ class PredisEngine {
 
   /// Client transactions enter the local bundle queue here.
   void enqueue(const std::vector<Transaction>& txs);
+
+  /// Attach the shared block-lifecycle tracer (may be null). The engine
+  /// records tx enqueue, bundle production, bundle stores, cut
+  /// proposals, commits and ban/rejoin events into it.
+  void set_tracer(BlockTracer* tracer) { tracer_ = tracer; }
 
   /// Byzantine test hook (swarm harness): produce two *conflicting*
   /// bundles at the next height — same parent, different transaction
@@ -164,8 +173,20 @@ class PredisEngine {
   Rng rng_;
 
   std::deque<Transaction> tx_queue_;
+  // Enqueue time of each waiting transaction (parallel to tx_queue_);
+  // feeds the tracer's tx-enqueued stage.
+  std::deque<SimTime> tx_enqueue_times_;
   BundleHeight own_height_ = 0;
   Hash32 own_parent_hash_ = kZeroHash;
+
+  BlockTracer* tracer_ = nullptr;
+
+  // Producers whose rejoin grant is already scheduled. Guards apply_ban
+  // against re-arming the timer for every duplicate ConflictMsg: a
+  // stale timer firing after the producer already rejoined would wipe
+  // its fresh post-rejoin chain (and for our own index, reset the
+  // production head into self-equivocation).
+  std::set<NodeId> pending_rejoins_;
 
   std::vector<BundleHeight> last_cut_;
 

@@ -92,6 +92,7 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
         ncfg.pipeline_window = cfg.pbft_pipeline_window;
         auto node = std::make_unique<pbft::PbftNode>(ctx, ncfg, ledger);
         node->on_committed_block = record;
+        node->core().set_tracer(cfg.tracer);
         actors.push_back(std::move(node));
         break;
       }
@@ -101,6 +102,7 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
         auto node =
             std::make_unique<hotstuff::HotStuffNode>(ctx, ncfg, ledger);
         node->on_committed_block = record;
+        node->core().set_tracer(cfg.tracer);
         actors.push_back(std::move(node));
         break;
       }
@@ -117,11 +119,15 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
           auto node = std::make_unique<predis::PredisPbftNode>(
               ctx, pcfg, keys, own, ledger);
           node->on_committed_block = record;
+          // The engine traces the full bundle + block lifecycle; the
+          // core stays untraced to avoid double-counting proposals.
+          node->engine().set_tracer(cfg.tracer);
           actors.push_back(std::move(node));
         } else {
           auto node = std::make_unique<predis::PredisHotStuffNode>(
               ctx, pcfg, keys, own, ledger);
           node->on_committed_block = record;
+          node->engine().set_tracer(cfg.tracer);
           actors.push_back(std::move(node));
         }
         break;
@@ -139,6 +145,7 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
         auto node = std::make_unique<narwhal::SharedMempoolNode>(
             ctx, ncfg, ledger);
         node->on_committed_block = record;
+        node->set_tracer(cfg.tracer);
         actors.push_back(std::move(node));
         break;
       }
@@ -210,6 +217,9 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
       up_bytes / static_cast<double>(cfg.n_consensus) * 8.0 / 1e6 /
       to_seconds(cfg.duration);
   result.leader_proposal_bytes = net.stats(consensus_ids[0]).bytes_sent;
+  if (cfg.tracer != nullptr) {
+    result.stage_latency = cfg.tracer->stage_breakdown();
+  }
   return result;
 }
 

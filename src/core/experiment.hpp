@@ -6,7 +6,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/block_tracer.hpp"
 #include "common/types.hpp"
 #include "consensus/predis/predis_engine.hpp"
 
@@ -54,6 +56,11 @@ struct ClusterConfig {
   std::size_t n_faulty = 0;
   consensus::predis::FaultMode fault_mode =
       consensus::predis::FaultMode::kNone;
+
+  /// Optional: shared block-lifecycle tracer every node records into.
+  /// When set, the result carries per-stage latency breakdowns and the
+  /// tracer is left populated for anomaly scans.
+  BlockTracer* tracer = nullptr;
 };
 
 struct ClusterResult {
@@ -71,6 +78,8 @@ struct ClusterResult {
   std::uint64_t ledger_blocks_max = 0;
   double consensus_uplink_mbps = 0.0;  ///< Mean consensus-node uplink use.
   std::uint64_t leader_proposal_bytes = 0;  ///< Proposal traffic (node 0).
+  /// Filled when config.tracer was set: per-stage latency distributions.
+  std::vector<TraceStageStats> stage_latency;
 };
 
 /// Run one cluster simulation to completion and report.

@@ -3,6 +3,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/codec.hpp"
+#include "common/metrics_registry.hpp"
 #include "consensus/hotstuff/hotstuff_node.hpp"
 #include "consensus/narwhal/shared_mempool.hpp"
 #include "consensus/pbft/pbft_node.hpp"
@@ -30,6 +32,11 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
 
   sim::TraceHasher tracer;
   net.set_tracer(&tracer);
+
+  // Block-lifecycle tracer shared by every consensus node: its folded
+  // metrics digest must be reproducible for a given seed, which the
+  // swarm tool's --verify-determinism sweep asserts.
+  BlockTracer block_tracer;
 
   // --- Consensus nodes -------------------------------------------------
   std::vector<NodeId> consensus_ids;
@@ -82,14 +89,17 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
     switch (cfg.protocol) {
       case Protocol::kPbft: {
         pbft::PbftNodeConfig ncfg;
-        actors.push_back(
-            std::make_unique<pbft::PbftNode>(ctx, ncfg, ledger));
+        auto node = std::make_unique<pbft::PbftNode>(ctx, ncfg, ledger);
+        node->core().set_tracer(&block_tracer);
+        actors.push_back(std::move(node));
         break;
       }
       case Protocol::kHotStuff: {
         hotstuff::HotStuffNodeConfig ncfg;
-        actors.push_back(
-            std::make_unique<hotstuff::HotStuffNode>(ctx, ncfg, ledger));
+        auto node =
+            std::make_unique<hotstuff::HotStuffNode>(ctx, ncfg, ledger);
+        node->core().set_tracer(&block_tracer);
+        actors.push_back(std::move(node));
         break;
       }
       case Protocol::kPredisPbft:
@@ -101,11 +111,13 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
           auto node = std::make_unique<predis::PredisPbftNode>(
               ctx, pcfg, keys, own, ledger);
           engines[i] = &node->engine();
+          engines[i]->set_tracer(&block_tracer);
           actors.push_back(std::move(node));
         } else {
           auto node = std::make_unique<predis::PredisHotStuffNode>(
               ctx, pcfg, keys, own, ledger);
           engines[i] = &node->engine();
+          engines[i]->set_tracer(&block_tracer);
           actors.push_back(std::move(node));
         }
         break;
@@ -117,8 +129,10 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
         ncfg.ack_quorum = cfg.protocol == Protocol::kNarwhal
                               ? cfg.n_consensus - cfg.f
                               : cfg.f + 1;
-        actors.push_back(
-            std::make_unique<narwhal::SharedMempoolNode>(ctx, ncfg, ledger));
+        auto node =
+            std::make_unique<narwhal::SharedMempoolNode>(ctx, ncfg, ledger);
+        node->set_tracer(&block_tracer);
+        actors.push_back(std::move(node));
         break;
       }
     }
@@ -196,6 +210,14 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
   result.fault_plan = faults.describe();
   result.trace_digest = tracer.digest();
   result.trace_events = tracer.events();
+  {
+    MetricsRegistry registry;
+    block_tracer.fold_into(registry);
+    Writer w;
+    w.hash(registry.digest());
+    w.hash(block_tracer.digest());
+    result.metrics_digest = Sha256::hash(BytesView{w.data()});
+  }
   result.commits_checked = inv.commits_checked();
   result.reconstructions_checked = inv.reconstructions_checked();
   result.faults_injected = faults.faults_injected();

@@ -52,6 +52,9 @@ struct SwarmCaseResult {
 
   Hash32 trace_digest = kZeroHash;  ///< Running hash of every delivery.
   std::uint64_t trace_events = 0;
+  /// Digest over the folded metrics registry + block-lifecycle tracer.
+  /// Same seed must yield the same digest (observability determinism).
+  Hash32 metrics_digest = kZeroHash;
 
   std::uint64_t commits_checked = 0;
   std::size_t reconstructions_checked = 0;

@@ -10,6 +10,7 @@
 #include <optional>
 #include <set>
 
+#include "common/block_tracer.hpp"
 #include "consensus/predis/predis_nodes.hpp"
 #include "multizone/directory.hpp"
 #include "multizone/messages.hpp"
@@ -51,6 +52,15 @@ class MultiZoneConsensusNode final : public sim::Actor {
 
   std::size_t subscriber_count() const { return subscribers_.size(); }
   consensus::predis::PredisPbftNode& inner() { return inner_; }
+
+  /// Attach the shared lifecycle tracer (may be null): the inner Predis
+  /// engine records production/commit stages; this node adds the
+  /// stripes-sent stage (and star-mode block announcements keyed by
+  /// height, matching StarFullNode's block ids).
+  void set_tracer(BlockTracer* tracer) {
+    tracer_ = tracer;
+    inner_.engine().set_tracer(tracer);
+  }
 
   /// Fired after each committed block has been pushed to the
   /// distribution layer (experiment bookkeeping).
@@ -142,6 +152,10 @@ class MultiZoneConsensusNode final : public sim::Actor {
       msg->body_bytes = own.data.size();
       msg->proof_bytes = own.proof.siblings.size() * 32;
     }
+    if (tracer_ != nullptr) {
+      tracer_->record(TraceStage::kStripesSent, bundle.header.hash(),
+                      ctx_.now());
+    }
     for (NodeId sub : subscribers_) ctx_.send_node(sub, msg);
   }
 
@@ -155,6 +169,12 @@ class MultiZoneConsensusNode final : public sim::Actor {
       auto msg = std::make_shared<FullBlockMsg>();
       msg->block_id = block.height;
       msg->body_bytes = payload_bytes(txs) + txs.size() * 8;
+      if (tracer_ != nullptr) {
+        // Star full nodes only ever see the height-keyed FullBlockMsg,
+        // so their trace entries key by height too.
+        tracer_->record(TraceStage::kBlockCommitted,
+                        trace_key(block.height), ctx_.now());
+      }
       for (NodeId child : star_children_) ctx_.send_node(child, msg);
     }
     if (on_block_distributed) on_block_distributed(block);
@@ -187,6 +207,7 @@ class MultiZoneConsensusNode final : public sim::Actor {
 
   consensus::NodeContext ctx_;
   consensus::predis::PredisPbftNode inner_;
+  BlockTracer* tracer_ = nullptr;
   MultiZoneConfig cfg_;
   ZoneDirectory& dir_;
   DistributionMode mode_;
@@ -203,10 +224,21 @@ class StarFullNode final : public sim::Actor {
  public:
   std::function<void(std::uint64_t block_id, SimTime when)> on_block;
 
+  /// Attach the shared lifecycle tracer (may be null); `self` is this
+  /// node's network id, recorded with each block arrival.
+  void set_tracer(BlockTracer* tracer, NodeId self) {
+    tracer_ = tracer;
+    self_ = self;
+  }
+
   void on_message(NodeId /*from*/, const sim::MsgPtr& msg) override {
     const auto* m = dynamic_cast<const FullBlockMsg*>(msg.get());
     if (m == nullptr) return;
     if (!seen_.insert(m->block_id).second) return;
+    if (tracer_ != nullptr) {
+      tracer_->record(TraceStage::kBlockReconstructed,
+                      trace_key(m->block_id), when_(), self_);
+    }
     if (on_block) on_block(m->block_id, when_());
   }
 
@@ -215,7 +247,9 @@ class StarFullNode final : public sim::Actor {
  private:
   SimTime when_() const { return net_.simulator().now(); }
   sim::Network& net_;
+  NodeId self_ = kNoNode;
   std::set<std::uint64_t> seen_;
+  BlockTracer* tracer_ = nullptr;
 };
 
 }  // namespace predis::multizone

@@ -82,6 +82,7 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
     consensus.push_back(std::make_unique<MultiZoneConsensusNode>(
         ctx, pcfg, keys, KeyPair::from_seed(consensus_ids[i]), ledger,
         mzcfg, dir, mode));
+    consensus.back()->set_tracer(cfg.tracer);
     net.attach(consensus_ids[i], consensus.back().get());
   }
 
@@ -107,6 +108,7 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
     }
     for (NodeId id : full_ids) {
       auto node = std::make_unique<StarFullNode>(net);
+      node->set_tracer(cfg.tracer, id);
       node->on_block = [&completions](std::uint64_t id, SimTime) {
         ++completions[id];
       };
@@ -122,6 +124,7 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
     for (NodeId id : full_ids) {
       auto node = std::make_unique<MultiZoneFullNode>(net, id, mzcfg, dir,
                                                       cfg.seed);
+      node->set_tracer(cfg.tracer);
       node->on_block_complete = [&completions](const PredisBlock& b,
                                                SimTime) {
         ++completions[b.height];
@@ -215,6 +218,9 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
         std::min(result.last_executed_min, core.last_executed());
     result.last_executed_max =
         std::max(result.last_executed_max, core.last_executed());
+  }
+  if (cfg.tracer != nullptr) {
+    result.stage_latency = cfg.tracer->stage_breakdown();
   }
   return result;
 }
@@ -380,6 +386,7 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
     for (std::size_t i = 0; i < full_ids.size(); ++i) {
       producers[i % cfg.n_consensus]->children.push_back(full_ids[i]);
       auto node = std::make_unique<StarFullNode>(net);
+      node->set_tracer(cfg.tracer, full_ids[i]);
       node->on_block = [&arrivals](std::uint64_t id, SimTime when) {
         if (id < arrivals.size()) arrivals[id].push_back(when);
       };
@@ -390,7 +397,11 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
       const SimTime at =
           setup + static_cast<SimTime>(b) * block_interval;
       produced_at[b] = at;
-      simulator.schedule_at(at, [producers, b, &cfg] {
+      simulator.schedule_at(at, [producers, b, &cfg, &simulator] {
+        if (cfg.tracer != nullptr) {
+          cfg.tracer->record(TraceStage::kBlockCommitted, trace_key(b),
+                             simulator.now());
+        }
         for (StarProducer* p : producers) p->push_block(b, cfg.block_bytes);
       });
     }
@@ -412,6 +423,7 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
     auto sources = std::make_shared<std::vector<RandomGossipNode*>>();
     for (NodeId id : everyone) {
       auto node = std::make_unique<RandomGossipNode>(net, id, gcfg, cfg.seed);
+      node->set_tracer(cfg.tracer);
       node->set_peers({adj[id].begin(), adj[id].end()});
       const bool is_producer =
           std::find(producer_ids.begin(), producer_ids.end(), id) !=
@@ -460,6 +472,7 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
     for (NodeId id : full_ids) {
       auto node =
           std::make_unique<MultiZoneFullNode>(net, id, mzcfg, dir, cfg.seed);
+      node->set_tracer(cfg.tracer);
       node->on_block_complete = [&arrivals](const PredisBlock& block,
                                             SimTime when) {
         if (block.height < arrivals.size()) {
@@ -491,7 +504,7 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
     const std::size_t txs_per_bundle =
         std::max<std::size_t>(1, cfg.bundle_bytes / 512);
 
-    auto produce_bundle = [state, producers, &dir, &cfg,
+    auto produce_bundle = [state, producers, &dir, &cfg, &simulator,
                            txs_per_bundle](std::size_t chain) {
       std::vector<Transaction> txs(txs_per_bundle);
       for (auto& tx : txs) {
@@ -509,6 +522,12 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
       state->headers[{chain, state->heights[chain]}] = bundle.header;
       dir.publish_bundle(bundle);
       const std::size_t bytes = bundle.wire_size();
+      if (cfg.tracer != nullptr) {
+        cfg.tracer->record(TraceStage::kBundleProduced,
+                           bundle.header.hash(), simulator.now());
+        cfg.tracer->record(TraceStage::kStripesSent, bundle.header.hash(),
+                           simulator.now());
+      }
       // Every consensus node sends its stripe of this bundle (§IV-D).
       for (SyntheticProducer* p : *producers) {
         p->send_stripe(bundle.header, bytes);
@@ -533,7 +552,8 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
         });
       }
       // Cut + announce the Predis block.
-      simulator.schedule_at(block_at, [state, producers, b, &cfg] {
+      simulator.schedule_at(block_at, [state, producers, b, &cfg,
+                                       &simulator] {
         PredisBlock block;
         block.height = b;
         block.leader = 0;
@@ -547,6 +567,11 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
         }
         state->last_cut = state->heights;
         block.signature = state->key.sign(BytesView{block.signing_bytes()});
+        if (cfg.tracer != nullptr) {
+          // Full nodes key reconstruction by the real block hash.
+          cfg.tracer->record(TraceStage::kBlockCommitted, block.hash(),
+                             simulator.now());
+        }
         for (SyntheticProducer* p : *producers) p->send_block(block);
       });
     }
@@ -605,6 +630,9 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
   }
   result.full_coverage_fraction =
       coverage / static_cast<double>(cfg.n_blocks);
+  if (cfg.tracer != nullptr) {
+    result.stage_latency = cfg.tracer->stage_breakdown();
+  }
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <map>
 #include <vector>
 
+#include "common/block_tracer.hpp"
 #include "common/types.hpp"
 
 namespace predis::multizone {
@@ -37,6 +38,8 @@ struct ThroughputConfig {
   /// Ship real erasure-coded stripe bytes (see
   /// MultiZoneConfig::real_stripe_payloads). Multi-Zone topology only.
   bool real_stripe_payloads = false;
+  /// Optional shared lifecycle tracer recorded into by every node.
+  BlockTracer* tracer = nullptr;
 };
 
 struct ThroughputResult {
@@ -53,6 +56,8 @@ struct ThroughputResult {
   std::uint64_t view_changes = 0;       ///< Summed over consensus nodes.
   std::uint64_t last_executed_min = 0;  ///< Slowest node's executed slot.
   std::uint64_t last_executed_max = 0;
+  /// Filled when config.tracer was set: per-stage latency distributions.
+  std::vector<TraceStageStats> stage_latency;
 };
 
 ThroughputResult run_distribution_cluster(const ThroughputConfig& config);
@@ -78,6 +83,8 @@ struct PropagationConfig {
   std::size_t n_blocks = 4;     ///< Blocks averaged over.
   SimTime setup_time = seconds(4);  ///< Topology convergence time.
   std::uint64_t seed = 1;
+  /// Optional shared lifecycle tracer recorded into by every node.
+  BlockTracer* tracer = nullptr;
 };
 
 struct PropagationResult {
@@ -85,6 +92,8 @@ struct PropagationResult {
   /// given fraction of full nodes.
   std::map<double, double> latency_ms_at_fraction;
   double full_coverage_fraction = 0.0;  ///< Nodes reached on average.
+  /// Filled when config.tracer was set: per-stage latency distributions.
+  std::vector<TraceStageStats> stage_latency;
 };
 
 PropagationResult run_propagation(const PropagationConfig& config);

@@ -477,6 +477,9 @@ void MultiZoneFullNode::store_bundle_record(const BundleHeader& header) {
   while (chain.count(contiguous_[header.producer] + 1) != 0) {
     ++contiguous_[header.producer];
   }
+  if (tracer_ != nullptr) {
+    tracer_->record(TraceStage::kBundleDecoded, header.hash(), now(), self_);
+  }
   if (on_bundle_decoded) on_bundle_decoded(header, now());
   try_reconstruct_blocks();
 }
@@ -545,6 +548,7 @@ void MultiZoneFullNode::schedule_pull(const Hash32& block_hash,
       target = backup_peer_;
     }
     ++it->second.pull_attempts;
+    if (tracer_ != nullptr) tracer_->record_pull(block_hash, self_, now());
     auto pull = std::make_shared<BundlePullMsg>();
     pull->refs = std::move(refs);
     net_.send(self_, target, std::move(pull));
@@ -570,6 +574,10 @@ void MultiZoneFullNode::try_reconstruct_blocks() {
       continue;
     }
     ++completed_count_;
+    if (tracer_ != nullptr) {
+      tracer_->record(TraceStage::kBlockReconstructed, block.hash(), now(),
+                      self_);
+    }
     if (on_block_complete) on_block_complete(block, now());
     it = pending_blocks_.erase(it);
   }

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/block_tracer.hpp"
 #include "common/rng.hpp"
 #include "multizone/directory.hpp"
 #include "multizone/messages.hpp"
@@ -34,6 +35,10 @@ class MultiZoneFullNode : public sim::Actor {
 
   /// Fired when a bundle is first decoded/stored at this node.
   std::function<void(const BundleHeader&, SimTime)> on_bundle_decoded;
+
+  /// Attach the shared lifecycle tracer (may be null): records bundle
+  /// decode, block reconstruction and every repair pull at this node.
+  void set_tracer(BlockTracer* tracer) { tracer_ = tracer; }
 
   /// Graceful departure per §IV-E; the caller marks the network node
   /// down afterwards.
@@ -126,6 +131,7 @@ class MultiZoneFullNode : public sim::Actor {
   NodeId self_;
   MultiZoneConfig cfg_;
   ZoneDirectory& dir_;
+  BlockTracer* tracer_ = nullptr;
   Rng rng_;
   std::uint32_t zone_ = 0;
   SimTime join_time_ = 0;

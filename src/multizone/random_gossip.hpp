@@ -11,6 +11,7 @@
 #include <set>
 #include <vector>
 
+#include "common/block_tracer.hpp"
 #include "common/rng.hpp"
 #include "multizone/messages.hpp"
 #include "sim/network.hpp"
@@ -31,6 +32,10 @@ class RandomGossipNode final : public sim::Actor {
   void set_peers(std::vector<NodeId> peers) { peers_ = std::move(peers); }
   const std::vector<NodeId>& peers() const { return peers_; }
 
+  /// Attach the shared lifecycle tracer (may be null): records first
+  /// block receipt per node and every repair pull.
+  void set_tracer(BlockTracer* tracer) { tracer_ = tracer; }
+
   std::function<void(std::uint64_t block_id, SimTime when)> on_block;
 
   /// Source-side entry: this node produced/holds the block natively
@@ -38,6 +43,10 @@ class RandomGossipNode final : public sim::Actor {
   void inject(std::uint64_t block_id, std::size_t body_bytes) {
     have_[block_id] = body_bytes;
     if (!seen_.insert(block_id).second) return;
+    if (tracer_ != nullptr) {
+      tracer_->record(TraceStage::kBlockCommitted, trace_key(block_id),
+                      net_.simulator().now());
+    }
     FullBlockMsg msg;
     msg.block_id = block_id;
     msg.body_bytes = body_bytes;
@@ -49,6 +58,11 @@ class RandomGossipNode final : public sim::Actor {
       have_[m->block_id] = m->body_bytes;
       knows_[m->block_id].insert(from);
       if (!seen_.insert(m->block_id).second) return;
+      if (tracer_ != nullptr) {
+        tracer_->record(TraceStage::kBlockReconstructed,
+                        trace_key(m->block_id), net_.simulator().now(),
+                        self_);
+      }
       if (on_block) on_block(m->block_id, net_.simulator().now());
       relay(*m, from);
       return;
@@ -56,14 +70,12 @@ class RandomGossipNode final : public sim::Actor {
     if (const auto* m = dynamic_cast<const BlockDigestMsg*>(msg.get())) {
       knows_[m->block_id].insert(from);
       if (seen_.count(m->block_id) != 0) return;
-      const std::uint64_t id = m->block_id;
-      const NodeId sender = from;
-      net_.simulator().schedule_after(cfg_.pull_delay, [this, id, sender] {
-        if (seen_.count(id) != 0) return;
-        auto pull = std::make_shared<BlockPullMsg>();
-        pull->block_id = id;
-        net_.send(self_, sender, std::move(pull));
-      });
+      // One pull loop per missing block: retry against a rotating set
+      // of targets until the block arrives. A single pull aimed only at
+      // the original digest sender stalls permanently when that sender
+      // crashes or its reply is lost.
+      if (!pulling_.insert(m->block_id).second) return;
+      schedule_pull(m->block_id, from, 0);
       return;
     }
     if (const auto* m = dynamic_cast<const BlockPullMsg*>(msg.get())) {
@@ -78,6 +90,39 @@ class RandomGossipNode final : public sim::Actor {
   }
 
  private:
+  /// Pull `id` after pull_delay, rotating targets each attempt: the
+  /// original digest sender first, then everyone known to have the
+  /// block, then the remaining peers (a pull to a peer lacking the
+  /// block is a harmless no-op). Re-arms itself until the block lands.
+  void schedule_pull(std::uint64_t id, NodeId first_target,
+                     std::size_t attempt) {
+    net_.simulator().schedule_after(
+        cfg_.pull_delay, [this, id, first_target, attempt] {
+          if (seen_.count(id) != 0) {
+            pulling_.erase(id);
+            return;
+          }
+          std::vector<NodeId> targets{first_target};
+          for (NodeId peer : knows_[id]) {
+            if (peer != first_target) targets.push_back(peer);
+          }
+          for (NodeId peer : peers_) {
+            if (peer != first_target && knows_[id].count(peer) == 0) {
+              targets.push_back(peer);
+            }
+          }
+          const NodeId target = targets[attempt % targets.size()];
+          if (tracer_ != nullptr) {
+            tracer_->record_pull(trace_key(id), self_,
+                                 net_.simulator().now());
+          }
+          auto pull = std::make_shared<BlockPullMsg>();
+          pull->block_id = id;
+          net_.send(self_, target, std::move(pull));
+          schedule_pull(id, first_target, attempt + 1);
+        });
+  }
+
   void relay(const FullBlockMsg& msg, NodeId from) {
     // Candidates: peers not yet known to have the block.
     std::vector<NodeId> candidates;
@@ -110,6 +155,8 @@ class RandomGossipNode final : public sim::Actor {
   std::set<std::uint64_t> seen_;
   std::map<std::uint64_t, std::size_t> have_;  ///< id -> body bytes
   std::map<std::uint64_t, std::set<NodeId>> knows_;
+  std::set<std::uint64_t> pulling_;  ///< Blocks with an active pull loop.
+  BlockTracer* tracer_ = nullptr;
 };
 
 }  // namespace predis::multizone

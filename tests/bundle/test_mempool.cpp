@@ -167,5 +167,58 @@ TEST_F(MempoolFixture, WrongConfirmAritythrows) {
   EXPECT_THROW(mempool.confirm({1, 2}), std::invalid_argument);
 }
 
+TEST_F(MempoolFixture, OnConflictHookMirrorsEvidenceOutParam) {
+  const Bundle b1 = next_bundle(2, {0, 0, 1, 0});
+  ASSERT_EQ(mempool.add(b1), AddBundleResult::kAdded);
+
+  std::size_t calls = 0;
+  ConflictEvidence hooked;
+  mempool.on_conflict = [&](NodeId producer, const ConflictEvidence& ev) {
+    ++calls;
+    EXPECT_EQ(producer, 2u);
+    hooked = ev;
+  };
+
+  Bundle evil = make_bundle(2, 1, kZeroHash, {0, 0, 1, 0}, txs(3, 777),
+                            KeyPair::from_seed(2));
+  ConflictEvidence evidence;
+  EXPECT_EQ(mempool.add(evil, &evidence), AddBundleResult::kConflict);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(hooked.first.hash(), evidence.first.hash());
+  EXPECT_EQ(hooked.second.hash(), evidence.second.hash());
+}
+
+// Regression: a conflicting child can arrive BEFORE its parent, park in
+// the out-of-order buffer, and only be detected inside retry_pending —
+// a path with no caller-supplied evidence out-param. The hook is the
+// only way that evidence escapes; it used to be dropped on the floor.
+TEST_F(MempoolFixture, RetryPendingSurfacesBufferedConflictEvidence) {
+  std::size_t calls = 0;
+  ConflictEvidence hooked;
+  mempool.on_conflict = [&](NodeId producer, const ConflictEvidence& ev) {
+    ++calls;
+    EXPECT_EQ(producer, 2u);
+    hooked = ev;
+  };
+
+  const Bundle b1 = make_bundle(2, 1, kZeroHash, {0, 0, 1, 0}, txs(1, 1),
+                                KeyPair::from_seed(2));
+  const Hash32 bogus = Sha256::hash(as_bytes(std::string("fork")));
+  const Bundle evil_child = make_bundle(2, 2, bogus, {0, 0, 2, 0},
+                                        txs(1, 2), KeyPair::from_seed(2));
+
+  // Child first: buffered, no conflict visible yet.
+  EXPECT_EQ(mempool.add(evil_child), AddBundleResult::kMissingParent);
+  EXPECT_EQ(calls, 0u);
+  EXPECT_FALSE(mempool.is_banned(2));
+
+  // Parent lands; retry_pending pops the child and hits the fork.
+  EXPECT_EQ(mempool.add(b1), AddBundleResult::kAdded);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_TRUE(mempool.is_banned(2));
+  EXPECT_EQ(hooked.first.hash(), b1.header.hash());
+  EXPECT_EQ(hooked.second.hash(), evil_child.header.hash());
+}
+
 }  // namespace
 }  // namespace predis

@@ -1,0 +1,189 @@
+#include "common/block_tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics_registry.hpp"
+
+namespace predis {
+namespace {
+
+const Hash32 kKeyA = trace_key(1);
+const Hash32 kKeyB = trace_key(2);
+
+TEST(BlockTracer, KeepsEarliestObservationPerStage) {
+  BlockTracer t;
+  t.record(TraceStage::kBlockCommitted, kKeyA, milliseconds(50));
+  t.record(TraceStage::kBlockCommitted, kKeyA, milliseconds(30));
+  t.record(TraceStage::kBlockCommitted, kKeyA, milliseconds(80));
+  EXPECT_EQ(t.first(TraceStage::kBlockCommitted, kKeyA), milliseconds(30));
+  EXPECT_FALSE(t.has(TraceStage::kCutProposed, kKeyA));
+  EXPECT_EQ(t.first(TraceStage::kCutProposed, kKeyB), kSimTimeNever);
+}
+
+TEST(BlockTracer, StoreQuorumFlipsOnDistinctNodes) {
+  BlockTracer t(/*store_quorum=*/3);
+  t.record_store(kKeyA, milliseconds(10), 0);
+  t.record_store(kKeyA, milliseconds(20), 1);
+  t.record_store(kKeyA, milliseconds(25), 1);  // duplicate node: no-op
+  EXPECT_FALSE(t.has(TraceStage::kBundleStoredQuorum, kKeyA));
+  t.record_store(kKeyA, milliseconds(40), 2);
+  EXPECT_EQ(t.first(TraceStage::kBundleStoredQuorum, kKeyA),
+            milliseconds(40));
+}
+
+TEST(BlockTracer, CausalOrderingChecksObservedStagesOnly) {
+  BlockTracer t;
+  t.record(TraceStage::kCutProposed, kKeyA, milliseconds(10));
+  t.record(TraceStage::kBlockCommitted, kKeyA, milliseconds(60));
+  EXPECT_TRUE(t.causally_ordered(kKeyA));
+  // Unobserved key: vacuously ordered.
+  EXPECT_TRUE(t.causally_ordered(kKeyB));
+
+  BlockTracer bad;
+  bad.record(TraceStage::kBlockCommitted, kKeyA, milliseconds(10));
+  bad.record(TraceStage::kCutProposed, kKeyA, milliseconds(60));
+  EXPECT_FALSE(bad.causally_ordered(kKeyA));
+}
+
+TEST(BlockTracer, StageSamplesDeriveNamedIntervals) {
+  BlockTracer t;
+  t.record(TraceStage::kTxEnqueued, kKeyA, milliseconds(0));
+  t.record(TraceStage::kBundleProduced, kKeyA, milliseconds(5));
+  t.record(TraceStage::kCutProposed, kKeyA, milliseconds(20));
+  t.record(TraceStage::kBlockCommitted, kKeyA, milliseconds(95));
+  // Two full nodes reconstruct: distribution is a per-node distribution.
+  t.record(TraceStage::kBlockReconstructed, kKeyA, milliseconds(120), 7);
+  t.record(TraceStage::kBlockReconstructed, kKeyA, milliseconds(150), 8);
+
+  const auto samples = t.stage_samples();
+  ASSERT_EQ(samples.count("tx_wait"), 1u);
+  EXPECT_DOUBLE_EQ(samples.at("tx_wait").percentile(50), 5.0);
+  ASSERT_EQ(samples.count("production"), 1u);
+  EXPECT_DOUBLE_EQ(samples.at("production").percentile(50), 75.0);
+  ASSERT_EQ(samples.count("distribution"), 1u);
+  EXPECT_EQ(samples.at("distribution").count(), 2u);
+  EXPECT_DOUBLE_EQ(samples.at("distribution").percentile(100), 55.0);
+  ASSERT_EQ(samples.count("end_to_end"), 1u);
+  EXPECT_DOUBLE_EQ(samples.at("end_to_end").percentile(100), 130.0);
+
+  bool saw_production = false;
+  for (const TraceStageStats& row : t.stage_breakdown()) {
+    if (row.name != "production") continue;
+    saw_production = true;
+    EXPECT_EQ(row.count, 1u);
+    EXPECT_DOUBLE_EQ(row.p50_ms, 75.0);
+  }
+  EXPECT_TRUE(saw_production);
+}
+
+TEST(BlockTracer, FoldIntoRegistersStageHistogramsAndCounters) {
+  BlockTracer t;
+  t.record(TraceStage::kCutProposed, kKeyA, milliseconds(10));
+  t.record(TraceStage::kBlockCommitted, kKeyA, milliseconds(60));
+  t.record_ban(0, 3, milliseconds(5));
+  t.record_pull(kKeyB, 2, milliseconds(7));
+
+  MetricsRegistry r;
+  t.fold_into(r);
+  ASSERT_EQ(r.histograms().count("stage.production"), 1u);
+  EXPECT_EQ(r.histograms().at("stage.production").count(), 1u);
+  // Pulls are tracked per (block, node), not as trace entries: only
+  // kKeyA's stage records created an entry.
+  EXPECT_EQ(r.counters().at("trace.entries").value(), 1u);
+  EXPECT_EQ(r.counters().at("trace.bans").value(), 1u);
+  EXPECT_EQ(r.counters().at("trace.pulls").value(), 1u);
+}
+
+// --- Anomaly detectors --------------------------------------------------
+
+TEST(BlockTracerAnomalies, RebanStormFiresAtThreshold) {
+  BlockTracer t;
+  t.record_ban(1, 3, seconds(1));
+  t.record_ban(1, 3, seconds(2));
+  EXPECT_TRUE(t.anomalies(seconds(10)).empty());
+  t.record_ban(1, 3, seconds(3));
+  const auto as = t.anomalies(seconds(10));
+  ASSERT_EQ(as.size(), 1u);
+  EXPECT_EQ(as[0].kind, TraceAnomaly::Kind::kRebanStorm);
+  EXPECT_EQ(as[0].node, 1u);
+  EXPECT_EQ(as[0].producer, 3u);
+  EXPECT_EQ(as[0].count, 3u);
+  EXPECT_NE(as[0].describe().find("re-ban storm"), std::string::npos);
+}
+
+TEST(BlockTracerAnomalies, DistinctObserversAreNotAStorm) {
+  BlockTracer t;
+  // Every honest node banning the producer once is the CORRECT
+  // response to one equivocation, not a storm.
+  for (NodeId observer = 0; observer < 4; ++observer) {
+    t.record_ban(observer, 3, seconds(1));
+  }
+  EXPECT_TRUE(t.anomalies(seconds(10)).empty());
+}
+
+TEST(BlockTracerAnomalies, PullSpiralFiresAtThreshold) {
+  BlockTracer t;
+  for (int i = 0; i < 11; ++i) t.record_pull(kKeyA, 5, seconds(i));
+  EXPECT_TRUE(t.anomalies(seconds(20)).empty());
+  t.record_pull(kKeyA, 5, seconds(12));
+  const auto as = t.anomalies(seconds(20));
+  ASSERT_EQ(as.size(), 1u);
+  EXPECT_EQ(as[0].kind, TraceAnomaly::Kind::kPullSpiral);
+  EXPECT_EQ(as[0].node, 5u);
+  EXPECT_EQ(as[0].count, 12u);
+}
+
+TEST(BlockTracerAnomalies, StalledBlockNeedsAgeAndDistributionLayer) {
+  BlockTracer t;
+  t.record(TraceStage::kBlockCommitted, kKeyA, seconds(1));
+  // No reconstruction anywhere in the trace: consensus-only run, the
+  // stall detector stays quiet.
+  EXPECT_TRUE(t.anomalies(seconds(30)).empty());
+
+  // Another block reconstructing proves a distribution layer exists.
+  t.record(TraceStage::kBlockCommitted, kKeyB, seconds(1));
+  t.record(TraceStage::kBlockReconstructed, kKeyB, seconds(2), 9);
+  const auto as = t.anomalies(seconds(30));
+  ASSERT_EQ(as.size(), 1u);
+  EXPECT_EQ(as[0].kind, TraceAnomaly::Kind::kStalledBlock);
+  EXPECT_EQ(as[0].key, kKeyA);
+
+  // A recent commit is not stalled yet.
+  EXPECT_TRUE(t.anomalies(seconds(3)).empty());
+}
+
+TEST(BlockTracerAnomalies, ExpectReconstructionForcesStallDetection) {
+  BlockTracer t;
+  t.record(TraceStage::kBlockCommitted, kKeyA, seconds(1));
+  t.expect_reconstruction(true);
+  const auto as = t.anomalies(seconds(30));
+  ASSERT_EQ(as.size(), 1u);
+  EXPECT_EQ(as[0].kind, TraceAnomaly::Kind::kStalledBlock);
+}
+
+TEST(BlockTracer, DigestIsContentSensitive) {
+  const auto fill = [](BlockTracer& t) {
+    t.record(TraceStage::kBundleProduced, kKeyA, milliseconds(3));
+    t.record(TraceStage::kBlockReconstructed, kKeyA, milliseconds(9), 4);
+    t.record_ban(0, 2, milliseconds(5));
+    t.record_pull(kKeyB, 1, milliseconds(6));
+  };
+  BlockTracer a, b;
+  fill(a);
+  fill(b);
+  EXPECT_EQ(a.digest(), b.digest());
+  b.record_pull(kKeyB, 1, milliseconds(7));
+  EXPECT_NE(a.digest(), b.digest());
+  BlockTracer c;
+  fill(c);
+  c.record(TraceStage::kBlockReconstructed, kKeyA, milliseconds(11), 5);
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(BlockTracer, TraceKeyIsInjectiveOnSmallIds) {
+  EXPECT_NE(trace_key(1), trace_key(2));
+  EXPECT_EQ(trace_key(7), trace_key(7));
+}
+
+}  // namespace
+}  // namespace predis

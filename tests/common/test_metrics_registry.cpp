@@ -1,0 +1,123 @@
+#include "common/metrics_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace predis {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, HoldsLastValue) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+}
+
+TEST(LatencyHistogram, SingleValueClampsAllPercentiles) {
+  LatencyHistogram h;
+  h.record(37.25);
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 37.25);
+  }
+}
+
+// The HDR bucket layout promises <= ~1.6 % relative error; nearest-rank
+// vs interpolation adds a little more on sparse tails. Validate the
+// bucketed percentiles against the exact Percentiles machinery across
+// four orders of magnitude.
+TEST(LatencyHistogram, PercentilesTrackExactWithinBucketError) {
+  LatencyHistogram h;
+  Percentiles exact;
+  double v = 0.05;  // 50 us, above the exact-bucket floor.
+  for (int i = 0; i < 300; ++i) {
+    h.record(v);
+    exact.add(v);
+    v *= 1.04;  // up to ~6.4 s
+  }
+  for (double p : {50.0, 90.0, 95.0, 99.0}) {
+    const double want = exact.percentile(p);
+    EXPECT_NEAR(h.percentile(p), want, want * 0.04)
+        << "p" << p << " diverged";
+  }
+  EXPECT_EQ(h.count(), 300u);
+  EXPECT_NEAR(h.mean(), exact.mean(), exact.mean() * 1e-9);
+}
+
+TEST(LatencyHistogram, SubMillisecondValuesStayExact) {
+  LatencyHistogram h;
+  // Below 32 us the buckets are 1 us wide: recording 1 us and 20 us
+  // must not smear together.
+  h.record(0.001);
+  h.record(0.020);
+  EXPECT_LE(h.percentile(0), 0.002);
+  EXPECT_GE(h.percentile(100), 0.019);
+}
+
+TEST(MetricsRegistry, LookupCreatesOnFirstUse) {
+  MetricsRegistry r;
+  r.counter("a.count").inc(3);
+  r.gauge("b.gauge").set(2.5);
+  r.histogram("c.lat").record(10.0);
+  EXPECT_EQ(r.counters().at("a.count").value(), 3u);
+  EXPECT_DOUBLE_EQ(r.gauges().at("b.gauge").value(), 2.5);
+  EXPECT_EQ(r.histograms().at("c.lat").count(), 1u);
+  // Second lookup returns the same metric, not a fresh one.
+  r.counter("a.count").inc();
+  EXPECT_EQ(r.counters().at("a.count").value(), 4u);
+}
+
+TEST(MetricsRegistry, JsonExportIsDeterministicAndNamed) {
+  const auto fill = [](MetricsRegistry& r) {
+    r.counter("z.count").inc(7);
+    r.counter("a.count").inc(1);
+    r.gauge("mid.gauge").set(0.5);
+    r.histogram("lat.commit").record(12.0);
+    r.histogram("lat.commit").record(48.0);
+  };
+  MetricsRegistry r1, r2;
+  fill(r1);
+  fill(r2);
+  const std::string json = r1.to_json();
+  EXPECT_EQ(json, r2.to_json());
+  EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat.commit\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ms\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, DigestIsContentSensitive) {
+  const auto fill = [](MetricsRegistry& r) {
+    r.counter("x").inc(2);
+    r.histogram("h").record(5.0);
+  };
+  MetricsRegistry a, b;
+  fill(a);
+  fill(b);
+  EXPECT_EQ(a.digest(), b.digest());
+  b.histogram("h").record(5.0);  // one extra sample
+  EXPECT_NE(a.digest(), b.digest());
+  MetricsRegistry c;
+  fill(c);
+  c.counter("y");  // a new name alone must change the digest
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+}  // namespace
+}  // namespace predis

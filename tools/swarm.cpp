@@ -187,6 +187,16 @@ int main(int argc, char** argv) {
               0, 0});
           r.report = "1 violation(s): [determinism]";
         }
+        if (again.metrics_digest != r.metrics_digest) {
+          r.ok = false;
+          r.violations.push_back(core::Violation{
+              "determinism",
+              "same seed produced different metrics digests (" +
+                  to_hex(r.metrics_digest) + " vs " +
+                  to_hex(again.metrics_digest) + ")",
+              0, 0});
+          r.report = "1 violation(s): [determinism]";
+        }
       }
 
       std::lock_guard<std::mutex> lock(out_mutex);
