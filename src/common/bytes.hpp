@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace predis {
@@ -20,8 +21,9 @@ std::string to_hex(BytesView data);
 /// on odd length or non-hex characters.
 Bytes from_hex(const std::string& hex);
 
-/// View over the raw bytes of a string (no copy).
-inline BytesView as_bytes(const std::string& s) {
+/// View over the raw bytes of a string (no copy). Accepts anything
+/// convertible to string_view, including C strings and std::string.
+inline BytesView as_bytes(std::string_view s) {
   return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
 }
 

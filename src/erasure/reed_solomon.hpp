@@ -66,9 +66,9 @@ class ReedSolomon {
 
   /// Non-throwing decode for in-loop callers: same semantics as
   /// decode() but failures come back as a CodecFailure value.
-  Expected<Bytes> try_decode(
+  [[nodiscard]] Expected<Bytes> try_decode(
       std::span<const std::optional<BytesView>> shards) const;
-  Expected<Bytes> try_decode(
+  [[nodiscard]] Expected<Bytes> try_decode(
       const std::vector<std::optional<Bytes>>& shards) const;
 
   /// Recompute all n shards from any >= k present shards (used by

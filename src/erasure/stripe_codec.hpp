@@ -77,12 +77,12 @@ class StripeCodec {
   /// same semantics as decode() but failures — bad indices, too few
   /// stripes, corrupt payload, malformed bundle bytes — come back as a
   /// CodecFailure value instead of an exception.
-  Expected<Bundle> try_decode(
+  [[nodiscard]] Expected<Bundle> try_decode(
       const std::vector<std::optional<Stripe>>& stripes) const;
 
   /// Span-of-views variant: shard bytes indexed by stripe index (entry
   /// i is stripe i's data or nullopt). No copies of shard bytes.
-  Expected<Bundle> try_decode(
+  [[nodiscard]] Expected<Bundle> try_decode(
       std::span<const std::optional<BytesView>> shards) const;
 
   std::size_t data_shards() const { return rs_.data_shards(); }

@@ -328,12 +328,19 @@ void MultiZoneFullNode::on_unsubscribe(NodeId from,
 void MultiZoneFullNode::on_relayer_alive(NodeId /*from*/,
                                          const RelayerAliveMsg& msg) {
   if (msg.relayer == self_) return;
+  // The stripe list arrives off the wire: drop out-of-range indices
+  // before they reach providers_ / direct_ (or get cached in
+  // known_relayers_ and replayed later by on_leave).
+  std::set<StripeIndex> relayed;
+  for (StripeIndex s : msg.relayed) {
+    if (s < cfg_.n_consensus) relayed.insert(s);
+  }
   auto& state = known_relayers_[msg.relayer];
-  state.relayed = {msg.relayed.begin(), msg.relayed.end()};
+  state.relayed = relayed;
   state.join_time = msg.join_time;
   state.last_seen = now();
 
-  if (msg.relayed.empty()) {
+  if (relayed.empty()) {
     // The sender demoted itself (lines 4-5 of Algorithm 2); replace it
     // wherever it was our provider.
     for (StripeIndex s = 0; s < cfg_.n_consensus; ++s) {
@@ -352,11 +359,11 @@ void MultiZoneFullNode::on_relayer_alive(NodeId /*from*/,
     // surviving direct stripes spread across consensus nodes instead of
     // piling onto one.
     std::vector<StripeIndex> overlap;
-    for (StripeIndex s : msg.relayed) {
+    for (StripeIndex s : relayed) {
       if (direct_.count(s) != 0) overlap.push_back(s);
     }
     if (!overlap.empty() &&
-        (join_time_ <= msg.join_time || msg.relayed.size() == 1)) {
+        (join_time_ <= msg.join_time || relayed.size() == 1)) {
       const auto preferred =
           static_cast<StripeIndex>(self_ % cfg_.n_consensus);
       // Give up the preferred stripe last.
@@ -383,7 +390,7 @@ void MultiZoneFullNode::on_relayer_alive(NodeId /*from*/,
 
   // Lines 14-18: if our provider of a stripe stopped relaying it, move
   // the subscription to this relayer.
-  for (StripeIndex s : msg.relayed) {
+  for (StripeIndex s : relayed) {
     const NodeId provider = providers_[s];
     if (provider == kNoNode || provider == msg.relayer) continue;
     const auto it = known_relayers_.find(provider);

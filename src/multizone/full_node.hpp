@@ -113,7 +113,7 @@ class MultiZoneFullNode : public sim::Actor {
   void on_push(NodeId from, const BundlePushMsg& msg);
 
   // Data plane.
-  bool try_byte_decode(StripeState& state);
+  [[nodiscard]] bool try_byte_decode(StripeState& state);
   void store_bundle_record(const BundleHeader& header);
   void try_reconstruct_blocks();
   void schedule_pull(const Hash32& block_hash, NodeId sender);
@@ -164,7 +164,9 @@ class MultiZoneFullNode : public sim::Actor {
     NodeId sender = kNoNode;
     std::size_t pull_attempts = 0;
   };
-  std::unordered_map<Hash32, PendingBlock, HashKey> pending_blocks_;
+  // Iterated by try_reconstruct_blocks(), which emits completion
+  // callbacks and trace records: keep the order key-sorted (D1).
+  std::map<Hash32, PendingBlock> pending_blocks_;
   std::set<Hash32> seen_blocks_;
 
   NodeId backup_peer_ = kNoNode;  ///< Neighbour-zone digest partner.

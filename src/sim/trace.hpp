@@ -4,8 +4,7 @@
 // deterministic replay (and unequal digests pinpoint divergence).
 #pragma once
 
-#include <cstring>
-
+#include "common/bytes.hpp"
 #include "common/codec.hpp"
 #include "common/types.hpp"
 
@@ -22,8 +21,7 @@ class TraceHasher {
     w.u32(from);
     w.u32(to);
     w.u64(size);
-    w.raw(BytesView{reinterpret_cast<const std::uint8_t*>(name),
-                    std::strlen(name)});
+    w.raw(as_bytes(name));
     digest_ = Sha256::hash(w.data());
     ++events_;
   }

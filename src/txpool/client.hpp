@@ -10,7 +10,6 @@
 #pragma once
 
 #include <map>
-#include <unordered_map>
 
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
@@ -159,7 +158,9 @@ class ClientActor final : public sim::Actor {
   TxSeq next_seq_ = 0;
   double carry_ = 0.0;
   std::uint64_t resubmissions_ = 0;
-  std::unordered_map<TxSeq, Pending> pending_;
+  // resubmit_overdue() iterates this and the resulting batches go on
+  // the wire: keep the walk in ascending-seq order (D1).
+  std::map<TxSeq, Pending> pending_;
 };
 
 }  // namespace predis

@@ -28,6 +28,7 @@ SwarmCaseConfig short_case(Protocol protocol, std::uint64_t seed) {
 
 void expect_identical(const SwarmCaseResult& a, const SwarmCaseResult& b) {
   EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.metrics_digest, b.metrics_digest);
   EXPECT_EQ(a.trace_events, b.trace_events);
   EXPECT_EQ(a.committed_slots, b.committed_slots);
   EXPECT_EQ(a.commits_checked, b.commits_checked);

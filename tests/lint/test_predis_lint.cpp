@@ -1,0 +1,139 @@
+// predis-lint self-tests: every rule has a fixture that must fail and
+// one that must pass, plus allowlist-pragma and JSON-shape coverage.
+// The fixtures live in tests/lint_fixtures (skipped by the default
+// tree scan precisely because they violate the rules on purpose).
+#include "linter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace predis::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(PREDIS_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<Diagnostic> lint_fixture(const std::string& name) {
+  return lint_files({fixture(name)});
+}
+
+std::size_t count_rule(const std::vector<Diagnostic>& diags,
+                       const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+TEST(PredisLint, D1FailsOnUnorderedIterationThatEmits) {
+  const auto diags = lint_fixture("d1_unordered_emit_fail.cpp");
+  ASSERT_EQ(count_rule(diags, "D1"), 1u);
+  EXPECT_EQ(diags[0].line, 13u);
+  EXPECT_NE(diags[0].message.find("credits_"), std::string::npos);
+}
+
+TEST(PredisLint, D1PassesOnLookupsAndSinkFreeIteration) {
+  EXPECT_TRUE(lint_fixture("d1_unordered_lookup_pass.cpp").empty());
+}
+
+TEST(PredisLint, D2FailsOnWallClockAndCRng) {
+  const auto diags = lint_fixture("d2_wall_clock_fail.cpp");
+  EXPECT_EQ(count_rule(diags, "D2"), 2u);
+}
+
+TEST(PredisLint, D2PassesOnSeededRngAndSimClock) {
+  EXPECT_TRUE(lint_fixture("d2_seeded_rng_pass.cpp").empty());
+}
+
+TEST(PredisLint, D3FailsOnMissingNodiscardAndDiscardedResult) {
+  const auto diags = lint_fixture("d3_missing_nodiscard_fail.hpp");
+  ASSERT_EQ(count_rule(diags, "D3"), 3u);
+  // Two declaration findings, one discarded-call finding.
+  const auto discarded = std::count_if(
+      diags.begin(), diags.end(), [](const Diagnostic& d) {
+        return d.message.find("discarded") != std::string::npos;
+      });
+  EXPECT_EQ(discarded, 1);
+}
+
+TEST(PredisLint, D3PassesWhenAnnotatedAndConsumed) {
+  EXPECT_TRUE(lint_fixture("d3_nodiscard_pass.hpp").empty());
+}
+
+TEST(PredisLint, D4FailsOnUncheckedSenderAndMessageIndex) {
+  const auto diags = lint_fixture("d4_unchecked_sender_fail.cpp");
+  ASSERT_EQ(count_rule(diags, "D4"), 2u);
+  EXPECT_NE(diags[0].message.find("from"), std::string::npos);
+  EXPECT_NE(diags[1].message.find("lane"), std::string::npos);
+}
+
+TEST(PredisLint, D4PassesWithGuards) {
+  EXPECT_TRUE(lint_fixture("d4_checked_sender_pass.cpp").empty());
+}
+
+TEST(PredisLint, D5FailsOutsideApprovedTus) {
+  const auto diags = lint_fixture("d5_cast_fail.cpp");
+  ASSERT_EQ(count_rule(diags, "D5"), 1u);
+}
+
+TEST(PredisLint, D5PassesInApprovedTu) {
+  EXPECT_TRUE(lint_fixture("bytes_cast_pass.cpp").empty());
+}
+
+TEST(PredisLint, LinePragmaSuppressesNextLine) {
+  EXPECT_TRUE(lint_fixture("allow_line_pass.cpp").empty());
+}
+
+TEST(PredisLint, FilePragmaSuppressesWholeFile) {
+  EXPECT_TRUE(lint_fixture("allow_file_pass.cpp").empty());
+}
+
+TEST(PredisLint, CollectSourcesSkipsFixturesByDefault) {
+  // Walking the parent tree must skip lint_fixtures unless opted in;
+  // naming the fixture directory explicitly always scans it.
+  const std::string parent =
+      std::filesystem::path(PREDIS_LINT_FIXTURE_DIR).parent_path().string();
+  const auto contains_fixture = [](const std::vector<std::string>& files) {
+    return std::any_of(files.begin(), files.end(), [](const std::string& f) {
+      return f.find("lint_fixtures") != std::string::npos;
+    });
+  };
+  Options options;
+  EXPECT_FALSE(contains_fixture(collect_sources({parent}, options)));
+  options.include_fixtures = true;
+  EXPECT_TRUE(contains_fixture(collect_sources({parent}, options)));
+
+  const auto direct = collect_sources({PREDIS_LINT_FIXTURE_DIR}, Options{});
+  EXPECT_GE(direct.size(), 12u);
+  EXPECT_TRUE(std::is_sorted(direct.begin(), direct.end()));
+}
+
+TEST(PredisLint, JsonOutputIsWellFormedAndStable) {
+  const auto diags = lint_fixture("d5_cast_fail.cpp");
+  ASSERT_FALSE(diags.empty());
+  const std::string json = to_json(diags);
+  EXPECT_NE(json.find("\"rule\": \"D5\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": "), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            static_cast<std::ptrdiff_t>(diags.size()));
+  EXPECT_EQ(to_json({}), "[\n]\n");
+}
+
+TEST(PredisLint, DiagnosticsAreSortedByFileLineRule) {
+  const auto diags = lint_files({fixture("d2_wall_clock_fail.cpp"),
+                                 fixture("d5_cast_fail.cpp"),
+                                 fixture("d1_unordered_emit_fail.cpp")});
+  ASSERT_GE(diags.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+        return std::tie(a.file, a.line, a.rule) <
+               std::tie(b.file, b.line, b.rule);
+      }));
+}
+
+}  // namespace
+}  // namespace predis::lint

@@ -1,0 +1,10 @@
+// Fixture: the file allowlist pragma must suppress every D2 finding in
+// the file, wherever it occurs.
+// predis-lint: allow-file(D2)
+#include <chrono>
+#include <cstdlib>
+
+long noisy() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count() + std::rand();
+}

@@ -1,0 +1,8 @@
+// Fixture: the line allowlist pragma must suppress the D2 finding on
+// the next line (and only that rule, on that line).
+#include <cstdlib>
+
+int noisy() {
+  // predis-lint: allow(D2): fixture demonstrates the line pragma.
+  return std::rand();
+}

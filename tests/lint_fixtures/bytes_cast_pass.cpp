@@ -1,0 +1,8 @@
+// Fixture: D5 must stay quiet — this file's basename starts with
+// "bytes", one of the approved low-level TUs where byte-level casts
+// are fenced in.
+#include <cstdint>
+
+const std::uint8_t* view(const char* s) {
+  return reinterpret_cast<const std::uint8_t*>(s);
+}

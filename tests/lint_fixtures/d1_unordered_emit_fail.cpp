@@ -1,0 +1,21 @@
+// Fixture: D1 must fire — iterating an unordered_map in a function
+// that emits messages makes the wire byte order depend on hash-table
+// iteration order.
+#include <unordered_map>
+
+struct Net {
+  void send(int to, int payload);
+};
+
+class CreditHub {
+ public:
+  void flush() {
+    for (const auto& [id, credit] : credits_) {  // <- D1
+      net_.send(id, credit);
+    }
+  }
+
+ private:
+  Net net_;
+  std::unordered_map<int, int> credits_;
+};

@@ -1,0 +1,17 @@
+// Fixture: D1 must stay quiet — key lookups never observe iteration
+// order, and iterating in code with no protocol-visible sink (no
+// send/hash/digest/fold reachability) is fine.
+#include <unordered_map>
+
+class Tally {
+ public:
+  int total() const {
+    int sum = 0;
+    for (const auto& [id, n] : counts_) sum += n + id * 0;
+    return sum;
+  }
+  bool has(int id) const { return counts_.count(id) != 0; }
+
+ private:
+  std::unordered_map<int, int> counts_;
+};

@@ -1,0 +1,14 @@
+// Fixture: D2 must stay quiet — randomness drawn from the seeded Rng
+// and time read from the simulator clock are the sanctioned sources.
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t next();
+};
+struct Simulator {
+  std::int64_t now() const;
+};
+
+std::int64_t jitter(Rng& rng, const Simulator& sim) {
+  return sim.now() + static_cast<std::int64_t>(rng.next() % 7);
+}

@@ -1,0 +1,10 @@
+// Fixture: D2 must fire twice — wall-clock time and the C RNG both
+// break bit-for-bit seeded replay.
+#include <chrono>
+#include <cstdlib>
+
+long jitter() {
+  const auto t = std::chrono::steady_clock::now();  // <- D2
+  return t.time_since_epoch().count() +
+         std::rand() % 7;  // <- D2
+}

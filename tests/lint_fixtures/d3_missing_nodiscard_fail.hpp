@@ -1,0 +1,23 @@
+// Fixture: D3 must fire three times — two declarations missing
+// [[nodiscard]] (a non-void try_* and an Expected<T> return) and one
+// call site that drops the result on the floor.
+#pragma once
+
+#include <string>
+
+template <typename T>
+class Expected {
+ public:
+  explicit Expected(T v) : value_(v) {}
+  bool ok() const { return true; }
+
+ private:
+  T value_;
+};
+
+Expected<int> try_parse(const std::string& s);   // <- D3 (declaration)
+Expected<int> parse_or_error(const std::string& s);  // <- D3 (declaration)
+
+inline void drive(const std::string& s) {
+  try_parse(s);  // <- D3 (discarded result)
+}

@@ -1,0 +1,23 @@
+// Fixture: D3 must stay quiet — both declarations carry [[nodiscard]]
+// and every call site consumes the result.
+#pragma once
+
+#include <string>
+
+template <typename T>
+class Expected {
+ public:
+  explicit Expected(T v) : value_(v) {}
+  bool ok() const { return true; }
+
+ private:
+  T value_;
+};
+
+[[nodiscard]] Expected<int> try_parse(const std::string& s);
+[[nodiscard]] Expected<int> parse_or_error(const std::string& s);
+
+inline bool drive(const std::string& s) {
+  if (!parse_or_error(s).ok()) return false;
+  return try_parse(s).ok();
+}

@@ -1,0 +1,27 @@
+// Fixture: D4 must stay quiet — the sender and every message-carried
+// index are bounds-checked before they touch per-node state.
+#include <cstdint>
+#include <vector>
+
+using NodeId = std::uint32_t;
+
+struct CreditMsg {
+  std::vector<std::uint32_t> lanes;
+  std::uint64_t amount = 0;
+};
+
+class Router {
+ public:
+  void on_credit(NodeId from, const CreditMsg& msg) {
+    if (from >= credits_.size()) return;
+    credits_[from] += msg.amount;
+    for (std::uint32_t lane : msg.lanes) {
+      if (lane >= lane_load_.size()) continue;
+      lane_load_[lane] += 1;
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> credits_;
+  std::vector<std::uint64_t> lane_load_;
+};

@@ -1,0 +1,26 @@
+// Fixture: D4 must fire twice — the handler subscripts per-node
+// vectors with the raw sender id and with a message-carried lane index
+// without bounds/ban-checking either first.
+#include <cstdint>
+#include <vector>
+
+using NodeId = std::uint32_t;
+
+struct CreditMsg {
+  std::vector<std::uint32_t> lanes;
+  std::uint64_t amount = 0;
+};
+
+class Router {
+ public:
+  void on_credit(NodeId from, const CreditMsg& msg) {
+    credits_[from] += msg.amount;  // <- D4 (unchecked sender)
+    for (std::uint32_t lane : msg.lanes) {
+      lane_load_[lane] += 1;  // <- D4 (unchecked message index)
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> credits_;
+  std::vector<std::uint64_t> lane_load_;
+};

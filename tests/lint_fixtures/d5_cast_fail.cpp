@@ -1,0 +1,7 @@
+// Fixture: D5 must fire — reinterpret_cast outside the approved
+// low-level TUs (gf256*, sha256*, bytes*).
+#include <cstdint>
+
+const std::uint8_t* view(const char* s) {
+  return reinterpret_cast<const std::uint8_t*>(s);  // <- D5
+}

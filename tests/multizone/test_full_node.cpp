@@ -408,5 +408,49 @@ TEST_F(ZoneFixture, CrossZoneDigestBackfillsMissedBundles) {
   EXPECT_EQ(late->contiguous_height(0), 1u);
 }
 
+TEST_F(ZoneFixture, RelayerAliveWithOutOfRangeStripesIsSanitized) {
+  // Regression (predis-lint D4): on_relayer_alive used to walk
+  // providers_[s] for every stripe index the announcement carried,
+  // so a hostile peer listing an index outside [0, n_c) caused an
+  // out-of-bounds read — and the bogus list was cached in
+  // known_relayers_ for later replay by on_leave. Indices are now
+  // dropped at the handler boundary.
+  auto* node = add_full_node(0, 0);
+  net.start();
+  sim.run_until(milliseconds(200));
+  ASSERT_TRUE(node->is_relayer());
+
+  struct Silent final : sim::Actor {
+    void on_message(NodeId, const sim::MsgPtr&) override {}
+  } hostile;
+  const NodeId hid = net.add_node(sim::node_100mbps(0));
+  net.attach(hid, &hostile);
+
+  auto alive = std::make_shared<RelayerAliveMsg>();
+  alive->relayer = hid;
+  alive->relayed = {static_cast<StripeIndex>(kN + 995),
+                    static_cast<StripeIndex>(-1)};
+  alive->join_time = milliseconds(1);
+  net.send(hid, full_ids[0], std::move(alive));
+  sim.run_until(milliseconds(400));
+
+  // Subscription state is untouched: every real stripe keeps a valid
+  // provider and the hostile node gained none.
+  for (StripeIndex s = 0; s < kN; ++s) {
+    const NodeId provider = node->provider_of(s);
+    EXPECT_NE(provider, kNoNode) << "stripe " << s;
+    EXPECT_NE(provider, hid) << "stripe " << s;
+  }
+
+  // The data plane still decodes bundles produced after the attack.
+  std::size_t decoded = 0;
+  node->on_bundle_decoded = [&decoded](const BundleHeader&, SimTime) {
+    ++decoded;
+  };
+  produce_bundle(0);
+  sim.run_until(milliseconds(800));
+  EXPECT_EQ(decoded, 1u);
+}
+
 }  // namespace
 }  // namespace predis::multizone

@@ -40,6 +40,7 @@ using predis::MerkleTree;
 using predis::MutBytesView;
 using predis::Rng;
 using predis::Sha256;
+// predis-lint: allow(D2): wall-clock is the point of a host benchmark.
 using Clock = std::chrono::steady_clock;
 
 Bytes random_bytes(std::size_t n, std::uint64_t seed) {

@@ -1,0 +1,922 @@
+#include "linter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace predis::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: blank comments and literals, harvest pragmas.
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw;     ///< Original lines (1-based via index+1).
+  std::vector<std::string> code;    ///< Comments/strings blanked to spaces.
+  std::map<std::size_t, std::set<std::string>> line_allows;
+  std::set<std::string> file_allows;
+};
+
+void harvest_pragma(const std::string& comment, std::size_t line,
+                    SourceFile& out) {
+  static const std::string kTag = "predis-lint:";
+  const auto tag = comment.find(kTag);
+  if (tag == std::string::npos) return;
+  std::string rest = comment.substr(tag + kTag.size());
+  const bool whole_file = rest.find("allow-file(") != std::string::npos;
+  const auto open = rest.find('(');
+  if (open == std::string::npos) return;
+  const auto close = rest.find(')', open);
+  if (close == std::string::npos) return;
+  std::string rules = rest.substr(open + 1, close - open - 1);
+  std::string token;
+  std::istringstream split(rules);
+  while (std::getline(split, token, ',')) {
+    const auto b = token.find_first_not_of(" \t");
+    const auto e = token.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    token = token.substr(b, e - b + 1);
+    if (whole_file) {
+      out.file_allows.insert(token);
+    } else {
+      out.line_allows[line].insert(token);
+    }
+  }
+}
+
+/// Blank // and /* */ comments, "..." and '...' literals. Comment text
+/// is scanned for allowlist pragmas before it is dropped.
+SourceFile load_source(const std::string& path) {
+  SourceFile out;
+  out.path = path;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("predis-lint: cannot open " + path);
+  std::string line;
+  while (std::getline(in, line)) out.raw.push_back(line);
+
+  bool in_block_comment = false;
+  for (std::size_t li = 0; li < out.raw.size(); ++li) {
+    const std::string& src = out.raw[li];
+    std::string code(src.size(), ' ');
+    std::size_t i = 0;
+    while (i < src.size()) {
+      if (in_block_comment) {
+        const auto end = src.find("*/", i);
+        const std::size_t stop = end == std::string::npos ? src.size() : end;
+        harvest_pragma(src.substr(i, stop - i), li + 1, out);
+        if (end == std::string::npos) {
+          i = src.size();
+        } else {
+          in_block_comment = false;
+          i = end + 2;
+        }
+        continue;
+      }
+      const char c = src[i];
+      if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+        harvest_pragma(src.substr(i + 2), li + 1, out);
+        break;  // rest of line is comment
+      }
+      if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        code[i] = quote;
+        ++i;
+        while (i < src.size()) {
+          if (src[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (src[i] == quote) {
+            code[i] = quote;
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      code[i] = c;
+      ++i;
+    }
+    out.code.push_back(code);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  std::size_t line = 0;
+  bool ident = false;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return ident_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+std::vector<Token> tokenize(const SourceFile& file) {
+  std::vector<Token> tokens;
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& s = file.code[li];
+    std::size_t i = 0;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (ident_start(c)) {
+        std::size_t j = i + 1;
+        while (j < s.size() && ident_char(s[j])) ++j;
+        tokens.push_back({s.substr(i, j - i), li + 1, true});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::size_t j = i + 1;
+        while (j < s.size() &&
+               (ident_char(s[j]) || s[j] == '.' || s[j] == '\'')) {
+          ++j;
+        }
+        tokens.push_back({s.substr(i, j - i), li + 1, false});
+        i = j;
+        continue;
+      }
+      // Two-character operators the rules care about.
+      if (i + 1 < s.size()) {
+        const std::string two = s.substr(i, 2);
+        if (two == "::" || two == "->" || two == "&&" || two == "||" ||
+            two == "==" || two == "!=" || two == ">=" || two == "<=") {
+          tokens.push_back({two, li + 1, false});
+          i += 2;
+          continue;
+        }
+      }
+      tokens.push_back({std::string(1, c), li + 1, false});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+/// Index of the token matching the opener at `open` ("(", "[", "{"),
+/// or tokens.size() when unbalanced.
+std::size_t match_forward(const std::vector<Token>& t, std::size_t open) {
+  const std::string& o = t[open].text;
+  const std::string c = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == o) ++depth;
+    if (t[i].text == c && --depth == 0) return i;
+  }
+  return t.size();
+}
+
+/// Skip a balanced template argument list starting at `i` (which must
+/// point at "<"). Returns the index one past the closing ">", or `i`
+/// if the list never closes (comparison operator, not a template).
+std::size_t skip_template_args(const std::vector<Token>& t, std::size_t i) {
+  if (i >= t.size() || t[i].text != "<") return i;
+  int depth = 0;
+  std::size_t j = i;
+  // Bound the scan: a genuine template argument list in this codebase
+  // never spans more than a few lines.
+  const std::size_t limit = std::min(t.size(), i + 256);
+  while (j < limit) {
+    if (t[j].text == "<") ++depth;
+    if (t[j].text == ">" && --depth == 0) return j + 1;
+    if (t[j].text == ";") return i;  // statement ended: was a comparison
+    ++j;
+  }
+  return i;
+}
+
+// ---------------------------------------------------------------------------
+// Symbol collection.
+// ---------------------------------------------------------------------------
+
+/// Per file-pair (foo.hpp + foo.cpp) view of declared names.
+struct Symbols {
+  std::set<std::string> unordered_vars;   ///< unordered_{map,set} variables.
+  std::set<std::string> unordered_types;  ///< using aliases of those types.
+  std::set<std::string> vector_vars;      ///< std::vector variables.
+};
+
+void collect_symbols(const std::vector<Token>& t, Symbols& sym) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const bool is_unordered =
+        t[i].text == "unordered_map" || t[i].text == "unordered_set";
+    const bool is_vector = t[i].text == "vector";
+    const bool is_alias =
+        t[i].ident && sym.unordered_types.count(t[i].text) != 0;
+    if (!is_unordered && !is_vector && !is_alias) continue;
+
+    // `using Alias = std::unordered_map<...>;` — record the alias name.
+    if (is_unordered && i >= 2 && t[i - 1].text == "::" &&
+        i >= 4 && t[i - 3].text == "=" && t[i - 4].ident &&
+        i >= 5 && t[i - 5].text == "using") {
+      sym.unordered_types.insert(t[i - 4].text);
+      continue;
+    }
+    if (is_unordered && i >= 2 && t[i - 1].text == "=" && t[i - 2].ident &&
+        i >= 3 && t[i - 3].text == "using") {
+      sym.unordered_types.insert(t[i - 2].text);
+      continue;
+    }
+
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].text == "<") {
+      const std::size_t after = skip_template_args(t, j);
+      if (after == j) continue;  // comparison, not a declaration
+      j = after;
+    } else if (is_unordered || is_vector) {
+      continue;  // bare mention without template args
+    }
+    // Declarator: optional &/*, then the variable name, terminated by
+    // ; = { ( — `(` covers `std::vector<T> name(n)` constructor syntax.
+    while (j < t.size() && (t[j].text == "&" || t[j].text == "*")) ++j;
+    if (j + 1 >= t.size() || !t[j].ident) continue;
+    const std::string& next = t[j + 1].text;
+    if (next != ";" && next != "=" && next != "{" && next != "(") continue;
+    if (is_vector) {
+      sym.vector_vars.insert(t[j].text);
+    } else {
+      sym.unordered_vars.insert(t[j].text);
+    }
+  }
+}
+
+/// Names of project functions whose results must not be discarded
+/// (non-void try_* and Expected<T>-returning declarations), collected
+/// across every scanned header.
+using MustCheck = std::set<std::string>;
+
+const std::set<std::string>& std_try_names() {
+  static const std::set<std::string> kNames = {
+      "try_emplace", "try_lock",    "try_lock_for", "try_lock_until",
+      "try_acquire", "try_wait",    "try_to_lock",
+  };
+  return kNames;
+}
+
+/// Walk back from a candidate declaration name to the statement
+/// boundary, collecting the return-type span. Returns nullopt when the
+/// site is an expression (call), not a declaration.
+std::optional<std::vector<std::string>> decl_span_before(
+    const std::vector<Token>& t, std::size_t name_idx) {
+  static const std::set<std::string> kExprMarkers = {
+      "=",  "!",  "(", ",",  "return", ".",  "->", "?",  "+",  "-",
+      "/",  "==", "!=", "<=", ">=",     "&&", "||", "if", "while",
+      "for", "switch", "case", "throw"};
+  std::vector<std::string> span;
+  std::size_t i = name_idx;
+  while (i > 0) {
+    --i;
+    const std::string& x = t[i].text;
+    if (x == ";" || x == "{" || x == "}") break;
+    // Access specifiers end the span too (public: / private:).
+    if (x == ":" && i > 0 &&
+        (t[i - 1].text == "public" || t[i - 1].text == "private" ||
+         t[i - 1].text == "protected")) {
+      break;
+    }
+    if (kExprMarkers.count(x) != 0) return std::nullopt;
+    span.push_back(x);
+    if (span.size() > 24) break;  // runaway: treat what we have as the span
+  }
+  return span;
+}
+
+bool span_has(const std::vector<std::string>& span, const std::string& word) {
+  return std::find(span.begin(), span.end(), word) != span.end();
+}
+
+// ---------------------------------------------------------------------------
+// Function segmentation.
+// ---------------------------------------------------------------------------
+
+struct Function {
+  std::string name;
+  std::size_t params_open = 0;  ///< Index of "(".
+  std::size_t params_close = 0;
+  std::size_t body_open = 0;    ///< Index of "{".
+  std::size_t body_close = 0;
+};
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kWords = {
+      "if", "for", "while", "switch", "catch", "return", "new",
+      "delete", "sizeof", "case", "do", "else"};
+  return kWords;
+}
+
+/// Best-effort function-definition finder: `name ( ... ) [qualifiers] {`.
+/// Constructor initializer lists are skipped by balancing parens and
+/// member brace-inits until the body brace.
+std::vector<Function> segment_functions(const std::vector<Token>& t) {
+  std::vector<Function> out;
+  std::size_t skip_until = 0;  // inside a recorded body: no nested starts
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (i < skip_until) continue;
+    if (!t[i].ident || t[i + 1].text != "(") continue;
+    if (control_keywords().count(t[i].text) != 0) continue;
+    if (i > 0) {
+      const std::string& prev = t[i - 1].text;
+      static const std::set<std::string> kCallContext = {
+          ".", "->", "(", ",", "=",  "!",  "return", "&&", "||", "?",
+          "+", "-",  "/", "<", "==", "!=", "<=",     ">=", "case"};
+      if (kCallContext.count(prev) != 0) continue;
+    }
+    const std::size_t close = match_forward(t, i + 1);
+    if (close >= t.size()) continue;
+    // Scan past trailing qualifiers and any constructor initializer
+    // list to the body brace (or bail at ; for pure declarations).
+    std::size_t j = close + 1;
+    bool found_body = false;
+    while (j < t.size()) {
+      const std::string& x = t[j].text;
+      if (x == ";" || x == "}") break;
+      if (x == "{") {
+        // Member brace-init (`member_{...}`) is preceded by an ident;
+        // the body brace is preceded by ) / qualifier / init-list end.
+        if (t[j - 1].ident && j > close + 1 &&
+            control_keywords().count(t[j - 1].text) == 0 &&
+            t[j - 1].text != "const" && t[j - 1].text != "noexcept" &&
+            t[j - 1].text != "override" && t[j - 1].text != "final") {
+          const std::size_t skip = match_forward(t, j);
+          if (skip >= t.size()) break;
+          j = skip + 1;
+          continue;
+        }
+        found_body = true;
+        break;
+      }
+      if (x == "(") {  // noexcept(...) or initializer argument list
+        const std::size_t skip = match_forward(t, j);
+        if (skip >= t.size()) break;
+        j = skip + 1;
+        continue;
+      }
+      ++j;
+    }
+    if (!found_body) continue;
+    const std::size_t body_close = match_forward(t, j);
+    if (body_close >= t.size()) continue;
+    out.push_back({t[i].text, i + 1, close, j, body_close});
+    skip_until = body_close;  // lambdas stay inside the enclosing body
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Identifier chains ("msg.index", "it->second.relayed").
+// ---------------------------------------------------------------------------
+
+/// Chain of the identifier starting at `i`, following . -> :: forwards.
+std::string chain_starting_at(const std::vector<Token>& t, std::size_t i,
+                              std::size_t limit) {
+  std::string chain = t[i].text;
+  std::size_t j = i;
+  while (j + 2 < limit &&
+         (t[j + 1].text == "." || t[j + 1].text == "->" ||
+          t[j + 1].text == "::") &&
+         t[j + 2].ident) {
+    chain += t[j + 1].text + t[j + 2].text;
+    j += 2;
+  }
+  return chain;
+}
+
+// ---------------------------------------------------------------------------
+// The rules.
+// ---------------------------------------------------------------------------
+
+struct Context {
+  const SourceFile& file;
+  const std::vector<Token>& tokens;
+  const Symbols& symbols;
+  const MustCheck& must_check;
+  std::vector<Diagnostic>& out;
+};
+
+void emit(Context& ctx, std::size_t line, const std::string& rule,
+          std::string message) {
+  ctx.out.push_back({ctx.file.path, line, rule, std::move(message)});
+}
+
+bool basename_starts_with_any(const std::string& path,
+                              const std::vector<std::string>& prefixes) {
+  const std::string base = fs::path(path).filename().string();
+  for (const std::string& p : prefixes) {
+    if (base.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+// --- D1: unordered iteration in protocol-visible code ---------------------
+
+bool is_protocol_sink(const std::string& ident) {
+  static const std::set<std::string> kExact = {
+      "send",  "broadcast", "multicast",  "zone_multicast", "Sha256",
+      "sha256", "hash",     "hash_pair",  "digest",         "Writer",
+      "Merkle", "MerkleTree", "prove",    "prove_into",     "update"};
+  if (kExact.count(ident) != 0) return true;
+  return ident.rfind("record", 0) == 0 || ident.rfind("fold", 0) == 0 ||
+         ident.rfind("serialize", 0) == 0 || ident.rfind("encode", 0) == 0 ||
+         ident.rfind("emit", 0) == 0;
+}
+
+void run_d1(Context& ctx) {
+  const std::vector<Token>& t = ctx.tokens;
+  for (const Function& fn : segment_functions(t)) {
+    // Does this function feed protocol-visible bytes at all?
+    std::string sink;
+    for (std::size_t i = fn.body_open; i <= fn.body_close; ++i) {
+      if (t[i].ident && is_protocol_sink(t[i].text)) {
+        sink = t[i].text;
+        break;
+      }
+    }
+    if (sink.empty()) continue;
+    for (std::size_t i = fn.body_open; i < fn.body_close; ++i) {
+      if (t[i].text != "for" || t[i + 1].text != "(") continue;
+      const std::size_t close = match_forward(t, i + 1);
+      if (close >= t.size()) continue;
+      std::string iterated;
+      // Range-for: single ":" at paren depth 1.
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")") --depth;
+        if (t[j].text == ":" && depth == 1 && j + 1 < close && t[j + 1].ident) {
+          const std::string chain = chain_starting_at(t, j + 1, close);
+          const auto last = chain.find_last_of(">.:");
+          const std::string leaf =
+              last == std::string::npos ? chain : chain.substr(last + 1);
+          if (ctx.symbols.unordered_vars.count(leaf) != 0) iterated = chain;
+          break;
+        }
+      }
+      // Iterator loop: `for (auto it = container.begin(); ...`.
+      if (iterated.empty()) {
+        for (std::size_t j = i + 2; j + 2 < close; ++j) {
+          if (t[j].ident && ctx.symbols.unordered_vars.count(t[j].text) != 0 &&
+              (t[j + 1].text == "." || t[j + 1].text == "->") &&
+              t[j + 2].text == "begin") {
+            iterated = t[j].text;
+            break;
+          }
+          if (t[j].text == ";") break;  // only the init clause
+        }
+      }
+      if (iterated.empty()) continue;
+      emit(ctx, t[i].line, "D1",
+           "iteration over unordered container '" + iterated +
+               "' in protocol-visible code (function '" + fn.name +
+               "' also reaches '" + sink +
+               "'): iteration order leaks into emitted bytes; use std::map "
+               "or sort before emitting");
+    }
+  }
+}
+
+// --- D2: wall clock / global RNG outside the simulator --------------------
+
+void run_d2(Context& ctx) {
+  const std::string generic = fs::path(ctx.file.path).generic_string();
+  if (generic.find("/sim/") != std::string::npos) return;
+  if (basename_starts_with_any(ctx.file.path, {"rng."})) return;
+
+  static const std::set<std::string> kBanned = {
+      "srand",        "random_device", "mt19937",
+      "mt19937_64",   "default_random_engine", "minstd_rand",
+      "minstd_rand0", "system_clock",  "steady_clock",
+      "high_resolution_clock", "gettimeofday", "clock_gettime",
+      "timespec_get", "localtime",     "gmtime", "mktime"};
+  const std::vector<Token>& t = ctx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].ident) continue;
+    if (kBanned.count(t[i].text) != 0) {
+      emit(ctx, t[i].line, "D2",
+           "'" + t[i].text +
+               "' outside sim/: all time and randomness must flow through "
+               "the simulator clock and the seeded Rng");
+      continue;
+    }
+    if ((t[i].text == "rand" || t[i].text == "clock" ||
+         t[i].text == "time") &&
+        i + 1 < t.size() && t[i + 1].text == "(") {
+      // `rand()` / `clock()` / `time(nullptr)` — require a call so that
+      // variables named `time` in other positions stay legal.
+      if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) continue;
+      if (t[i].text == "time") {
+        const std::string& arg = i + 2 < t.size() ? t[i + 2].text : "";
+        if (arg != "nullptr" && arg != "NULL" && arg != "0") continue;
+      }
+      emit(ctx, t[i].line, "D2",
+           "'" + t[i].text +
+               "()' outside sim/: wall-clock time and the C RNG break "
+               "seeded replay");
+    }
+  }
+}
+
+// --- D3: nodiscard on Expected / try_* APIs, no discarded results ---------
+
+bool is_header(const std::string& path) {
+  const std::string ext = fs::path(path).extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".hh";
+}
+
+/// First pass over a header: record must-check names and report
+/// missing [[nodiscard]] annotations.
+void collect_and_check_declarations(Context& ctx, MustCheck& must_check,
+                                    bool emit_diagnostics) {
+  if (!is_header(ctx.file.path)) return;
+  const std::vector<Token>& t = ctx.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].ident || t[i + 1].text != "(") continue;
+    const std::string& name = t[i].text;
+    const bool try_name =
+        name.rfind("try_", 0) == 0 && std_try_names().count(name) == 0;
+    if (!try_name) continue;
+    const auto span = decl_span_before(t, i);
+    if (!span) continue;              // expression/call site
+    if (span->empty()) continue;      // no return type: a call statement
+    if (span_has(*span, "void") && !span_has(*span, "*")) continue;
+    if (span_has(*span, "using") || span_has(*span, "typedef")) continue;
+    must_check.insert(name);
+    if (emit_diagnostics && !span_has(*span, "nodiscard")) {
+      emit(ctx, t[i].line, "D3",
+           "non-void '" + name +
+               "' must be [[nodiscard]]: try_* results carry the only "
+               "failure signal");
+    }
+  }
+  // Expected<...>-returning declarations, whatever their name.
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "Expected" || t[i + 1].text != "<") continue;
+    const std::size_t after = skip_template_args(t, i + 1);
+    if (after == i + 1 || after + 1 >= t.size()) continue;
+    if (!t[after].ident || t[after + 1].text != "(") continue;
+    const auto span = decl_span_before(t, i);
+    if (!span) continue;
+    must_check.insert(t[after].text);
+    // try_* names were already checked (and reported) by the pass above.
+    if (t[after].text.rfind("try_", 0) == 0) continue;
+    if (emit_diagnostics && !span_has(*span, "nodiscard")) {
+      emit(ctx, t[after].line, "D3",
+           "'" + t[after].text +
+               "' returns Expected<T> and must be [[nodiscard]]");
+    }
+  }
+}
+
+void run_d3_call_sites(Context& ctx) {
+  const std::vector<Token>& t = ctx.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].ident || t[i + 1].text != "(") continue;
+    if (ctx.must_check.count(t[i].text) == 0) continue;
+    const std::size_t close = match_forward(t, i + 1);
+    if (close + 1 >= t.size() || t[close + 1].text != ";") continue;
+    // Walk back over the object chain to the statement start.
+    std::size_t j = i;
+    while (j >= 2 && (t[j - 1].text == "." || t[j - 1].text == "->")) {
+      if (t[j - 2].text == ")") {  // chained call result: f().try_x()
+        int depth = 0;
+        std::size_t k = j - 2;
+        while (k > 0) {
+          if (t[k].text == ")") ++depth;
+          if (t[k].text == "(" && --depth == 0) break;
+          --k;
+        }
+        if (k == 0 || !t[k - 1].ident) break;
+        j = k - 1;
+        continue;
+      }
+      if (!t[j - 2].ident) break;
+      j -= 2;
+    }
+    if (j == 0) continue;
+    const std::string& before = t[j - 1].text;
+    if (before == ";" || before == "{" || before == "}") {
+      emit(ctx, t[i].line, "D3",
+           "result of '" + t[i].text +
+               "()' is discarded: the Expected<T>/try_* contract requires "
+               "checking the outcome (cast to void to discard on purpose)");
+    }
+  }
+}
+
+// --- D4: sender / message-index bounds checks in on_* handlers ------------
+
+void run_d4(Context& ctx) {
+  const std::vector<Token>& t = ctx.tokens;
+  for (const Function& fn : segment_functions(t)) {
+    if (fn.name.rfind("on_", 0) != 0) continue;
+    // Split parameters at top level; find a sender id and a *Msg param.
+    std::vector<std::pair<std::size_t, std::size_t>> params;
+    {
+      int depth = 0;
+      std::size_t start = fn.params_open + 1;
+      for (std::size_t i = fn.params_open + 1; i <= fn.params_close; ++i) {
+        if (t[i].text == "(" || t[i].text == "<" || t[i].text == "[") ++depth;
+        if (t[i].text == ")" || t[i].text == ">" || t[i].text == "]") --depth;
+        if ((t[i].text == "," && depth == 0) || i == fn.params_close) {
+          if (i > start) params.emplace_back(start, i);
+          start = i + 1;
+        }
+      }
+    }
+    std::string sender;
+    std::string msg_param;
+    for (const auto& [b, e] : params) {
+      bool id_type = false;
+      bool msg_type = false;
+      std::string last_ident;
+      std::string prev_ident;
+      for (std::size_t i = b; i < e; ++i) {
+        if (!t[i].ident) continue;
+        if (t[i].text == "NodeId" || t[i].text == "size_t") id_type = true;
+        if (t[i].text.size() >= 3 &&
+            t[i].text.find("Msg") != std::string::npos) {
+          msg_type = true;
+        }
+        prev_ident = last_ident;
+        last_ident = t[i].text;
+      }
+      // The name is the last identifier, provided it isn't the type
+      // itself (unnamed parameters drop out here).
+      if (id_type && sender.empty() && !prev_ident.empty() &&
+          last_ident != "NodeId" && last_ident != "size_t") {
+        sender = last_ident;
+      }
+      if (msg_type && !last_ident.empty() &&
+          last_ident.find("Msg") == std::string::npos) {
+        msg_param = last_ident;
+      }
+    }
+    if (msg_param.empty()) continue;  // not a network message handler
+
+    // Untrusted values: the sender id, msg.field chains, and range-for
+    // variables drawn from msg fields. An `if (...)`/assert mentioning
+    // the value marks it checked from that point on.
+    std::set<std::string> untrusted;
+    std::set<std::string> checked;
+    if (!sender.empty()) untrusted.insert(sender);
+    for (std::size_t i = fn.body_open + 1; i < fn.body_close; ++i) {
+      const std::string& x = t[i].text;
+      // New range-for over a msg field re-arms the loop variable.
+      if (x == "for" && i + 1 < fn.body_close && t[i + 1].text == "(") {
+        const std::size_t close = match_forward(t, i + 1);
+        int depth = 0;
+        for (std::size_t j = i + 1; j < close; ++j) {
+          if (t[j].text == "(") ++depth;
+          if (t[j].text == ")") --depth;
+          if (t[j].text == ":" && depth == 1 && j + 1 < close &&
+              t[j + 1].ident && j >= 1 && t[j - 1].ident) {
+            const std::string seq = chain_starting_at(t, j + 1, close);
+            if (!msg_param.empty() &&
+                seq.rfind(msg_param + ".", 0) == 0) {
+              untrusted.insert(t[j - 1].text);
+              checked.erase(t[j - 1].text);
+            }
+            break;
+          }
+        }
+        continue;
+      }
+      // Guards: if (... value ...) or assert(... value ...).
+      if ((x == "if" || x == "assert") && i + 1 < fn.body_close &&
+          t[i + 1].text == "(") {
+        const std::size_t close = match_forward(t, i + 1);
+        for (std::size_t j = i + 2; j < close; ++j) {
+          if (!t[j].ident) continue;
+          const std::string chain = chain_starting_at(t, j, close);
+          for (const std::string& u : untrusted) {
+            if (t[j].text == u || chain == u) checked.insert(u);
+          }
+          // Guarding a msg chain ("if (msg.index >= n) return;").
+          if (!msg_param.empty() && chain.rfind(msg_param + ".", 0) == 0) {
+            checked.insert(chain);
+          }
+        }
+        i = close;
+        continue;
+      }
+      // Subscript of a per-node vector by an untrusted value.
+      if (t[i].ident && ctx.symbols.vector_vars.count(x) != 0 &&
+          i + 1 < fn.body_close && t[i + 1].text == "[") {
+        const std::size_t close = match_forward(t, i + 1);
+        for (std::size_t j = i + 2; j < close; ++j) {
+          if (!t[j].ident) continue;
+          const std::string chain = chain_starting_at(t, j, close);
+          const bool is_msg_chain =
+              !msg_param.empty() && chain.rfind(msg_param + ".", 0) == 0;
+          const std::string key = is_msg_chain ? chain : t[j].text;
+          if ((untrusted.count(key) != 0 || is_msg_chain) &&
+              checked.count(key) == 0) {
+            emit(ctx, t[j].line, "D4",
+                 "handler '" + fn.name + "' indexes vector '" + x +
+                     "' with unchecked '" + key +
+                     "': bounds/ban-check sender and message-carried "
+                     "indices before touching per-node state");
+            checked.insert(key);  // one report per value
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- D5: reinterpret_cast / const_cast fenced into approved TUs -----------
+
+void run_d5(Context& ctx) {
+  if (basename_starts_with_any(ctx.file.path, {"gf256", "sha256", "bytes"})) {
+    return;
+  }
+  for (const Token& tok : ctx.tokens) {
+    if (tok.text == "reinterpret_cast" || tok.text == "const_cast") {
+      emit(ctx, tok.line, "D5",
+           "'" + tok.text +
+               "' outside the approved low-level TUs (gf256*, sha256*, "
+               "bytes*): route byte reinterpretation through common/bytes "
+               "helpers");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+std::string pair_key(const std::string& path) {
+  const fs::path p(path);
+  return (p.parent_path() / p.stem()).string();
+}
+
+bool allowed(const SourceFile& file, const Diagnostic& d) {
+  if (file.file_allows.count(d.rule) != 0) return true;
+  for (std::size_t line : {d.line, d.line == 0 ? d.line : d.line - 1}) {
+    const auto it = file.line_allows.find(line);
+    if (it != file.line_allows.end() && it->second.count(d.rule) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> collect_sources(const std::vector<std::string>& roots,
+                                         const Options& options) {
+  static const std::set<std::string> kExts = {".cpp", ".hpp", ".h", ".cc",
+                                              ".hh"};
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    const fs::path p(root);
+    if (fs::is_regular_file(p)) {
+      files.push_back(p.string());
+      continue;
+    }
+    if (!fs::is_directory(p)) {
+      throw std::runtime_error("predis-lint: no such file or directory: " +
+                               root);
+    }
+    fs::recursive_directory_iterator it(p), end;
+    while (it != end) {
+      const fs::path& entry = it->path();
+      const std::string name = entry.filename().string();
+      if (it->is_directory()) {
+        const bool skip = name.rfind("build", 0) == 0 || name[0] == '.' ||
+                          (!options.include_fixtures &&
+                           name == "lint_fixtures");
+        if (skip) {
+          it.disable_recursion_pending();
+          ++it;
+          continue;
+        }
+      } else if (kExts.count(entry.extension().string()) != 0) {
+        files.push_back(entry.string());
+      }
+      ++it;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<Diagnostic> lint_files(const std::vector<std::string>& files) {
+  // Load and tokenize everything once; collect symbols per header/impl
+  // pair and must-check names globally.
+  std::vector<SourceFile> sources;
+  std::vector<std::vector<Token>> tokens;
+  sources.reserve(files.size());
+  for (const std::string& f : files) {
+    sources.push_back(load_source(f));
+    tokens.push_back(tokenize(sources.back()));
+  }
+
+  std::map<std::string, Symbols> pair_symbols;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    collect_symbols(tokens[i], pair_symbols[pair_key(sources[i].path)]);
+  }
+
+  MustCheck must_check;
+  std::vector<Diagnostic> all;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const Symbols& sym = pair_symbols[pair_key(sources[i].path)];
+    Context ctx{sources[i], tokens[i], sym, must_check, all};
+    collect_and_check_declarations(ctx, must_check, /*emit_diagnostics=*/true);
+  }
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const Symbols& sym = pair_symbols[pair_key(sources[i].path)];
+    Context ctx{sources[i], tokens[i], sym, must_check, all};
+    run_d1(ctx);
+    run_d2(ctx);
+    run_d3_call_sites(ctx);
+    run_d4(ctx);
+    run_d5(ctx);
+  }
+
+  // Apply allowlist pragmas, then order by (file, line, rule).
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& s : sources) by_path[s.path] = &s;
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : all) {
+    if (!allowed(*by_path.at(d.file), d)) kept.push_back(std::move(d));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return kept;
+}
+
+std::string to_json(const std::vector<Diagnostic>& diagnostics) {
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  };
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    os << "  {\"file\": \"" << escape(d.file) << "\", \"line\": " << d.line
+       << ", \"rule\": \"" << d.rule << "\", \"message\": \""
+       << escape(d.message) << "\"}";
+    os << (i + 1 == diagnostics.size() ? "\n" : ",\n");
+  }
+  os << "]\n";
+  return os.str();
+}
+
+const char* rule_catalogue() {
+  return
+      "D1  no unordered_map/unordered_set iteration in protocol-visible\n"
+      "    code (send/hash/digest/fold/serialize reachability)\n"
+      "D2  no wall clock, std::rand or global RNG outside src/sim and\n"
+      "    the seeded rng implementation\n"
+      "D3  Expected<T>-returning and non-void try_* APIs are\n"
+      "    [[nodiscard]] and their results are never discarded\n"
+      "D4  on_* message handlers bounds/ban-check the sender and\n"
+      "    message-carried indices before subscripting per-node vectors\n"
+      "D5  reinterpret_cast/const_cast only in gf256*, sha256*, bytes*\n"
+      "\n"
+      "Suppress with  // predis-lint: allow(D2): reason   (line + next)\n"
+      "or             // predis-lint: allow-file(D5)      (whole file)\n";
+}
+
+}  // namespace predis::lint

@@ -1,0 +1,71 @@
+// predis-lint: project-specific determinism & protocol-safety checks.
+//
+// The repo's correctness story leans on two runtime mechanisms — the
+// swarm harness's bit-for-bit seed replay and the protocol hygiene
+// rules (tip-list cuts, conflict evidence, Expected<T> codec results).
+// This linter pins the preconditions for both down *statically*:
+//
+//   D1  no iteration over std::unordered_map / std::unordered_set in
+//       code that emits messages, hashes, folds metrics or builds
+//       Merkle/digest inputs (iteration order leaks into
+//       protocol-visible bytes and breaks replay determinism)
+//   D2  no wall clock / std::rand / global RNG outside src/sim and the
+//       seeded rng implementation (all time and randomness must flow
+//       through the simulator and Rng)
+//   D3  every Expected<T>-returning and non-void try_* API is declared
+//       [[nodiscard]], and no call site silently discards the result
+//   D4  message handlers (on_* methods taking a sender id and a *Msg
+//       parameter) bounds/ban-check the sender and message-carried
+//       indices before using them to subscript per-node vectors
+//   D5  reinterpret_cast / const_cast only in the approved low-level
+//       TUs (gf256*, sha256*, bytes*)
+//
+// It is a token-level heuristic analyzer, not a compiler plugin: it
+// blanks comments and string literals, tokenizes, segments function
+// bodies by brace matching, and pattern-matches the rules above.
+// False positives are silenced with an allowlist pragma:
+//
+//   // predis-lint: allow(D2): benchmark timing is the product here.
+//   // predis-lint: allow-file(D5)
+//
+// allow(..) suppresses the named rules on its own line and the line
+// below it; allow-file(..) suppresses them for the whole file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace predis::lint {
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;  ///< "D1".."D5".
+  std::string message;
+};
+
+struct Options {
+  /// Scan directories named lint_fixtures too (self-test only — the
+  /// fixtures contain intentional violations).
+  bool include_fixtures = false;
+};
+
+/// Expand files and directories into the sorted .hpp/.cpp source list.
+/// Directories named build*, .git and (by default) lint_fixtures are
+/// skipped.
+std::vector<std::string> collect_sources(const std::vector<std::string>& roots,
+                                         const Options& options);
+
+/// Run every rule over the given source files. Diagnostics come back
+/// sorted by (file, line, rule) and already filtered through the
+/// allowlist pragmas.
+std::vector<Diagnostic> lint_files(const std::vector<std::string>& files);
+
+/// Render diagnostics as a JSON array (stable field order, one object
+/// per diagnostic).
+std::string to_json(const std::vector<Diagnostic>& diagnostics);
+
+/// Human-readable rule catalogue for --list-rules.
+const char* rule_catalogue();
+
+}  // namespace predis::lint

@@ -1,0 +1,77 @@
+// predis-lint CLI: walk the given files/directories and report every
+// determinism / protocol-safety rule violation (see linter.hpp for the
+// rule catalogue). Exit code 0 = clean, 1 = findings, 2 = usage error.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: predis-lint [options] <path>...\n"
+      "\n"
+      "Walks .cpp/.hpp files under each path and enforces the project\n"
+      "determinism & protocol-safety rules (D1-D5).\n"
+      "\n"
+      "options:\n"
+      "  --json              emit diagnostics as a JSON array\n"
+      "  --list-rules        print the rule catalogue and exit\n"
+      "  --include-fixtures  also scan lint_fixtures directories\n"
+      "                      (self-test; they contain intentional\n"
+      "                      violations)\n"
+      "  -h, --help          this text\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  predis::lint::Options options;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      std::fputs(predis::lint::rule_catalogue(), stdout);
+      return 0;
+    } else if (arg == "--include-fixtures") {
+      options.include_fixtures = true;
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "predis-lint: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const auto files = predis::lint::collect_sources(roots, options);
+    const auto diagnostics = predis::lint::lint_files(files);
+    if (json) {
+      std::fputs(predis::lint::to_json(diagnostics).c_str(), stdout);
+    } else {
+      for (const auto& d : diagnostics) {
+        std::printf("%s:%zu: [%s] %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.message.c_str());
+      }
+      std::printf("predis-lint: %zu file(s), %zu finding(s)\n", files.size(),
+                  diagnostics.size());
+    }
+    return diagnostics.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}
