@@ -81,6 +81,11 @@ void HotStuffCore::on_proposal(std::size_t from, const ProposalMsg& msg) {
   const BlockPtr& block = msg.block;
   if (block == nullptr || block->payload == nullptr) return;
   if (from != leader_index(block->round, ctx_.n())) return;
+  // Modeled QC verification: a genuine certificate aggregates at least
+  // quorum() signatures; a forged justify would otherwise both poison
+  // high_qc and trick the voting rule (justify.round > locked_round)
+  // into voting for an unreachable round, killing liveness.
+  if (block->justify.signers < ctx_.quorum()) return;
   if (blocks_.count(block->hash) != 0) return;
 
   if (blocks_.count(block->parent) == 0) {
@@ -237,7 +242,10 @@ void HotStuffCore::on_vote(std::size_t from, const VoteMsg& msg) {
 }
 
 void HotStuffCore::on_new_view(std::size_t from, const NewViewMsg& msg) {
-  update_high_qc(msg.high_qc);
+  // Only adopt a QC whose (modeled) aggregate signature verifies — one
+  // forged NewView would otherwise pin high_qc at an absurd round for
+  // the rest of the run.
+  if (msg.high_qc.signers >= ctx_.quorum()) update_high_qc(msg.high_qc);
   auto& senders = new_views_[msg.round];
   senders.insert(from);
   if (leader_index(msg.round, ctx_.n()) == ctx_.index() &&

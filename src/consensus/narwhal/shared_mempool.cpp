@@ -71,6 +71,14 @@ void SharedMempoolNode::on_message(NodeId from, const sim::MsgPtr& msg) {
 
 bool SharedMempoolNode::handle_mempool(NodeId from, const sim::MsgPtr& msg) {
   if (const auto* m = dynamic_cast<const MicroblockMsg*>(msg.get())) {
+    // A microblock broadcast is only acceptable from its own producer
+    // (it models a producer-signed message): anything else is an
+    // impersonation attempt that could park a substituted body under
+    // the victim's (producer, index) key.
+    if (m->mb.producer >= ctx_.n() ||
+        m->mb.producer != ctx_.index_of(from)) {
+      return true;
+    }
     const Key key{m->mb.producer, m->mb.index};
     if (pool_.count(key) == 0) {
       pool_.emplace(key, m->mb);
@@ -78,9 +86,7 @@ bool SharedMempoolNode::handle_mempool(NodeId from, const sim::MsgPtr& msg) {
       // Availability ack back to the producer (RBC / PAB reply).
       auto ack = std::make_shared<MbAckMsg>();
       ack->ref = {m->mb.producer, m->mb.index, m->mb.id()};
-      if (m->mb.producer < ctx_.n()) {
-        ctx_.send_to(m->mb.producer, std::move(ack));
-      }
+      ctx_.send_to(m->mb.producer, std::move(ack));
       core_.revalidate();
     }
     return true;
@@ -89,6 +95,11 @@ bool SharedMempoolNode::handle_mempool(NodeId from, const sim::MsgPtr& msg) {
     const std::size_t idx = ctx_.index_of(from);
     if (idx >= ctx_.n()) return true;
     if (m->ref.producer != ctx_.index()) return true;
+    // Only count acks for microblocks we actually produced, and only
+    // when the acked id matches our content — a fabricated ack for a
+    // never-produced index must not grow the ack table.
+    const auto own = pool_.find(m->ref.key());
+    if (own == pool_.end() || own->second.id() != m->ref.id) return true;
     auto& set = acks_[m->ref.key()];
     set.insert(idx);
     if (set.size() == cfg_.ack_quorum &&
@@ -102,6 +113,12 @@ bool SharedMempoolNode::handle_mempool(NodeId from, const sim::MsgPtr& msg) {
     return true;
   }
   if (const auto* m = dynamic_cast<const MbCertMsg*>(msg.get())) {
+    // Modeled aggregate-signature verification: a genuine certificate
+    // carries at least ack_quorum signers over a producer inside the
+    // group; anything else is a forgery and certifies nothing.
+    if (m->ref.producer >= ctx_.n() || m->signers < cfg_.ack_quorum) {
+      return true;
+    }
     if (certified_.count(m->ref.key()) == 0) {
       certify(m->ref, m->signers);
     }
@@ -119,6 +136,12 @@ bool SharedMempoolNode::handle_mempool(NodeId from, const sim::MsgPtr& msg) {
   if (const auto* m = dynamic_cast<const MbBatchMsg*>(msg.get())) {
     for (const auto& mb : m->mbs) {
       const Key key{mb.producer, mb.index};
+      // Fetched bodies come from arbitrary peers, so accept one only
+      // if we asked for it AND its content hashes to the certified id
+      // we asked for — otherwise a hostile responder could substitute
+      // transactions under a certified reference.
+      const auto want = fetching_.find(key);
+      if (want == fetching_.end() || mb.id() != want->second.id) continue;
       if (pool_.count(key) == 0) {
         pool_.emplace(key, mb);
         fetching_.erase(key);

@@ -102,7 +102,8 @@ bool PbftCore::handle(NodeId from, const sim::MsgPtr& msg) {
 void PbftCore::on_preprepare(std::size_t from, const PrePrepareMsg& msg) {
   if (msg.view != view_) return;
   if (from != leader_index(view_, ctx_.n())) return;
-  if (msg.seq <= last_exec_) return;
+  if (msg.seq <= last_exec_ || msg.seq > last_exec_ + kSeqWindow) return;
+  if (msg.payload == nullptr) return;
 
   Slot& s = slot(msg.seq);
   if (s.preprepared && s.view == msg.view) return;  // duplicate
@@ -145,6 +146,7 @@ void PbftCore::revalidate(SeqNum seq) {
 
 void PbftCore::on_prepare(std::size_t from, const PrepareMsg& msg) {
   if (msg.view != view_ || msg.seq <= last_exec_) return;
+  if (msg.seq > last_exec_ + kSeqWindow) return;
   Slot& s = slot(msg.seq);
   s.prepares[msg.digest].insert(from);
   maybe_send_commit(msg.seq);
@@ -174,6 +176,7 @@ void PbftCore::maybe_send_commit(SeqNum seq) {
 
 void PbftCore::on_commit_msg(std::size_t from, const CommitMsg& msg) {
   if (msg.view != view_ || msg.seq <= last_exec_) return;
+  if (msg.seq > last_exec_ + kSeqWindow) return;
   Slot& s = slot(msg.seq);
   s.commits[msg.digest].insert(from);
   maybe_execute(msg.seq);
@@ -239,6 +242,7 @@ void PbftCore::maybe_checkpoint(SeqNum seq) {
 }
 
 void PbftCore::on_checkpoint(std::size_t from, const CheckpointMsg& msg) {
+  if (msg.seq > last_exec_ + kSeqWindow) return;
   auto& voters = ckpt_votes_[msg.seq][msg.digest];
   voters.insert(from);
   if (voters.size() >= ctx_.quorum()) {
@@ -322,7 +326,10 @@ void PbftCore::on_view_timeout() {
   // sequences would fork the committed history.
   for (const auto& [sq, sl] : slots_) {
     if (sq > stable_checkpoint_ && sl.has_prepared) {
-      msg->prepared.push_back({sl.prepared_view, sq, sl.prepared_payload});
+      // An honest replica only records has_prepared behind a full
+      // prepare quorum, so the carried proof is quorum-sized.
+      msg->prepared.push_back(
+          {sl.prepared_view, sq, sl.prepared_payload, ctx_.quorum()});
     }
   }
   ctx_.broadcast(msg);
@@ -346,15 +353,22 @@ void PbftCore::on_view_change(std::size_t from, const ViewChangeMsg& msg) {
   enter_view(msg.new_view);
   auto nv = std::make_shared<NewViewMsg>();
   nv->new_view = view_;
+  nv->proof = votes.size();
   ctx_.broadcast(nv);
 
   // Safety carry-over: for every in-flight slot any vote reported as
   // prepared, re-propose the highest-view payload; fill sequence gaps
-  // below the highest prepared slot with null requests.
+  // below the highest prepared slot with null requests. Entries whose
+  // prepare certificate does not reach quorum are fabrications (a
+  // Byzantine voter cannot forge 2f + 1 prepare signatures) and must
+  // not be re-proposed — nor be allowed absurd sequence numbers that
+  // would make the gap-filling loop spin forever.
   std::map<SeqNum, std::pair<View, PayloadPtr>> carry;
   for (const auto& [idx, vote] : votes) {
     for (const auto& p : vote.prepared) {
       if (p.seq <= last_exec_ || p.payload == nullptr) continue;
+      if (p.proof < ctx_.quorum()) continue;
+      if (p.seq > last_exec_ + kSeqWindow) continue;
       auto [it, inserted] = carry.try_emplace(p.seq, p.view, p.payload);
       if (!inserted && p.view > it->second.first) {
         it->second = {p.view, p.payload};
@@ -390,6 +404,10 @@ void PbftCore::on_view_change(std::size_t from, const ViewChangeMsg& msg) {
 void PbftCore::on_new_view(std::size_t from, const NewViewMsg& msg) {
   if (msg.new_view <= view_) return;
   if (from != leader_index(msg.new_view, ctx_.n())) return;
+  // Modeled V-set verification: a genuine NEW-VIEW is backed by a
+  // quorum of view-change votes; without it one hostile message from a
+  // future leader would drag the whole group into an absurd view.
+  if (msg.proof < ctx_.quorum()) return;
   enter_view(msg.new_view);
 }
 

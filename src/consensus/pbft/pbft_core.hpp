@@ -23,6 +23,12 @@ class BlockTracer;
 
 namespace predis::consensus::pbft {
 
+/// High-watermark window: messages for sequence numbers further than
+/// this beyond the local execution point are ignored (Castro-Liskov's
+/// [h, h + L] log bound). Keeps a hostile peer spraying absurd sequence
+/// numbers from growing the slot/checkpoint vote logs without bound.
+inline constexpr SeqNum kSeqWindow = 4096;
+
 struct PrePrepareMsg final : sim::Message {
   View view = 0;
   SeqNum seq = 0;
@@ -62,13 +68,19 @@ struct ViewChangeMsg final : sim::Message {
     View view = 0;
     SeqNum seq = 0;
     PayloadPtr payload;
+    /// Prepare-certificate size backing this entry (Castro-Liskov's
+    /// P-set proof: 2f + 1 signed prepares). Models certificate
+    /// verification — the new leader only carries entries whose proof
+    /// reaches quorum, since a Byzantine voter cannot forge one.
+    std::size_t proof = 0;
   };
   std::vector<Prepared> prepared;
 
   std::size_t wire_size() const override {
     std::size_t size = 32 + kSigBytes + qc_bytes(2);
     for (const Prepared& p : prepared) {
-      size += 48 + (p.payload ? p.payload->wire_size() : 0);
+      size += 48 + qc_bytes(p.proof) +
+              (p.payload ? p.payload->wire_size() : 0);
     }
     return size;
   }
@@ -77,9 +89,14 @@ struct ViewChangeMsg final : sim::Message {
 
 struct NewViewMsg final : sim::Message {
   View new_view = 0;
+  /// View-change votes backing this NEW-VIEW (the V-set certificate).
+  /// Models certificate verification: receivers ignore a NewView whose
+  /// proof is below quorum, so one hostile message cannot drag the
+  /// group into an absurd view.
+  std::size_t proof = 0;
 
   std::size_t wire_size() const override {
-    return 16 + kSigBytes + qc_bytes(3);
+    return 16 + kSigBytes + qc_bytes(proof);
   }
   const char* name() const override { return "NewView"; }
 };

@@ -250,10 +250,17 @@ void PredisEngine::add_bundle(NodeId from, const Bundle& bundle) {
     }
     case AddBundleResult::kMissingParent: {
       // Rule 1: ask the producer for the gap (contiguous+1 .. height-1).
+      // The gap size comes from a message-carried height a Byzantine
+      // producer can sign at any absurd value, so the span is capped:
+      // a window above the contiguous height is fetched now and the
+      // rest follows incrementally as the chain actually extends.
       std::vector<MissingBundleRef> refs;
       const BundleHeight from_h =
           mempool_.chain(bundle.header.producer).contiguous_height() + 1;
-      for (BundleHeight h = from_h; h < bundle.header.height; ++h) {
+      const BundleHeight to_h =
+          std::min(bundle.header.height,
+                   from_h + kMaxFetchSpan);
+      for (BundleHeight h = from_h; h < to_h; ++h) {
         refs.push_back({bundle.header.producer, h});
       }
       if (!refs.empty()) {

@@ -33,6 +33,12 @@ enum class FaultMode {
   kPartialDissemination,
 };
 
+/// Cap on the missing-bundle span requested per incoming bundle. The
+/// gap size is attacker-controlled (a Byzantine producer can sign a
+/// header at any height), so fetch-ref construction must stay O(cap),
+/// not O(claimed height). See tests/consensus/test_predis.cpp.
+inline constexpr BundleHeight kMaxFetchSpan = 256;
+
 struct PredisConfig {
   std::size_t bundle_size = 50;  ///< Max transactions per bundle (paper).
   SimTime bundle_interval = milliseconds(25);  ///< Continuous production.

@@ -60,8 +60,13 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
   // --- Fault schedule --------------------------------------------------
   sim::FaultPlanConfig fplan = cfg.faults;
   fplan.seed = cfg.seed;
+  if (cfg.attack != AttackKind::kNone) {
+    configure_attack(fplan, cfg.attack, cfg.faults.events);
+  }
   fplan.max_crashed = std::min(fplan.max_crashed, cfg.f);
   fplan.max_equivocators = std::min(fplan.max_equivocators, cfg.f);
+  fplan.max_withholders = std::min(fplan.max_withholders, cfg.f);
+  fplan.max_garbage = std::min(fplan.max_garbage, cfg.f);
   // Equivocation needs a bundle producer to corrupt.
   fplan.equivocation =
       fplan.equivocation && has_predis_engine(cfg.protocol);
@@ -166,6 +171,28 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
       if (engines[i] != nullptr) engines[i]->inject_equivocation();
     }
   };
+  // Hostile-injector and withholding hooks. The injector sends garbage
+  // *as* the attacker (its signature, its uplink); invariants excuse
+  // the node because signed junk at absurd heights can legitimately get
+  // it banned. A withholder looks like a silent producer to everyone
+  // else, so it too is excused from producer-side invariants.
+  HostileInjector injector(net, cfg.protocol, consensus_ids);
+  auto excuse = [&](NodeId id) {
+    for (std::size_t i = 0; i < consensus_ids.size(); ++i) {
+      if (consensus_ids[i] == id) inv.set_byzantine(i, true);
+    }
+  };
+  faults.on_garbage = [&](NodeId id, SimTime window) {
+    excuse(id);
+    // Spread a handful of bursts over the fault window.
+    constexpr std::size_t kBursts = 4;
+    for (std::size_t b = 0; b < kBursts; ++b) {
+      simulator.schedule_after(
+          window * static_cast<SimTime>(b) / static_cast<SimTime>(kBursts),
+          [&injector, id] { injector.burst(id); });
+    }
+  };
+  faults.on_withhold = excuse;
   faults.arm();
 
   // --- Clients ---------------------------------------------------------
@@ -210,12 +237,26 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
   result.fault_plan = faults.describe();
   result.trace_digest = tracer.digest();
   result.trace_events = tracer.events();
+  result.committed_txs = metrics.committed_txs();
+  result.hostile_msgs = injector.injected();
+  {
+    const auto samples = block_tracer.stage_samples();
+    const auto it = samples.find("production");
+    if (it != samples.end() && it->second.count() > 0) {
+      result.production_p99_ms = it->second.percentile(99.0);
+    }
+  }
   {
     MetricsRegistry registry;
     block_tracer.fold_into(registry);
     Writer w;
     w.hash(registry.digest());
     w.hash(block_tracer.digest());
+    // Fold the degradation metrics in as well: a nondeterministic
+    // commit count or latency tail must flip the digest even if the
+    // trace content itself happened to collide.
+    w.u64(result.committed_txs);
+    w.u64(static_cast<std::uint64_t>(result.production_p99_ms * 1000.0));
     result.metrics_digest = Sha256::hash(BytesView{w.data()});
   }
   result.commits_checked = inv.commits_checked();

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/adversary.hpp"
 #include "core/experiment.hpp"
 #include "core/invariants.hpp"
 #include "sim/faults.hpp"
@@ -36,6 +37,13 @@ struct SwarmCaseConfig {
   /// are overridden per case. Equivocation only fires for Predis-family
   /// protocols (the hook needs a bundle producer to corrupt).
   sim::FaultPlanConfig faults;
+
+  /// When not kNone, the fault plan is reshaped into a single-attack
+  /// adversary campaign (configure_attack): baseline fault kinds are
+  /// disabled, the attack is pinned onto the initial leader, and the
+  /// hostile-injector / withholding hooks are wired. `faults.events`
+  /// still controls how many strikes the plan schedules.
+  AttackKind attack = AttackKind::kNone;
 
   InvariantConfig invariants;
 
@@ -62,6 +70,14 @@ struct SwarmCaseResult {
   std::size_t committed_slots = 0;
 
   double throughput_tps = 0.0;  ///< Whole-run committed tx/s.
+  /// Degradation metrics (compared against a clean AttackKind::kNone run
+  /// of the same seed by tools/adversary_report).
+  std::uint64_t committed_txs = 0;
+  /// p99 of the proposal->commit interval from the block tracer, the
+  /// consensus-layer end-to-end latency (0 when nothing committed).
+  double production_p99_ms = 0.0;
+  /// Hostile messages injected by the garbage campaign (0 otherwise).
+  std::size_t hostile_msgs = 0;
   /// Committed tx/s after every windowed fault healed (0 when the fault
   /// plan extends to the end of the run). Informational: a short
   /// post-heal window may legitimately be empty while views re-sync.

@@ -48,6 +48,12 @@ class ZoneDirectory {
   std::uint32_t zone_of(NodeId id) const { return info_.at(id).zone; }
   SimTime join_time(NodeId id) const { return info_.at(id).join_time; }
 
+  /// Membership test for message-carried node ids (referral children,
+  /// relayed relayer ids, ...). Anything off the wire must pass this
+  /// before it is used as a send target — Network::send on an
+  /// unregistered id is fatal.
+  bool has_node(NodeId id) const { return info_.count(id) != 0; }
+
   /// Zone members registered strictly before `id` (its bootstrap peers).
   std::vector<NodeId> earlier_members(NodeId id) const {
     const auto& zone = zones_[zone_of(id)];

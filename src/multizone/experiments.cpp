@@ -169,6 +169,9 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
     net.attach(id, clients.back().get());
   }
 
+  if (cfg.on_network_ready) {
+    cfg.on_network_ready(net, consensus_ids, full_ids);
+  }
   net.start();
   simulator.run_until(setup + cfg.duration + milliseconds(500));
 

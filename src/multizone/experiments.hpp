@@ -5,11 +5,16 @@
 //    random(FEG) and Multi-Zone topologies vs block size.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <vector>
 
 #include "common/block_tracer.hpp"
 #include "common/types.hpp"
+
+namespace predis::sim {
+class Network;
+}  // namespace predis::sim
 
 namespace predis::multizone {
 
@@ -40,6 +45,14 @@ struct ThroughputConfig {
   bool real_stripe_payloads = false;
   /// Optional shared lifecycle tracer recorded into by every node.
   BlockTracer* tracer = nullptr;
+  /// Campaign hook: fired once the whole topology is built, immediately
+  /// before the network starts. Adversary campaigns attach fault
+  /// schedules and hostile injectors here (network, consensus node ids,
+  /// full node ids). Anything captured must outlive the run — the
+  /// runner blocks until the simulation completes.
+  std::function<void(sim::Network&, const std::vector<NodeId>&,
+                     const std::vector<NodeId>&)>
+      on_network_ready;
 };
 
 struct ThroughputResult {

@@ -305,9 +305,11 @@ void MultiZoneFullNode::on_reject(NodeId from,
     }
     if (pending_[s] != from) continue;
     pending_[s] = kNoNode;
-    // Retry with a referred child, another relayer, or consensus.
+    // Retry with a referred child, another relayer, or consensus. The
+    // referral ids arrive off the wire; only follow ones the directory
+    // knows (a hostile reject could name arbitrary node ids).
     for (NodeId child : msg.children) {
-      if (child != self_) {
+      if (child != self_ && dir_.has_node(child)) {
         send_subscribe(child, {s});
         break;
       }
@@ -328,6 +330,10 @@ void MultiZoneFullNode::on_unsubscribe(NodeId from,
 void MultiZoneFullNode::on_relayer_alive(NodeId /*from*/,
                                          const RelayerAliveMsg& msg) {
   if (msg.relayer == self_) return;
+  // The relayer id arrives off the wire and later becomes a subscribe
+  // target; ignore announcements about nodes the directory never
+  // registered.
+  if (!dir_.has_node(msg.relayer)) return;
   // The stripe list arrives off the wire: drop out-of-range indices
   // before they reach providers_ / direct_ (or get cached in
   // known_relayers_ and replayed later by on_leave).
@@ -677,6 +683,15 @@ void MultiZoneFullNode::on_pull(NodeId from, const BundlePullMsg& msg) {
 
 void MultiZoneFullNode::on_push(NodeId /*from*/, const BundlePushMsg& msg) {
   for (const auto& bundle : msg.bundles) {
+    // Accept a pushed bundle only when it matches the published record
+    // for its header hash (models verifying the producer signature +
+    // body root). A fabricated push must not poison chains_ — a bogus
+    // (producer, height) entry would freeze contiguous_ and block
+    // reconstruction forever.
+    if (dir_.bundle(bundle.header.hash()) == nullptr) {
+      ++push_verify_failures_;
+      continue;
+    }
     store_bundle_record(bundle.header);
   }
 }

@@ -59,6 +59,8 @@ class MultiZoneFullNode : public sim::Actor {
   std::size_t stripe_verify_failures() const {
     return stripe_verify_failures_;
   }
+  /// BundlePush bundles rejected because they match no published record.
+  std::size_t push_verify_failures() const { return push_verify_failures_; }
   BundleHeight contiguous_height(std::size_t chain) const {
     return contiguous_[chain];
   }
@@ -156,6 +158,7 @@ class MultiZoneFullNode : public sim::Actor {
   std::size_t completed_count_ = 0;
   std::size_t byte_decoded_count_ = 0;
   std::size_t decode_failures_ = 0;
+  std::size_t push_verify_failures_ = 0;
   std::size_t stripe_verify_failures_ = 0;
   erasure::StripeCodec codec_;  ///< (k, n_c) codec for real payloads.
 

@@ -20,9 +20,23 @@ const char* to_string(FaultKind kind) {
       return "drops";
     case FaultKind::kEquivocate:
       return "equivocate";
+    case FaultKind::kThrottle:
+      return "throttle";
+    case FaultKind::kWithhold:
+      return "withhold";
+    case FaultKind::kGarbage:
+      return "garbage";
+    case FaultKind::kChurnStorm:
+      return "churn-storm";
   }
   return "?";
 }
+
+// A kind missing from the switch above fails -Wswitch (-Werror in CI);
+// a kind added without bumping the count fails here.
+static_assert(static_cast<std::size_t>(FaultKind::kChurnStorm) + 1 ==
+                  kFaultKindCount,
+              "kFaultKindCount out of sync with FaultKind");
 
 FaultScheduler::FaultScheduler(Network& net, std::vector<NodeId> targets,
                                FaultPlanConfig config)
@@ -31,6 +45,8 @@ FaultScheduler::FaultScheduler(Network& net, std::vector<NodeId> targets,
       cfg_(config),
       rng_(config.seed ^ 0xfa1175c0de0001ULL),
       drop_rng_(config.seed * 0x9e3779b97f4a7c15ULL + 1) {
+  withhold_names_.insert(cfg_.withhold_names.begin(),
+                         cfg_.withhold_names.end());
   build_plan();
 }
 
@@ -52,12 +68,24 @@ void FaultScheduler::build_plan() {
   if (cfg_.jitter) kinds.push_back(FaultKind::kJitter);
   if (cfg_.drops) kinds.push_back(FaultKind::kDrops);
   if (cfg_.equivocation) kinds.push_back(FaultKind::kEquivocate);
+  if (cfg_.throttle) kinds.push_back(FaultKind::kThrottle);
+  if (cfg_.withhold) kinds.push_back(FaultKind::kWithhold);
+  if (cfg_.garbage) kinds.push_back(FaultKind::kGarbage);
+  if (cfg_.churn_storms) kinds.push_back(FaultKind::kChurnStorm);
   if (kinds.empty()) return;
+
+  const auto is_adversarial = [](FaultKind k) {
+    return k == FaultKind::kEquivocate || k == FaultKind::kThrottle ||
+           k == FaultKind::kWithhold || k == FaultKind::kGarbage;
+  };
 
   // Per-node planned downtime intervals, for the crash-concurrency cap.
   std::vector<std::pair<SimTime, SimTime>> crash_windows;
   std::set<NodeId> crashed_nodes;
   std::set<NodeId> equivocators;
+  std::set<NodeId> throttled;
+  std::set<NodeId> withholders;
+  std::set<NodeId> injectors;
 
   const auto window_range =
       static_cast<std::uint64_t>(cfg_.max_window - cfg_.min_window + 1);
@@ -71,6 +99,9 @@ void FaultScheduler::build_plan() {
                 static_cast<SimTime>(rng_.next_below(window_range));
     ev.kind = kinds[rng_.next_below(kinds.size())];
     ev.a = targets_[rng_.next_below(targets_.size())];
+    if (cfg_.pin_node < targets_.size() && is_adversarial(ev.kind)) {
+      ev.a = targets_[cfg_.pin_node];
+    }
 
     switch (ev.kind) {
       case FaultKind::kCrash: {
@@ -141,6 +172,52 @@ void FaultScheduler::build_plan() {
         ev.window = 0;  // equivocation does not heal
         break;
       }
+      case FaultKind::kThrottle: {
+        if (throttled.size() >= cfg_.max_throttled &&
+            throttled.count(ev.a) == 0) {
+          ev.kind = FaultKind::kJitter;
+          ev.jitter = 1 + static_cast<SimTime>(rng_.next_below(
+                              static_cast<std::uint64_t>(cfg_.max_jitter)));
+          break;
+        }
+        throttled.insert(ev.a);
+        ev.jitter = cfg_.throttle_delay;
+        break;
+      }
+      case FaultKind::kWithhold: {
+        if (withholders.size() >= cfg_.max_withholders &&
+            withholders.count(ev.a) == 0) {
+          // Keep the withholding population <= f: demote to drops.
+          ev.kind = FaultKind::kDrops;
+          ev.p = rng_.next_double() * cfg_.max_drop_prob;
+          break;
+        }
+        withholders.insert(ev.a);
+        break;
+      }
+      case FaultKind::kGarbage: {
+        if (injectors.size() >= cfg_.max_garbage &&
+            injectors.count(ev.a) == 0) {
+          ev.kind = FaultKind::kDrops;
+          ev.p = rng_.next_double() * cfg_.max_drop_prob;
+          break;
+        }
+        injectors.insert(ev.a);
+        break;
+      }
+      case FaultKind::kChurnStorm: {
+        // A storm cycles a small shuffled subset; the nodes take their
+        // down/up cycles back to back, so at most one storm member is
+        // down at any instant and quorums of correct nodes survive.
+        std::vector<NodeId> shuffled = targets_;
+        rng_.shuffle(shuffled);
+        shuffled.resize(std::min<std::size_t>(
+            std::max<std::size_t>(1, cfg_.max_churn_nodes),
+            shuffled.size()));
+        std::sort(shuffled.begin(), shuffled.end());
+        ev.side = std::move(shuffled);
+        break;
+      }
     }
     plan_.push_back(std::move(ev));
   }
@@ -155,8 +232,8 @@ void FaultScheduler::build_plan() {
 }
 
 void FaultScheduler::arm() {
-  net_.set_drop_filter([this](NodeId from, NodeId to, const Message&) {
-    return should_drop(from, to);
+  net_.set_drop_filter([this](NodeId from, NodeId to, const Message& msg) {
+    return should_drop(from, to, msg);
   });
   net_.set_extra_delay(
       [this](NodeId from, NodeId to) { return extra_delay(from, to); });
@@ -201,12 +278,50 @@ void FaultScheduler::apply(const FaultEvent& ev) {
       if (on_equivocate) on_equivocate(ev.a);
       break;
     }
+    case FaultKind::kThrottle: {
+      throttles_.push_back({ev.a, ev.jitter, until});
+      break;
+    }
+    case FaultKind::kWithhold: {
+      withholds_.push_back({ev.a, until});
+      if (on_withhold) on_withhold(ev.a);
+      break;
+    }
+    case FaultKind::kGarbage: {
+      if (on_garbage) on_garbage(ev.a, ev.window);
+      break;
+    }
+    case FaultKind::kChurnStorm: {
+      const std::size_t cycles = std::max<std::size_t>(1, cfg_.churn_cycles);
+      const std::size_t slots = ev.side.size() * cycles;
+      const SimTime slot =
+          std::max<SimTime>(1, ev.window / static_cast<SimTime>(slots));
+      for (std::size_t k = 0; k < ev.side.size(); ++k) {
+        for (std::size_t c = 0; c < cycles; ++c) {
+          const SimTime down_at =
+              ev.at + static_cast<SimTime>(k * cycles + c) * slot;
+          const SimTime up_at = down_at + slot / 2;
+          net_.simulator().schedule_at(down_at, [this, node = ev.side[k]] {
+            net_.set_node_down(node, true);
+          });
+          net_.simulator().schedule_at(up_at, [this, node = ev.side[k]] {
+            net_.set_node_down(node, false);
+          });
+        }
+      }
+      break;
+    }
   }
 }
 
-bool FaultScheduler::should_drop(NodeId from, NodeId to) {
+bool FaultScheduler::should_drop(NodeId from, NodeId to,
+                                 const Message& msg) {
   if (!is_target(from) || !is_target(to)) return false;
   const SimTime now = net_.simulator().now();
+  for (const ActiveWithhold& w : withholds_) {
+    if (now >= w.until || from != w.node) continue;
+    if (withhold_names_.count(msg.name()) != 0) return true;
+  }
   for (const ActivePair& pair : pairs_) {
     if (now >= pair.until) continue;
     if ((from == pair.a && to == pair.b) || (from == pair.b && to == pair.a)) {
@@ -222,10 +337,17 @@ bool FaultScheduler::should_drop(NodeId from, NodeId to) {
 }
 
 SimTime FaultScheduler::extra_delay(NodeId from, NodeId to) {
-  if (jitter_max_ <= 0 || net_.simulator().now() >= jitter_until_) return 0;
   if (!is_target(from) || !is_target(to)) return 0;
-  return static_cast<SimTime>(
-      drop_rng_.next_below(static_cast<std::uint64_t>(jitter_max_) + 1));
+  const SimTime now = net_.simulator().now();
+  SimTime delay = 0;
+  for (const ActiveThrottle& t : throttles_) {
+    if (now < t.until && from == t.node) delay = std::max(delay, t.delay);
+  }
+  if (jitter_max_ > 0 && now < jitter_until_) {
+    delay += static_cast<SimTime>(
+        drop_rng_.next_below(static_cast<std::uint64_t>(jitter_max_) + 1));
+  }
+  return delay;
 }
 
 std::string FaultScheduler::describe() const {
@@ -235,12 +357,19 @@ std::string FaultScheduler::describe() const {
     switch (ev.kind) {
       case FaultKind::kCrash:
       case FaultKind::kEquivocate:
+      case FaultKind::kWithhold:
+      case FaultKind::kGarbage:
         oss << " node " << ev.a;
+        break;
+      case FaultKind::kThrottle:
+        oss << " node " << ev.a << " +" << to_milliseconds(ev.jitter)
+            << "ms";
         break;
       case FaultKind::kPairPartition:
         oss << " " << ev.a << "<->" << ev.b;
         break;
-      case FaultKind::kZonePartition: {
+      case FaultKind::kZonePartition:
+      case FaultKind::kChurnStorm: {
         oss << " {";
         for (std::size_t i = 0; i < ev.side.size(); ++i) {
           oss << (i != 0 ? "," : "") << ev.side[i];

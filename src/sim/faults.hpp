@@ -29,7 +29,16 @@ enum class FaultKind {
   kJitter,         ///< Random extra delay on every target link.
   kDrops,          ///< Each target-to-target message dropped with prob p.
   kEquivocate,     ///< Byzantine producer equivocation (via hook).
+  kThrottle,       ///< Performance adversary: outbound delay < timeout.
+  kWithhold,       ///< Data-plane messages swallowed outbound (by name).
+  kGarbage,        ///< Hostile message injection (via hook).
+  kChurnStorm,     ///< Repeated down/up cycles, staggered over a set.
 };
+
+/// Number of FaultKind values; to_string() and the plan builder are
+/// checked against this (see test_faults), so a new kind cannot ship
+/// without a printable name.
+inline constexpr std::size_t kFaultKindCount = 10;
 
 const char* to_string(FaultKind kind);
 
@@ -68,6 +77,36 @@ struct FaultPlanConfig {
   bool equivocation = false;
   /// At most this many distinct equivocators (keep <= f).
   std::size_t max_equivocators = 1;
+
+  // --- Adversarial kinds (all default-off so existing seed-derived
+  // --- plans are unchanged; enable per attack campaign). -------------
+  bool throttle = false;
+  bool withhold = false;
+  bool garbage = false;
+  bool churn_storms = false;
+  /// Extra one-way delay a throttled node adds to every outbound
+  /// message. Must stay under the consensus view timeout: the node is a
+  /// performance adversary, not a crashed one.
+  SimTime throttle_delay = milliseconds(600);
+  std::size_t max_throttled = 1;
+  /// At most this many distinct withholders (keep <= f: a withholder
+  /// contributes no data, like a silent producer).
+  std::size_t max_withholders = 1;
+  std::size_t max_garbage = 1;
+  /// Down/up cycles each churned node goes through per storm event.
+  std::size_t churn_cycles = 3;
+  /// Nodes per storm. Cycles are staggered so at most one churned node
+  /// is down at any instant (quorums of correct nodes survive).
+  std::size_t max_churn_nodes = 1;
+  /// Message names a withholder swallows (votes, acks and subscriptions
+  /// still flow, so the attacker looks live while starving data).
+  std::vector<std::string> withhold_names = {
+      "Bundle", "BundleBatch", "BundlePush", "Stripe",
+      "PredisBlock", "Microblock", "MbBatch", "FullBlock"};
+  /// When < targets.size(), adversarial kinds (throttle / withhold /
+  /// garbage / equivocate) always strike targets[pin_node] instead of a
+  /// random target — campaigns use this to hit the initial leader.
+  std::size_t pin_node = static_cast<std::size_t>(-1);
 };
 
 class FaultScheduler {
@@ -96,10 +135,18 @@ class FaultScheduler {
   /// emitting conflicting bundles. Unset = equivocation events no-op.
   std::function<void(NodeId)> on_equivocate;
 
+  /// Garbage delegate: the harness injects hostile protocol messages as
+  /// if sent by the node, spread over the window. Unset = no-op.
+  std::function<void(NodeId, SimTime)> on_garbage;
+
+  /// Withhold delegate: fired when a node starts withholding, so the
+  /// harness can excuse it from data-availability invariants.
+  std::function<void(NodeId)> on_withhold;
+
  private:
   void build_plan();
   void apply(const FaultEvent& event);
-  bool should_drop(NodeId from, NodeId to);
+  bool should_drop(NodeId from, NodeId to, const Message& msg);
   SimTime extra_delay(NodeId from, NodeId to);
   bool is_target(NodeId id) const;
 
@@ -123,8 +170,20 @@ class FaultScheduler {
     NodeId b = kNoNode;
     SimTime until = 0;
   };
+  struct ActiveThrottle {
+    NodeId node = kNoNode;
+    SimTime delay = 0;
+    SimTime until = 0;
+  };
+  struct ActiveWithhold {
+    NodeId node = kNoNode;
+    SimTime until = 0;
+  };
   std::vector<ActiveCut> cuts_;
   std::vector<ActivePair> pairs_;
+  std::vector<ActiveThrottle> throttles_;
+  std::vector<ActiveWithhold> withholds_;
+  std::set<std::string> withhold_names_;
   double drop_p_ = 0.0;
   SimTime drop_until_ = 0;
   SimTime jitter_max_ = 0;

@@ -161,6 +161,61 @@ TEST(BlockTracerAnomalies, ExpectReconstructionForcesStallDetection) {
   EXPECT_EQ(as[0].kind, TraceAnomaly::Kind::kStalledBlock);
 }
 
+// --- Attack-shaped traces (adversary campaign) --------------------------
+//
+// Each case replays the observable signature one attacker archetype
+// leaves in a trace and asserts the matching detector fires: the
+// anomaly scan is the degradation campaign's tripwire.
+
+TEST(BlockTracerAnomalies, StripeWithholdingShapeTripsPullSpiral) {
+  // A relayer that accepts stripes but never re-shares starves its
+  // subtree: the downstream node keeps re-pulling the same block from
+  // the only peer it knows, exactly the pull-spiral signature.
+  BlockTracer t;
+  t.record(TraceStage::kBlockCommitted, kKeyA, seconds(1));
+  for (int i = 0; i < 13; ++i) {
+    t.record_pull(kKeyA, 4, seconds(1) + milliseconds(300 * i));
+  }
+  const auto as = t.anomalies(seconds(8));
+  bool spiral = false;
+  for (const TraceAnomaly& a : as) {
+    spiral = spiral || (a.kind == TraceAnomaly::Kind::kPullSpiral &&
+                        a.node == 4u);
+  }
+  EXPECT_TRUE(spiral);
+}
+
+TEST(BlockTracerAnomalies, ThrottledLeaderShapeTripsStalledBlock) {
+  // A throttled stripe source delays distribution past the stall
+  // horizon: the block commits but no full node ever reconstructs it
+  // within stall_after.
+  BlockTracer t;
+  t.expect_reconstruction(true);
+  t.record(TraceStage::kCutProposed, kKeyA, seconds(1));
+  t.record(TraceStage::kBlockCommitted, kKeyA, seconds(1) +
+           milliseconds(200));
+  const auto as = t.anomalies(seconds(10));
+  ASSERT_EQ(as.size(), 1u);
+  EXPECT_EQ(as[0].kind, TraceAnomaly::Kind::kStalledBlock);
+  EXPECT_EQ(as[0].key, kKeyA);
+}
+
+TEST(BlockTracerAnomalies, ChurnRejoinShapeTripsRebanStorm) {
+  // An equivocator riding the churn storm: every rejoin is followed by
+  // a fresh conflict and a fresh ban at the same observer. Distinct
+  // from the legitimate one-ban-per-observer response.
+  BlockTracer t;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    t.record_ban(2, 0, seconds(1 + 2 * cycle));
+    t.record_unban(2, 0, seconds(2 + 2 * cycle));
+  }
+  const auto as = t.anomalies(seconds(12));
+  ASSERT_EQ(as.size(), 1u);
+  EXPECT_EQ(as[0].kind, TraceAnomaly::Kind::kRebanStorm);
+  EXPECT_EQ(as[0].node, 2u);
+  EXPECT_EQ(as[0].producer, 0u);
+}
+
 TEST(BlockTracer, DigestIsContentSensitive) {
   const auto fill = [](BlockTracer& t) {
     t.record(TraceStage::kBundleProduced, kKeyA, milliseconds(3));

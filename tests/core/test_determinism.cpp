@@ -35,6 +35,11 @@ void expect_identical(const SwarmCaseResult& a, const SwarmCaseResult& b) {
   EXPECT_EQ(a.faults_injected, b.faults_injected);
   EXPECT_EQ(a.fault_plan, b.fault_plan);
   EXPECT_DOUBLE_EQ(a.throughput_tps, b.throughput_tps);
+  // Degradation metrics are part of the digest fold; they must replay
+  // too, or BENCH_adversarial.json stops being reproducible.
+  EXPECT_EQ(a.committed_txs, b.committed_txs);
+  EXPECT_DOUBLE_EQ(a.production_p99_ms, b.production_p99_ms);
+  EXPECT_EQ(a.hostile_msgs, b.hostile_msgs);
 }
 
 TEST(SeedDeterminism, PredisSameSeedIsByteIdentical) {
@@ -53,6 +58,53 @@ TEST(SeedDeterminism, PbftSameSeedIsByteIdentical) {
   const SwarmCaseResult b = run_swarm_case(cfg);
   EXPECT_TRUE(a.ok) << a.report;
   EXPECT_GT(a.trace_events, 0u);
+  expect_identical(a, b);
+}
+
+// --- Adversarial campaigns replay byte-for-byte ------------------------
+
+SwarmCaseConfig attack_case(Protocol protocol, AttackKind attack,
+                            std::uint64_t seed) {
+  SwarmCaseConfig cfg = short_case(protocol, seed);
+  cfg.attack = attack;
+  return cfg;
+}
+
+TEST(SeedDeterminism, GarbageCampaignIsByteIdentical) {
+  const SwarmCaseConfig cfg =
+      attack_case(Protocol::kPbft, AttackKind::kGarbage, 21);
+  const SwarmCaseResult a = run_swarm_case(cfg);
+  const SwarmCaseResult b = run_swarm_case(cfg);
+  EXPECT_TRUE(a.ok) << a.report;
+  EXPECT_GT(a.hostile_msgs, 0u);
+  expect_identical(a, b);
+}
+
+TEST(SeedDeterminism, ThrottleCampaignIsByteIdentical) {
+  const SwarmCaseConfig cfg =
+      attack_case(Protocol::kHotStuff, AttackKind::kThrottle, 22);
+  const SwarmCaseResult a = run_swarm_case(cfg);
+  const SwarmCaseResult b = run_swarm_case(cfg);
+  EXPECT_TRUE(a.ok) << a.report;
+  EXPECT_GT(a.faults_injected, 0u);
+  expect_identical(a, b);
+}
+
+TEST(SeedDeterminism, ChurnCampaignIsByteIdentical) {
+  const SwarmCaseConfig cfg =
+      attack_case(Protocol::kNarwhal, AttackKind::kChurnStorm, 23);
+  const SwarmCaseResult a = run_swarm_case(cfg);
+  const SwarmCaseResult b = run_swarm_case(cfg);
+  EXPECT_TRUE(a.ok) << a.report;
+  expect_identical(a, b);
+}
+
+TEST(SeedDeterminism, WithholdCampaignIsByteIdentical) {
+  const SwarmCaseConfig cfg =
+      attack_case(Protocol::kPredisPbft, AttackKind::kWithhold, 24);
+  const SwarmCaseResult a = run_swarm_case(cfg);
+  const SwarmCaseResult b = run_swarm_case(cfg);
+  EXPECT_TRUE(a.ok) << a.report;
   expect_identical(a, b);
 }
 

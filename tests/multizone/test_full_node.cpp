@@ -452,5 +452,108 @@ TEST_F(ZoneFixture, RelayerAliveWithOutOfRangeStripesIsSanitized) {
   EXPECT_EQ(decoded, 1u);
 }
 
+TEST_F(ZoneFixture, HostileRejectWithUnknownChildrenIsIgnored) {
+  // Regression: on_reject used to follow every referral child id the
+  // message carried. A hostile reject naming an arbitrary id made the
+  // node subscribe to a node the network has never seen — fatal in
+  // Network::send. Referrals must pass the directory first.
+  auto* node = add_full_node(0, 0);
+  net.start();
+
+  // Race the reject against the genuine accept: the node's subscribe
+  // (sent at start) takes one hop to reach consensus, the accept one
+  // hop back, so a reject injected at t=0 lands while the stripe is
+  // still pending on the real producer — exactly the window where the
+  // referral list is walked.
+  auto reject = std::make_shared<RejectSubscribeMsg>();
+  reject->stripes = {0};
+  reject->children = {static_cast<NodeId>(0xbad5eed),
+                      static_cast<NodeId>(0xbad5eee)};
+  net.send(producer_ids[0], full_ids[0], std::move(reject));
+  sim.run_until(milliseconds(500));
+
+  // The bogus referral was skipped and the retry path recovered the
+  // stripe from a provider the directory knows.
+  for (StripeIndex s = 0; s < kN; ++s) {
+    EXPECT_NE(node->provider_of(s), kNoNode) << "stripe " << s;
+  }
+  produce_bundle(0);
+  sim.run_until(milliseconds(900));
+  EXPECT_EQ(node->contiguous_height(0), 1u);
+}
+
+TEST_F(ZoneFixture, ForgedBundlePushIsRejectedAndCounted) {
+  // Regression: on_push used to store any (producer, height, hash)
+  // record the bundle claimed. A fabricated entry froze contiguous_ at
+  // the forged height's chain forever — reconstruction of every later
+  // block stalls waiting for a bundle that does not exist. Pushed
+  // bundles must now match the directory's published record (models
+  // verifying the producer signature + body root).
+  auto* node = add_full_node(0, 0);
+  net.start();
+  sim.run_until(milliseconds(200));
+
+  std::vector<Transaction> forged_txs(2);
+  forged_txs[0].seq = 700;
+  forged_txs[1].seq = 701;
+  const Bundle forged =
+      make_bundle(0, 1, parents[0], std::vector<BundleHeight>(kN, 0),
+                  std::move(forged_txs), KeyPair::from_seed(4242));
+  auto push = std::make_shared<BundlePushMsg>();
+  push->bundles = {forged};
+  net.send(producer_ids[1], full_ids[0], std::move(push));
+  sim.run_until(milliseconds(400));
+
+  EXPECT_EQ(node->push_verify_failures(), 1u);
+  EXPECT_EQ(node->decoded_bundles(), 0u);
+  EXPECT_EQ(node->contiguous_height(0), 0u);
+
+  // A genuinely published bundle pushed the same way is accepted.
+  std::vector<Transaction> txs(2);
+  txs[0].seq = 702;
+  txs[1].seq = 703;
+  Bundle genuine =
+      make_bundle(0, 1, parents[0], std::vector<BundleHeight>(kN, 0),
+                  std::move(txs), KeyPair::from_seed(1000));
+  dir.publish_bundle(genuine);
+  auto ok_push = std::make_shared<BundlePushMsg>();
+  ok_push->bundles = {genuine};
+  net.send(producer_ids[1], full_ids[0], std::move(ok_push));
+  sim.run_until(milliseconds(600));
+
+  EXPECT_EQ(node->push_verify_failures(), 1u);
+  EXPECT_EQ(node->decoded_bundles(), 1u);
+  EXPECT_EQ(node->contiguous_height(0), 1u);
+}
+
+TEST_F(ZoneFixture, RelayerAliveAboutUnregisteredNodeIsIgnored) {
+  // Regression: on_relayer_alive cached whatever relayer id the message
+  // named and — via Algorithm 2 trimming — could unsubscribe a direct
+  // stripe in favour of it. An id the network has never seen then made
+  // the hand-over subscribe fatal. Announcements about nodes the
+  // directory never registered are now dropped at the boundary.
+  auto* node = add_full_node(0, 0);
+  net.start();
+  sim.run_until(milliseconds(200));
+  ASSERT_TRUE(node->is_relayer());
+
+  auto alive = std::make_shared<RelayerAliveMsg>();
+  alive->relayer = static_cast<NodeId>(0xbad5eed);
+  alive->relayed = {0};
+  alive->join_time = milliseconds(1);  // earlier join: would win trimming
+  net.send(producer_ids[1], full_ids[0], std::move(alive));
+  sim.run_until(milliseconds(600));
+
+  // The node kept its consensus-direct stripes instead of deferring to
+  // the phantom relayer, and data still flows.
+  EXPECT_TRUE(node->is_relayer());
+  for (StripeIndex s = 0; s < kN; ++s) {
+    EXPECT_EQ(node->provider_of(s), producer_ids[s]) << "stripe " << s;
+  }
+  produce_bundle(0);
+  sim.run_until(seconds(1));
+  EXPECT_EQ(node->contiguous_height(0), 1u);
+}
+
 }  // namespace
 }  // namespace predis::multizone

@@ -112,5 +112,202 @@ TEST(FaultScheduler, EquivocatorPopulationStaysWithinCap) {
   }
 }
 
+TEST(FaultKindNames, ToStringCoversEveryKind) {
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    const char* name = to_string(static_cast<FaultKind>(i));
+    EXPECT_STRNE(name, "?") << "kind " << i << " has no printable name";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate name for kind " << i;
+  }
+}
+
+TEST(FaultScheduler, AdversarialKindsDefaultOff) {
+  // New attack kinds must not change existing seed-derived plans.
+  FaultPlanConfig cfg;
+  cfg.seed = 9;
+  cfg.events = 20;
+  Fixture f;
+  FaultScheduler fs(f.net, f.targets, cfg);
+  for (const FaultEvent& e : fs.plan()) {
+    EXPECT_NE(e.kind, FaultKind::kThrottle);
+    EXPECT_NE(e.kind, FaultKind::kWithhold);
+    EXPECT_NE(e.kind, FaultKind::kGarbage);
+    EXPECT_NE(e.kind, FaultKind::kChurnStorm);
+  }
+}
+
+FaultPlanConfig adversarial_only(FaultKind kind) {
+  FaultPlanConfig cfg;
+  cfg.crashes = cfg.pair_partitions = cfg.zone_partitions = false;
+  cfg.jitter = cfg.drops = false;
+  cfg.throttle = kind == FaultKind::kThrottle;
+  cfg.withhold = kind == FaultKind::kWithhold;
+  cfg.garbage = kind == FaultKind::kGarbage;
+  cfg.churn_storms = kind == FaultKind::kChurnStorm;
+  return cfg;
+}
+
+TEST(FaultScheduler, DescribeNamesAdversarialEvents) {
+  for (FaultKind kind :
+       {FaultKind::kThrottle, FaultKind::kWithhold, FaultKind::kGarbage,
+        FaultKind::kChurnStorm}) {
+    FaultPlanConfig cfg = adversarial_only(kind);
+    cfg.seed = 5;
+    cfg.events = 3;
+    Fixture f;
+    FaultScheduler fs(f.net, f.targets, cfg);
+    ASSERT_FALSE(fs.plan().empty()) << to_string(kind);
+    EXPECT_NE(fs.describe().find(to_string(kind)), std::string::npos)
+        << fs.describe();
+  }
+}
+
+TEST(FaultScheduler, PinNodeAimsAdversarialEventsAtOneTarget) {
+  FaultPlanConfig cfg = adversarial_only(FaultKind::kThrottle);
+  cfg.seed = 13;
+  cfg.events = 6;
+  cfg.pin_node = 2;
+  Fixture f;
+  FaultScheduler fs(f.net, f.targets, cfg);
+  ASSERT_FALSE(fs.plan().empty());
+  for (const FaultEvent& e : fs.plan()) {
+    EXPECT_EQ(e.a, f.targets[2]);
+  }
+}
+
+TEST(FaultScheduler, GarbageHookFiresOnPinnedNodeOnly) {
+  FaultPlanConfig cfg = adversarial_only(FaultKind::kGarbage);
+  cfg.seed = 17;
+  cfg.events = 4;
+  cfg.pin_node = 1;
+  Fixture f;
+  FaultScheduler fs(f.net, f.targets, cfg);
+  std::vector<NodeId> hits;
+  fs.on_garbage = [&](NodeId id, SimTime window) {
+    EXPECT_GT(window, 0u);
+    hits.push_back(id);
+  };
+  fs.arm();
+  f.sim.run_until(fs.healed_by() + seconds(1));
+  ASSERT_GE(hits.size(), 1u);
+  for (NodeId id : hits) EXPECT_EQ(id, f.targets[1]);
+}
+
+// Named test messages for the data-plane withholding filter.
+struct BundleLikeMsg final : Message {
+  std::size_t wire_size() const override { return 64; }
+  const char* name() const override { return "Bundle"; }
+};
+struct VoteLikeMsg final : Message {
+  std::size_t wire_size() const override { return 64; }
+  const char* name() const override { return "Prepare"; }
+};
+
+struct CountingActor final : Actor {
+  std::size_t bundles = 0;
+  std::size_t votes = 0;
+  void on_message(NodeId, const MsgPtr& msg) override {
+    if (std::string(msg->name()) == "Bundle") ++bundles;
+    if (std::string(msg->name()) == "Prepare") ++votes;
+  }
+};
+
+TEST(FaultScheduler, WithholderSwallowsDataPlaneButNotVotes) {
+  FaultPlanConfig cfg = adversarial_only(FaultKind::kWithhold);
+  cfg.seed = 23;
+  cfg.events = 1;
+  cfg.pin_node = 0;
+  Fixture f;
+  CountingActor rx;
+  f.net.attach(f.targets[1], &rx);
+  FaultScheduler fs(f.net, f.targets, cfg);
+  std::vector<NodeId> withholders;
+  fs.on_withhold = [&](NodeId id) { withholders.push_back(id); };
+  fs.arm();
+  ASSERT_EQ(fs.plan().size(), 1u);
+  const FaultEvent ev = fs.plan()[0];
+  // Mid-window: data-plane names dropped, votes pass.
+  f.sim.schedule_at(ev.at + ev.window / 2, [&] {
+    f.net.send(f.targets[0], f.targets[1],
+               std::make_shared<BundleLikeMsg>());
+    f.net.send(f.targets[0], f.targets[1], std::make_shared<VoteLikeMsg>());
+  });
+  // Post-heal: everything flows again.
+  f.sim.schedule_at(ev.at + ev.window + seconds(1), [&] {
+    f.net.send(f.targets[0], f.targets[1],
+               std::make_shared<BundleLikeMsg>());
+  });
+  f.net.start();
+  f.sim.run_until(ev.at + ev.window + seconds(2));
+  EXPECT_EQ(rx.votes, 1u);
+  EXPECT_EQ(rx.bundles, 1u);  // only the post-heal one
+  ASSERT_EQ(withholders.size(), 1u);
+  EXPECT_EQ(withholders[0], f.targets[0]);
+}
+
+struct StampActor final : Actor {
+  Simulator* sim = nullptr;
+  std::vector<SimTime> arrivals;
+  void on_message(NodeId, const MsgPtr&) override {
+    arrivals.push_back(sim->now());
+  }
+};
+
+TEST(FaultScheduler, ThrottleDelaysOutboundUnderTimeout) {
+  FaultPlanConfig cfg = adversarial_only(FaultKind::kThrottle);
+  cfg.seed = 29;
+  cfg.events = 1;
+  cfg.pin_node = 0;
+  cfg.throttle_delay = milliseconds(400);
+  Fixture f;
+  StampActor rx;
+  rx.sim = &f.sim;
+  f.net.attach(f.targets[1], &rx);
+  FaultScheduler fs(f.net, f.targets, cfg);
+  fs.arm();
+  ASSERT_EQ(fs.plan().size(), 1u);
+  const FaultEvent ev = fs.plan()[0];
+  const SimTime sent_at = ev.at + ev.window / 2;
+  f.sim.schedule_at(sent_at, [&] {
+    f.net.send(f.targets[0], f.targets[1],
+               std::make_shared<VoteLikeMsg>());
+  });
+  f.net.start();
+  f.sim.run_until(ev.at + ev.window + seconds(2));
+  ASSERT_EQ(rx.arrivals.size(), 1u);
+  // The base fixture latency is 10 ms; anything near throttle_delay
+  // proves the slow-leader path engaged.
+  EXPECT_GE(rx.arrivals[0] - sent_at, cfg.throttle_delay);
+}
+
+TEST(FaultScheduler, ChurnStormKeepsAtMostOneNodeDown) {
+  FaultPlanConfig cfg = adversarial_only(FaultKind::kChurnStorm);
+  cfg.seed = 31;
+  cfg.events = 1;
+  cfg.churn_cycles = 3;
+  cfg.max_churn_nodes = 2;
+  Fixture f;
+  FaultScheduler fs(f.net, f.targets, cfg);
+  fs.arm();
+  std::size_t max_down = 0;
+  bool saw_down = false;
+  // Sample the down-set densely across the whole storm.
+  for (SimTime t = cfg.start; t < fs.healed_by(); t += milliseconds(5)) {
+    f.sim.schedule_at(t, [&] {
+      std::size_t down = 0;
+      for (NodeId id : f.targets) {
+        if (f.net.is_down(id)) ++down;
+      }
+      max_down = std::max(max_down, down);
+      saw_down = saw_down || down > 0;
+    });
+  }
+  f.sim.run_until(fs.healed_by() + seconds(1));
+  EXPECT_TRUE(saw_down);
+  EXPECT_LE(max_down, 1u);
+  for (NodeId id : f.targets) EXPECT_FALSE(f.net.is_down(id));
+}
+
 }  // namespace
 }  // namespace predis::sim
