@@ -51,6 +51,8 @@ void BundleChain::erase_above(BundleHeight h) {
 
 void BundleChain::prune_below(BundleHeight h) {
   while (!bundles_.empty() && bundles_.begin()->first < h) {
+    gc_bytes_ += bundles_.begin()->second.wire_size();
+    gc_items_ += 1;
     bundles_.erase(bundles_.begin());
   }
   pruned_below_ = std::max(pruned_below_, h);

@@ -49,6 +49,10 @@ class BundleChain {
   bool has(BundleHeight h) const { return bundles_.count(h) != 0; }
   std::size_t size() const { return bundles_.size(); }
 
+  /// Wire bytes / bundle count reclaimed by GC (prune_below) so far.
+  std::uint64_t gc_bytes() const { return gc_bytes_; }
+  std::uint64_t gc_items() const { return gc_items_; }
+
  private:
   friend class Mempool;
   void insert(Bundle b);
@@ -57,6 +61,8 @@ class BundleChain {
   std::map<BundleHeight, Bundle> bundles_;
   BundleHeight contiguous_ = 0;
   BundleHeight pruned_below_ = 0;  ///< Heights < this have been GC'd.
+  std::uint64_t gc_bytes_ = 0;
+  std::uint64_t gc_items_ = 0;
 };
 
 class Mempool {

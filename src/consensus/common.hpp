@@ -8,6 +8,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -133,7 +134,15 @@ class CommitLedger {
     if (observer_) observer_(node_index, slot, digest, tx_count, when);
     auto [it, inserted] = slots_.try_emplace(slot, Entry{digest, when, 1});
     if (inserted) {
-      metrics_->record_commit(when, tx_count);
+      // Dedupe by (height, hash): a replica that restarted mid-run can
+      // re-propose transactions that already committed while it was
+      // down (its queue never saw their commit), landing the same
+      // payload at a *different* slot. Those transactions reached
+      // clients once; counting them again inflated churn-storm
+      // throughput past the clean run (the 1.125x PBFT cell).
+      const bool repeat = !counted_payloads_.insert(digest).second;
+      if (repeat) ++duplicate_payloads_;
+      metrics_->record_commit(when, repeat ? 0 : tx_count);
     } else {
       ++it->second.commit_count;
       if (it->second.digest != digest) conflicting_ = true;
@@ -143,6 +152,9 @@ class CommitLedger {
 
   bool consistent() const { return !conflicting_; }
   std::size_t committed_slots() const { return slots_.size(); }
+  /// Payloads committed at more than one slot (re-proposals after
+  /// restart); their transactions are counted only once.
+  std::size_t duplicate_payloads() const { return duplicate_payloads_; }
   Metrics& metrics() { return *metrics_; }
 
  private:
@@ -154,6 +166,8 @@ class CommitLedger {
   Metrics* metrics_;
   Observer observer_;
   std::map<std::uint64_t, Entry> slots_;
+  std::set<Hash32> counted_payloads_;
+  std::size_t duplicate_payloads_ = 0;
   bool conflicting_ = false;
 };
 

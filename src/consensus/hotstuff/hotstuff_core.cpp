@@ -35,7 +35,14 @@ bool is_empty_payload(const PayloadPtr& p) {
 }  // namespace
 
 HotStuffCore::HotStuffCore(NodeContext ctx, HotStuffApp& app)
-    : ctx_(std::move(ctx)), app_(app) {
+    : ctx_(std::move(ctx)),
+      app_(app),
+      // Default recovery jitter stream: deterministic per node id, so a
+      // run replays byte-identically; campaigns reseed per run via
+      // set_recovery_seed().
+      rng_(0x243f6a8885a308d3ULL ^
+           (static_cast<std::uint64_t>(ctx_.self()) + 1)),
+      sync_peer_(ctx_.n(), ctx_.index()) {
   // Genesis block at round 0, certified by a built-in QC.
   auto genesis = make_block(0, kZeroHash, QuorumCert{},
                             std::make_shared<EmptyPayload>());
@@ -67,6 +74,14 @@ bool HotStuffCore::handle(NodeId from, const sim::MsgPtr& msg) {
     if (!paused_ && idx < ctx_.n()) on_new_view(idx, *m);
     return true;
   }
+  if (const auto* m = dynamic_cast<const HsCatchUpRequestMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_catch_up_request(idx, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const HsBlockBatchMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_block_batch(idx, *m);
+    return true;
+  }
   return false;
 }
 
@@ -90,6 +105,14 @@ void HotStuffCore::on_proposal(std::size_t from, const ProposalMsg& msg) {
 
   if (blocks_.count(block->parent) == 0) {
     orphans_.emplace(block->parent, block);
+    // An orphan far above our commit frontier means we missed the
+    // chain in between (downtime / partition): fetch it from the
+    // proposer instead of hoarding orphans forever. The slack skips
+    // the normal uncommitted suffix (three-chain depth) plus a little
+    // out-of-order delivery.
+    if (block->round > committed_round_ + 4) {
+      note_lag(block->round, from);
+    }
     return;
   }
   store_block(block);
@@ -101,6 +124,7 @@ void HotStuffCore::store_block(BlockPtr block) {
   const Hash32 hash = block->hash;
   const Round round = block->round;
   blocks_.emplace(hash, std::move(block));
+  blocks_by_round_.emplace(round, hash);
 
   // Votes may have arrived before the block: try to form the QC now.
   const auto vit = votes_.find(round);
@@ -331,6 +355,215 @@ void HotStuffCore::commit_chain(const HsBlock& anchor) {
     want_progress_ = false;
     round_timer_.cancel();
   }
+  prune_blocks();
+}
+
+// --- Catch-up protocol -------------------------------------------------
+
+void HotStuffCore::on_restart() {
+  if (paused_) return;
+  // The node was down or cut off: it may have missed arbitrarily many
+  // rounds. Probe every peer once — the first useful answer fixes the
+  // preferred sync peer — instead of resuming blind into a timeout.
+  finish_catch_up();
+  begin_catch_up(ctx_.n());
+}
+
+void HotStuffCore::note_lag(Round round, std::size_t from) {
+  if (round > lag_round_) lag_round_ = round;
+  begin_catch_up(from);
+}
+
+void HotStuffCore::begin_catch_up(std::size_t prefer) {
+  if (prefer < ctx_.n() && prefer != ctx_.index()) sync_peer_.prefer(prefer);
+  if (catching_up_) return;
+  catching_up_ = true;
+  catch_up_attempt_ = 0;
+  send_catch_up_request(prefer >= ctx_.n());
+  arm_catch_up_timer();
+}
+
+void HotStuffCore::send_catch_up_request(bool broadcast) {
+  auto msg = std::make_shared<HsCatchUpRequestMsg>();
+  msg->have_round = committed_round_;
+  if (broadcast) {
+    ctx_.broadcast(msg);
+  } else {
+    ctx_.send_to(sync_peer_.peer(), std::move(msg));
+  }
+}
+
+void HotStuffCore::arm_catch_up_timer() {
+  catch_up_timer_.cancel();
+  catch_up_timer_ = ctx_.after(backoff_.delay(catch_up_attempt_, rng_),
+                               [this] { catch_up_tick(); });
+}
+
+void HotStuffCore::catch_up_tick() {
+  if (paused_ || !catching_up_) return;
+  if (cur_round_ >= lag_round_ && catch_up_attempt_ > 0) {
+    finish_catch_up();
+    return;
+  }
+  if (catch_up_attempt_ >= kMaxCatchUpAttempts) {
+    // Nobody can serve this gap: stale or forged lag evidence. Stand
+    // down; fresh evidence re-arms.
+    lag_round_ = cur_round_;
+    finish_catch_up();
+    return;
+  }
+  sync_peer_.on_timeout();  // rotates after repeated silence
+  ++catch_up_attempt_;
+  send_catch_up_request(false);
+  arm_catch_up_timer();
+}
+
+void HotStuffCore::finish_catch_up() {
+  catching_up_ = false;
+  catch_up_attempt_ = 0;
+  catch_up_timer_.cancel();
+}
+
+void HotStuffCore::on_catch_up_request(std::size_t from,
+                                       const HsCatchUpRequestMsg& msg) {
+  if (committed_round_ <= msg.have_round) return;  // not ahead
+  // Committed chain segment, newest kMaxBlockSpan blocks above the
+  // requester's frontier (bounds-checked: have_round is attacker-
+  // controlled, so the reply never exceeds kMaxBlockSpan blocks). If
+  // the gap is deeper than our retained chain, the requester
+  // jump-adopts the newest certified span — snapshot semantics.
+  std::vector<HsBlockBatchMsg::Entry> committed;
+  const HsBlock* cursor = get_block(committed_hash_);
+  while (cursor != nullptr && cursor->round > msg.have_round &&
+         cursor->round > 0 && committed.size() < kMaxBlockSpan) {
+    // Every committed block is backed by the three-chain a quorum
+    // certified; model the commit certificate as quorum signers.
+    committed.push_back({blocks_.at(cursor->hash), ctx_.quorum()});
+    cursor = get_block(cursor->parent);
+  }
+  // Uncommitted suffix up to high_qc: lets the requester rejoin voting
+  // without waiting for the next three-chain. No commit certificate —
+  // the receiver runs these through the normal chain rules.
+  std::vector<HsBlockBatchMsg::Entry> suffix;
+  cursor = get_block(high_qc_.block_hash);
+  while (cursor != nullptr && cursor->hash != committed_hash_ &&
+         cursor->round > 0) {
+    suffix.push_back({blocks_.at(cursor->hash), 0});
+    cursor = get_block(cursor->parent);
+  }
+  auto reply = std::make_shared<HsBlockBatchMsg>();
+  for (auto it = committed.rbegin(); it != committed.rend(); ++it) {
+    reply->entries.push_back(std::move(*it));
+  }
+  for (auto it = suffix.rbegin(); it != suffix.rend(); ++it) {
+    if (reply->entries.size() >= kMaxBlockSpan) break;
+    reply->entries.push_back(std::move(*it));
+  }
+  if (!reply->entries.empty()) ctx_.send_to(from, std::move(reply));
+}
+
+void HotStuffCore::on_block_batch(std::size_t from,
+                                  const HsBlockBatchMsg& msg) {
+  bool progressed = false;
+  for (const auto& e : msg.entries) {
+    if (e.block == nullptr || e.block->payload == nullptr) continue;
+    if (e.commit_proof >= ctx_.quorum()) {
+      if (e.block->round > committed_round_) {
+        adopt_committed(e.block, e.commit_proof);
+        progressed = true;
+      }
+    } else {
+      // Uncommitted suffix: same admission rules as a proposal — the
+      // justify QC must verify; the chain rules derive locks/commits.
+      if (e.block->justify.signers < ctx_.quorum()) continue;
+      if (blocks_.count(e.block->hash) != 0) continue;
+      if (blocks_.count(e.block->parent) == 0) {
+        orphans_.emplace(e.block->parent, e.block);
+        continue;
+      }
+      store_block(e.block);
+      process_block(e.block);
+      progressed = true;
+    }
+  }
+  if (!progressed) return;
+  ++catch_up_batches_;
+  try_flush_orphans();
+  sync_peer_.prefer(from);
+  sync_peer_.on_progress();
+  catch_up_attempt_ = 0;
+  if (catching_up_) {
+    if (cur_round_ >= lag_round_) {
+      finish_catch_up();
+    } else {
+      send_catch_up_request(false);
+      arm_catch_up_timer();
+    }
+  }
+  prune_blocks();
+}
+
+void HotStuffCore::adopt_committed(const BlockPtr& block,
+                                   std::size_t commit_proof) {
+  if (blocks_.count(block->hash) == 0) {
+    blocks_.emplace(block->hash, block);
+    blocks_by_round_.emplace(block->round, block->hash);
+  }
+  committed_round_ = block->round;
+  committed_hash_ = block->hash;
+  if (block->round > locked_round_) {
+    locked_round_ = block->round;
+    locked_hash_ = block->hash;
+  }
+  if (last_voted_round_ < block->round) last_voted_round_ = block->round;
+  // The commit certificate doubles as a QC on the block itself, so a
+  // leader can extend the adopted frontier immediately.
+  update_high_qc(QuorumCert{block->round, block->hash, commit_proof});
+  if (!is_empty_payload(block->payload)) {
+    if (tracer_ != nullptr) {
+      tracer_->record(TraceStage::kBlockCommitted, block->payload->digest(),
+                      ctx_.now());
+    }
+    app_.on_commit(block->round, block->payload);
+  }
+  advance_round(block->round + 1);
+}
+
+void HotStuffCore::prune_blocks() {
+  if (committed_round_ <= kBlockRetention) return;
+  const Round floor = committed_round_ - kBlockRetention;
+  // Walk the round-ordered index, not blocks_ itself: GC order must be
+  // deterministic, and blocks_ is an unordered map.
+  for (auto it = blocks_by_round_.begin();
+       it != blocks_by_round_.end() && it->first < floor;) {
+    // Keep genesis (chain-rule walks bottom out there) and the commit
+    // frontier itself; everything committed below the retention window
+    // only existed to serve catch-up and can go.
+    if (it->first == 0 || it->second == committed_hash_) {
+      ++it;
+      continue;
+    }
+    const auto bit = blocks_.find(it->second);
+    if (bit != blocks_.end()) {
+      const HsBlock& b = *bit->second;
+      gc_.add(48 + b.justify.wire_size() +
+              (b.payload != nullptr ? b.payload->wire_size() : 0));
+      blocks_.erase(bit);
+    }
+    it = blocks_by_round_.erase(it);
+  }
+  for (auto it = orphans_.begin(); it != orphans_.end();) {
+    if (it->second->round <= committed_round_) {
+      gc_.add(48 + (it->second->payload != nullptr
+                        ? it->second->payload->wire_size()
+                        : 0));
+      it = orphans_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  votes_.erase(votes_.begin(), votes_.lower_bound(floor));
+  new_views_.erase(new_views_.begin(), new_views_.lower_bound(floor));
 }
 
 std::vector<PayloadPtr> HotStuffCore::ancestors_of(

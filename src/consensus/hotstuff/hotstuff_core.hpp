@@ -16,7 +16,9 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/rng.hpp"
 #include "consensus/common.hpp"
+#include "core/recovery.hpp"
 
 namespace predis {
 class BlockTracer;
@@ -25,6 +27,21 @@ class BlockTracer;
 namespace predis::consensus::hotstuff {
 
 using Round = std::uint64_t;
+
+/// Committed blocks are retained this many rounds below the commit
+/// frontier so lagging replicas can stream them; anything older is
+/// garbage-collected (with byte accounting in gc_stats()).
+inline constexpr Round kBlockRetention = 128;
+
+/// Maximum blocks one HsBlockBatchMsg carries. The requester's
+/// have_round is attacker-controlled, so servers clamp every reply to
+/// this span; a deeper gap is bridged by jump-adopting the newest
+/// certified span (snapshot-like) and streaming forward from there.
+inline constexpr Round kMaxBlockSpan = 64;
+
+/// Retry budget for one catch-up episode with no progress (lag
+/// evidence can be forged); any real progress resets it.
+inline constexpr std::size_t kMaxCatchUpAttempts = 12;
 
 struct QuorumCert {
   Round round = 0;               ///< Round of the certified block.
@@ -79,6 +96,38 @@ struct NewViewMsg final : sim::Message {
   const char* name() const override { return "HsNewView"; }
 };
 
+/// A lagging replica asking a peer for the blocks it missed above its
+/// commit frontier.
+struct HsCatchUpRequestMsg final : sim::Message {
+  Round have_round = 0;
+
+  std::size_t wire_size() const override { return 16 + kSigBytes; }
+  const char* name() const override { return "HsCatchUpRequest"; }
+};
+
+/// Run of blocks in round order. Entries with commit_proof >= quorum
+/// carry a (modeled) commit certificate and are adopted directly;
+/// entries with commit_proof 0 are the server's uncommitted suffix and
+/// go through the normal store/chain-rule path (their justify QCs are
+/// verified like any proposal's).
+struct HsBlockBatchMsg final : sim::Message {
+  struct Entry {
+    BlockPtr block;
+    std::size_t commit_proof = 0;
+  };
+  std::vector<Entry> entries;
+
+  std::size_t wire_size() const override {
+    std::size_t size = 16 + kSigBytes;
+    for (const Entry& e : entries) {
+      size += 48 + qc_bytes(e.commit_proof) + e.block->justify.wire_size() +
+              (e.block->payload ? e.block->payload->wire_size() : 0);
+    }
+    return size;
+  }
+  const char* name() const override { return "HsBlockBatch"; }
+};
+
 class HotStuffApp {
  public:
   virtual ~HotStuffApp() = default;
@@ -110,12 +159,27 @@ class HotStuffCore {
   void payload_ready();
   void revalidate();
 
+  /// Crash-recovery hook: the node was down (or cut off) and missed
+  /// every message in the window. Probes peers for the blocks it
+  /// missed instead of resuming blind into round timeouts.
+  void on_restart();
+
   Round current_round() const { return cur_round_; }
   Round committed_round() const { return committed_round_; }
   bool is_leader() const {
     return leader_index(cur_round_, ctx_.n()) == ctx_.index();
   }
   std::uint64_t timeouts() const { return timeouts_; }
+  /// Catch-up batches this replica adopted blocks from.
+  std::uint64_t catch_up_batches() const { return catch_up_batches_; }
+  /// Peer rotations forced by unresponsive catch-up servers.
+  std::size_t sync_stalls() const { return sync_peer_.stalls(); }
+  /// Block-store bytes/items reclaimed below the retention window.
+  const core::GcStats& gc_stats() const { return gc_; }
+
+  /// Reseed the recovery jitter stream (deterministic per run; the
+  /// default derives from the node id alone).
+  void set_recovery_seed(std::uint64_t seed) { rng_ = Rng(seed); }
 
   /// Fault injection: paused nodes neither vote nor propose.
   void set_paused(bool paused) { paused_ = paused; }
@@ -153,12 +217,25 @@ class HotStuffCore {
   bool has_uncommitted_payload() const;
   void arm_round_timer();
   void on_round_timeout();
+  void note_lag(Round round, std::size_t from);
+  void begin_catch_up(std::size_t prefer);
+  void catch_up_tick();
+  void send_catch_up_request(bool broadcast);
+  void arm_catch_up_timer();
+  void finish_catch_up();
+  void on_catch_up_request(std::size_t from, const HsCatchUpRequestMsg& msg);
+  void on_block_batch(std::size_t from, const HsBlockBatchMsg& msg);
+  void adopt_committed(const BlockPtr& block, std::size_t commit_proof);
+  void prune_blocks();
 
   NodeContext ctx_;
   HotStuffApp& app_;
   BlockTracer* tracer_ = nullptr;
 
   std::unordered_map<Hash32, BlockPtr, HashKey> blocks_;
+  // Deterministic round-ordered index over blocks_, so log GC walks
+  // rounds in order instead of unordered-map iteration order.
+  std::multimap<Round, Hash32> blocks_by_round_;
   std::multimap<Hash32, BlockPtr, std::less<>> orphans_;  // keyed by parent
   Hash32 genesis_hash_ = kZeroHash;
 
@@ -183,6 +260,18 @@ class HotStuffCore {
   bool want_progress_ = false;
   sim::TimerHandle round_timer_;
   std::uint64_t timeouts_ = 0;
+
+  // --- Catch-up / recovery ---------------------------------------------
+  core::BackoffPolicy backoff_;
+  Rng rng_;
+  core::StallDetector sync_peer_;
+  sim::TimerHandle catch_up_timer_;
+  bool catching_up_ = false;
+  std::size_t catch_up_attempt_ = 0;
+  /// Highest round peers credibly reached (from orphaned proposals).
+  Round lag_round_ = 0;
+  std::uint64_t catch_up_batches_ = 0;
+  core::GcStats gc_;
 };
 
 }  // namespace predis::consensus::hotstuff

@@ -29,6 +29,8 @@ class HotStuffNode final : public sim::Actor, private HotStuffApp {
 
   void on_start() override { core_.start(); }
 
+  void on_restart() override { core_.on_restart(); }
+
   void on_message(NodeId from, const sim::MsgPtr& msg) override {
     if (const auto* req = dynamic_cast<const ClientRequestMsg*>(msg.get())) {
       enqueue(req->txs);

@@ -14,11 +14,35 @@ SharedMempoolNode::SharedMempoolNode(NodeContext ctx,
       ledger_(ledger),
       replies_(ctx_),
       core_(ctx_, *this),
-      rng_(config.seed ^ (0x51f15eedULL * (ctx_.index() + 1))) {}
+      rng_(config.seed ^ (0x51f15eedULL * (ctx_.index() + 1))),
+      fetch_peer_(ctx_.n(), ctx_.index()) {
+  // Fetch pacing starts near the base RTT and doubles toward the old
+  // fixed interval's neighborhood; jitter spreads simultaneous
+  // retriers (the post-heal pull storm) across the window.
+  fetch_backoff_.base = milliseconds(25);
+  fetch_backoff_.cap = std::max<SimTime>(cfg_.fetch_retry, milliseconds(400));
+}
 
 void SharedMempoolNode::on_start() {
   schedule_packing();
   core_.start();
+}
+
+void SharedMempoolNode::on_restart() {
+  // Consensus-side catch-up (missed blocks) …
+  core_.on_restart();
+  // … and mempool-side resync: re-offer own microblocks whose original
+  // broadcast (or its acks) may have been lost while down, and kick the
+  // fetch loop for any bodies still outstanding.
+  for (const auto& [key, mb] : pool_) {
+    if (key.first != ctx_.index()) continue;
+    if (certified_.count(key) != 0) continue;
+    auto msg = std::make_shared<MicroblockMsg>();
+    msg->mb = mb;
+    ctx_.broadcast(msg);
+  }
+  fetch_attempt_ = 0;
+  if (!fetching_.empty() && !fetch_timer_.scheduled()) retry_fetches();
 }
 
 void SharedMempoolNode::schedule_packing() {
@@ -134,6 +158,7 @@ bool SharedMempoolNode::handle_mempool(NodeId from, const sim::MsgPtr& msg) {
     return true;
   }
   if (const auto* m = dynamic_cast<const MbBatchMsg*>(msg.get())) {
+    bool progressed = false;
     for (const auto& mb : m->mbs) {
       const Key key{mb.producer, mb.index};
       // Fetched bodies come from arbitrary peers, so accept one only
@@ -145,7 +170,15 @@ bool SharedMempoolNode::handle_mempool(NodeId from, const sim::MsgPtr& msg) {
       if (pool_.count(key) == 0) {
         pool_.emplace(key, mb);
         fetching_.erase(key);
+        progressed = true;
       }
+    }
+    if (progressed) {
+      // The responder is serving us: keep asking it, reset the backoff.
+      const std::size_t idx = ctx_.index_of(from);
+      if (idx < ctx_.n()) fetch_peer_.prefer(idx);
+      fetch_peer_.on_progress();
+      fetch_attempt_ = 0;
     }
     core_.revalidate();
     return true;
@@ -224,8 +257,8 @@ Validity SharedMempoolNode::validate(
       if (producer < ctx_.n()) ctx_.send_to(producer, std::move(fetch));
     }
     if (!fetch_timer_.scheduled()) {
-      fetch_timer_ =
-          ctx_.after(cfg_.fetch_retry, [this] { retry_fetches(); });
+      fetch_timer_ = ctx_.after(fetch_backoff_.delay(fetch_attempt_, rng_),
+                                [this] { retry_fetches(); });
     }
   }
   return pending ? Validity::kPending : Validity::kValid;
@@ -233,22 +266,27 @@ Validity SharedMempoolNode::validate(
 
 void SharedMempoolNode::retry_fetches() {
   // The producer may have crashed; a certified microblock is held by at
-  // least ack_quorum nodes, so re-request outstanding bodies from a
-  // random peer until they arrive.
+  // least ack_quorum nodes, so re-request outstanding bodies — rotating
+  // away from a peer that keeps timing out — until they arrive. Pacing
+  // is capped jittered exponential backoff, not a fixed interval.
   std::vector<MicroblockRef> still_missing;
   for (const auto& [key, ref] : fetching_) {
     if (pool_.count(key) == 0) still_missing.push_back(ref);
   }
   fetching_.clear();
-  if (still_missing.empty()) return;
+  if (still_missing.empty()) {
+    fetch_attempt_ = 0;
+    return;
+  }
   for (const auto& ref : still_missing) fetching_.emplace(ref.key(), ref);
 
-  std::size_t target = rng_.next_below(ctx_.n());
-  if (target == ctx_.index()) target = (target + 1) % ctx_.n();
+  fetch_peer_.on_timeout();
+  ++fetch_attempt_;
   auto fetch = std::make_shared<MbFetchMsg>();
   fetch->refs = std::move(still_missing);
-  ctx_.send_to(target, std::move(fetch));
-  fetch_timer_ = ctx_.after(cfg_.fetch_retry, [this] { retry_fetches(); });
+  ctx_.send_to(fetch_peer_.peer(), std::move(fetch));
+  fetch_timer_ = ctx_.after(fetch_backoff_.delay(fetch_attempt_, rng_),
+                            [this] { retry_fetches(); });
 }
 
 void SharedMempoolNode::on_commit(hotstuff::Round round,
@@ -256,10 +294,24 @@ void SharedMempoolNode::on_commit(hotstuff::Round round,
   const auto& ids = dynamic_cast<const IdListPayload&>(*payload);
   std::vector<Transaction> txs;
   for (const auto& ref : ids.refs()) {
-    committed_.insert(ref.key());
+    if (committed_.insert(ref.key()).second) {
+      committed_order_.push_back(ref.key());
+    }
     const auto it = pool_.find(ref.key());
     if (it == pool_.end()) continue;  // certified elsewhere; body lagging
     txs.insert(txs.end(), it->second.txs.begin(), it->second.txs.end());
+  }
+  // Pool GC: committed bodies stay briefly to serve catch-up fetches
+  // from lagging replicas, then are reclaimed (byte-accounted).
+  while (committed_order_.size() > cfg_.pool_retention) {
+    const Key old = committed_order_.front();
+    committed_order_.pop_front();
+    const auto it = pool_.find(old);
+    if (it != pool_.end()) {
+      gc_.add(it->second.wire_size());
+      pool_.erase(it);
+    }
+    acks_.erase(old);
   }
   ledger_.on_commit(ctx_.index(), round, payload->digest(), txs.size(),
                     ctx_.now());

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "consensus/hotstuff/hotstuff_core.hpp"
 #include "consensus/payloads.hpp"
+#include "core/recovery.hpp"
 
 namespace predis::consensus::narwhal {
 
@@ -123,6 +124,10 @@ struct SharedMempoolConfig {
   std::size_t id_cap = 1000;  ///< Max ids per proposal (paper default).
   SimTime fetch_retry = milliseconds(150);
   std::uint64_t seed = 1;
+  /// Committed microblock bodies kept around (newest first) to serve
+  /// catch-up fetches from lagging replicas; older bodies are
+  /// garbage-collected with byte accounting.
+  std::size_t pool_retention = 512;
 };
 
 /// One consensus node running the certified shared mempool + HotStuff.
@@ -133,9 +138,13 @@ class SharedMempoolNode final : public sim::Actor,
                     CommitLedger& ledger);
 
   void on_start() override;
+  void on_restart() override;
   void on_message(NodeId from, const sim::MsgPtr& msg) override;
 
   hotstuff::HotStuffCore& core() { return core_; }
+
+  /// Committed-microblock bytes/items reclaimed from the pool.
+  const core::GcStats& gc_stats() const { return gc_; }
 
   /// Attach the shared lifecycle tracer (may be null): microblock
   /// production + availability certification feed the bundle stages,
@@ -184,6 +193,17 @@ class SharedMempoolNode final : public sim::Actor,
   std::set<Key> committed_;
   std::map<Key, MicroblockRef> fetching_;
   sim::TimerHandle fetch_timer_;
+
+  // Fetch pacing: capped jittered exponential backoff (replaces the
+  // old fixed-interval retry) plus stall-driven peer rotation, so a
+  // post-heal herd of fetchers desynchronizes instead of re-colliding.
+  core::BackoffPolicy fetch_backoff_;
+  core::StallDetector fetch_peer_;
+  std::size_t fetch_attempt_ = 0;
+
+  // Commit order of microblock keys, for pool GC.
+  std::deque<Key> committed_order_;
+  core::GcStats gc_;
 
   void retry_fetches();
 };

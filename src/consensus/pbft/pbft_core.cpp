@@ -9,7 +9,14 @@
 namespace predis::consensus::pbft {
 
 PbftCore::PbftCore(NodeContext ctx, PbftApp& app)
-    : ctx_(std::move(ctx)), app_(app) {}
+    : ctx_(std::move(ctx)),
+      app_(app),
+      // Default recovery jitter stream: deterministic per node id, so a
+      // run replays byte-identically; campaigns reseed per run via
+      // set_recovery_seed().
+      rng_(0x9e3779b97f4a7c15ULL ^
+           (static_cast<std::uint64_t>(ctx_.self()) + 1)),
+      sync_peer_(ctx_.n(), ctx_.index()) {}
 
 void PbftCore::start() {
   if (is_leader()) try_propose();
@@ -96,13 +103,27 @@ bool PbftCore::handle(NodeId from, const sim::MsgPtr& msg) {
     if (!paused_ && idx < ctx_.n()) on_state_snapshot(idx, *m);
     return true;
   }
+  if (const auto* m = dynamic_cast<const CatchUpRequestMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_catch_up_request(idx, *m);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const CatchUpBatchMsg*>(msg.get())) {
+    if (!paused_ && idx < ctx_.n()) on_catch_up_batch(idx, *m);
+    return true;
+  }
   return false;
 }
 
 void PbftCore::on_preprepare(std::size_t from, const PrePrepareMsg& msg) {
   if (msg.view != view_) return;
   if (from != leader_index(view_, ctx_.n())) return;
-  if (msg.seq <= last_exec_ || msg.seq > last_exec_ + kSeqWindow) return;
+  if (msg.seq <= last_exec_) return;
+  if (msg.seq > last_exec_ + kSeqWindow) {
+    // The leader is proposing far beyond our log window: we slept
+    // through whole slots. Start catching up from the leader.
+    note_lag(msg.seq, from);
+    return;
+  }
   if (msg.payload == nullptr) return;
 
   Slot& s = slot(msg.seq);
@@ -146,7 +167,10 @@ void PbftCore::revalidate(SeqNum seq) {
 
 void PbftCore::on_prepare(std::size_t from, const PrepareMsg& msg) {
   if (msg.view != view_ || msg.seq <= last_exec_) return;
-  if (msg.seq > last_exec_ + kSeqWindow) return;
+  if (msg.seq > last_exec_ + kSeqWindow) {
+    note_lag(msg.seq, from);
+    return;
+  }
   Slot& s = slot(msg.seq);
   s.prepares[msg.digest].insert(from);
   maybe_send_commit(msg.seq);
@@ -176,7 +200,10 @@ void PbftCore::maybe_send_commit(SeqNum seq) {
 
 void PbftCore::on_commit_msg(std::size_t from, const CommitMsg& msg) {
   if (msg.view != view_ || msg.seq <= last_exec_) return;
-  if (msg.seq > last_exec_ + kSeqWindow) return;
+  if (msg.seq > last_exec_ + kSeqWindow) {
+    note_lag(msg.seq, from);
+    return;
+  }
   Slot& s = slot(msg.seq);
   s.commits[msg.digest].insert(from);
   maybe_execute(msg.seq);
@@ -198,9 +225,9 @@ void PbftCore::maybe_execute(SeqNum seq) {
   }
   // Executed slots stay in the log until a stable checkpoint covers
   // them: their prepared certificates are what a view change re-proposes
-  // to peers that have not executed this far yet.
-  slots_.erase(slots_.begin(),
-               slots_.upper_bound(std::min(stable_checkpoint_, seq)));
+  // to peers that have not executed this far yet, and their payloads
+  // are what catch-up batches stream to lagging replicas.
+  prune_slots_below(std::min(stable_checkpoint_, seq));
   maybe_checkpoint(seq);
 
   // With pipelining, the next slot may already have its commit quorum.
@@ -242,7 +269,10 @@ void PbftCore::maybe_checkpoint(SeqNum seq) {
 }
 
 void PbftCore::on_checkpoint(std::size_t from, const CheckpointMsg& msg) {
-  if (msg.seq > last_exec_ + kSeqWindow) return;
+  if (msg.seq > last_exec_ + kSeqWindow) {
+    note_lag(msg.seq, from);
+    return;
+  }
   auto& voters = ckpt_votes_[msg.seq][msg.digest];
   voters.insert(from);
   if (voters.size() >= ctx_.quorum()) {
@@ -253,25 +283,17 @@ void PbftCore::on_checkpoint(std::size_t from, const CheckpointMsg& msg) {
       // certificates) below the stable checkpoint.
       ckpt_votes_.erase(ckpt_votes_.begin(),
                         ckpt_votes_.lower_bound(stable_checkpoint_));
-      slots_.erase(slots_.begin(),
-                   slots_.upper_bound(std::min(stable_checkpoint_,
-                                               last_exec_)));
+      prune_slots_below(std::min(stable_checkpoint_, last_exec_));
     }
     // A certified checkpoint far ahead of our execution means we missed
-    // whole slots (e.g. we were offline): fetch state.
+    // whole slots (e.g. we were offline): catch up. Quorum-backed, so a
+    // single hostile voter cannot trigger this.
     if (checkpoint_interval_ > 0 &&
         stable_checkpoint_ >= last_exec_ + 2 * checkpoint_interval_) {
-      request_state_transfer();
+      if (stable_checkpoint_ > lag_target_) lag_target_ = stable_checkpoint_;
+      begin_catch_up(from);
     }
   }
-}
-
-void PbftCore::request_state_transfer() {
-  if (state_requested_) return;
-  state_requested_ = true;
-  auto msg = std::make_shared<StateRequestMsg>();
-  msg->have_seq = last_exec_;
-  ctx_.broadcast(msg);
 }
 
 void PbftCore::on_state_request(std::size_t from, const StateRequestMsg& msg) {
@@ -280,28 +302,214 @@ void PbftCore::on_state_request(std::size_t from, const StateRequestMsg& msg) {
   reply->seq = snapshot_seq_;
   reply->digest = snapshot_digest_;
   reply->blob = snapshot_blob_;
+  // Attach the checkpoint certificate when we hold one, so receivers
+  // that never saw the votes (down during the checkpoint) can verify.
+  reply->proof = ckpt_certs_.count(snapshot_seq_) != 0 ? ctx_.quorum() : 0;
   ctx_.send_to(from, std::move(reply));
 }
 
-void PbftCore::on_state_snapshot(std::size_t /*from*/,
+void PbftCore::on_state_snapshot(std::size_t from,
                                  const StateSnapshotMsg& msg) {
-  if (msg.seq <= last_exec_) {
-    state_requested_ = false;
-    return;
-  }
-  // Only adopt snapshots matching a quorum-certified checkpoint.
+  if (msg.seq <= last_exec_) return;
+  // Adopt only certified snapshots: either the (seq, digest) matches a
+  // quorum-certified checkpoint we observed ourselves, or the message
+  // carries a checkpoint certificate reaching quorum (modeled
+  // verification — a Byzantine sender cannot forge 2f + 1 signatures).
   const auto cert = ckpt_certs_.find(msg.seq);
-  if (cert == ckpt_certs_.end() || cert->second != msg.digest) return;
+  const bool certified =
+      (cert != ckpt_certs_.end() && cert->second == msg.digest) ||
+      msg.proof >= ctx_.quorum();
+  if (!certified) return;
 
+  adopt_snapshot(msg);
+  if (catching_up_) {
+    sync_peer_.prefer(from);
+    sync_peer_.on_progress();
+    catch_up_attempt_ = 0;
+    if (last_exec_ >= lag_target_) {
+      finish_catch_up();
+    } else {
+      // Snapshot landed us at a checkpoint boundary; stream the
+      // remaining executed slots from the same peer.
+      send_catch_up_request(false);
+      arm_catch_up_timer();
+    }
+  }
+}
+
+void PbftCore::adopt_snapshot(const StateSnapshotMsg& msg) {
   app_.apply_snapshot(msg.seq, msg.blob);
   last_exec_ = msg.seq;
   next_propose_ = last_exec_ + 1;
-  state_requested_ = false;
   ++state_transfers_;
-  slots_.erase(slots_.begin(), slots_.upper_bound(last_exec_));
+  prune_slots_below(last_exec_);
   disarm_view_timer();
   // Resume normal operation from the adopted state.
   if (is_leader()) try_propose();
+}
+
+// --- Catch-up protocol -------------------------------------------------
+
+void PbftCore::on_restart() {
+  if (paused_) return;
+  // The node was down or cut off: it may have missed arbitrarily many
+  // slots (and view changes). Probe every peer once — the first useful
+  // answer fixes the preferred sync peer — instead of resuming blind
+  // into a full view timeout.
+  finish_catch_up();
+  begin_catch_up(ctx_.n());
+}
+
+void PbftCore::note_lag(SeqNum seq, std::size_t from) {
+  const SeqNum capped = std::min(seq, last_exec_ + kSeqWindow);
+  if (capped > lag_target_) lag_target_ = capped;
+  begin_catch_up(from);
+}
+
+void PbftCore::begin_catch_up(std::size_t prefer) {
+  if (prefer < ctx_.n() && prefer != ctx_.index()) sync_peer_.prefer(prefer);
+  if (catching_up_) return;
+  catching_up_ = true;
+  catch_up_attempt_ = 0;
+  // With no preferred peer (restart probe) ask everyone; otherwise ask
+  // the peer whose message revealed the lag.
+  send_catch_up_request(prefer >= ctx_.n());
+  arm_catch_up_timer();
+}
+
+void PbftCore::send_catch_up_request(bool broadcast) {
+  auto msg = std::make_shared<CatchUpRequestMsg>();
+  msg->have_seq = last_exec_;
+  if (broadcast) {
+    ctx_.broadcast(msg);
+  } else {
+    ctx_.send_to(sync_peer_.peer(), std::move(msg));
+  }
+}
+
+void PbftCore::arm_catch_up_timer() {
+  catch_up_timer_.cancel();
+  catch_up_timer_ = ctx_.after(backoff_.delay(catch_up_attempt_, rng_),
+                               [this] { catch_up_tick(); });
+}
+
+void PbftCore::catch_up_tick() {
+  if (paused_ || !catching_up_) return;
+  if (last_exec_ >= lag_target_ && catch_up_attempt_ > 0) {
+    // Caught up (or the restart probe drew no evidence of lag).
+    finish_catch_up();
+    return;
+  }
+  if (catch_up_attempt_ >= kMaxCatchUpAttempts) {
+    // Nobody can serve this gap: the lag evidence was stale or forged
+    // (beyond-window garbage). Stand down; fresh evidence re-arms.
+    lag_target_ = last_exec_;
+    finish_catch_up();
+    return;
+  }
+  sync_peer_.on_timeout();  // rotates after repeated silence
+  ++catch_up_attempt_;
+  send_catch_up_request(false);
+  arm_catch_up_timer();
+}
+
+void PbftCore::finish_catch_up() {
+  catching_up_ = false;
+  catch_up_attempt_ = 0;
+  catch_up_timer_.cancel();
+}
+
+void PbftCore::on_catch_up_request(std::size_t from,
+                                   const CatchUpRequestMsg& msg) {
+  if (last_exec_ <= msg.have_seq) return;  // not ahead of the requester
+  // Bounds-check the requested span before serving: have_seq is
+  // attacker-controlled, so the reply is clamped to kMaxCatchUpSpan
+  // executed slots; the requester comes back for the rest.
+  const SeqNum first = msg.have_seq + 1;
+  const auto begin = slots_.find(first);
+  if (begin != slots_.end() && begin->second.executed) {
+    auto reply = std::make_shared<CatchUpBatchMsg>();
+    for (SeqNum seq = first;
+         seq <= last_exec_ && reply->entries.size() < kMaxCatchUpSpan;
+         ++seq) {
+      const auto it = slots_.find(seq);
+      if (it == slots_.end() || !it->second.executed) break;
+      // Each entry carries the slot's commit certificate (modeled as
+      // its signer count: we executed, so we saw a commit quorum).
+      reply->entries.push_back({seq, it->second.payload, ctx_.quorum()});
+    }
+    if (!reply->entries.empty()) {
+      ctx_.send_to(from, std::move(reply));
+      return;
+    }
+  }
+  // The gap starts below our pruned log floor: serve the certified
+  // snapshot instead; the requester streams the remainder afterwards.
+  if (snapshot_seq_ > msg.have_seq) {
+    auto reply = std::make_shared<StateSnapshotMsg>();
+    reply->seq = snapshot_seq_;
+    reply->digest = snapshot_digest_;
+    reply->blob = snapshot_blob_;
+    reply->proof = ckpt_certs_.count(snapshot_seq_) != 0 ? ctx_.quorum() : 0;
+    ctx_.send_to(from, std::move(reply));
+  }
+}
+
+void PbftCore::on_catch_up_batch(std::size_t from,
+                                 const CatchUpBatchMsg& msg) {
+  bool progressed = false;
+  for (const auto& e : msg.entries) {
+    if (e.seq != last_exec_ + 1) continue;  // in-order execution only
+    // Modeled commit-certificate check: an entry not backed by 2f + 1
+    // commit signatures is a fabrication and must not execute.
+    if (e.payload == nullptr || e.proof < ctx_.quorum()) continue;
+    Slot& s = slot(e.seq);
+    if (s.executed) continue;
+    s.view = view_;
+    s.payload = e.payload;
+    s.digest = e.payload->digest();
+    s.preprepared = true;
+    s.validity = Validity::kValid;  // certified: a quorum validated it
+    s.executed = true;
+    last_exec_ = e.seq;
+    if (tracer_ != nullptr) {
+      tracer_->record(TraceStage::kBlockCommitted, s.digest, ctx_.now());
+    }
+    app_.on_commit(e.seq, s.payload);
+    maybe_checkpoint(e.seq);
+    progressed = true;
+  }
+  if (!progressed) return;
+  ++catch_up_batches_;
+  if (next_propose_ <= last_exec_) next_propose_ = last_exec_ + 1;
+  sync_peer_.prefer(from);
+  sync_peer_.on_progress();
+  catch_up_attempt_ = 0;
+  if (catching_up_) {
+    const bool maybe_more = msg.entries.size() >= kMaxCatchUpSpan;
+    if (!maybe_more && last_exec_ >= lag_target_) {
+      finish_catch_up();
+    } else {
+      send_catch_up_request(false);
+      arm_catch_up_timer();
+    }
+  }
+  // Slots buffered while we lagged may already hold commit quorums.
+  maybe_execute(last_exec_ + 1);
+}
+
+void PbftCore::prune_slots_below(SeqNum floor) {
+  const auto end = slots_.upper_bound(floor);
+  for (auto it = slots_.begin(); it != end; ++it) {
+    const Slot& s = it->second;
+    std::size_t bytes = 48;  // header, digests, vote bookkeeping
+    if (s.payload != nullptr) bytes += s.payload->wire_size();
+    if (s.prepared_payload != nullptr && s.prepared_payload != s.payload) {
+      bytes += s.prepared_payload->wire_size();
+    }
+    gc_.add(bytes);
+  }
+  slots_.erase(slots_.begin(), end);
 }
 
 void PbftCore::arm_view_timer() {

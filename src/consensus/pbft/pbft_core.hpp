@@ -15,7 +15,9 @@
 #include <map>
 #include <set>
 
+#include "common/rng.hpp"
 #include "consensus/common.hpp"
+#include "core/recovery.hpp"
 
 namespace predis {
 class BlockTracer;
@@ -28,6 +30,19 @@ namespace predis::consensus::pbft {
 /// [h, h + L] log bound). Keeps a hostile peer spraying absurd sequence
 /// numbers from growing the slot/checkpoint vote logs without bound.
 inline constexpr SeqNum kSeqWindow = 4096;
+
+/// Maximum executed slots one CatchUpBatchMsg carries. The gap a
+/// catch-up request reports is attacker-controlled (have_seq can be
+/// absurdly low), so servers clamp every reply to this span and the
+/// requester comes back for the rest — one hostile request can never
+/// make a replica serialize its whole log in one message.
+inline constexpr SeqNum kMaxCatchUpSpan = 64;
+
+/// Retry budget for one catch-up episode with no progress at all.
+/// Lag signals can be forged (a garbage beyond-window Commit), so a
+/// node stops probing after this many unanswered requests and re-arms
+/// only on fresh evidence. Any real progress resets the budget.
+inline constexpr std::size_t kMaxCatchUpAttempts = 12;
 
 struct PrePrepareMsg final : sim::Message {
   View view = 0;
@@ -122,17 +137,57 @@ struct StateRequestMsg final : sim::Message {
 };
 
 /// Snapshot at a checkpoint boundary. The receiver adopts it only if
-/// (seq, digest(blob-derived)) matches a quorum-certified checkpoint it
-/// has observed, so a single Byzantine sender cannot poison state.
+/// (seq, digest) matches a quorum-certified checkpoint it observed
+/// locally, or the attached checkpoint certificate (`proof` signers —
+/// modeled verification, as NewViewMsg::proof) reaches quorum. Either
+/// way a single Byzantine sender cannot poison state: it can neither
+/// mint a local cert nor forge 2f + 1 checkpoint signatures.
 struct StateSnapshotMsg final : sim::Message {
   SeqNum seq = 0;
   Hash32 digest = kZeroHash;
   Bytes blob;
+  /// Checkpoint-certificate size backing (seq, digest); 0 = none
+  /// attached (legacy path: receiver must hold its own cert).
+  std::size_t proof = 0;
 
   std::size_t wire_size() const override {
-    return 48 + kSigBytes + blob.size();
+    return 48 + kSigBytes + qc_bytes(proof) + blob.size();
   }
   const char* name() const override { return "StateSnapshot"; }
+};
+
+/// A lagging replica asking a peer to stream the executed slots it
+/// missed, starting just above `have_seq`. Answered with either a
+/// CatchUpBatchMsg (peer still retains those slots) or a certified
+/// StateSnapshotMsg (gap starts below the peer's pruned log floor).
+struct CatchUpRequestMsg final : sim::Message {
+  SeqNum have_seq = 0;
+
+  std::size_t wire_size() const override { return 16 + kSigBytes; }
+  const char* name() const override { return "CatchUpRequest"; }
+};
+
+/// Contiguous run of executed slots, each carried with its commit
+/// certificate (`proof` signers — modeled verification). The receiver
+/// executes entries in order; an entry whose certificate is below
+/// quorum is a fabrication and is skipped.
+struct CatchUpBatchMsg final : sim::Message {
+  struct Entry {
+    SeqNum seq = 0;
+    PayloadPtr payload;
+    std::size_t proof = 0;
+  };
+  std::vector<Entry> entries;
+
+  std::size_t wire_size() const override {
+    std::size_t size = 16 + kSigBytes;
+    for (const Entry& e : entries) {
+      size += 16 + qc_bytes(e.proof) +
+              (e.payload ? e.payload->wire_size() : 0);
+    }
+    return size;
+  }
+  const char* name() const override { return "CatchUpBatch"; }
 };
 
 /// Application hooks: what gets ordered and what happens on commit.
@@ -184,12 +239,28 @@ class PbftCore {
   /// App signal: a kPending validation may now succeed.
   void revalidate(SeqNum seq);
 
+  /// Crash-recovery hook (sim::Actor::on_restart forwards here): the
+  /// node was down (or partitioned) and missed every message in the
+  /// window. Probes peers for the slots it missed instead of resuming
+  /// blind and burning view timeouts.
+  void on_restart();
+
   View view() const { return view_; }
   bool is_leader() const { return leader_index(view_, ctx_.n()) == ctx_.index(); }
   SeqNum last_executed() const { return last_exec_; }
   std::uint64_t view_changes() const { return view_changes_; }
   SeqNum stable_checkpoint() const { return stable_checkpoint_; }
   std::uint64_t state_transfers() const { return state_transfers_; }
+  /// Catch-up batches this replica executed from (recovery metric).
+  std::uint64_t catch_up_batches() const { return catch_up_batches_; }
+  /// Peer rotations forced by unresponsive catch-up servers.
+  std::size_t sync_stalls() const { return sync_peer_.stalls(); }
+  /// Log bytes/items reclaimed by stable-checkpoint pruning.
+  const core::GcStats& gc_stats() const { return gc_; }
+
+  /// Reseed the recovery jitter stream (deterministic per run; the
+  /// default derives from the node id alone).
+  void set_recovery_seed(std::uint64_t seed) { rng_ = Rng(seed); }
 
   /// Checkpoint every this-many executed slots (0 disables).
   void set_checkpoint_interval(SeqNum interval) {
@@ -248,8 +319,17 @@ class PbftCore {
   void on_checkpoint(std::size_t from, const CheckpointMsg& msg);
   void on_state_request(std::size_t from, const StateRequestMsg& msg);
   void on_state_snapshot(std::size_t from, const StateSnapshotMsg& msg);
+  void on_catch_up_request(std::size_t from, const CatchUpRequestMsg& msg);
+  void on_catch_up_batch(std::size_t from, const CatchUpBatchMsg& msg);
   void maybe_checkpoint(SeqNum seq);
-  void request_state_transfer();
+  void note_lag(SeqNum seq, std::size_t from);
+  void begin_catch_up(std::size_t prefer);
+  void catch_up_tick();
+  void send_catch_up_request(bool broadcast);
+  void arm_catch_up_timer();
+  void finish_catch_up();
+  void adopt_snapshot(const StateSnapshotMsg& msg);
+  void prune_slots_below(SeqNum floor);
   void maybe_send_prepare(SeqNum seq);
   void maybe_send_commit(SeqNum seq);
   void maybe_execute(SeqNum seq);
@@ -277,7 +357,6 @@ class PbftCore {
   SeqNum checkpoint_interval_ = 16;
   SeqNum stable_checkpoint_ = 0;
   std::uint64_t state_transfers_ = 0;
-  bool state_requested_ = false;
   // Vote collection: seq -> digest -> voters.
   std::map<SeqNum, std::map<Hash32, std::set<std::size_t>>> ckpt_votes_;
   // Quorum-certified checkpoints we observed: seq -> digest.
@@ -286,6 +365,18 @@ class PbftCore {
   SeqNum snapshot_seq_ = 0;
   Hash32 snapshot_digest_ = kZeroHash;
   Bytes snapshot_blob_;
+
+  // --- Catch-up / recovery ---------------------------------------------
+  core::BackoffPolicy backoff_;
+  Rng rng_;
+  core::StallDetector sync_peer_;
+  sim::TimerHandle catch_up_timer_;
+  bool catching_up_ = false;
+  std::size_t catch_up_attempt_ = 0;
+  /// Highest slot peers credibly claim exists (capped by kSeqWindow).
+  SeqNum lag_target_ = 0;
+  std::uint64_t catch_up_batches_ = 0;
+  core::GcStats gc_;
 };
 
 }  // namespace predis::consensus::pbft

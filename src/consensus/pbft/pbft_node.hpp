@@ -7,6 +7,8 @@
 #include <deque>
 #include <set>
 
+#include "common/codec.hpp"
+#include "common/sha256.hpp"
 #include "consensus/payloads.hpp"
 #include "consensus/pbft/pbft_core.hpp"
 
@@ -33,6 +35,8 @@ class PbftNode final : public sim::Actor, private PbftApp {
   }
 
   void on_start() override { core_.start(); }
+
+  void on_restart() override { core_.on_restart(); }
 
   void on_message(NodeId from, const sim::MsgPtr& msg) override {
     if (const auto* req = dynamic_cast<const ClientRequestMsg*>(msg.get())) {
@@ -103,6 +107,7 @@ class PbftNode final : public sim::Actor, private PbftApp {
     // everyone, so replicas hold duplicates of what the leader packed).
     std::set<TxKey> committed;
     for (const auto& tx : batch.txs()) committed.insert({tx.client, tx.seq});
+    committed_keys_.insert(committed.begin(), committed.end());
     std::deque<Transaction> remaining;
     for (auto& tx : queue_) {
       if (committed.count({tx.client, tx.seq}) == 0) {
@@ -120,6 +125,48 @@ class PbftNode final : public sim::Actor, private PbftApp {
     if (!queue_.empty()) core_.payload_ready();
   }
 
+  // --- Checkpointing (state = the set of committed tx keys) ------------
+  // Snapshots let a replica that slept through whole slots fast-forward
+  // *and* purge its local queue: without the purge it re-proposes
+  // transactions that already committed while it was down, landing the
+  // same payload at a second slot (the churn-storm double count).
+
+  Bytes snapshot_bytes() const {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(committed_keys_.size()));
+    for (const auto& [client, seq] : committed_keys_) {
+      w.u32(client);
+      w.u64(seq);
+    }
+    return std::move(w).take();
+  }
+
+  Hash32 state_digest() override {
+    const Bytes bytes = snapshot_bytes();
+    return Sha256::hash(BytesView{bytes});
+  }
+
+  Bytes make_snapshot() override { return snapshot_bytes(); }
+
+  void apply_snapshot(SeqNum /*seq*/, BytesView blob) override {
+    Reader r(blob);
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const NodeId client = r.u32();
+      const TxSeq seq = r.u64();
+      const TxKey key{client, seq};
+      committed_keys_.insert(key);
+      seen_.insert(key);  // do not re-queue on client rebroadcast
+    }
+    std::deque<Transaction> remaining;
+    for (auto& tx : queue_) {
+      if (committed_keys_.count({tx.client, tx.seq}) == 0) {
+        remaining.push_back(tx);
+      }
+    }
+    queue_ = std::move(remaining);
+  }
+
   NodeContext ctx_;
   PbftNodeConfig cfg_;
   CommitLedger& ledger_;
@@ -127,6 +174,7 @@ class PbftNode final : public sim::Actor, private PbftApp {
   PbftCore core_;
   std::deque<Transaction> queue_;
   std::set<TxKey> seen_;
+  std::set<TxKey> committed_keys_;
 };
 
 }  // namespace predis::consensus::pbft

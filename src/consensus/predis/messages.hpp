@@ -2,6 +2,7 @@
 #pragma once
 
 #include "bundle/predis_block.hpp"
+#include "consensus/common.hpp"
 #include "sim/message.hpp"
 
 namespace predis::consensus::predis {
@@ -33,6 +34,24 @@ struct BundleBatchMsg final : sim::Message {
     return size;
   }
   const char* name() const override { return "BundleBatch"; }
+};
+
+/// Rejoin resync probe: a restarted node asks peers for their mempool
+/// tip lists so it can pull the bundle backlog it slept through instead
+/// of waiting for the next block proposal to reveal the gaps.
+struct TipsProbeMsg final : sim::Message {
+  std::size_t wire_size() const override { return 16 + kSigBytes; }
+  const char* name() const override { return "TipsProbe"; }
+};
+
+/// Reply to a TipsProbeMsg: the responder's contiguous tip heights.
+struct TipsReplyMsg final : sim::Message {
+  std::vector<BundleHeight> tips;
+
+  std::size_t wire_size() const override {
+    return 16 + kSigBytes + tips.size() * 8;
+  }
+  const char* name() const override { return "TipsReply"; }
 };
 
 /// Gossip of equivocation evidence: two conflicting signed headers from

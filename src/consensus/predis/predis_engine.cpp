@@ -15,8 +15,14 @@ PredisEngine::PredisEngine(NodeContext& ctx, PredisConfig config,
       mempool_(ctx.n(), std::move(keys)),
       own_key_(std::move(own_key)),
       rng_(config.seed ^ (0x9e3779b9ULL * (ctx.index() + 1))),
-      last_cut_(ctx.n(), 0) {
+      last_cut_(ctx.n(), 0),
+      fetch_peer_(ctx.n(), ctx.index()) {
   mempool_.set_gc_retention(cfg_.gc_retention);
+  // Backoff starts well under the old fixed interval (fast first retry)
+  // and caps at or above it, so a single drop recovers sooner while a
+  // persistent withholder is probed at a bounded, jittered cadence.
+  fetch_backoff_.base = milliseconds(25);
+  fetch_backoff_.cap = std::max<SimTime>(cfg_.fetch_retry, milliseconds(400));
   // Every conflict the mempool detects — including those found while
   // re-validating buffered out-of-order bundles, where add_bundle's
   // evidence out-param is not on the stack — must arm the rejoin timer
@@ -33,6 +39,35 @@ PredisEngine::PredisEngine(NodeContext& ctx, PredisConfig config,
 void PredisEngine::start() {
   if (cfg_.fault == FaultMode::kSilent) return;
   schedule_production();
+}
+
+void PredisEngine::on_restart() {
+  if (cfg_.fault == FaultMode::kSilent) return;
+  // Reset the fetch ladder: whatever cadence we were on before the
+  // outage is stale, and the first post-heal retry should be fast.
+  fetch_attempt_ = 0;
+  fetch_peer_.on_progress();
+
+  // Resync mempool tips before producing (§III-D rejoin): ask every
+  // peer where its chains stand so the bundle backlog we slept through
+  // is pulled proactively instead of waiting for the next proposal's
+  // missing-bundle refs.
+  ctx_.broadcast(std::make_shared<TipsProbeMsg>());
+
+  // Re-announce our own chain tip. Bundles we produced right before
+  // (or during) the outage never reached anyone; re-sending the newest
+  // one makes peers notice the gap and fetch the suffix, which unblocks
+  // the cutting rule for our chain.
+  const Bundle* own = mempool_.chain(ctx_.index()).latest();
+  if (own != nullptr && !mempool_.is_banned(static_cast<NodeId>(ctx_.index()))) {
+    disseminate(*own);
+  }
+
+  // Kick the retry loop if fetches were in flight when we went down.
+  if (!outstanding_fetches_.empty() && !fetch_timer_.scheduled()) {
+    fetch_timer_ = ctx_.after(fetch_backoff_.delay(fetch_attempt_, rng_),
+                              [this] { retry_fetches(); });
+  }
 }
 
 void PredisEngine::schedule_production() {
@@ -175,6 +210,30 @@ bool PredisEngine::handle(NodeId from, const sim::MsgPtr& msg) {
     for (const auto& bundle : m->bundles) add_bundle(from, bundle);
     return true;
   }
+  if (dynamic_cast<const TipsProbeMsg*>(msg.get()) != nullptr) {
+    auto reply = std::make_shared<TipsReplyMsg>();
+    reply->tips = mempool_.tip_list();
+    ctx_.send_node(from, std::move(reply));
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const TipsReplyMsg*>(msg.get())) {
+    // Backlog pull: fetch the span between our contiguous height and the
+    // responder's tip on every chain, capped per chain so a forged reply
+    // claiming absurd heights costs O(kMaxFetchSpan), not O(claim).
+    std::vector<MissingBundleRef> refs;
+    for (std::size_t i = 0;
+         i < m->tips.size() && i < mempool_.chain_count(); ++i) {
+      if (i == ctx_.index()) continue;  // only we extend our own chain
+      const BundleHeight from_h = mempool_.chain(i).contiguous_height() + 1;
+      const BundleHeight to_h =
+          std::min(m->tips[i], from_h + kMaxFetchSpan - 1);
+      for (BundleHeight h = from_h; h <= to_h; ++h) {
+        refs.push_back({static_cast<NodeId>(i), h});
+      }
+    }
+    if (!refs.empty()) request_missing(refs, from);
+    return true;
+  }
   if (const auto* m = dynamic_cast<const ConflictMsg*>(msg.get())) {
     const auto& ev = m->evidence;
     // Believe the evidence only if both headers are properly signed by
@@ -237,8 +296,13 @@ void PredisEngine::add_bundle(NodeId from, const Bundle& bundle) {
   const AddBundleResult result = mempool_.add(bundle);
   switch (result) {
     case AddBundleResult::kAdded: {
-      outstanding_fetches_.erase({bundle.header.producer,
-                                  bundle.header.height});
+      if (outstanding_fetches_.erase({bundle.header.producer,
+                                      bundle.header.height}) > 0) {
+        // A fetch was answered: current peer is serving us, restart the
+        // backoff ladder from the fast end.
+        fetch_peer_.on_progress();
+        fetch_attempt_ = 0;
+      }
       if (tracer_ != nullptr) {
         tracer_->record_store(bundle.header.hash(), ctx_.now(),
                               static_cast<NodeId>(ctx_.index()));
@@ -341,13 +405,17 @@ void PredisEngine::request_missing(const std::vector<MissingBundleRef>& refs,
     ctx_.send_node(ctx_.node(chain), std::move(msg));
   }
   if (!outstanding_fetches_.empty() && !fetch_timer_.scheduled()) {
-    fetch_timer_ = ctx_.after(cfg_.fetch_retry, [this] { retry_fetches(); });
+    fetch_timer_ = ctx_.after(fetch_backoff_.delay(fetch_attempt_, rng_),
+                              [this] { retry_fetches(); });
   }
 }
 
 void PredisEngine::retry_fetches() {
-  // Drop satisfied refs, re-request the rest from a random *other* node
-  // ("other available nodes", §III-D) — the producer may be withholding.
+  // Drop satisfied refs, re-request the rest from *other available
+  // nodes* (§III-D) — the producer may be withholding. The stall
+  // detector walks a deterministic peer ladder instead of rolling a
+  // random target, and the jittered backoff spreads re-requests from
+  // nodes that healed at the same instant.
   std::vector<MissingBundleRef> still_missing;
   for (const auto& [chain, height] : outstanding_fetches_) {
     if (!mempool_.chain(chain).has(height)) {
@@ -355,18 +423,23 @@ void PredisEngine::retry_fetches() {
     }
   }
   outstanding_fetches_.clear();
-  if (still_missing.empty()) return;
+  if (still_missing.empty()) {
+    fetch_attempt_ = 0;
+    fetch_peer_.on_progress();
+    return;
+  }
 
   for (const auto& ref : still_missing) {
     outstanding_fetches_.insert({ref.chain, ref.height});
   }
-  std::size_t target = rng_.next_below(ctx_.n());
-  if (target == ctx_.index()) target = (target + 1) % ctx_.n();
+  fetch_peer_.on_timeout();
+  fetch_attempt_ += 1;
   auto msg = std::make_shared<BundleFetchMsg>();
   msg->refs = std::move(still_missing);
-  ctx_.send_to(target, std::move(msg));
+  ctx_.send_to(fetch_peer_.peer(), std::move(msg));
 
-  fetch_timer_ = ctx_.after(cfg_.fetch_retry, [this] { retry_fetches(); });
+  fetch_timer_ = ctx_.after(fetch_backoff_.delay(fetch_attempt_, rng_),
+                            [this] { retry_fetches(); });
 }
 
 void PredisEngine::commit_block(std::uint64_t slot,
@@ -389,7 +462,11 @@ void PredisEngine::fast_forward(const std::vector<BundleHeight>& cut,
 void PredisEngine::flush_deferred() {
   while (!deferred_commits_.empty()) {
     const auto it = deferred_commits_.begin();
-    const auto* pp = dynamic_cast<const PredisPayload*>(it->second.get());
+    // Hold the payload past the erase below: once the consensus core
+    // GC's its slot log, this map entry may be the last owner, and
+    // `block` must outlive the execution callbacks.
+    const PayloadPtr payload = it->second;
+    const auto* pp = dynamic_cast<const PredisPayload*>(payload.get());
     if (pp == nullptr) {
       deferred_commits_.erase(it);
       continue;

@@ -16,6 +16,7 @@
 #include "consensus/common.hpp"
 #include "consensus/payloads.hpp"
 #include "consensus/predis/messages.hpp"
+#include "core/recovery.hpp"
 
 namespace predis {
 class BlockTracer;
@@ -80,6 +81,12 @@ class PredisEngine {
 
   /// Start the continuous bundle-production loop.
   void start();
+
+  /// Rejoin resync (crash-recovery): probe peers for their mempool tip
+  /// lists, pull the bundle backlog we slept through, re-announce our
+  /// own chain tip, and restart any stalled fetch retry loop. Called by
+  /// the embedding node's on_restart before consensus resumes producing.
+  void on_restart();
 
   /// Client transactions enter the local bundle queue here.
   void enqueue(const std::vector<Transaction>& txs);
@@ -152,6 +159,19 @@ class PredisEngine {
   Mempool& mempool() { return mempool_; }
   const PredisConfig& config() const { return cfg_; }
 
+  /// Bundle bodies reclaimed by mempool GC, summed over all chains.
+  core::GcStats gc_stats() const {
+    core::GcStats gc;
+    for (std::size_t i = 0; i < mempool_.chain_count(); ++i) {
+      gc.bytes += mempool_.chain(i).gc_bytes();
+      gc.items += mempool_.chain(i).gc_items();
+    }
+    return gc;
+  }
+
+  /// Stall-detector escalations of the missing-bundle fetch loop.
+  std::size_t fetch_stalls() const { return fetch_peer_.stalls(); }
+
   /// Number of transactions waiting to be packed into bundles.
   std::size_t queue_depth() const { return tx_queue_.size(); }
 
@@ -199,6 +219,15 @@ class PredisEngine {
   // Outstanding fetches: refs we asked for and have not yet received.
   std::set<std::pair<NodeId, BundleHeight>> outstanding_fetches_;
   sim::TimerHandle fetch_timer_;
+
+  // Fetch pacing: capped jittered exponential backoff replaces the old
+  // fixed fetch_retry interval, and a stall detector rotates the target
+  // peer deterministically instead of picking one at random — so a
+  // withholding producer is routed around and a post-heal fetcher herd
+  // desynchronizes.
+  core::BackoffPolicy fetch_backoff_;
+  core::StallDetector fetch_peer_;
+  std::size_t fetch_attempt_ = 0;
 
   // Committed blocks whose bundles have not all arrived yet.
   std::map<std::uint64_t, PayloadPtr> deferred_commits_;

@@ -42,6 +42,14 @@ class PredisPbftNode final : public sim::Actor, private pbft::PbftApp {
     core_.start();
   }
 
+  void on_restart() override {
+    // Mempool tips resync first, so by the time the consensus core's
+    // catch-up lands on a Predis block the bundle backlog is already
+    // being pulled (deferred commits then flush instead of stalling).
+    engine_.on_restart();
+    core_.on_restart();
+  }
+
   void on_message(NodeId from, const sim::MsgPtr& msg) override {
     if (const auto* req = dynamic_cast<const ClientRequestMsg*>(msg.get())) {
       engine_.enqueue(req->txs);
@@ -174,6 +182,11 @@ class PredisHotStuffNode final : public sim::Actor,
   void on_start() override {
     engine_.start();
     core_.start();
+  }
+
+  void on_restart() override {
+    engine_.on_restart();  // tips resync before consensus resumes
+    core_.on_restart();
   }
 
   void on_message(NodeId from, const sim::MsgPtr& msg) override {

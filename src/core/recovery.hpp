@@ -1,0 +1,197 @@
+// Cross-protocol crash-recovery and state-sync primitives.
+//
+// Every protocol dialect (PBFT, HotStuff, Predis, Narwhal/Stratus) and
+// the Multi-Zone distribution layer shares the same recovery shape:
+//   * periodic ledger checkpoints (height + block hash + ban-list
+//     digest) that become *stable* at 2f + 1 matching votes;
+//   * a peer catch-up loop that requests missing blocks/bundles in
+//     bounded spans from rotating peers, paced by a capped jittered
+//     exponential backoff, with a stall detector that escalates to a
+//     different peer after repeated timeouts against the same one;
+//   * log garbage-collection below the last stable checkpoint, with
+//     byte accounting so recovery campaigns can report reclaimed space.
+//
+// Everything here is header-only and deterministic: all jitter comes
+// from a caller-owned seeded Rng, so two runs with the same seed replay
+// the exact same retry cadence. Lower layers (consensus, multizone)
+// include this header without linking predis_core.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "common/rng.hpp"
+#include "common/sha256.hpp"
+#include "common/types.hpp"
+
+namespace predis::core {
+
+// ---------------------------------------------------------------------
+// Backoff
+// ---------------------------------------------------------------------
+
+/// Capped jittered exponential backoff: attempt k waits
+/// min(cap, base * 2^k), randomized down by up to `jitter` of itself.
+/// Jittered retries desynchronize the recovery traffic of nodes that
+/// healed at the same instant (partition heal, churn restart), which is
+/// what keeps the post-heal pull storm off the p99 tail.
+struct BackoffPolicy {
+  SimTime base = milliseconds(25);
+  SimTime cap = milliseconds(400);
+  /// Fraction of the computed delay that is randomized (0 = fixed).
+  double jitter = 0.5;
+
+  SimTime delay(std::size_t attempt, Rng& rng) const {
+    SimTime d = base;
+    for (std::size_t i = 0; i < attempt && d < cap; ++i) d *= 2;
+    if (d > cap) d = cap;
+    if (jitter <= 0.0 || d <= 1) return d;
+    const auto spread = static_cast<std::uint64_t>(
+        static_cast<double>(d) * (jitter < 1.0 ? jitter : 1.0));
+    if (spread == 0) return d;
+    return d - static_cast<SimTime>(rng.next_below(spread + 1));
+  }
+};
+
+// ---------------------------------------------------------------------
+// Peer rotation + stall detection
+// ---------------------------------------------------------------------
+
+/// Picks the peer a catch-up request goes to. Requests start at a
+/// preferred peer (the block producer, the digest sender, the current
+/// leader); after `stall_after` consecutive timeouts against the same
+/// peer the detector escalates to the next peer in a deterministic
+/// ladder that skips `self`.
+class StallDetector {
+ public:
+  StallDetector(std::size_t n, std::size_t self, std::size_t stall_after = 2)
+      : n_(n), self_(self), stall_after_(stall_after < 1 ? 1 : stall_after) {}
+
+  /// Aim the next request burst at `peer` (e.g. the original sender).
+  void prefer(std::size_t peer) {
+    if (peer < n_ && peer != self_) {
+      current_ = peer;
+      timeouts_ = 0;
+    }
+  }
+
+  /// The peer the next request should go to.
+  std::size_t peer() const { return current_ < n_ ? current_ : next_from(0); }
+
+  /// A request timed out. Returns true when the detector escalated to a
+  /// different peer (the previous one is considered stalled).
+  bool on_timeout() {
+    ++timeouts_;
+    if (timeouts_ < stall_after_) return false;
+    timeouts_ = 0;
+    current_ = next_from(peer() + 1);
+    ++stalls_;
+    return true;
+  }
+
+  /// Progress was made; the current peer is serving us fine.
+  void on_progress() { timeouts_ = 0; }
+
+  std::size_t stalls() const { return stalls_; }
+
+ private:
+  std::size_t next_from(std::size_t start) const {
+    if (n_ <= 1) return self_;
+    std::size_t p = start % n_;
+    if (p == self_) p = (p + 1) % n_;
+    return p;
+  }
+
+  std::size_t n_;
+  std::size_t self_;
+  std::size_t stall_after_;
+  std::size_t current_ = static_cast<std::size_t>(-1);
+  std::size_t timeouts_ = 0;
+  std::size_t stalls_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------
+
+/// One ledger checkpoint: how far execution got, the hash of the block
+/// that got it there, and the digest of the ban list at that point (a
+/// rejoining node must adopt bans it slept through, or it keeps
+/// accepting bundles from a producer everyone else evicted).
+struct CheckpointRecord {
+  std::uint64_t height = 0;
+  Hash32 block_hash = kZeroHash;
+  Hash32 ban_digest = kZeroHash;
+
+  Hash32 digest() const {
+    Writer w;
+    w.u64(height);
+    w.hash(block_hash);
+    w.hash(ban_digest);
+    return Sha256::hash(BytesView{w.data()});
+  }
+
+  static Hash32 ban_list_digest(const std::set<NodeId>& banned) {
+    Writer w;
+    w.u64(banned.size());
+    for (NodeId id : banned) w.u32(id);
+    return Sha256::hash(BytesView{w.data()});
+  }
+};
+
+/// Collects checkpoint votes per (height, digest); a checkpoint becomes
+/// stable once `quorum` distinct voters agree (2f + 1 of 3f + 1). Keeps
+/// only votes at or above the last stable height, so a hostile voter
+/// spraying heights cannot grow the map without bound (callers should
+/// additionally window heights, as PBFT's kSeqWindow does).
+class CheckpointQuorum {
+ public:
+  explicit CheckpointQuorum(std::size_t quorum) : quorum_(quorum) {}
+
+  /// Record a vote; returns true when this vote made a *new* highest
+  /// checkpoint stable.
+  bool vote(std::size_t voter, const CheckpointRecord& record) {
+    auto& voters = votes_[record.height][record.digest()];
+    voters.insert(voter);
+    if (voters.size() < quorum_ || record.height <= stable_.height) {
+      return false;
+    }
+    stable_ = record;
+    votes_.erase(votes_.begin(), votes_.lower_bound(stable_.height));
+    return true;
+  }
+
+  const CheckpointRecord& stable() const { return stable_; }
+  bool has_stable() const { return stable_.height > 0; }
+
+ private:
+  std::size_t quorum_;
+  CheckpointRecord stable_;
+  // height -> record digest -> voters.
+  std::map<std::uint64_t, std::map<Hash32, std::set<std::size_t>>> votes_;
+};
+
+// ---------------------------------------------------------------------
+// Garbage-collection accounting
+// ---------------------------------------------------------------------
+
+/// Bytes and items reclaimed by pruning logs below a stable checkpoint.
+/// Recovery campaigns sum these across nodes into BENCH_recovery.json.
+struct GcStats {
+  std::uint64_t bytes = 0;
+  std::uint64_t items = 0;
+
+  void add(std::uint64_t item_bytes) {
+    bytes += item_bytes;
+    ++items;
+  }
+  void merge(const GcStats& other) {
+    bytes += other.bytes;
+    items += other.items;
+  }
+};
+
+}  // namespace predis::core

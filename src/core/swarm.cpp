@@ -1,9 +1,11 @@
 #include "core/swarm.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "common/codec.hpp"
+#include "core/recovery.hpp"
 #include "common/metrics_registry.hpp"
 #include "consensus/hotstuff/hotstuff_node.hpp"
 #include "consensus/narwhal/shared_mempool.hpp"
@@ -81,14 +83,30 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
   if (cfg.protocol == Protocol::kPredisPbft) icfg.check_chain_link = true;
   InvariantChecker inv(icfg);
 
-  ledger.set_observer([&inv](std::size_t node_index, std::uint64_t slot,
-                             const Hash32& digest, std::size_t /*tx_count*/,
-                             SimTime when) {
+  // Per-node first commit at-or-after the heal instant: the recovery
+  // campaign's time-to-catch-up is the slowest node's gap to it.
+  const SimTime healed_at = faults.healed_by();
+  std::vector<SimTime> first_commit_after_heal(cfg.n_consensus, 0);
+  ledger.set_observer([&inv, &first_commit_after_heal, healed_at](
+                          std::size_t node_index, std::uint64_t slot,
+                          const Hash32& digest, std::size_t /*tx_count*/,
+                          SimTime when) {
     inv.on_commit(node_index, slot, digest, when);
+    if (healed_at > 0 && when >= healed_at &&
+        node_index < first_commit_after_heal.size() &&
+        first_commit_after_heal[node_index] == 0) {
+      first_commit_after_heal[node_index] = when;
+    }
   });
 
   std::vector<std::unique_ptr<sim::Actor>> actors;
   std::vector<predis::PredisEngine*> engines(cfg.n_consensus, nullptr);
+  // Typed core handles kept alongside the type-erased actors so the
+  // collect block can read recovery counters (catch-up batches, stall
+  // escalations, GC accounting) without reflection.
+  std::vector<pbft::PbftCore*> pbft_cores(cfg.n_consensus, nullptr);
+  std::vector<hotstuff::HotStuffCore*> hs_cores(cfg.n_consensus, nullptr);
+  std::vector<narwhal::SharedMempoolNode*> pools(cfg.n_consensus, nullptr);
   for (std::size_t i = 0; i < cfg.n_consensus; ++i) {
     NodeContext ctx(net, consensus_ids[i], ccfg);
     switch (cfg.protocol) {
@@ -96,6 +114,8 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
         pbft::PbftNodeConfig ncfg;
         auto node = std::make_unique<pbft::PbftNode>(ctx, ncfg, ledger);
         node->core().set_tracer(&block_tracer);
+        node->core().set_recovery_seed(cfg.seed ^ ((i + 1) * 0x9e3779b9ULL));
+        pbft_cores[i] = &node->core();
         actors.push_back(std::move(node));
         break;
       }
@@ -104,6 +124,8 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
         auto node =
             std::make_unique<hotstuff::HotStuffNode>(ctx, ncfg, ledger);
         node->core().set_tracer(&block_tracer);
+        node->core().set_recovery_seed(cfg.seed ^ ((i + 1) * 0x9e3779b9ULL));
+        hs_cores[i] = &node->core();
         actors.push_back(std::move(node));
         break;
       }
@@ -117,12 +139,18 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
               ctx, pcfg, keys, own, ledger);
           engines[i] = &node->engine();
           engines[i]->set_tracer(&block_tracer);
+          node->core().set_recovery_seed(cfg.seed ^
+                                         ((i + 1) * 0x9e3779b9ULL));
+          pbft_cores[i] = &node->core();
           actors.push_back(std::move(node));
         } else {
           auto node = std::make_unique<predis::PredisHotStuffNode>(
               ctx, pcfg, keys, own, ledger);
           engines[i] = &node->engine();
           engines[i]->set_tracer(&block_tracer);
+          node->core().set_recovery_seed(cfg.seed ^
+                                         ((i + 1) * 0x9e3779b9ULL));
+          hs_cores[i] = &node->core();
           actors.push_back(std::move(node));
         }
         break;
@@ -137,6 +165,9 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
         auto node =
             std::make_unique<narwhal::SharedMempoolNode>(ctx, ncfg, ledger);
         node->set_tracer(&block_tracer);
+        node->core().set_recovery_seed(cfg.seed ^ ((i + 1) * 0x9e3779b9ULL));
+        pools[i] = node.get();
+        hs_cores[i] = &node->core();
         actors.push_back(std::move(node));
         break;
       }
@@ -268,6 +299,42 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
   if (result.healed_by > 0 && result.healed_by < cfg.duration) {
     result.post_heal_tps =
         metrics.throughput_tps(result.healed_by, cfg.duration);
+  }
+
+  // Recovery counters, summed across nodes. GC stats come from every
+  // layer that prunes below a checkpoint: consensus slot/block logs and
+  // (for Predis) the mempool bundle chains.
+  for (std::size_t i = 0; i < cfg.n_consensus; ++i) {
+    GcStats gc;
+    if (pbft_cores[i] != nullptr) {
+      result.catch_up_batches += pbft_cores[i]->catch_up_batches();
+      result.state_transfers +=
+          static_cast<std::size_t>(pbft_cores[i]->state_transfers());
+      result.sync_stalls += pbft_cores[i]->sync_stalls();
+      gc.merge(pbft_cores[i]->gc_stats());
+    }
+    if (hs_cores[i] != nullptr) {
+      result.catch_up_batches += hs_cores[i]->catch_up_batches();
+      result.sync_stalls += hs_cores[i]->sync_stalls();
+      gc.merge(hs_cores[i]->gc_stats());
+    }
+    if (pools[i] != nullptr) gc.merge(pools[i]->gc_stats());
+    if (engines[i] != nullptr) {
+      result.sync_stalls += engines[i]->fetch_stalls();
+      gc.merge(engines[i]->gc_stats());
+    }
+    result.gc_bytes += gc.bytes;
+    result.gc_items += gc.items;
+  }
+  result.duplicate_payloads = ledger.duplicate_payloads();
+  if (result.healed_by > 0 && result.healed_by < cfg.duration) {
+    SimTime latest = 0;
+    for (const SimTime t : first_commit_after_heal) {
+      latest = std::max(latest, t);
+    }
+    if (latest > 0) {
+      result.catch_up_ms = to_milliseconds(latest - result.healed_by);
+    }
   }
   return result;
 }

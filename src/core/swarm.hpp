@@ -83,6 +83,26 @@ struct SwarmCaseResult {
   /// post-heal window may legitimately be empty while views re-sync.
   double post_heal_tps = 0.0;
   SimTime healed_by = 0;
+
+  // --- Recovery metrics (crash/partition campaigns) --------------------
+  /// Catch-up batches executed by consensus cores, summed over nodes.
+  std::uint64_t catch_up_batches = 0;
+  /// Certified state snapshots adopted (PBFT-family state transfer).
+  std::size_t state_transfers = 0;
+  /// Stall-detector escalations: catch-up/fetch loops that rotated to a
+  /// different peer after repeated timeouts.
+  std::size_t sync_stalls = 0;
+  /// Log bytes/items garbage-collected below stable checkpoints
+  /// (consensus slot logs, block stores, mempool bundle bodies).
+  std::uint64_t gc_bytes = 0;
+  std::uint64_t gc_items = 0;
+  /// Payloads committed at more than one slot (restart re-proposals);
+  /// their transactions are counted once (see CommitLedger).
+  std::size_t duplicate_payloads = 0;
+  /// Worst-case catch-up time: the latest first-commit across nodes
+  /// after every windowed fault healed, relative to the heal instant
+  /// (ms). 0 when the plan is empty or nothing committed post-heal.
+  double catch_up_ms = 0.0;
 };
 
 /// Run one fault-injected cluster simulation and check every invariant.

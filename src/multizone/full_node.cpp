@@ -6,6 +6,15 @@
 
 namespace predis::multizone {
 
+namespace {
+
+/// Most bundles a digest-gap pull walks per chain per digest message:
+/// heights in a DigestMsg are peer-controlled, so the backlog walk is
+/// clamped and the next digest round picks up the remainder.
+constexpr BundleHeight kMaxDigestSpan = 16;
+
+}  // namespace
+
 MultiZoneFullNode::MultiZoneFullNode(sim::Network& net, NodeId self,
                                      MultiZoneConfig config,
                                      ZoneDirectory& directory,
@@ -25,6 +34,11 @@ MultiZoneFullNode::MultiZoneFullNode(sim::Network& net, NodeId self,
       codec_(config.n_consensus - config.f, config.n_consensus) {
   zone_ = dir_.zone_of(self_);
   join_time_ = dir_.join_time(self_);
+  // Repair-pull pacing: same base grace as before (stripes of a fresh
+  // cut are usually still in flight), but jittered and capped instead
+  // of a lock-step power-of-two ladder.
+  pull_backoff_.base = cfg_.pull_timeout;
+  pull_backoff_.cap = cfg_.pull_timeout * 8;
 }
 
 void MultiZoneFullNode::on_start() {
@@ -46,6 +60,35 @@ void MultiZoneFullNode::on_start() {
   net_.simulator().schedule_after(cfg_.digest_interval,
                                   [this] { tick_digest(); });
 
+}
+
+void MultiZoneFullNode::on_restart() {
+  if (left_) return;
+  // Refresh every stripe subscription: a provider that timed out our
+  // heartbeats during the outage has silently dropped us from its
+  // streams. Re-sending Subscribe to the current provider is idempotent
+  // (it just re-registers us); stripes with no provider walk the
+  // resubscribe ladder again.
+  for (StripeIndex s = 0; s < cfg_.n_consensus; ++s) {
+    if (providers_[s] != kNoNode) {
+      send_subscribe(providers_[s], {s});
+    } else if (pending_[s] == kNoNode) {
+      resubscribe(s);
+    }
+  }
+  // Pull the bundle backlog now: ask the cross-zone backup partner and
+  // a couple of zone neighbours for their digests instead of waiting up
+  // to a full digest_interval for the next periodic one.
+  auto probe = std::make_shared<DigestRequestMsg>();
+  if (backup_peer_ != kNoNode) net_.send(self_, backup_peer_, probe);
+  const auto& members = dir_.members(zone_);
+  std::size_t sent = 0;
+  for (std::size_t i = 0; i < members.size() && sent < 2; ++i) {
+    const NodeId peer = members[(self_ + 1 + i) % members.size()];
+    if (peer == self_) continue;
+    net_.send(self_, peer, probe);
+    ++sent;
+  }
 }
 
 void MultiZoneFullNode::bootstrap() {
@@ -225,6 +268,12 @@ void MultiZoneFullNode::on_message(NodeId from, const sim::MsgPtr& msg) {
     run_algorithm1(m->relayers);
   } else if (dynamic_cast<const LeaveMsg*>(msg.get()) != nullptr) {
     on_leave(from);
+  } else if (dynamic_cast<const DigestRequestMsg*>(msg.get()) != nullptr) {
+    // Rejoin probe: answer with our digest immediately so the restarted
+    // peer's backlog pull starts without waiting for the digest tick.
+    auto digest = std::make_shared<DigestMsg>();
+    digest->heights = contiguous_;
+    net_.send(self_, from, std::move(digest));
   } else if (const auto* m = dynamic_cast<const DigestMsg*>(msg.get())) {
     on_digest(from, *m);
   } else if (const auto* m = dynamic_cast<const BundlePullMsg*>(msg.get())) {
@@ -525,9 +574,7 @@ void MultiZoneFullNode::schedule_pull(const Hash32& block_hash,
   const std::size_t attempt = it0 == pending_blocks_.end()
                                   ? 0
                                   : it0->second.pull_attempts;
-  const SimTime delay =
-      cfg_.pull_timeout * static_cast<SimTime>(1 << std::min<std::size_t>(
-                                                   attempt, 5));
+  const SimTime delay = pull_backoff_.delay(attempt, rng_);
   net_.simulator().schedule_after(delay, [this, block_hash, sender] {
     if (left_) return;
     const auto it = pending_blocks_.find(block_hash);
@@ -655,7 +702,7 @@ void MultiZoneFullNode::on_digest(NodeId from, const DigestMsg& msg) {
   for (std::size_t i = 0; i < msg.heights.size() && i < chains_.size();
        ++i) {
     const BundleHeight upto =
-        std::min(msg.heights[i], contiguous_[i] + 16);  // bounded pull
+        std::min(msg.heights[i], contiguous_[i] + kMaxDigestSpan);
     for (BundleHeight h = contiguous_[i] + 1; h <= upto; ++h) {
       if (chains_[i].count(h) == 0) {
         refs.push_back({static_cast<NodeId>(i), h});

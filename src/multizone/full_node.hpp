@@ -14,6 +14,7 @@
 
 #include "common/block_tracer.hpp"
 #include "common/rng.hpp"
+#include "core/recovery.hpp"
 #include "multizone/directory.hpp"
 #include "multizone/messages.hpp"
 #include "sim/network.hpp"
@@ -27,6 +28,11 @@ class MultiZoneFullNode : public sim::Actor {
                     ZoneDirectory& directory, std::uint64_t seed = 1);
 
   void on_start() override;
+  /// Crash-recovery (§IV-E rejoin): refresh every stripe subscription —
+  /// providers may have dropped us on heartbeat timeout during the
+  /// outage — and probe for peers' digests so the bundle backlog pull
+  /// starts immediately instead of at the next digest tick.
+  void on_restart() override;
   void on_message(NodeId from, const sim::MsgPtr& msg) override;
 
   /// Fired when this node can rebuild a freshly announced block (it has
@@ -135,6 +141,10 @@ class MultiZoneFullNode : public sim::Actor {
   ZoneDirectory& dir_;
   BlockTracer* tracer_ = nullptr;
   Rng rng_;
+  // Jittered capped backoff for repair pulls (replaces the old fixed
+  // power-of-two ladder): randomized delays desynchronize the pull
+  // herd after a partition heals, which trims the distribution p99.
+  core::BackoffPolicy pull_backoff_;
   std::uint32_t zone_ = 0;
   SimTime join_time_ = 0;
   bool left_ = false;

@@ -161,6 +161,14 @@ struct DigestMsg final : sim::Message {
   const char* name() const override { return "Digest"; }
 };
 
+/// Rejoin probe: a restarted full node asks a peer to send its DigestMsg
+/// immediately instead of waiting for the next periodic digest tick, so
+/// the stripe backlog pull starts the moment the node is back.
+struct DigestRequestMsg final : sim::Message {
+  std::size_t wire_size() const override { return 9; }
+  const char* name() const override { return "DigestRequest"; }
+};
+
 /// Pull request for bundles we are missing (digest gap or slow stripes).
 struct BundlePullMsg final : sim::Message {
   std::vector<MissingBundleRef> refs;

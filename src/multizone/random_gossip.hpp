@@ -13,6 +13,7 @@
 
 #include "common/block_tracer.hpp"
 #include "common/rng.hpp"
+#include "core/recovery.hpp"
 #include "multizone/messages.hpp"
 #include "sim/network.hpp"
 
@@ -27,7 +28,15 @@ class RandomGossipNode final : public sim::Actor {
  public:
   RandomGossipNode(sim::Network& net, NodeId self, GossipConfig config,
                    std::uint64_t seed)
-      : net_(net), self_(self), cfg_(config), rng_(seed ^ (self * 2654435761ULL)) {}
+      : net_(net), self_(self), cfg_(config),
+        rng_(seed ^ (self * 2654435761ULL)) {
+    // Jittered capped backoff for the digest->pull retry loop: the old
+    // fixed pull_delay cadence made every node that missed the same
+    // block re-pull in lock-step, which is exactly the distribution-
+    // stage p99 tail the trace report shows.
+    pull_backoff_.base = cfg_.pull_delay;
+    pull_backoff_.cap = cfg_.pull_delay * 8;
+  }
 
   void set_peers(std::vector<NodeId> peers) { peers_ = std::move(peers); }
   const std::vector<NodeId>& peers() const { return peers_; }
@@ -97,7 +106,7 @@ class RandomGossipNode final : public sim::Actor {
   void schedule_pull(std::uint64_t id, NodeId first_target,
                      std::size_t attempt) {
     net_.simulator().schedule_after(
-        cfg_.pull_delay, [this, id, first_target, attempt] {
+        pull_backoff_.delay(attempt, rng_), [this, id, first_target, attempt] {
           if (seen_.count(id) != 0) {
             pulling_.erase(id);
             return;
@@ -151,6 +160,7 @@ class RandomGossipNode final : public sim::Actor {
   NodeId self_;
   GossipConfig cfg_;
   Rng rng_;
+  core::BackoffPolicy pull_backoff_;
   std::vector<NodeId> peers_;
   std::set<std::uint64_t> seen_;
   std::map<std::uint64_t, std::size_t> have_;  ///< id -> body bytes

@@ -28,13 +28,15 @@ const char* to_string(FaultKind kind) {
       return "garbage";
     case FaultKind::kChurnStorm:
       return "churn-storm";
+    case FaultKind::kPartition:
+      return "partition";
   }
   return "?";
 }
 
 // A kind missing from the switch above fails -Wswitch (-Werror in CI);
 // a kind added without bumping the count fails here.
-static_assert(static_cast<std::size_t>(FaultKind::kChurnStorm) + 1 ==
+static_assert(static_cast<std::size_t>(FaultKind::kPartition) + 1 ==
                   kFaultKindCount,
               "kFaultKindCount out of sync with FaultKind");
 
@@ -72,6 +74,9 @@ void FaultScheduler::build_plan() {
   if (cfg_.withhold) kinds.push_back(FaultKind::kWithhold);
   if (cfg_.garbage) kinds.push_back(FaultKind::kGarbage);
   if (cfg_.churn_storms) kinds.push_back(FaultKind::kChurnStorm);
+  if (cfg_.partitions && targets_.size() >= 2) {
+    kinds.push_back(FaultKind::kPartition);
+  }
   if (kinds.empty()) return;
 
   const auto is_adversarial = [](FaultKind k) {
@@ -218,6 +223,20 @@ void FaultScheduler::build_plan() {
         ev.side = std::move(shuffled);
         break;
       }
+      case FaultKind::kPartition: {
+        // Cut a shuffled minority (<= max_partition_nodes, never the
+        // whole group) so the rest keeps quorum; the cut heals at
+        // at + window and the minority must catch up.
+        std::vector<NodeId> shuffled = targets_;
+        rng_.shuffle(shuffled);
+        const std::size_t cut = std::min(
+            {std::max<std::size_t>(1, cfg_.max_partition_nodes),
+             targets_.size() - 1});
+        shuffled.resize(cut);
+        std::sort(shuffled.begin(), shuffled.end());
+        ev.side = std::move(shuffled);
+        break;
+      }
     }
     plan_.push_back(std::move(ev));
   }
@@ -311,6 +330,17 @@ void FaultScheduler::apply(const FaultEvent& ev) {
       }
       break;
     }
+    case FaultKind::kPartition: {
+      cuts_.push_back(
+          {std::set<NodeId>(ev.side.begin(), ev.side.end()), until});
+      // The cut side missed every message for the window; poke its
+      // recovery path at heal time (crash restarts get the same hook
+      // from set_node_down).
+      net_.simulator().schedule_at(until, [this, side = ev.side] {
+        for (NodeId node : side) net_.notify_reconnect(node);
+      });
+      break;
+    }
   }
 }
 
@@ -369,7 +399,8 @@ std::string FaultScheduler::describe() const {
         oss << " " << ev.a << "<->" << ev.b;
         break;
       case FaultKind::kZonePartition:
-      case FaultKind::kChurnStorm: {
+      case FaultKind::kChurnStorm:
+      case FaultKind::kPartition: {
         oss << " {";
         for (std::size_t i = 0; i < ev.side.size(); ++i) {
           oss << (i != 0 ? "," : "") << ev.side[i];

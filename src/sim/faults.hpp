@@ -33,12 +33,18 @@ enum class FaultKind {
   kWithhold,       ///< Data-plane messages swallowed outbound (by name).
   kGarbage,        ///< Hostile message injection (via hook).
   kChurnStorm,     ///< Repeated down/up cycles, staggered over a set.
+  /// Recovery-testable partition: a *minority* group (size <= f) is cut
+  /// bidirectionally from the rest, then heals on schedule. Unlike
+  /// kZonePartition (which may cut half the cluster and stall quorum),
+  /// the majority keeps committing, so the cut nodes fall measurably
+  /// behind and must catch up after the heal.
+  kPartition,
 };
 
 /// Number of FaultKind values; to_string() and the plan builder are
 /// checked against this (see test_faults), so a new kind cannot ship
 /// without a printable name.
-inline constexpr std::size_t kFaultKindCount = 10;
+inline constexpr std::size_t kFaultKindCount = 11;
 
 const char* to_string(FaultKind kind);
 
@@ -84,6 +90,11 @@ struct FaultPlanConfig {
   bool withhold = false;
   bool garbage = false;
   bool churn_storms = false;
+  /// Minority-group partitions with scheduled heal (kPartition).
+  bool partitions = false;
+  /// Nodes on the cut side of a kPartition (keep <= f so the majority
+  /// retains quorum and keeps committing while the minority lags).
+  std::size_t max_partition_nodes = 1;
   /// Extra one-way delay a throttled node adds to every outbound
   /// message. Must stay under the consensus view timeout: the node is a
   /// performance adversary, not a crashed one.

@@ -98,7 +98,15 @@ void Network::multicast(NodeId from, const std::vector<NodeId>& to,
 }
 
 void Network::set_node_down(NodeId id, bool down) {
-  nodes_.at(id).down = down;
+  Node& node = nodes_.at(id);
+  const bool restarting = node.down && !down;
+  node.down = down;
+  if (restarting && node.actor != nullptr) node.actor->on_restart();
+}
+
+void Network::notify_reconnect(NodeId id) {
+  Node& node = nodes_.at(id);
+  if (!node.down && node.actor != nullptr) node.actor->on_restart();
 }
 
 std::uint64_t Network::total_bytes_sent() const {

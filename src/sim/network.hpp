@@ -66,6 +66,15 @@ class Actor {
 
   /// Called when a message addressed to this node is fully delivered.
   virtual void on_message(NodeId from, const MsgPtr& msg) = 0;
+
+  /// Called when the node comes back up after a crash window
+  /// (set_node_down(id, false) on a node that was down). The node's
+  /// in-memory state survived — what it missed is every message sent
+  /// while it was down — so implementations trigger their catch-up
+  /// path here: resync mempool tips, request a state snapshot,
+  /// re-subscribe to relayers. Default: resume blind (pre-recovery
+  /// behaviour).
+  virtual void on_restart() {}
 };
 
 /// Per-node traffic counters.
@@ -108,8 +117,15 @@ class Network {
 
   // --- Fault injection -----------------------------------------------
 
-  /// A crashed node sends and receives nothing.
+  /// A crashed node sends and receives nothing. Bringing a down node
+  /// back up fires its actor's on_restart() hook (after the flag
+  /// flips, so the hook can send messages).
   void set_node_down(NodeId id, bool down);
+
+  /// Fire a node's on_restart() hook without a down/up cycle — used
+  /// when a healed partition reconnects a node that never crashed but
+  /// missed every message for the cut window.
+  void notify_reconnect(NodeId id);
   bool is_down(NodeId id) const { return nodes_[id].down; }
 
   /// Optional filter consulted for every send; return true to drop.

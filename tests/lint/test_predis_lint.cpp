@@ -75,6 +75,17 @@ TEST(PredisLint, D4PassesWithGuards) {
   EXPECT_TRUE(lint_fixture("d4_checked_sender_pass.cpp").empty());
 }
 
+TEST(PredisLint, D4FailsOnUnboundedSpanWalk) {
+  const auto diags = lint_fixture("d4_unbounded_span_fail.cpp");
+  ASSERT_EQ(count_rule(diags, "D4"), 2u);
+  EXPECT_NE(diags[0].message.find("kMax"), std::string::npos);
+  EXPECT_NE(diags[1].message.find("span"), std::string::npos);
+}
+
+TEST(PredisLint, D4PassesWithSpanClamp) {
+  EXPECT_TRUE(lint_fixture("d4_bounded_span_pass.cpp").empty());
+}
+
 TEST(PredisLint, D5FailsOutsideApprovedTus) {
   const auto diags = lint_fixture("d5_cast_fail.cpp");
   ASSERT_EQ(count_rule(diags, "D5"), 1u);

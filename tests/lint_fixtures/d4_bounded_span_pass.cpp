@@ -1,0 +1,37 @@
+// Fixture: the D4 span sub-check must stay quiet — every walk over a
+// message-derived position is clamped, either by a kMax* constant in
+// the loop condition or by a std::min clamp (with the kMax* constant
+// on the right-hand side) before the loop; iterating the message's
+// own container by size() is bounded by the received bytes.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+using NodeId = std::uint32_t;
+using SeqNum = std::uint64_t;
+
+inline constexpr SeqNum kMaxCatchUpSpan = 64;
+
+struct CatchUpMsg {
+  SeqNum have_seq = 0;
+  std::vector<SeqNum> tips;
+};
+
+class Log {
+ public:
+  void on_catch_up(NodeId from, const CatchUpMsg& msg) {
+    (void)from;
+    std::vector<SeqNum> reply;
+    for (SeqNum seq = msg.have_seq + 1;
+         seq <= last_exec_ && reply.size() < kMaxCatchUpSpan; ++seq) {
+      reply.push_back(seq);
+    }
+    for (std::size_t i = 0; i < msg.tips.size(); ++i) {
+      const SeqNum upto = std::min(msg.tips[i], kMaxCatchUpSpan);
+      for (SeqNum seq = 1; seq <= upto; ++seq) reply.push_back(seq);
+    }
+  }
+
+ private:
+  SeqNum last_exec_ = 0;
+};

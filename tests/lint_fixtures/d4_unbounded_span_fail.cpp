@@ -1,0 +1,32 @@
+// Fixture: the D4 span sub-check must fire twice — both loops walk a
+// position taken from the message ("serve everything above have_seq")
+// with no kMax* span clamp in the loop condition, so one hostile
+// request drives an unbounded log walk.
+#include <cstdint>
+#include <vector>
+
+using NodeId = std::uint32_t;
+using SeqNum = std::uint64_t;
+
+struct CatchUpMsg {
+  SeqNum have_seq = 0;
+  SeqNum want_seq = 0;
+};
+
+class Log {
+ public:
+  void on_catch_up(NodeId from, const CatchUpMsg& msg) {
+    (void)from;
+    std::vector<SeqNum> reply;
+    for (SeqNum seq = msg.have_seq + 1; seq <= last_exec_; ++seq) {
+      reply.push_back(seq);  // <- D4 (unclamped span walk)
+    }
+    SeqNum cursor = msg.want_seq;
+    while (cursor > last_exec_) {  // <- D4 (unclamped msg-derived walk)
+      --cursor;
+    }
+  }
+
+ private:
+  SeqNum last_exec_ = 0;
+};

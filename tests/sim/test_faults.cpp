@@ -309,5 +309,77 @@ TEST(FaultScheduler, ChurnStormKeepsAtMostOneNodeDown) {
   for (NodeId id : f.targets) EXPECT_FALSE(f.net.is_down(id));
 }
 
+FaultPlanConfig partitions_only() {
+  FaultPlanConfig cfg;
+  cfg.crashes = cfg.pair_partitions = cfg.zone_partitions = false;
+  cfg.jitter = cfg.drops = false;
+  cfg.partitions = true;
+  return cfg;
+}
+
+TEST(FaultScheduler, PartitionPlanCutsDeterministicMinority) {
+  FaultPlanConfig cfg = partitions_only();
+  cfg.seed = 37;
+  cfg.events = 5;
+  cfg.max_partition_nodes = 2;
+  Fixture a, b;
+  FaultScheduler fa(a.net, a.targets, cfg);
+  FaultScheduler fb(b.net, b.targets, cfg);
+  EXPECT_EQ(fa.describe(), fb.describe());
+  ASSERT_EQ(fa.plan().size(), cfg.events);
+  for (const FaultEvent& e : fa.plan()) {
+    EXPECT_EQ(e.kind, FaultKind::kPartition);
+    ASSERT_FALSE(e.side.empty());
+    // Minority cut: never the whole group, capped by config.
+    EXPECT_LE(e.side.size(), cfg.max_partition_nodes);
+    EXPECT_LT(e.side.size(), a.targets.size());
+    EXPECT_TRUE(std::is_sorted(e.side.begin(), e.side.end()));
+  }
+}
+
+struct ReconnectActor final : Actor {
+  std::size_t messages = 0;
+  std::size_t restarts = 0;
+  void on_message(NodeId, const MsgPtr&) override { ++messages; }
+  void on_restart() override { ++restarts; }
+};
+
+TEST(FaultScheduler, PartitionCutsLinksBidirectionallyAndHeals) {
+  FaultPlanConfig cfg = partitions_only();
+  cfg.seed = 41;
+  cfg.events = 1;
+  cfg.max_partition_nodes = 1;
+  Fixture f;
+  FaultScheduler fs(f.net, f.targets, cfg);
+  ASSERT_EQ(fs.plan().size(), 1u);
+  const FaultEvent ev = fs.plan()[0];
+  ASSERT_EQ(ev.side.size(), 1u);
+  const NodeId cut = ev.side[0];
+  const NodeId other =
+      cut == f.targets[0] ? f.targets[1] : f.targets[0];
+  ReconnectActor on_cut, on_other;
+  f.net.attach(cut, &on_cut);
+  f.net.attach(other, &on_other);
+  fs.arm();
+  // Mid-window: both directions across the cut are severed.
+  f.sim.schedule_at(ev.at + ev.window / 2, [&] {
+    f.net.send(other, cut, std::make_shared<VoteLikeMsg>());
+    f.net.send(cut, other, std::make_shared<VoteLikeMsg>());
+  });
+  // Post-heal: traffic flows again.
+  f.sim.schedule_at(ev.at + ev.window + seconds(1), [&] {
+    f.net.send(other, cut, std::make_shared<VoteLikeMsg>());
+    f.net.send(cut, other, std::make_shared<VoteLikeMsg>());
+  });
+  f.net.start();
+  f.sim.run_until(ev.at + ev.window + seconds(2));
+  EXPECT_EQ(on_cut.messages, 1u);
+  EXPECT_EQ(on_other.messages, 1u);
+  // Heal pokes the cut side's recovery hook exactly once; the node
+  // never crashed, so no other on_restart source exists.
+  EXPECT_EQ(on_cut.restarts, 1u);
+  EXPECT_EQ(on_other.restarts, 0u);
+}
+
 }  // namespace
 }  // namespace predis::sim

@@ -750,6 +750,157 @@ void run_d4(Context& ctx) {
   }
 }
 
+// --- D4 span sub-check: message-derived walks must be kMax*-clamped -------
+
+// A catch-up / fetch handler that walks positions taken from a message
+// ("send me everything above have_seq") must clamp the walk with a
+// kMax* span constant (kMaxCatchUpSpan, kMaxBlockSpan, kMaxFetchSpan,
+// ...) in the loop condition: an unclamped walk lets a single hostile
+// request serve or fetch an unbounded log span. Covers on_* handlers
+// plus the dispatcher-style `handle` methods (the Predis engine).
+void run_d4_spans(Context& ctx) {
+  const std::vector<Token>& t = ctx.tokens;
+  for (const Function& fn : segment_functions(t)) {
+    if (fn.name.rfind("on_", 0) != 0 && fn.name != "handle") continue;
+    // Find the message parameter, as in run_d4.
+    std::vector<std::pair<std::size_t, std::size_t>> params;
+    {
+      int depth = 0;
+      std::size_t start = fn.params_open + 1;
+      for (std::size_t i = fn.params_open + 1; i <= fn.params_close; ++i) {
+        if (t[i].text == "(" || t[i].text == "<" || t[i].text == "[") ++depth;
+        if (t[i].text == ")" || t[i].text == ">" || t[i].text == "]") --depth;
+        if ((t[i].text == "," && depth == 0) || i == fn.params_close) {
+          if (i > start) params.emplace_back(start, i);
+          start = i + 1;
+        }
+      }
+    }
+    std::string msg_param;
+    for (const auto& [b, e] : params) {
+      bool msg_type = false;
+      std::string last_ident;
+      for (std::size_t i = b; i < e; ++i) {
+        if (!t[i].ident) continue;
+        if (t[i].text.find("Msg") != std::string::npos) msg_type = true;
+        last_ident = t[i].text;
+      }
+      if (msg_type && !last_ident.empty() &&
+          last_ident.find("Msg") == std::string::npos) {
+        msg_param = last_ident;
+      }
+    }
+    if (msg_param.empty()) continue;
+
+    // Values derived from a message field without a kMax* clamp on the
+    // same right-hand side.
+    std::set<std::string> span_tainted;
+    const auto benign_chain = [](const std::string& chain) {
+      const auto cut = chain.find_last_of(".>");
+      const std::string leaf =
+          cut == std::string::npos ? chain : chain.substr(cut + 1);
+      return leaf == "size" || leaf == "count" || leaf == "empty";
+    };
+    const auto is_msg_chain = [&](const std::string& chain) {
+      return chain.rfind(msg_param + ".", 0) == 0 ||
+             chain.rfind(msg_param + "->", 0) == 0;
+    };
+    // Scan [b, e) for message-derived values and kMax* clamps.
+    const auto scan = [&](std::size_t b, std::size_t e, bool& taint,
+                          bool& kmax) {
+      for (std::size_t j = b; j < e; ++j) {
+        if (!t[j].ident) continue;
+        if (t[j].text.rfind("kMax", 0) == 0) {
+          kmax = true;
+          continue;
+        }
+        const std::string chain = chain_starting_at(t, j, e);
+        if (benign_chain(chain)) continue;  // container-size bounds
+        if (span_tainted.count(t[j].text) != 0 || is_msg_chain(chain)) {
+          taint = true;
+        }
+      }
+    };
+
+    for (std::size_t i = fn.body_open + 1; i < fn.body_close; ++i) {
+      const std::string& x = t[i].text;
+      if ((x == "for" || x == "while") && i + 1 < fn.body_close &&
+          t[i + 1].text == "(") {
+        const std::size_t close = match_forward(t, i + 1);
+        std::size_t cond_b = i + 2;
+        std::size_t cond_e = close;
+        if (x == "for") {
+          std::vector<std::size_t> semis;
+          int depth = 0;
+          for (std::size_t j = i + 2; j < close; ++j) {
+            if (t[j].text == "(" || t[j].text == "[") ++depth;
+            if (t[j].text == ")" || t[j].text == "]") --depth;
+            if (t[j].text == ";" && depth == 0) semis.push_back(j);
+          }
+          // Range-for: bounded by the received container, exempt here
+          // (run_d4 checks what the elements index into).
+          if (semis.size() < 2) continue;
+          // `for (SeqNum s = msg.have_seq; ...` taints the loop var; a
+          // clean re-init of a previously tainted name clears it.
+          for (std::size_t j = i + 3; j < semis[0]; ++j) {
+            if (t[j].text == "=" && t[j - 1].ident) {
+              bool taint = false;
+              bool kmax = false;
+              scan(j + 1, semis[0], taint, kmax);
+              if (taint && !kmax) {
+                span_tainted.insert(t[j - 1].text);
+              } else {
+                span_tainted.erase(t[j - 1].text);
+              }
+              break;
+            }
+          }
+          cond_b = semis[0] + 1;
+          cond_e = semis[1];
+        }
+        bool taint = false;
+        bool kmax = false;
+        scan(cond_b, cond_e, taint, kmax);
+        if (taint && !kmax) {
+          emit(ctx, t[i].line, "D4",
+               "handler '" + fn.name +
+                   "' walks a message-derived span without a kMax* clamp "
+                   "in the loop condition: bound catch-up/fetch spans "
+                   "(kMaxCatchUpSpan-style constants) before serving "
+                   "them");
+        }
+        i = close;
+        continue;
+      }
+      // Assignment / init: an expression mentioning a message field
+      // taints the assignee unless a kMax* clamp appears on the same
+      // right-hand side (the std::min clamp idiom); a later clamped
+      // re-assignment clears the taint.
+      if (x == "=" && i >= 1 && t[i - 1].ident) {
+        std::size_t end = i + 1;
+        int depth = 0;
+        while (end < fn.body_close) {
+          const std::string& y = t[end].text;
+          if (y == "(" || y == "[" || y == "{") ++depth;
+          if (y == ")" || y == "]" || y == "}") --depth;
+          if (y == ";" && depth <= 0) break;
+          ++end;
+        }
+        bool taint = false;
+        bool kmax = false;
+        scan(i + 1, end, taint, kmax);
+        if (taint && !kmax) {
+          span_tainted.insert(t[i - 1].text);
+        } else {
+          span_tainted.erase(t[i - 1].text);
+        }
+        i = end;
+        continue;
+      }
+    }
+  }
+}
+
 // --- D5: reinterpret_cast / const_cast fenced into approved TUs -----------
 
 void run_d5(Context& ctx) {
@@ -858,6 +1009,7 @@ std::vector<Diagnostic> lint_files(const std::vector<std::string>& files) {
     run_d2(ctx);
     run_d3_call_sites(ctx);
     run_d4(ctx);
+    run_d4_spans(ctx);
     run_d5(ctx);
   }
 
@@ -912,7 +1064,8 @@ const char* rule_catalogue() {
       "D3  Expected<T>-returning and non-void try_* APIs are\n"
       "    [[nodiscard]] and their results are never discarded\n"
       "D4  on_* message handlers bounds/ban-check the sender and\n"
-      "    message-carried indices before subscripting per-node vectors\n"
+      "    message-carried indices before subscripting per-node vectors,\n"
+      "    and clamp message-derived span walks with a kMax* constant\n"
       "D5  reinterpret_cast/const_cast only in gf256*, sha256*, bytes*\n"
       "\n"
       "Suppress with  // predis-lint: allow(D2): reason   (line + next)\n"

@@ -16,7 +16,11 @@
 //       [[nodiscard]], and no call site silently discards the result
 //   D4  message handlers (on_* methods taking a sender id and a *Msg
 //       parameter) bounds/ban-check the sender and message-carried
-//       indices before using them to subscript per-node vectors
+//       indices before using them to subscript per-node vectors; and
+//       (span sub-check, also covering dispatcher-style `handle`
+//       methods) any loop walking a message-derived position — a
+//       catch-up or fetch span — clamps the walk with a kMax* span
+//       constant in the loop condition
 //   D5  reinterpret_cast / const_cast only in the approved low-level
 //       TUs (gf256*, sha256*, bytes*)
 //
