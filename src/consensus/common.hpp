@@ -8,13 +8,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <vector>
 
 #include "common/metrics.hpp"
 #include "common/sha256.hpp"
 #include "common/types.hpp"
-#include "sim/network.hpp"
+#include "runtime/runtime.hpp"
 #include "txpool/transaction.hpp"
 
 namespace predis::consensus {
@@ -47,17 +48,19 @@ struct ConsensusConfig {
 };
 
 /// Convenience wrapper every consensus engine holds: identity, peers,
-/// messaging and timers.
+/// messaging and timers. Engines talk only to the Runtime seam — which
+/// backend carries the traffic (discrete-event simulator or real
+/// threads) is the harness's choice.
 class NodeContext {
  public:
-  NodeContext(sim::Network& net, NodeId self, ConsensusConfig config)
-      : net_(&net), self_(self), cfg_(std::move(config)) {
+  NodeContext(runtime::Runtime& rt, NodeId self, ConsensusConfig config)
+      : net_(&rt), self_(self), cfg_(std::move(config)) {
     for (std::size_t i = 0; i < cfg_.nodes.size(); ++i) {
       if (cfg_.nodes[i] == self) index_ = i;
     }
   }
 
-  sim::Network& net() const { return *net_; }
+  runtime::Runtime& net() const { return *net_; }
   NodeId self() const { return self_; }
   std::size_t index() const { return index_; }
   std::size_t n() const { return cfg_.nodes.size(); }
@@ -76,27 +79,29 @@ class NodeContext {
     return cfg_.nodes.size();
   }
 
-  SimTime now() const { return net_->simulator().now(); }
+  SimTime now() const { return net_->now(); }
 
-  void send_to(std::size_t idx, sim::MsgPtr msg) const {
+  void send_to(std::size_t idx, runtime::MsgPtr msg) const {
     net_->send(self_, cfg_.nodes[idx], std::move(msg));
   }
 
-  void send_node(NodeId id, sim::MsgPtr msg) const {
+  void send_node(NodeId id, runtime::MsgPtr msg) const {
     net_->send(self_, id, std::move(msg));
   }
 
   /// Send to every other consensus node.
-  void broadcast(const sim::MsgPtr& msg) const {
+  void broadcast(const runtime::MsgPtr& msg) const {
     net_->multicast(self_, cfg_.nodes, msg);
   }
 
-  sim::TimerHandle after(SimTime delay, std::function<void()> fn) const {
-    return net_->simulator().schedule_after(delay, std::move(fn));
+  /// Timer owned by this node: the backend serializes the callback
+  /// with the node's message handling.
+  runtime::TimerHandle after(SimTime delay, std::function<void()> fn) const {
+    return net_->schedule(self_, delay, std::move(fn));
   }
 
  private:
-  sim::Network* net_;
+  runtime::Runtime* net_;
   NodeId self_;
   std::size_t index_ = 0;
   ConsensusConfig cfg_;
@@ -127,10 +132,16 @@ class CommitLedger {
                                       std::uint64_t slot,
                                       const Hash32& digest,
                                       std::size_t tx_count, SimTime when)>;
-  void set_observer(Observer observer) { observer_ = std::move(observer); }
+  void set_observer(Observer observer) {
+    std::lock_guard<std::mutex> lock(m_);
+    observer_ = std::move(observer);
+  }
 
   void on_commit(std::size_t node_index, std::uint64_t slot,
                  const Hash32& digest, std::size_t tx_count, SimTime when) {
+    // One ledger is shared by every consensus node of a cluster; on
+    // the threaded backend those nodes commit from different workers.
+    std::lock_guard<std::mutex> lock(m_);
     if (observer_) observer_(node_index, slot, digest, tx_count, when);
     auto [it, inserted] = slots_.try_emplace(slot, Entry{digest, when, 1});
     if (inserted) {
@@ -150,11 +161,20 @@ class CommitLedger {
     (void)node_index;
   }
 
-  bool consistent() const { return !conflicting_; }
-  std::size_t committed_slots() const { return slots_.size(); }
+  bool consistent() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return !conflicting_;
+  }
+  std::size_t committed_slots() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return slots_.size();
+  }
   /// Payloads committed at more than one slot (re-proposals after
   /// restart); their transactions are counted only once.
-  std::size_t duplicate_payloads() const { return duplicate_payloads_; }
+  std::size_t duplicate_payloads() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return duplicate_payloads_;
+  }
   Metrics& metrics() { return *metrics_; }
 
  private:
@@ -165,6 +185,7 @@ class CommitLedger {
   };
   Metrics* metrics_;
   Observer observer_;
+  mutable std::mutex m_;
   std::map<std::uint64_t, Entry> slots_;
   std::set<Hash32> counted_payloads_;
   std::size_t duplicate_payloads_ = 0;

@@ -60,7 +60,7 @@ const HsBlock* HotStuffCore::get_block(const Hash32& hash) const {
   return it == blocks_.end() ? nullptr : it->second.get();
 }
 
-bool HotStuffCore::handle(NodeId from, const sim::MsgPtr& msg) {
+bool HotStuffCore::handle(NodeId from, const runtime::MsgPtr& msg) {
   const std::size_t idx = ctx_.index_of(from);
   if (const auto* m = dynamic_cast<const ProposalMsg*>(msg.get())) {
     if (!paused_ && idx < ctx_.n()) on_proposal(idx, *m);

@@ -68,7 +68,7 @@ Hash32 block_hash(Round round, const Hash32& parent, const Hash32& justify,
 BlockPtr make_block(Round round, const Hash32& parent, QuorumCert justify,
                     PayloadPtr payload);
 
-struct ProposalMsg final : sim::Message {
+struct ProposalMsg final : runtime::Message {
   BlockPtr block;
 
   std::size_t wire_size() const override {
@@ -78,7 +78,7 @@ struct ProposalMsg final : sim::Message {
   const char* name() const override { return "HsProposal"; }
 };
 
-struct VoteMsg final : sim::Message {
+struct VoteMsg final : runtime::Message {
   Round round = 0;
   Hash32 block_hash = kZeroHash;
 
@@ -86,7 +86,7 @@ struct VoteMsg final : sim::Message {
   const char* name() const override { return "HsVote"; }
 };
 
-struct NewViewMsg final : sim::Message {
+struct NewViewMsg final : runtime::Message {
   Round round = 0;  ///< Round the sender wants to enter.
   QuorumCert high_qc;
 
@@ -98,7 +98,7 @@ struct NewViewMsg final : sim::Message {
 
 /// A lagging replica asking a peer for the blocks it missed above its
 /// commit frontier.
-struct HsCatchUpRequestMsg final : sim::Message {
+struct HsCatchUpRequestMsg final : runtime::Message {
   Round have_round = 0;
 
   std::size_t wire_size() const override { return 16 + kSigBytes; }
@@ -110,7 +110,7 @@ struct HsCatchUpRequestMsg final : sim::Message {
 /// entries with commit_proof 0 are the server's uncommitted suffix and
 /// go through the normal store/chain-rule path (their justify QCs are
 /// verified like any proposal's).
-struct HsBlockBatchMsg final : sim::Message {
+struct HsBlockBatchMsg final : runtime::Message {
   struct Entry {
     BlockPtr block;
     std::size_t commit_proof = 0;
@@ -153,7 +153,7 @@ class HotStuffCore {
   HotStuffCore(NodeContext ctx, HotStuffApp& app);
 
   void start();
-  bool handle(NodeId from, const sim::MsgPtr& msg);
+  bool handle(NodeId from, const runtime::MsgPtr& msg);
 
   /// App signals: data ready / pending validation may now pass.
   void payload_ready();
@@ -258,14 +258,14 @@ class HotStuffCore {
 
   bool paused_ = false;
   bool want_progress_ = false;
-  sim::TimerHandle round_timer_;
+  runtime::TimerHandle round_timer_;
   std::uint64_t timeouts_ = 0;
 
   // --- Catch-up / recovery ---------------------------------------------
   core::BackoffPolicy backoff_;
   Rng rng_;
   core::StallDetector sync_peer_;
-  sim::TimerHandle catch_up_timer_;
+  runtime::TimerHandle catch_up_timer_;
   bool catching_up_ = false;
   std::size_t catch_up_attempt_ = 0;
   /// Highest round peers credibly reached (from orphaned proposals).

@@ -17,7 +17,7 @@ struct HotStuffNodeConfig {
   std::size_t batch_size = 800;  ///< Transactions per block.
 };
 
-class HotStuffNode final : public sim::Actor, private HotStuffApp {
+class HotStuffNode final : public runtime::Actor, private HotStuffApp {
  public:
   HotStuffNode(NodeContext ctx, HotStuffNodeConfig config,
                CommitLedger& ledger)
@@ -31,7 +31,7 @@ class HotStuffNode final : public sim::Actor, private HotStuffApp {
 
   void on_restart() override { core_.on_restart(); }
 
-  void on_message(NodeId from, const sim::MsgPtr& msg) override {
+  void on_message(NodeId from, const runtime::MsgPtr& msg) override {
     if (const auto* req = dynamic_cast<const ClientRequestMsg*>(msg.get())) {
       enqueue(req->txs);
       return;

@@ -84,7 +84,7 @@ void SharedMempoolNode::pack_microblock() {
   ctx_.broadcast(msg);
 }
 
-void SharedMempoolNode::on_message(NodeId from, const sim::MsgPtr& msg) {
+void SharedMempoolNode::on_message(NodeId from, const runtime::MsgPtr& msg) {
   if (const auto* req = dynamic_cast<const ClientRequestMsg*>(msg.get())) {
     enqueue(req->txs);
     return;
@@ -93,7 +93,7 @@ void SharedMempoolNode::on_message(NodeId from, const sim::MsgPtr& msg) {
   core_.handle(from, msg);
 }
 
-bool SharedMempoolNode::handle_mempool(NodeId from, const sim::MsgPtr& msg) {
+bool SharedMempoolNode::handle_mempool(NodeId from, const runtime::MsgPtr& msg) {
   if (const auto* m = dynamic_cast<const MicroblockMsg*>(msg.get())) {
     // A microblock broadcast is only acceptable from its own producer
     // (it models a producer-signed message): anything else is an

@@ -53,21 +53,21 @@ struct MicroblockRef {
   auto key() const { return std::pair{producer, index}; }
 };
 
-struct MicroblockMsg final : sim::Message {
+struct MicroblockMsg final : runtime::Message {
   Microblock mb;
   std::size_t wire_size() const override { return mb.wire_size(); }
   const char* name() const override { return "Microblock"; }
 };
 
 /// Receiver -> producer: signed availability ack.
-struct MbAckMsg final : sim::Message {
+struct MbAckMsg final : runtime::Message {
   MicroblockRef ref;
   std::size_t wire_size() const override { return kVoteBytes; }
   const char* name() const override { return "MbAck"; }
 };
 
 /// Producer -> all: certificate of availability (quorum of acks).
-struct MbCertMsg final : sim::Message {
+struct MbCertMsg final : runtime::Message {
   MicroblockRef ref;
   std::size_t signers = 0;
   std::size_t wire_size() const override { return 16 + qc_bytes(signers); }
@@ -75,13 +75,13 @@ struct MbCertMsg final : sim::Message {
 };
 
 /// Fetch for microblocks referenced by a proposal but not held locally.
-struct MbFetchMsg final : sim::Message {
+struct MbFetchMsg final : runtime::Message {
   std::vector<MicroblockRef> refs;
   std::size_t wire_size() const override { return 16 + refs.size() * 44; }
   const char* name() const override { return "MbFetch"; }
 };
 
-struct MbBatchMsg final : sim::Message {
+struct MbBatchMsg final : runtime::Message {
   std::vector<Microblock> mbs;
   std::size_t wire_size() const override {
     std::size_t size = 16;
@@ -131,7 +131,7 @@ struct SharedMempoolConfig {
 };
 
 /// One consensus node running the certified shared mempool + HotStuff.
-class SharedMempoolNode final : public sim::Actor,
+class SharedMempoolNode final : public runtime::Actor,
                                 private hotstuff::HotStuffApp {
  public:
   SharedMempoolNode(NodeContext ctx, SharedMempoolConfig config,
@@ -139,7 +139,7 @@ class SharedMempoolNode final : public sim::Actor,
 
   void on_start() override;
   void on_restart() override;
-  void on_message(NodeId from, const sim::MsgPtr& msg) override;
+  void on_message(NodeId from, const runtime::MsgPtr& msg) override;
 
   hotstuff::HotStuffCore& core() { return core_; }
 
@@ -165,7 +165,7 @@ class SharedMempoolNode final : public sim::Actor,
   void enqueue(const std::vector<Transaction>& txs);
   void pack_microblock();
   void schedule_packing();
-  bool handle_mempool(NodeId from, const sim::MsgPtr& msg);
+  bool handle_mempool(NodeId from, const runtime::MsgPtr& msg);
   void certify(const MicroblockRef& ref, std::size_t signers);
 
   // --- HotStuffApp -----------------------------------------------------
@@ -192,7 +192,7 @@ class SharedMempoolNode final : public sim::Actor,
   std::deque<MicroblockRef> proposable_;  ///< certified, FIFO
   std::set<Key> committed_;
   std::map<Key, MicroblockRef> fetching_;
-  sim::TimerHandle fetch_timer_;
+  runtime::TimerHandle fetch_timer_;
 
   // Fetch pacing: capped jittered exponential backoff (replaces the
   // old fixed-interval retry) plus stall-driven peer rotation, so a

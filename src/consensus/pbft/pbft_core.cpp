@@ -69,7 +69,7 @@ void PbftCore::try_propose() {
   }
 }
 
-bool PbftCore::handle(NodeId from, const sim::MsgPtr& msg) {
+bool PbftCore::handle(NodeId from, const runtime::MsgPtr& msg) {
   const std::size_t idx = ctx_.index_of(from);
   if (const auto* m = dynamic_cast<const PrePrepareMsg*>(msg.get())) {
     if (!paused_ && idx < ctx_.n()) on_preprepare(idx, *m);

@@ -44,7 +44,7 @@ inline constexpr SeqNum kMaxCatchUpSpan = 64;
 /// only on fresh evidence. Any real progress resets the budget.
 inline constexpr std::size_t kMaxCatchUpAttempts = 12;
 
-struct PrePrepareMsg final : sim::Message {
+struct PrePrepareMsg final : runtime::Message {
   View view = 0;
   SeqNum seq = 0;
   PayloadPtr payload;
@@ -55,7 +55,7 @@ struct PrePrepareMsg final : sim::Message {
   const char* name() const override { return "PrePrepare"; }
 };
 
-struct PrepareMsg final : sim::Message {
+struct PrepareMsg final : runtime::Message {
   View view = 0;
   SeqNum seq = 0;
   Hash32 digest = kZeroHash;
@@ -64,7 +64,7 @@ struct PrepareMsg final : sim::Message {
   const char* name() const override { return "Prepare"; }
 };
 
-struct CommitMsg final : sim::Message {
+struct CommitMsg final : runtime::Message {
   View view = 0;
   SeqNum seq = 0;
   Hash32 digest = kZeroHash;
@@ -73,7 +73,7 @@ struct CommitMsg final : sim::Message {
   const char* name() const override { return "Commit"; }
 };
 
-struct ViewChangeMsg final : sim::Message {
+struct ViewChangeMsg final : runtime::Message {
   View new_view = 0;
   SeqNum last_exec = 0;
 
@@ -102,7 +102,7 @@ struct ViewChangeMsg final : sim::Message {
   const char* name() const override { return "ViewChange"; }
 };
 
-struct NewViewMsg final : sim::Message {
+struct NewViewMsg final : runtime::Message {
   View new_view = 0;
   /// View-change votes backing this NEW-VIEW (the V-set certificate).
   /// Models certificate verification: receivers ignore a NewView whose
@@ -120,7 +120,7 @@ struct NewViewMsg final : sim::Message {
 /// and my state digest is `digest`". A quorum of matching votes makes
 /// the checkpoint *stable*, letting logs be pruned and lagging replicas
 /// adopt snapshots safely.
-struct CheckpointMsg final : sim::Message {
+struct CheckpointMsg final : runtime::Message {
   SeqNum seq = 0;
   Hash32 digest = kZeroHash;
 
@@ -129,7 +129,7 @@ struct CheckpointMsg final : sim::Message {
 };
 
 /// A lagging replica asking for a certified snapshot.
-struct StateRequestMsg final : sim::Message {
+struct StateRequestMsg final : runtime::Message {
   SeqNum have_seq = 0;
 
   std::size_t wire_size() const override { return 16 + kSigBytes; }
@@ -142,7 +142,7 @@ struct StateRequestMsg final : sim::Message {
 /// modeled verification, as NewViewMsg::proof) reaches quorum. Either
 /// way a single Byzantine sender cannot poison state: it can neither
 /// mint a local cert nor forge 2f + 1 checkpoint signatures.
-struct StateSnapshotMsg final : sim::Message {
+struct StateSnapshotMsg final : runtime::Message {
   SeqNum seq = 0;
   Hash32 digest = kZeroHash;
   Bytes blob;
@@ -160,7 +160,7 @@ struct StateSnapshotMsg final : sim::Message {
 /// missed, starting just above `have_seq`. Answered with either a
 /// CatchUpBatchMsg (peer still retains those slots) or a certified
 /// StateSnapshotMsg (gap starts below the peer's pruned log floor).
-struct CatchUpRequestMsg final : sim::Message {
+struct CatchUpRequestMsg final : runtime::Message {
   SeqNum have_seq = 0;
 
   std::size_t wire_size() const override { return 16 + kSigBytes; }
@@ -171,7 +171,7 @@ struct CatchUpRequestMsg final : sim::Message {
 /// certificate (`proof` signers — modeled verification). The receiver
 /// executes entries in order; an entry whose certificate is below
 /// quorum is a fabrication and is skipped.
-struct CatchUpBatchMsg final : sim::Message {
+struct CatchUpBatchMsg final : runtime::Message {
   struct Entry {
     SeqNum seq = 0;
     PayloadPtr payload;
@@ -230,7 +230,7 @@ class PbftCore {
 
   /// Feed a consensus message; returns false if the message type is not
   /// a PBFT message (caller may route it elsewhere).
-  bool handle(NodeId from, const sim::MsgPtr& msg);
+  bool handle(NodeId from, const runtime::MsgPtr& msg);
 
   /// App signal: new data available; leader may propose, and replicas
   /// (re)arm their "expecting progress" timer.
@@ -239,7 +239,7 @@ class PbftCore {
   /// App signal: a kPending validation may now succeed.
   void revalidate(SeqNum seq);
 
-  /// Crash-recovery hook (sim::Actor::on_restart forwards here): the
+  /// Crash-recovery hook (runtime::Actor::on_restart forwards here): the
   /// node was down (or partitioned) and missed every message in the
   /// window. Probes peers for the slots it missed instead of resuming
   /// blind and burning view timeouts.
@@ -348,7 +348,7 @@ class PbftCore {
   bool want_progress_ = false;     ///< Outstanding work justifies timeouts.
   SeqNum window_ = 1;              ///< Max slots in flight (watermarks).
   SeqNum next_propose_ = 1;        ///< Leader's next unproposed slot.
-  sim::TimerHandle view_timer_;
+  runtime::TimerHandle view_timer_;
   std::uint64_t view_changes_ = 0;
   // View-change vote collection: view -> (voter index -> message).
   std::map<View, std::map<std::size_t, ViewChangeMsg>> vc_votes_;
@@ -370,7 +370,7 @@ class PbftCore {
   core::BackoffPolicy backoff_;
   Rng rng_;
   core::StallDetector sync_peer_;
-  sim::TimerHandle catch_up_timer_;
+  runtime::TimerHandle catch_up_timer_;
   bool catching_up_ = false;
   std::size_t catch_up_attempt_ = 0;
   /// Highest slot peers credibly claim exists (capped by kSeqWindow).

@@ -23,7 +23,7 @@ struct PbftNodeConfig {
   SeqNum pipeline_window = 1;
 };
 
-class PbftNode final : public sim::Actor, private PbftApp {
+class PbftNode final : public runtime::Actor, private PbftApp {
  public:
   PbftNode(NodeContext ctx, PbftNodeConfig config, CommitLedger& ledger)
       : ctx_(std::move(ctx)),
@@ -38,7 +38,7 @@ class PbftNode final : public sim::Actor, private PbftApp {
 
   void on_restart() override { core_.on_restart(); }
 
-  void on_message(NodeId from, const sim::MsgPtr& msg) override {
+  void on_message(NodeId from, const runtime::MsgPtr& msg) override {
     if (const auto* req = dynamic_cast<const ClientRequestMsg*>(msg.get())) {
       enqueue(req->txs);
       return;

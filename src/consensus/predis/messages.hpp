@@ -3,12 +3,12 @@
 
 #include "bundle/predis_block.hpp"
 #include "consensus/common.hpp"
-#include "sim/message.hpp"
+#include "runtime/message.hpp"
 
 namespace predis::consensus::predis {
 
 /// Producer -> consensus peers: one freshly packed bundle.
-struct BundleMsg final : sim::Message {
+struct BundleMsg final : runtime::Message {
   Bundle bundle;
 
   std::size_t wire_size() const override { return bundle.wire_size(); }
@@ -17,7 +17,7 @@ struct BundleMsg final : sim::Message {
 
 /// Request for bundles we are missing (after a Predis block referenced
 /// them, §III-D case 2).
-struct BundleFetchMsg final : sim::Message {
+struct BundleFetchMsg final : runtime::Message {
   std::vector<MissingBundleRef> refs;
 
   std::size_t wire_size() const override { return 16 + refs.size() * 12; }
@@ -25,7 +25,7 @@ struct BundleFetchMsg final : sim::Message {
 };
 
 /// Response to a fetch: the requested bundles we hold.
-struct BundleBatchMsg final : sim::Message {
+struct BundleBatchMsg final : runtime::Message {
   std::vector<Bundle> bundles;
 
   std::size_t wire_size() const override {
@@ -39,13 +39,13 @@ struct BundleBatchMsg final : sim::Message {
 /// Rejoin resync probe: a restarted node asks peers for their mempool
 /// tip lists so it can pull the bundle backlog it slept through instead
 /// of waiting for the next block proposal to reveal the gaps.
-struct TipsProbeMsg final : sim::Message {
+struct TipsProbeMsg final : runtime::Message {
   std::size_t wire_size() const override { return 16 + kSigBytes; }
   const char* name() const override { return "TipsProbe"; }
 };
 
 /// Reply to a TipsProbeMsg: the responder's contiguous tip heights.
-struct TipsReplyMsg final : sim::Message {
+struct TipsReplyMsg final : runtime::Message {
   std::vector<BundleHeight> tips;
 
   std::size_t wire_size() const override {
@@ -56,7 +56,7 @@ struct TipsReplyMsg final : sim::Message {
 
 /// Gossip of equivocation evidence: two conflicting signed headers from
 /// one producer. Receivers verify and ban the producer (§III-A).
-struct ConflictMsg final : sim::Message {
+struct ConflictMsg final : runtime::Message {
   ConflictEvidence evidence;
 
   std::size_t wire_size() const override {

@@ -191,7 +191,7 @@ void PredisEngine::disseminate(const Bundle& bundle) {
   ctx_.broadcast(msg);
 }
 
-bool PredisEngine::handle(NodeId from, const sim::MsgPtr& msg) {
+bool PredisEngine::handle(NodeId from, const runtime::MsgPtr& msg) {
   if (const auto* m = dynamic_cast<const BundleMsg*>(msg.get())) {
     add_bundle(from, m->bundle);
     return true;

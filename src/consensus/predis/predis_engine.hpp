@@ -77,7 +77,7 @@ class PredisEngine {
 
   /// Called by the embedding node when any Predis-layer message arrives.
   /// Returns false if the message belongs to someone else.
-  bool handle(NodeId from, const sim::MsgPtr& msg);
+  bool handle(NodeId from, const runtime::MsgPtr& msg);
 
   /// Start the continuous bundle-production loop.
   void start();
@@ -218,7 +218,7 @@ class PredisEngine {
 
   // Outstanding fetches: refs we asked for and have not yet received.
   std::set<std::pair<NodeId, BundleHeight>> outstanding_fetches_;
-  sim::TimerHandle fetch_timer_;
+  runtime::TimerHandle fetch_timer_;
 
   // Fetch pacing: capped jittered exponential backoff replaces the old
   // fixed fetch_retry interval, and a stall detector rotates the target

@@ -11,7 +11,7 @@
 namespace predis::consensus::predis {
 
 /// Predis riding PBFT (P-PBFT, Fig. 4(a)/(c)).
-class PredisPbftNode final : public sim::Actor, private pbft::PbftApp {
+class PredisPbftNode final : public runtime::Actor, private pbft::PbftApp {
  public:
   PredisPbftNode(NodeContext ctx, PredisConfig config,
                  std::vector<PublicKey> keys, KeyPair own_key,
@@ -50,7 +50,7 @@ class PredisPbftNode final : public sim::Actor, private pbft::PbftApp {
     core_.on_restart();
   }
 
-  void on_message(NodeId from, const sim::MsgPtr& msg) override {
+  void on_message(NodeId from, const runtime::MsgPtr& msg) override {
     if (const auto* req = dynamic_cast<const ClientRequestMsg*>(msg.get())) {
       engine_.enqueue(req->txs);
       return;
@@ -152,7 +152,7 @@ class PredisPbftNode final : public sim::Actor, private pbft::PbftApp {
 };
 
 /// Predis riding chained HotStuff (P-HS, Fig. 4(b)/(d), Fig. 5).
-class PredisHotStuffNode final : public sim::Actor,
+class PredisHotStuffNode final : public runtime::Actor,
                                  private hotstuff::HotStuffApp {
  public:
   PredisHotStuffNode(NodeContext ctx, PredisConfig config,
@@ -189,7 +189,7 @@ class PredisHotStuffNode final : public sim::Actor,
     core_.on_restart();
   }
 
-  void on_message(NodeId from, const sim::MsgPtr& msg) override {
+  void on_message(NodeId from, const runtime::MsgPtr& msg) override {
     if (const auto* req = dynamic_cast<const ClientRequestMsg*>(msg.get())) {
       engine_.enqueue(req->txs);
       return;

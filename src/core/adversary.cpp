@@ -122,7 +122,7 @@ constexpr std::uint64_t kAbsurd = 1ULL << 40;
 
 }  // namespace
 
-HostileInjector::HostileInjector(sim::Network& net, Protocol protocol,
+HostileInjector::HostileInjector(runtime::Runtime& net, Protocol protocol,
                                  std::vector<NodeId> group)
     : net_(&net), protocol_(protocol), group_(std::move(group)) {}
 
@@ -133,7 +133,7 @@ std::size_t HostileInjector::index_of(NodeId id) const {
   return group_.size();
 }
 
-void HostileInjector::shoot(NodeId from, NodeId to, sim::MsgPtr msg) {
+void HostileInjector::shoot(NodeId from, NodeId to, runtime::MsgPtr msg) {
   net_->send(from, to, std::move(msg));
   ++injected_;
 }
@@ -342,12 +342,12 @@ std::size_t HostileInjector::burst(NodeId attacker) {
   return injected_ - before;
 }
 
-std::size_t hostile_gossip_burst(sim::Network& net, NodeId attacker,
+std::size_t hostile_gossip_burst(runtime::Runtime& net, NodeId attacker,
                                  const std::vector<NodeId>& peers,
                                  std::size_t n_consensus,
                                  std::uint64_t nonce) {
   std::size_t sent = 0;
-  auto shoot = [&](NodeId to, sim::MsgPtr msg) {
+  auto shoot = [&](NodeId to, runtime::MsgPtr msg) {
     if (to == attacker) return;
     net.send(attacker, to, std::move(msg));
     ++sent;

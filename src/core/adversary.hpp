@@ -23,8 +23,8 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/faults.hpp"
-#include "sim/network.hpp"
 
 namespace predis::core {
 
@@ -63,7 +63,7 @@ void configure_attack(sim::FaultPlanConfig& plan, AttackKind attack,
 /// part of the message.
 class HostileInjector {
  public:
-  HostileInjector(sim::Network& net, Protocol protocol,
+  HostileInjector(runtime::Runtime& net, Protocol protocol,
                   std::vector<NodeId> group);
 
   /// Emit one burst of hostile consensus-layer messages from `attacker`
@@ -74,9 +74,9 @@ class HostileInjector {
 
  private:
   std::size_t index_of(NodeId id) const;
-  void shoot(NodeId from, NodeId to, sim::MsgPtr msg);
+  void shoot(NodeId from, NodeId to, runtime::MsgPtr msg);
 
-  sim::Network* net_;
+  runtime::Runtime* net_;
   Protocol protocol_;
   std::vector<NodeId> group_;
   std::uint64_t nonce_ = 0;
@@ -89,7 +89,7 @@ class HostileInjector {
 /// junk subscriptions) from full-node `attacker` to `peers`.
 /// `n_consensus` bounds the legitimate stripe-index space the garbage
 /// deliberately leaves. Returns messages sent.
-std::size_t hostile_gossip_burst(sim::Network& net, NodeId attacker,
+std::size_t hostile_gossip_burst(runtime::Runtime& net, NodeId attacker,
                                  const std::vector<NodeId>& peers,
                                  std::size_t n_consensus,
                                  std::uint64_t nonce);

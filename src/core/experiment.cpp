@@ -4,12 +4,14 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/sha256.hpp"
 #include "consensus/hotstuff/hotstuff_node.hpp"
 #include "core/ledger.hpp"
 #include "consensus/narwhal/shared_mempool.hpp"
 #include "consensus/pbft/pbft_node.hpp"
 #include "consensus/predis/predis_nodes.hpp"
-#include "sim/environments.hpp"
+#include "runtime/environments.hpp"
+#include "runtime/sim_runtime.hpp"
 #include "txpool/client.hpp"
 
 namespace predis::core {
@@ -44,16 +46,21 @@ bool is_predis_style(Protocol p) {
 }  // namespace
 
 ClusterResult run_cluster(const ClusterConfig& cfg) {
-  sim::Simulator simulator;
-  sim::Network net(simulator, cfg.wan ? sim::wan_latency()
-                                      : sim::lan_latency());
-  const std::size_t regions = cfg.wan ? sim::kWanRegions : 1;
+  // Default backend: the deterministic discrete-event simulator. A
+  // caller may swap in any other Runtime (e.g. ThreadRuntime) through
+  // cfg.ctx.backend; the assembly below only speaks the Runtime seam.
+  runtime::SimRuntime sim_backend(cfg.wan ? runtime::wan_latency()
+                                          : runtime::lan_latency());
+  runtime::Runtime& net =
+      cfg.ctx.backend != nullptr ? *cfg.ctx.backend : sim_backend.runtime();
+  if (cfg.ctx.trace != nullptr) net.set_tracer(cfg.ctx.trace);
+  const std::size_t regions = cfg.wan ? runtime::kWanRegions : 1;
 
   // --- Consensus nodes -------------------------------------------------
   std::vector<NodeId> consensus_ids;
   for (std::size_t i = 0; i < cfg.n_consensus; ++i) {
     consensus_ids.push_back(net.add_node(
-        sim::node_100mbps(static_cast<std::uint32_t>(i % regions))));
+        runtime::node_100mbps(static_cast<std::uint32_t>(i % regions))));
   }
 
   ConsensusConfig ccfg;
@@ -74,7 +81,7 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
   // the history of the ledger); checked for prefix consistency below.
   std::vector<Ledger> ledgers(cfg.n_consensus);
 
-  std::vector<std::unique_ptr<sim::Actor>> actors;
+  std::vector<std::unique_ptr<runtime::Actor>> actors;
   for (std::size_t i = 0; i < cfg.n_consensus; ++i) {
     NodeContext ctx(net, consensus_ids[i], ccfg);
     const bool faulty = i + cfg.n_faulty >= cfg.n_consensus &&
@@ -92,7 +99,7 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
         ncfg.pipeline_window = cfg.pbft_pipeline_window;
         auto node = std::make_unique<pbft::PbftNode>(ctx, ncfg, ledger);
         node->on_committed_block = record;
-        node->core().set_tracer(cfg.tracer);
+        node->core().set_tracer(cfg.ctx.tracer);
         actors.push_back(std::move(node));
         break;
       }
@@ -102,7 +109,7 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
         auto node =
             std::make_unique<hotstuff::HotStuffNode>(ctx, ncfg, ledger);
         node->on_committed_block = record;
-        node->core().set_tracer(cfg.tracer);
+        node->core().set_tracer(cfg.ctx.tracer);
         actors.push_back(std::move(node));
         break;
       }
@@ -121,13 +128,13 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
           node->on_committed_block = record;
           // The engine traces the full bundle + block lifecycle; the
           // core stays untraced to avoid double-counting proposals.
-          node->engine().set_tracer(cfg.tracer);
+          node->engine().set_tracer(cfg.ctx.tracer);
           actors.push_back(std::move(node));
         } else {
           auto node = std::make_unique<predis::PredisHotStuffNode>(
               ctx, pcfg, keys, own, ledger);
           node->on_committed_block = record;
-          node->engine().set_tracer(cfg.tracer);
+          node->engine().set_tracer(cfg.ctx.tracer);
           actors.push_back(std::move(node));
         }
         break;
@@ -145,7 +152,7 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
         auto node = std::make_unique<narwhal::SharedMempoolNode>(
             ctx, ncfg, ledger);
         node->on_committed_block = record;
-        node->set_tracer(cfg.tracer);
+        node->set_tracer(cfg.ctx.tracer);
         actors.push_back(std::move(node));
         break;
       }
@@ -158,13 +165,13 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
                             static_cast<double>(cfg.n_clients);
   std::vector<std::unique_ptr<ClientActor>> clients;
   for (std::size_t c = 0; c < cfg.n_clients; ++c) {
-    sim::NodeConfig ncfg;
+    runtime::NodeConfig ncfg;
     ncfg.region = static_cast<std::uint32_t>(c % regions);
     // Clients are not the system under test: give them fat pipes so the
     // consensus layer is the bottleneck, as in the paper's testbed
     // (many client instances).
-    ncfg.up_bw = 10 * sim::kBandwidth100Mbps;
-    ncfg.down_bw = 10 * sim::kBandwidth100Mbps;
+    ncfg.up_bw = 10 * runtime::kBandwidth100Mbps;
+    ncfg.down_bw = 10 * runtime::kBandwidth100Mbps;
     const NodeId id = net.add_node(ncfg);
 
     ClientConfig ccfg2;
@@ -184,8 +191,13 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
   }
 
   // --- Run --------------------------------------------------------------
+  std::vector<NodeId> client_ids;
+  for (const auto& c : clients) client_ids.push_back(c->id());
+  if (cfg.ctx.on_network_ready) {
+    cfg.ctx.on_network_ready(net, consensus_ids, client_ids);
+  }
   net.start();
-  simulator.run_until(cfg.duration + milliseconds(500));
+  net.run_until(cfg.duration + milliseconds(500));
 
   // --- Collect ------------------------------------------------------------
   ClusterResult result;
@@ -217,8 +229,17 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
       up_bytes / static_cast<double>(cfg.n_consensus) * 8.0 / 1e6 /
       to_seconds(cfg.duration);
   result.leader_proposal_bytes = net.stats(consensus_ids[0]).bytes_sent;
-  if (cfg.tracer != nullptr) {
-    result.stage_latency = cfg.tracer->stage_breakdown();
+  if (cfg.ctx.tracer != nullptr) {
+    result.stage_latency = cfg.ctx.tracer->stage_breakdown();
+  }
+  {
+    Writer w;
+    for (const Ledger& l : ledgers) {
+      w.u64(l.size());
+      w.hash(l.head_hash());
+    }
+    w.u64(metrics.committed_txs());
+    result.commit_digest = to_hex(Sha256::hash(w.data()));
   }
   return result;
 }

@@ -11,6 +11,7 @@
 #include "common/block_tracer.hpp"
 #include "common/types.hpp"
 #include "consensus/predis/predis_engine.hpp"
+#include "runtime/run_context.hpp"
 
 namespace predis::core {
 
@@ -57,10 +58,12 @@ struct ClusterConfig {
   consensus::predis::FaultMode fault_mode =
       consensus::predis::FaultMode::kNone;
 
-  /// Optional: shared block-lifecycle tracer every node records into.
-  /// When set, the result carries per-stage latency breakdowns and the
-  /// tracer is left populated for anomaly scans.
-  BlockTracer* tracer = nullptr;
+  /// Cross-cutting run plumbing shared by every experiment config:
+  /// optional block tracer (ctx.tracer fills `stage_latency` and is
+  /// left populated for anomaly scans), delivery-trace hasher, backend
+  /// override (run on an external Runtime instead of the internal
+  /// simulator) and the pre-start topology hook.
+  runtime::RunContext ctx;
 };
 
 struct ClusterResult {
@@ -78,8 +81,14 @@ struct ClusterResult {
   std::uint64_t ledger_blocks_max = 0;
   double consensus_uplink_mbps = 0.0;  ///< Mean consensus-node uplink use.
   std::uint64_t leader_proposal_bytes = 0;  ///< Proposal traffic (node 0).
-  /// Filled when config.tracer was set: per-stage latency distributions.
+  /// Filled when config.ctx.tracer was set: per-stage latency breakdowns.
   std::vector<TraceStageStats> stage_latency;
+  /// SHA-256 over every node's final hash-chained ledger (lengths +
+  /// head hashes) and the committed-tx count. Two backends that decided
+  /// the same blocks in the same order agree on this string; the
+  /// backend-equivalence tests compare it across Runtime
+  /// implementations.
+  std::string commit_digest;
 };
 
 /// Run one cluster simulation to completion and report.

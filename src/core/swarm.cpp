@@ -11,7 +11,8 @@
 #include "consensus/narwhal/shared_mempool.hpp"
 #include "consensus/pbft/pbft_node.hpp"
 #include "consensus/predis/predis_nodes.hpp"
-#include "sim/environments.hpp"
+#include "runtime/environments.hpp"
+#include "runtime/sim_runtime.hpp"
 #include "txpool/client.hpp"
 
 namespace predis::core {
@@ -27,12 +28,12 @@ bool has_predis_engine(Protocol p) {
 }  // namespace
 
 SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
-  sim::Simulator simulator;
-  sim::Network net(simulator,
-                   cfg.wan ? sim::wan_latency() : sim::lan_latency());
-  const std::size_t regions = cfg.wan ? sim::kWanRegions : 1;
+  runtime::SimRuntime backend(cfg.wan ? runtime::wan_latency()
+                                      : runtime::lan_latency());
+  runtime::Runtime& net = backend.runtime();
+  const std::size_t regions = cfg.wan ? runtime::kWanRegions : 1;
 
-  sim::TraceHasher tracer;
+  runtime::TraceHasher tracer;
   net.set_tracer(&tracer);
 
   // Block-lifecycle tracer shared by every consensus node: its folded
@@ -44,7 +45,7 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
   std::vector<NodeId> consensus_ids;
   for (std::size_t i = 0; i < cfg.n_consensus; ++i) {
     consensus_ids.push_back(net.add_node(
-        sim::node_100mbps(static_cast<std::uint32_t>(i % regions))));
+        runtime::node_100mbps(static_cast<std::uint32_t>(i % regions))));
   }
 
   ConsensusConfig ccfg;
@@ -99,7 +100,7 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
     }
   });
 
-  std::vector<std::unique_ptr<sim::Actor>> actors;
+  std::vector<std::unique_ptr<runtime::Actor>> actors;
   std::vector<predis::PredisEngine*> engines(cfg.n_consensus, nullptr);
   // Typed core handles kept alongside the type-erased actors so the
   // collect block can read recovery counters (catch-up batches, stall
@@ -177,17 +178,16 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
     if (engines[i] != nullptr) {
       predis::PredisEngine* engine = engines[i];
       engine->on_block_executed =
-          [&inv, &simulator, engine, i](const PredisBlock& block,
-                                        const std::vector<Transaction>&) {
-            inv.on_predis_executed(i, block, engine->mempool(),
-                                   simulator.now());
+          [&inv, &net, engine, i](const PredisBlock& block,
+                                  const std::vector<Transaction>&) {
+            inv.on_predis_executed(i, block, engine->mempool(), net.now());
           };
-      engine->on_block_proposal = [&inv, &simulator, i](
+      engine->on_block_proposal = [&inv, &net, i](
                                       const PredisBlock& block) {
-        inv.on_predis_proposed(i, block, simulator.now());
+        inv.on_predis_proposed(i, block, net.now());
       };
-      engine->mempool().on_ban = [&inv, &simulator, i](NodeId producer) {
-        inv.on_ban(i, producer, simulator.now());
+      engine->mempool().on_ban = [&inv, &net, i](NodeId producer) {
+        inv.on_ban(i, producer, net.now());
       };
       engine->mempool().on_unban = [&inv, i](NodeId producer) {
         inv.on_unban(i, producer);
@@ -218,7 +218,7 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
     // Spread a handful of bursts over the fault window.
     constexpr std::size_t kBursts = 4;
     for (std::size_t b = 0; b < kBursts; ++b) {
-      simulator.schedule_after(
+      net.schedule_after(
           window * static_cast<SimTime>(b) / static_cast<SimTime>(kBursts),
           [&injector, id] { injector.burst(id); });
     }
@@ -231,10 +231,10 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
       cfg.offered_load_tps / static_cast<double>(cfg.n_clients);
   std::vector<std::unique_ptr<ClientActor>> clients;
   for (std::size_t c = 0; c < cfg.n_clients; ++c) {
-    sim::NodeConfig ncfg;
+    runtime::NodeConfig ncfg;
     ncfg.region = static_cast<std::uint32_t>(c % regions);
-    ncfg.up_bw = 10 * sim::kBandwidth100Mbps;
-    ncfg.down_bw = 10 * sim::kBandwidth100Mbps;
+    ncfg.up_bw = 10 * runtime::kBandwidth100Mbps;
+    ncfg.down_bw = 10 * runtime::kBandwidth100Mbps;
     const NodeId id = net.add_node(ncfg);
 
     ClientConfig ccfg2;
@@ -256,7 +256,7 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
 
   // --- Run -------------------------------------------------------------
   net.start();
-  simulator.run_until(cfg.duration + milliseconds(500));
+  net.run_until(cfg.duration + milliseconds(500));
   inv.finalize();
 
   // --- Collect ---------------------------------------------------------

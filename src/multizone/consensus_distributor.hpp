@@ -19,7 +19,7 @@ namespace predis::multizone {
 
 enum class DistributionMode { kMultiZone, kStar };
 
-class MultiZoneConsensusNode final : public sim::Actor {
+class MultiZoneConsensusNode final : public runtime::Actor {
  public:
   MultiZoneConsensusNode(consensus::NodeContext ctx,
                          consensus::predis::PredisConfig pcfg,
@@ -66,7 +66,7 @@ class MultiZoneConsensusNode final : public sim::Actor {
   /// distribution layer (experiment bookkeeping).
   std::function<void(const PredisBlock&)> on_block_distributed;
 
-  void on_message(NodeId from, const sim::MsgPtr& msg) override {
+  void on_message(NodeId from, const runtime::MsgPtr& msg) override {
     if (subscribers_.count(from) != 0) last_heard_[from] = ctx_.now();
     if (const auto* m = dynamic_cast<const SubscribeMsg*>(msg.get())) {
       on_subscribe(from, *m);
@@ -220,7 +220,7 @@ class MultiZoneConsensusNode final : public sim::Actor {
 };
 
 /// Star-topology full node: passively receives complete blocks.
-class StarFullNode final : public sim::Actor {
+class StarFullNode final : public runtime::Actor {
  public:
   std::function<void(std::uint64_t block_id, SimTime when)> on_block;
 
@@ -231,7 +231,7 @@ class StarFullNode final : public sim::Actor {
     self_ = self;
   }
 
-  void on_message(NodeId /*from*/, const sim::MsgPtr& msg) override {
+  void on_message(NodeId /*from*/, const runtime::MsgPtr& msg) override {
     const auto* m = dynamic_cast<const FullBlockMsg*>(msg.get());
     if (m == nullptr) return;
     if (!seen_.insert(m->block_id).second) return;
@@ -242,11 +242,11 @@ class StarFullNode final : public sim::Actor {
     if (on_block) on_block(m->block_id, when_());
   }
 
-  explicit StarFullNode(sim::Network& net) : net_(net) {}
+  explicit StarFullNode(runtime::Runtime& net) : net_(net) {}
 
  private:
-  SimTime when_() const { return net_.simulator().now(); }
-  sim::Network& net_;
+  SimTime when_() const { return net_.now(); }
+  runtime::Runtime& net_;
   NodeId self_ = kNoNode;
   std::set<std::uint64_t> seen_;
   BlockTracer* tracer_ = nullptr;

@@ -12,10 +12,16 @@
 // n_c − f stripes of that bundle materializes it from here — the real
 // Reed-Solomon algebra is implemented and tested in src/erasure; the
 // network layer simulates stripe *bytes* (sizes) only.
+//
+// Registration and the member/consensus lists are fixed before the run
+// starts; only the bundle store mutates while traffic flows, so it
+// alone takes a lock (full nodes publish/decode from different workers
+// on the threaded Runtime backend).
 #pragma once
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -68,10 +74,15 @@ class ZoneDirectory {
   // --- Bundle decode oracle ---------------------------------------------
 
   void publish_bundle(const Bundle& bundle) {
+    std::lock_guard<std::mutex> lock(store_m_);
     store_.emplace(bundle.header.hash(), bundle);
   }
 
+  /// Pointer into the store: unordered_map nodes are stable, so the
+  /// pointer stays valid across later inserts; the brief lock only
+  /// orders the lookup against concurrent publishes.
   const Bundle* bundle(const Hash32& header_hash) const {
+    std::lock_guard<std::mutex> lock(store_m_);
     const auto it = store_.find(header_hash);
     return it == store_.end() ? nullptr : &it->second;
   }
@@ -92,6 +103,7 @@ class ZoneDirectory {
   std::vector<std::vector<NodeId>> zones_;
   std::map<NodeId, Info> info_;
   std::vector<NodeId> consensus_;
+  mutable std::mutex store_m_;
   std::unordered_map<Hash32, Bundle, HashKey> store_;
 };
 

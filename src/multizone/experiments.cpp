@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <mutex>
 
 #include "common/metrics.hpp"
 #include "multizone/consensus_distributor.hpp"
 #include "multizone/full_node.hpp"
 #include "multizone/random_gossip.hpp"
-#include "sim/environments.hpp"
+#include "runtime/environments.hpp"
+#include "runtime/sim_runtime.hpp"
 #include "txpool/client.hpp"
 
 namespace predis::multizone {
@@ -32,13 +34,15 @@ const char* to_string(Topology t) {
 // =====================================================================
 
 ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
-  sim::Simulator simulator;
-  sim::Network net(simulator, sim::lan_latency());
+  runtime::SimRuntime sim_backend((runtime::lan_latency()));
+  runtime::Runtime& net =
+      cfg.ctx.backend != nullptr ? *cfg.ctx.backend : sim_backend.runtime();
+  if (cfg.ctx.trace != nullptr) net.set_tracer(cfg.ctx.trace);
 
   // Consensus nodes.
   std::vector<NodeId> consensus_ids;
   for (std::size_t i = 0; i < cfg.n_consensus; ++i) {
-    consensus_ids.push_back(net.add_node(sim::node_100mbps(0)));
+    consensus_ids.push_back(net.add_node(runtime::node_100mbps(0)));
   }
 
   ConsensusConfig ccfg;
@@ -82,20 +86,23 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
     consensus.push_back(std::make_unique<MultiZoneConsensusNode>(
         ctx, pcfg, keys, KeyPair::from_seed(consensus_ids[i]), ledger,
         mzcfg, dir, mode));
-    consensus.back()->set_tracer(cfg.tracer);
+    consensus.back()->set_tracer(cfg.ctx.tracer);
     net.attach(consensus_ids[i], consensus.back().get());
   }
 
   // Full nodes.
   std::vector<NodeId> full_ids;
   for (std::size_t i = 0; i < cfg.n_full; ++i) {
-    full_ids.push_back(net.add_node(sim::node_100mbps(0)));
+    full_ids.push_back(net.add_node(runtime::node_100mbps(0)));
   }
 
+  // Capture maps are written from actor callbacks; on the threaded
+  // backend those fire on different workers, so guard them.
+  std::mutex capture_m;
   std::map<std::uint64_t, SimTime> announced_at;   // block height -> time
   std::map<std::uint64_t, std::size_t> completions;  // height -> count
 
-  std::vector<std::unique_ptr<sim::Actor>> full_nodes;
+  std::vector<std::unique_ptr<runtime::Actor>> full_nodes;
   std::vector<MultiZoneFullNode*> mz_nodes;
   if (cfg.topology == Topology::kStar) {
     // Round-robin assignment of full nodes to consensus nodes.
@@ -108,8 +115,10 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
     }
     for (NodeId id : full_ids) {
       auto node = std::make_unique<StarFullNode>(net);
-      node->set_tracer(cfg.tracer, id);
-      node->on_block = [&completions](std::uint64_t id, SimTime) {
+      node->set_tracer(cfg.ctx.tracer, id);
+      node->on_block = [&completions, &capture_m](std::uint64_t id,
+                                                  SimTime) {
+        std::lock_guard<std::mutex> lock(capture_m);
         ++completions[id];
       };
       net.attach(id, node.get());
@@ -124,9 +133,10 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
     for (NodeId id : full_ids) {
       auto node = std::make_unique<MultiZoneFullNode>(net, id, mzcfg, dir,
                                                       cfg.seed);
-      node->set_tracer(cfg.tracer);
-      node->on_block_complete = [&completions](const PredisBlock& b,
-                                               SimTime) {
+      node->set_tracer(cfg.ctx.tracer);
+      node->on_block_complete = [&completions, &capture_m](
+                                    const PredisBlock& b, SimTime) {
+        std::lock_guard<std::mutex> lock(capture_m);
         ++completions[b.height];
       };
       mz_nodes.push_back(node.get());
@@ -137,8 +147,9 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
 
   // Record announced blocks (once per committed block, at node 0).
   consensus[0]->on_block_distributed =
-      [&announced_at, &simulator](const PredisBlock& block) {
-        announced_at.emplace(block.height, simulator.now());
+      [&announced_at, &capture_m, &net](const PredisBlock& block) {
+        std::lock_guard<std::mutex> lock(capture_m);
+        announced_at.emplace(block.height, net.now());
       };
 
   // Clients start once the join churn has settled (the paper's testbed
@@ -152,10 +163,10 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
       cfg.offered_load_tps / static_cast<double>(cfg.n_clients);
   std::vector<std::unique_ptr<ClientActor>> clients;
   for (std::size_t c = 0; c < cfg.n_clients; ++c) {
-    sim::NodeConfig ncfg;
+    runtime::NodeConfig ncfg;
     ncfg.region = 0;
-    ncfg.up_bw = 10 * sim::kBandwidth100Mbps;
-    ncfg.down_bw = 10 * sim::kBandwidth100Mbps;
+    ncfg.up_bw = 10 * runtime::kBandwidth100Mbps;
+    ncfg.down_bw = 10 * runtime::kBandwidth100Mbps;
     const NodeId id = net.add_node(ncfg);
     ClientConfig ccfg2;
     ccfg2.self = id;
@@ -169,11 +180,11 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
     net.attach(id, clients.back().get());
   }
 
-  if (cfg.on_network_ready) {
-    cfg.on_network_ready(net, consensus_ids, full_ids);
+  if (cfg.ctx.on_network_ready) {
+    cfg.ctx.on_network_ready(net, consensus_ids, full_ids);
   }
   net.start();
-  simulator.run_until(setup + cfg.duration + milliseconds(500));
+  net.run_until(setup + cfg.duration + milliseconds(500));
 
   ThroughputResult result;
   result.throughput_tps =
@@ -182,7 +193,7 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
   result.consistent = ledger.consistent();
   double up = 0;
   for (NodeId id : consensus_ids) {
-    const sim::TrafficStats& stats = net.stats(id);
+    const runtime::TrafficStats stats = net.stats(id);
     metrics.record_bytes_sent(stats.bytes_sent);
     metrics.record_bytes_received(stats.bytes_received);
     up += static_cast<double>(stats.bytes_sent);
@@ -194,7 +205,7 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
   // Coverage over blocks announced early enough to have had time to
   // propagate (exclude the trailing 3 simulated seconds).
   if (!full_ids.empty()) {
-    const SimTime cutoff = simulator.now() - seconds(3);
+    const SimTime cutoff = net.now() - seconds(3);
     double sum = 0.0;
     std::size_t counted = 0;
     for (const auto& [height, when] : announced_at) {
@@ -222,8 +233,8 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
     result.last_executed_max =
         std::max(result.last_executed_max, core.last_executed());
   }
-  if (cfg.tracer != nullptr) {
-    result.stage_latency = cfg.tracer->stage_breakdown();
+  if (cfg.ctx.tracer != nullptr) {
+    result.stage_latency = cfg.ctx.tracer->stage_breakdown();
   }
   return result;
 }
@@ -237,14 +248,14 @@ namespace {
 /// Synthetic stripe source for the propagation experiment: stands in
 /// for consensus node `index`, accepting stripe subscriptions and
 /// sending its stripe of every produced bundle.
-class SyntheticProducer final : public sim::Actor {
+class SyntheticProducer final : public runtime::Actor {
  public:
-  SyntheticProducer(sim::Network& net, NodeId self, StripeIndex index,
+  SyntheticProducer(runtime::Runtime& net, NodeId self, StripeIndex index,
                     std::size_t k, std::size_t max_subscribers)
       : net_(net), self_(self), index_(index), k_(k),
         max_subscribers_(max_subscribers) {}
 
-  void on_message(NodeId from, const sim::MsgPtr& msg) override {
+  void on_message(NodeId from, const runtime::MsgPtr& msg) override {
     if (const auto* m = dynamic_cast<const SubscribeMsg*>(msg.get())) {
       std::vector<StripeIndex> accepted, rejected;
       for (StripeIndex s : m->stripes) {
@@ -308,7 +319,7 @@ class SyntheticProducer final : public sim::Actor {
       serve_pull;
 
  private:
-  sim::Network& net_;
+  runtime::Runtime& net_;
   NodeId self_;
   StripeIndex index_;
   std::size_t k_;
@@ -317,11 +328,11 @@ class SyntheticProducer final : public sim::Actor {
 };
 
 /// Star producer for Fig. 8: pushes complete blocks to its children.
-class StarProducer final : public sim::Actor {
+class StarProducer final : public runtime::Actor {
  public:
-  explicit StarProducer(sim::Network& net, NodeId self)
+  explicit StarProducer(runtime::Runtime& net, NodeId self)
       : net_(net), self_(self) {}
-  void on_message(NodeId, const sim::MsgPtr&) override {}
+  void on_message(NodeId, const runtime::MsgPtr&) override {}
   void push_block(std::uint64_t id, std::size_t bytes) {
     auto msg = std::make_shared<FullBlockMsg>();
     msg->block_id = id;
@@ -331,31 +342,33 @@ class StarProducer final : public sim::Actor {
   std::vector<NodeId> children;
 
  private:
-  sim::Network& net_;
+  runtime::Runtime& net_;
   NodeId self_;
 };
 
 }  // namespace
 
 PropagationResult run_propagation(const PropagationConfig& cfg) {
-  sim::Simulator simulator;
-  sim::Network net(simulator, sim::lan_latency());
+  runtime::SimRuntime sim_backend((runtime::lan_latency()));
+  runtime::Runtime& net =
+      cfg.ctx.backend != nullptr ? *cfg.ctx.backend : sim_backend.runtime();
+  if (cfg.ctx.trace != nullptr) net.set_tracer(cfg.ctx.trace);
   Rng rng(cfg.seed);
 
   std::vector<NodeId> producer_ids;
   for (std::size_t i = 0; i < cfg.n_consensus; ++i) {
-    producer_ids.push_back(net.add_node(sim::node_100mbps(0)));
+    producer_ids.push_back(net.add_node(runtime::node_100mbps(0)));
   }
   std::vector<NodeId> full_ids;
   for (std::size_t i = 0; i < cfg.n_full; ++i) {
-    full_ids.push_back(net.add_node(sim::node_100mbps(0)));
+    full_ids.push_back(net.add_node(runtime::node_100mbps(0)));
   }
 
   // Block production schedule: one shared cadence for every topology
   // (apples-to-apples, like the paper's fixed block stream), long
   // enough for the slowest topology — star at large blocks — to drain
   // one block before the next.
-  const double link_bps = sim::kBandwidth100Mbps;
+  const double link_bps = runtime::kBandwidth100Mbps;
   const double worst_star_seconds =
       static_cast<double>(cfg.block_bytes) / link_bps *
       std::ceil(static_cast<double>(cfg.n_full) /
@@ -370,11 +383,13 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
                                        milliseconds(120) +
                                    seconds(3));
 
-  // arrivals[b] = completion times at full nodes for block b.
+  // arrivals[b] = completion times at full nodes for block b; written
+  // from actor callbacks (worker threads on the threaded backend).
+  std::mutex capture_m;
   std::vector<std::vector<SimTime>> arrivals(cfg.n_blocks);
   std::vector<SimTime> produced_at(cfg.n_blocks, 0);
 
-  std::vector<std::unique_ptr<sim::Actor>> actors;
+  std::vector<std::unique_ptr<runtime::Actor>> actors;
   ZoneDirectory dir(std::max<std::size_t>(1, cfg.n_zones));
   dir.set_consensus_nodes(producer_ids);
 
@@ -389,8 +404,10 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
     for (std::size_t i = 0; i < full_ids.size(); ++i) {
       producers[i % cfg.n_consensus]->children.push_back(full_ids[i]);
       auto node = std::make_unique<StarFullNode>(net);
-      node->set_tracer(cfg.tracer, full_ids[i]);
-      node->on_block = [&arrivals](std::uint64_t id, SimTime when) {
+      node->set_tracer(cfg.ctx.tracer, full_ids[i]);
+      node->on_block = [&arrivals, &capture_m](std::uint64_t id,
+                                               SimTime when) {
+        std::lock_guard<std::mutex> lock(capture_m);
         if (id < arrivals.size()) arrivals[id].push_back(when);
       };
       net.attach(full_ids[i], node.get());
@@ -400,10 +417,12 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
       const SimTime at =
           setup + static_cast<SimTime>(b) * block_interval;
       produced_at[b] = at;
-      simulator.schedule_at(at, [producers, b, &cfg, &simulator] {
-        if (cfg.tracer != nullptr) {
-          cfg.tracer->record(TraceStage::kBlockCommitted, trace_key(b),
-                             simulator.now());
+      // Scheduling happens before the run starts (now() == 0), so the
+      // relative delay equals the absolute production time.
+      net.schedule_after(at, [producers, b, &cfg, &net] {
+        if (cfg.ctx.tracer != nullptr) {
+          cfg.ctx.tracer->record(TraceStage::kBlockCommitted, trace_key(b),
+                                 net.now());
         }
         for (StarProducer* p : producers) p->push_block(b, cfg.block_bytes);
       });
@@ -426,7 +445,7 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
     auto sources = std::make_shared<std::vector<RandomGossipNode*>>();
     for (NodeId id : everyone) {
       auto node = std::make_unique<RandomGossipNode>(net, id, gcfg, cfg.seed);
-      node->set_tracer(cfg.tracer);
+      node->set_tracer(cfg.ctx.tracer);
       node->set_peers({adj[id].begin(), adj[id].end()});
       const bool is_producer =
           std::find(producer_ids.begin(), producer_ids.end(), id) !=
@@ -434,7 +453,9 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
       if (is_producer) {
         sources->push_back(node.get());
       } else {
-        node->on_block = [&arrivals](std::uint64_t id2, SimTime when) {
+        node->on_block = [&arrivals, &capture_m](std::uint64_t id2,
+                                                 SimTime when) {
+          std::lock_guard<std::mutex> lock(capture_m);
           if (id2 < arrivals.size()) arrivals[id2].push_back(when);
         };
       }
@@ -445,7 +466,7 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
       const SimTime at =
           setup + static_cast<SimTime>(b) * block_interval;
       produced_at[b] = at;
-      simulator.schedule_at(at, [sources, b, &cfg] {
+      net.schedule_after(at, [sources, b, &cfg] {
         for (RandomGossipNode* s : *sources) s->inject(b, cfg.block_bytes);
       });
     }
@@ -475,9 +496,11 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
     for (NodeId id : full_ids) {
       auto node =
           std::make_unique<MultiZoneFullNode>(net, id, mzcfg, dir, cfg.seed);
-      node->set_tracer(cfg.tracer);
-      node->on_block_complete = [&arrivals](const PredisBlock& block,
-                                            SimTime when) {
+      node->set_tracer(cfg.ctx.tracer);
+      node->on_block_complete = [&arrivals, &capture_m](
+                                    const PredisBlock& block,
+                                    SimTime when) {
+        std::lock_guard<std::mutex> lock(capture_m);
         if (block.height < arrivals.size()) {
           arrivals[block.height].push_back(when);
         }
@@ -507,7 +530,7 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
     const std::size_t txs_per_bundle =
         std::max<std::size_t>(1, cfg.bundle_bytes / 512);
 
-    auto produce_bundle = [state, producers, &dir, &cfg, &simulator,
+    auto produce_bundle = [state, producers, &dir, &cfg, &net,
                            txs_per_bundle](std::size_t chain) {
       std::vector<Transaction> txs(txs_per_bundle);
       for (auto& tx : txs) {
@@ -525,11 +548,11 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
       state->headers[{chain, state->heights[chain]}] = bundle.header;
       dir.publish_bundle(bundle);
       const std::size_t bytes = bundle.wire_size();
-      if (cfg.tracer != nullptr) {
-        cfg.tracer->record(TraceStage::kBundleProduced,
-                           bundle.header.hash(), simulator.now());
-        cfg.tracer->record(TraceStage::kStripesSent, bundle.header.hash(),
-                           simulator.now());
+      if (cfg.ctx.tracer != nullptr) {
+        cfg.ctx.tracer->record(TraceStage::kBundleProduced,
+                               bundle.header.hash(), net.now());
+        cfg.ctx.tracer->record(TraceStage::kStripesSent,
+                               bundle.header.hash(), net.now());
       }
       // Every consensus node sends its stripe of this bundle (§IV-D).
       for (SyntheticProducer* p : *producers) {
@@ -550,13 +573,12 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
                                static_cast<double>(bundles_per_block) *
                                static_cast<double>(block_interval));
         const std::size_t chain = j % cfg.n_consensus;
-        simulator.schedule_at(at, [produce_bundle, chain] {
+        net.schedule_after(at, [produce_bundle, chain] {
           produce_bundle(chain);
         });
       }
       // Cut + announce the Predis block.
-      simulator.schedule_at(block_at, [state, producers, b, &cfg,
-                                       &simulator] {
+      net.schedule_after(block_at, [state, producers, b, &cfg, &net] {
         PredisBlock block;
         block.height = b;
         block.leader = 0;
@@ -570,10 +592,10 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
         }
         state->last_cut = state->heights;
         block.signature = state->key.sign(BytesView{block.signing_bytes()});
-        if (cfg.tracer != nullptr) {
+        if (cfg.ctx.tracer != nullptr) {
           // Full nodes key reconstruction by the real block hash.
-          cfg.tracer->record(TraceStage::kBlockCommitted, block.hash(),
-                             simulator.now());
+          cfg.ctx.tracer->record(TraceStage::kBlockCommitted, block.hash(),
+                                 net.now());
         }
         for (SyntheticProducer* p : *producers) p->send_block(block);
       });
@@ -603,7 +625,7 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
                                block_interval +
                            seconds(5);
   net.start();
-  simulator.run_until(end_time);
+  net.run_until(end_time);
 
   // Aggregate: time for each block to reach X% of full nodes.
   PropagationResult result;
@@ -633,8 +655,8 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
   }
   result.full_coverage_fraction =
       coverage / static_cast<double>(cfg.n_blocks);
-  if (cfg.tracer != nullptr) {
-    result.stage_latency = cfg.tracer->stage_breakdown();
+  if (cfg.ctx.tracer != nullptr) {
+    result.stage_latency = cfg.ctx.tracer->stage_breakdown();
   }
   return result;
 }

@@ -11,10 +11,7 @@
 
 #include "common/block_tracer.hpp"
 #include "common/types.hpp"
-
-namespace predis::sim {
-class Network;
-}  // namespace predis::sim
+#include "runtime/run_context.hpp"
 
 namespace predis::multizone {
 
@@ -43,16 +40,13 @@ struct ThroughputConfig {
   /// Ship real erasure-coded stripe bytes (see
   /// MultiZoneConfig::real_stripe_payloads). Multi-Zone topology only.
   bool real_stripe_payloads = false;
-  /// Optional shared lifecycle tracer recorded into by every node.
-  BlockTracer* tracer = nullptr;
-  /// Campaign hook: fired once the whole topology is built, immediately
-  /// before the network starts. Adversary campaigns attach fault
-  /// schedules and hostile injectors here (network, consensus node ids,
-  /// full node ids). Anything captured must outlive the run — the
-  /// runner blocks until the simulation completes.
-  std::function<void(sim::Network&, const std::vector<NodeId>&,
-                     const std::vector<NodeId>&)>
-      on_network_ready;
+  /// Cross-cutting run plumbing (tracer, backend override, pre-start
+  /// topology hook). ctx.on_network_ready fires once the whole topology
+  /// is built, immediately before the network starts — adversary
+  /// campaigns attach fault schedules and hostile injectors there
+  /// (runtime, consensus node ids, full node ids). Anything captured
+  /// must outlive the run; the runner blocks until it completes.
+  runtime::RunContext ctx;
 };
 
 struct ThroughputResult {
@@ -69,7 +63,7 @@ struct ThroughputResult {
   std::uint64_t view_changes = 0;       ///< Summed over consensus nodes.
   std::uint64_t last_executed_min = 0;  ///< Slowest node's executed slot.
   std::uint64_t last_executed_max = 0;
-  /// Filled when config.tracer was set: per-stage latency distributions.
+  /// Filled when config.ctx.tracer was set: per-stage breakdowns.
   std::vector<TraceStageStats> stage_latency;
 };
 
@@ -96,8 +90,8 @@ struct PropagationConfig {
   std::size_t n_blocks = 4;     ///< Blocks averaged over.
   SimTime setup_time = seconds(4);  ///< Topology convergence time.
   std::uint64_t seed = 1;
-  /// Optional shared lifecycle tracer recorded into by every node.
-  BlockTracer* tracer = nullptr;
+  /// Cross-cutting run plumbing (tracer, backend override, hook).
+  runtime::RunContext ctx;
 };
 
 struct PropagationResult {
@@ -105,7 +99,7 @@ struct PropagationResult {
   /// given fraction of full nodes.
   std::map<double, double> latency_ms_at_fraction;
   double full_coverage_fraction = 0.0;  ///< Nodes reached on average.
-  /// Filled when config.tracer was set: per-stage latency distributions.
+  /// Filled when config.ctx.tracer was set: per-stage breakdowns.
   std::vector<TraceStageStats> stage_latency;
 };
 

@@ -15,7 +15,7 @@ constexpr BundleHeight kMaxDigestSpan = 16;
 
 }  // namespace
 
-MultiZoneFullNode::MultiZoneFullNode(sim::Network& net, NodeId self,
+MultiZoneFullNode::MultiZoneFullNode(runtime::Runtime& net, NodeId self,
                                      MultiZoneConfig config,
                                      ZoneDirectory& directory,
                                      std::uint64_t seed)
@@ -39,27 +39,52 @@ MultiZoneFullNode::MultiZoneFullNode(sim::Network& net, NodeId self,
   // of a lock-step power-of-two ladder.
   pull_backoff_.base = cfg_.pull_timeout;
   pull_backoff_.cap = cfg_.pull_timeout * 8;
+  // Fan-out pacing quantum: flat (base == cap), jitter from the shared
+  // BackoffPolicy — each successive child send is spaced by one
+  // jittered quantum instead of the whole set landing on the uplink
+  // queue in one deterministic burst.
+  fanout_pacing_.base = milliseconds(1);
+  fanout_pacing_.cap = milliseconds(1);
+}
+
+void MultiZoneFullNode::paced_fanout(const std::vector<NodeId>& children,
+                                     runtime::MsgPtr msg) {
+  // The first child keeps the zero-delay critical path; later children
+  // are staggered with the same jittered-BackoffPolicy pacing the
+  // digest pulls use, so set-iteration order no longer fixes which
+  // child always drains the uplink queue last (the distribution-stage
+  // p99 tail left over from the backoff-unification pass).
+  SimTime at = 0;
+  for (NodeId child : children) {
+    if (at == 0) {
+      net_.send(self_, child, msg);
+    } else {
+      net_.schedule(self_, at, [this, child, msg] {
+        if (left_) return;
+        net_.send(self_, child, msg);
+      });
+    }
+    at += fanout_pacing_.delay(0, rng_);
+  }
 }
 
 void MultiZoneFullNode::on_start() {
   // Join at the registered time: nodes enter the network one after
   // another (§IV-C derives join order from on-chain registration), so
   // Algorithm 1 sees the relayers that earlier members established.
-  net_.simulator().schedule_after(std::max<SimTime>(0, join_time_ - now()),
-                                  [this] { bootstrap(); });
+  net_.schedule(self_, std::max<SimTime>(0, join_time_ - now()),
+                [this] { bootstrap(); });
 
-  net_.simulator().schedule_after(cfg_.relayer_alive_interval,
-                                  [this] { tick_relayer_alive(); });
-  net_.simulator().schedule_after(
-      cfg_.relayer_check_interval +
-          static_cast<SimTime>(rng_.next_below(
-              static_cast<std::uint64_t>(cfg_.relayer_check_interval))),
-      [this] { tick_relayer_check(); });
-  net_.simulator().schedule_after(cfg_.heartbeat_interval,
-                                  [this] { tick_heartbeat(); });
-  net_.simulator().schedule_after(cfg_.digest_interval,
-                                  [this] { tick_digest(); });
-
+  net_.schedule(self_, cfg_.relayer_alive_interval,
+                [this] { tick_relayer_alive(); });
+  net_.schedule(self_,
+                cfg_.relayer_check_interval +
+                    static_cast<SimTime>(rng_.next_below(static_cast<
+                        std::uint64_t>(cfg_.relayer_check_interval))),
+                [this] { tick_relayer_check(); });
+  net_.schedule(self_, cfg_.heartbeat_interval,
+                [this] { tick_heartbeat(); });
+  net_.schedule(self_, cfg_.digest_interval, [this] { tick_digest(); });
 }
 
 void MultiZoneFullNode::on_restart() {
@@ -201,7 +226,7 @@ void MultiZoneFullNode::announce_relayer() {
   zone_multicast(msg);
 }
 
-void MultiZoneFullNode::zone_multicast(const sim::MsgPtr& msg) {
+void MultiZoneFullNode::zone_multicast(const runtime::MsgPtr& msg) {
   for (NodeId member : dir_.members(zone_)) {
     if (member != self_) net_.send(self_, member, msg);
   }
@@ -227,7 +252,7 @@ std::size_t MultiZoneFullNode::known_active_relayers() const {
   return count;
 }
 
-void MultiZoneFullNode::on_message(NodeId from, const sim::MsgPtr& msg) {
+void MultiZoneFullNode::on_message(NodeId from, const runtime::MsgPtr& msg) {
   if (left_) return;
   last_heard_[from] = now();
 
@@ -494,9 +519,9 @@ void MultiZoneFullNode::on_stripe(NodeId /*from*/, const StripeMsg& msg) {
   // shared_ptr rides along unchanged — no byte copies per hop.
   if (!subscribers_[msg.index].empty()) {
     auto copy = std::make_shared<StripeMsg>(msg);
-    for (NodeId child : subscribers_[msg.index]) {
-      net_.send(self_, child, copy);
-    }
+    paced_fanout({subscribers_[msg.index].begin(),
+                  subscribers_[msg.index].end()},
+                 std::move(copy));
   }
 
   if (!state.decoded && state.have.size() >= k()) {
@@ -554,8 +579,7 @@ void MultiZoneFullNode::on_predis_block(NodeId from,
   // Forward to our subscribers (relayer -> ordinary flow, §IV-D).
   const std::vector<NodeId> children = subscriber_union();
   if (!children.empty()) {
-    auto copy = std::make_shared<PredisBlockMsg>(msg);
-    for (NodeId child : children) net_.send(self_, child, copy);
+    paced_fanout(children, std::make_shared<PredisBlockMsg>(msg));
   }
 
   pending_blocks_.emplace(hash, PendingBlock{msg.block, from, 0});
@@ -575,7 +599,7 @@ void MultiZoneFullNode::schedule_pull(const Hash32& block_hash,
                                   ? 0
                                   : it0->second.pull_attempts;
   const SimTime delay = pull_backoff_.delay(attempt, rng_);
-  net_.simulator().schedule_after(delay, [this, block_hash, sender] {
+  net_.schedule(self_, delay, [this, block_hash, sender] {
     if (left_) return;
     const auto it = pending_blocks_.find(block_hash);
     if (it == pending_blocks_.end()) return;  // completed meanwhile
@@ -746,7 +770,7 @@ void MultiZoneFullNode::on_push(NodeId /*from*/, const BundlePushMsg& msg) {
 void MultiZoneFullNode::tick_relayer_alive() {
   if (left_) return;
   if (is_relayer()) announce_relayer();
-  net_.simulator().schedule_after(cfg_.relayer_alive_interval,
+  net_.schedule(self_, cfg_.relayer_alive_interval,
                                   [this] { tick_relayer_alive(); });
 }
 
@@ -850,7 +874,7 @@ void MultiZoneFullNode::tick_relayer_check() {
     }
     subscribe_to_consensus(want);
   }
-  net_.simulator().schedule_after(cfg_.relayer_check_interval,
+  net_.schedule(self_, cfg_.relayer_check_interval,
                                   [this] { tick_relayer_check(); });
 }
 
@@ -896,7 +920,7 @@ void MultiZoneFullNode::tick_heartbeat() {
       }
     }
   }
-  net_.simulator().schedule_after(cfg_.heartbeat_interval,
+  net_.schedule(self_, cfg_.heartbeat_interval,
                                   [this] { tick_heartbeat(); });
 }
 
@@ -918,7 +942,7 @@ void MultiZoneFullNode::tick_digest() {
     digest->heights = contiguous_;
     net_.send(self_, backup_peer_, std::move(digest));
   }
-  net_.simulator().schedule_after(cfg_.digest_interval,
+  net_.schedule(self_, cfg_.digest_interval,
                                   [this] { tick_digest(); });
 }
 

@@ -17,14 +17,14 @@
 #include "core/recovery.hpp"
 #include "multizone/directory.hpp"
 #include "multizone/messages.hpp"
-#include "sim/network.hpp"
+#include "runtime/runtime.hpp"
 #include "txpool/transaction.hpp"
 
 namespace predis::multizone {
 
-class MultiZoneFullNode : public sim::Actor {
+class MultiZoneFullNode : public runtime::Actor {
  public:
-  MultiZoneFullNode(sim::Network& net, NodeId self, MultiZoneConfig config,
+  MultiZoneFullNode(runtime::Runtime& net, NodeId self, MultiZoneConfig config,
                     ZoneDirectory& directory, std::uint64_t seed = 1);
 
   void on_start() override;
@@ -33,7 +33,7 @@ class MultiZoneFullNode : public sim::Actor {
   /// outage — and probe for peers' digests so the bundle backlog pull
   /// starts immediately instead of at the next digest tick.
   void on_restart() override;
-  void on_message(NodeId from, const sim::MsgPtr& msg) override;
+  void on_message(NodeId from, const runtime::MsgPtr& msg) override;
 
   /// Fired when this node can rebuild a freshly announced block (it has
   /// the Predis block and every referenced bundle).
@@ -96,7 +96,7 @@ class MultiZoneFullNode : public sim::Actor {
   };
 
   std::size_t k() const { return cfg_.n_consensus - cfg_.f; }
-  SimTime now() const { return net_.simulator().now(); }
+  SimTime now() const { return net_.now(); }
 
   // Join / subscription management.
   void bootstrap();
@@ -132,10 +132,13 @@ class MultiZoneFullNode : public sim::Actor {
   void tick_heartbeat();
   void tick_digest();
 
-  void zone_multicast(const sim::MsgPtr& msg);
+  void zone_multicast(const runtime::MsgPtr& msg);
+  /// Relayer fan-out with jittered per-child pacing (see .cpp).
+  void paced_fanout(const std::vector<NodeId>& children,
+                    runtime::MsgPtr msg);
   std::vector<NodeId> subscriber_union() const;
 
-  sim::Network& net_;
+  runtime::Runtime& net_;
   NodeId self_;
   MultiZoneConfig cfg_;
   ZoneDirectory& dir_;
@@ -145,6 +148,8 @@ class MultiZoneFullNode : public sim::Actor {
   // power-of-two ladder): randomized delays desynchronize the pull
   // herd after a partition heals, which trims the distribution p99.
   core::BackoffPolicy pull_backoff_;
+  /// Flat jittered quantum spacing successive fan-out sends.
+  core::BackoffPolicy fanout_pacing_;
   std::uint32_t zone_ = 0;
   SimTime join_time_ = 0;
   bool left_ = false;

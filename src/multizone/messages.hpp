@@ -6,7 +6,7 @@
 
 #include "bundle/predis_block.hpp"
 #include "erasure/stripe_codec.hpp"
-#include "sim/message.hpp"
+#include "runtime/message.hpp"
 
 namespace predis::multizone {
 
@@ -23,7 +23,7 @@ using StripeIndex = std::uint32_t;
 /// Reed-Solomon-decode the real bytes. The payload is shared (not
 /// copied) as relayers forward the message down the multicast tree;
 /// wire accounting still charges body_bytes + proof_bytes per hop.
-struct StripeMsg final : sim::Message {
+struct StripeMsg final : runtime::Message {
   BundleHeader header;       ///< Which bundle this stripe belongs to.
   StripeIndex index = 0;     ///< Which of the n_c stripes.
   std::size_t body_bytes = 0;  ///< ceil(bundle bytes / (n_c - f)).
@@ -38,7 +38,7 @@ struct StripeMsg final : sim::Message {
 
 /// New block announcement flowing consensus -> relayers -> ordinary
 /// nodes; tiny (the Predis property).
-struct PredisBlockMsg final : sim::Message {
+struct PredisBlockMsg final : runtime::Message {
   PredisBlock block;
 
   std::size_t wire_size() const override { return block.wire_size(); }
@@ -47,7 +47,7 @@ struct PredisBlockMsg final : sim::Message {
 
 /// Complete block for the star / random baselines (they ship full
 /// content on every block, §V-B).
-struct FullBlockMsg final : sim::Message {
+struct FullBlockMsg final : runtime::Message {
   std::uint64_t block_id = 0;
   std::size_t body_bytes = 0;
 
@@ -56,14 +56,14 @@ struct FullBlockMsg final : sim::Message {
 };
 
 /// Subscribe for the given stripe streams (Algorithm 1).
-struct SubscribeMsg final : sim::Message {
+struct SubscribeMsg final : runtime::Message {
   std::vector<StripeIndex> stripes;
 
   std::size_t wire_size() const override { return 16 + stripes.size() * 4; }
   const char* name() const override { return "Subscribe"; }
 };
 
-struct AcceptSubscribeMsg final : sim::Message {
+struct AcceptSubscribeMsg final : runtime::Message {
   std::vector<StripeIndex> stripes;
   bool from_consensus = false;  ///< Sender is a consensus node.
 
@@ -72,7 +72,7 @@ struct AcceptSubscribeMsg final : sim::Message {
 };
 
 /// Decline + referral to children that still have capacity.
-struct RejectSubscribeMsg final : sim::Message {
+struct RejectSubscribeMsg final : runtime::Message {
   std::vector<StripeIndex> stripes;
   std::vector<NodeId> children;
 
@@ -82,7 +82,7 @@ struct RejectSubscribeMsg final : sim::Message {
   const char* name() const override { return "RejectSubscribe"; }
 };
 
-struct UnsubscribeMsg final : sim::Message {
+struct UnsubscribeMsg final : runtime::Message {
   std::vector<StripeIndex> stripes;
 
   std::size_t wire_size() const override { return 16 + stripes.size() * 4; }
@@ -92,7 +92,7 @@ struct UnsubscribeMsg final : sim::Message {
 /// Periodic relayer advertisement (Algorithm 2): identity, the stripes
 /// it relays (empty set = demotion to ordinary node), and its join time
 /// so overlapping relayers can break ties.
-struct RelayerAliveMsg final : sim::Message {
+struct RelayerAliveMsg final : runtime::Message {
   NodeId relayer = kNoNode;
   std::vector<StripeIndex> relayed;
   SimTime join_time = 0;
@@ -103,7 +103,7 @@ struct RelayerAliveMsg final : sim::Message {
 
 /// Bootstrap: ask an existing zone member for the current relayer set
 /// (the "getRelayer" message of §IV-C).
-struct GetRelayersMsg final : sim::Message {
+struct GetRelayersMsg final : runtime::Message {
   std::size_t wire_size() const override { return 8; }
   const char* name() const override { return "GetRelayers"; }
 };
@@ -114,7 +114,7 @@ struct RelayerInfo {
   SimTime join_time = 0;
 };
 
-struct RelayersMsg final : sim::Message {
+struct RelayersMsg final : runtime::Message {
   std::vector<RelayerInfo> relayers;
 
   std::size_t wire_size() const override {
@@ -126,25 +126,25 @@ struct RelayersMsg final : sim::Message {
 };
 
 /// FEG/random-topology baseline: block-id digest and pull.
-struct BlockDigestMsg final : sim::Message {
+struct BlockDigestMsg final : runtime::Message {
   std::uint64_t block_id = 0;
   std::size_t wire_size() const override { return 40; }
   const char* name() const override { return "BlockDigest"; }
 };
 
-struct BlockPullMsg final : sim::Message {
+struct BlockPullMsg final : runtime::Message {
   std::uint64_t block_id = 0;
   std::size_t wire_size() const override { return 40; }
   const char* name() const override { return "BlockPull"; }
 };
 
 /// Graceful departure (§IV-E).
-struct LeaveMsg final : sim::Message {
+struct LeaveMsg final : runtime::Message {
   std::size_t wire_size() const override { return 8; }
   const char* name() const override { return "Leave"; }
 };
 
-struct HeartbeatMsg final : sim::Message {
+struct HeartbeatMsg final : runtime::Message {
   /// Echoes carry reply = true and MUST NOT be echoed again, or every
   /// ping would spawn an unbounded ping-pong loop.
   bool reply = false;
@@ -154,7 +154,7 @@ struct HeartbeatMsg final : sim::Message {
 
 /// Backup-connection digest (§IV-F): bundle heights we hold, so
 /// neighbours in other zones can detect what we miss.
-struct DigestMsg final : sim::Message {
+struct DigestMsg final : runtime::Message {
   std::vector<BundleHeight> heights;  ///< Contiguous height per chain.
 
   std::size_t wire_size() const override { return 16 + heights.size() * 8; }
@@ -164,13 +164,13 @@ struct DigestMsg final : sim::Message {
 /// Rejoin probe: a restarted full node asks a peer to send its DigestMsg
 /// immediately instead of waiting for the next periodic digest tick, so
 /// the stripe backlog pull starts the moment the node is back.
-struct DigestRequestMsg final : sim::Message {
+struct DigestRequestMsg final : runtime::Message {
   std::size_t wire_size() const override { return 9; }
   const char* name() const override { return "DigestRequest"; }
 };
 
 /// Pull request for bundles we are missing (digest gap or slow stripes).
-struct BundlePullMsg final : sim::Message {
+struct BundlePullMsg final : runtime::Message {
   std::vector<MissingBundleRef> refs;
 
   std::size_t wire_size() const override { return 16 + refs.size() * 12; }
@@ -178,7 +178,7 @@ struct BundlePullMsg final : sim::Message {
 };
 
 /// Pull response: full bundles.
-struct BundlePushMsg final : sim::Message {
+struct BundlePushMsg final : runtime::Message {
   std::vector<Bundle> bundles;
 
   std::size_t wire_size() const override {

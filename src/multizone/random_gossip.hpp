@@ -15,7 +15,7 @@
 #include "common/rng.hpp"
 #include "core/recovery.hpp"
 #include "multizone/messages.hpp"
-#include "sim/network.hpp"
+#include "runtime/runtime.hpp"
 
 namespace predis::multizone {
 
@@ -24,9 +24,9 @@ struct GossipConfig {
   SimTime pull_delay = milliseconds(100);  ///< Digest -> pull grace.
 };
 
-class RandomGossipNode final : public sim::Actor {
+class RandomGossipNode final : public runtime::Actor {
  public:
-  RandomGossipNode(sim::Network& net, NodeId self, GossipConfig config,
+  RandomGossipNode(runtime::Runtime& net, NodeId self, GossipConfig config,
                    std::uint64_t seed)
       : net_(net), self_(self), cfg_(config),
         rng_(seed ^ (self * 2654435761ULL)) {
@@ -54,7 +54,7 @@ class RandomGossipNode final : public sim::Actor {
     if (!seen_.insert(block_id).second) return;
     if (tracer_ != nullptr) {
       tracer_->record(TraceStage::kBlockCommitted, trace_key(block_id),
-                      net_.simulator().now());
+                      net_.now());
     }
     FullBlockMsg msg;
     msg.block_id = block_id;
@@ -62,17 +62,17 @@ class RandomGossipNode final : public sim::Actor {
     relay(msg, self_);
   }
 
-  void on_message(NodeId from, const sim::MsgPtr& msg) override {
+  void on_message(NodeId from, const runtime::MsgPtr& msg) override {
     if (const auto* m = dynamic_cast<const FullBlockMsg*>(msg.get())) {
       have_[m->block_id] = m->body_bytes;
       knows_[m->block_id].insert(from);
       if (!seen_.insert(m->block_id).second) return;
       if (tracer_ != nullptr) {
         tracer_->record(TraceStage::kBlockReconstructed,
-                        trace_key(m->block_id), net_.simulator().now(),
+                        trace_key(m->block_id), net_.now(),
                         self_);
       }
-      if (on_block) on_block(m->block_id, net_.simulator().now());
+      if (on_block) on_block(m->block_id, net_.now());
       relay(*m, from);
       return;
     }
@@ -105,8 +105,9 @@ class RandomGossipNode final : public sim::Actor {
   /// block is a harmless no-op). Re-arms itself until the block lands.
   void schedule_pull(std::uint64_t id, NodeId first_target,
                      std::size_t attempt) {
-    net_.simulator().schedule_after(
-        pull_backoff_.delay(attempt, rng_), [this, id, first_target, attempt] {
+    net_.schedule(
+        self_, pull_backoff_.delay(attempt, rng_),
+        [this, id, first_target, attempt] {
           if (seen_.count(id) != 0) {
             pulling_.erase(id);
             return;
@@ -123,7 +124,7 @@ class RandomGossipNode final : public sim::Actor {
           const NodeId target = targets[attempt % targets.size()];
           if (tracer_ != nullptr) {
             tracer_->record_pull(trace_key(id), self_,
-                                 net_.simulator().now());
+                                 net_.now());
           }
           auto pull = std::make_shared<BlockPullMsg>();
           pull->block_id = id;
@@ -156,7 +157,7 @@ class RandomGossipNode final : public sim::Actor {
     }
   }
 
-  sim::Network& net_;
+  runtime::Runtime& net_;
   NodeId self_;
   GossipConfig cfg_;
   Rng rng_;

@@ -1,0 +1,31 @@
+// Base type for every wire message exchanged between nodes, regardless
+// of which Runtime backend carries it.
+//
+// A backend only needs a message's *size* (to model or account for
+// bandwidth) and a debug name; protocol modules derive their own
+// message structs and downcast on receipt. Messages are immutable once
+// sent: the threaded backend shares one object across worker threads.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace predis::runtime {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Size of this message on the wire, in bytes, *excluding* the fixed
+  /// per-message transport overhead the backend adds.
+  virtual std::size_t wire_size() const = 0;
+
+  /// Short name for tracing ("PrePrepare", "Bundle", ...).
+  virtual const char* name() const = 0;
+};
+
+/// Messages are immutable and shared between receivers of a multicast,
+/// so a broadcast of a 2 MB bundle does not copy the payload N times.
+using MsgPtr = std::shared_ptr<const Message>;
+
+}  // namespace predis::runtime

@@ -1,0 +1,33 @@
+// SimRuntime: the deterministic discrete-event backend, packaged as a
+// self-contained Runtime. Bundles the Simulator's event queue with the
+// simulated network so harness code (core/experiment, core/swarm,
+// tools) can construct a backend without naming sim::Network or the
+// Simulator directly — predis-lint rule D6 reserves those spellings
+// for src/sim/ and src/runtime/.
+#pragma once
+
+#include "runtime/runtime.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace predis::runtime {
+
+class SimRuntime {
+ public:
+  explicit SimRuntime(LatencyMatrix latency)
+      : net_(sim_, std::move(latency)) {}
+
+  /// The backend interface actors and harnesses talk to.
+  Runtime& runtime() { return net_; }
+
+  /// Escape hatches for sim-level instrumentation (event counts,
+  /// drain-to-empty runs). Deterministic-backend callers only.
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return net_; }
+
+ private:
+  sim::Simulator sim_;
+  sim::Network net_;
+};
+
+}  // namespace predis::runtime

@@ -1,0 +1,417 @@
+// predis-lint: allow-file(D2): the wall-clock mode of this backend is
+// the one place outside benchmarks where real time is the product —
+// every other module still gets its time exclusively through
+// Runtime::now().
+#include "runtime/thread_runtime.hpp"
+
+#include <stdexcept>
+
+namespace predis::runtime {
+
+namespace {
+std::chrono::nanoseconds to_chrono(SimTime t) {
+  return std::chrono::nanoseconds(t);
+}
+}  // namespace
+
+ThreadRuntime::ThreadRuntime(ThreadRuntimeConfig config)
+    : cfg_(std::move(config)),
+      links_(cfg_.latency),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (cfg_.clock == ClockMode::kWall) {
+    const std::size_t n = cfg_.workers == 0 ? 1 : cfg_.workers;
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    timer_thread_ = std::thread([this] { timer_loop(); });
+  }
+}
+
+ThreadRuntime::~ThreadRuntime() {
+  {
+    std::lock_guard<std::mutex> lk(ready_m_);
+    stopping_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lk(timer_m_);
+    // stopping_ is read under ready_m_ by workers and under timer_m_
+    // here purely as a wakeup; the flag itself is only written once.
+  }
+  ready_cv_.notify_all();
+  timer_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  if (timer_thread_.joinable()) timer_thread_.join();
+}
+
+NodeId ThreadRuntime::add_node(const NodeConfig& config) {
+  const NodeId id = links_.add_node(config);
+  if (cfg_.clock == ClockMode::kWall) {
+    auto mb = std::make_unique<Mailbox>();
+    mb->config = config;
+    mailboxes_.push_back(std::move(mb));
+  }
+  return id;
+}
+
+void ThreadRuntime::attach(NodeId id, Actor* actor) {
+  links_.attach(id, actor);
+  if (cfg_.clock == ClockMode::kWall) {
+    std::lock_guard<std::mutex> lk(mailboxes_.at(id)->m);
+    mailboxes_[id]->actor = actor;
+  }
+}
+
+std::size_t ThreadRuntime::node_count() const { return links_.node_count(); }
+
+std::uint32_t ThreadRuntime::region_of(NodeId id) const {
+  return links_.region_of(id);
+}
+
+SimTime ThreadRuntime::now() const {
+  if (cfg_.clock == ClockMode::kLogical) return logical_now_;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TimerHandle ThreadRuntime::push_logical(SimTime at, std::function<void()> fn) {
+  auto alive = std::make_shared<std::atomic<bool>>(true);
+  logical_q_.push(SimEvent{at, logical_seq_++, std::move(fn), alive});
+  return TimerHandle{std::move(alive)};
+}
+
+TimerHandle ThreadRuntime::schedule(NodeId owner, SimTime delay,
+                                    std::function<void()> fn) {
+  if (delay < 0) {
+    throw std::invalid_argument("ThreadRuntime::schedule: negative delay");
+  }
+  if (cfg_.clock == ClockMode::kLogical) {
+    return push_logical(logical_now_ + delay, std::move(fn));
+  }
+  auto alive = std::make_shared<std::atomic<bool>>(true);
+  {
+    std::lock_guard<std::mutex> lk(timer_m_);
+    timer_q_.push(
+        TimerEvent{now() + delay, timer_seq_++, owner, std::move(fn), alive});
+  }
+  timer_cv_.notify_one();
+  return TimerHandle{std::move(alive)};
+}
+
+void ThreadRuntime::send(NodeId from, NodeId to, MsgPtr msg) {
+  if (cfg_.clock == ClockMode::kLogical) {
+    // Same fluid model, same event ordering as sim::Network::send.
+    const auto plan = links_.plan_send(from, to, *msg, logical_now_);
+    if (!plan.deliver) return;
+    push_logical(plan.at,
+                 [this, from, to, msg = std::move(msg), size = plan.size]() {
+                   Actor* actor = links_.complete_delivery(from, to, size,
+                                                           logical_now_, *msg);
+                   if (actor != nullptr) actor->on_message(from, msg);
+                 });
+    return;
+  }
+
+  if (from >= mailboxes_.size() || to >= mailboxes_.size()) {
+    throw std::out_of_range("ThreadRuntime::send: unknown node");
+  }
+  const std::size_t size = msg->wire_size() + kTransportOverhead;
+  {
+    Mailbox& src = *mailboxes_[from];
+    std::lock_guard<std::mutex> lk(src.m);
+    if (src.down) {
+      ++src.stats.messages_dropped;
+      return;
+    }
+    src.stats.bytes_sent += size;
+    ++src.stats.messages_sent;
+  }
+  {
+    std::lock_guard<std::mutex> lk(hooks_m_);
+    if (drop_filter_ && drop_filter_(from, to, *msg)) return;
+  }
+  Item item;
+  item.from = from;
+  item.msg = std::move(msg);
+  item.size = size;
+  enqueue_item(to, std::move(item));
+}
+
+void ThreadRuntime::multicast(NodeId from, const std::vector<NodeId>& to,
+                              const MsgPtr& msg) {
+  for (NodeId dest : to) {
+    if (dest == from) continue;
+    send(from, dest, msg);
+  }
+}
+
+void ThreadRuntime::enqueue_item(NodeId to, Item item) {
+  Mailbox& dst = *mailboxes_.at(to);
+  bool need_ready = false;
+  {
+    std::lock_guard<std::mutex> lk(dst.m);
+    if (item.msg != nullptr && dst.down) return;
+    dst.q.push_back(std::move(item));
+    if (!dst.active) {
+      dst.active = true;
+      need_ready = true;
+    }
+  }
+  if (need_ready) {
+    {
+      std::lock_guard<std::mutex> lk(ready_m_);
+      ready_.push_back(to);
+    }
+    ready_cv_.notify_one();
+  }
+}
+
+void ThreadRuntime::start() {
+  // Fire on_start in id order on the calling thread, with the worker
+  // gate still closed: traffic generated here piles up in mailboxes
+  // and the run begins atomically when the gate opens below (the
+  // release of ready_m_ is what publishes all on_start writes to the
+  // workers).
+  for (NodeId id = 0; id < links_.node_count(); ++id) {
+    Actor* actor = links_.actor(id);
+    if (actor != nullptr && !is_down(id)) actor->on_start();
+  }
+  if (cfg_.clock == ClockMode::kWall) {
+    {
+      std::lock_guard<std::mutex> lk(ready_m_);
+      running_ = true;
+    }
+    ready_cv_.notify_all();
+    timer_cv_.notify_all();
+  }
+}
+
+void ThreadRuntime::run_until(SimTime limit) {
+  if (cfg_.clock == ClockMode::kLogical) {
+    while (!logical_q_.empty() && logical_q_.top().time <= limit) {
+      SimEvent ev = logical_q_.top();
+      logical_q_.pop();
+      logical_now_ = ev.time;
+      if (ev.alive->exchange(false, std::memory_order_relaxed)) {
+        ev.fn();
+      }
+    }
+    if (logical_now_ < limit) logical_now_ = limit;
+    return;
+  }
+
+  draining_.store(false, std::memory_order_relaxed);
+  std::this_thread::sleep_until(epoch_ + to_chrono(limit));
+  // Deadline passed: stop firing timers (heartbeats would otherwise
+  // re-arm forever) and wait for in-flight message cascades to die
+  // out, so the caller can read shared run state without racing.
+  draining_.store(true, std::memory_order_relaxed);
+  const auto give_up =
+      std::chrono::steady_clock::now() + to_chrono(cfg_.drain_grace);
+  while (!quiescent() && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+bool ThreadRuntime::quiescent() {
+  for (auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lk(mb->m);
+    if (mb->active || !mb->q.empty()) return false;
+  }
+  std::lock_guard<std::mutex> lk(ready_m_);
+  return ready_.empty();
+}
+
+void ThreadRuntime::worker_loop() {
+  for (;;) {
+    NodeId idx = kNoNode;
+    {
+      std::unique_lock<std::mutex> lk(ready_m_);
+      ready_cv_.wait(
+          lk, [this] { return stopping_ || (running_ && !ready_.empty()); });
+      if (stopping_) return;
+      idx = ready_.front();
+      ready_.pop_front();
+    }
+    drain_mailbox(idx);
+  }
+}
+
+void ThreadRuntime::drain_mailbox(NodeId id) {
+  Mailbox& mb = *mailboxes_[id];
+  for (;;) {
+    std::deque<Item> batch;
+    {
+      std::lock_guard<std::mutex> lk(mb.m);
+      if (mb.q.empty()) {
+        mb.active = false;
+        return;
+      }
+      batch.swap(mb.q);
+    }
+    for (Item& item : batch) dispatch(mb, item);
+  }
+}
+
+void ThreadRuntime::dispatch(Mailbox& mb, Item& item) {
+  if (item.msg == nullptr) {
+    // Timer task routed through the owner's mailbox: consume the
+    // liveness flag exactly once (a cancel() racing this exchange
+    // either wins — flag already false — or loses cleanly).
+    if (item.alive != nullptr &&
+        !item.alive->exchange(false, std::memory_order_relaxed)) {
+      return;
+    }
+    item.task();
+    return;
+  }
+  Actor* actor = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mb.m);
+    if (mb.down || mb.actor == nullptr) return;
+    mb.stats.bytes_received += item.size;
+    ++mb.stats.messages_received;
+    actor = mb.actor;
+  }
+  actor->on_message(item.from, item.msg);
+}
+
+void ThreadRuntime::timer_loop() {
+  std::unique_lock<std::mutex> lk(timer_m_);
+  for (;;) {
+    if (stopping_read()) return;
+    if (timer_q_.empty()) {
+      timer_cv_.wait(lk);
+      continue;
+    }
+    const auto deadline = epoch_ + to_chrono(timer_q_.top().deadline);
+    if (std::chrono::steady_clock::now() < deadline) {
+      timer_cv_.wait_until(lk, deadline);
+      continue;
+    }
+    TimerEvent ev = timer_q_.top();
+    timer_q_.pop();
+    lk.unlock();
+    if (!draining_.load(std::memory_order_relaxed)) {
+      if (ev.owner == kNoNode) {
+        // Harness callback: runs on the wheel thread; consume the flag.
+        if (ev.alive->exchange(false, std::memory_order_relaxed)) ev.fn();
+      } else {
+        Item item;
+        item.task = std::move(ev.fn);
+        item.alive = std::move(ev.alive);
+        enqueue_item(ev.owner, std::move(item));
+      }
+    }
+    lk.lock();
+  }
+}
+
+bool ThreadRuntime::stopping_read() {
+  // stopping_ is written once under ready_m_; reading it under that
+  // mutex keeps the timer loop race-free without an extra atomic.
+  std::lock_guard<std::mutex> lk(ready_m_);
+  return stopping_;
+}
+
+void ThreadRuntime::set_node_down(NodeId id, bool down) {
+  if (cfg_.clock == ClockMode::kLogical) {
+    Actor* restarted = links_.set_node_down(id, down);
+    if (restarted != nullptr) restarted->on_restart();
+    return;
+  }
+  Mailbox& mb = *mailboxes_.at(id);
+  bool restarting = false;
+  Actor* actor = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mb.m);
+    restarting = mb.down && !down;
+    mb.down = down;
+    if (down) mb.q.clear();
+    actor = mb.actor;
+  }
+  if (restarting && actor != nullptr) {
+    // Serialize the restart hook with the node's other callbacks.
+    Item item;
+    item.task = [actor] { actor->on_restart(); };
+    item.alive = std::make_shared<std::atomic<bool>>(true);
+    enqueue_item(id, std::move(item));
+  }
+}
+
+void ThreadRuntime::notify_reconnect(NodeId id) {
+  if (cfg_.clock == ClockMode::kLogical) {
+    Actor* actor = links_.reconnect_target(id);
+    if (actor != nullptr) actor->on_restart();
+    return;
+  }
+  Mailbox& mb = *mailboxes_.at(id);
+  Actor* actor = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mb.m);
+    actor = mb.down ? nullptr : mb.actor;
+  }
+  if (actor != nullptr) {
+    Item item;
+    item.task = [actor] { actor->on_restart(); };
+    item.alive = std::make_shared<std::atomic<bool>>(true);
+    enqueue_item(id, std::move(item));
+  }
+}
+
+bool ThreadRuntime::is_down(NodeId id) const {
+  if (cfg_.clock == ClockMode::kLogical) return links_.is_down(id);
+  Mailbox& mb = *mailboxes_.at(id);
+  std::lock_guard<std::mutex> lk(mb.m);
+  return mb.down;
+}
+
+void ThreadRuntime::set_drop_filter(DropFilter filter) {
+  if (cfg_.clock == ClockMode::kLogical) {
+    links_.set_drop_filter(std::move(filter));
+    return;
+  }
+  std::lock_guard<std::mutex> lk(hooks_m_);
+  drop_filter_ = std::move(filter);
+}
+
+void ThreadRuntime::set_extra_delay(DelayFn fn) {
+  if (cfg_.clock == ClockMode::kLogical) {
+    links_.set_extra_delay(std::move(fn));
+  }
+  // Wall mode has no modeled propagation delay to add to.
+}
+
+void ThreadRuntime::set_tracer(TraceHasher* tracer) {
+  if (cfg_.clock == ClockMode::kLogical) {
+    links_.set_tracer(tracer);
+  }
+  // Wall mode has no deterministic delivery order to fold.
+}
+
+TrafficStats ThreadRuntime::stats(NodeId id) const {
+  if (cfg_.clock == ClockMode::kLogical) return links_.stats(id);
+  Mailbox& mb = *mailboxes_.at(id);
+  std::lock_guard<std::mutex> lk(mb.m);
+  return mb.stats;
+}
+
+SimTime ThreadRuntime::uplink_backlog(NodeId id) const {
+  if (cfg_.clock == ClockMode::kLogical) {
+    return links_.uplink_backlog(id, logical_now_);
+  }
+  return 0;  // No bandwidth model: real queues are the backpressure.
+}
+
+std::uint64_t ThreadRuntime::total_bytes_sent() const {
+  if (cfg_.clock == ClockMode::kLogical) return links_.total_bytes_sent();
+  std::uint64_t total = 0;
+  for (const auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lk(mb->m);
+    total += mb->stats.bytes_sent;
+  }
+  return total;
+}
+
+}  // namespace predis::runtime

@@ -1,0 +1,208 @@
+// ThreadRuntime: the Runtime backend that runs actors on real cores.
+//
+// predis-lint: allow-file(D2): the wall-clock backend is the one place
+// real time legitimately enters the tree — now() in kWall mode *is*
+// steady_clock, and the timer wheel sleeps against real deadlines.
+// Protocol code still sees only Runtime::now()/schedule().
+//
+// Architecture (modeled on the alarm/io-service + acceptor/receiver
+// split of production node software):
+//
+//   * one inbound MPSC mailbox per node (mutex + deque). Any thread
+//     may append; exactly one worker drains a mailbox at a time, so a
+//     node's callbacks are serialized without per-actor locks.
+//   * a worker pool pulling ready mailboxes from a shared run queue.
+//   * a timer wheel thread: a deadline min-heap; fired timers owned by
+//     a node are routed through that node's mailbox (same serialization
+//     domain as its messages), ownerless harness timers run on the
+//     wheel thread.
+//
+// Two clock modes:
+//
+//   * kWall — now() is wall-clock nanoseconds since construction.
+//     Messages deliver as fast as cores allow (no bandwidth/latency
+//     model, uplink_backlog() == 0, tracers ignored); this is the mode
+//     that produces hardware-limited throughput numbers.
+//   * kLogical — a deterministic discrete-event loop over the same
+//     mailbox-dispatch code, driven by the shared LinkModel, executed
+//     by a single worker. Produces byte-identical delivery traces,
+//     commit ledgers and metrics to SimRuntime (enforced by
+//     tests/runtime; see docs/runtime.md, "sim as oracle").
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/link_model.hpp"
+#include "runtime/runtime.hpp"
+
+namespace predis::runtime {
+
+enum class ClockMode {
+  kLogical,  ///< Deterministic virtual time, single-threaded execution.
+  kWall,     ///< Real time, worker pool + timer wheel.
+};
+
+struct ThreadRuntimeConfig {
+  ClockMode clock = ClockMode::kWall;
+  /// Worker threads draining mailboxes (wall mode; logical mode always
+  /// executes on the single driving thread).
+  std::size_t workers = 4;
+  /// Region latency matrix. Logical mode models it exactly like the
+  /// simulator; wall mode ignores it (real queues are the delay).
+  LatencyMatrix latency = LatencyMatrix::uniform(1, 0);
+  /// Wall mode: how long run_until() waits for in-flight work to
+  /// quiesce after the deadline before returning anyway.
+  SimTime drain_grace = milliseconds(2000);
+};
+
+class ThreadRuntime final : public Runtime {
+ public:
+  explicit ThreadRuntime(ThreadRuntimeConfig config);
+  ~ThreadRuntime() override;
+
+  ThreadRuntime(const ThreadRuntime&) = delete;
+  ThreadRuntime& operator=(const ThreadRuntime&) = delete;
+
+  NodeId add_node(const NodeConfig& config) override;
+  void attach(NodeId id, Actor* actor) override;
+  std::size_t node_count() const override;
+  std::uint32_t region_of(NodeId id) const override;
+
+  SimTime now() const override;
+  TimerHandle schedule(NodeId owner, SimTime delay,
+                       std::function<void()> fn) override;
+
+  void send(NodeId from, NodeId to, MsgPtr msg) override;
+  void multicast(NodeId from, const std::vector<NodeId>& to,
+                 const MsgPtr& msg) override;
+
+  void start() override;
+  void run_until(SimTime limit) override;
+
+  void set_node_down(NodeId id, bool down) override;
+  void notify_reconnect(NodeId id) override;
+  bool is_down(NodeId id) const override;
+
+  void set_drop_filter(DropFilter filter) override;
+  void set_extra_delay(DelayFn fn) override;
+  void set_tracer(TraceHasher* tracer) override;
+
+  TrafficStats stats(NodeId id) const override;
+  SimTime uplink_backlog(NodeId id) const override;
+  std::uint64_t total_bytes_sent() const override;
+
+  ClockMode clock_mode() const { return cfg_.clock; }
+  std::size_t worker_count() const { return workers_.size(); }
+
+ private:
+  // --- Wall mode ------------------------------------------------------
+
+  /// One mailbox entry: either a delivered message or a timer task
+  /// routed to its owner node.
+  struct Item {
+    NodeId from = kNoNode;
+    MsgPtr msg;            ///< Null for timer tasks.
+    std::size_t size = 0;  ///< Wire size incl. overhead (messages).
+    std::function<void()> task;
+    std::shared_ptr<std::atomic<bool>> alive;  ///< Timer tasks only.
+  };
+
+  /// Per-node inbound MPSC queue plus the node state its callbacks may
+  /// not race on. `active` means the mailbox is in the run queue or
+  /// currently owned by a worker — the single-consumer guarantee.
+  struct Mailbox {
+    std::mutex m;
+    std::deque<Item> q;
+    bool active = false;
+    bool down = false;
+    Actor* actor = nullptr;
+    NodeConfig config;
+    TrafficStats stats;
+  };
+
+  struct TimerEvent {
+    SimTime deadline;  ///< Nanoseconds since epoch_.
+    std::uint64_t seq;
+    NodeId owner;
+    std::function<void()> fn;
+    std::shared_ptr<std::atomic<bool>> alive;
+  };
+  struct TimerLater {
+    bool operator()(const TimerEvent& a, const TimerEvent& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+
+  void worker_loop();
+  void timer_loop();
+  bool stopping_read();
+  void drain_mailbox(NodeId id);
+  void dispatch(Mailbox& mb, Item& item);
+  void enqueue_item(NodeId to, Item item);
+  bool quiescent();
+
+  // --- Logical mode ---------------------------------------------------
+
+  struct SimEvent {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<std::atomic<bool>> alive;
+  };
+  struct SimLater {
+    bool operator()(const SimEvent& a, const SimEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimerHandle push_logical(SimTime at, std::function<void()> fn);
+
+  ThreadRuntimeConfig cfg_;
+
+  // Shared node table + fluid model. Wall mode uses it only for node
+  // registration/config snapshots at add_node time; all mutable state
+  // it would race on lives in the mailboxes instead.
+  LinkModel links_;
+
+  // Logical mode state (driving thread only).
+  SimTime logical_now_ = 0;
+  std::uint64_t logical_seq_ = 0;
+  std::priority_queue<SimEvent, std::vector<SimEvent>, SimLater> logical_q_;
+
+  // Wall mode state.
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  mutable std::mutex ready_m_;
+  std::condition_variable ready_cv_;
+  std::deque<NodeId> ready_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::atomic<bool> draining_{false};
+
+  std::mutex timer_m_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<TimerEvent, std::vector<TimerEvent>, TimerLater>
+      timer_q_;
+  std::uint64_t timer_seq_ = 0;
+
+  std::mutex hooks_m_;  ///< Guards drop_filter_ (wall mode).
+  DropFilter drop_filter_;
+
+  std::vector<std::thread> workers_;
+  std::thread timer_thread_;
+};
+
+}  // namespace predis::runtime

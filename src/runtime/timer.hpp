@@ -1,0 +1,37 @@
+// Cancellable timer handle shared by every Runtime backend.
+//
+// The liveness flag is an atomic so a consensus core running on one
+// worker thread can cancel a timer that the threaded backend's timer
+// wheel is about to fire on another; on the discrete-event backend the
+// atomic is uncontended and costs nothing.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace predis::runtime {
+
+/// Handle for a scheduled callback; allows cancellation (e.g. when a
+/// consensus timer is reset on progress).
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// Backend-internal: wraps the shared liveness flag of one event.
+  explicit TimerHandle(std::shared_ptr<std::atomic<bool>> alive)
+      : alive_(std::move(alive)) {}
+
+  /// Prevent the callback from running if it has not fired yet.
+  void cancel() {
+    if (alive_) alive_->store(false, std::memory_order_relaxed);
+  }
+
+  bool scheduled() const {
+    return alive_ && alive_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> alive_;
+};
+
+}  // namespace predis::runtime

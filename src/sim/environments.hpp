@@ -1,53 +1,18 @@
-// Canned network environments matching the paper's evaluation setup
-// (§V): Alibaba ECS instances with 100 Mbps links, either spread across
-// four Chinese regions (WAN) or emulated with a uniform 25 ms latency
-// (LAN with traffic control).
+// Historical home of the canned paper environments; the definitions
+// moved to runtime/environments.hpp (they configure any backend, not
+// just the simulator) and are aliased here for sim-layer spellings.
 #pragma once
 
+#include "runtime/environments.hpp"
 #include "sim/network.hpp"
 
 namespace predis::sim {
 
-/// 100 Mbps in bytes/second.
-inline constexpr double kBandwidth100Mbps = 100e6 / 8.0;
-
-/// Paper WAN regions, in matrix order.
-enum class Region : std::uint32_t {
-  kUlanqab = 0,   // CN-north
-  kShanghai = 1,  // CN-east
-  kChengdu = 2,   // CN-southwest
-  kShenzhen = 3,  // CN-south
-};
-
-inline constexpr std::size_t kWanRegions = 4;
-
-/// One-way propagation latencies between the four regions. Values are
-/// representative public inter-region RTT/2 figures for these Alibaba
-/// regions; intra-region is ~1 ms.
-inline LatencyMatrix wan_latency() {
-  const SimTime ms = milliseconds(1);
-  std::vector<std::vector<SimTime>> m = {
-      //            Ulanqab   Shanghai  Chengdu   Shenzhen
-      /*Ulanqab*/ {1 * ms, 15 * ms, 25 * ms, 25 * ms},
-      /*Shanghai*/ {15 * ms, 1 * ms, 20 * ms, 15 * ms},
-      /*Chengdu*/ {25 * ms, 20 * ms, 1 * ms, 18 * ms},
-      /*Shenzhen*/ {25 * ms, 15 * ms, 18 * ms, 1 * ms},
-  };
-  return LatencyMatrix(std::move(m));
-}
-
-/// The paper's LAN setup: tc-emulated 25 ms latency, 100 Mbps per node.
-inline LatencyMatrix lan_latency() {
-  return LatencyMatrix::uniform(1, milliseconds(25));
-}
-
-/// Node config with 100 Mbps symmetric links in the given region.
-inline NodeConfig node_100mbps(std::uint32_t region) {
-  NodeConfig cfg;
-  cfg.region = region;
-  cfg.up_bw = kBandwidth100Mbps;
-  cfg.down_bw = kBandwidth100Mbps;
-  return cfg;
-}
+using runtime::kBandwidth100Mbps;
+using runtime::kWanRegions;
+using runtime::Region;
+using runtime::lan_latency;
+using runtime::node_100mbps;
+using runtime::wan_latency;
 
 }  // namespace predis::sim

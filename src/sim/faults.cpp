@@ -40,7 +40,7 @@ static_assert(static_cast<std::size_t>(FaultKind::kPartition) + 1 ==
                   kFaultKindCount,
               "kFaultKindCount out of sync with FaultKind");
 
-FaultScheduler::FaultScheduler(Network& net, std::vector<NodeId> targets,
+FaultScheduler::FaultScheduler(runtime::Runtime& net, std::vector<NodeId> targets,
                                FaultPlanConfig config)
     : net_(net),
       targets_(std::move(targets)),
@@ -257,18 +257,21 @@ void FaultScheduler::arm() {
   net_.set_extra_delay(
       [this](NodeId from, NodeId to) { return extra_delay(from, to); });
   for (std::size_t i = 0; i < plan_.size(); ++i) {
-    net_.simulator().schedule_at(plan_[i].at, [this, i] { apply(plan_[i]); });
+    // arm() runs before start(), i.e. at time 0, so the relative delay
+    // equals the absolute plan time on every backend.
+    net_.schedule_after(plan_[i].at - net_.now(),
+                        [this, i] { apply(plan_[i]); });
   }
 }
 
 void FaultScheduler::apply(const FaultEvent& ev) {
   ++injected_;
-  const SimTime now = net_.simulator().now();
+  const SimTime now = net_.now();
   const SimTime until = ev.at + ev.window;
   switch (ev.kind) {
     case FaultKind::kCrash: {
       net_.set_node_down(ev.a, true);
-      net_.simulator().schedule_at(until, [this, node = ev.a] {
+      net_.schedule_after(until - now, [this, node = ev.a] {
         net_.set_node_down(node, false);
       });
       break;
@@ -320,10 +323,10 @@ void FaultScheduler::apply(const FaultEvent& ev) {
           const SimTime down_at =
               ev.at + static_cast<SimTime>(k * cycles + c) * slot;
           const SimTime up_at = down_at + slot / 2;
-          net_.simulator().schedule_at(down_at, [this, node = ev.side[k]] {
+          net_.schedule_after(down_at - ev.at, [this, node = ev.side[k]] {
             net_.set_node_down(node, true);
           });
-          net_.simulator().schedule_at(up_at, [this, node = ev.side[k]] {
+          net_.schedule_after(up_at - ev.at, [this, node = ev.side[k]] {
             net_.set_node_down(node, false);
           });
         }
@@ -336,7 +339,7 @@ void FaultScheduler::apply(const FaultEvent& ev) {
       // The cut side missed every message for the window; poke its
       // recovery path at heal time (crash restarts get the same hook
       // from set_node_down).
-      net_.simulator().schedule_at(until, [this, side = ev.side] {
+      net_.schedule_after(until - now, [this, side = ev.side] {
         for (NodeId node : side) net_.notify_reconnect(node);
       });
       break;
@@ -347,7 +350,7 @@ void FaultScheduler::apply(const FaultEvent& ev) {
 bool FaultScheduler::should_drop(NodeId from, NodeId to,
                                  const Message& msg) {
   if (!is_target(from) || !is_target(to)) return false;
-  const SimTime now = net_.simulator().now();
+  const SimTime now = net_.now();
   for (const ActiveWithhold& w : withholds_) {
     if (now >= w.until || from != w.node) continue;
     if (withhold_names_.count(msg.name()) != 0) return true;
@@ -368,7 +371,7 @@ bool FaultScheduler::should_drop(NodeId from, NodeId to,
 
 SimTime FaultScheduler::extra_delay(NodeId from, NodeId to) {
   if (!is_target(from) || !is_target(to)) return 0;
-  const SimTime now = net_.simulator().now();
+  const SimTime now = net_.now();
   SimTime delay = 0;
   for (const ActiveThrottle& t : throttles_) {
     if (now < t.until && from == t.node) delay = std::max(delay, t.delay);

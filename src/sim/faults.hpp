@@ -5,11 +5,13 @@
 // and zone-level partitions that heal after a window, extra-delay
 // jitter, probabilistic message drops, and Byzantine producer
 // equivocation (delegated to the embedding harness via a hook) — and
-// drives them through the Network's existing fault-injection surface
+// drives them through the Runtime's fault-injection surface
 // (set_node_down, DropFilter, DelayFn). Every random choice comes from
 // the scheduler's own Rng and every action is scheduled through the
-// simulator, so two runs with the same seed replay the exact same
-// fault sequence.
+// runtime's timer seam, so two runs with the same seed on a
+// deterministic backend replay the exact same fault sequence. (The
+// scheduler itself is not thread-safe: swarm campaigns run it on
+// deterministic backends only.)
 #pragma once
 
 #include <functional>
@@ -18,7 +20,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "sim/network.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/message.hpp"
 
 namespace predis::sim {
 
@@ -124,11 +127,11 @@ class FaultScheduler {
  public:
   /// `targets` are the nodes faults apply to (the consensus group);
   /// traffic to or from non-targets (clients) is never disturbed.
-  FaultScheduler(Network& net, std::vector<NodeId> targets,
+  FaultScheduler(runtime::Runtime& net, std::vector<NodeId> targets,
                  FaultPlanConfig config);
 
-  /// Install the drop filter / delay hook on the network and schedule
-  /// every planned event. Call before Network::start().
+  /// Install the drop filter / delay hook on the runtime and schedule
+  /// every planned event. Call before Runtime::start().
   void arm();
 
   const std::vector<FaultEvent>& plan() const { return plan_; }
@@ -161,7 +164,7 @@ class FaultScheduler {
   SimTime extra_delay(NodeId from, NodeId to);
   bool is_target(NodeId id) const;
 
-  Network& net_;
+  runtime::Runtime& net_;
   std::vector<NodeId> targets_;
   FaultPlanConfig cfg_;
   Rng rng_;       ///< Plan construction (exhausted before the run).

@@ -1,29 +1,14 @@
-// Base type for every wire message exchanged in the simulated network.
-//
-// The simulator only needs a message's *size* (to compute bandwidth
-// serialization delay) and a debug name; protocol modules derive their
-// own message structs and downcast on receipt.
+// Historical home of the wire-message base type. The type itself moved
+// to runtime/message.hpp when the Runtime seam was extracted — every
+// backend shares it — and is aliased here so sim-layer code and tests
+// keep their sim::Message / sim::MsgPtr spellings.
 #pragma once
 
-#include <cstddef>
-#include <memory>
+#include "runtime/message.hpp"
 
 namespace predis::sim {
 
-class Message {
- public:
-  virtual ~Message() = default;
-
-  /// Size of this message on the wire, in bytes, *excluding* the fixed
-  /// per-message transport overhead the network model adds.
-  virtual std::size_t wire_size() const = 0;
-
-  /// Short name for tracing ("PrePrepare", "Bundle", ...).
-  virtual const char* name() const = 0;
-};
-
-/// Messages are immutable and shared between receivers of a multicast,
-/// so a broadcast of a 2 MB bundle does not copy the payload N times.
-using MsgPtr = std::shared_ptr<const Message>;
+using Message = runtime::Message;
+using MsgPtr = runtime::MsgPtr;
 
 }  // namespace predis::sim

@@ -1,92 +1,25 @@
 #include "sim/network.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-
 #include "common/log.hpp"
 
 namespace predis::sim {
 
-LatencyMatrix LatencyMatrix::uniform(std::size_t regions, SimTime latency) {
-  std::vector<std::vector<SimTime>> m(regions,
-                                      std::vector<SimTime>(regions, latency));
-  return LatencyMatrix(std::move(m));
-}
-
-Network::Network(Simulator& simulator, LatencyMatrix latency)
-    : sim_(simulator), latency_(std::move(latency)) {}
-
-NodeId Network::add_node(const NodeConfig& config) {
-  if (config.region >= latency_.regions()) {
-    throw std::invalid_argument("Network::add_node: unknown region");
-  }
-  if (config.up_bw <= 0 || config.down_bw <= 0) {
-    throw std::invalid_argument("Network::add_node: non-positive bandwidth");
-  }
-  nodes_.push_back(Node{config, nullptr, false, 0, 0, {}});
-  return static_cast<NodeId>(nodes_.size() - 1);
-}
-
-void Network::attach(NodeId id, Actor* actor) { nodes_.at(id).actor = actor; }
-
 void Network::start() {
-  for (auto& node : nodes_) {
-    if (node.actor != nullptr && !node.down) node.actor->on_start();
+  for (NodeId id = 0; id < links_.node_count(); ++id) {
+    Actor* actor = links_.actor(id);
+    if (actor != nullptr && !links_.is_down(id)) actor->on_start();
   }
 }
 
 void Network::send(NodeId from, NodeId to, MsgPtr msg) {
-  if (from >= nodes_.size() || to >= nodes_.size()) {
-    throw std::out_of_range("Network::send: unknown node");
-  }
-  Node& src = nodes_[from];
-  Node& dst = nodes_[to];
-  if (src.down) {
-    ++src.stats.messages_dropped;
-    return;
-  }
-
-  const std::size_t size = msg->wire_size() + kTransportOverhead;
-
-  if (dst.down || (drop_filter_ && drop_filter_(from, to, *msg))) {
-    ++src.stats.messages_dropped;
-    return;
-  }
-
-  const SimTime now = sim_.now();
-
-  // Sender uplink serialization (FIFO).
-  const SimTime t0 = std::max(now, src.uplink_busy);
-  const auto tx_time = static_cast<SimTime>(
-      std::llround(static_cast<double>(size) / src.config.up_bw * 1e9));
-  const SimTime t1 = t0 + tx_time;
-  src.uplink_busy = t1;
-  src.stats.bytes_sent += size;
-  ++src.stats.messages_sent;
-
-  SimTime lat = latency_.at(src.config.region, dst.config.region);
-  if (extra_delay_) lat += extra_delay_(from, to);
-
-  // Receiver downlink: cut-through — cannot complete before the last
-  // byte arrives, and queues behind other inbound flows.
-  const auto rx_time = static_cast<SimTime>(
-      std::llround(static_cast<double>(size) / dst.config.down_bw * 1e9));
-  const SimTime first_byte_at = t0 + lat;
-  const SimTime rx_start = std::max(first_byte_at, dst.downlink_busy);
-  const SimTime deliver = std::max(t1 + lat, rx_start + rx_time);
-  dst.downlink_busy = deliver;
-
-  sim_.schedule_at(deliver, [this, from, to, msg = std::move(msg), size]() {
-    Node& dst2 = nodes_[to];
-    if (dst2.down || dst2.actor == nullptr) return;
-    dst2.stats.bytes_received += size;
-    ++dst2.stats.messages_received;
-    if (tracer_ != nullptr) {
-      tracer_->record_delivery(sim_.now(), from, to, size, msg->name());
-    }
-    dst2.actor->on_message(from, msg);
-  });
+  const auto plan = links_.plan_send(from, to, *msg, sim_.now());
+  if (!plan.deliver) return;
+  sim_.schedule_at(
+      plan.at, [this, from, to, msg = std::move(msg), size = plan.size]() {
+        Actor* actor =
+            links_.complete_delivery(from, to, size, sim_.now(), *msg);
+        if (actor != nullptr) actor->on_message(from, msg);
+      });
 }
 
 void Network::multicast(NodeId from, const std::vector<NodeId>& to,
@@ -98,21 +31,13 @@ void Network::multicast(NodeId from, const std::vector<NodeId>& to,
 }
 
 void Network::set_node_down(NodeId id, bool down) {
-  Node& node = nodes_.at(id);
-  const bool restarting = node.down && !down;
-  node.down = down;
-  if (restarting && node.actor != nullptr) node.actor->on_restart();
+  Actor* restarted = links_.set_node_down(id, down);
+  if (restarted != nullptr) restarted->on_restart();
 }
 
 void Network::notify_reconnect(NodeId id) {
-  Node& node = nodes_.at(id);
-  if (!node.down && node.actor != nullptr) node.actor->on_restart();
-}
-
-std::uint64_t Network::total_bytes_sent() const {
-  std::uint64_t total = 0;
-  for (const auto& node : nodes_) total += node.stats.bytes_sent;
-  return total;
+  Actor* actor = links_.reconnect_target(id);
+  if (actor != nullptr) actor->on_restart();
 }
 
 }  // namespace predis::sim

@@ -1,19 +1,12 @@
-// Simulated network: per-node uplink/downlink bandwidth with FIFO
-// serialization, a region propagation-latency matrix, fault injection
-// and byte accounting.
+// Simulated network: the discrete-event Runtime backend.
 //
-// Transfer model (cut-through fluid): for a message of S bytes from A
-// to B,
-//   first byte leaves A at  t0 = max(now, A.uplink_busy)
-//   last  byte leaves A at  t1 = t0 + S / A.up_bw
-//   first byte reaches B at t0 + lat(A,B)
-//   delivery completes at   max(t1 + lat, max(t0 + lat, B.downlink_busy)
-//                                          + S / B.down_bw)
-// With symmetric idle links this yields the intuitive
-// S/bw + latency (no double serialization); concurrent inbound flows
-// queue at the receiver's downlink; concurrent outbound flows queue at
-// the sender's uplink — which is exactly the model in the paper's
-// throughput analysis (§III-F: uploading bandwidth x_i, delay ls).
+// Per-node uplink/downlink bandwidth with FIFO serialization, a region
+// propagation-latency matrix, fault injection and byte accounting —
+// the cut-through fluid transfer model itself lives in
+// runtime/link_model.hpp, shared with ThreadRuntime's logical-clock
+// mode so both deterministic backends compute byte-identical delivery
+// timestamps. Network implements the full runtime::Runtime interface;
+// protocol actors only ever see that interface (predis-lint rule D6).
 #pragma once
 
 #include <cstdint>
@@ -21,158 +14,86 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "runtime/link_model.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/message.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
 namespace predis::sim {
 
-/// Propagation latency between regions. Symmetric construction helper
-/// provided, but the matrix itself may be asymmetric.
-class LatencyMatrix {
+// Backend-agnostic vocabulary re-exported under the historical sim
+// spellings (the types moved to runtime/ with the Runtime seam).
+using Actor = runtime::Actor;
+using LatencyMatrix = runtime::LatencyMatrix;
+using NodeConfig = runtime::NodeConfig;
+using TrafficStats = runtime::TrafficStats;
+
+class Network final : public runtime::Runtime {
  public:
-  /// Uniform latency between all (distinct and equal) region pairs.
-  static LatencyMatrix uniform(std::size_t regions, SimTime latency);
+  Network(Simulator& simulator, LatencyMatrix latency)
+      : sim_(simulator), links_(std::move(latency)) {}
 
-  /// Explicit matrix, row = from-region, column = to-region.
-  explicit LatencyMatrix(std::vector<std::vector<SimTime>> m)
-      : m_(std::move(m)) {}
-
-  SimTime at(std::uint32_t from, std::uint32_t to) const {
-    return m_[from][to];
+  NodeId add_node(const NodeConfig& config) override {
+    return links_.add_node(config);
   }
-  std::size_t regions() const { return m_.size(); }
+  void attach(NodeId id, Actor* actor) override { links_.attach(id, actor); }
 
- private:
-  std::vector<std::vector<SimTime>> m_;
-};
+  std::size_t node_count() const override { return links_.node_count(); }
+  std::uint32_t region_of(NodeId id) const override {
+    return links_.region_of(id);
+  }
 
-struct NodeConfig {
-  std::uint32_t region = 0;
-  /// Uplink bandwidth, bytes per second.
-  double up_bw = 12.5e6;  // 100 Mbps
-  /// Downlink bandwidth, bytes per second.
-  double down_bw = 12.5e6;
-};
+  SimTime now() const override { return sim_.now(); }
 
-/// Interface implemented by every simulated node (consensus node, full
-/// node, relayer, client).
-class Actor {
- public:
-  virtual ~Actor() = default;
+  /// Owner is irrelevant on the single-threaded backend: every
+  /// callback already serializes through the one event queue.
+  TimerHandle schedule(NodeId /*owner*/, SimTime delay,
+                       std::function<void()> fn) override {
+    return sim_.schedule_after(delay, std::move(fn));
+  }
 
-  /// Called once when the simulation starts (after all wiring is done).
-  virtual void on_start() {}
-
-  /// Called when a message addressed to this node is fully delivered.
-  virtual void on_message(NodeId from, const MsgPtr& msg) = 0;
-
-  /// Called when the node comes back up after a crash window
-  /// (set_node_down(id, false) on a node that was down). The node's
-  /// in-memory state survived — what it missed is every message sent
-  /// while it was down — so implementations trigger their catch-up
-  /// path here: resync mempool tips, request a state snapshot,
-  /// re-subscribe to relayers. Default: resume blind (pre-recovery
-  /// behaviour).
-  virtual void on_restart() {}
-};
-
-/// Per-node traffic counters.
-struct TrafficStats {
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t bytes_received = 0;
-  std::uint64_t messages_sent = 0;
-  std::uint64_t messages_received = 0;
-  std::uint64_t messages_dropped = 0;
-};
-
-class Network {
- public:
-  /// Fixed transport overhead added to every message's wire size
-  /// (headers, framing, signature envelope).
-  static constexpr std::size_t kTransportOverhead = 64;
-
-  Network(Simulator& simulator, LatencyMatrix latency);
-
-  /// Register a node; returns its dense id.
-  NodeId add_node(const NodeConfig& config);
-
-  /// Attach the actor that receives this node's messages. The actor
-  /// must outlive the simulation run.
-  void attach(NodeId id, Actor* actor);
-
-  std::size_t node_count() const { return nodes_.size(); }
-  std::uint32_t region_of(NodeId id) const { return nodes_[id].config.region; }
-
-  /// Queue a message for delivery. Serializes on the sender's uplink.
-  void send(NodeId from, NodeId to, MsgPtr msg);
-
-  /// Unicast to each destination in turn (uplink serialized per copy —
-  /// multicast of a large payload to k peers costs k transmissions,
-  /// matching the paper's model).
-  void multicast(NodeId from, const std::vector<NodeId>& to, const MsgPtr& msg);
+  void send(NodeId from, NodeId to, MsgPtr msg) override;
+  void multicast(NodeId from, const std::vector<NodeId>& to,
+                 const MsgPtr& msg) override;
 
   /// Start all attached actors (calls on_start in id order).
-  void start();
+  void start() override;
+
+  /// Drive the event queue up to `limit` (inclusive), like
+  /// Simulator::run_until.
+  void run_until(SimTime limit) override { sim_.run_until(limit); }
 
   // --- Fault injection -----------------------------------------------
 
-  /// A crashed node sends and receives nothing. Bringing a down node
-  /// back up fires its actor's on_restart() hook (after the flag
-  /// flips, so the hook can send messages).
-  void set_node_down(NodeId id, bool down);
+  void set_node_down(NodeId id, bool down) override;
+  void notify_reconnect(NodeId id) override;
+  bool is_down(NodeId id) const override { return links_.is_down(id); }
 
-  /// Fire a node's on_restart() hook without a down/up cycle — used
-  /// when a healed partition reconnects a node that never crashed but
-  /// missed every message for the cut window.
-  void notify_reconnect(NodeId id);
-  bool is_down(NodeId id) const { return nodes_[id].down; }
-
-  /// Optional filter consulted for every send; return true to drop.
-  using DropFilter = std::function<bool(NodeId from, NodeId to, const Message&)>;
-  void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
-
-  /// Optional extra one-way delay injected per (from, to) pair.
-  using DelayFn = std::function<SimTime(NodeId from, NodeId to)>;
-  void set_extra_delay(DelayFn fn) { extra_delay_ = std::move(fn); }
-
-  /// Optional trace hasher folding every completed delivery into a
-  /// running digest (see sim/trace.hpp). Must outlive the run.
-  void set_tracer(TraceHasher* tracer) { tracer_ = tracer; }
+  void set_drop_filter(DropFilter filter) override {
+    links_.set_drop_filter(std::move(filter));
+  }
+  void set_extra_delay(DelayFn fn) override {
+    links_.set_extra_delay(std::move(fn));
+  }
+  void set_tracer(TraceHasher* tracer) override { links_.set_tracer(tracer); }
 
   // --- Accounting ------------------------------------------------------
 
-  const TrafficStats& stats(NodeId id) const { return nodes_[id].stats; }
+  TrafficStats stats(NodeId id) const override { return links_.stats(id); }
 
-  /// How far ahead of real time this node's uplink queue extends —
-  /// the simulated analogue of a full TCP send buffer. Protocol
-  /// engines use it for backpressure (shed client load instead of
-  /// queueing unboundedly).
-  SimTime uplink_backlog(NodeId id) const {
-    const SimTime now = sim_.now();
-    return nodes_[id].uplink_busy > now ? nodes_[id].uplink_busy - now : 0;
+  SimTime uplink_backlog(NodeId id) const override {
+    return links_.uplink_backlog(id, sim_.now());
   }
-  /// Total bytes put on the wire by all nodes.
-  std::uint64_t total_bytes_sent() const;
+  std::uint64_t total_bytes_sent() const override {
+    return links_.total_bytes_sent();
+  }
 
   Simulator& simulator() { return sim_; }
 
  private:
-  struct Node {
-    NodeConfig config;
-    Actor* actor = nullptr;
-    bool down = false;
-    SimTime uplink_busy = 0;
-    SimTime downlink_busy = 0;
-    TrafficStats stats;
-  };
-
   Simulator& sim_;
-  LatencyMatrix latency_;
-  std::vector<Node> nodes_;
-  DropFilter drop_filter_;
-  DelayFn extra_delay_;
-  TraceHasher* tracer_ = nullptr;
+  runtime::LinkModel links_;
 };
 
 }  // namespace predis::sim

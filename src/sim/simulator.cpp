@@ -8,7 +8,7 @@ TimerHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
   if (t < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  auto alive = std::make_shared<bool>(true);
+  auto alive = std::make_shared<std::atomic<bool>>(true);
   queue_.push(Event{t, next_seq_++, std::move(fn), alive});
   return TimerHandle{std::move(alive)};
 }
@@ -26,8 +26,7 @@ std::size_t Simulator::run_until(SimTime limit) {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;
-    if (*ev.alive) {
-      *ev.alive = false;
+    if (ev.alive->exchange(false, std::memory_order_relaxed)) {
       ev.fn();
       ++n;
       ++executed_;
@@ -43,8 +42,7 @@ std::size_t Simulator::run() {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;
-    if (*ev.alive) {
-      *ev.alive = false;
+    if (ev.alive->exchange(false, std::memory_order_relaxed)) {
       ev.fn();
       ++n;
       ++executed_;

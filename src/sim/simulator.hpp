@@ -13,27 +13,13 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "runtime/timer.hpp"
 
 namespace predis::sim {
 
-/// Handle for a scheduled callback; allows cancellation (e.g. when a
-/// consensus timer is reset on progress).
-class TimerHandle {
- public:
-  TimerHandle() = default;
-
-  /// Prevent the callback from running if it has not fired yet.
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
-
-  bool scheduled() const { return alive_ && *alive_; }
-
- private:
-  friend class Simulator;
-  explicit TimerHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
-};
+/// Timer handles are shared across backends (runtime/timer.hpp); the
+/// simulator hands out the same cancellable handle ThreadRuntime does.
+using TimerHandle = runtime::TimerHandle;
 
 class Simulator {
  public:
@@ -66,7 +52,7 @@ class Simulator {
     SimTime time;
     std::uint64_t seq;
     std::function<void()> fn;
-    std::shared_ptr<bool> alive;
+    std::shared_ptr<std::atomic<bool>> alive;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {

@@ -1,37 +1,13 @@
-// Trace digest: a running SHA-256 chain over the network's delivery
-// sequence. Two runs with the same seed must produce byte-identical
-// event sequences, so equal digests are the checkable witness of
-// deterministic replay (and unequal digests pinpoint divergence).
+// Historical home of the delivery-trace hasher; the type moved to
+// runtime/trace.hpp with the Runtime seam (both backends fold
+// deliveries into the same digest chain) and is aliased here for
+// sim-layer spellings.
 #pragma once
 
-#include "common/bytes.hpp"
-#include "common/codec.hpp"
-#include "common/types.hpp"
+#include "runtime/trace.hpp"
 
 namespace predis::sim {
 
-class TraceHasher {
- public:
-  /// Fold one delivered message into the digest chain.
-  void record_delivery(SimTime when, NodeId from, NodeId to,
-                       std::size_t size, const char* name) {
-    Writer w;
-    w.hash(digest_);
-    w.i64(when);
-    w.u32(from);
-    w.u32(to);
-    w.u64(size);
-    w.raw(as_bytes(name));
-    digest_ = Sha256::hash(w.data());
-    ++events_;
-  }
-
-  const Hash32& digest() const { return digest_; }
-  std::uint64_t events() const { return events_; }
-
- private:
-  Hash32 digest_ = kZeroHash;
-  std::uint64_t events_ = 0;
-};
+using TraceHasher = runtime::TraceHasher;
 
 }  // namespace predis::sim

@@ -13,7 +13,7 @@
 
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
-#include "sim/network.hpp"
+#include "runtime/runtime.hpp"
 #include "txpool/transaction.hpp"
 
 namespace predis {
@@ -40,16 +40,16 @@ struct ClientConfig {
   std::uint64_t seed = 1;
 };
 
-class ClientActor final : public sim::Actor {
+class ClientActor final : public runtime::Actor {
  public:
-  ClientActor(sim::Network& net, const ClientConfig& config, Metrics& metrics)
+  ClientActor(runtime::Runtime& net, const ClientConfig& config, Metrics& metrics)
       : net_(net), cfg_(config), metrics_(metrics), rng_(config.seed) {}
 
   void on_start() override {
-    const SimTime now = net_.simulator().now();
+    const SimTime now = net_.now();
     if (cfg_.start_at > now) {
-      net_.simulator().schedule_after(cfg_.start_at - now,
-                                      [this] { schedule_batch(); });
+      net_.schedule(cfg_.self, cfg_.start_at - now,
+                    [this] { schedule_batch(); });
     } else {
       schedule_batch();
     }
@@ -58,10 +58,10 @@ class ClientActor final : public sim::Actor {
     }
   }
 
-  void on_message(NodeId /*from*/, const sim::MsgPtr& msg) override {
+  void on_message(NodeId /*from*/, const runtime::MsgPtr& msg) override {
     const auto* reply = dynamic_cast<const ClientReplyMsg*>(msg.get());
     if (reply == nullptr) return;
-    const SimTime now = net_.simulator().now();
+    const SimTime now = net_.now();
     for (TxSeq seq : reply->seqs) {
       auto it = pending_.find(seq);
       if (it == pending_.end()) continue;  // duplicate reply
@@ -72,15 +72,16 @@ class ClientActor final : public sim::Actor {
     }
   }
 
+  NodeId id() const { return cfg_.self; }
   std::size_t unacked() const { return pending_.size(); }
   TxSeq submitted() const { return next_seq_; }
   std::uint64_t resubmissions() const { return resubmissions_; }
 
  private:
   void schedule_batch() {
-    net_.simulator().schedule_after(cfg_.batch_interval, [this] {
+    net_.schedule(cfg_.self, cfg_.batch_interval, [this] {
       emit_batch();
-      if (net_.simulator().now() < cfg_.stop_at) schedule_batch();
+      if (net_.now() < cfg_.stop_at) schedule_batch();
     });
   }
 
@@ -93,7 +94,7 @@ class ClientActor final : public sim::Actor {
 
     auto msg = std::make_shared<ClientRequestMsg>();
     msg->txs.reserve(count);
-    const SimTime now = net_.simulator().now();
+    const SimTime now = net_.now();
     for (std::size_t i = 0; i < count; ++i) {
       Transaction tx;
       tx.client = cfg_.self;
@@ -111,7 +112,7 @@ class ClientActor final : public sim::Actor {
   }
 
   void schedule_resubmit_check() {
-    net_.simulator().schedule_after(cfg_.resubmit_timeout, [this] {
+    net_.schedule(cfg_.self, cfg_.resubmit_timeout, [this] {
       resubmit_overdue();
       schedule_resubmit_check();
     });
@@ -122,7 +123,7 @@ class ClientActor final : public sim::Actor {
   /// after at most f + 1 attempts, so rotation through `all_consensus`
   /// eventually hits an honest node.
   void resubmit_overdue() {
-    const SimTime now = net_.simulator().now();
+    const SimTime now = net_.now();
     std::map<NodeId, std::vector<Transaction>> per_target;
     for (auto& [seq, entry] : pending_) {
       const SimTime age = now - entry.submitted_at;
@@ -151,7 +152,7 @@ class ClientActor final : public sim::Actor {
     std::size_t attempts = 0;
   };
 
-  sim::Network& net_;
+  runtime::Runtime& net_;
   ClientConfig cfg_;
   Metrics& metrics_;
   Rng rng_;

@@ -13,7 +13,7 @@
 #include "common/codec.hpp"
 #include "common/sha256.hpp"
 #include "common/types.hpp"
-#include "sim/message.hpp"
+#include "runtime/message.hpp"
 
 namespace predis {
 
@@ -61,7 +61,7 @@ inline std::size_t payload_bytes(const std::vector<Transaction>& txs) {
 }
 
 /// Client -> consensus node: a batch of transactions.
-struct ClientRequestMsg final : sim::Message {
+struct ClientRequestMsg final : runtime::Message {
   std::vector<Transaction> txs;
 
   std::size_t wire_size() const override {
@@ -72,7 +72,7 @@ struct ClientRequestMsg final : sim::Message {
 
 /// Consensus node -> client: acknowledgement that the listed sequence
 /// numbers committed. Tiny.
-struct ClientReplyMsg final : sim::Message {
+struct ClientReplyMsg final : runtime::Message {
   std::vector<TxSeq> seqs;
   SimTime committed_at = 0;
 

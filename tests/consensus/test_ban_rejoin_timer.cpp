@@ -92,19 +92,19 @@ TEST(BanRejoinTimer, DuplicateConflictMsgsArmOneTimerPerBan) {
     cluster.add_client({cluster.ids[i]}, 150, seconds(9), 60 + i);
   }
   cluster.net.start();
-  cluster.sim.run_until(milliseconds(600));
+  cluster.run_until(milliseconds(600));
 
   // First offence; every node bans producer 3 and arms a 2 s timer.
   const ConflictEvidence first = cluster.forge_evidence(1, 1);
   cluster.send_conflict(first);
-  cluster.sim.run_until(milliseconds(1200));
+  cluster.run_until(milliseconds(1200));
   EXPECT_TRUE(cluster.banned_everywhere());
 
   // Duplicate ConflictMsg for the same offence (in the real flow every
   // honest node broadcasts one). Pre-fix this armed a SECOND timer
   // firing ~3.2 s in.
   cluster.send_conflict(first);
-  cluster.sim.run_until(milliseconds(2800));
+  cluster.run_until(milliseconds(2800));
   // Ban expired on schedule: one rejoin, everywhere.
   EXPECT_FALSE(cluster.banned_anywhere());
   for (std::size_t i = 0; i < 4; ++i) {
@@ -114,12 +114,12 @@ TEST(BanRejoinTimer, DuplicateConflictMsgsArmOneTimerPerBan) {
   // Second, fresh offence at ~2.9 s: the new ban must hold for its full
   // 2 s. A stale timer from the duplicate would lift it at ~3.2 s.
   cluster.send_conflict(cluster.forge_evidence(5, 2));
-  cluster.sim.run_until(milliseconds(3400));
+  cluster.run_until(milliseconds(3400));
   EXPECT_TRUE(cluster.banned_everywhere());
-  cluster.sim.run_until(milliseconds(4200));
+  cluster.run_until(milliseconds(4200));
   EXPECT_TRUE(cluster.banned_everywhere())
       << "stale rejoin timer lifted a later ban early";
-  cluster.sim.run_until(milliseconds(5400));
+  cluster.run_until(milliseconds(5400));
   EXPECT_FALSE(cluster.banned_anywhere());
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_EQ(cluster.unbans[i][3], 2u) << "node " << i;
@@ -129,7 +129,7 @@ TEST(BanRejoinTimer, DuplicateConflictMsgsArmOneTimerPerBan) {
   // and the cluster stays consistent: no stale timer wiped it.
   const BundleHeight at_rejoin =
       cluster.nodes[0]->engine().mempool().chain(3).contiguous_height();
-  cluster.sim.run_until(seconds(8));
+  cluster.run_until(seconds(8));
   EXPECT_GT(
       cluster.nodes[0]->engine().mempool().chain(3).contiguous_height(),
       at_rejoin);
@@ -139,17 +139,17 @@ TEST(BanRejoinTimer, DuplicateConflictMsgsArmOneTimerPerBan) {
 TEST(BanRejoinTimer, RebanAfterRejoinArmsAFreshTimer) {
   TimerCluster cluster(/*ban_duration=*/seconds(1));
   cluster.net.start();
-  cluster.sim.run_until(milliseconds(500));
+  cluster.run_until(milliseconds(500));
   cluster.send_conflict(cluster.forge_evidence(1, 1));
-  cluster.sim.run_until(milliseconds(1800));
+  cluster.run_until(milliseconds(1800));
   EXPECT_FALSE(cluster.banned_anywhere());
 
   // The guard set must have been cleared on rejoin, or this second ban
   // would never get a timer and the producer would stay banned forever.
   cluster.send_conflict(cluster.forge_evidence(3, 2));
-  cluster.sim.run_until(milliseconds(2200));
+  cluster.run_until(milliseconds(2200));
   EXPECT_TRUE(cluster.banned_everywhere());
-  cluster.sim.run_until(milliseconds(3400));
+  cluster.run_until(milliseconds(3400));
   EXPECT_FALSE(cluster.banned_anywhere());
 }
 
@@ -164,7 +164,7 @@ TEST(BanRejoinTimer, BufferedConflictDetectedOnRetryPropagatesBan) {
   // content anyone sees.
   TimerCluster quiet(/*ban_duration=*/0, /*silence_node3=*/true);
   quiet.net.start();
-  quiet.sim.run_until(milliseconds(300));
+  quiet.run_until(milliseconds(300));
 
   const KeyPair key = KeyPair::from_seed(quiet.ids[3]);
   Transaction tx;
@@ -181,7 +181,7 @@ TEST(BanRejoinTimer, BufferedConflictDetectedOnRetryPropagatesBan) {
   auto child = std::make_shared<BundleMsg>();
   child->bundle = g2_evil;
   quiet.net.send(quiet.ids[3], quiet.ids[0], child);
-  quiet.sim.run_until(milliseconds(400));
+  quiet.run_until(milliseconds(400));
   EXPECT_FALSE(quiet.nodes[0]->engine().mempool().is_banned(3));
 
   // Parent lands: retry_pending pops the child, sees the parent-hash
@@ -189,7 +189,7 @@ TEST(BanRejoinTimer, BufferedConflictDetectedOnRetryPropagatesBan) {
   auto parent = std::make_shared<BundleMsg>();
   parent->bundle = g1;
   quiet.net.send(quiet.ids[3], quiet.ids[0], parent);
-  quiet.sim.run_until(milliseconds(900));
+  quiet.run_until(milliseconds(900));
 
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_TRUE(quiet.nodes[i]->engine().mempool().is_banned(3))

@@ -29,9 +29,9 @@ struct CensorCluster : TestCluster {
 
 ClientActor* add_resubmitting_client(CensorCluster& cluster, NodeId target,
                                      double tps, SimTime resubmit) {
-  sim::NodeConfig ncfg;
-  ncfg.up_bw = 10 * sim::kBandwidth100Mbps;
-  ncfg.down_bw = 10 * sim::kBandwidth100Mbps;
+  runtime::NodeConfig ncfg;
+  ncfg.up_bw = 10 * runtime::kBandwidth100Mbps;
+  ncfg.down_bw = 10 * runtime::kBandwidth100Mbps;
   const NodeId id = cluster.net.add_node(ncfg);
   ClientConfig ccfg;
   ccfg.self = id;
@@ -52,7 +52,7 @@ TEST(Censorship, DroppedTransactionsCommitViaResubmission) {
   // Node 3 censors: every client request addressed to it is dropped.
   const NodeId censor = cluster.ids[3];
   cluster.net.set_drop_filter(
-      [censor](NodeId, NodeId to, const sim::Message& msg) {
+      [censor](NodeId, NodeId to, const runtime::Message& msg) {
         return to == censor &&
                std::string(msg.name()) == "ClientRequest";
       });
@@ -60,7 +60,7 @@ TEST(Censorship, DroppedTransactionsCommitViaResubmission) {
   ClientActor* client = add_resubmitting_client(
       cluster, censor, 200, milliseconds(600));
   cluster.net.start();
-  cluster.sim.run_until(seconds(6));
+  cluster.run_until(seconds(6));
 
   // Every transaction eventually committed through another node.
   EXPECT_GT(client->resubmissions(), 0u);
@@ -73,7 +73,7 @@ TEST(Censorship, NoResubmissionsWhenTargetHonest) {
   ClientActor* client = add_resubmitting_client(
       cluster, cluster.ids[0], 200, milliseconds(600));
   cluster.net.start();
-  cluster.sim.run_until(seconds(4));
+  cluster.run_until(seconds(4));
   EXPECT_EQ(client->resubmissions(), 0u);
   EXPECT_EQ(cluster.metrics.latencies().count(), client->submitted());
 }

@@ -27,7 +27,7 @@ TEST(HotStuff, CommitsClientTransactions) {
   HsCluster cluster;
   cluster.add_client(cluster.ids, 500, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
 
   EXPECT_GT(cluster.metrics.committed_txs(), 800u);
   EXPECT_TRUE(cluster.ledger.consistent());
@@ -37,7 +37,7 @@ TEST(HotStuff, RotatesLeadersAcrossRounds) {
   HsCluster cluster;
   cluster.add_client(cluster.ids, 300, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   // Many rounds must have passed (pipelined block per round).
   for (auto& node : cluster.nodes) {
     EXPECT_GT(node->core().committed_round(), 8u);
@@ -48,7 +48,7 @@ TEST(HotStuff, NoTimeoutsWhenHealthy) {
   HsCluster cluster;
   cluster.add_client(cluster.ids, 300, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   for (auto& node : cluster.nodes) {
     EXPECT_EQ(node->core().timeouts(), 0u);
   }
@@ -58,7 +58,7 @@ TEST(HotStuff, CommittedTransactionsAreNotDuplicated) {
   HsCluster cluster;
   auto* client = cluster.add_client(cluster.ids, 400, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   // Every submitted tx commits at most once: committed == submitted.
   EXPECT_EQ(cluster.metrics.committed_txs(), client->submitted());
 }
@@ -67,14 +67,14 @@ TEST(HotStuff, LeaderCrashRecoversThroughPacemaker) {
   HsCluster cluster;
   cluster.add_client(cluster.ids, 300, seconds(4));
   cluster.net.start();
-  cluster.sim.run_until(milliseconds(600));
+  cluster.run_until(milliseconds(600));
   const auto before = cluster.metrics.committed_txs();
   EXPECT_GT(before, 0u);
 
   // Crash one node; the rotating pacemaker must keep making progress
   // through its rounds via NewView quorums.
   cluster.net.set_node_down(cluster.ids[1], true);
-  cluster.sim.run_until(seconds(4));
+  cluster.run_until(seconds(4));
   EXPECT_GT(cluster.metrics.committed_txs(), before);
   EXPECT_TRUE(cluster.ledger.consistent());
   std::size_t timeouts = 0;
@@ -88,7 +88,7 @@ TEST(HotStuff, StallsBeyondFFailures) {
   cluster.nodes[3]->core().set_paused(true);
   cluster.add_client(cluster.ids, 300, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(2));
+  cluster.run_until(seconds(2));
   EXPECT_EQ(cluster.metrics.committed_txs(), 0u);
 }
 
@@ -99,12 +99,12 @@ TEST_P(HsSeeds, SafetyHoldsWithRandomCrash) {
   const std::uint64_t seed = GetParam();
   cluster.add_client(cluster.ids, 400, seconds(3), seed);
   cluster.net.start();
-  cluster.sim.schedule_at(
+  cluster.schedule_at(
       milliseconds(150 + 130 * static_cast<SimTime>(seed % 5)),
       [&cluster, seed] {
         cluster.net.set_node_down(cluster.ids[seed % 4], true);
       });
-  cluster.sim.run_until(seconds(4));
+  cluster.run_until(seconds(4));
   EXPECT_TRUE(cluster.ledger.consistent());
   EXPECT_GT(cluster.metrics.committed_txs(), 0u);
 }
@@ -116,7 +116,7 @@ TEST(HotStuff, SevenNodeClusterCommits) {
   HsCluster cluster(7, 2);
   cluster.add_client(cluster.ids, 500, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   EXPECT_GT(cluster.metrics.committed_txs(), 500u);
   EXPECT_TRUE(cluster.ledger.consistent());
 }

@@ -36,7 +36,7 @@ TEST(HotStuffEdge, ReorderedProposalsStillCommit) {
   });
   cluster.add_client(cluster.ids, 400, seconds(3));
   cluster.net.start();
-  cluster.sim.run_until(seconds(4));
+  cluster.run_until(seconds(4));
 
   EXPECT_GT(cluster.metrics.committed_txs(), 800u);
   EXPECT_TRUE(cluster.ledger.consistent());
@@ -53,7 +53,7 @@ TEST(HotStuffEdge, DuplicatedMessagesAreHarmless) {
   // from the vote-to-two-leaders rule, then assert exact-once commits.
   auto* client = cluster.add_client(cluster.ids, 500, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   EXPECT_EQ(cluster.metrics.committed_txs(), client->submitted());
   EXPECT_EQ(cluster.metrics.latencies().count(), client->submitted());
   EXPECT_TRUE(cluster.ledger.consistent());
@@ -63,14 +63,14 @@ TEST(HotStuffEdge, LossySingleLinkDegradesButStaysSafe) {
   EdgeCluster cluster;
   int counter = 0;
   cluster.net.set_drop_filter(
-      [&counter, &cluster](NodeId from, NodeId to, const sim::Message&) {
+      [&counter, &cluster](NodeId from, NodeId to, const runtime::Message&) {
         // Drop every 4th message on the 0 -> 2 link.
         return from == cluster.ids[0] && to == cluster.ids[2] &&
                ++counter % 4 == 0;
       });
   cluster.add_client(cluster.ids, 400, seconds(3));
   cluster.net.start();
-  cluster.sim.run_until(seconds(4));
+  cluster.run_until(seconds(4));
   EXPECT_GT(cluster.metrics.committed_txs(), 400u);
   EXPECT_TRUE(cluster.ledger.consistent());
 }

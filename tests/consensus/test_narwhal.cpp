@@ -38,7 +38,7 @@ TEST(Narwhal, CommitsWithRbcQuorum) {
   SmCluster cluster(/*ack_quorum=*/3);  // n - f
   cluster.add_clients(1000, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   EXPECT_GT(cluster.metrics.committed_txs(), 1200u);
   EXPECT_TRUE(cluster.ledger.consistent());
 }
@@ -47,7 +47,7 @@ TEST(Stratus, CommitsWithPabQuorum) {
   SmCluster cluster(/*ack_quorum=*/2);  // f + 1
   cluster.add_clients(1000, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   EXPECT_GT(cluster.metrics.committed_txs(), 1200u);
   EXPECT_TRUE(cluster.ledger.consistent());
 }
@@ -56,7 +56,7 @@ TEST(SharedMempool, NoTransactionCommittedTwice) {
   SmCluster cluster(3);
   auto* client = cluster.add_client(cluster.ids, 300, seconds(2), 5);
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   // The client broadcast to all nodes; each node packs its own copy of
   // the duplicates into microblocks, but dedup happens at reply time —
   // commits may exceed submissions (microblocks are not deduplicated
@@ -87,10 +87,10 @@ TEST(SharedMempool, SurvivesCrashOfOneNode) {
   SmCluster cluster(3);
   cluster.add_clients(600, seconds(3));
   cluster.net.start();
-  cluster.sim.run_until(milliseconds(800));
+  cluster.run_until(milliseconds(800));
   const auto before = cluster.metrics.committed_txs();
   cluster.net.set_node_down(cluster.ids[2], true);
-  cluster.sim.run_until(seconds(4));
+  cluster.run_until(seconds(4));
   EXPECT_GT(cluster.metrics.committed_txs(), before);
   EXPECT_TRUE(cluster.ledger.consistent());
 }

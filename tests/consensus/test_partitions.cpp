@@ -12,8 +12,8 @@ namespace {
 using testing::TestCluster;
 
 /// Drop every message crossing the {0,1} | {2,3} cut.
-sim::Network::DropFilter split_filter(const std::vector<NodeId>& ids) {
-  return [ids](NodeId from, NodeId to, const sim::Message&) {
+runtime::Runtime::DropFilter split_filter(const std::vector<NodeId>& ids) {
+  return [ids](NodeId from, NodeId to, const runtime::Message&) {
     auto side = [&ids](NodeId id) {
       return id == ids[0] || id == ids[1];
     };
@@ -39,19 +39,19 @@ TEST(Partition, PbftHaltsDuringSplitAndHealsSafely) {
   cluster.add_client(cluster.ids, 400, seconds(6));
   cluster.net.start();
 
-  cluster.sim.run_until(seconds(1));
+  cluster.run_until(seconds(1));
   const auto before = cluster.metrics.committed_txs();
   EXPECT_GT(before, 0u);
 
   // 2-2 split: neither side has a quorum of 3.
   cluster.net.set_drop_filter(split_filter(cluster.ids));
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   const auto during = cluster.metrics.committed_txs();
   EXPECT_LE(during, before + 100);  // at most in-flight remnants
 
   // Heal; progress resumes and safety holds.
   cluster.net.set_drop_filter(nullptr);
-  cluster.sim.run_until(seconds(7));
+  cluster.run_until(seconds(7));
   EXPECT_GT(cluster.metrics.committed_txs(), during);
   EXPECT_TRUE(cluster.ledger.consistent());
 }
@@ -74,11 +74,11 @@ TEST(Partition, PredisPbftHealsAndRecoversBundles) {
   }
   cluster.net.start();
 
-  cluster.sim.run_until(seconds(1));
+  cluster.run_until(seconds(1));
   cluster.net.set_drop_filter(split_filter(cluster.ids));
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   cluster.net.set_drop_filter(nullptr);
-  cluster.sim.run_until(seconds(8));
+  cluster.run_until(seconds(8));
 
   EXPECT_TRUE(cluster.ledger.consistent());
   // After healing, bundles produced during the split were exchanged and
@@ -103,7 +103,7 @@ TEST(Partition, MinorityPartitionCannotCommit) {
   const NodeId isolated = cluster.ids[0];
   cluster.net.set_drop_filter(
       [isolated, ids = cluster.ids](NodeId from, NodeId to,
-                                    const sim::Message&) {
+                                    const runtime::Message&) {
         const bool from_c = std::find(ids.begin(), ids.end(), from) != ids.end();
         const bool to_c = std::find(ids.begin(), ids.end(), to) != ids.end();
         if (!from_c || !to_c) return false;
@@ -111,7 +111,7 @@ TEST(Partition, MinorityPartitionCannotCommit) {
       });
   cluster.add_client(cluster.ids, 400, seconds(4));
   cluster.net.start();
-  cluster.sim.run_until(seconds(5));
+  cluster.run_until(seconds(5));
 
   // The majority side view-changed past the isolated leader and kept
   // committing; the isolated node committed nothing new.

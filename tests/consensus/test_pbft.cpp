@@ -26,7 +26,7 @@ TEST(Pbft, CommitsClientTransactions) {
   PbftCluster cluster;
   cluster.add_client(cluster.ids, 500, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
 
   EXPECT_GT(cluster.metrics.committed_txs(), 800u);
   EXPECT_TRUE(cluster.ledger.consistent());
@@ -43,7 +43,7 @@ TEST(Pbft, NoViewChangesWhenLeaderHealthy) {
   PbftCluster cluster;
   cluster.add_client(cluster.ids, 200, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   for (auto& node : cluster.nodes) {
     EXPECT_EQ(node->core().view(), 0u);
     EXPECT_EQ(node->core().view_changes(), 0u);
@@ -54,13 +54,13 @@ TEST(Pbft, LeaderCrashTriggersViewChangeAndRecovers) {
   PbftCluster cluster;
   cluster.add_client(cluster.ids, 300, seconds(4));
   cluster.net.start();
-  cluster.sim.run_until(seconds(1));
+  cluster.run_until(seconds(1));
   const auto committed_before = cluster.metrics.committed_txs();
   EXPECT_GT(committed_before, 0u);
 
   // Kill the view-0 leader (node 0).
   cluster.net.set_node_down(cluster.ids[0], true);
-  cluster.sim.run_until(seconds(4));
+  cluster.run_until(seconds(4));
 
   EXPECT_GT(cluster.metrics.committed_txs(), committed_before);
   EXPECT_TRUE(cluster.ledger.consistent());
@@ -75,7 +75,7 @@ TEST(Pbft, ToleratesFSilentReplicas) {
   cluster.nodes[3]->core().set_paused(true);
   cluster.add_client(cluster.ids, 300, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   EXPECT_GT(cluster.metrics.committed_txs(), 400u);
   EXPECT_TRUE(cluster.ledger.consistent());
 }
@@ -86,13 +86,13 @@ TEST(Pbft, StallsBeyondFFailuresUntilNodeReturns) {
   cluster.nodes[3]->core().set_paused(true);  // 2 > f = 1
   cluster.add_client(cluster.ids, 300, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(2));
+  cluster.run_until(seconds(2));
   EXPECT_EQ(cluster.metrics.committed_txs(), 0u);
 
   // One paused node resumes; progress returns (possibly in a new view).
   cluster.nodes[2]->core().set_paused(false);
   cluster.add_client(cluster.ids, 300, seconds(4), 11);
-  cluster.sim.run_until(seconds(5));
+  cluster.run_until(seconds(5));
   EXPECT_GT(cluster.metrics.committed_txs(), 0u);
   EXPECT_TRUE(cluster.ledger.consistent());
 }
@@ -105,10 +105,10 @@ TEST_P(PbftSeeds, SafetyHoldsAcrossSeedsWithLeaderCrash) {
   cluster.net.start();
   const SimTime crash_at =
       milliseconds(200 + 150 * static_cast<SimTime>(GetParam() % 7));
-  cluster.sim.schedule_at(crash_at, [&cluster] {
+  cluster.schedule_at(crash_at, [&cluster] {
     cluster.net.set_node_down(cluster.ids[0], true);
   });
-  cluster.sim.run_until(seconds(4));
+  cluster.run_until(seconds(4));
   EXPECT_TRUE(cluster.ledger.consistent());
   EXPECT_GT(cluster.metrics.committed_txs(), 0u);
 }
@@ -120,7 +120,7 @@ TEST(Pbft, SevenNodeClusterCommits) {
   PbftCluster cluster(7, 2);
   cluster.add_client(cluster.ids, 500, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   EXPECT_GT(cluster.metrics.committed_txs(), 500u);
   EXPECT_TRUE(cluster.ledger.consistent());
 }

@@ -28,7 +28,7 @@ TEST(PbftPipeline, WindowOneMatchesSerializedBehaviour) {
   PipelineCluster cluster(1);
   cluster.add_client(cluster.ids, 500, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   EXPECT_GT(cluster.metrics.committed_txs(), 800u);
   EXPECT_TRUE(cluster.ledger.consistent());
 }
@@ -37,7 +37,7 @@ TEST(PbftPipeline, DeepWindowCommitsEverythingExactlyOnce) {
   PipelineCluster cluster(8);
   auto* client = cluster.add_client(cluster.ids, 800, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   EXPECT_EQ(cluster.metrics.committed_txs(), client->submitted());
   EXPECT_EQ(cluster.metrics.latencies().count(), client->submitted());
   EXPECT_TRUE(cluster.ledger.consistent());
@@ -48,7 +48,7 @@ TEST(PbftPipeline, PipeliningReducesLatencyUnderLoad) {
     PipelineCluster cluster(window);
     cluster.add_client(cluster.ids, 3000, seconds(3));
     cluster.net.start();
-    cluster.sim.run_until(seconds(4));
+    cluster.run_until(seconds(4));
     EXPECT_TRUE(cluster.ledger.consistent());
     return cluster.metrics.latencies().mean();
   };
@@ -62,12 +62,12 @@ TEST(PbftPipeline, LeaderCrashMidPipelineStaysSafe) {
   PipelineCluster cluster(4);
   cluster.add_client(cluster.ids, 1500, seconds(4));
   cluster.net.start();
-  cluster.sim.run_until(milliseconds(700));
+  cluster.run_until(milliseconds(700));
   const auto before = cluster.metrics.committed_txs();
   EXPECT_GT(before, 0u);
 
   cluster.net.set_node_down(cluster.ids[0], true);
-  cluster.sim.run_until(seconds(5));
+  cluster.run_until(seconds(5));
   EXPECT_GT(cluster.metrics.committed_txs(), before);
   EXPECT_TRUE(cluster.ledger.consistent());
   for (std::size_t i = 1; i < 4; ++i) {
@@ -85,12 +85,12 @@ TEST_P(PipelineSeeds, RandomCrashSafetySweep) {
   const std::uint64_t seed = GetParam();
   cluster.add_client(cluster.ids, 1200, seconds(3), seed);
   cluster.net.start();
-  cluster.sim.schedule_at(
+  cluster.schedule_at(
       milliseconds(200 + 170 * static_cast<SimTime>(seed % 6)),
       [&cluster, seed] {
         cluster.net.set_node_down(cluster.ids[seed % 4], true);
       });
-  cluster.sim.run_until(seconds(4));
+  cluster.run_until(seconds(4));
   EXPECT_TRUE(cluster.ledger.consistent());
   EXPECT_GT(cluster.metrics.committed_txs(), 0u);
 }

@@ -45,7 +45,7 @@ TEST(PredisPbft, CommitsClientTransactions) {
   PPbft cluster;
   cluster.add_predis_clients(1000, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   EXPECT_GT(cluster.metrics.committed_txs(), 1500u);
   EXPECT_TRUE(cluster.ledger.consistent());
 }
@@ -54,7 +54,7 @@ TEST(PredisHotStuff, CommitsClientTransactions) {
   PHs cluster;
   cluster.add_predis_clients(1000, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   EXPECT_GT(cluster.metrics.committed_txs(), 1500u);
   EXPECT_TRUE(cluster.ledger.consistent());
 }
@@ -63,7 +63,7 @@ TEST(PredisPbft, EveryNodeContributesBundles) {
   PPbft cluster;
   cluster.add_predis_clients(800, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   // Each consensus node's chain advanced in everyone's mempool.
   const Mempool& pool = cluster.nodes[0]->engine().mempool();
   for (std::size_t chain = 0; chain < 4; ++chain) {
@@ -77,7 +77,7 @@ TEST(PredisPbft, MissingBundlesAreFetchedAndBlocksStillCommit) {
   // fetch the gaps when Predis blocks reference them (§III-D case 2).
   int counter = 0;
   cluster.net.set_drop_filter(
-      [&](NodeId from, NodeId to, const sim::Message& msg) {
+      [&](NodeId from, NodeId to, const runtime::Message& msg) {
         if (from == cluster.ids[3] && to == cluster.ids[1] &&
             std::string(msg.name()) == "Bundle") {
           return ++counter % 3 == 0;
@@ -86,7 +86,7 @@ TEST(PredisPbft, MissingBundlesAreFetchedAndBlocksStillCommit) {
       });
   cluster.add_predis_clients(800, seconds(3));
   cluster.net.start();
-  cluster.sim.run_until(seconds(4));
+  cluster.run_until(seconds(4));
   EXPECT_GT(cluster.metrics.committed_txs(), 1000u);
   EXPECT_TRUE(cluster.ledger.consistent());
 }
@@ -95,12 +95,12 @@ TEST(PredisPbft, LeaderCrashViewChangeRecovers) {
   PPbft cluster;
   cluster.add_predis_clients(800, seconds(4));
   cluster.net.start();
-  cluster.sim.run_until(seconds(1));
+  cluster.run_until(seconds(1));
   const auto before = cluster.metrics.committed_txs();
   EXPECT_GT(before, 0u);
 
   cluster.net.set_node_down(cluster.ids[0], true);
-  cluster.sim.run_until(seconds(5));
+  cluster.run_until(seconds(5));
   EXPECT_GT(cluster.metrics.committed_txs(), before);
   EXPECT_TRUE(cluster.ledger.consistent());
 }
@@ -111,13 +111,13 @@ TEST(PredisPbft, SilentFaultDegradesButDoesNotStop) {
   PPbft healthy;
   healthy.add_predis_clients(1000, seconds(3));
   healthy.net.start();
-  healthy.sim.run_until(seconds(4));
+  healthy.run_until(seconds(4));
   const auto healthy_txs = healthy.metrics.committed_txs();
 
   PPbft faulty(4, 1, FaultMode::kSilent, 1);
   faulty.add_predis_clients(1000, seconds(3));
   faulty.net.start();
-  faulty.sim.run_until(seconds(4));
+  faulty.run_until(seconds(4));
   const auto faulty_txs = faulty.metrics.committed_txs();
 
   EXPECT_GT(faulty_txs, 0u);
@@ -136,7 +136,7 @@ TEST(PredisPbft, PartialDisseminationFaultStaysLive) {
   PPbft faulty(4, 1, FaultMode::kPartialDissemination, 1);
   faulty.add_predis_clients(1000, seconds(3));
   faulty.net.start();
-  faulty.sim.run_until(seconds(4));
+  faulty.run_until(seconds(4));
   EXPECT_GT(faulty.metrics.committed_txs(), 500u);
   EXPECT_TRUE(faulty.ledger.consistent());
 }
@@ -145,7 +145,7 @@ TEST(PredisHotStuff, ToleratesSilentFault) {
   PHs faulty(4, 1, FaultMode::kSilent, 1);
   faulty.add_predis_clients(800, seconds(3));
   faulty.net.start();
-  faulty.sim.run_until(seconds(4));
+  faulty.run_until(seconds(4));
   EXPECT_GT(faulty.metrics.committed_txs(), 0u);
   EXPECT_TRUE(faulty.ledger.consistent());
 }
@@ -159,7 +159,7 @@ TEST_P(PredisSeeds, SafetyAcrossSeeds) {
                        GetParam() * 100 + i);
   }
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   EXPECT_TRUE(cluster.ledger.consistent());
   EXPECT_GT(cluster.metrics.committed_txs(), 0u);
 }
@@ -173,7 +173,7 @@ TEST(PredisPbft, EquivocatingProducerIsBannedEverywhere) {
   PPbft cluster;
   cluster.add_predis_clients(600, seconds(3));
   cluster.net.start();
-  cluster.sim.run_until(milliseconds(500));
+  cluster.run_until(milliseconds(500));
 
   // Inject a forged conflicting bundle for chain 3 at height 1 (same
   // parent as the genuine one, different content), as an honest node
@@ -191,7 +191,7 @@ TEST(PredisPbft, EquivocatingProducerIsBannedEverywhere) {
   // Deliver the equivocation to node 0; it must gossip the evidence.
   cluster.net.send(cluster.ids[3], cluster.ids[0], msg);
 
-  cluster.sim.run_until(seconds(4));
+  cluster.run_until(seconds(4));
   for (auto& node : cluster.nodes) {
     EXPECT_TRUE(node->engine().mempool().is_banned(3));
   }

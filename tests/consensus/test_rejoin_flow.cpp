@@ -51,9 +51,9 @@ TEST(RejoinFlow, BannedProducerRejoinsAfterExpiry) {
     cluster.add_client({cluster.ids[i]}, 150, seconds(9), 40 + i);
   }
   cluster.net.start();
-  cluster.sim.run_until(milliseconds(600));
+  cluster.run_until(milliseconds(600));
   cluster.inject_equivocation();
-  cluster.sim.run_until(seconds(2));
+  cluster.run_until(seconds(2));
 
   // Banned everywhere while the ban lasts.
   for (auto& node : cluster.nodes) {
@@ -63,7 +63,7 @@ TEST(RejoinFlow, BannedProducerRejoinsAfterExpiry) {
       cluster.nodes[0]->engine().mempool().chain(3).contiguous_height();
 
   // Ban expires ~2s after detection; give the rejoin time to propagate.
-  cluster.sim.run_until(seconds(8));
+  cluster.run_until(seconds(8));
   for (auto& node : cluster.nodes) {
     EXPECT_FALSE(node->engine().mempool().is_banned(3));
   }
@@ -80,9 +80,9 @@ TEST(RejoinFlow, PermanentBanWithoutDuration) {
     cluster.add_client({cluster.ids[i]}, 150, seconds(5), 50 + i);
   }
   cluster.net.start();
-  cluster.sim.run_until(milliseconds(600));
+  cluster.run_until(milliseconds(600));
   cluster.inject_equivocation();
-  cluster.sim.run_until(seconds(6));
+  cluster.run_until(seconds(6));
   for (auto& node : cluster.nodes) {
     EXPECT_TRUE(node->engine().mempool().is_banned(3));
   }

@@ -26,7 +26,7 @@ TEST(StateTransfer, CheckpointsBecomeStableDuringNormalOperation) {
   }
   cluster.add_client(cluster.ids, 800, seconds(2));
   cluster.net.start();
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
 
   for (auto& node : nodes) {
     EXPECT_GT(node->core().stable_checkpoint(), 0u);
@@ -56,12 +56,12 @@ TEST(StateTransfer, RevivedPredisReplicaCatchesUpViaSnapshot) {
   cluster.net.start();
 
   // Node 3 goes dark for two simulated seconds.
-  cluster.sim.run_until(seconds(1));
+  cluster.run_until(seconds(1));
   cluster.net.set_node_down(cluster.ids[3], true);
-  cluster.sim.run_until(seconds(3));
+  cluster.run_until(seconds(3));
   cluster.net.set_node_down(cluster.ids[3], false);
 
-  cluster.sim.run_until(seconds(9));
+  cluster.run_until(seconds(9));
 
   // The revived node adopted a snapshot and is close to the others.
   EXPECT_GE(nodes[3]->core().state_transfers(), 1u);
@@ -88,7 +88,7 @@ TEST(StateTransfer, SnapshotFromSingleNodeRequiresCertificate) {
   forged->seq = 100;
   forged->digest = Sha256::hash(as_bytes(std::string("poison")));
   cluster.net.send(cluster.ids[1], cluster.ids[0], forged);
-  cluster.sim.run_until(milliseconds(200));
+  cluster.run_until(milliseconds(200));
 
   EXPECT_EQ(nodes[0]->core().last_executed(), 0u);
   EXPECT_EQ(nodes[0]->core().state_transfers(), 0u);

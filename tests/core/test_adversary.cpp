@@ -74,11 +74,13 @@ TEST(ConfigureAttack, ChurnKeepsRandomMembership) {
 TEST(ConfigureAttack, NoneYieldsEmptyPlan) {
   sim::FaultPlanConfig plan;
   configure_attack(plan, AttackKind::kNone, 4);
-  sim::Simulator simulator;
-  sim::Network net(simulator,
-                   sim::LatencyMatrix::uniform(1, milliseconds(10)));
+  runtime::SimRuntime backend(
+      runtime::LatencyMatrix::uniform(1, milliseconds(10)));
+  runtime::Runtime& net = backend.runtime();
   std::vector<NodeId> ids;
-  for (int i = 0; i < 4; ++i) ids.push_back(net.add_node(sim::NodeConfig{}));
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(net.add_node(runtime::NodeConfig{}));
+  }
   sim::FaultScheduler fs(net, ids, plan);
   EXPECT_TRUE(fs.plan().empty());
 }
@@ -92,14 +94,14 @@ std::size_t bombard(Cluster& cluster, Protocol protocol) {
   auto injector = std::make_shared<HostileInjector>(
       cluster.net, protocol, cluster.ids);
   for (int burst = 0; burst < 10; ++burst) {
-    cluster.sim.schedule_at(milliseconds(300 * (burst + 1)),
+    cluster.schedule_at(milliseconds(300 * (burst + 1)),
                             [injector, &cluster] {
                               injector->burst(cluster.ids[0]);
                             });
   }
   cluster.add_client(cluster.ids, 400, seconds(4));
   cluster.net.start();
-  cluster.sim.run_until(seconds(5));
+  cluster.run_until(seconds(5));
   return injector->injected();
 }
 
@@ -217,7 +219,7 @@ TEST(HostileInjector, BurstsAreDeterministic) {
       per_burst.push_back(injector.burst(cluster.ids[0]));
     }
     cluster.net.start();
-    cluster.sim.run_until(seconds(1));
+    cluster.run_until(seconds(1));
     return per_burst;
   };
   EXPECT_EQ(run(), run());
@@ -225,17 +227,17 @@ TEST(HostileInjector, BurstsAreDeterministic) {
 
 TEST(HostileGossipBurst, CountsAndTargetsAreDeterministic) {
   auto run = [] {
-    sim::Simulator simulator;
-    sim::Network net(simulator,
-                     sim::LatencyMatrix::uniform(1, milliseconds(5)));
-    struct Sink final : sim::Actor {
+    runtime::SimRuntime backend(
+        runtime::LatencyMatrix::uniform(1, milliseconds(5)));
+    runtime::Runtime& net = backend.runtime();
+    struct Sink final : runtime::Actor {
       std::size_t received = 0;
-      void on_message(NodeId, const sim::MsgPtr&) override { ++received; }
+      void on_message(NodeId, const runtime::MsgPtr&) override { ++received; }
     };
     std::vector<NodeId> ids;
     std::vector<std::unique_ptr<Sink>> sinks;
     for (int i = 0; i < 5; ++i) {
-      ids.push_back(net.add_node(sim::NodeConfig{}));
+      ids.push_back(net.add_node(runtime::NodeConfig{}));
       sinks.push_back(std::make_unique<Sink>());
       net.attach(ids.back(), sinks.back().get());
     }
@@ -245,7 +247,7 @@ TEST(HostileGossipBurst, CountsAndTargetsAreDeterministic) {
       sent += hostile_gossip_burst(net, ids[0], peers, 4, nonce);
     }
     net.start();
-    simulator.run_until(seconds(1));
+    net.run_until(seconds(1));
     std::vector<std::size_t> received;
     for (const auto& sink : sinks) received.push_back(sink->received);
     return std::make_pair(sent, received);

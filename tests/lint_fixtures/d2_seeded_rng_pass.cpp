@@ -5,10 +5,10 @@
 struct Rng {
   std::uint64_t next();
 };
-struct Simulator {
+struct SimClock {
   std::int64_t now() const;
 };
 
-std::int64_t jitter(Rng& rng, const Simulator& sim) {
+std::int64_t jitter(Rng& rng, const SimClock& sim) {
   return sim.now() + static_cast<std::int64_t>(rng.next() % 7);
 }

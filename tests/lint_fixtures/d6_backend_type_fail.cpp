@@ -1,0 +1,9 @@
+// Fixture: D6 must fire twice — naming the Simulator and sim::Network
+// outside sim//runtime/ bypasses the Runtime seam, so the scenario can
+// never run on another backend.
+namespace predis::sim {
+class Simulator;  // <- D6
+class Network;
+}  // namespace predis::sim
+
+void assemble(predis::sim::Network& net);  // <- D6 (sim::Network)

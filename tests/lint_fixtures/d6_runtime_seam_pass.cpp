@@ -1,0 +1,17 @@
+// Fixture: D6 must stay quiet — harness code that assembles a backend
+// through runtime::SimRuntime and hands actors a runtime::Runtime&
+// never names the concrete simulator types.
+namespace predis::runtime {
+class Runtime;
+class SimRuntime;
+}  // namespace predis::runtime
+
+// The FaultPlanConfig/FaultScheduler spellings stay legal: the fault
+// model is part of the sim namespace's public surface, not a backend.
+namespace predis::sim {
+struct FaultPlanConfig;
+class FaultScheduler;
+}  // namespace predis::sim
+
+void assemble(predis::runtime::Runtime& net,
+              const predis::sim::FaultPlanConfig& plan);

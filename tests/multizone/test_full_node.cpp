@@ -5,7 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/environments.hpp"
+#include "runtime/environments.hpp"
+#include "runtime/sim_runtime.hpp"
 
 namespace predis::multizone {
 namespace {
@@ -14,12 +15,12 @@ constexpr std::size_t kN = 4;  // consensus nodes / stripes
 constexpr std::size_t kF = 1;
 
 /// Minimal stripe source standing in for consensus node `index`.
-class TestProducer final : public sim::Actor {
+class TestProducer final : public runtime::Actor {
  public:
-  TestProducer(sim::Network& net, NodeId self, StripeIndex index)
+  TestProducer(runtime::Runtime& net, NodeId self, StripeIndex index)
       : net_(net), self_(self), index_(index) {}
 
-  void on_message(NodeId from, const sim::MsgPtr& msg) override {
+  void on_message(NodeId from, const runtime::MsgPtr& msg) override {
     if (const auto* m = dynamic_cast<const SubscribeMsg*>(msg.get())) {
       std::vector<StripeIndex> ok;
       for (StripeIndex s : m->stripes) {
@@ -72,17 +73,18 @@ class TestProducer final : public sim::Actor {
   std::set<NodeId> subscribers;
 
  private:
-  sim::Network& net_;
+  runtime::Runtime& net_;
   NodeId self_;
   StripeIndex index_;
 };
 
 struct ZoneFixture : ::testing::Test {
   ZoneFixture()
-      : net(sim, sim::LatencyMatrix::uniform(1, milliseconds(5))),
+      : backend(runtime::LatencyMatrix::uniform(1, milliseconds(5))),
+        net(backend.runtime()),
         dir(n_zones) {
     for (std::size_t i = 0; i < kN; ++i) {
-      const NodeId id = net.add_node(sim::node_100mbps(0));
+      const NodeId id = net.add_node(runtime::node_100mbps(0));
       producer_ids.push_back(id);
       producers.push_back(std::make_unique<TestProducer>(
           net, id, static_cast<StripeIndex>(i)));
@@ -95,7 +97,7 @@ struct ZoneFixture : ::testing::Test {
   }
 
   MultiZoneFullNode* add_full_node(std::uint32_t zone, SimTime join_time) {
-    const NodeId id = net.add_node(sim::node_100mbps(0));
+    const NodeId id = net.add_node(runtime::node_100mbps(0));
     dir.register_node(id, zone, join_time);
     full_nodes.push_back(
         std::make_unique<MultiZoneFullNode>(net, id, cfg, dir, 3));
@@ -140,8 +142,8 @@ struct ZoneFixture : ::testing::Test {
     return block;
   }
 
-  sim::Simulator sim;
-  sim::Network net;
+  runtime::SimRuntime backend;
+  runtime::Runtime& net;
   std::size_t n_zones = 2;
   ZoneDirectory dir;
   MultiZoneConfig cfg;
@@ -157,7 +159,7 @@ struct ZoneFixture : ::testing::Test {
 TEST_F(ZoneFixture, FirstNodeBecomesFullRelayer) {
   auto* node = add_full_node(0, 0);
   net.start();
-  sim.run_until(milliseconds(200));
+  net.run_until(milliseconds(200));
   EXPECT_TRUE(node->is_relayer());
   EXPECT_EQ(node->direct_stripes().size(), kN);
   for (auto& p : producers) EXPECT_EQ(p->subscribers.size(), 1u);
@@ -168,7 +170,7 @@ TEST_F(ZoneFixture, ZoneConvergesToOneDirectStripePerRelayer) {
     add_full_node(0, static_cast<SimTime>(i) * milliseconds(150));
   }
   net.start();
-  sim.run_until(seconds(8));
+  net.run_until(seconds(8));
 
   std::size_t relayers = 0;
   std::set<StripeIndex> covered;
@@ -198,11 +200,11 @@ TEST_F(ZoneFixture, StripesDecodeIntoBundles) {
     ++decoded;
   };
   net.start();
-  sim.run_until(milliseconds(200));
+  net.run_until(milliseconds(200));
 
   produce_bundle(0);
   produce_bundle(1);
-  sim.run_until(milliseconds(400));
+  net.run_until(milliseconds(400));
   EXPECT_EQ(decoded, 2u);
   EXPECT_EQ(node->contiguous_height(0), 1u);
   EXPECT_EQ(node->contiguous_height(1), 1u);
@@ -211,7 +213,7 @@ TEST_F(ZoneFixture, StripesDecodeIntoBundles) {
 TEST_F(ZoneFixture, RealStripePayloadsDecodeThroughCodec) {
   auto* node = add_full_node(0, 0);
   net.start();
-  sim.run_until(milliseconds(200));
+  net.run_until(milliseconds(200));
 
   // Producer workflow: encode, commit the stripe root into the header,
   // then distribute real stripes. The receiver must Merkle-verify each
@@ -228,7 +230,7 @@ TEST_F(ZoneFixture, RealStripePayloadsDecodeThroughCodec) {
         b.header, b.wire_size(),
         std::make_shared<const erasure::Stripe>(encoded.stripes[i]));
   }
-  sim.run_until(milliseconds(400));
+  net.run_until(milliseconds(400));
 
   EXPECT_EQ(node->decoded_bundles(), 1u);
   EXPECT_EQ(node->byte_decoded_bundles(), 1u);
@@ -239,7 +241,7 @@ TEST_F(ZoneFixture, RealStripePayloadsDecodeThroughCodec) {
 TEST_F(ZoneFixture, TamperedRealStripeIsRejectedBeforeCounting) {
   auto* node = add_full_node(0, 0);
   net.start();
-  sim.run_until(milliseconds(200));
+  net.run_until(milliseconds(200));
 
   const erasure::StripeCodec codec(kN - kF, kN);
   std::vector<Transaction> txs(2);
@@ -255,7 +257,7 @@ TEST_F(ZoneFixture, TamperedRealStripeIsRejectedBeforeCounting) {
         b.header, b.wire_size(),
         std::make_shared<const erasure::Stripe>(encoded.stripes[i]));
   }
-  sim.run_until(milliseconds(400));
+  net.run_until(milliseconds(400));
 
   // The tampered stripe is dropped at verification; the remaining
   // kN - 1 >= k genuine stripes still decode the bundle.
@@ -278,12 +280,12 @@ TEST_F(ZoneFixture, OrdinaryNodeReconstructsBlocksThroughRelayers) {
     };
   }
   net.start();
-  sim.run_until(seconds(6));
+  net.run_until(seconds(6));
 
   for (int i = 0; i < 6; ++i) produce_bundle(i % kN);
-  sim.run_until(seconds(7));
+  net.run_until(seconds(7));
   announce_block(0);
-  sim.run_until(seconds(9));
+  net.run_until(seconds(9));
 
   // Every full node (including the ordinary one) rebuilt block 0.
   EXPECT_EQ(completions.size(), full_nodes.size());
@@ -295,7 +297,7 @@ TEST_F(ZoneFixture, RelayerLeaveHandsRoleOver) {
     add_full_node(0, static_cast<SimTime>(i) * milliseconds(120));
   }
   net.start();
-  sim.run_until(seconds(8));
+  net.run_until(seconds(8));
 
   // Find a relayer and make it leave gracefully.
   MultiZoneFullNode* leaver = nullptr;
@@ -307,7 +309,7 @@ TEST_F(ZoneFixture, RelayerLeaveHandsRoleOver) {
   }
   ASSERT_NE(leaver, nullptr);
   leaver->leave();
-  sim.run_until(seconds(16));
+  net.run_until(seconds(16));
 
   // The zone still has kN relayers among the remaining nodes.
   std::size_t relayers = 0;
@@ -319,7 +321,7 @@ TEST_F(ZoneFixture, RelayerLeaveHandsRoleOver) {
 
   // And data still flows to everyone.
   produce_bundle(0);
-  sim.run_until(seconds(17));
+  net.run_until(seconds(17));
   for (auto& node : full_nodes) {
     if (node.get() == leaver) continue;
     EXPECT_EQ(node->contiguous_height(0), 1u);
@@ -331,7 +333,7 @@ TEST_F(ZoneFixture, RelayerCrashRecoveredByHeartbeat) {
     add_full_node(0, static_cast<SimTime>(i) * milliseconds(120));
   }
   net.start();
-  sim.run_until(seconds(8));
+  net.run_until(seconds(8));
 
   // Hard-crash the first relayer (no leave message).
   std::size_t crashed_index = 0;
@@ -342,12 +344,12 @@ TEST_F(ZoneFixture, RelayerCrashRecoveredByHeartbeat) {
     }
   }
   net.set_node_down(full_ids[crashed_index], true);
-  sim.run_until(seconds(20));
+  net.run_until(seconds(20));
 
   // Remaining nodes re-subscribed away from the dead provider and data
   // still reaches everyone.
   produce_bundle(2);
-  sim.run_until(seconds(21));
+  net.run_until(seconds(21));
   for (std::size_t i = 0; i < full_nodes.size(); ++i) {
     if (i == crashed_index) continue;
     EXPECT_EQ(full_nodes[i]->contiguous_height(2), 1u) << "node " << i;
@@ -360,9 +362,9 @@ TEST_F(ZoneFixture, RelayerCrashRecoveredByHeartbeat) {
 TEST_F(ZoneFixture, ForwardsClientTransactionsToTargetConsensus) {
   // §IV-D strategy two: a client hands a transaction naming consensus
   // node 2 to an ordinary full node, which forwards it there.
-  class TxSink final : public sim::Actor {
+  class TxSink final : public runtime::Actor {
    public:
-    void on_message(NodeId, const sim::MsgPtr& msg) override {
+    void on_message(NodeId, const runtime::MsgPtr& msg) override {
       const auto* m = dynamic_cast<const ClientRequestMsg*>(msg.get());
       if (m != nullptr) received += m->txs.size();
     }
@@ -375,7 +377,7 @@ TEST_F(ZoneFixture, ForwardsClientTransactionsToTargetConsensus) {
   auto* node = add_full_node(0, 0);
   (void)node;
   net.start();
-  sim.run_until(milliseconds(300));
+  net.run_until(milliseconds(300));
 
   auto msg = std::make_shared<ClientRequestMsg>();
   Transaction tx;
@@ -386,7 +388,7 @@ TEST_F(ZoneFixture, ForwardsClientTransactionsToTargetConsensus) {
   // A client (use producer 3's id as a stand-in sender) submits via the
   // full node.
   net.send(producer_ids[3], full_ids[0], msg);
-  sim.run_until(milliseconds(600));
+  net.run_until(milliseconds(600));
   EXPECT_EQ(sink.received, 1u);
 }
 
@@ -396,14 +398,14 @@ TEST_F(ZoneFixture, CrossZoneDigestBackfillsMissedBundles) {
   // backup path to its neighbour zone.
   auto* early = add_full_node(0, 0);
   net.start();
-  sim.run_until(milliseconds(300));
+  net.run_until(milliseconds(300));
   produce_bundle(0);
-  sim.run_until(milliseconds(600));
+  net.run_until(milliseconds(600));
   ASSERT_EQ(early->contiguous_height(0), 1u);
 
   auto* late = add_full_node(1, milliseconds(700));
   late->on_start();
-  sim.run_until(seconds(6));
+  net.run_until(seconds(6));
   // The late node's digest partner is in zone 0 and pushes the gap.
   EXPECT_EQ(late->contiguous_height(0), 1u);
 }
@@ -417,13 +419,13 @@ TEST_F(ZoneFixture, RelayerAliveWithOutOfRangeStripesIsSanitized) {
   // dropped at the handler boundary.
   auto* node = add_full_node(0, 0);
   net.start();
-  sim.run_until(milliseconds(200));
+  net.run_until(milliseconds(200));
   ASSERT_TRUE(node->is_relayer());
 
-  struct Silent final : sim::Actor {
-    void on_message(NodeId, const sim::MsgPtr&) override {}
+  struct Silent final : runtime::Actor {
+    void on_message(NodeId, const runtime::MsgPtr&) override {}
   } hostile;
-  const NodeId hid = net.add_node(sim::node_100mbps(0));
+  const NodeId hid = net.add_node(runtime::node_100mbps(0));
   net.attach(hid, &hostile);
 
   auto alive = std::make_shared<RelayerAliveMsg>();
@@ -432,7 +434,7 @@ TEST_F(ZoneFixture, RelayerAliveWithOutOfRangeStripesIsSanitized) {
                     static_cast<StripeIndex>(-1)};
   alive->join_time = milliseconds(1);
   net.send(hid, full_ids[0], std::move(alive));
-  sim.run_until(milliseconds(400));
+  net.run_until(milliseconds(400));
 
   // Subscription state is untouched: every real stripe keeps a valid
   // provider and the hostile node gained none.
@@ -448,7 +450,7 @@ TEST_F(ZoneFixture, RelayerAliveWithOutOfRangeStripesIsSanitized) {
     ++decoded;
   };
   produce_bundle(0);
-  sim.run_until(milliseconds(800));
+  net.run_until(milliseconds(800));
   EXPECT_EQ(decoded, 1u);
 }
 
@@ -470,7 +472,7 @@ TEST_F(ZoneFixture, HostileRejectWithUnknownChildrenIsIgnored) {
   reject->children = {static_cast<NodeId>(0xbad5eed),
                       static_cast<NodeId>(0xbad5eee)};
   net.send(producer_ids[0], full_ids[0], std::move(reject));
-  sim.run_until(milliseconds(500));
+  net.run_until(milliseconds(500));
 
   // The bogus referral was skipped and the retry path recovered the
   // stripe from a provider the directory knows.
@@ -478,7 +480,7 @@ TEST_F(ZoneFixture, HostileRejectWithUnknownChildrenIsIgnored) {
     EXPECT_NE(node->provider_of(s), kNoNode) << "stripe " << s;
   }
   produce_bundle(0);
-  sim.run_until(milliseconds(900));
+  net.run_until(milliseconds(900));
   EXPECT_EQ(node->contiguous_height(0), 1u);
 }
 
@@ -491,7 +493,7 @@ TEST_F(ZoneFixture, ForgedBundlePushIsRejectedAndCounted) {
   // verifying the producer signature + body root).
   auto* node = add_full_node(0, 0);
   net.start();
-  sim.run_until(milliseconds(200));
+  net.run_until(milliseconds(200));
 
   std::vector<Transaction> forged_txs(2);
   forged_txs[0].seq = 700;
@@ -502,7 +504,7 @@ TEST_F(ZoneFixture, ForgedBundlePushIsRejectedAndCounted) {
   auto push = std::make_shared<BundlePushMsg>();
   push->bundles = {forged};
   net.send(producer_ids[1], full_ids[0], std::move(push));
-  sim.run_until(milliseconds(400));
+  net.run_until(milliseconds(400));
 
   EXPECT_EQ(node->push_verify_failures(), 1u);
   EXPECT_EQ(node->decoded_bundles(), 0u);
@@ -519,7 +521,7 @@ TEST_F(ZoneFixture, ForgedBundlePushIsRejectedAndCounted) {
   auto ok_push = std::make_shared<BundlePushMsg>();
   ok_push->bundles = {genuine};
   net.send(producer_ids[1], full_ids[0], std::move(ok_push));
-  sim.run_until(milliseconds(600));
+  net.run_until(milliseconds(600));
 
   EXPECT_EQ(node->push_verify_failures(), 1u);
   EXPECT_EQ(node->decoded_bundles(), 1u);
@@ -534,7 +536,7 @@ TEST_F(ZoneFixture, RelayerAliveAboutUnregisteredNodeIsIgnored) {
   // directory never registered are now dropped at the boundary.
   auto* node = add_full_node(0, 0);
   net.start();
-  sim.run_until(milliseconds(200));
+  net.run_until(milliseconds(200));
   ASSERT_TRUE(node->is_relayer());
 
   auto alive = std::make_shared<RelayerAliveMsg>();
@@ -542,7 +544,7 @@ TEST_F(ZoneFixture, RelayerAliveAboutUnregisteredNodeIsIgnored) {
   alive->relayed = {0};
   alive->join_time = milliseconds(1);  // earlier join: would win trimming
   net.send(producer_ids[1], full_ids[0], std::move(alive));
-  sim.run_until(milliseconds(600));
+  net.run_until(milliseconds(600));
 
   // The node kept its consensus-direct stripes instead of deferring to
   // the phantom relayer, and data still flows.
@@ -551,7 +553,7 @@ TEST_F(ZoneFixture, RelayerAliveAboutUnregisteredNodeIsIgnored) {
     EXPECT_EQ(node->provider_of(s), producer_ids[s]) << "stripe " << s;
   }
   produce_bundle(0);
-  sim.run_until(seconds(1));
+  net.run_until(seconds(1));
   EXPECT_EQ(node->contiguous_height(0), 1u);
 }
 

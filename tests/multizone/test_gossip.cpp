@@ -8,16 +8,18 @@
 #include <gtest/gtest.h>
 
 #include "common/block_tracer.hpp"
-#include "sim/environments.hpp"
+#include "runtime/environments.hpp"
+#include "runtime/sim_runtime.hpp"
 
 namespace predis::multizone {
 namespace {
 
 struct GossipNet {
   GossipNet()
-      : net(sim, sim::LatencyMatrix::uniform(1, milliseconds(10))) {
+      : backend(runtime::LatencyMatrix::uniform(1, milliseconds(10))),
+        net(backend.runtime()) {
     for (int i = 0; i < 3; ++i) {
-      ids.push_back(net.add_node(sim::node_100mbps(0)));
+      ids.push_back(net.add_node(runtime::node_100mbps(0)));
     }
     GossipConfig cfg;
     cfg.fanout = 1;
@@ -44,8 +46,8 @@ struct GossipNet {
     victim->on_message(ids[0], digest);
   }
 
-  sim::Simulator sim;
-  sim::Network net;
+  runtime::SimRuntime backend;
+  runtime::Runtime& net;
   std::vector<NodeId> ids;
   BlockTracer tracer;
   std::unique_ptr<RandomGossipNode> source;
@@ -64,7 +66,7 @@ TEST(RandomGossipPull, RetargetsWhenDigestSenderCrashes) {
   // The only node the victim has heard from about block 1 goes down
   // before the pull grace period elapses.
   g.net.set_node_down(g.ids[0], true);
-  g.sim.run_until(seconds(2));
+  g.net.run_until(seconds(2));
 
   EXPECT_EQ(got, 1u) << "pull stalled on the crashed digest sender";
   // First pull aimed at the dead sender, the retry rotated to the
@@ -73,7 +75,7 @@ TEST(RandomGossipPull, RetargetsWhenDigestSenderCrashes) {
   EXPECT_GE(pulls, 2u);
   EXPECT_LE(pulls, 3u);
   const std::size_t settled = pulls;
-  g.sim.run_until(seconds(6));
+  g.net.run_until(seconds(6));
   EXPECT_EQ(g.tracer.pull_count(trace_key(1), g.ids[2]), settled)
       << "pull loop kept firing after the block arrived";
 }
@@ -85,7 +87,7 @@ TEST(RandomGossipPull, SinglePullSufficesOnHealthyPath) {
 
   std::uint64_t got = 0;
   g.victim->on_block = [&](std::uint64_t id, SimTime) { got = id; };
-  g.sim.run_until(seconds(2));
+  g.net.run_until(seconds(2));
 
   EXPECT_EQ(got, 1u);
   EXPECT_EQ(g.tracer.pull_count(trace_key(1), g.ids[2]), 1u);
@@ -100,7 +102,7 @@ TEST(RandomGossipPull, DuplicateDigestsStartOneLoop) {
   g.digest_to_victim_from_source();
   g.digest_to_victim_from_source();
   g.digest_to_victim_from_source();
-  g.sim.run_until(seconds(2));
+  g.net.run_until(seconds(2));
 
   // One loop rotated to the healthy backup and delivered the block.
   EXPECT_TRUE(g.tracer.has(TraceStage::kBlockReconstructed, trace_key(1)));

@@ -1,0 +1,112 @@
+// Sim-as-oracle: the deterministic simulator defines correct behaviour,
+// and any other Runtime backend must reproduce it exactly when run in
+// logical-clock mode. These tests drive the same scenario binary-level
+// configuration through SimRuntime and through ThreadRuntime(kLogical)
+// and require byte-identical delivery traces, commit digests and
+// metrics — the contract documented in docs/runtime.md.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "multizone/experiments.hpp"
+#include "runtime/environments.hpp"
+#include "runtime/thread_runtime.hpp"
+#include "runtime/trace.hpp"
+
+namespace predis {
+namespace {
+
+core::ClusterConfig small_cluster(runtime::TraceHasher* trace,
+                                  runtime::Runtime* backend) {
+  core::ClusterConfig cfg;
+  cfg.protocol = core::Protocol::kPredisPbft;
+  cfg.wan = false;
+  cfg.offered_load_tps = 3000.0;
+  cfg.n_clients = 4;
+  cfg.duration = seconds(3);
+  cfg.warmup = seconds(1);
+  cfg.seed = 7;
+  cfg.ctx.trace = trace;
+  cfg.ctx.backend = backend;
+  return cfg;
+}
+
+TEST(BackendEquivalence, ClusterRunIsByteIdenticalOnLogicalThreadRuntime) {
+  runtime::TraceHasher sim_trace;
+  const core::ClusterResult on_sim =
+      core::run_cluster(small_cluster(&sim_trace, nullptr));
+
+  runtime::ThreadRuntimeConfig tcfg;
+  tcfg.clock = runtime::ClockMode::kLogical;
+  tcfg.latency = runtime::lan_latency();
+  runtime::ThreadRuntime threads(tcfg);
+  runtime::TraceHasher thread_trace;
+  const core::ClusterResult on_threads =
+      core::run_cluster(small_cluster(&thread_trace, &threads));
+
+  // The trace digest folds (time, from, to, size, name) of every
+  // delivery — equality means the entire message schedule matched.
+  EXPECT_EQ(sim_trace.digest(), thread_trace.digest());
+  EXPECT_EQ(sim_trace.events(), thread_trace.events());
+  // Commit digest folds every node ledger's length and head hash.
+  EXPECT_EQ(on_sim.commit_digest, on_threads.commit_digest);
+  EXPECT_EQ(on_sim.committed_txs, on_threads.committed_txs);
+  EXPECT_EQ(on_sim.commit_events, on_threads.commit_events);
+  EXPECT_DOUBLE_EQ(on_sim.throughput_tps, on_threads.throughput_tps);
+  EXPECT_DOUBLE_EQ(on_sim.p99_latency_ms, on_threads.p99_latency_ms);
+  EXPECT_GT(on_sim.committed_txs, 0u);
+}
+
+multizone::ThroughputConfig small_zone(runtime::TraceHasher* trace,
+                                       runtime::Runtime* backend) {
+  multizone::ThroughputConfig cfg;
+  cfg.n_full = 6;
+  cfg.n_zones = 2;
+  cfg.offered_load_tps = 2000.0;
+  cfg.n_clients = 4;
+  cfg.duration = seconds(3);
+  cfg.warmup = seconds(1);
+  cfg.seed = 9;
+  cfg.ctx.trace = trace;
+  cfg.ctx.backend = backend;
+  return cfg;
+}
+
+TEST(BackendEquivalence, MultiZoneRunIsByteIdenticalOnLogicalThreadRuntime) {
+  runtime::TraceHasher sim_trace;
+  const multizone::ThroughputResult on_sim =
+      multizone::run_distribution_cluster(small_zone(&sim_trace, nullptr));
+
+  runtime::ThreadRuntimeConfig tcfg;
+  tcfg.clock = runtime::ClockMode::kLogical;
+  tcfg.latency = runtime::lan_latency();
+  runtime::ThreadRuntime threads(tcfg);
+  runtime::TraceHasher thread_trace;
+  const multizone::ThroughputResult on_threads =
+      multizone::run_distribution_cluster(small_zone(&thread_trace, &threads));
+
+  EXPECT_EQ(sim_trace.digest(), thread_trace.digest());
+  EXPECT_EQ(sim_trace.events(), thread_trace.events());
+  EXPECT_DOUBLE_EQ(on_sim.throughput_tps, on_threads.throughput_tps);
+  EXPECT_DOUBLE_EQ(on_sim.full_node_coverage, on_threads.full_node_coverage);
+  EXPECT_EQ(on_sim.consensus_bytes_sent, on_threads.consensus_bytes_sent);
+  EXPECT_GT(on_sim.throughput_tps, 0.0);
+}
+
+TEST(BackendEquivalence, LogicalThreadRuntimeIsSelfDeterministic) {
+  // Two fresh logical ThreadRuntimes, same scenario: identical digests
+  // (guards against hidden state leaking between runs).
+  auto run = [] {
+    runtime::ThreadRuntimeConfig tcfg;
+    tcfg.clock = runtime::ClockMode::kLogical;
+    tcfg.latency = runtime::lan_latency();
+    runtime::ThreadRuntime threads(tcfg);
+    runtime::TraceHasher trace;
+    const core::ClusterResult r =
+        core::run_cluster(small_cluster(&trace, &threads));
+    return std::make_pair(trace.digest(), r.commit_digest);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace predis

@@ -10,20 +10,21 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/environments.hpp"
+#include "runtime/environments.hpp"
+#include "runtime/sim_runtime.hpp"
 
 namespace predis {
 namespace {
 
 /// Swallows everything: the censoring primary target.
-struct BlackHole final : sim::Actor {
-  void on_message(NodeId, const sim::MsgPtr&) override {}
+struct BlackHole final : runtime::Actor {
+  void on_message(NodeId, const runtime::MsgPtr&) override {}
 };
 
 /// Records the seq order of every ClientRequest batch it receives.
-struct Recorder final : sim::Actor {
+struct Recorder final : runtime::Actor {
   std::vector<std::vector<TxSeq>> batches;
-  void on_message(NodeId, const sim::MsgPtr& msg) override {
+  void on_message(NodeId, const runtime::MsgPtr& msg) override {
     const auto* m = dynamic_cast<const ClientRequestMsg*>(msg.get());
     if (m == nullptr) return;
     std::vector<TxSeq> seqs;
@@ -34,19 +35,20 @@ struct Recorder final : sim::Actor {
 };
 
 TEST(ClientResubmitOrder, BatchesEmitSeqsInAscendingOrder) {
-  sim::Simulator sim;
-  sim::Network net(sim, sim::LatencyMatrix::uniform(1, milliseconds(5)));
+  runtime::SimRuntime backend(
+      runtime::LatencyMatrix::uniform(1, milliseconds(5)));
+  runtime::Runtime& net = backend.runtime();
   Metrics metrics;
 
   BlackHole hole;
-  const NodeId hole_id = net.add_node(sim::node_100mbps(0));
+  const NodeId hole_id = net.add_node(runtime::node_100mbps(0));
   net.attach(hole_id, &hole);
   Recorder recorder;
-  const NodeId rec_id = net.add_node(sim::node_100mbps(0));
+  const NodeId rec_id = net.add_node(runtime::node_100mbps(0));
   net.attach(rec_id, &recorder);
 
   ClientConfig cfg;
-  cfg.self = net.add_node(sim::node_100mbps(0));
+  cfg.self = net.add_node(runtime::node_100mbps(0));
   cfg.targets = {hole_id};               // never replies -> all overdue
   cfg.all_consensus = {hole_id, rec_id};  // rotation reaches the recorder
   cfg.tx_per_second = 2000.0;
@@ -57,7 +59,7 @@ TEST(ClientResubmitOrder, BatchesEmitSeqsInAscendingOrder) {
   net.attach(cfg.self, &client);
 
   net.start();
-  sim.run_until(milliseconds(900));
+  net.run_until(milliseconds(900));
 
   // Enough pending transactions that an unordered walk would provably
   // interleave seqs, and at least one batch actually reached us.

@@ -177,12 +177,12 @@ ProtocolReport run_gossip_campaign(bool smoke) {
   auto run_one = [&](AttackKind attack, GossipCampaignState& state) {
     predis::multizone::ThroughputConfig cfg = gossip_base(smoke);
     predis::BlockTracer tracer(cfg.n_consensus - cfg.f);
-    cfg.tracer = &tracer;
+    cfg.ctx.tracer = &tracer;
 
     if (attack != AttackKind::kNone) {
       const predis::SimTime setup = gossip_setup_time(cfg);
-      cfg.on_network_ready = [&, setup](
-                                 predis::sim::Network& net,
+      cfg.ctx.on_network_ready = [&, setup](
+                                 predis::runtime::Runtime& net,
                                  const std::vector<predis::NodeId>& consensus,
                                  const std::vector<predis::NodeId>& full) {
         predis::sim::FaultPlanConfig plan;
@@ -207,7 +207,7 @@ ProtocolReport run_gossip_campaign(bool smoke) {
           }
           constexpr std::size_t kBursts = 4;
           for (std::size_t b = 0; b < kBursts; ++b) {
-            net.simulator().schedule_after(
+            net.schedule_after(
                 window * static_cast<predis::SimTime>(b) /
                     static_cast<predis::SimTime>(kBursts),
                 [&state, &net, id, peers, b] {

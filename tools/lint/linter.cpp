@@ -918,6 +918,36 @@ void run_d5(Context& ctx) {
   }
 }
 
+// --- D6: backend types fenced behind the Runtime seam ----------------------
+
+void run_d6(Context& ctx) {
+  // The simulator and the runtime layer (SimRuntime wraps the backend,
+  // ThreadRuntime mirrors it) are the only places allowed to spell the
+  // concrete backend types; tests/sim exercises the backend directly.
+  const std::string generic = fs::path(ctx.file.path).generic_string();
+  if (generic.find("/sim/") != std::string::npos) return;
+  if (generic.find("/runtime/") != std::string::npos) return;
+
+  const std::vector<Token>& t = ctx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].ident) continue;
+    if (t[i].text == "Simulator") {
+      emit(ctx, t[i].line, "D6",
+           "'Simulator' outside sim//runtime/: drive scenarios through "
+           "the Runtime interface (runtime::SimRuntime for the "
+           "deterministic backend)");
+      continue;
+    }
+    if (t[i].text == "sim" && i + 2 < t.size() && t[i + 1].text == "::" &&
+        t[i + 2].text == "Network") {
+      emit(ctx, t[i].line, "D6",
+           "'sim::Network' outside sim//runtime/: protocol and harness "
+           "code must talk to runtime::Runtime so every backend can "
+           "carry it");
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
@@ -1011,6 +1041,7 @@ std::vector<Diagnostic> lint_files(const std::vector<std::string>& files) {
     run_d4(ctx);
     run_d4_spans(ctx);
     run_d5(ctx);
+    run_d6(ctx);
   }
 
   // Apply allowlist pragmas, then order by (file, line, rule).
@@ -1067,6 +1098,9 @@ const char* rule_catalogue() {
       "    message-carried indices before subscripting per-node vectors,\n"
       "    and clamp message-derived span walks with a kMax* constant\n"
       "D5  reinterpret_cast/const_cast only in gf256*, sha256*, bytes*\n"
+      "D6  the concrete backend types (Simulator, sim::Network) are\n"
+      "    named only under sim/ and runtime/; everything else talks to\n"
+      "    runtime::Runtime\n"
       "\n"
       "Suppress with  // predis-lint: allow(D2): reason   (line + next)\n"
       "or             // predis-lint: allow-file(D5)      (whole file)\n";

@@ -145,7 +145,7 @@ Scenario run_multizone(bool smoke) {
   cfg.warmup = predis::seconds(2);
   BlockTracer tracer(cfg.n_consensus - cfg.f);
   tracer.expect_reconstruction(true);
-  cfg.tracer = &tracer;
+  cfg.ctx.tracer = &tracer;
   const auto r = predis::multizone::run_distribution_cluster(cfg);
 
   Scenario s;
@@ -171,7 +171,7 @@ Scenario run_baseline(predis::core::Protocol protocol, bool smoke) {
   cfg.duration = smoke ? predis::seconds(6) : predis::seconds(10);
   cfg.warmup = predis::seconds(2);
   BlockTracer tracer(cfg.n_consensus - cfg.f);
-  cfg.tracer = &tracer;
+  cfg.ctx.tracer = &tracer;
   const auto r = predis::core::run_cluster(cfg);
 
   Scenario s;
@@ -199,7 +199,7 @@ Scenario run_gossip(bool smoke) {
   cfg.setup_time = predis::seconds(2);
   BlockTracer tracer;
   tracer.expect_reconstruction(true);
-  cfg.tracer = &tracer;
+  cfg.ctx.tracer = &tracer;
   const auto r = predis::multizone::run_propagation(cfg);
 
   Scenario s;
