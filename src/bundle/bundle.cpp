@@ -64,4 +64,19 @@ bool verify_bundle_signature(const BundleHeader& header,
                 header.signature);
 }
 
+std::size_t verify_bundle_signatures(const std::vector<HeaderSigCheck>& checks,
+                                     bool* ok) {
+  // The signing bytes must stay alive across the verify_batch call, so
+  // materialize them per header first.
+  std::vector<Bytes> bytes;
+  bytes.reserve(checks.size());
+  std::vector<SigCheck> items;
+  items.reserve(checks.size());
+  for (const HeaderSigCheck& c : checks) {
+    bytes.push_back(c.header->signing_bytes());
+    items.push_back({c.key, BytesView{bytes.back()}, &c.header->signature});
+  }
+  return verify_batch(items.data(), items.size(), ok);
+}
+
 }  // namespace predis

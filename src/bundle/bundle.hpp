@@ -79,4 +79,16 @@ Bundle make_bundle(NodeId producer, BundleHeight height,
 bool verify_bundle_signature(const BundleHeader& header,
                              const PublicKey& producer_key);
 
+/// Batch form for headers that arrive together (BundleBatch replies,
+/// conflict-evidence pairs): one key-registry lock for the whole run
+/// (see verify_batch in common/signature.hpp). checks[i] pairs each
+/// header with its producer's key; fills ok[i] and returns how many
+/// verified. ok must hold checks.size() entries.
+struct HeaderSigCheck {
+  const BundleHeader* header = nullptr;
+  const PublicKey* key = nullptr;
+};
+std::size_t verify_bundle_signatures(const std::vector<HeaderSigCheck>& checks,
+                                     bool* ok);
+
 }  // namespace predis

@@ -69,8 +69,10 @@ Mempool::Mempool(std::size_t n_chains, std::vector<PublicKey> producer_keys)
 }
 
 AddBundleResult Mempool::add(const Bundle& bundle,
-                             ConflictEvidence* evidence) {
-  const AddBundleResult result = validate_and_insert(bundle, evidence);
+                             ConflictEvidence* evidence,
+                             bool signature_verified) {
+  const AddBundleResult result =
+      validate_and_insert(bundle, evidence, signature_verified);
   if (result == AddBundleResult::kAdded) {
     retry_pending(bundle.header.producer);
   }
@@ -78,7 +80,8 @@ AddBundleResult Mempool::add(const Bundle& bundle,
 }
 
 AddBundleResult Mempool::validate_and_insert(const Bundle& bundle,
-                                             ConflictEvidence* evidence) {
+                                             ConflictEvidence* evidence,
+                                             bool signature_verified) {
   const BundleHeader& h = bundle.header;
   if (h.producer >= chains_.size() || h.height == 0 ||
       h.tip_list.size() != chains_.size()) {
@@ -102,7 +105,7 @@ AddBundleResult Mempool::validate_and_insert(const Bundle& bundle,
   }
 
   // Rule: signature must verify (producers cannot be impersonated).
-  if (!verify_bundle_signature(h, keys_[h.producer])) {
+  if (!signature_verified && !verify_bundle_signature(h, keys_[h.producer])) {
     return AddBundleResult::kBadSignature;
   }
 
@@ -167,7 +170,13 @@ void Mempool::retry_pending(std::size_t chain_index) {
     if (it == waiting.end()) break;
     Bundle b = std::move(it->second);
     waiting.erase(it);
-    if (validate_and_insert(b, nullptr) != AddBundleResult::kAdded) break;
+    // Buffered bundles passed the signature check before they were
+    // parked (buffering happens after the rule checks), so the retry
+    // skips the recomputation.
+    if (validate_and_insert(b, nullptr, /*signature_verified=*/true) !=
+        AddBundleResult::kAdded) {
+      break;
+    }
   }
   // Drop buffered entries that can never apply (below contiguous).
   while (!waiting.empty() &&

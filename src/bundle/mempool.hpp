@@ -76,8 +76,13 @@ class Mempool {
   /// Validate a bundle against rules 1-4 of §III-A and store it.
   /// On kConflict, `evidence` (if non-null) receives the conflicting
   /// pair and the producer is added to the ban list.
+  /// `signature_verified` skips the per-bundle signature check for
+  /// callers that already ran the batch verifier over the whole
+  /// incoming run (BundleBatch replies) — never pass true for a
+  /// signature that was not actually checked.
   AddBundleResult add(const Bundle& bundle,
-                      ConflictEvidence* evidence = nullptr);
+                      ConflictEvidence* evidence = nullptr,
+                      bool signature_verified = false);
 
   const BundleChain& chain(std::size_t i) const { return chains_[i]; }
 
@@ -146,7 +151,8 @@ class Mempool {
 
  private:
   AddBundleResult validate_and_insert(const Bundle& bundle,
-                                      ConflictEvidence* evidence);
+                                      ConflictEvidence* evidence,
+                                      bool signature_verified);
   void retry_pending(std::size_t chain_index);
 
   std::vector<BundleChain> chains_;

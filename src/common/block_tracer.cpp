@@ -1,6 +1,7 @@
 #include "common/block_tracer.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/codec.hpp"
 #include "common/metrics_registry.hpp"
@@ -52,6 +53,11 @@ std::string TraceAnomaly::describe() const {
       std::snprintf(tmp, sizeof(tmp),
                     "pull spiral: node %u pulled block %s %zu times", node,
                     short_hex(key).c_str(), count);
+      break;
+    case Kind::kUnclosedProposal:
+      std::snprintf(tmp, sizeof(tmp),
+                    "unclosed proposal %s: cut proposed, never committed",
+                    short_hex(key).c_str());
       break;
   }
   return tmp;
@@ -131,35 +137,43 @@ bool BlockTracer::causally_ordered(const Hash32& key) const {
                  TraceStage::kBlockReconstructed);
 }
 
-std::map<std::string, Percentiles> BlockTracer::stage_samples() const {
-  std::map<std::string, Percentiles> out;
-  const auto interval = [&out](const char* name, SimTime from, SimTime to) {
+template <typename Fn>
+void BlockTracer::for_each_interval(Fn&& fn) const {
+  const auto interval = [&fn](const char* name, const Hash32& key,
+                              NodeId node, SimTime from, SimTime to) {
     if (from == kSimTimeNever || to == kSimTimeNever || to < from) return;
-    out[name].add(to_milliseconds(to - from));
+    fn(name, key, node, from, to);
   };
   for (const auto& [key, e] : entries_) {
-    (void)key;
     const auto at = [&e](TraceStage s) {
       return e.first[static_cast<std::size_t>(s)];
     };
-    interval("tx_wait", at(TraceStage::kTxEnqueued),
+    interval("tx_wait", key, kNoNode, at(TraceStage::kTxEnqueued),
              at(TraceStage::kBundleProduced));
-    interval("bundle_quorum", at(TraceStage::kBundleProduced),
+    interval("bundle_quorum", key, kNoNode, at(TraceStage::kBundleProduced),
              at(TraceStage::kBundleStoredQuorum));
-    interval("stripes_sent", at(TraceStage::kBundleProduced),
+    interval("stripes_sent", key, kNoNode, at(TraceStage::kBundleProduced),
              at(TraceStage::kStripesSent));
     for (const auto& [node, when] : e.decoded) {
-      (void)node;
-      interval("pre_distribution", at(TraceStage::kBundleProduced), when);
+      interval("pre_distribution", key, node,
+               at(TraceStage::kBundleProduced), when);
     }
-    interval("production", at(TraceStage::kCutProposed),
+    interval("production", key, kNoNode, at(TraceStage::kCutProposed),
              at(TraceStage::kBlockCommitted));
     for (const auto& [node, when] : e.reconstructed) {
-      (void)node;
-      interval("distribution", at(TraceStage::kBlockCommitted), when);
-      interval("end_to_end", at(TraceStage::kCutProposed), when);
+      interval("distribution", key, node, at(TraceStage::kBlockCommitted),
+               when);
+      interval("end_to_end", key, node, at(TraceStage::kCutProposed), when);
     }
   }
+}
+
+std::map<std::string, Percentiles> BlockTracer::stage_samples() const {
+  std::map<std::string, Percentiles> out;
+  for_each_interval([&out](const char* name, const Hash32&, NodeId,
+                           SimTime from, SimTime to) {
+    out[name].add(to_milliseconds(to - from));
+  });
   return out;
 }
 
@@ -173,7 +187,45 @@ std::vector<TraceStageStats> BlockTracer::stage_breakdown() const {
     row.p50_ms = samples.percentile(50);
     row.p95_ms = samples.percentile(95);
     row.p99_ms = samples.percentile(99);
+    row.p999_ms = samples.percentile(99.9);
+    std::vector<double> sorted = samples.samples();
+    std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+    row.max_ms = sorted.empty() ? 0.0 : sorted.front();
+    const std::size_t k = std::min<std::size_t>(sorted.size(), 5);
+    row.top_ms.assign(sorted.begin(), sorted.begin() + k);
     out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<TraceIntervalSample> BlockTracer::top_samples(
+    const std::string& stage, std::size_t k) const {
+  std::vector<TraceIntervalSample> all;
+  for_each_interval([&](const char* name, const Hash32& key, NodeId node,
+                        SimTime from, SimTime to) {
+    if (stage != name) return;
+    TraceIntervalSample s;
+    s.key = key;
+    s.node = node;
+    s.from = from;
+    s.to = to;
+    s.ms = to_milliseconds(to - from);
+    all.push_back(s);
+  });
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceIntervalSample& a,
+                      const TraceIntervalSample& b) { return a.ms > b.ms; });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<Hash32> BlockTracer::keys_missing(TraceStage have,
+                                              TraceStage missing) const {
+  std::vector<Hash32> out;
+  for (const auto& [key, e] : entries_) {
+    if (e.first[static_cast<std::size_t>(have)] == kSimTimeNever) continue;
+    if (e.first[static_cast<std::size_t>(missing)] != kSimTimeNever) continue;
+    out.push_back(key);
   }
   return out;
 }
@@ -223,6 +275,23 @@ std::vector<TraceAnomaly> BlockTracer::anomalies(
       a.key = key;
       out.push_back(a);
     }
+  }
+
+  // Unclosed proposals: a cut was proposed but consensus never decided
+  // it. This is the blind spot the stalled-block detector had — it only
+  // looked downstream of commit, so a proposal whose commit recording
+  // was lost (or that genuinely never committed) went unflagged.
+  for (const auto& [key, e] : entries_) {
+    const SimTime proposed =
+        e.first[static_cast<std::size_t>(TraceStage::kCutProposed)];
+    const SimTime committed =
+        e.first[static_cast<std::size_t>(TraceStage::kBlockCommitted)];
+    if (proposed == kSimTimeNever || committed != kSimTimeNever) continue;
+    if (now - proposed < cfg.stall_after) continue;
+    TraceAnomaly a;
+    a.kind = TraceAnomaly::Kind::kUnclosedProposal;
+    a.key = key;
+    out.push_back(a);
   }
 
   for (const auto& [pair, times] : bans_) {

@@ -50,9 +50,10 @@ Hash32 trace_key(std::uint64_t id);
 
 struct TraceAnomaly {
   enum class Kind {
-    kStalledBlock,  ///< Committed but never reconstructed anywhere.
-    kRebanStorm,    ///< One observer banned one producer repeatedly.
-    kPullSpiral,    ///< One node pulled one block past the threshold.
+    kStalledBlock,      ///< Committed but never reconstructed anywhere.
+    kRebanStorm,        ///< One observer banned one producer repeatedly.
+    kPullSpiral,        ///< One node pulled one block past the threshold.
+    kUnclosedProposal,  ///< Cut proposed but never committed.
   };
   Kind kind = Kind::kStalledBlock;
   Hash32 key = kZeroHash;     ///< Block hash (stall / spiral).
@@ -64,6 +65,9 @@ struct TraceAnomaly {
 };
 
 /// One named stage interval's latency distribution (milliseconds).
+/// Percentiles are exact (computed from every sample); max_ms/top_ms
+/// expose the extreme tail directly so a handful of multi-second
+/// stragglers can never hide behind a healthy-looking p99.
 struct TraceStageStats {
   std::string name;
   std::size_t count = 0;
@@ -71,6 +75,21 @@ struct TraceStageStats {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_ms = 0.0;
+  std::vector<double> top_ms;  ///< Largest samples, descending (<= 5).
+};
+
+/// One interval sample with its identity: which block/bundle, which
+/// observing node (kNoNode for key-level intervals), and the bounding
+/// trace timestamps. Returned by BlockTracer::top_samples so tail
+/// outliers can be attributed, not just counted.
+struct TraceIntervalSample {
+  Hash32 key = kZeroHash;
+  NodeId node = kNoNode;
+  SimTime from = 0;
+  SimTime to = 0;
+  double ms = 0.0;
 };
 
 class BlockTracer {
@@ -124,8 +143,18 @@ class BlockTracer {
   ///   end_to_end         cut proposed -> reconstructed (per node)
   std::map<std::string, Percentiles> stage_samples() const;
 
-  /// stage_samples() reduced to count/mean/p50/p95/p99 rows.
+  /// stage_samples() reduced to count/mean/p50/p95/p99/p999/max rows
+  /// (plus the top-k raw samples per stage).
   std::vector<TraceStageStats> stage_breakdown() const;
+
+  /// The `k` largest samples of one named interval, descending by
+  /// duration, each attributed to its (key, node, timestamps).
+  std::vector<TraceIntervalSample> top_samples(const std::string& stage,
+                                               std::size_t k) const;
+
+  /// Keys that reached stage `have` but never reached stage `missing` —
+  /// e.g. proposed-but-never-committed entries.
+  std::vector<Hash32> keys_missing(TraceStage have, TraceStage missing) const;
 
   /// Fold every interval sample into `registry` histograms named
   /// "stage.<interval>".
@@ -164,6 +193,11 @@ class BlockTracer {
   };
 
   Entry& entry(const Hash32& key) { return entries_[key]; }
+
+  /// Visit every derived interval as (name, key, node, from, to); the
+  /// single source of truth behind stage_samples() and top_samples().
+  template <typename Fn>
+  void for_each_interval(Fn&& fn) const;
 
   std::size_t store_quorum_;
   bool expect_reconstruction_ = false;

@@ -4,21 +4,39 @@
 
 namespace predis {
 
+namespace {
+
+/// Level width after materializing the Bitcoin-style duplicate (only
+/// levels above width 1 are padded; the root level stays single).
+constexpr std::size_t padded(std::size_t width) {
+  return width > 1 && width % 2 != 0 ? width + 1 : width;
+}
+
+}  // namespace
+
 MerkleTree::MerkleTree(std::vector<Hash32> leaves) {
   if (leaves.empty()) {
     throw std::invalid_argument("MerkleTree: empty leaf set");
   }
-  levels_.push_back(std::move(leaves));
-  while (levels_.back().size() > 1) {
-    const auto& prev = levels_.back();
-    std::vector<Hash32> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (std::size_t i = 0; i < prev.size(); i += 2) {
-      const Hash32& left = prev[i];
-      const Hash32& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
-      next.push_back(hash_pair(left, right));
-    }
-    levels_.push_back(std::move(next));
+  leaf_count_ = leaves.size();
+
+  // Size the whole arena up front: one allocation for every level.
+  std::size_t total = 0;
+  for (std::size_t w = leaf_count_;; w = padded(w) / 2) {
+    offset_.push_back(total);
+    total += padded(w);
+    if (w == 1) break;
+  }
+  nodes_.resize(total);
+  std::copy(leaves.begin(), leaves.end(), nodes_.begin());
+
+  std::size_t w = leaf_count_;
+  for (std::size_t level = 0; w > 1; ++level) {
+    const std::size_t base = offset_[level];
+    if (w % 2 != 0) nodes_[base + w] = nodes_[base + w - 1];
+    const std::size_t next_w = padded(w) / 2;
+    hash_pairs(&nodes_[base], next_w, &nodes_[offset_[level + 1]]);
+    w = next_w;
   }
 }
 
@@ -35,17 +53,33 @@ void MerkleTree::prove_into(std::size_t index, MerkleProof& out) const {
   out.leaf_index = index;
   out.siblings.clear();
   std::size_t i = index;
-  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
-    const auto& nodes = levels_[level];
-    const std::size_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
-    out.siblings.push_back(sibling < nodes.size() ? nodes[sibling]
-                                                  : nodes[i]);
+  for (std::size_t level = 0; level + 1 < offset_.size(); ++level) {
+    // The duplicate node is materialized, so the sibling slot always
+    // exists inside the padded level.
+    out.siblings.push_back(nodes_[offset_[level] + (i ^ 1)]);
     i /= 2;
   }
 }
 
 Hash32 MerkleTree::root_of(const std::vector<Hash32>& leaves) {
-  return MerkleTree(leaves).root();
+  if (leaves.empty()) {
+    throw std::invalid_argument("MerkleTree: empty leaf set");
+  }
+  if (leaves.size() == 1) return leaves.front();
+  // In-place level halving inside a reused scratch buffer: out[i] of
+  // the pair batch lands at or before pair i, which hash_pairs()
+  // explicitly permits.
+  thread_local std::vector<Hash32> scratch;
+  scratch.resize(padded(leaves.size()));
+  std::copy(leaves.begin(), leaves.end(), scratch.begin());
+  std::size_t w = leaves.size();
+  while (w > 1) {
+    if (w % 2 != 0) scratch[w] = scratch[w - 1];
+    const std::size_t next_w = padded(w) / 2;
+    hash_pairs(scratch.data(), next_w, scratch.data());
+    w = next_w;
+  }
+  return scratch.front();
 }
 
 bool MerkleTree::verify(const Hash32& root, const Hash32& leaf,

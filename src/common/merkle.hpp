@@ -9,6 +9,13 @@
 //
 // Odd layers duplicate the last node (Bitcoin-style) so any leaf count
 // >= 1 is supported.
+//
+// Storage is one flat node arena (all levels concatenated, each level
+// padded to an even width so the duplicate node is materialized) and
+// every level is hashed through the batched pair kernel
+// (hash_pairs()), which rides the multi-buffer SHA-256 kernel when
+// one is active — one allocation and one kernel dispatch per level
+// instead of a vector and a hash_pair call per node.
 #pragma once
 
 #include <cstddef>
@@ -31,8 +38,8 @@ class MerkleTree {
   /// Builds the full tree; leaves must be non-empty.
   explicit MerkleTree(std::vector<Hash32> leaves);
 
-  const Hash32& root() const { return levels_.back().front(); }
-  std::size_t leaf_count() const { return levels_.front().size(); }
+  const Hash32& root() const { return nodes_.back(); }
+  std::size_t leaf_count() const { return leaf_count_; }
 
   /// Proof for the leaf at `index` (must be < leaf_count()).
   MerkleProof prove(std::size_t index) const;
@@ -41,7 +48,9 @@ class MerkleTree {
   /// reused — the stripe codec's per-stripe-allocation-free path.
   void prove_into(std::size_t index, MerkleProof& out) const;
 
-  /// Convenience: root over leaves without keeping the tree.
+  /// Convenience: root over leaves without keeping the tree. Runs the
+  /// batched levels in place inside a reused thread-local scratch
+  /// buffer, so the steady state allocates nothing.
   static Hash32 root_of(const std::vector<Hash32>& leaves);
 
   /// Verify that `leaf` is included under `root` via `proof`.
@@ -49,8 +58,14 @@ class MerkleTree {
                      const MerkleProof& proof);
 
  private:
-  // levels_[0] = leaves, levels_.back() = {root}.
-  std::vector<std::vector<Hash32>> levels_;
+  // All levels back to back, leaves first, root last. Odd levels are
+  // stored with their duplicated last node so sibling lookup never
+  // branches and the pair batch always covers the full level.
+  std::vector<Hash32> nodes_;
+  // offset_[l] = index of level l's first node in nodes_; offset_
+  // has one entry per level.
+  std::vector<std::size_t> offset_;
+  std::size_t leaf_count_ = 0;
 };
 
 }  // namespace predis

@@ -1,8 +1,10 @@
 #include "common/metrics_registry.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 
 #include "common/codec.hpp"
 
@@ -15,13 +17,21 @@ namespace {
 constexpr std::uint64_t kSub = 32;
 constexpr int kSubBits = 5;
 
+// Terminal octave: values at or past 2^(kMaxShift + kSubBits + 1) us
+// collapse into one overflow bucket instead of growing the index
+// without bound. At kMaxShift = 39 the cap sits near 2^45 us (~10
+// simulated hours) — far beyond any latency a run can produce, so the
+// cap is a range guarantee, not a precision loss.
+constexpr int kMaxShift = 39;
+
 }  // namespace
 
 std::size_t LatencyHistogram::bucket_of(std::uint64_t us) {
   if (us < kSub) return static_cast<std::size_t>(us);
   const int msb = std::bit_width(us) - 1;  // >= kSubBits
-  const int shift = msb - kSubBits;
-  const std::uint64_t sub = us >> shift;  // in [kSub, 2*kSub)
+  const int shift = std::min(msb - kSubBits, kMaxShift);
+  const std::uint64_t sub =
+      std::min<std::uint64_t>(us >> shift, 2 * kSub - 1);  // [kSub, 2*kSub)
   return (static_cast<std::size_t>(shift) + 1) * kSub +
          static_cast<std::size_t>(sub - kSub);
 }
@@ -39,6 +49,14 @@ void LatencyHistogram::record(double ms) {
   summary_.add(ms);
   const auto us = static_cast<std::uint64_t>(std::llround(ms * 1000.0));
   ++buckets_[bucket_of(us)];
+  // Keep the k largest raw samples exactly (descending insertion sort;
+  // k is tiny so this is O(k) per record in the worst case).
+  if (top_.size() < kTopK || ms > top_.back()) {
+    const auto pos =
+        std::upper_bound(top_.begin(), top_.end(), ms, std::greater<double>());
+    top_.insert(pos, ms);
+    if (top_.size() > kTopK) top_.pop_back();
+  }
 }
 
 double LatencyHistogram::percentile(double p) const {
@@ -46,6 +64,11 @@ double LatencyHistogram::percentile(double p) const {
   const auto total = static_cast<double>(summary_.count());
   const auto target = static_cast<std::uint64_t>(
       std::ceil(std::max(1.0, p / 100.0 * total)));
+  // Ranks that land inside the retained top-k are answered exactly:
+  // the target-th smallest sample is top_[count - target] (descending
+  // order), so p100 is max() with no bucket rounding at all.
+  const std::uint64_t from_top = summary_.count() - target;
+  if (from_top < top_.size()) return top_[static_cast<std::size_t>(from_top)];
   std::uint64_t seen = 0;
   for (const auto& [bucket, n] : buckets_) {
     seen += n;
@@ -64,6 +87,10 @@ void LatencyHistogram::encode(Writer& w) const {
   for (const auto& [bucket, n] : buckets_) {
     w.u64(bucket);
     w.u64(n);
+  }
+  w.u32(static_cast<std::uint32_t>(top_.size()));
+  for (double v : top_) {
+    w.i64(std::llround(v * 1000.0));
   }
 }
 
@@ -90,15 +117,23 @@ std::string MetricsRegistry::to_json() const {
   out += "},\n  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : histograms_) {
-    char tmp[320];
+    char tmp[448];
     std::snprintf(tmp, sizeof(tmp),
                   "%s\n    \"%s\": {\"count\": %zu, \"mean_ms\": %.3f, "
                   "\"min_ms\": %.3f, \"max_ms\": %.3f, \"p50_ms\": %.3f, "
-                  "\"p95_ms\": %.3f, \"p99_ms\": %.3f}",
+                  "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f, "
+                  "\"top_ms\": [",
                   first ? "" : ",", name.c_str(), h.count(), h.mean(),
                   h.min(), h.max(), h.percentile(50), h.percentile(95),
-                  h.percentile(99));
+                  h.percentile(99), h.percentile(99.9));
     out += tmp;
+    bool tf = true;
+    for (double v : h.top()) {
+      std::snprintf(tmp, sizeof(tmp), "%s%.3f", tf ? "" : ", ", v);
+      out += tmp;
+      tf = false;
+    }
+    out += "]}";
     first = false;
   }
   out += "\n  }\n}\n";

@@ -42,9 +42,16 @@ class Gauge {
 
 /// Log-linear latency histogram over milliseconds. Values are bucketed
 /// at microsecond granularity: exact below 32 us, then 32 sub-buckets
-/// per power of two, like HDR histograms.
+/// per power of two, like HDR histograms. The bucket index range is
+/// explicitly capped (values past ~2^44 us collapse into a terminal
+/// overflow bucket) and the histogram additionally keeps the k largest
+/// raw samples exactly, so a handful of extreme-tail stragglers are
+/// reported at full precision instead of hiding behind a bucketed p99.
 class LatencyHistogram {
  public:
+  /// Exact top-k samples retained alongside the buckets.
+  static constexpr std::size_t kTopK = 8;
+
   void record(double ms);
 
   std::size_t count() const { return summary_.count(); }
@@ -53,8 +60,13 @@ class LatencyHistogram {
   double max() const { return summary_.max(); }
 
   /// p in [0, 100]: nearest-rank over the bucket counts, reported at
-  /// the bucket midpoint and clamped to the observed [min, max].
+  /// the bucket midpoint and clamped to the observed [min, max]. The
+  /// extreme tail (ranks inside the retained top-k) is answered from
+  /// the exact samples, so p100 == max() exactly.
   double percentile(double p) const;
+
+  /// The largest recorded samples, descending, at most kTopK of them.
+  const std::vector<double>& top() const { return top_; }
 
   /// Deterministic content feed for registry digests.
   void encode(class Writer& w) const;
@@ -65,6 +77,7 @@ class LatencyHistogram {
 
   Summary summary_;
   std::map<std::size_t, std::uint64_t> buckets_;  ///< bucket -> count
+  std::vector<double> top_;                       ///< Descending, <= kTopK.
 };
 
 /// Name-addressed metric store. Lookups create on first use; references

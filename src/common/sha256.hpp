@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "common/bytes.hpp"
@@ -30,8 +31,6 @@ class Sha256 {
   static Hash32 hash(BytesView data);
 
  private:
-  void process_block(const std::uint8_t* block);
-
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;
   std::uint64_t bit_length_ = 0;
@@ -40,6 +39,15 @@ class Sha256 {
 
 /// Hash the concatenation of two digests — the Merkle-tree inner-node rule.
 Hash32 hash_pair(const Hash32& left, const Hash32& right);
+
+/// Batched inner-node rule: out[i] = SHA-256(pairs[2i] || pairs[2i+1]).
+/// `pairs` holds 2*pair_count contiguous digests. Routed through the
+/// multi-buffer kernel when one is active (see sha256_kernels.hpp), so
+/// hashing a whole Merkle level costs far less than pair_count calls
+/// to hash_pair. `out` may alias the front of `pairs` (out[i] is
+/// written only after pair i is read) — the in-place level halving the
+/// Merkle builder uses.
+void hash_pairs(const Hash32* pairs, std::size_t pair_count, Hash32* out);
 
 /// All-zero digest, used as "null hash" (genesis parents etc.).
 inline constexpr Hash32 kZeroHash{};

@@ -1,0 +1,187 @@
+// SHA-NI SHA-256 kernel: the only translation unit compiled with
+// -msha -msse4.1 (see src/common/CMakeLists.txt), selected at runtime
+// via __builtin_cpu_supports. The x86 SHA extensions evaluate four
+// rounds per sha256rnds2 pair and fold the message schedule into
+// sha256msg1/sha256msg2, which is where the single-stream speedup
+// comes from.
+//
+// Register layout follows the standard packing for these
+// instructions: the eight state words live in two xmm registers as
+// ABEF / CDGH, converted from and back to the linear ABCD EFGH layout
+// at entry and exit.
+#if defined(PREDIS_HAVE_SHA_NI)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/sha256.hpp"
+
+namespace predis::sha256_kernels::detail {
+
+namespace {
+
+alignas(16) constexpr std::uint32_t kRound[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline __m128i k4(int i) {
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(&kRound[i]));
+}
+
+}  // namespace
+
+bool sha_ni_supported() {
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1");
+}
+
+void compress_sha_ni(std::uint32_t* state, const std::uint8_t* data,
+                     std::size_t blocks) {
+  // Big-endian word loads: byte shuffle mask for _mm_shuffle_epi8.
+  const __m128i kShuf =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  __m128i tmp =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);  // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);       // CDGH
+
+  while (blocks-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg, sched;
+
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kShuf);
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kShuf);
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kShuf);
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kShuf);
+
+    // Rounds 0-3, 4-7, 8-11: schedule words come straight from the
+    // message; msg1 folding starts as soon as two words exist.
+    msg = _mm_add_epi32(msg0, k4(0));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    state0 =
+        _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+    msg = _mm_add_epi32(msg1, k4(4));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    state0 =
+        _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    msg = _mm_add_epi32(msg2, k4(8));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    state0 =
+        _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+// Four rounds with full schedule expansion: mc carries W[i..i+3], mn
+// accumulates W[i+4..i+7], mp (holding W[i-4..i-1]) both feeds the
+// alignr shift and starts its own msg1 fold for the round after next.
+#define PREDIS_SHA_STEP(mc, mn, mp, i)                                       \
+  msg = _mm_add_epi32(mc, k4(i));                                            \
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);                       \
+  sched = _mm_alignr_epi8(mc, mp, 4);                                        \
+  mn = _mm_add_epi32(mn, sched);                                             \
+  mn = _mm_sha256msg2_epu32(mn, mc);                                         \
+  state0 =                                                                   \
+      _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));   \
+  mp = _mm_sha256msg1_epu32(mp, mc)
+
+// Same, for the last schedule expansions where no further msg1 fold
+// is needed.
+#define PREDIS_SHA_STEP_TAIL(mc, mn, mp, i)                                  \
+  msg = _mm_add_epi32(mc, k4(i));                                            \
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);                       \
+  sched = _mm_alignr_epi8(mc, mp, 4);                                        \
+  mn = _mm_add_epi32(mn, sched);                                             \
+  mn = _mm_sha256msg2_epu32(mn, mc);                                         \
+  state0 =                                                                   \
+      _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E))
+
+    PREDIS_SHA_STEP(msg3, msg0, msg2, 12);
+    PREDIS_SHA_STEP(msg0, msg1, msg3, 16);
+    PREDIS_SHA_STEP(msg1, msg2, msg0, 20);
+    PREDIS_SHA_STEP(msg2, msg3, msg1, 24);
+    PREDIS_SHA_STEP(msg3, msg0, msg2, 28);
+    PREDIS_SHA_STEP(msg0, msg1, msg3, 32);
+    PREDIS_SHA_STEP(msg1, msg2, msg0, 36);
+    PREDIS_SHA_STEP(msg2, msg3, msg1, 40);
+    PREDIS_SHA_STEP(msg3, msg0, msg2, 44);
+    // Round 48 still folds msg1 (msg3's partials feed W60-63 at round
+    // 56); only the last two expansions have no downstream consumer.
+    PREDIS_SHA_STEP(msg0, msg1, msg3, 48);
+    PREDIS_SHA_STEP_TAIL(msg1, msg2, msg0, 52);
+    PREDIS_SHA_STEP_TAIL(msg2, msg3, msg1, 56);
+
+#undef PREDIS_SHA_STEP
+#undef PREDIS_SHA_STEP_TAIL
+
+    // Rounds 60-63: schedule complete.
+    msg = _mm_add_epi32(msg3, k4(60));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    state0 =
+        _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+void hash_pairs_sha_ni(const std::uint8_t* msgs, std::size_t count,
+                       Hash32* out) {
+  // Message block + the constant padding block (0x80, zeros, bit
+  // length 512) back to back, so each pair is one two-block compress
+  // without repacking state in between.
+  alignas(16) std::uint8_t buf[128];
+  std::memset(buf + 64, 0, 64);
+  buf[64] = 0x80;
+  buf[126] = 0x02;
+
+  constexpr std::uint32_t kInit[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                      0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                      0x1f83d9ab, 0x5be0cd19};
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t st[8];
+    std::memcpy(st, kInit, sizeof(st));
+    std::memcpy(buf, msgs + i * 64, 64);
+    compress_sha_ni(st, buf, 2);
+    for (int j = 0; j < 8; ++j) {
+      out[i][j * 4 + 0] = static_cast<std::uint8_t>(st[j] >> 24);
+      out[i][j * 4 + 1] = static_cast<std::uint8_t>(st[j] >> 16);
+      out[i][j * 4 + 2] = static_cast<std::uint8_t>(st[j] >> 8);
+      out[i][j * 4 + 3] = static_cast<std::uint8_t>(st[j]);
+    }
+  }
+}
+
+}  // namespace predis::sha256_kernels::detail
+
+#endif  // PREDIS_HAVE_SHA_NI

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <vector>
 
 namespace predis {
 
@@ -78,6 +79,29 @@ bool verify(const PublicKey& public_key, BytesView message,
     secret = it->second;
   }
   return mac(secret, message) == signature;
+}
+
+std::size_t verify_batch(const SigCheck* items, std::size_t count,
+                         bool* ok) {
+  // Resolve every secret under one lock, then recompute the MACs
+  // outside it so concurrent verifiers aren't serialized on the
+  // registry mutex for the hashing work.
+  std::vector<std::optional<std::array<std::uint8_t, 32>>> secrets(count);
+  {
+    auto& reg = KeyRegistry::instance();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto it = reg.secrets.find(*items[i].key);
+      if (it != reg.secrets.end()) secrets[i] = it->second;
+    }
+  }
+  std::size_t passed = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    ok[i] = secrets[i].has_value() &&
+            mac(*secrets[i], items[i].message) == *items[i].signature;
+    if (ok[i]) ++passed;
+  }
+  return passed;
 }
 
 }  // namespace predis

@@ -53,4 +53,19 @@ class KeyPair {
 bool verify(const PublicKey& public_key, BytesView message,
             const Signature& signature);
 
+/// One item of a verification batch. Pointers must outlive the
+/// verify_batch call; `message` views caller-owned bytes.
+struct SigCheck {
+  const PublicKey* key = nullptr;
+  BytesView message;
+  const Signature* signature = nullptr;
+};
+
+/// Verify a run of signatures that arrive together — bundle batches at
+/// quorum boundaries, conflict-evidence pairs. Takes the key-registry
+/// lock once for the whole batch instead of once per signature, which
+/// is where the per-item overhead of verify() lives. Fills ok[i] for
+/// every item and returns how many verified.
+std::size_t verify_batch(const SigCheck* items, std::size_t count, bool* ok);
+
 }  // namespace predis

@@ -45,6 +45,13 @@ struct ConsensusConfig {
   std::vector<NodeId> nodes;  ///< Network ids of the n_c consensus nodes.
   std::size_t f = 1;          ///< Tolerated Byzantine faults.
   SimTime view_timeout = milliseconds(2000);
+  /// Leaders cut no *new* payloads at or after this time; in-flight
+  /// proposals still run to commit. Experiment drivers set this to the
+  /// load-stop time so the drain window closes every trace entry — a
+  /// proposal cut in the final instant of a run used to be frozen
+  /// mid-flight by the harness stop, leaving a cut-proposed trace entry
+  /// with no commit forever (the 66-entries / 65-commits mismatch).
+  SimTime propose_until = kSimTimeNever;
 };
 
 /// Convenience wrapper every consensus engine holds: identity, peers,

@@ -306,8 +306,14 @@ void HotStuffCore::try_propose() {
       nv != new_views_.end() && nv->second.size() >= ctx_.quorum();
   if (!fresh_qc && !timeout_quorum) return;
 
+  // Past the load-stop point cut no new payload, but keep the rounds
+  // turning with empty blocks below: an in-flight payload needs two
+  // more chained rounds to reach its three-chain commit, and stopping
+  // cold would strand it as a cut-proposed trace entry with no commit.
   PayloadPtr payload =
-      app_.make_payload(cur_round_, ancestors_of(high_qc_.block_hash));
+      ctx_.now() < ctx_.config().propose_until
+          ? app_.make_payload(cur_round_, ancestors_of(high_qc_.block_hash))
+          : nullptr;
   if (payload == nullptr) {
     // Keep the pipeline moving only if an uncommitted real payload
     // needs the extra rounds to reach its three-chain commit.

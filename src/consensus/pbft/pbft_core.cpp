@@ -38,6 +38,9 @@ void PbftCore::payload_ready() {
 
 void PbftCore::try_propose() {
   if (paused_ || !is_leader()) return;
+  // Past the load-stop point only in-flight slots drain; cutting a new
+  // payload here would strand it mid-protocol when the harness stops.
+  if (ctx_.now() >= ctx_.config().propose_until) return;
   if (next_propose_ <= last_exec_) next_propose_ = last_exec_ + 1;
   // Propose every slot the pipelining window allows (window_ == 1
   // reproduces the strictly serialized round model).

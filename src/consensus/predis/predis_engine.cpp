@@ -1,6 +1,7 @@
 #include "consensus/predis/predis_engine.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/block_tracer.hpp"
 #include "common/log.hpp"
@@ -207,7 +208,28 @@ bool PredisEngine::handle(NodeId from, const runtime::MsgPtr& msg) {
     return true;
   }
   if (const auto* m = dynamic_cast<const BundleBatchMsg*>(msg.get())) {
-    for (const auto& bundle : m->bundles) add_bundle(from, bundle);
+    // Quorum-boundary batch: verify every signature in the reply with
+    // one registry lock, then insert the survivors with the per-bundle
+    // check already discharged. Out-of-range producers are dropped
+    // here (the mempool would reject them as kInvalid anyway).
+    std::vector<HeaderSigCheck> checks;
+    std::vector<std::size_t> index;
+    checks.reserve(m->bundles.size());
+    index.reserve(m->bundles.size());
+    for (std::size_t i = 0; i < m->bundles.size(); ++i) {
+      const NodeId producer = m->bundles[i].header.producer;
+      if (producer >= mempool_.chain_count()) continue;
+      checks.push_back(
+          {&m->bundles[i].header, &mempool_.producer_key(producer)});
+      index.push_back(i);
+    }
+    const std::unique_ptr<bool[]> ok(new bool[checks.size() + 1]);
+    verify_bundle_signatures(checks, ok.get());
+    for (std::size_t j = 0; j < checks.size(); ++j) {
+      if (ok[j]) {
+        add_bundle(from, m->bundles[index[j]], /*signature_verified=*/true);
+      }
+    }
     return true;
   }
   if (dynamic_cast<const TipsProbeMsg*>(msg.get()) != nullptr) {
@@ -248,13 +270,16 @@ bool PredisEngine::handle(NodeId from, const runtime::MsgPtr& msg) {
     const bool parent_fork = ev.second.height == ev.first.height + 1 &&
                              ev.second.parent_hash != ev.first.hash();
     if (ev.first.producer == ev.second.producer &&
-        ev.first.producer < ctx_.n() &&
-        (same_height_fork || parent_fork) &&
-        verify_bundle_signature(ev.first,
-                                mempool_.producer_key(ev.first.producer)) &&
-        verify_bundle_signature(ev.second,
-                                mempool_.producer_key(ev.second.producer))) {
-      apply_ban(ev.first.producer);
+        ev.first.producer < ctx_.n() && (same_height_fork || parent_fork)) {
+      // Both headers share a producer, so both MACs resolve through
+      // one registry lock.
+      const PublicKey& key = mempool_.producer_key(ev.first.producer);
+      const std::vector<HeaderSigCheck> checks = {{&ev.first, &key},
+                                                  {&ev.second, &key}};
+      bool ok[2] = {false, false};
+      if (verify_bundle_signatures(checks, ok) == 2) {
+        apply_ban(ev.first.producer);
+      }
     }
     return true;
   }
@@ -292,8 +317,10 @@ void PredisEngine::apply_ban(NodeId producer) {
   });
 }
 
-void PredisEngine::add_bundle(NodeId from, const Bundle& bundle) {
-  const AddBundleResult result = mempool_.add(bundle);
+void PredisEngine::add_bundle(NodeId from, const Bundle& bundle,
+                              bool signature_verified) {
+  const AddBundleResult result =
+      mempool_.add(bundle, nullptr, signature_verified);
   switch (result) {
     case AddBundleResult::kAdded: {
       if (outstanding_fetches_.erase({bundle.header.producer,

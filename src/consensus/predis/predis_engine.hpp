@@ -186,7 +186,8 @@ class PredisEngine {
   /// Ban + (if ban_duration > 0) schedule the rejoin grant.
   void apply_ban(NodeId producer);
   void disseminate(const Bundle& bundle);
-  void add_bundle(NodeId from, const Bundle& bundle);
+  void add_bundle(NodeId from, const Bundle& bundle,
+                  bool signature_verified = false);
   void request_missing(const std::vector<MissingBundleRef>& refs,
                        NodeId block_sender);
   void retry_fetches();

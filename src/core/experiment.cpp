@@ -67,6 +67,7 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
   ccfg.nodes = consensus_ids;
   ccfg.f = cfg.f;
   ccfg.view_timeout = cfg.view_timeout;
+  ccfg.propose_until = cfg.duration;
 
   // Producer keys are derived from network node ids (one convention
   // shared by every engine and verifier).
@@ -197,7 +198,7 @@ ClusterResult run_cluster(const ClusterConfig& cfg) {
     cfg.ctx.on_network_ready(net, consensus_ids, client_ids);
   }
   net.start();
-  net.run_until(cfg.duration + milliseconds(500));
+  net.run_until(cfg.duration + cfg.drain);
 
   // --- Collect ------------------------------------------------------------
   ClusterResult result;

@@ -50,6 +50,12 @@ struct ClusterConfig {
   SimTime view_timeout = milliseconds(2000);
   SimTime duration = seconds(15);
   SimTime warmup = seconds(5);
+  /// Post-duration drain: leaders stop cutting payloads at `duration`
+  /// and the run continues this much longer so every in-flight
+  /// proposal reaches commit (HotStuff needs two extra chained rounds;
+  /// a WAN round is ~150-400 ms). Keeps the block trace closed: every
+  /// cut-proposed entry ends with a commit.
+  SimTime drain = milliseconds(1500);
   std::uint64_t seed = 1;
 
   /// Fig. 6 fault injection: the *last* `n_faulty` consensus nodes run

@@ -182,13 +182,25 @@ class MultiZoneConsensusNode final : public runtime::Actor {
 
   void serve_pull(NodeId from, const BundlePullMsg& msg) {
     auto push = std::make_shared<BundlePushMsg>();
+    std::uint32_t missing = 0;
     const Mempool& pool = inner_.engine().mempool();
     for (const auto& ref : msg.refs) {
-      if (ref.chain >= pool.chain_count()) continue;
-      const Bundle* b = pool.chain(ref.chain).get(ref.height);
-      if (b != nullptr) push->bundles.push_back(*b);
+      const Bundle* b = ref.chain < pool.chain_count()
+                            ? pool.chain(ref.chain).get(ref.height)
+                            : nullptr;
+      if (b != nullptr) {
+        push->bundles.push_back(*b);
+      } else {
+        ++missing;
+      }
     }
     if (!push->bundles.empty()) ctx_.send_node(from, std::move(push));
+    if (missing > 0 && msg.block != kZeroHash) {
+      auto miss = std::make_shared<BundleMissMsg>();
+      miss->block = msg.block;
+      miss->missing = missing;
+      ctx_.send_node(from, std::move(miss));
+    }
   }
 
   void prune_stale_subscribers() {

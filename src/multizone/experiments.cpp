@@ -45,9 +45,19 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
     consensus_ids.push_back(net.add_node(runtime::node_100mbps(0)));
   }
 
+  // Clients start once the join churn has settled (the paper's testbed
+  // likewise measures an established topology); computed up front so
+  // the consensus config can stop proposals at load-stop time.
+  const SimTime setup = cfg.topology == Topology::kMultiZone
+                            ? static_cast<SimTime>(cfg.n_full) *
+                                      milliseconds(120) +
+                                  milliseconds(1500)
+                            : 0;
+
   ConsensusConfig ccfg;
   ccfg.nodes = consensus_ids;
   ccfg.f = cfg.f;
+  ccfg.propose_until = setup + cfg.duration;
 
   std::vector<PublicKey> keys;
   for (NodeId id : consensus_ids) {
@@ -152,13 +162,6 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
         announced_at.emplace(block.height, net.now());
       };
 
-  // Clients start once the join churn has settled (the paper's testbed
-  // likewise measures an established topology).
-  const SimTime setup = cfg.topology == Topology::kMultiZone
-                            ? static_cast<SimTime>(cfg.n_full) *
-                                      milliseconds(120) +
-                                  milliseconds(1500)
-                            : 0;
   const double per_client =
       cfg.offered_load_tps / static_cast<double>(cfg.n_clients);
   std::vector<std::unique_ptr<ClientActor>> clients;
@@ -184,7 +187,7 @@ ThroughputResult run_distribution_cluster(const ThroughputConfig& cfg) {
     cfg.ctx.on_network_ready(net, consensus_ids, full_ids);
   }
   net.start();
-  net.run_until(setup + cfg.duration + milliseconds(500));
+  net.run_until(setup + cfg.duration + cfg.drain);
 
   ThroughputResult result;
   result.throughput_tps =
@@ -287,7 +290,7 @@ class SyntheticProducer final : public runtime::Actor {
       return;
     }
     if (const auto* m = dynamic_cast<const BundlePullMsg*>(msg.get())) {
-      if (serve_pull) serve_pull(from, m->refs);
+      if (serve_pull) serve_pull(from, *m);
       return;
     }
     if (const auto* m = dynamic_cast<const HeartbeatMsg*>(msg.get())) {
@@ -315,8 +318,7 @@ class SyntheticProducer final : public runtime::Actor {
     for (NodeId sub : subscribers_) net_.send(self_, sub, msg);
   }
 
-  std::function<void(NodeId, const std::vector<MissingBundleRef>&)>
-      serve_pull;
+  std::function<void(NodeId, const BundlePullMsg&)> serve_pull;
 
  private:
   runtime::Runtime& net_;
@@ -605,17 +607,28 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
     for (std::size_t i = 0; i < producers->size(); ++i) {
       SyntheticProducer* p = (*producers)[i];
       const NodeId pid = producer_ids[i];
-      p->serve_pull = [state, &dir, &net, pid](
-                          NodeId from,
-                          const std::vector<MissingBundleRef>& refs) {
+      p->serve_pull = [state, &dir, &net, pid](NodeId from,
+                                               const BundlePullMsg& msg) {
         auto push = std::make_shared<BundlePushMsg>();
-        for (const auto& ref : refs) {
+        std::uint32_t missing = 0;
+        for (const auto& ref : msg.refs) {
           const auto it = state->headers.find({ref.chain, ref.height});
-          if (it == state->headers.end()) continue;
-          const Bundle* b = dir.bundle(it->second.hash());
-          if (b != nullptr) push->bundles.push_back(*b);
+          const Bundle* b = it == state->headers.end()
+                                ? nullptr
+                                : dir.bundle(it->second.hash());
+          if (b != nullptr) {
+            push->bundles.push_back(*b);
+          } else {
+            ++missing;
+          }
         }
         if (!push->bundles.empty()) net.send(pid, from, std::move(push));
+        if (missing > 0 && msg.block != kZeroHash) {
+          auto miss = std::make_shared<BundleMissMsg>();
+          miss->block = msg.block;
+          miss->missing = missing;
+          net.send(pid, from, std::move(miss));
+        }
       };
     }
   }

@@ -36,6 +36,10 @@ struct ThroughputConfig {
   std::size_t bundle_size = 50;
   SimTime duration = seconds(12);
   SimTime warmup = seconds(5);
+  /// Post-duration drain: proposals stop at `duration`, the run keeps
+  /// going this much longer so in-flight blocks commit and full nodes
+  /// finish reconstructing them (closing every trace entry).
+  SimTime drain = milliseconds(1500);
   std::uint64_t seed = 1;
   /// Ship real erasure-coded stripe bytes (see
   /// MultiZoneConfig::real_stripe_payloads). Multi-Zone topology only.

@@ -305,6 +305,8 @@ void MultiZoneFullNode::on_message(NodeId from, const runtime::MsgPtr& msg) {
     on_pull(from, *m);
   } else if (const auto* m = dynamic_cast<const BundlePushMsg*>(msg.get())) {
     on_push(from, *m);
+  } else if (const auto* m = dynamic_cast<const BundleMissMsg*>(msg.get())) {
+    on_pull_miss(from, *m);
   } else if (const auto* m = dynamic_cast<const HeartbeatMsg*>(msg.get())) {
     // Echo pings (only pings! echoing echoes would loop forever) so the
     // pinging subscriber's liveness view of us refreshes even when no
@@ -584,59 +586,97 @@ void MultiZoneFullNode::on_predis_block(NodeId from,
 
   pending_blocks_.emplace(hash, PendingBlock{msg.block, from, 0});
   try_reconstruct_blocks();
-  schedule_pull(hash, from);
+  schedule_pull(hash);
 }
 
-void MultiZoneFullNode::schedule_pull(const Hash32& block_hash,
-                                      NodeId sender) {
-  // Keep pulling the gaps until the block reconstructs: first from the
-  // Predis-block sender ("missing bundles can be acquired from Predis
-  // block senders", §IV-D), then from rotating zone members whose
-  // stripes may simply be ahead of ours. Exponential backoff keeps the
-  // pull traffic from competing with the stripe streams themselves.
-  const auto it0 = pending_blocks_.find(block_hash);
-  const std::size_t attempt = it0 == pending_blocks_.end()
-                                  ? 0
-                                  : it0->second.pull_attempts;
-  const SimTime delay = pull_backoff_.delay(attempt, rng_);
-  net_.schedule(self_, delay, [this, block_hash, sender] {
-    if (left_) return;
-    const auto it = pending_blocks_.find(block_hash);
-    if (it == pending_blocks_.end()) return;  // completed meanwhile
-    std::vector<MissingBundleRef> refs;
-    const PredisBlock& b = it->second.block;
-    for (std::size_t i = 0; i < b.cut_heights.size(); ++i) {
-      for (BundleHeight h = b.prev_heights[i] + 1; h <= b.cut_heights[i];
-           ++h) {
-        if (chains_[i].count(h) == 0) {
-          refs.push_back({static_cast<NodeId>(i), h});
-        }
+void MultiZoneFullNode::send_pull(const Hash32& block_hash) {
+  const auto it = pending_blocks_.find(block_hash);
+  if (it == pending_blocks_.end()) return;  // completed meanwhile
+  std::vector<MissingBundleRef> refs;
+  const PredisBlock& b = it->second.block;
+  for (std::size_t i = 0; i < b.cut_heights.size(); ++i) {
+    for (BundleHeight h = b.prev_heights[i] + 1; h <= b.cut_heights[i];
+         ++h) {
+      if (chains_[i].count(h) == 0) {
+        refs.push_back({static_cast<NodeId>(i), h});
       }
     }
-    if (refs.empty()) {
-      try_reconstruct_blocks();
-      return;
-    }
-    // Pull-target ladder: keep the consensus layer out of the repair
-    // path (its uplink is the system bottleneck) — random zone members
-    // first, then the cross-zone backup partner (§IV-F), and only then
-    // the block sender itself.
-    NodeId target = sender;
-    const std::size_t attempt = it->second.pull_attempts;
-    const auto& members = dir_.members(zone_);
-    if (attempt % 3 == 0 && members.size() > 1) {
-      do {
-        target = members[rng_.next_below(members.size())];
-      } while (target == self_);
-    } else if (attempt % 3 == 1 && backup_peer_ != kNoNode) {
-      target = backup_peer_;
-    }
-    ++it->second.pull_attempts;
-    if (tracer_ != nullptr) tracer_->record_pull(block_hash, self_, now());
-    auto pull = std::make_shared<BundlePullMsg>();
-    pull->refs = std::move(refs);
-    net_.send(self_, target, std::move(pull));
-    schedule_pull(block_hash, sender);
+  }
+  if (refs.empty()) {
+    try_reconstruct_blocks();
+    return;
+  }
+  // Pull-target ladder: keep the consensus layer out of the repair
+  // path (its uplink is the system bottleneck) — random zone members
+  // first, then the cross-zone backup partner (§IV-F), and only then
+  // the block sender itself.
+  NodeId target = it->second.sender;
+  const std::size_t attempt = it->second.pull_attempts;
+  const auto& members = dir_.members(zone_);
+  if (attempt % 3 == 0 && members.size() > 1) {
+    do {
+      target = members[rng_.next_below(members.size())];
+    } while (target == self_);
+  } else if (attempt % 3 == 1 && backup_peer_ != kNoNode) {
+    target = backup_peer_;
+  }
+  ++it->second.pull_attempts;
+  if (tracer_ != nullptr) tracer_->record_pull(block_hash, self_, now());
+  auto pull = std::make_shared<BundlePullMsg>();
+  pull->block = block_hash;
+  pull->refs = std::move(refs);
+  net_.send(self_, target, std::move(pull));
+}
+
+void MultiZoneFullNode::schedule_pull(const Hash32& block_hash) {
+  // Keep pulling the gaps until the block reconstructs. The backoff
+  // exponent grows per ladder *cycle* (every target tried once), not
+  // per attempt: doubling the wait is meant to stop us hammering one
+  // peer, and rotating to a fresh target deserves a fresh timeout.
+  // Pre-fix the exponent grew per attempt, so a node that needed the
+  // whole ladder slept 0.7 + 1.4 + 2.8 s of dead air — the ~4.4 s
+  // distribution stragglers the tracer attributed to 3-pull blocks.
+  const auto it0 = pending_blocks_.find(block_hash);
+  if (it0 == pending_blocks_.end()) return;
+  const std::size_t cycle = it0->second.pull_attempts / 3;
+  // First probe goes out after a quarter timeout (same pacing as the
+  // miss-retry path): a node still short of bundles a few RTTs after
+  // the block announcement is overwhelmingly missing them for good
+  // (dropped stripe, pruned relayer), and waiting out a full timeout
+  // before the first pull put the entire repair tail beyond 500 ms.
+  // Later cycles keep the full exponential schedule.
+  const SimTime quarter = std::max<SimTime>(milliseconds(25),
+                                            cfg_.pull_timeout / 4);
+  const SimTime delay =
+      cycle == 0 && it0->second.pull_attempts == 0
+          ? quarter - static_cast<SimTime>(rng_.next_below(
+                          static_cast<std::uint64_t>(quarter) / 2 + 1))
+          : pull_backoff_.delay(cycle, rng_);
+  net_.schedule(self_, delay, [this, block_hash] {
+    if (left_) return;
+    if (pending_blocks_.find(block_hash) == pending_blocks_.end()) return;
+    send_pull(block_hash);
+    schedule_pull(block_hash);
+  });
+}
+
+void MultiZoneFullNode::on_pull_miss(NodeId /*from*/,
+                                     const BundleMissMsg& msg) {
+  const auto it = pending_blocks_.find(msg.block);
+  if (it == pending_blocks_.end()) return;
+  // The target had nothing for us. Rotate to the next ladder target
+  // after one short flat delay — the exponential schedule stays armed
+  // as the lost-message fallback, but a definitive "don't have it" is
+  // not congestion and must not cost a full backoff rung.
+  const SimTime base = std::max<SimTime>(milliseconds(25),
+                                         cfg_.pull_timeout / 4);
+  const SimTime retry =
+      base - static_cast<SimTime>(rng_.next_below(
+                 static_cast<std::uint64_t>(base) / 2 + 1));
+  const Hash32 block_hash = msg.block;
+  net_.schedule(self_, retry, [this, block_hash] {
+    if (left_) return;
+    send_pull(block_hash);
   });
 }
 
@@ -742,14 +782,30 @@ void MultiZoneFullNode::on_digest(NodeId from, const DigestMsg& msg) {
 
 void MultiZoneFullNode::on_pull(NodeId from, const BundlePullMsg& msg) {
   auto push = std::make_shared<BundlePushMsg>();
+  std::uint32_t missing = 0;
   for (const auto& ref : msg.refs) {
-    if (ref.chain >= chains_.size()) continue;
+    if (ref.chain >= chains_.size()) {
+      ++missing;
+      continue;
+    }
     const auto it = chains_[ref.chain].find(ref.height);
-    if (it == chains_[ref.chain].end()) continue;
-    const Bundle* bundle = dir_.bundle(it->second);
-    if (bundle != nullptr) push->bundles.push_back(*bundle);
+    const Bundle* bundle =
+        it == chains_[ref.chain].end() ? nullptr : dir_.bundle(it->second);
+    if (bundle != nullptr) {
+      push->bundles.push_back(*bundle);
+    } else {
+      ++missing;
+    }
   }
   if (!push->bundles.empty()) net_.send(self_, from, std::move(push));
+  // Tell a block-repair puller what we could not serve so it rotates
+  // targets now instead of waiting out its backoff.
+  if (missing > 0 && msg.block != kZeroHash) {
+    auto miss = std::make_shared<BundleMissMsg>();
+    miss->block = msg.block;
+    miss->missing = missing;
+    net_.send(self_, from, std::move(miss));
+  }
 }
 
 void MultiZoneFullNode::on_push(NodeId /*from*/, const BundlePushMsg& msg) {

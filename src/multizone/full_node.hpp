@@ -119,12 +119,17 @@ class MultiZoneFullNode : public runtime::Actor {
   void forward_client_txs(const ClientRequestMsg& msg);
   void on_pull(NodeId from, const BundlePullMsg& msg);
   void on_push(NodeId from, const BundlePushMsg& msg);
+  void on_pull_miss(NodeId from, const BundleMissMsg& msg);
 
   // Data plane.
   [[nodiscard]] bool try_byte_decode(StripeState& state);
   void store_bundle_record(const BundleHeader& header);
   void try_reconstruct_blocks();
-  void schedule_pull(const Hash32& block_hash, NodeId sender);
+  /// Send one repair pull for the block's missing bundles at the
+  /// current ladder rung (advances the rung).
+  void send_pull(const Hash32& block_hash);
+  /// Arm the recurring exponential pull schedule for a pending block.
+  void schedule_pull(const Hash32& block_hash);
 
   // Periodic duties.
   void tick_relayer_alive();

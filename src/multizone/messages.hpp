@@ -170,11 +170,31 @@ struct DigestRequestMsg final : runtime::Message {
 };
 
 /// Pull request for bundles we are missing (digest gap or slow stripes).
+/// `block` names the pending block a repair pull serves (kZeroHash for
+/// digest-sync pulls); a server that cannot serve every ref echoes it
+/// back in a BundleMissMsg so the puller can rotate to another target
+/// immediately instead of sleeping out its retry backoff.
 struct BundlePullMsg final : runtime::Message {
+  Hash32 block = kZeroHash;
   std::vector<MissingBundleRef> refs;
 
-  std::size_t wire_size() const override { return 16 + refs.size() * 12; }
+  std::size_t wire_size() const override {
+    return 16 + 32 + refs.size() * 12;
+  }
   const char* name() const override { return "BundlePull"; }
+};
+
+/// Negative pull response: the server lacked `missing` of the pulled
+/// refs. Tiny, and only sent for block-repair pulls (block != zero).
+/// Without it an unlucky pull target was indistinguishable from a lost
+/// message, and each wasted ladder rung cost a full exponential-backoff
+/// delay — the ~4.4 s distribution-tail stragglers.
+struct BundleMissMsg final : runtime::Message {
+  Hash32 block = kZeroHash;
+  std::uint32_t missing = 0;
+
+  std::size_t wire_size() const override { return 16 + 32 + 4; }
+  const char* name() const override { return "BundleMiss"; }
 };
 
 /// Pull response: full bundles.

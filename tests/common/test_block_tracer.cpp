@@ -240,5 +240,40 @@ TEST(BlockTracer, TraceKeyIsInjectiveOnSmallIds) {
   EXPECT_EQ(trace_key(7), trace_key(7));
 }
 
+TEST(BlockTracerAnomalies, UnclosedProposalFiresForProposedNeverCommitted) {
+  // Regression for the baseline entries/production mismatch: a load
+  // window ending mid-round left the final cut proposed but never
+  // committed, so the trace held one more entry than production rows
+  // and nothing flagged the dangling proposal. Closed rounds stay
+  // silent; the one unclosed proposal must be flagged once it ages
+  // past stall_after, and keys_missing must attribute it.
+  BlockTracer t;
+  for (std::uint64_t i = 0; i < 65; ++i) {
+    t.record(TraceStage::kCutProposed, trace_key(i),
+             milliseconds(100 * i));
+    t.record(TraceStage::kBlockCommitted, trace_key(i),
+             milliseconds(100 * i + 30));
+  }
+  EXPECT_TRUE(t.anomalies(seconds(60)).empty());
+
+  t.record(TraceStage::kCutProposed, trace_key(65), milliseconds(6500));
+  // Too fresh to flag: consensus may still be deciding it.
+  EXPECT_TRUE(t.anomalies(milliseconds(6500) + seconds(1)).empty());
+
+  const auto as = t.anomalies(milliseconds(6500) + seconds(10));
+  ASSERT_EQ(as.size(), 1u);
+  EXPECT_EQ(as[0].kind, TraceAnomaly::Kind::kUnclosedProposal);
+  EXPECT_EQ(as[0].key, trace_key(65));
+
+  const auto dangling = t.keys_missing(TraceStage::kCutProposed,
+                                       TraceStage::kBlockCommitted);
+  ASSERT_EQ(dangling.size(), 1u);
+  EXPECT_EQ(dangling[0], trace_key(65));
+
+  // Closing the proposal clears the anomaly.
+  t.record(TraceStage::kBlockCommitted, trace_key(65), milliseconds(6600));
+  EXPECT_TRUE(t.anomalies(milliseconds(6500) + seconds(10)).empty());
+}
+
 }  // namespace
 }  // namespace predis

@@ -119,5 +119,45 @@ TEST(MetricsRegistry, DigestIsContentSensitive) {
   EXPECT_NE(a.digest(), c.digest());
 }
 
+TEST(LatencyHistogram, HeavyTailStragglersReportedExactly) {
+  // Regression for the distribution-tail hunt: multi-second stragglers
+  // (the tracer saw ~4.4 s pull retries) must surface exactly — in
+  // max(), in the retained top-k, and in the extreme percentiles —
+  // instead of saturating the old bucket range or hiding behind a
+  // healthy bucketed p99. Synthetic series shaped on the pre-fix
+  // trace: a tight 20-30 ms body plus five outliers.
+  LatencyHistogram h;
+  for (int i = 0; i < 2000; ++i) h.record(20.0 + (i % 10));
+  const double stragglers[] = {980.0, 1500.0, 2200.0, 3600.0, 4364.5};
+  for (double s : stragglers) h.record(s);
+
+  EXPECT_EQ(h.max(), 4364.5);  // exact sample, not a bucket midpoint
+  ASSERT_GE(h.top().size(), 5u);
+  EXPECT_EQ(h.top()[0], 4364.5);
+  EXPECT_EQ(h.top()[1], 3600.0);
+  EXPECT_EQ(h.top()[2], 2200.0);
+  EXPECT_EQ(h.top()[3], 1500.0);
+  EXPECT_EQ(h.top()[4], 980.0);
+  // Ranks inside the retained top-k answer exactly: p100 == max.
+  EXPECT_EQ(h.percentile(100.0), 4364.5);
+  EXPECT_GE(h.percentile(99.9), 980.0);
+  // The body stays sane (bucket error <= ~1.6 %).
+  EXPECT_NEAR(h.percentile(50.0), 24.5, 2.0);
+  EXPECT_LT(h.percentile(95.0), 100.0);
+}
+
+TEST(LatencyHistogram, ExtremeValuesLandInTerminalBucketWithoutWrapping) {
+  // Values past the explicit bucket-index cap collapse into the
+  // terminal overflow bucket; the exact top-k still reports them.
+  LatencyHistogram h;
+  h.record(5.0);
+  h.record(1e15);  // far beyond the ~2^44 us bucket range
+  EXPECT_EQ(h.max(), 1e15);
+  EXPECT_EQ(h.top().front(), 1e15);
+  EXPECT_EQ(h.percentile(100.0), 1e15);
+  EXPECT_LE(h.percentile(50.0), 1e15);
+  EXPECT_EQ(h.count(), 2u);
+}
+
 }  // namespace
 }  // namespace predis

@@ -557,5 +557,54 @@ TEST_F(ZoneFixture, RelayerAliveAboutUnregisteredNodeIsIgnored) {
   EXPECT_EQ(node->contiguous_height(0), 1u);
 }
 
+TEST_F(ZoneFixture, BlockRepairPullResolvesWithinQuarterTimeout) {
+  // Regression for the ~4.4 s distribution stragglers the tracer
+  // attributed to repair pulls: pre-fix, a node missing a bundle at
+  // block-announcement time slept a full jittered pull_timeout (700 ms
+  // base, then per-attempt-doubling rungs) before its first pull, so a
+  // block needing the whole target ladder took seconds to rebuild.
+  // Post-fix the first probe fires at ~pull_timeout/4 and a
+  // BundleMissMsg rotates the ladder at the same pace, so one
+  // zone-member round trip closes the gap a few hundred ms after the
+  // announcement.
+  cfg.digest_interval = seconds(30);  // isolate the block-pull path
+
+  auto* early = add_full_node(0, 0);
+  net.start();
+  net.run_until(milliseconds(300));
+  produce_bundle(0);
+  net.run_until(milliseconds(600));
+  ASSERT_EQ(early->contiguous_height(0), 1u);
+
+  // Joins after the stripes flowed: the only way to the bundle is the
+  // repair pull riding the block announcement.
+  auto* late = add_full_node(0, milliseconds(700));
+  late->on_start();
+  const NodeId late_id = full_ids.back();
+  BlockTracer tracer;
+  late->set_tracer(&tracer);
+  SimTime done = kSimTimeNever;
+  late->on_block_complete = [&done](const PredisBlock&, SimTime when) {
+    done = when;
+  };
+
+  const SimTime announce_at = milliseconds(1500);
+  net.run_until(announce_at);
+  const PredisBlock block = announce_block(0);
+  net.run_until(announce_at + milliseconds(600));
+
+  ASSERT_NE(done, kSimTimeNever) << "late node never rebuilt the block";
+  // Quarter timeout (175 ms, jittered down) + one zone round trip.
+  // Pre-fix the first pull alone waited 350-700 ms.
+  EXPECT_LE(done - announce_at, milliseconds(400))
+      << "repair took " << (done - announce_at) << " ticks";
+  // The pull path (not a digest backfill) did the repair, and it did
+  // not spiral: one or two probes, nowhere near the anomaly threshold.
+  const std::size_t pulls = tracer.pull_count(block.hash(), late_id);
+  EXPECT_GE(pulls, 1u);
+  EXPECT_LE(pulls, 2u);
+  EXPECT_TRUE(tracer.anomalies(announce_at + seconds(1)).empty());
+}
+
 }  // namespace
 }  // namespace predis::multizone

@@ -23,6 +23,7 @@
 
 #include "bundle/predis_block.hpp"
 #include "common/rng.hpp"
+#include "common/sha256_kernels.hpp"
 #include "erasure/stripe_codec.hpp"
 
 // Prevents the optimizer from deleting measured work; never read back.
@@ -261,10 +262,11 @@ int emit_erasure(const std::string& dir, bool smoke, double budget_ms) {
 
 int emit_micro(const std::string& dir, bool smoke, double budget_ms) {
   struct Entry {
-    const char* name;
+    std::string name;
     std::size_t bytes;  // 0 = no throughput figure
     std::function<void()> fn;
   };
+  namespace sk = predis::sha256_kernels;
 
   const Bytes data = random_bytes(25'600, 41);
   std::vector<Hash32> leaves;
@@ -302,16 +304,47 @@ int emit_micro(const std::string& dir, bool smoke, double budget_ms) {
                        benchmark_sink(arena.stripes.back().data.back());
                      }});
 
+  // Crypto-kernel sweep: the single-stream and pair-batch shapes timed
+  // through every compiled-in + CPU-supported kernel, so the report
+  // records the dispatch win on this machine. Note the avx2 kernel is
+  // multi-buffer only — its single-stream compress resolves to the
+  // portable rounds by design, and the sweep shows exactly that.
+  constexpr std::uint32_t kIv[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                    0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                    0x1f83d9ab, 0x5be0cd19};
+  const Bytes stream = random_bytes(400 * 64, 43);  // 25.6 KB, 400 blocks
+  const Bytes pair_msgs = random_bytes(512 * 64, 44);
+  static std::vector<Hash32> pair_out(512);
+  for (sk::Kernel k :
+       {sk::Kernel::kPortable, sk::Kernel::kShaNi, sk::Kernel::kAvx2}) {
+    if (!sk::available(k)) continue;
+    const sk::CompressFn compress = sk::compress(k);
+    const sk::PairBatchFn pairs = sk::hash_pairs(k);
+    entries.push_back({std::string("sha256_compress/25600/") + sk::name(k),
+                       400 * 64, [compress, &stream, &kIv] {
+                         std::uint32_t st[8];
+                         std::memcpy(st, kIv, sizeof(st));
+                         compress(st, stream.data(), 400);
+                         benchmark_sink(st[0]);
+                       }});
+    entries.push_back({std::string("sha256_hash_pairs/512/") + sk::name(k),
+                       512 * 64, [pairs, &pair_msgs] {
+                         pairs(pair_msgs.data(), 512, pair_out.data());
+                         benchmark_sink(pair_out[0][0]);
+                       }});
+  }
+
   JsonWriter j;
   j.raw("{\n  ");
   j.kv("schema", "predis-bench-micro/1");
   j.kv("tool", "bench_report");
   j.kv("smoke", smoke);
+  j.kv("sha256_kernel", sk::name(sk::active()));
   j.raw("\"benches\": [\n");
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const double per_call = time_per_call(entries[i].fn, budget_ms);
     j.raw("    {");
-    j.kv("name", entries[i].name);
+    j.kv("name", entries[i].name.c_str());
     if (entries[i].bytes > 0) {
       j.kv("ns_per_op", per_call * 1e9);
       j.kv("mb_per_s",

@@ -65,6 +65,9 @@ struct Scenario {
   std::string description;
   std::vector<TraceStageStats> stages;
   std::vector<TraceAnomaly> anomalies;
+  /// Attributed worst samples of the scenario's tail stage (printed so
+  /// a straggler is a (block, node, pulls) fact, not just a number).
+  std::vector<std::string> outliers;
   std::string metrics_json;       ///< Folded MetricsRegistry export.
   double headline = 0.0;          ///< tps or coverage, see unit.
   const char* headline_unit = "";
@@ -84,12 +87,16 @@ void print_scenario(const Scenario& s) {
   std::printf("\n=== %s — %s ===\n", s.name.c_str(),
               s.description.c_str());
   std::printf("  headline: %.1f %s\n", s.headline, s.headline_unit);
-  std::printf("  %-18s %8s %10s %10s %10s %10s\n", "stage", "count",
-              "mean ms", "p50 ms", "p95 ms", "p99 ms");
+  std::printf("  %-18s %8s %10s %10s %10s %10s %10s %10s\n", "stage",
+              "count", "mean ms", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms",
+              "max ms");
   for (const TraceStageStats& st : s.stages) {
-    std::printf("  %-18s %8zu %10.2f %10.2f %10.2f %10.2f\n",
-                st.name.c_str(), st.count, st.mean_ms, st.p50_ms,
-                st.p95_ms, st.p99_ms);
+    std::printf("  %-18s %8zu %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+                st.name.c_str(), st.count, st.mean_ms, st.p50_ms, st.p95_ms,
+                st.p99_ms, st.p999_ms, st.max_ms);
+  }
+  for (const std::string& line : s.outliers) {
+    std::printf("  outlier: %s\n", line.c_str());
   }
   if (s.anomalies.empty()) {
     std::printf("  anomalies: none\n");
@@ -98,6 +105,23 @@ void print_scenario(const Scenario& s) {
       std::printf("  ANOMALY: %s\n", a.describe().c_str());
     }
   }
+}
+
+/// Render the k worst samples of `stage` as attribution lines.
+std::vector<std::string> outlier_lines(const BlockTracer& tracer,
+                                       const char* stage, std::size_t k) {
+  std::vector<std::string> out;
+  for (const predis::TraceIntervalSample& s : tracer.top_samples(stage, k)) {
+    char tmp[192];
+    std::snprintf(tmp, sizeof(tmp),
+                  "%s %.1f ms: block %s node %u (%.1f -> %.1f ms, %zu pulls)",
+                  stage, s.ms, predis::short_hex(s.key).c_str(), s.node,
+                  predis::to_milliseconds(s.from),
+                  predis::to_milliseconds(s.to),
+                  tracer.pull_count(s.key, s.node));
+    out.emplace_back(tmp);
+  }
+  return out;
 }
 
 void scenario_json(JsonWriter& j, const Scenario& s, bool last) {
@@ -117,7 +141,17 @@ void scenario_json(JsonWriter& j, const Scenario& s, bool last) {
     j.kv("mean_ms", st.mean_ms);
     j.kv("p50_ms", st.p50_ms);
     j.kv("p95_ms", st.p95_ms);
-    j.kv("p99_ms", st.p99_ms, false);
+    j.kv("p99_ms", st.p99_ms);
+    j.kv("p999_ms", st.p999_ms);
+    j.kv("max_ms", st.max_ms);
+    j.raw("\"top_ms\": [");
+    for (std::size_t t = 0; t < st.top_ms.size(); ++t) {
+      char tmp[48];
+      std::snprintf(tmp, sizeof(tmp), "%s%.3f", t ? ", " : "",
+                    st.top_ms[t]);
+      j.raw(tmp);
+    }
+    j.raw("]");
     j.raw(i + 1 < s.stages.size() ? "},\n" : "}\n");
   }
   j.raw("    ],\n    \"metrics\": ");
@@ -153,6 +187,7 @@ Scenario run_multizone(bool smoke) {
   s.description = "P-PBFT + Multi-Zone distribution (Fig. 7 shape)";
   s.stages = r.stage_latency;
   s.anomalies = tracer.anomalies(cfg.duration);
+  s.outliers = outlier_lines(tracer, "distribution", 5);
   s.metrics_json = fold_metrics(tracer);
   s.headline = r.throughput_tps;
   s.headline_unit = "tx/s";
