@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace predis {
@@ -79,11 +80,14 @@ class Metrics {
     return static_cast<double>(n) / to_seconds(to - from);
   }
 
-  /// Latency distribution in milliseconds. Post-run reads only: the
-  /// reference escapes the lock, so callers must not race recorders
-  /// (Runtime::run_until drains in-flight work before returning).
-  const Percentiles& latencies() const { return latencies_; }
-  Percentiles& latencies() { return latencies_; }
+  /// Latency distribution in milliseconds, as a snapshot copy. The old
+  /// accessor returned a reference that escaped the lock, so a reader
+  /// overlapping a recording worker raced the sample vector's growth;
+  /// copying under the lock makes mid-run reads safe.
+  Percentiles latencies() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return latencies_;
+  }
 
   /// Number of distinct commit events (blocks).
   std::size_t commit_events() const {
@@ -97,12 +101,12 @@ class Metrics {
     std::size_t tx_count;
   };
   mutable std::mutex m_;
-  std::vector<Commit> commits_;
-  Percentiles latencies_;
-  std::uint64_t committed_txs_ = 0;
-  std::uint64_t submitted_txs_ = 0;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t bytes_received_ = 0;
+  std::vector<Commit> commits_ PREDIS_GUARDED_BY(m_);
+  Percentiles latencies_ PREDIS_GUARDED_BY(m_);
+  std::uint64_t committed_txs_ PREDIS_GUARDED_BY(m_) = 0;
+  std::uint64_t submitted_txs_ PREDIS_GUARDED_BY(m_) = 0;
+  std::uint64_t bytes_sent_ PREDIS_GUARDED_BY(m_) = 0;
+  std::uint64_t bytes_received_ PREDIS_GUARDED_BY(m_) = 0;
 };
 
 }  // namespace predis

@@ -1,5 +1,7 @@
 #include "common/signature.hpp"
 
+#include "common/thread_annotations.hpp"
+
 #include <cstring>
 #include <map>
 #include <mutex>
@@ -14,7 +16,8 @@ namespace {
 // secret cannot produce a verifying signature for someone else's key.
 struct KeyRegistry {
   std::mutex mu;
-  std::map<PublicKey, std::array<std::uint8_t, 32>> secrets;
+  std::map<PublicKey, std::array<std::uint8_t, 32>> secrets
+      PREDIS_GUARDED_BY(mu);
 
   static KeyRegistry& instance() {
     static KeyRegistry reg;

@@ -1,0 +1,41 @@
+// Static-analysis annotations consumed by predis-lint (tools/lint).
+//
+// The macros expand to nothing for the compiler; predis-lint's parser
+// records them in the per-file-pair symbol table and the flow rules
+// (D7 lock discipline, D8 timer lifecycle, D9 message taint) enforce
+// the discipline they declare. See docs/static_analysis.md.
+#pragma once
+
+/// D7: the annotated field may only be touched while the named mutex is
+/// held. Place after the declarator name:
+///
+///   std::deque<Item> q PREDIS_GUARDED_BY(m);
+///   bool running_ PREDIS_GUARDED_BY(ready_m_) = false;
+///
+/// predis-lint flags any read or write of the field from a scope that
+/// does not hold the mutex (lock_guard / scoped_lock / unique_lock /
+/// manual lock(), with unlock()/relock tracking), and folds every
+/// nested acquisition into a global lock-order graph that must stay
+/// acyclic.
+#define PREDIS_GUARDED_BY(mu)
+
+/// D9: the annotated container/field stores data copied out of network
+/// messages. Reads of it are treated as tainted in *every* function of
+/// the file pair — not just message handlers — so a hostile value
+/// laundered through member state still has to pass a kMax* clamp or
+/// bounds check before it may index a container, size an allocation or
+/// bound a loop:
+///
+///   std::map<Hash32, PendingBlock> pending_blocks_ PREDIS_MSG_DERIVED;
+///
+/// predis-lint demands this annotation whenever a handler stores an
+/// unsanitized message-derived value into a member.
+#define PREDIS_MSG_DERIVED
+
+/// D8: explicitly discard a Runtime::schedule()/after() timer handle.
+/// Use for self-re-arming tick chains whose callbacks carry their own
+/// liveness guard; everything else must store the handle and cancel it
+/// on teardown/restart:
+///
+///   PREDIS_FIRE_AND_FORGET(net_.schedule(self_, delay, [this] { ... }));
+#define PREDIS_FIRE_AND_FORGET(...) static_cast<void>(__VA_ARGS__)

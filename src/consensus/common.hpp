@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/sha256.hpp"
 #include "common/types.hpp"
 #include "runtime/runtime.hpp"
@@ -191,12 +192,12 @@ class CommitLedger {
     std::size_t commit_count;
   };
   Metrics* metrics_;
-  Observer observer_;
   mutable std::mutex m_;
-  std::map<std::uint64_t, Entry> slots_;
-  std::set<Hash32> counted_payloads_;
-  std::size_t duplicate_payloads_ = 0;
-  bool conflicting_ = false;
+  Observer observer_ PREDIS_GUARDED_BY(m_);
+  std::map<std::uint64_t, Entry> slots_ PREDIS_GUARDED_BY(m_);
+  std::set<Hash32> counted_payloads_ PREDIS_GUARDED_BY(m_);
+  std::size_t duplicate_payloads_ PREDIS_GUARDED_BY(m_) = 0;
+  bool conflicting_ PREDIS_GUARDED_BY(m_) = false;
 };
 
 /// Batches committed-transaction acknowledgements into one ClientReplyMsg

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "consensus/common.hpp"
 #include "core/recovery.hpp"
 
@@ -236,7 +237,8 @@ class HotStuffCore {
   // Deterministic round-ordered index over blocks_, so log GC walks
   // rounds in order instead of unordered-map iteration order.
   std::multimap<Round, Hash32> blocks_by_round_;
-  std::multimap<Hash32, BlockPtr, std::less<>> orphans_;  // keyed by parent
+  std::multimap<Hash32, BlockPtr, std::less<>> orphans_
+      PREDIS_MSG_DERIVED;  // keyed by parent
   Hash32 genesis_hash_ = kZeroHash;
 
   Round cur_round_ = 1;
@@ -249,9 +251,10 @@ class HotStuffCore {
   Round proposed_round_ = 0;  ///< Highest round we proposed in.
 
   // Vote aggregation at the next leader: round -> digest -> voters.
-  std::map<Round, std::map<Hash32, std::set<std::size_t>>> votes_;
+  std::map<Round, std::map<Hash32, std::set<std::size_t>>> votes_
+      PREDIS_MSG_DERIVED;
   // NewView aggregation: round -> senders.
-  std::map<Round, std::set<std::size_t>> new_views_;
+  std::map<Round, std::set<std::size_t>> new_views_ PREDIS_MSG_DERIVED;
 
   // Blocks whose validation returned kPending (await revalidate()).
   std::map<Round, BlockPtr> pending_validation_;

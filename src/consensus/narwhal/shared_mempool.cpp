@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/block_tracer.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace predis::consensus::narwhal {
 
@@ -41,15 +42,21 @@ void SharedMempoolNode::on_restart() {
     msg->mb = mb;
     ctx_.broadcast(msg);
   }
+  // A pre-outage retry timer still armed at the old backoff cadence
+  // would keep scheduled() true and block the fast first retry the
+  // reset of fetch_attempt_ is meant to buy; drop it.
+  fetch_timer_.cancel();
   fetch_attempt_ = 0;
   if (!fetching_.empty() && !fetch_timer_.scheduled()) retry_fetches();
 }
 
 void SharedMempoolNode::schedule_packing() {
-  ctx_.after(cfg_.pack_interval, [this] {
+  // Self-rearming tick: each firing schedules the next, so there is no
+  // handle to keep — the chain dies with the node.
+  PREDIS_FIRE_AND_FORGET(ctx_.after(cfg_.pack_interval, [this] {
     pack_microblock();
     schedule_packing();
-  });
+  }));
 }
 
 void SharedMempoolNode::enqueue(const std::vector<Transaction>& txs) {

@@ -16,6 +16,7 @@
 #include <set>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "consensus/common.hpp"
 #include "core/recovery.hpp"
 
@@ -351,16 +352,18 @@ class PbftCore {
   runtime::TimerHandle view_timer_;
   std::uint64_t view_changes_ = 0;
   // View-change vote collection: view -> (voter index -> message).
-  std::map<View, std::map<std::size_t, ViewChangeMsg>> vc_votes_;
+  std::map<View, std::map<std::size_t, ViewChangeMsg>> vc_votes_
+      PREDIS_MSG_DERIVED;
 
   // --- Checkpointing / state transfer ---------------------------------
   SeqNum checkpoint_interval_ = 16;
   SeqNum stable_checkpoint_ = 0;
   std::uint64_t state_transfers_ = 0;
   // Vote collection: seq -> digest -> voters.
-  std::map<SeqNum, std::map<Hash32, std::set<std::size_t>>> ckpt_votes_;
+  std::map<SeqNum, std::map<Hash32, std::set<std::size_t>>> ckpt_votes_
+      PREDIS_MSG_DERIVED;
   // Quorum-certified checkpoints we observed: seq -> digest.
-  std::map<SeqNum, Hash32> ckpt_certs_;
+  std::map<SeqNum, Hash32> ckpt_certs_ PREDIS_MSG_DERIVED;
   // Our own snapshot at the latest checkpoint boundary we executed.
   SeqNum snapshot_seq_ = 0;
   Hash32 snapshot_digest_ = kZeroHash;

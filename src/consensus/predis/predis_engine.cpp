@@ -5,6 +5,7 @@
 
 #include "common/block_tracer.hpp"
 #include "common/log.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/rng.hpp"
 
 namespace predis::consensus::predis {
@@ -45,7 +46,12 @@ void PredisEngine::start() {
 void PredisEngine::on_restart() {
   if (cfg_.fault == FaultMode::kSilent) return;
   // Reset the fetch ladder: whatever cadence we were on before the
-  // outage is stale, and the first post-heal retry should be fast.
+  // outage is stale, and the first post-heal retry should be fast. A
+  // pre-outage retry timer may still be armed at the old (slow) backoff
+  // delay; left alone it keeps scheduled() true below and blocks the
+  // fresh fast retry, so the first post-heal fetch would wait out the
+  // pre-crash cadence.
+  fetch_timer_.cancel();
   fetch_attempt_ = 0;
   fetch_peer_.on_progress();
 
@@ -72,10 +78,11 @@ void PredisEngine::on_restart() {
 }
 
 void PredisEngine::schedule_production() {
-  ctx_.after(cfg_.bundle_interval, [this] {
+  // Self-rearming tick: each firing schedules the next; no handle kept.
+  PREDIS_FIRE_AND_FORGET(ctx_.after(cfg_.bundle_interval, [this] {
     produce_bundle();
     schedule_production();
-  });
+  }));
 }
 
 void PredisEngine::enqueue(const std::vector<Transaction>& txs) {
@@ -301,7 +308,9 @@ void PredisEngine::apply_ban(NodeId producer) {
   // own_height_/own_parent_hash_ so the next bundle equivocates against
   // our own earlier production.
   if (!pending_rejoins_.insert(producer).second) return;
-  ctx_.after(cfg_.ban_duration, [this, producer] {
+  // The pending_rejoins_ guard above is the cancellation discipline:
+  // exactly one grant timer per ban, erased when it fires.
+  PREDIS_FIRE_AND_FORGET(ctx_.after(cfg_.ban_duration, [this, producer] {
     pending_rejoins_.erase(producer);
     mempool_.allow_rejoin(producer);
     if (tracer_ != nullptr) {
@@ -314,7 +323,7 @@ void PredisEngine::apply_ban(NodeId producer) {
       own_height_ = mempool_.confirmed()[producer];
       own_parent_hash_ = kZeroHash;
     }
-  });
+  }));
 }
 
 void PredisEngine::add_bundle(NodeId from, const Bundle& bundle,

@@ -1,5 +1,7 @@
 #include "core/swarm.hpp"
 
+#include "common/thread_annotations.hpp"
+
 #include <algorithm>
 #include <memory>
 #include <vector>
@@ -218,9 +220,9 @@ SwarmCaseResult run_swarm_case(const SwarmCaseConfig& cfg) {
     // Spread a handful of bursts over the fault window.
     constexpr std::size_t kBursts = 4;
     for (std::size_t b = 0; b < kBursts; ++b) {
-      net.schedule_after(
+      PREDIS_FIRE_AND_FORGET(net.schedule_after(
           window * static_cast<SimTime>(b) / static_cast<SimTime>(kBursts),
-          [&injector, id] { injector.burst(id); });
+          [&injector, id] { injector.burst(id); }));
     }
   };
   faults.on_withhold = excuse;

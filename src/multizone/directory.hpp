@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bundle/bundle.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace predis::multizone {
@@ -104,7 +105,7 @@ class ZoneDirectory {
   std::map<NodeId, Info> info_;
   std::vector<NodeId> consensus_;
   mutable std::mutex store_m_;
-  std::unordered_map<Hash32, Bundle, HashKey> store_;
+  std::unordered_map<Hash32, Bundle, HashKey> store_ PREDIS_GUARDED_BY(store_m_);
 };
 
 struct MultiZoneConfig {

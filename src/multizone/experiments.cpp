@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/metrics.hpp"
+#include "common/thread_annotations.hpp"
 #include "multizone/consensus_distributor.hpp"
 #include "multizone/full_node.hpp"
 #include "multizone/random_gossip.hpp"
@@ -421,13 +422,16 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
       produced_at[b] = at;
       // Scheduling happens before the run starts (now() == 0), so the
       // relative delay equals the absolute production time.
-      net.schedule_after(at, [producers, b, &cfg, &net] {
-        if (cfg.ctx.tracer != nullptr) {
-          cfg.ctx.tracer->record(TraceStage::kBlockCommitted, trace_key(b),
-                                 net.now());
-        }
-        for (StarProducer* p : producers) p->push_block(b, cfg.block_bytes);
-      });
+      PREDIS_FIRE_AND_FORGET(net.schedule_after(
+          at, [producers, b, &cfg, &net] {
+            if (cfg.ctx.tracer != nullptr) {
+              cfg.ctx.tracer->record(TraceStage::kBlockCommitted,
+                                     trace_key(b), net.now());
+            }
+            for (StarProducer* p : producers) {
+              p->push_block(b, cfg.block_bytes);
+            }
+          }));
     }
   } else if (cfg.topology == Topology::kRandom) {
     // One random graph over consensus + full nodes.
@@ -468,9 +472,9 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
       const SimTime at =
           setup + static_cast<SimTime>(b) * block_interval;
       produced_at[b] = at;
-      net.schedule_after(at, [sources, b, &cfg] {
+      PREDIS_FIRE_AND_FORGET(net.schedule_after(at, [sources, b, &cfg] {
         for (RandomGossipNode* s : *sources) s->inject(b, cfg.block_bytes);
-      });
+      }));
     }
   } else {
     // --- Multi-Zone ----------------------------------------------------
@@ -575,12 +579,12 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
                                static_cast<double>(bundles_per_block) *
                                static_cast<double>(block_interval));
         const std::size_t chain = j % cfg.n_consensus;
-        net.schedule_after(at, [produce_bundle, chain] {
-          produce_bundle(chain);
-        });
+        PREDIS_FIRE_AND_FORGET(net.schedule_after(
+            at, [produce_bundle, chain] { produce_bundle(chain); }));
       }
       // Cut + announce the Predis block.
-      net.schedule_after(block_at, [state, producers, b, &cfg, &net] {
+      PREDIS_FIRE_AND_FORGET(net.schedule_after(
+          block_at, [state, producers, b, &cfg, &net] {
         PredisBlock block;
         block.height = b;
         block.leader = 0;
@@ -600,7 +604,7 @@ PropagationResult run_propagation(const PropagationConfig& cfg) {
                                  net.now());
         }
         for (SyntheticProducer* p : *producers) p->send_block(block);
-      });
+      }));
     }
 
     // Pull service: producers answer BundlePull from the directory.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace predis::multizone {
 
@@ -12,6 +13,14 @@ namespace {
 /// heights in a DigestMsg are peer-controlled, so the backlog walk is
 /// clamped and the next digest round picks up the remainder.
 constexpr BundleHeight kMaxDigestSpan = 16;
+
+/// Most bundles a block announcement may confirm per chain. Announced
+/// cut/prev heights are sender-controlled bytes: without this cap a
+/// single forged PredisBlockMsg with cut_heights near 2^40 pins the
+/// node in a multi-billion-step gap walk on every pull cycle. Honest
+/// cuts advance by the handful of bundles produced per block interval,
+/// so the bound is generous.
+constexpr BundleHeight kMaxBlockSpan = 1024;
 
 }  // namespace
 
@@ -59,10 +68,10 @@ void MultiZoneFullNode::paced_fanout(const std::vector<NodeId>& children,
     if (at == 0) {
       net_.send(self_, child, msg);
     } else {
-      net_.schedule(self_, at, [this, child, msg] {
+      PREDIS_FIRE_AND_FORGET(net_.schedule(self_, at, [this, child, msg] {
         if (left_) return;
         net_.send(self_, child, msg);
-      });
+      }));
     }
     at += fanout_pacing_.delay(0, rng_);
   }
@@ -72,19 +81,24 @@ void MultiZoneFullNode::on_start() {
   // Join at the registered time: nodes enter the network one after
   // another (§IV-C derives join order from on-chain registration), so
   // Algorithm 1 sees the relayers that earlier members established.
-  net_.schedule(self_, std::max<SimTime>(0, join_time_ - now()),
-                [this] { bootstrap(); });
+  PREDIS_FIRE_AND_FORGET(net_.schedule(
+      self_, std::max<SimTime>(0, join_time_ - now()),
+      [this] { bootstrap(); }));
 
-  net_.schedule(self_, cfg_.relayer_alive_interval,
-                [this] { tick_relayer_alive(); });
-  net_.schedule(self_,
-                cfg_.relayer_check_interval +
-                    static_cast<SimTime>(rng_.next_below(static_cast<
-                        std::uint64_t>(cfg_.relayer_check_interval))),
-                [this] { tick_relayer_check(); });
-  net_.schedule(self_, cfg_.heartbeat_interval,
-                [this] { tick_heartbeat(); });
-  net_.schedule(self_, cfg_.digest_interval, [this] { tick_digest(); });
+  // The tick chains below re-arm themselves and every callback starts
+  // with an `if (left_) return;` liveness guard, so no handles are kept.
+  PREDIS_FIRE_AND_FORGET(net_.schedule(self_, cfg_.relayer_alive_interval,
+                                       [this] { tick_relayer_alive(); }));
+  PREDIS_FIRE_AND_FORGET(net_.schedule(
+      self_,
+      cfg_.relayer_check_interval +
+          static_cast<SimTime>(rng_.next_below(
+              static_cast<std::uint64_t>(cfg_.relayer_check_interval))),
+      [this] { tick_relayer_check(); }));
+  PREDIS_FIRE_AND_FORGET(net_.schedule(self_, cfg_.heartbeat_interval,
+                                       [this] { tick_heartbeat(); }));
+  PREDIS_FIRE_AND_FORGET(net_.schedule(self_, cfg_.digest_interval,
+                                       [this] { tick_digest(); }));
 }
 
 void MultiZoneFullNode::on_restart() {
@@ -578,6 +592,22 @@ void MultiZoneFullNode::on_predis_block(NodeId from,
   const Hash32 hash = msg.block.hash();
   if (!seen_blocks_.insert(hash).second) return;
 
+  // Admission check: drop structurally-hostile announcements before
+  // they are forwarded or enter pending_blocks_. Everything the block
+  // claims about chain spans is unauthenticated at this point (the
+  // signature is only checked consensus-side), so mismatched vectors,
+  // regressing cuts, unknown chains and absurd per-chain spans are all
+  // rejected here rather than laundered into the repair walks below.
+  const PredisBlock& blk = msg.block;
+  if (blk.cut_heights.size() != blk.prev_heights.size() ||
+      blk.cut_heights.size() > chains_.size()) {
+    return;
+  }
+  for (std::size_t i = 0; i < blk.cut_heights.size(); ++i) {
+    if (blk.cut_heights[i] < blk.prev_heights[i]) return;
+    if (blk.cut_heights[i] - blk.prev_heights[i] > kMaxBlockSpan) return;
+  }
+
   // Forward to our subscribers (relayer -> ordinary flow, §IV-D).
   const std::vector<NodeId> children = subscriber_union();
   if (!children.empty()) {
@@ -595,7 +625,10 @@ void MultiZoneFullNode::send_pull(const Hash32& block_hash) {
   std::vector<MissingBundleRef> refs;
   const PredisBlock& b = it->second.block;
   for (std::size_t i = 0; i < b.cut_heights.size(); ++i) {
-    for (BundleHeight h = b.prev_heights[i] + 1; h <= b.cut_heights[i];
+    // Admission (on_predis_block) already bounded the span; the clamp
+    // repeats the invariant locally so the walk is safe on its own.
+    for (BundleHeight h = b.prev_heights[i] + 1;
+         h <= std::min(b.cut_heights[i], b.prev_heights[i] + kMaxBlockSpan);
          ++h) {
       if (chains_[i].count(h) == 0) {
         refs.push_back({static_cast<NodeId>(i), h});
@@ -652,12 +685,12 @@ void MultiZoneFullNode::schedule_pull(const Hash32& block_hash) {
           ? quarter - static_cast<SimTime>(rng_.next_below(
                           static_cast<std::uint64_t>(quarter) / 2 + 1))
           : pull_backoff_.delay(cycle, rng_);
-  net_.schedule(self_, delay, [this, block_hash] {
+  PREDIS_FIRE_AND_FORGET(net_.schedule(self_, delay, [this, block_hash] {
     if (left_) return;
     if (pending_blocks_.find(block_hash) == pending_blocks_.end()) return;
     send_pull(block_hash);
     schedule_pull(block_hash);
-  });
+  }));
 }
 
 void MultiZoneFullNode::on_pull_miss(NodeId /*from*/,
@@ -674,10 +707,10 @@ void MultiZoneFullNode::on_pull_miss(NodeId /*from*/,
       base - static_cast<SimTime>(rng_.next_below(
                  static_cast<std::uint64_t>(base) / 2 + 1));
   const Hash32 block_hash = msg.block;
-  net_.schedule(self_, retry, [this, block_hash] {
+  PREDIS_FIRE_AND_FORGET(net_.schedule(self_, retry, [this, block_hash] {
     if (left_) return;
     send_pull(block_hash);
-  });
+  }));
 }
 
 void MultiZoneFullNode::try_reconstruct_blocks() {
@@ -686,7 +719,9 @@ void MultiZoneFullNode::try_reconstruct_blocks() {
     bool complete = true;
     for (std::size_t i = 0; complete && i < block.cut_heights.size(); ++i) {
       for (BundleHeight h = block.prev_heights[i] + 1;
-           h <= block.cut_heights[i]; ++h) {
+           h <= std::min(block.cut_heights[i],
+                         block.prev_heights[i] + kMaxBlockSpan);
+           ++h) {
         if (chains_[i].count(h) == 0) {
           complete = false;
           break;
@@ -826,8 +861,8 @@ void MultiZoneFullNode::on_push(NodeId /*from*/, const BundlePushMsg& msg) {
 void MultiZoneFullNode::tick_relayer_alive() {
   if (left_) return;
   if (is_relayer()) announce_relayer();
-  net_.schedule(self_, cfg_.relayer_alive_interval,
-                                  [this] { tick_relayer_alive(); });
+  PREDIS_FIRE_AND_FORGET(net_.schedule(self_, cfg_.relayer_alive_interval,
+                                       [this] { tick_relayer_alive(); }));
 }
 
 void MultiZoneFullNode::tick_relayer_check() {
@@ -930,8 +965,8 @@ void MultiZoneFullNode::tick_relayer_check() {
     }
     subscribe_to_consensus(want);
   }
-  net_.schedule(self_, cfg_.relayer_check_interval,
-                                  [this] { tick_relayer_check(); });
+  PREDIS_FIRE_AND_FORGET(net_.schedule(self_, cfg_.relayer_check_interval,
+                                       [this] { tick_relayer_check(); }));
 }
 
 void MultiZoneFullNode::tick_heartbeat() {
@@ -976,8 +1011,8 @@ void MultiZoneFullNode::tick_heartbeat() {
       }
     }
   }
-  net_.schedule(self_, cfg_.heartbeat_interval,
-                                  [this] { tick_heartbeat(); });
+  PREDIS_FIRE_AND_FORGET(net_.schedule(self_, cfg_.heartbeat_interval,
+                                       [this] { tick_heartbeat(); }));
 }
 
 void MultiZoneFullNode::tick_digest() {
@@ -998,8 +1033,8 @@ void MultiZoneFullNode::tick_digest() {
     digest->heights = contiguous_;
     net_.send(self_, backup_peer_, std::move(digest));
   }
-  net_.schedule(self_, cfg_.digest_interval,
-                                  [this] { tick_digest(); });
+  PREDIS_FIRE_AND_FORGET(net_.schedule(self_, cfg_.digest_interval,
+                                       [this] { tick_digest(); }));
 }
 
 void MultiZoneFullNode::forward_client_txs(const ClientRequestMsg& msg) {

@@ -14,6 +14,7 @@
 
 #include "common/block_tracer.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/recovery.hpp"
 #include "multizone/directory.hpp"
 #include "multizone/messages.hpp"
@@ -164,14 +165,15 @@ class MultiZoneFullNode : public runtime::Actor {
   std::vector<NodeId> pending_;              ///< Outstanding subscribe.
   std::vector<std::set<NodeId>> subscribers_;  ///< Per stripe index.
   std::set<StripeIndex> direct_;  ///< Stripes received from consensus.
-  std::map<NodeId, RelayerState> known_relayers_;
+  std::map<NodeId, RelayerState> known_relayers_ PREDIS_MSG_DERIVED;
   std::map<NodeId, SimTime> last_heard_;
 
   // Data plane state.
   std::vector<SimTime> last_stripe_at_;   ///< Per stripe index.
   std::vector<SimTime> provider_since_;   ///< When current provider set.
   SimTime last_any_stripe_ = 0;
-  std::unordered_map<Hash32, StripeState, HashKey> stripes_;
+  std::unordered_map<Hash32, StripeState, HashKey> stripes_
+      PREDIS_MSG_DERIVED;
   std::vector<std::map<BundleHeight, Hash32>> chains_;
   std::vector<BundleHeight> contiguous_;
   std::size_t decoded_count_ = 0;
@@ -189,8 +191,8 @@ class MultiZoneFullNode : public runtime::Actor {
   };
   // Iterated by try_reconstruct_blocks(), which emits completion
   // callbacks and trace records: keep the order key-sorted (D1).
-  std::map<Hash32, PendingBlock> pending_blocks_;
-  std::set<Hash32> seen_blocks_;
+  std::map<Hash32, PendingBlock> pending_blocks_ PREDIS_MSG_DERIVED;
+  std::set<Hash32> seen_blocks_ PREDIS_MSG_DERIVED;
 
   NodeId backup_peer_ = kNoNode;  ///< Neighbour-zone digest partner.
 };

@@ -13,6 +13,7 @@
 
 #include "common/block_tracer.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/recovery.hpp"
 #include "multizone/messages.hpp"
 #include "runtime/runtime.hpp"
@@ -105,7 +106,7 @@ class RandomGossipNode final : public runtime::Actor {
   /// block is a harmless no-op). Re-arms itself until the block lands.
   void schedule_pull(std::uint64_t id, NodeId first_target,
                      std::size_t attempt) {
-    net_.schedule(
+    PREDIS_FIRE_AND_FORGET(net_.schedule(
         self_, pull_backoff_.delay(attempt, rng_),
         [this, id, first_target, attempt] {
           if (seen_.count(id) != 0) {
@@ -130,7 +131,7 @@ class RandomGossipNode final : public runtime::Actor {
           pull->block_id = id;
           net_.send(self_, target, std::move(pull));
           schedule_pull(id, first_target, attempt + 1);
-        });
+        }));
   }
 
   void relay(const FullBlockMsg& msg, NodeId from) {

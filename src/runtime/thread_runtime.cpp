@@ -4,6 +4,7 @@
 // Runtime::now().
 #include "runtime/thread_runtime.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace predis::runtime {
@@ -328,7 +329,20 @@ void ThreadRuntime::set_node_down(NodeId id, bool down) {
     std::lock_guard<std::mutex> lk(mb.m);
     restarting = mb.down && !down;
     mb.down = down;
-    if (down) mb.q.clear();
+    if (down) {
+      // Drop only queued *messages*: traffic that arrived before the
+      // outage must not be processed after it. Queued timer tasks stay
+      // — each is a link of a self-rearming tick chain (production,
+      // packing, heartbeats) that dispatch() runs regardless of down
+      // state; clearing one here used to sever the chain for the rest
+      // of the run, so a node that went down with a tick in its
+      // mailbox never produced again after restart.
+      mb.q.erase(std::remove_if(mb.q.begin(), mb.q.end(),
+                                [](const Item& item) {
+                                  return item.msg != nullptr;
+                                }),
+                 mb.q.end());
+    }
     actor = mb.actor;
   }
   if (restarting && actor != nullptr) {

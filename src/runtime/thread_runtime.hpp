@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "runtime/link_model.hpp"
 #include "runtime/runtime.hpp"
@@ -123,12 +124,12 @@ class ThreadRuntime final : public Runtime {
   /// currently owned by a worker — the single-consumer guarantee.
   struct Mailbox {
     std::mutex m;
-    std::deque<Item> q;
-    bool active = false;
-    bool down = false;
-    Actor* actor = nullptr;
-    NodeConfig config;
-    TrafficStats stats;
+    std::deque<Item> q PREDIS_GUARDED_BY(m);
+    bool active PREDIS_GUARDED_BY(m) = false;
+    bool down PREDIS_GUARDED_BY(m) = false;
+    Actor* actor PREDIS_GUARDED_BY(m) = nullptr;
+    NodeConfig config;  ///< Frozen at add_node(), read-only afterwards.
+    TrafficStats stats PREDIS_GUARDED_BY(m);
   };
 
   struct TimerEvent {
@@ -187,19 +188,19 @@ class ThreadRuntime final : public Runtime {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   mutable std::mutex ready_m_;
   std::condition_variable ready_cv_;
-  std::deque<NodeId> ready_;
-  bool running_ = false;
-  bool stopping_ = false;
+  std::deque<NodeId> ready_ PREDIS_GUARDED_BY(ready_m_);
+  bool running_ PREDIS_GUARDED_BY(ready_m_) = false;
+  bool stopping_ PREDIS_GUARDED_BY(ready_m_) = false;
   std::atomic<bool> draining_{false};
 
   std::mutex timer_m_;
   std::condition_variable timer_cv_;
   std::priority_queue<TimerEvent, std::vector<TimerEvent>, TimerLater>
-      timer_q_;
-  std::uint64_t timer_seq_ = 0;
+      timer_q_ PREDIS_GUARDED_BY(timer_m_);
+  std::uint64_t timer_seq_ PREDIS_GUARDED_BY(timer_m_) = 0;
 
-  std::mutex hooks_m_;  ///< Guards drop_filter_ (wall mode).
-  DropFilter drop_filter_;
+  std::mutex hooks_m_;
+  DropFilter drop_filter_ PREDIS_GUARDED_BY(hooks_m_);
 
   std::vector<std::thread> workers_;
   std::thread timer_thread_;

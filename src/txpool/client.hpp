@@ -13,6 +13,7 @@
 
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "runtime/runtime.hpp"
 #include "txpool/transaction.hpp"
 
@@ -48,8 +49,8 @@ class ClientActor final : public runtime::Actor {
   void on_start() override {
     const SimTime now = net_.now();
     if (cfg_.start_at > now) {
-      net_.schedule(cfg_.self, cfg_.start_at - now,
-                    [this] { schedule_batch(); });
+      PREDIS_FIRE_AND_FORGET(net_.schedule(cfg_.self, cfg_.start_at - now,
+                                           [this] { schedule_batch(); }));
     } else {
       schedule_batch();
     }
@@ -79,10 +80,10 @@ class ClientActor final : public runtime::Actor {
 
  private:
   void schedule_batch() {
-    net_.schedule(cfg_.self, cfg_.batch_interval, [this] {
+    PREDIS_FIRE_AND_FORGET(net_.schedule(cfg_.self, cfg_.batch_interval, [this] {
       emit_batch();
       if (net_.now() < cfg_.stop_at) schedule_batch();
-    });
+    }));
   }
 
   void emit_batch() {
@@ -112,10 +113,11 @@ class ClientActor final : public runtime::Actor {
   }
 
   void schedule_resubmit_check() {
-    net_.schedule(cfg_.self, cfg_.resubmit_timeout, [this] {
-      resubmit_overdue();
-      schedule_resubmit_check();
-    });
+    PREDIS_FIRE_AND_FORGET(
+        net_.schedule(cfg_.self, cfg_.resubmit_timeout, [this] {
+          resubmit_overdue();
+          schedule_resubmit_check();
+        }));
   }
 
   /// §III-E: consign transactions that stayed unconfirmed for longer

@@ -62,6 +62,19 @@ TEST(Metrics, LatenciesInMilliseconds) {
   EXPECT_DOUBLE_EQ(m.latencies().mean(), 250.0);
 }
 
+TEST(Metrics, LatenciesReturnsAnIndependentSnapshot) {
+  // Regression: latencies() used to hand out a reference to the
+  // internal Percentiles — the lock was released at return, so callers
+  // read the vector while recorder threads grew it. It now returns a
+  // locked value copy that later records cannot mutate.
+  Metrics m;
+  m.record_latency(milliseconds(100));
+  const Percentiles snap = m.latencies();
+  m.record_latency(milliseconds(900));
+  EXPECT_DOUBLE_EQ(snap.mean(), 100.0);
+  EXPECT_DOUBLE_EQ(m.latencies().mean(), 500.0);
+}
+
 TEST(Metrics, EmptyWindowIsZero) {
   Metrics m;
   EXPECT_DOUBLE_EQ(m.throughput_tps(seconds(1), seconds(1)), 0.0);

@@ -1,0 +1,190 @@
+// Unit tests for the predis-lint analysis core, stage 3: the lock-set
+// walker (D7) and the taint walker (D9), driven directly against small
+// token streams rather than through the rule layer.
+#include "dataflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace predis::lint {
+namespace {
+
+struct Case {
+  SourceFile src;
+  std::vector<Token> tokens;
+  std::vector<Function> fns;
+  Symbols sym;
+};
+
+Case build(const std::string& text, const std::string& name) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "predis_dataflow_" + name + ".cpp";
+  std::ofstream(path) << text;
+  Case c;
+  c.src = load_source(path);
+  c.tokens = tokenize(c.src);
+  c.fns = segment_functions(c.tokens);
+  collect_symbols(c.tokens, c.src.path, c.sym);
+  std::remove(path.c_str());
+  return c;
+}
+
+TEST(LockWalker, FlagsAccessOutsideTheLockedScope) {
+  const auto c = build(R"(
+    class C {
+      void locked() {
+        std::lock_guard<std::mutex> lk(m_);
+        q_ = 1;
+      }
+      void unlocked() { q_ = 2; }
+      std::mutex m_;
+      int q_ PREDIS_GUARDED_BY(m_) = 0;
+    };
+  )",
+                       "scope");
+  ASSERT_EQ(c.fns.size(), 2u);
+  const auto ok = analyze_locks(c.tokens, c.fns[0], c.sym, "p", c.src.path);
+  EXPECT_TRUE(ok.violations.empty());
+  const auto bad = analyze_locks(c.tokens, c.fns[1], c.sym, "p", c.src.path);
+  ASSERT_EQ(bad.violations.size(), 1u);
+  EXPECT_EQ(bad.violations[0].field, "q_");
+  EXPECT_EQ(bad.violations[0].mutex, "m_");
+}
+
+TEST(LockWalker, ScopeExitAndManualUnlockDropTheLock) {
+  const auto c = build(R"(
+    class C {
+      void f() {
+        {
+          std::lock_guard<std::mutex> lk(m_);
+          q_ = 1;
+        }
+        q_ = 2;
+      }
+      void g() {
+        std::unique_lock<std::mutex> lk(m_);
+        lk.unlock();
+        q_ = 3;
+      }
+      std::mutex m_;
+      int q_ PREDIS_GUARDED_BY(m_) = 0;
+    };
+  )",
+                       "exit");
+  const auto f = analyze_locks(c.tokens, c.fns[0], c.sym, "p", c.src.path);
+  ASSERT_EQ(f.violations.size(), 1u);
+  const auto g = analyze_locks(c.tokens, c.fns[1], c.sym, "p", c.src.path);
+  ASSERT_EQ(g.violations.size(), 1u);
+}
+
+TEST(LockWalker, NestedAcquisitionEmitsAnOrderEdge) {
+  const auto c = build(R"(
+    class C {
+      void f() {
+        std::lock_guard<std::mutex> la(a_);
+        std::lock_guard<std::mutex> lb(b_);
+        x_ = 1;
+      }
+      std::mutex a_;
+      std::mutex b_;
+      int x_ PREDIS_GUARDED_BY(a_) = 0;
+    };
+  )",
+                       "edge");
+  const auto r = analyze_locks(c.tokens, c.fns[0], c.sym, "pair", c.src.path);
+  EXPECT_TRUE(r.violations.empty());
+  ASSERT_EQ(r.edges.size(), 1u);
+  EXPECT_EQ(r.edges[0].from, "pair::a_");
+  EXPECT_EQ(r.edges[0].to, "pair::b_");
+}
+
+TEST(TaintWalker, PropagatesThroughAssignmentsToSinks) {
+  const auto c = build(R"(
+    class C {
+      void on_req(NodeId from, const ReqMsg& msg) {
+        (void)from;
+        const std::uint64_t n = msg.count;
+        buf_.resize(n);
+      }
+      std::vector<int> buf_;
+    };
+  )",
+                       "assign");
+  const auto r = analyze_taint(c.tokens, c.fns[0], c.sym, "msg", true);
+  ASSERT_EQ(r.sinks.size(), 1u);
+  EXPECT_EQ(r.sinks[0].kind, TaintSink::kAlloc);
+  EXPECT_EQ(r.sinks[0].what, "n");
+}
+
+TEST(TaintWalker, TerminalGuardSanitizesButSentinelCompareDoesNot) {
+  const auto c = build(R"(
+    class C {
+      void on_req(NodeId from, const ReqMsg& msg) {
+        (void)from;
+        const std::uint32_t lane = msg.lane;
+        if (lane >= lanes_.size()) return;
+        lanes_[lane] = 1;
+      }
+      void walk() {
+        const auto it = pending_.find(0);
+        if (it == pending_.end()) return;
+        for (std::uint64_t h = 1; h <= it->second; ++h) consume(h);
+      }
+      std::vector<int> lanes_;
+      std::map<std::uint64_t, std::uint64_t> pending_ PREDIS_MSG_DERIVED;
+    };
+  )",
+                       "guard");
+  // Handler: the dominating bounds check covers the subscript.
+  const auto clean = analyze_taint(c.tokens, c.fns[0], c.sym, "msg", true);
+  EXPECT_TRUE(clean.sinks.empty());
+  // Non-handler: `it == pending_.end()` is an existence check, not a
+  // bound — the loop over it->second must still be flagged.
+  const auto dirty = analyze_taint(c.tokens, c.fns[1], c.sym, "", false);
+  ASSERT_EQ(dirty.sinks.size(), 1u);
+  EXPECT_EQ(dirty.sinks[0].kind, TaintSink::kLoop);
+}
+
+TEST(TaintWalker, KMaxClampAndModuloSanitize) {
+  const auto c = build(R"(
+    class C {
+      void on_req(NodeId from, const ReqMsg& msg) {
+        (void)from;
+        const std::uint64_t upto = std::min(msg.upto, low_ + kMaxSpan);
+        for (std::uint64_t h = low_ + 1; h <= upto; ++h) consume(h);
+        cursor_ = msg.upto % kMaxSpan;
+      }
+      std::uint64_t low_ = 0;
+      std::uint64_t cursor_ = 0;
+    };
+  )",
+                       "kmax");
+  const auto r = analyze_taint(c.tokens, c.fns[0], c.sym, "msg", true);
+  EXPECT_TRUE(r.sinks.empty());
+}
+
+TEST(TaintWalker, HandlerStoresIntoUnannotatedMember) {
+  const auto c = build(R"(
+    class C {
+      void on_req(NodeId from, const ReqMsg& msg) {
+        (void)from;
+        seen_.insert(msg.id);
+        annotated_.insert(msg.id);
+      }
+      std::set<std::uint64_t> seen_;
+      std::set<std::uint64_t> annotated_ PREDIS_MSG_DERIVED;
+    };
+  )",
+                       "store");
+  const auto r = analyze_taint(c.tokens, c.fns[0], c.sym, "msg", true);
+  ASSERT_EQ(r.sinks.size(), 1u);
+  EXPECT_EQ(r.sinks[0].kind, TaintSink::kStore);
+  EXPECT_EQ(r.sinks[0].detail, "seen_");
+}
+
+}  // namespace
+}  // namespace predis::lint

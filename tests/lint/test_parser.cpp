@@ -1,0 +1,183 @@
+// Unit tests for the predis-lint analysis core, stage 2: symbol
+// collection, function segmentation, handler signatures, statement
+// trees and the local-shadow set. Sources are written to a temp file
+// and pushed through the real load/tokenize path so comment blanking
+// and line numbering are exercised too.
+#include "parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace predis::lint {
+namespace {
+
+struct Parsed {
+  SourceFile src;
+  std::vector<Token> tokens;
+};
+
+Parsed parse(const std::string& text, const std::string& name) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "predis_lint_" + name + ".cpp";
+  std::ofstream(path) << text;
+  Parsed p;
+  p.src = load_source(path);
+  p.tokens = tokenize(p.src);
+  std::remove(path.c_str());
+  return p;
+}
+
+TEST(LintParser, CollectsGuardedFieldsWithTheirMutex) {
+  const auto p = parse(R"(
+    class C {
+      mutable std::mutex m_;
+      std::deque<int> q_ PREDIS_GUARDED_BY(m_);
+      bool down_ PREDIS_GUARDED_BY(m_) = false;
+      int free_ = 0;
+    };
+  )",
+                       "guarded");
+  Symbols sym;
+  collect_symbols(p.tokens, p.src.path, sym);
+  ASSERT_EQ(sym.guarded.count("q_"), 1u);
+  EXPECT_EQ(sym.guarded.at("q_").mutex, "m_");
+  ASSERT_EQ(sym.guarded.count("down_"), 1u);
+  EXPECT_EQ(sym.guarded.at("down_").mutex, "m_");
+  EXPECT_EQ(sym.guarded.count("free_"), 0u);
+  EXPECT_EQ(sym.mutex_vars.count("m_"), 1u);
+}
+
+TEST(LintParser, CollectsMsgDerivedAndTimerMembers) {
+  const auto p = parse(R"(
+    class C {
+      void stop() { fetch_timer_.cancel(); }
+      std::map<int, int> pending_ PREDIS_MSG_DERIVED;
+      runtime::TimerHandle fetch_timer_;
+      runtime::TimerHandle leak_timer_;
+    };
+  )",
+                       "members");
+  Symbols sym;
+  collect_symbols(p.tokens, p.src.path, sym);
+  EXPECT_EQ(sym.msg_derived.count("pending_"), 1u);
+  ASSERT_EQ(sym.timer_members.count("fetch_timer_"), 1u);
+  EXPECT_EQ(sym.timer_members.at("fetch_timer_").file, p.src.path);
+  EXPECT_EQ(sym.timer_members.count("leak_timer_"), 1u);
+  EXPECT_EQ(sym.cancelled.count("fetch_timer_"), 1u);
+  EXPECT_EQ(sym.cancelled.count("leak_timer_"), 0u);
+}
+
+TEST(LintParser, SegmentsFunctionsAndReadsHandlerSignatures) {
+  const auto p = parse(R"(
+    void free_fn(int a) { (void)a; }
+    class C {
+      void on_vote(NodeId from, const VoteMsg& msg) {
+        (void)from;
+        (void)msg;
+      }
+    };
+  )",
+                       "segment");
+  const auto fns = segment_functions(p.tokens);
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0].name, "free_fn");
+  EXPECT_EQ(fns[1].name, "on_vote");
+  const HandlerSig sig = handler_signature(p.tokens, fns[1]);
+  EXPECT_EQ(sig.sender, "from");
+  EXPECT_EQ(sig.msg_param, "msg");
+}
+
+TEST(LintParser, BuildsNestedStatementTrees) {
+  const auto p = parse(R"(
+    void f(int n) {
+      int acc = 0;
+      if (n > 0) {
+        for (int i = 0; i < n; ++i) acc += i;
+      } else {
+        acc = -1;
+      }
+      while (acc > 10) --acc;
+    }
+  )",
+                       "tree");
+  const auto fns = segment_functions(p.tokens);
+  ASSERT_EQ(fns.size(), 1u);
+  const Stmt body = parse_body(p.tokens, fns[0]);
+  ASSERT_EQ(body.kind, StmtKind::kBlock);
+  ASSERT_EQ(body.children.size(), 3u);
+  EXPECT_EQ(body.children[0].kind, StmtKind::kSimple);
+  const Stmt& branch = body.children[1];
+  EXPECT_EQ(branch.kind, StmtKind::kIf);
+  EXPECT_TRUE(branch.has_else);
+  ASSERT_EQ(branch.children.size(), 2u);
+  ASSERT_EQ(branch.children[0].kind, StmtKind::kBlock);
+  ASSERT_EQ(branch.children[0].children.size(), 1u);
+  EXPECT_EQ(branch.children[0].children[0].kind, StmtKind::kFor);
+  EXPECT_EQ(body.children[2].kind, StmtKind::kWhile);
+}
+
+TEST(LintParser, TerminalGuardsAreRecognized) {
+  const auto p = parse(R"(
+    int f(int n) {
+      if (n < 0) return -1;
+      if (n == 0) ++n;
+      return n;
+    }
+  )",
+                       "terminal");
+  const auto fns = segment_functions(p.tokens);
+  const Stmt body = parse_body(p.tokens, fns[0]);
+  ASSERT_GE(body.children.size(), 3u);
+  ASSERT_FALSE(body.children[0].children.empty());
+  EXPECT_TRUE(stmt_terminal(p.tokens, body.children[0].children[0]));
+  ASSERT_FALSE(body.children[1].children.empty());
+  EXPECT_FALSE(stmt_terminal(p.tokens, body.children[1].children[0]));
+}
+
+TEST(LintParser, RawStringLiteralsAreBlanked) {
+  const auto p = parse(R"__(
+    const char* kSnippet = R"(
+      std::mutex m_;
+      int hidden_ PREDIS_GUARDED_BY(m_) = 0;
+      runtime::TimerHandle hidden_timer_;
+    )";
+    int visible = 0;
+  )__",
+                       "rawstr");
+  Symbols sym;
+  collect_symbols(p.tokens, p.src.path, sym);
+  EXPECT_EQ(sym.guarded.count("hidden_"), 0u);
+  EXPECT_EQ(sym.timer_members.count("hidden_timer_"), 0u);
+  bool saw_visible = false;
+  for (const Token& t : p.tokens) saw_visible |= (t.text == "visible");
+  EXPECT_TRUE(saw_visible);
+}
+
+TEST(LintParser, LocalNamesShadowMembers) {
+  const auto p = parse(R"(
+    void f(const Msg& msg, NodeId from) {
+      int local = 0;
+      auto& alias = table_;
+      const auto [a, b] = split(msg);
+      use(local, alias, a, b, from);
+    }
+  )",
+                       "locals");
+  const auto fns = segment_functions(p.tokens);
+  ASSERT_EQ(fns.size(), 1u);
+  const auto names = local_names(p.tokens, fns[0]);
+  EXPECT_EQ(names.count("msg"), 1u);
+  EXPECT_EQ(names.count("from"), 1u);
+  EXPECT_EQ(names.count("local"), 1u);
+  EXPECT_EQ(names.count("alias"), 1u);
+  EXPECT_EQ(names.count("a"), 1u);
+  EXPECT_EQ(names.count("b"), 1u);
+  EXPECT_EQ(names.count("table_"), 0u);
+}
+
+}  // namespace
+}  // namespace predis::lint

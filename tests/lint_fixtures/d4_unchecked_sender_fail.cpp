@@ -1,6 +1,6 @@
-// Fixture: D4 must fire twice — the handler subscripts per-node
-// vectors with the raw sender id and with a message-carried lane index
-// without bounds/ban-checking either first.
+// Fixture: one D4 and one D9 — the handler subscripts a per-node
+// vector with the raw sender id (D4), and the taint walker catches the
+// message-carried lane index flowing into a second subscript (D9).
 #include <cstdint>
 #include <vector>
 
@@ -16,7 +16,7 @@ class Router {
   void on_credit(NodeId from, const CreditMsg& msg) {
     credits_[from] += msg.amount;  // <- D4 (unchecked sender)
     for (std::uint32_t lane : msg.lanes) {
-      lane_load_[lane] += 1;  // <- D4 (unchecked message index)
+      lane_load_[lane] += 1;  // <- D9 (unchecked message index)
     }
   }
 

@@ -1,0 +1,30 @@
+// Fixture: D7 must fire twice — `credits_` is read without the lock in
+// peek(), and `last_spent_` is written after spend() manually released
+// the mutex. The locked paths must stay quiet.
+#include <mutex>
+
+#define PREDIS_GUARDED_BY(mu)
+
+class Wallet {
+ public:
+  void deposit(int n) {
+    std::lock_guard<std::mutex> lock(m_);
+    credits_ += n;  // ok: lock held
+  }
+
+  int peek() const {
+    return credits_;  // <- D7 (no lock)
+  }
+
+  void spend(int n) {
+    m_.lock();
+    credits_ -= n;
+    m_.unlock();
+    last_spent_ = n;  // <- D7 (lock already released)
+  }
+
+ private:
+  mutable std::mutex m_;
+  int credits_ PREDIS_GUARDED_BY(m_) = 0;
+  int last_spent_ PREDIS_GUARDED_BY(m_) = 0;
+};

@@ -1,0 +1,42 @@
+// Fixture: D7 must stay quiet — every touch of a guarded field holds
+// the named mutex, via lock_guard, scoped_lock, a deferred unique_lock
+// taken explicitly, or a manual lock()/unlock() bracket.
+#include <mutex>
+
+#define PREDIS_GUARDED_BY(mu)
+
+class Wallet {
+ public:
+  void deposit(int n) {
+    std::lock_guard<std::mutex> lock(m_);
+    credits_ += n;
+  }
+
+  int peek() const {
+    std::unique_lock<std::mutex> lk(m_);
+    return credits_;
+  }
+
+  void audit() {
+    std::unique_lock<std::mutex> lk(m_, std::defer_lock);
+    lk.lock();
+    credits_ = 0;
+    lk.unlock();
+  }
+
+  void transfer(Wallet& other, int n) {
+    std::scoped_lock lock(m_, other.m_);
+    credits_ -= n;
+  }
+
+  void manual(int n) {
+    m_.lock();
+    last_spent_ = n;
+    m_.unlock();
+  }
+
+ private:
+  mutable std::mutex m_;
+  int credits_ PREDIS_GUARDED_BY(m_) = 0;
+  int last_spent_ PREDIS_GUARDED_BY(m_) = 0;
+};

@@ -1,0 +1,30 @@
+// Fixture: the D7 lock-order check must fire once — submit() nests
+// b_ inside a_ while drain() nests a_ inside b_, a classic ABBA
+// deadlock. The accesses themselves are all properly locked.
+#include <deque>
+#include <mutex>
+
+#define PREDIS_GUARDED_BY(mu)
+
+class Exchange {
+ public:
+  void submit(int order) {
+    std::lock_guard<std::mutex> la(a_);
+    std::lock_guard<std::mutex> lb(b_);  // <- D7 (a_ -> b_ edge)
+    inbox_.push_back(order);
+    outbox_.push_back(order);
+  }
+
+  void drain() {
+    std::lock_guard<std::mutex> lb(b_);
+    std::lock_guard<std::mutex> la(a_);  // <- D7 (b_ -> a_ edge: cycle)
+    inbox_.clear();
+    outbox_.clear();
+  }
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+  std::deque<int> inbox_ PREDIS_GUARDED_BY(a_);
+  std::deque<int> outbox_ PREDIS_GUARDED_BY(b_);
+};

@@ -1,0 +1,34 @@
+// Fixture: D8 must stay quiet — the tick chain is explicitly
+// fire-and-forget, the member handle is cancelled on restart before
+// being re-armed, and the local handle is actually consumed.
+#define PREDIS_FIRE_AND_FORGET(...) static_cast<void>(__VA_ARGS__)
+
+struct TimerHandle {
+  void cancel();
+  bool scheduled() const;
+};
+
+struct Ctx {
+  TimerHandle after(int delay, void (*fn)());
+};
+
+class Node {
+ public:
+  void tick() {
+    PREDIS_FIRE_AND_FORGET(ctx_.after(5, nullptr));
+  }
+
+  void restart() {
+    retry_timer_.cancel();
+    retry_timer_ = ctx_.after(7, nullptr);
+  }
+
+  void probe() {
+    auto h = ctx_.after(9, nullptr);
+    if (h.scheduled()) h.cancel();
+  }
+
+ private:
+  Ctx ctx_;
+  TimerHandle retry_timer_;
+};

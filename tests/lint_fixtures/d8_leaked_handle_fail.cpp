@@ -1,0 +1,26 @@
+// Fixture: D8 must fire three times — a schedule result discarded as a
+// bare statement, a handle assigned to a local that is never used, and
+// a TimerHandle member that no code in the file ever cancels.
+struct TimerHandle {
+  void cancel();
+  bool scheduled() const;
+};
+
+struct Ctx {
+  TimerHandle after(int delay, void (*fn)());
+};
+
+class Node {
+ public:
+  void tick() {
+    ctx_.after(5, nullptr);  // <- D8 (result discarded)
+  }
+
+  void arm() {
+    auto h = ctx_.after(7, nullptr);  // <- D8 (handle never used)
+  }
+
+ private:
+  Ctx ctx_;
+  TimerHandle retry_timer_;  // <- D8 (never cancelled)
+};

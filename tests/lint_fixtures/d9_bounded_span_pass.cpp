@@ -1,4 +1,4 @@
-// Fixture: the D4 span sub-check must stay quiet — every walk over a
+// Fixture: the D9 span sink must stay quiet — every walk over a
 // message-derived position is clamped, either by a kMax* constant in
 // the loop condition or by a std::min clamp (with the kMax* constant
 // on the right-hand side) before the loop; iterating the message's

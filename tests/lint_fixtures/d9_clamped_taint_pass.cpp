@@ -1,0 +1,43 @@
+// Fixture: D9 must stay quiet — every message-derived value is
+// sanitized before reaching a sink: a dominating bounds check covers
+// the subscript, a std::min against a kMax* constant bounds the loop,
+// a modulo reduces the stored value, and the mirrored raw field lands
+// in a member that is explicitly annotated message-derived.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#define PREDIS_MSG_DERIVED
+
+using NodeId = std::uint32_t;
+
+inline constexpr std::uint64_t kMaxSyncSpan = 128;
+
+struct SyncMsg {
+  std::uint64_t upto = 0;
+  std::uint32_t shard = 0;
+};
+
+class Repair {
+ public:
+  void on_sync(NodeId from, const SyncMsg& msg) {
+    (void)from;
+    if (msg.shard >= lanes_.size()) return;
+    const std::uint32_t lane = msg.shard;
+    lanes_[lane] = 1;
+    const std::uint64_t upto = std::min(msg.upto, low_ + kMaxSyncSpan);
+    for (std::uint64_t h = low_ + 1; h <= upto; ++h) {
+      serve(h);
+    }
+    highest_ = msg.upto % kMaxSyncSpan;
+    mirror_ = msg.upto;
+  }
+
+ private:
+  void serve(std::uint64_t h);
+
+  std::vector<int> lanes_;
+  std::uint64_t low_ = 0;
+  std::uint64_t highest_ = 0;
+  std::uint64_t mirror_ PREDIS_MSG_DERIVED = 0;
+};

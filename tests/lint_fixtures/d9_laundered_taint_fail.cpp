@@ -1,0 +1,35 @@
+// Fixture: D9 must fire four times — message taint flows through a
+// local copy into an allocation size, a vector subscript and a loop
+// bound, and a message field is stored into an unannotated member.
+#include <cstdint>
+#include <vector>
+
+using NodeId = std::uint32_t;
+
+struct SyncMsg {
+  std::uint64_t upto = 0;
+  std::uint32_t shard = 0;
+};
+
+class Repair {
+ public:
+  void on_sync(NodeId from, const SyncMsg& msg) {
+    (void)from;
+    const std::uint64_t upto = msg.upto;
+    slots_.resize(upto);  // <- D9 (tainted allocation size)
+    const std::uint32_t lane = msg.shard;
+    lanes_[lane] = 1;  // <- D9 (tainted subscript)
+    for (std::uint64_t h = low_ + 1; h <= upto; ++h) {  // <- D9 (loop bound)
+      serve(h);
+    }
+    highest_ = msg.upto;  // <- D9 (stored into unannotated member)
+  }
+
+ private:
+  void serve(std::uint64_t h);
+
+  std::vector<int> slots_;
+  std::vector<int> lanes_;
+  std::uint64_t low_ = 0;
+  std::uint64_t highest_ = 0;
+};

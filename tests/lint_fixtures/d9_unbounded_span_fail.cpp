@@ -1,4 +1,4 @@
-// Fixture: the D4 span sub-check must fire twice — both loops walk a
+// Fixture: the D9 span sink must fire twice — both loops walk a
 // position taken from the message ("serve everything above have_seq")
 // with no kMax* span clamp in the loop condition, so one hostile
 // request drives an unbounded log walk.
@@ -19,10 +19,10 @@ class Log {
     (void)from;
     std::vector<SeqNum> reply;
     for (SeqNum seq = msg.have_seq + 1; seq <= last_exec_; ++seq) {
-      reply.push_back(seq);  // <- D4 (unclamped span walk)
+      reply.push_back(seq);  // <- D9 (unclamped span walk)
     }
     SeqNum cursor = msg.want_seq;
-    while (cursor > last_exec_) {  // <- D4 (unclamped msg-derived walk)
+    while (cursor > last_exec_) {  // <- D9 (unclamped msg-derived walk)
       --cursor;
     }
   }

@@ -1,0 +1,8 @@
+// Fixture: S1 must report both suppressions below as stale — the code
+// they annotate no longer violates the named rules, so the pragmas
+// just hide future regressions.
+// predis-lint: allow-file(D5)
+#include <cstdint>
+
+// predis-lint: allow(D2)
+inline std::uint64_t identity(std::uint64_t x) { return x; }

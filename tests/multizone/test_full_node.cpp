@@ -528,6 +528,49 @@ TEST_F(ZoneFixture, ForgedBundlePushIsRejectedAndCounted) {
   EXPECT_EQ(node->contiguous_height(0), 1u);
 }
 
+TEST_F(ZoneFixture, HostileBlockSpanIsRejectedBeforeRepairWalk) {
+  // Regression: on_predis_block used to admit any announcement, and
+  // send_pull / try_reconstruct_blocks then walked every height in
+  // (prev, cut] per chain. One forged block claiming cut_heights near
+  // 2^40 pinned the node in a ~trillion-iteration walk (and sized the
+  // missing-refs list to match). Spans are now bounded by
+  // kMaxBlockSpan at admission, and the walks clamp again locally.
+  auto* node = add_full_node(0, 0);
+  std::size_t completions = 0;
+  node->on_block_complete = [&completions](const PredisBlock&, SimTime) {
+    ++completions;
+  };
+  net.start();
+  net.run_until(milliseconds(200));
+
+  PredisBlock hostile;
+  hostile.height = 7;
+  hostile.leader = 0;
+  hostile.prev_heights = std::vector<BundleHeight>(kN, 0);
+  hostile.cut_heights = std::vector<BundleHeight>(kN, BundleHeight{1} << 40);
+  producers[0]->send_block(hostile);
+
+  // Mismatched/regressing shapes are dropped by the same admission
+  // check rather than reaching the repair bookkeeping.
+  PredisBlock ragged;
+  ragged.height = 8;
+  ragged.prev_heights = std::vector<BundleHeight>(kN, 5);
+  ragged.cut_heights = std::vector<BundleHeight>(kN, 2);  // cut < prev
+  producers[0]->send_block(ragged);
+
+  // If either walk ran unbounded this run_until would never return.
+  net.run_until(milliseconds(800));
+  EXPECT_EQ(completions, 0u);
+
+  // A genuine announcement after the hostile ones still reconstructs.
+  produce_bundle(0);
+  net.run_until(milliseconds(1000));
+  announce_block(0);
+  net.run_until(milliseconds(1600));
+  EXPECT_EQ(completions, 1u);
+  EXPECT_EQ(node->contiguous_height(0), 1u);
+}
+
 TEST_F(ZoneFixture, RelayerAliveAboutUnregisteredNodeIsIgnored) {
   // Regression: on_relayer_alive cached whatever relayer id the message
   // named and — via Algorithm 2 trimming — could unsubscribe a direct

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "runtime/runtime.hpp"
 
@@ -140,6 +142,64 @@ TEST(ThreadRuntimeWall, DownNodesDropTrafficAndRestartOnRecovery) {
   EXPECT_EQ(counter.messages.load(), 1);
   EXPECT_EQ(counter.restarts.load(), 1);
   EXPECT_FALSE(net.is_down(b));
+}
+
+TEST(ThreadRuntimeWall, OutageKeepsQueuedTimerTasksAndDropsQueuedMessages) {
+  // Regression: set_node_down(true) used to clear the node's whole
+  // mailbox, destroying timer tasks that had already been moved off
+  // the wheel. A node whose worker happened to be busy at outage time
+  // lost its tick chain forever — fetch/packing timers never re-armed
+  // after recovery. Only queued *messages* may be purged.
+  ThreadRuntimeConfig cfg;
+  cfg.clock = ClockMode::kWall;
+  cfg.workers = 2;
+  ThreadRuntime net(cfg);
+
+  struct Blocker final : Actor {
+    std::atomic<bool> entered{false};
+    std::atomic<bool> release{false};
+    std::atomic<int> messages{0};
+    std::atomic<int> restarts{0};
+    void on_message(NodeId, const MsgPtr&) override {
+      ++messages;
+      entered = true;
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    void on_restart() override { ++restarts; }
+  } blocker;
+  struct Silent final : Actor {
+    void on_message(NodeId, const MsgPtr&) override {}
+  } sender;
+
+  const NodeId a = net.add_node({});
+  const NodeId b = net.add_node({});
+  net.attach(a, &sender);
+  net.attach(b, &blocker);
+  net.start();
+
+  // Occupy b's mailbox so everything below queues up behind the
+  // blocked handler instead of being dispatched immediately.
+  net.send(a, b, std::make_shared<PingMsg>());
+  while (!blocker.entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::atomic<int> ticks{0};
+  net.schedule(b, milliseconds(1), [&] { ++ticks; });
+  net.send(a, b, std::make_shared<PingMsg>());
+  // Give the wheel time to move the now-due timer task into b's queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  net.set_node_down(b, true);  // must purge the message, keep the task
+  net.set_node_down(b, false);
+  blocker.release = true;
+
+  net.run_until(milliseconds(200));
+  EXPECT_EQ(ticks.load(), 1);
+  EXPECT_EQ(blocker.messages.load(), 1);
+  EXPECT_EQ(blocker.restarts.load(), 1);
 }
 
 TEST(ThreadRuntimeWall, DropFilterAppliesUnderConcurrency) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/block_tracer.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/swarm.hpp"
 #include "multizone/experiments.hpp"
 #include "sim/faults.hpp"
@@ -207,13 +208,13 @@ ProtocolReport run_gossip_campaign(bool smoke) {
           }
           constexpr std::size_t kBursts = 4;
           for (std::size_t b = 0; b < kBursts; ++b) {
-            net.schedule_after(
+            PREDIS_FIRE_AND_FORGET(net.schedule_after(
                 window * static_cast<predis::SimTime>(b) /
                     static_cast<predis::SimTime>(kBursts),
                 [&state, &net, id, peers, b] {
                   state.hostile_msgs += predis::core::hostile_gossip_burst(
                       net, id, peers, 4, b);
-                });
+                }));
           }
         };
         state.faults->arm();

@@ -1,0 +1,700 @@
+#include "dataflow.hpp"
+
+#include <algorithm>
+
+namespace predis::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LockWalker.
+// ---------------------------------------------------------------------------
+
+struct MutexRef {
+  std::string leaf;
+  std::string prefix;
+  bool complex = false;
+};
+
+bool mutex_compatible(const MutexRef& held, const ChainBack& access) {
+  return held.complex || access.complex || held.prefix == access.prefix;
+}
+
+class LockWalker {
+ public:
+  LockWalker(const std::vector<Token>& t, const Function& fn,
+             const Symbols& sym, std::string pair, std::string file)
+      : t_(t), fn_(fn), sym_(sym), pair_(std::move(pair)),
+        file_(std::move(file)) {}
+
+  LockReport run() {
+    shadows_ = local_names(t_, fn_);
+    for (const auto& [name, gf] : sym_.guarded) mutexish_.insert(gf.mutex);
+    for (const std::string& m : sym_.mutex_vars) mutexish_.insert(m);
+    const Stmt body = parse_body(t_, fn_);
+    walk(body, 0);
+    return std::move(rep_);
+  }
+
+ private:
+  struct Held {
+    MutexRef m;
+    std::string guard;  ///< Guard variable, "" for manual lock().
+    int depth = 0;
+  };
+  struct Guard {
+    std::vector<MutexRef> mutexes;
+    int depth = 0;
+    bool active = false;
+  };
+
+  void walk(const Stmt& s, int depth) {
+    switch (s.kind) {
+      case StmtKind::kSimple:
+        process_simple(s, depth);
+        break;
+      case StmtKind::kBlock:
+        for (const Stmt& c : s.children) walk(c, depth + 1);
+        pop_scope(depth + 1);
+        break;
+      case StmtKind::kIf:
+        check_range(s.head_b, s.head_e);
+        for (const Stmt& c : s.children) {
+          walk(c, depth + 1);
+          pop_scope(depth + 1);
+        }
+        break;
+      default:  // loops, switch
+        check_range(s.head_b, s.head_e);
+        for (const Stmt& c : s.children) walk(c, depth + 1);
+        pop_scope(depth + 1);
+        break;
+    }
+  }
+
+  void pop_scope(int depth) {
+    held_.erase(std::remove_if(held_.begin(), held_.end(),
+                               [&](const Held& h) { return h.depth >= depth; }),
+                held_.end());
+    for (auto it = guards_.begin(); it != guards_.end();) {
+      if (it->second.depth >= depth) {
+        it = guards_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void acquire(const MutexRef& m, const std::string& guard, int depth,
+               std::size_t line) {
+    for (const Held& h : held_) {
+      if (h.m.leaf == m.leaf) continue;  // same mutex class: no order edge
+      rep_.edges.push_back(
+          {pair_ + "::" + h.m.leaf, pair_ + "::" + m.leaf, file_, line});
+    }
+    held_.push_back({m, guard, depth});
+  }
+
+  void release(const MutexRef& m) {
+    for (std::size_t i = held_.size(); i-- > 0;) {
+      const ChainBack as{m.leaf, m.prefix, m.complex};
+      if (held_[i].m.leaf == m.leaf && mutex_compatible(held_[i].m, as)) {
+        held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  /// Parse the mutex named by the argument range [b, e): strip &/*,
+  /// take the trailing identifier chain.
+  std::optional<MutexRef> parse_mutex_arg(std::size_t b, std::size_t e) {
+    std::size_t last = e;
+    bool complex = false;
+    for (std::size_t j = b; j < e; ++j) {
+      if (t_[j].ident) last = j;
+      if (t_[j].text == "(" || t_[j].text == "[") complex = true;
+    }
+    if (last == e) return std::nullopt;
+    if (t_[last].text == "defer_lock" || t_[last].text == "adopt_lock" ||
+        t_[last].text == "try_to_lock") {
+      return std::nullopt;
+    }
+    const ChainBack cb = chain_ending_at(t_, last);
+    return MutexRef{t_[last].text, cb.prefix, complex || cb.complex};
+  }
+
+  void process_simple(const Stmt& s, int depth) {
+    static const std::set<std::string> kGuardTypes = {
+        "lock_guard", "scoped_lock", "unique_lock", "shared_lock"};
+    for (std::size_t j = s.begin; j < s.end; ++j) {
+      if (!t_[j].ident) continue;
+      // Guard declaration: `std::lock_guard<std::mutex> g(mu);`.
+      if (kGuardTypes.count(t_[j].text) != 0) {
+        std::size_t k = j + 1;
+        if (k < s.end && t_[k].text == "<") k = skip_template_args(t_, k);
+        if (k >= s.end || !t_[k].ident) continue;
+        const std::string guard_var = t_[k].text;
+        if (k + 1 >= s.end ||
+            (t_[k + 1].text != "(" && t_[k + 1].text != "{")) {
+          guards_[guard_var] = {{}, depth, false};  // deferred/empty guard
+          j = k;
+          continue;
+        }
+        const std::size_t close = match_forward(t_, k + 1);
+        if (close >= s.end + 1) continue;
+        bool deferred = false;
+        std::vector<MutexRef> mutexes;
+        int d = 0;
+        std::size_t arg_b = k + 2;
+        for (std::size_t a = k + 2; a <= close; ++a) {
+          if (t_[a].text == "(" || t_[a].text == "[" || t_[a].text == "<") ++d;
+          if (t_[a].text == ")" || t_[a].text == "]" || t_[a].text == ">") --d;
+          if ((t_[a].text == "," && d == 0) || a == close) {
+            for (std::size_t x = arg_b; x < a; ++x) {
+              if (t_[x].text == "defer_lock") deferred = true;
+            }
+            if (const auto m = parse_mutex_arg(arg_b, a)) {
+              mutexes.push_back(*m);
+            }
+            arg_b = a + 1;
+          }
+        }
+        if (!deferred) {
+          for (const MutexRef& m : mutexes) {
+            acquire(m, guard_var, depth, t_[j].line);
+          }
+        }
+        guards_[guard_var] = {std::move(mutexes), depth, !deferred};
+        j = close;
+        continue;
+      }
+      // Manual `x.lock()` / `x.unlock()`.
+      if ((t_[j].text == "lock" || t_[j].text == "unlock") &&
+          j + 1 < s.end && t_[j + 1].text == "(" && j >= 2 &&
+          (t_[j - 1].text == "." || t_[j - 1].text == "->") &&
+          t_[j - 2].ident) {
+        const bool locking = t_[j].text == "lock";
+        const std::string& obj = t_[j - 2].text;
+        const auto git = guards_.find(obj);
+        if (git != guards_.end()) {
+          Guard& g = git->second;
+          if (locking && !g.active) {
+            for (const MutexRef& m : g.mutexes) {
+              acquire(m, obj, g.depth, t_[j].line);
+            }
+            g.active = true;
+          } else if (!locking && g.active) {
+            held_.erase(std::remove_if(held_.begin(), held_.end(),
+                                       [&](const Held& h) {
+                                         return h.guard == obj;
+                                       }),
+                        held_.end());
+            g.active = false;
+          }
+          continue;
+        }
+        if (mutexish_.count(obj) != 0) {
+          const ChainBack cb = chain_ending_at(t_, j - 2);
+          const MutexRef m{obj, cb.prefix, cb.complex};
+          if (locking) {
+            acquire(m, "", depth, t_[j].line);
+          } else {
+            release(m);
+          }
+        }
+        continue;
+      }
+    }
+    check_range(s.begin, s.end);
+  }
+
+  void check_range(std::size_t b, std::size_t e) {
+    for (std::size_t j = b; j < e && j < t_.size(); ++j) {
+      if (!t_[j].ident) continue;
+      const auto it = sym_.guarded.find(t_[j].text);
+      if (it == sym_.guarded.end()) continue;
+      // The annotated declaration itself.
+      if (t_[j].line == it->second.decl.line &&
+          file_ == it->second.decl.file) {
+        continue;
+      }
+      // Method call with the same name, not a field access.
+      if (j + 1 < t_.size() && t_[j + 1].text == "(") continue;
+      const ChainBack cb = chain_ending_at(t_, j);
+      // Unqualified use of a shadowing local/parameter.
+      if (cb.prefix.empty() && shadows_.count(t_[j].text) != 0) continue;
+      bool matched = false;
+      for (const Held& h : held_) {
+        if (h.m.leaf == it->second.mutex && mutex_compatible(h.m, cb)) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      const auto key = std::make_pair(t_[j].text, t_[j].line);
+      if (!reported_.insert(key).second) continue;
+      rep_.violations.push_back({t_[j].text, it->second.mutex, t_[j].line});
+    }
+  }
+
+  const std::vector<Token>& t_;
+  const Function& fn_;
+  const Symbols& sym_;
+  std::string pair_;
+  std::string file_;
+  std::set<std::string> shadows_;
+  std::set<std::string> mutexish_;
+  std::vector<Held> held_;
+  std::map<std::string, Guard> guards_;
+  std::set<std::pair<std::string, std::size_t>> reported_;
+  LockReport rep_;
+};
+
+// ---------------------------------------------------------------------------
+// TaintWalker.
+// ---------------------------------------------------------------------------
+
+class TaintWalker {
+ public:
+  TaintWalker(const std::vector<Token>& t, const Function& fn,
+              const Symbols& sym, std::string msg, bool handler)
+      : t_(t), fn_(fn), sym_(sym), msg_(std::move(msg)), handler_(handler) {}
+
+  TaintReport run() {
+    shadows_ = local_names(t_, fn_);
+    const Stmt body = parse_body(t_, fn_);
+    walk(body);
+    return std::move(rep_);
+  }
+
+ private:
+  static std::string chain_leaf(const std::string& chain) {
+    const auto cut = chain.find_last_of(".>:");
+    return cut == std::string::npos ? chain : chain.substr(cut + 1);
+  }
+  static std::string chain_root(const std::string& chain) {
+    const auto cut = chain.find_first_of(".-:");
+    return cut == std::string::npos ? chain : chain.substr(0, cut);
+  }
+  static bool benign_leaf(const std::string& chain) {
+    const std::string leaf = chain_leaf(chain);
+    return leaf == "size" || leaf == "count" || leaf == "empty" ||
+           leaf == "begin" || leaf == "end" || leaf == "length";
+  }
+
+  bool is_msg_chain(const std::string& chain) const {
+    if (msg_.empty()) return false;
+    return chain.rfind(msg_ + ".", 0) == 0 || chain.rfind(msg_ + "->", 0) == 0;
+  }
+
+  /// Is this chain a tainted *value* here? (Bare `msg` alone is a
+  /// handle, not a value — see store checks for that case.) `is_call`
+  /// says the chain is immediately invoked: benign leaves only launder
+  /// taint as method calls (`.size()`, `.end()`), never as field reads
+  /// (`msg.count` is data, not a count of anything).
+  bool chain_tainted(const std::string& chain, bool is_call) const {
+    if (sanitized_.count(chain) != 0) return false;
+    if (is_call && benign_leaf(chain)) return false;
+    if (is_msg_chain(chain)) return true;
+    const std::string root = chain_root(chain);
+    if (tainted_.count(root) != 0) return true;
+    if (sym_.msg_derived.count(root) != 0 && shadows_.count(root) == 0) {
+      return true;
+    }
+    return false;
+  }
+
+  struct RangeScan {
+    bool taint = false;
+    bool kmax = false;
+    bool percent = false;
+    bool bare_msg = false;
+    std::string first_chain;
+    std::size_t first_line = 0;
+  };
+
+  RangeScan scan_range(std::size_t b, std::size_t e) const {
+    RangeScan out;
+    for (std::size_t j = b; j < e && j < t_.size(); ++j) {
+      if (t_[j].text == "%") out.percent = true;
+      if (!t_[j].ident) continue;
+      if (t_[j].text.rfind("kMax", 0) == 0) {
+        out.kmax = true;
+        continue;
+      }
+      const std::string chain = chain_starting_at(t_, j, e);
+      const std::size_t next = chain_end_index(t_, j, e);
+      const bool call = next < e && t_[next].text == "(";
+      if (!msg_.empty() && chain == msg_) out.bare_msg = true;
+      if (chain_tainted(chain, call) && !out.taint) {
+        out.taint = true;
+        out.first_chain = chain;
+        out.first_line = t_[j].line;
+      }
+      j = next - 1;
+    }
+    return out;
+  }
+
+  void add_sink(TaintSink::Kind kind, std::size_t line, std::string what,
+                std::string detail) {
+    const auto key = std::make_tuple(static_cast<int>(kind), line, what);
+    if (!sink_seen_.insert(key).second) return;
+    rep_.sinks.push_back({kind, line, std::move(what), std::move(detail)});
+  }
+
+  /// Subscript and allocation sinks anywhere in [b, e).
+  void check_range(std::size_t b, std::size_t e) {
+    for (std::size_t j = b; j < e && j < t_.size(); ++j) {
+      if (!t_[j].ident) continue;
+      // `v[tainted]` where v is a known std::vector.
+      if (sym_.vector_vars.count(t_[j].text) != 0 && j + 1 < t_.size() &&
+          t_[j + 1].text == "[") {
+        const std::size_t close = match_forward(t_, j + 1);
+        for (std::size_t k = j + 2; k < close && k < t_.size(); ++k) {
+          if (!t_[k].ident) continue;
+          const std::string chain = chain_starting_at(t_, k, close);
+          const std::size_t next = chain_end_index(t_, k, close);
+          const bool call = next < close && t_[next].text == "(";
+          // D9 owns every message-index subscript, direct or
+          // laundered; D4 keeps only the sender id.
+          if (chain_tainted(chain, call)) {
+            add_sink(TaintSink::kIndex, t_[k].line, chain, t_[j].text);
+          }
+          k = next - 1;
+        }
+        continue;
+      }
+      // `.resize(tainted)` / `.reserve(tainted)`.
+      if ((t_[j].text == "resize" || t_[j].text == "reserve") &&
+          j + 1 < t_.size() && t_[j + 1].text == "(" && j >= 1 &&
+          (t_[j - 1].text == "." || t_[j - 1].text == "->")) {
+        const std::size_t close = match_forward(t_, j + 1);
+        const RangeScan rs = scan_range(j + 2, close);
+        if (rs.taint && !rs.kmax && !rs.percent) {
+          add_sink(TaintSink::kAlloc, t_[j].line, rs.first_chain, t_[j].text);
+        }
+        continue;
+      }
+    }
+  }
+
+  void loop_bound_check(std::size_t b, std::size_t e, std::size_t line) {
+    bool relational = false;
+    for (std::size_t j = b; j < e && j < t_.size(); ++j) {
+      const std::string& x = t_[j].text;
+      if (x == "<" || x == "<=" || x == ">" || x == ">=") relational = true;
+    }
+    if (!relational) return;  // iterator != end() loops etc.
+    const RangeScan rs = scan_range(b, e);
+    if (rs.taint && !rs.kmax) {
+      add_sink(TaintSink::kLoop, line, rs.first_chain, "");
+    }
+  }
+
+  /// Chains mentioned in a guard condition that are currently tainted.
+  /// True when the comparison partner of the chain ending just before
+  /// `op` / starting just after it is an iterator sentinel
+  /// (`X.end()` / `X.begin()`): existence checks bound nothing, so they
+  /// must not count as sanitizers.
+  bool iterator_sentinel_compare(std::size_t op, std::size_t e) const {
+    if (op + 1 < e && t_[op + 1].ident) {
+      const std::string leaf = chain_leaf(chain_starting_at(t_, op + 1, e));
+      if (leaf == "end" || leaf == "begin") return true;
+    }
+    return false;
+  }
+
+  std::vector<std::string> guarded_chains(std::size_t b, std::size_t e) const {
+    std::vector<std::string> out;
+    for (std::size_t j = b; j < e && j < t_.size(); ++j) {
+      if (!t_[j].ident) continue;
+      const std::string chain = chain_starting_at(t_, j, e);
+      const std::size_t next = chain_end_index(t_, j, e);
+      const bool call = next < e && t_[next].text == "(";
+      const bool vs_sentinel =
+          next < e && (t_[next].text == "==" || t_[next].text == "!=") &&
+          iterator_sentinel_compare(next, e);
+      if (!vs_sentinel && chain_tainted(chain, call)) out.push_back(chain);
+      j = next - 1;
+    }
+    return out;
+  }
+
+  void apply_sanitize(const std::vector<std::string>& chains) {
+    for (const std::string& c : chains) {
+      if (c.find_first_of(".-:") == std::string::npos) {
+        tainted_.erase(c);  // bare local: the whole value was checked
+      }
+      sanitized_.insert(c);
+    }
+  }
+
+  void walk(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kSimple:
+        process_simple(s);
+        break;
+      case StmtKind::kBlock:
+        for (const Stmt& c : s.children) walk(c);
+        break;
+      case StmtKind::kIf: {
+        check_range(s.head_b, s.head_e);
+        store_scan(s.head_b, s.head_e);  // `if (!seen_.insert(h).second)`
+        const std::vector<std::string> mentioned =
+            guarded_chains(s.head_b, s.head_e);
+        if (!s.children.empty() && stmt_terminal(t_, s.children[0])) {
+          // `if (bad) return;` — the guard dominates everything after.
+          walk(s.children[0]);
+          if (s.has_else && s.children.size() > 1) walk(s.children[1]);
+          apply_sanitize(mentioned);
+        } else {
+          // Inside the branch the condition held: sanitize locally.
+          const std::set<std::string> saved = sanitized_;
+          for (const std::string& c : mentioned) sanitized_.insert(c);
+          if (!s.children.empty()) walk(s.children[0]);
+          sanitized_ = saved;
+          if (s.has_else && s.children.size() > 1) walk(s.children[1]);
+        }
+        break;
+      }
+      case StmtKind::kFor: {
+        process_for_head(s);
+        for (const Stmt& c : s.children) walk(c);
+        break;
+      }
+      case StmtKind::kWhile:
+      case StmtKind::kDo:
+        loop_bound_check(s.head_b, s.head_e, t_[s.begin].line);
+        check_range(s.head_b, s.head_e);
+        for (const Stmt& c : s.children) walk(c);
+        break;
+      case StmtKind::kSwitch:
+        check_range(s.head_b, s.head_e);
+        for (const Stmt& c : s.children) walk(c);
+        break;
+    }
+  }
+
+  void process_for_head(const Stmt& s) {
+    std::vector<std::size_t> semis;
+    int depth = 0;
+    for (std::size_t j = s.head_b; j < s.head_e; ++j) {
+      if (t_[j].text == "(" || t_[j].text == "[" || t_[j].text == "{") ++depth;
+      if (t_[j].text == ")" || t_[j].text == "]" || t_[j].text == "}") --depth;
+      if (t_[j].text == ";" && depth == 0) semis.push_back(j);
+    }
+    if (semis.size() >= 2) {
+      handle_assignments(s.head_b, semis[0]);
+      loop_bound_check(semis[0] + 1, semis[1], t_[s.begin].line);
+      check_range(s.head_b, s.head_e);
+      return;
+    }
+    // Range-for: `for (decl : container)`.
+    std::size_t colon = s.head_e;
+    depth = 0;
+    for (std::size_t j = s.head_b; j < s.head_e; ++j) {
+      if (t_[j].text == "(" || t_[j].text == "[" || t_[j].text == "{") ++depth;
+      if (t_[j].text == ")" || t_[j].text == "]" || t_[j].text == "}") --depth;
+      if (t_[j].text == ":" && depth == 0) {
+        colon = j;
+        break;
+      }
+    }
+    check_range(s.head_b, s.head_e);
+    if (colon >= s.head_e || colon + 1 >= s.head_e) return;
+    // Loop variables: identifiers directly before the colon (covers
+    // plain vars and structured bindings).
+    std::vector<std::string> vars;
+    for (std::size_t j = s.head_b; j < colon; ++j) {
+      if (!t_[j].ident) continue;
+      const std::string& nxt = t_[j + 1].text;
+      if (nxt == ":" || nxt == "," || nxt == "]") vars.push_back(t_[j].text);
+    }
+    const std::size_t cb = colon + 1;
+    bool src_tainted = false;
+    for (std::size_t j = cb; j < s.head_e; ++j) {
+      if (!t_[j].ident) continue;
+      const std::string chain = chain_starting_at(t_, j, s.head_e);
+      const std::size_t next = chain_end_index(t_, j, s.head_e);
+      const bool call = next < s.head_e && t_[next].text == "(";
+      if (chain_tainted(chain, call) ||
+          (!msg_.empty() && chain.rfind(msg_, 0) == 0 &&
+           !(call && benign_leaf(chain)) && sanitized_.count(chain) == 0)) {
+        src_tainted = true;
+      }
+      j = next - 1;
+    }
+    for (const std::string& v : vars) {
+      if (src_tainted) {
+        tainted_.insert(v);
+      } else {
+        tainted_.erase(v);
+      }
+    }
+  }
+
+  /// Resolve the root of the expression ending just before index `k`
+  /// (exclusive), skipping trailing ]/) groups; returns the root ident
+  /// index or npos.
+  std::size_t lvalue_root(std::size_t before, bool& subscripted) const {
+    std::size_t k = before;
+    while (k > fn_.body_open) {
+      --k;
+      const std::string& x = t_[k].text;
+      if (x == "]" || x == ")") {
+        if (x == "]") subscripted = true;
+        const std::size_t open = match_backward(t_, k);
+        if (open >= t_.size() || open == 0) return t_.size();
+        k = open;
+        continue;
+      }
+      if (t_[k].ident) return k;
+      if (x == "." || x == "->" || x == "::") continue;
+      return t_.size();
+    }
+    return t_.size();
+  }
+
+  void handle_assignments(std::size_t b, std::size_t e) {
+    // First top-level "=" in [b, e).
+    std::size_t assign = e;
+    int depth = 0;
+    for (std::size_t j = b; j < e; ++j) {
+      const std::string& x = t_[j].text;
+      if (x == "(" || x == "[" || x == "{") ++depth;
+      if (x == ")" || x == "]" || x == "}") --depth;
+      if (x == "=" && depth == 0) {
+        assign = j;
+        break;
+      }
+    }
+    if (assign >= e) return;
+    // Compound assignment (`x += y`): the operator char sits before "=".
+    std::size_t lhs_end = assign;
+    static const std::string kOps = "+-*/%|&^";
+    const bool compound = assign > b && t_[assign - 1].text.size() == 1 &&
+                          kOps.find(t_[assign - 1].text[0]) !=
+                              std::string::npos;
+    if (compound) --lhs_end;
+    bool subscripted = false;
+    const std::size_t rootIdx = lvalue_root(lhs_end, subscripted);
+    if (rootIdx >= t_.size()) return;
+    const ChainBack cb = chain_ending_at(t_, rootIdx);
+    const std::string lhs_leaf = t_[rootIdx].text;
+    const std::string lhs_root = cb.root.empty() ? lhs_leaf : cb.root;
+
+    const RangeScan rs = scan_range(assign + 1, e);
+
+    // Reference alias onto a member: `auto& state = stripes_[h];`.
+    if (rootIdx >= 2 && t_[rootIdx - 1].text == "&" && cb.prefix.empty()) {
+      for (std::size_t j = assign + 1; j < e; ++j) {
+        if (t_[j].ident && !t_[j].text.empty() && t_[j].text.back() == '_' &&
+            shadows_.count(t_[j].text) == 0) {
+          alias_[lhs_leaf] = t_[j].text;
+          break;
+        }
+      }
+    }
+
+    // Store sink: handler writes unsanitized message data into an
+    // unannotated member. Subscripted lvalues are exempt — writing one
+    // slot (`credits_[from] += msg.amount`) is the member doing its
+    // job, not the whole container becoming message-derived.
+    if (handler_ && !subscripted) {
+      std::string target;
+      if (!lhs_root.empty() && lhs_root.back() == '_' &&
+          shadows_.count(lhs_root) == 0) {
+        target = lhs_root;
+      } else if (alias_.count(lhs_root) != 0) {
+        target = alias_.at(lhs_root);
+      }
+      if (!target.empty() && sym_.msg_derived.count(target) == 0 &&
+          (rs.taint || rs.bare_msg) && !rs.kmax && !rs.percent) {
+        add_sink(TaintSink::kStore, t_[rootIdx].line,
+                 rs.taint ? rs.first_chain : msg_, target);
+      }
+    }
+
+    // Taint propagation through plain local assignments.
+    if (!subscripted && cb.prefix.empty() &&
+        (lhs_root.empty() || lhs_root.back() != '_')) {
+      if (rs.taint && !rs.kmax && !rs.percent) {
+        tainted_.insert(lhs_leaf);
+      } else {
+        tainted_.erase(lhs_leaf);
+      }
+    }
+  }
+
+  /// Container-mutating stores into members: `seen_.insert(h)` style.
+  void store_scan(std::size_t b, std::size_t e) {
+    if (!handler_) return;
+    static const std::set<std::string> kStoreMethods = {
+        "insert", "emplace", "emplace_back", "push_back", "push", "assign"};
+    for (std::size_t j = b; j + 1 < e; ++j) {
+      if (!t_[j].ident || kStoreMethods.count(t_[j].text) == 0 ||
+          t_[j + 1].text != "(") {
+        continue;
+      }
+      if (j < 2 || (t_[j - 1].text != "." && t_[j - 1].text != "->")) {
+        continue;
+      }
+      std::size_t obj = j - 2;
+      if (t_[obj].text == "]" || t_[obj].text == ")") {
+        const std::size_t open = match_backward(t_, obj);
+        if (open >= t_.size() || open == 0 || !t_[open - 1].ident) continue;
+        obj = open - 1;
+      }
+      if (!t_[obj].ident) continue;
+      const ChainBack cb = chain_ending_at(t_, obj);
+      const std::string root = cb.root.empty() ? t_[obj].text : cb.root;
+      std::string target;
+      if (!root.empty() && root.back() == '_' && shadows_.count(root) == 0) {
+        target = root;
+      } else if (alias_.count(root) != 0) {
+        target = alias_.at(root);
+      }
+      if (target.empty() || sym_.msg_derived.count(target) != 0) continue;
+      const std::size_t close = match_forward(t_, j + 1);
+      const RangeScan rs = scan_range(j + 2, close);
+      if ((rs.taint || rs.bare_msg) && !rs.kmax && !rs.percent) {
+        add_sink(TaintSink::kStore, t_[j].line,
+                 rs.taint ? rs.first_chain : msg_, target);
+      }
+    }
+  }
+
+  void process_simple(const Stmt& s) {
+    handle_assignments(s.begin, s.end);
+    store_scan(s.begin, s.end);
+    check_range(s.begin, s.end);
+  }
+
+  const std::vector<Token>& t_;
+  const Function& fn_;
+  const Symbols& sym_;
+  std::string msg_;
+  bool handler_;
+  std::set<std::string> shadows_;
+  std::set<std::string> tainted_;
+  std::set<std::string> sanitized_;
+  std::map<std::string, std::string> alias_;
+  std::set<std::tuple<int, std::size_t, std::string>> sink_seen_;
+  TaintReport rep_;
+};
+
+}  // namespace
+
+LockReport analyze_locks(const std::vector<Token>& t, const Function& fn,
+                         const Symbols& sym, const std::string& pair,
+                         const std::string& file) {
+  return LockWalker(t, fn, sym, pair, file).run();
+}
+
+TaintReport analyze_taint(const std::vector<Token>& t, const Function& fn,
+                          const Symbols& sym, const std::string& msg_param,
+                          bool is_handler) {
+  return TaintWalker(t, fn, sym, msg_param, is_handler).run();
+}
+
+}  // namespace predis::lint

@@ -1,0 +1,86 @@
+// predis-lint analysis core, stage 3: intra-procedural dataflow.
+//
+// Two walkers over the statement tree from parser.hpp:
+//
+//   * LockWalker (D7): tracks the set of held mutexes through
+//     lock_guard/scoped_lock/unique_lock declarations, defer_lock,
+//     manual lock()/unlock() toggles and scope exits; reports accesses
+//     to PREDIS_GUARDED_BY fields made without the named mutex held,
+//     and every nested acquisition as a lock-order edge for the global
+//     cycle check.
+//
+//   * TaintWalker (D9): propagates taint from message fields (and
+//     PREDIS_MSG_DERIVED members) through assignments, aliases and
+//     range-for loops until a kMax* clamp, modulo reduction or
+//     dominating bounds check sanitizes it; reports tainted values that
+//     index containers, size allocations, bound loops, or get stored
+//     into unannotated members.
+//
+// Both are intentionally intra-procedural: a value passed into another
+// function is that function's problem (documented in
+// docs/static_analysis.md).
+#pragma once
+
+#include "parser.hpp"
+
+namespace predis::lint {
+
+// ---------------------------------------------------------------------------
+// D7: lock discipline.
+// ---------------------------------------------------------------------------
+
+struct LockViolation {
+  std::string field;
+  std::string mutex;
+  std::size_t line = 0;
+};
+
+/// Nested acquisition `from`-held-while-taking-`to`, with mutex names
+/// qualified by file pair so same-named mutexes in different components
+/// stay distinct.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;
+  std::size_t line = 0;
+};
+
+struct LockReport {
+  std::vector<LockViolation> violations;
+  std::vector<LockEdge> edges;
+};
+
+LockReport analyze_locks(const std::vector<Token>& t, const Function& fn,
+                         const Symbols& sym, const std::string& pair,
+                         const std::string& file);
+
+// ---------------------------------------------------------------------------
+// D9: message taint.
+// ---------------------------------------------------------------------------
+
+struct TaintSink {
+  enum Kind {
+    kIndex,  ///< Tainted value subscripts a per-node vector.
+    kAlloc,  ///< Tainted value sizes a resize/reserve.
+    kLoop,   ///< Tainted value bounds a relational loop condition.
+    kStore,  ///< Handler stores tainted value into unannotated member.
+  };
+  Kind kind = kIndex;
+  std::size_t line = 0;
+  std::string what;    ///< The tainted chain or target member.
+  std::string detail;  ///< Container / extra context for the message.
+};
+
+struct TaintReport {
+  std::vector<TaintSink> sinks;
+};
+
+/// Analyze one function. `msg_param` is the *Msg parameter name for
+/// handlers ("" for ordinary functions, which then only see taint from
+/// PREDIS_MSG_DERIVED member reads). Store sinks are only reported for
+/// handlers (`is_handler`).
+TaintReport analyze_taint(const std::vector<Token>& t, const Function& fn,
+                          const Symbols& sym, const std::string& msg_param,
+                          bool is_handler);
+
+}  // namespace predis::lint

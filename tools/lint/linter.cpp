@@ -1,956 +1,33 @@
+// predis-lint driver: four phases over the file set.
+//
+//   1. (parallel) load + tokenize + segment each file
+//   2. (serial)   merge pair-level symbol tables, collect must-check
+//                 names and header declaration diagnostics
+//   3. (parallel) run every rule per file into per-file result slots
+//   4. (serial)   fold lock-order edges into the global cycle check,
+//                 apply suppression pragmas, compute stale ones, sort
+//
+// Parallelism never changes the output: results land in indexed slots
+// and every cross-file structure is folded in path order.
 #include "linter.hpp"
 
 #include <algorithm>
-#include <cctype>
+#include <atomic>
 #include <filesystem>
-#include <fstream>
-#include <map>
-#include <optional>
+#include <functional>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+#include <tuple>
+
+#include "rules.hpp"
 
 namespace predis::lint {
 namespace {
 
 namespace fs = std::filesystem;
-
-// ---------------------------------------------------------------------------
-// Source preprocessing: blank comments and literals, harvest pragmas.
-// ---------------------------------------------------------------------------
-
-struct SourceFile {
-  std::string path;
-  std::vector<std::string> raw;     ///< Original lines (1-based via index+1).
-  std::vector<std::string> code;    ///< Comments/strings blanked to spaces.
-  std::map<std::size_t, std::set<std::string>> line_allows;
-  std::set<std::string> file_allows;
-};
-
-void harvest_pragma(const std::string& comment, std::size_t line,
-                    SourceFile& out) {
-  static const std::string kTag = "predis-lint:";
-  const auto tag = comment.find(kTag);
-  if (tag == std::string::npos) return;
-  std::string rest = comment.substr(tag + kTag.size());
-  const bool whole_file = rest.find("allow-file(") != std::string::npos;
-  const auto open = rest.find('(');
-  if (open == std::string::npos) return;
-  const auto close = rest.find(')', open);
-  if (close == std::string::npos) return;
-  std::string rules = rest.substr(open + 1, close - open - 1);
-  std::string token;
-  std::istringstream split(rules);
-  while (std::getline(split, token, ',')) {
-    const auto b = token.find_first_not_of(" \t");
-    const auto e = token.find_last_not_of(" \t");
-    if (b == std::string::npos) continue;
-    token = token.substr(b, e - b + 1);
-    if (whole_file) {
-      out.file_allows.insert(token);
-    } else {
-      out.line_allows[line].insert(token);
-    }
-  }
-}
-
-/// Blank // and /* */ comments, "..." and '...' literals. Comment text
-/// is scanned for allowlist pragmas before it is dropped.
-SourceFile load_source(const std::string& path) {
-  SourceFile out;
-  out.path = path;
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("predis-lint: cannot open " + path);
-  std::string line;
-  while (std::getline(in, line)) out.raw.push_back(line);
-
-  bool in_block_comment = false;
-  for (std::size_t li = 0; li < out.raw.size(); ++li) {
-    const std::string& src = out.raw[li];
-    std::string code(src.size(), ' ');
-    std::size_t i = 0;
-    while (i < src.size()) {
-      if (in_block_comment) {
-        const auto end = src.find("*/", i);
-        const std::size_t stop = end == std::string::npos ? src.size() : end;
-        harvest_pragma(src.substr(i, stop - i), li + 1, out);
-        if (end == std::string::npos) {
-          i = src.size();
-        } else {
-          in_block_comment = false;
-          i = end + 2;
-        }
-        continue;
-      }
-      const char c = src[i];
-      if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
-        harvest_pragma(src.substr(i + 2), li + 1, out);
-        break;  // rest of line is comment
-      }
-      if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        code[i] = quote;
-        ++i;
-        while (i < src.size()) {
-          if (src[i] == '\\') {
-            i += 2;
-            continue;
-          }
-          if (src[i] == quote) {
-            code[i] = quote;
-            ++i;
-            break;
-          }
-          ++i;
-        }
-        continue;
-      }
-      code[i] = c;
-      ++i;
-    }
-    out.code.push_back(code);
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Tokenizer.
-// ---------------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  std::size_t line = 0;
-  bool ident = false;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool ident_char(char c) {
-  return ident_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
-}
-
-std::vector<Token> tokenize(const SourceFile& file) {
-  std::vector<Token> tokens;
-  for (std::size_t li = 0; li < file.code.size(); ++li) {
-    const std::string& s = file.code[li];
-    std::size_t i = 0;
-    while (i < s.size()) {
-      const char c = s[i];
-      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-        ++i;
-        continue;
-      }
-      if (ident_start(c)) {
-        std::size_t j = i + 1;
-        while (j < s.size() && ident_char(s[j])) ++j;
-        tokens.push_back({s.substr(i, j - i), li + 1, true});
-        i = j;
-        continue;
-      }
-      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-        std::size_t j = i + 1;
-        while (j < s.size() &&
-               (ident_char(s[j]) || s[j] == '.' || s[j] == '\'')) {
-          ++j;
-        }
-        tokens.push_back({s.substr(i, j - i), li + 1, false});
-        i = j;
-        continue;
-      }
-      // Two-character operators the rules care about.
-      if (i + 1 < s.size()) {
-        const std::string two = s.substr(i, 2);
-        if (two == "::" || two == "->" || two == "&&" || two == "||" ||
-            two == "==" || two == "!=" || two == ">=" || two == "<=") {
-          tokens.push_back({two, li + 1, false});
-          i += 2;
-          continue;
-        }
-      }
-      tokens.push_back({std::string(1, c), li + 1, false});
-      ++i;
-    }
-  }
-  return tokens;
-}
-
-/// Index of the token matching the opener at `open` ("(", "[", "{"),
-/// or tokens.size() when unbalanced.
-std::size_t match_forward(const std::vector<Token>& t, std::size_t open) {
-  const std::string& o = t[open].text;
-  const std::string c = o == "(" ? ")" : o == "[" ? "]" : "}";
-  int depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i].text == o) ++depth;
-    if (t[i].text == c && --depth == 0) return i;
-  }
-  return t.size();
-}
-
-/// Skip a balanced template argument list starting at `i` (which must
-/// point at "<"). Returns the index one past the closing ">", or `i`
-/// if the list never closes (comparison operator, not a template).
-std::size_t skip_template_args(const std::vector<Token>& t, std::size_t i) {
-  if (i >= t.size() || t[i].text != "<") return i;
-  int depth = 0;
-  std::size_t j = i;
-  // Bound the scan: a genuine template argument list in this codebase
-  // never spans more than a few lines.
-  const std::size_t limit = std::min(t.size(), i + 256);
-  while (j < limit) {
-    if (t[j].text == "<") ++depth;
-    if (t[j].text == ">" && --depth == 0) return j + 1;
-    if (t[j].text == ";") return i;  // statement ended: was a comparison
-    ++j;
-  }
-  return i;
-}
-
-// ---------------------------------------------------------------------------
-// Symbol collection.
-// ---------------------------------------------------------------------------
-
-/// Per file-pair (foo.hpp + foo.cpp) view of declared names.
-struct Symbols {
-  std::set<std::string> unordered_vars;   ///< unordered_{map,set} variables.
-  std::set<std::string> unordered_types;  ///< using aliases of those types.
-  std::set<std::string> vector_vars;      ///< std::vector variables.
-};
-
-void collect_symbols(const std::vector<Token>& t, Symbols& sym) {
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    const bool is_unordered =
-        t[i].text == "unordered_map" || t[i].text == "unordered_set";
-    const bool is_vector = t[i].text == "vector";
-    const bool is_alias =
-        t[i].ident && sym.unordered_types.count(t[i].text) != 0;
-    if (!is_unordered && !is_vector && !is_alias) continue;
-
-    // `using Alias = std::unordered_map<...>;` — record the alias name.
-    if (is_unordered && i >= 2 && t[i - 1].text == "::" &&
-        i >= 4 && t[i - 3].text == "=" && t[i - 4].ident &&
-        i >= 5 && t[i - 5].text == "using") {
-      sym.unordered_types.insert(t[i - 4].text);
-      continue;
-    }
-    if (is_unordered && i >= 2 && t[i - 1].text == "=" && t[i - 2].ident &&
-        i >= 3 && t[i - 3].text == "using") {
-      sym.unordered_types.insert(t[i - 2].text);
-      continue;
-    }
-
-    std::size_t j = i + 1;
-    if (j < t.size() && t[j].text == "<") {
-      const std::size_t after = skip_template_args(t, j);
-      if (after == j) continue;  // comparison, not a declaration
-      j = after;
-    } else if (is_unordered || is_vector) {
-      continue;  // bare mention without template args
-    }
-    // Declarator: optional &/*, then the variable name, terminated by
-    // ; = { ( — `(` covers `std::vector<T> name(n)` constructor syntax.
-    while (j < t.size() && (t[j].text == "&" || t[j].text == "*")) ++j;
-    if (j + 1 >= t.size() || !t[j].ident) continue;
-    const std::string& next = t[j + 1].text;
-    if (next != ";" && next != "=" && next != "{" && next != "(") continue;
-    if (is_vector) {
-      sym.vector_vars.insert(t[j].text);
-    } else {
-      sym.unordered_vars.insert(t[j].text);
-    }
-  }
-}
-
-/// Names of project functions whose results must not be discarded
-/// (non-void try_* and Expected<T>-returning declarations), collected
-/// across every scanned header.
-using MustCheck = std::set<std::string>;
-
-const std::set<std::string>& std_try_names() {
-  static const std::set<std::string> kNames = {
-      "try_emplace", "try_lock",    "try_lock_for", "try_lock_until",
-      "try_acquire", "try_wait",    "try_to_lock",
-  };
-  return kNames;
-}
-
-/// Walk back from a candidate declaration name to the statement
-/// boundary, collecting the return-type span. Returns nullopt when the
-/// site is an expression (call), not a declaration.
-std::optional<std::vector<std::string>> decl_span_before(
-    const std::vector<Token>& t, std::size_t name_idx) {
-  static const std::set<std::string> kExprMarkers = {
-      "=",  "!",  "(", ",",  "return", ".",  "->", "?",  "+",  "-",
-      "/",  "==", "!=", "<=", ">=",     "&&", "||", "if", "while",
-      "for", "switch", "case", "throw"};
-  std::vector<std::string> span;
-  std::size_t i = name_idx;
-  while (i > 0) {
-    --i;
-    const std::string& x = t[i].text;
-    if (x == ";" || x == "{" || x == "}") break;
-    // Access specifiers end the span too (public: / private:).
-    if (x == ":" && i > 0 &&
-        (t[i - 1].text == "public" || t[i - 1].text == "private" ||
-         t[i - 1].text == "protected")) {
-      break;
-    }
-    if (kExprMarkers.count(x) != 0) return std::nullopt;
-    span.push_back(x);
-    if (span.size() > 24) break;  // runaway: treat what we have as the span
-  }
-  return span;
-}
-
-bool span_has(const std::vector<std::string>& span, const std::string& word) {
-  return std::find(span.begin(), span.end(), word) != span.end();
-}
-
-// ---------------------------------------------------------------------------
-// Function segmentation.
-// ---------------------------------------------------------------------------
-
-struct Function {
-  std::string name;
-  std::size_t params_open = 0;  ///< Index of "(".
-  std::size_t params_close = 0;
-  std::size_t body_open = 0;    ///< Index of "{".
-  std::size_t body_close = 0;
-};
-
-const std::set<std::string>& control_keywords() {
-  static const std::set<std::string> kWords = {
-      "if", "for", "while", "switch", "catch", "return", "new",
-      "delete", "sizeof", "case", "do", "else"};
-  return kWords;
-}
-
-/// Best-effort function-definition finder: `name ( ... ) [qualifiers] {`.
-/// Constructor initializer lists are skipped by balancing parens and
-/// member brace-inits until the body brace.
-std::vector<Function> segment_functions(const std::vector<Token>& t) {
-  std::vector<Function> out;
-  std::size_t skip_until = 0;  // inside a recorded body: no nested starts
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (i < skip_until) continue;
-    if (!t[i].ident || t[i + 1].text != "(") continue;
-    if (control_keywords().count(t[i].text) != 0) continue;
-    if (i > 0) {
-      const std::string& prev = t[i - 1].text;
-      static const std::set<std::string> kCallContext = {
-          ".", "->", "(", ",", "=",  "!",  "return", "&&", "||", "?",
-          "+", "-",  "/", "<", "==", "!=", "<=",     ">=", "case"};
-      if (kCallContext.count(prev) != 0) continue;
-    }
-    const std::size_t close = match_forward(t, i + 1);
-    if (close >= t.size()) continue;
-    // Scan past trailing qualifiers and any constructor initializer
-    // list to the body brace (or bail at ; for pure declarations).
-    std::size_t j = close + 1;
-    bool found_body = false;
-    while (j < t.size()) {
-      const std::string& x = t[j].text;
-      if (x == ";" || x == "}") break;
-      if (x == "{") {
-        // Member brace-init (`member_{...}`) is preceded by an ident;
-        // the body brace is preceded by ) / qualifier / init-list end.
-        if (t[j - 1].ident && j > close + 1 &&
-            control_keywords().count(t[j - 1].text) == 0 &&
-            t[j - 1].text != "const" && t[j - 1].text != "noexcept" &&
-            t[j - 1].text != "override" && t[j - 1].text != "final") {
-          const std::size_t skip = match_forward(t, j);
-          if (skip >= t.size()) break;
-          j = skip + 1;
-          continue;
-        }
-        found_body = true;
-        break;
-      }
-      if (x == "(") {  // noexcept(...) or initializer argument list
-        const std::size_t skip = match_forward(t, j);
-        if (skip >= t.size()) break;
-        j = skip + 1;
-        continue;
-      }
-      ++j;
-    }
-    if (!found_body) continue;
-    const std::size_t body_close = match_forward(t, j);
-    if (body_close >= t.size()) continue;
-    out.push_back({t[i].text, i + 1, close, j, body_close});
-    skip_until = body_close;  // lambdas stay inside the enclosing body
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Identifier chains ("msg.index", "it->second.relayed").
-// ---------------------------------------------------------------------------
-
-/// Chain of the identifier starting at `i`, following . -> :: forwards.
-std::string chain_starting_at(const std::vector<Token>& t, std::size_t i,
-                              std::size_t limit) {
-  std::string chain = t[i].text;
-  std::size_t j = i;
-  while (j + 2 < limit &&
-         (t[j + 1].text == "." || t[j + 1].text == "->" ||
-          t[j + 1].text == "::") &&
-         t[j + 2].ident) {
-    chain += t[j + 1].text + t[j + 2].text;
-    j += 2;
-  }
-  return chain;
-}
-
-// ---------------------------------------------------------------------------
-// The rules.
-// ---------------------------------------------------------------------------
-
-struct Context {
-  const SourceFile& file;
-  const std::vector<Token>& tokens;
-  const Symbols& symbols;
-  const MustCheck& must_check;
-  std::vector<Diagnostic>& out;
-};
-
-void emit(Context& ctx, std::size_t line, const std::string& rule,
-          std::string message) {
-  ctx.out.push_back({ctx.file.path, line, rule, std::move(message)});
-}
-
-bool basename_starts_with_any(const std::string& path,
-                              const std::vector<std::string>& prefixes) {
-  const std::string base = fs::path(path).filename().string();
-  for (const std::string& p : prefixes) {
-    if (base.rfind(p, 0) == 0) return true;
-  }
-  return false;
-}
-
-// --- D1: unordered iteration in protocol-visible code ---------------------
-
-bool is_protocol_sink(const std::string& ident) {
-  static const std::set<std::string> kExact = {
-      "send",  "broadcast", "multicast",  "zone_multicast", "Sha256",
-      "sha256", "hash",     "hash_pair",  "digest",         "Writer",
-      "Merkle", "MerkleTree", "prove",    "prove_into",     "update"};
-  if (kExact.count(ident) != 0) return true;
-  return ident.rfind("record", 0) == 0 || ident.rfind("fold", 0) == 0 ||
-         ident.rfind("serialize", 0) == 0 || ident.rfind("encode", 0) == 0 ||
-         ident.rfind("emit", 0) == 0;
-}
-
-void run_d1(Context& ctx) {
-  const std::vector<Token>& t = ctx.tokens;
-  for (const Function& fn : segment_functions(t)) {
-    // Does this function feed protocol-visible bytes at all?
-    std::string sink;
-    for (std::size_t i = fn.body_open; i <= fn.body_close; ++i) {
-      if (t[i].ident && is_protocol_sink(t[i].text)) {
-        sink = t[i].text;
-        break;
-      }
-    }
-    if (sink.empty()) continue;
-    for (std::size_t i = fn.body_open; i < fn.body_close; ++i) {
-      if (t[i].text != "for" || t[i + 1].text != "(") continue;
-      const std::size_t close = match_forward(t, i + 1);
-      if (close >= t.size()) continue;
-      std::string iterated;
-      // Range-for: single ":" at paren depth 1.
-      int depth = 0;
-      for (std::size_t j = i + 1; j < close; ++j) {
-        if (t[j].text == "(") ++depth;
-        if (t[j].text == ")") --depth;
-        if (t[j].text == ":" && depth == 1 && j + 1 < close && t[j + 1].ident) {
-          const std::string chain = chain_starting_at(t, j + 1, close);
-          const auto last = chain.find_last_of(">.:");
-          const std::string leaf =
-              last == std::string::npos ? chain : chain.substr(last + 1);
-          if (ctx.symbols.unordered_vars.count(leaf) != 0) iterated = chain;
-          break;
-        }
-      }
-      // Iterator loop: `for (auto it = container.begin(); ...`.
-      if (iterated.empty()) {
-        for (std::size_t j = i + 2; j + 2 < close; ++j) {
-          if (t[j].ident && ctx.symbols.unordered_vars.count(t[j].text) != 0 &&
-              (t[j + 1].text == "." || t[j + 1].text == "->") &&
-              t[j + 2].text == "begin") {
-            iterated = t[j].text;
-            break;
-          }
-          if (t[j].text == ";") break;  // only the init clause
-        }
-      }
-      if (iterated.empty()) continue;
-      emit(ctx, t[i].line, "D1",
-           "iteration over unordered container '" + iterated +
-               "' in protocol-visible code (function '" + fn.name +
-               "' also reaches '" + sink +
-               "'): iteration order leaks into emitted bytes; use std::map "
-               "or sort before emitting");
-    }
-  }
-}
-
-// --- D2: wall clock / global RNG outside the simulator --------------------
-
-void run_d2(Context& ctx) {
-  const std::string generic = fs::path(ctx.file.path).generic_string();
-  if (generic.find("/sim/") != std::string::npos) return;
-  if (basename_starts_with_any(ctx.file.path, {"rng."})) return;
-
-  static const std::set<std::string> kBanned = {
-      "srand",        "random_device", "mt19937",
-      "mt19937_64",   "default_random_engine", "minstd_rand",
-      "minstd_rand0", "system_clock",  "steady_clock",
-      "high_resolution_clock", "gettimeofday", "clock_gettime",
-      "timespec_get", "localtime",     "gmtime", "mktime"};
-  const std::vector<Token>& t = ctx.tokens;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!t[i].ident) continue;
-    if (kBanned.count(t[i].text) != 0) {
-      emit(ctx, t[i].line, "D2",
-           "'" + t[i].text +
-               "' outside sim/: all time and randomness must flow through "
-               "the simulator clock and the seeded Rng");
-      continue;
-    }
-    if ((t[i].text == "rand" || t[i].text == "clock" ||
-         t[i].text == "time") &&
-        i + 1 < t.size() && t[i + 1].text == "(") {
-      // `rand()` / `clock()` / `time(nullptr)` — require a call so that
-      // variables named `time` in other positions stay legal.
-      if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) continue;
-      if (t[i].text == "time") {
-        const std::string& arg = i + 2 < t.size() ? t[i + 2].text : "";
-        if (arg != "nullptr" && arg != "NULL" && arg != "0") continue;
-      }
-      emit(ctx, t[i].line, "D2",
-           "'" + t[i].text +
-               "()' outside sim/: wall-clock time and the C RNG break "
-               "seeded replay");
-    }
-  }
-}
-
-// --- D3: nodiscard on Expected / try_* APIs, no discarded results ---------
-
-bool is_header(const std::string& path) {
-  const std::string ext = fs::path(path).extension().string();
-  return ext == ".hpp" || ext == ".h" || ext == ".hh";
-}
-
-/// First pass over a header: record must-check names and report
-/// missing [[nodiscard]] annotations.
-void collect_and_check_declarations(Context& ctx, MustCheck& must_check,
-                                    bool emit_diagnostics) {
-  if (!is_header(ctx.file.path)) return;
-  const std::vector<Token>& t = ctx.tokens;
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (!t[i].ident || t[i + 1].text != "(") continue;
-    const std::string& name = t[i].text;
-    const bool try_name =
-        name.rfind("try_", 0) == 0 && std_try_names().count(name) == 0;
-    if (!try_name) continue;
-    const auto span = decl_span_before(t, i);
-    if (!span) continue;              // expression/call site
-    if (span->empty()) continue;      // no return type: a call statement
-    if (span_has(*span, "void") && !span_has(*span, "*")) continue;
-    if (span_has(*span, "using") || span_has(*span, "typedef")) continue;
-    must_check.insert(name);
-    if (emit_diagnostics && !span_has(*span, "nodiscard")) {
-      emit(ctx, t[i].line, "D3",
-           "non-void '" + name +
-               "' must be [[nodiscard]]: try_* results carry the only "
-               "failure signal");
-    }
-  }
-  // Expected<...>-returning declarations, whatever their name.
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (t[i].text != "Expected" || t[i + 1].text != "<") continue;
-    const std::size_t after = skip_template_args(t, i + 1);
-    if (after == i + 1 || after + 1 >= t.size()) continue;
-    if (!t[after].ident || t[after + 1].text != "(") continue;
-    const auto span = decl_span_before(t, i);
-    if (!span) continue;
-    must_check.insert(t[after].text);
-    // try_* names were already checked (and reported) by the pass above.
-    if (t[after].text.rfind("try_", 0) == 0) continue;
-    if (emit_diagnostics && !span_has(*span, "nodiscard")) {
-      emit(ctx, t[after].line, "D3",
-           "'" + t[after].text +
-               "' returns Expected<T> and must be [[nodiscard]]");
-    }
-  }
-}
-
-void run_d3_call_sites(Context& ctx) {
-  const std::vector<Token>& t = ctx.tokens;
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (!t[i].ident || t[i + 1].text != "(") continue;
-    if (ctx.must_check.count(t[i].text) == 0) continue;
-    const std::size_t close = match_forward(t, i + 1);
-    if (close + 1 >= t.size() || t[close + 1].text != ";") continue;
-    // Walk back over the object chain to the statement start.
-    std::size_t j = i;
-    while (j >= 2 && (t[j - 1].text == "." || t[j - 1].text == "->")) {
-      if (t[j - 2].text == ")") {  // chained call result: f().try_x()
-        int depth = 0;
-        std::size_t k = j - 2;
-        while (k > 0) {
-          if (t[k].text == ")") ++depth;
-          if (t[k].text == "(" && --depth == 0) break;
-          --k;
-        }
-        if (k == 0 || !t[k - 1].ident) break;
-        j = k - 1;
-        continue;
-      }
-      if (!t[j - 2].ident) break;
-      j -= 2;
-    }
-    if (j == 0) continue;
-    const std::string& before = t[j - 1].text;
-    if (before == ";" || before == "{" || before == "}") {
-      emit(ctx, t[i].line, "D3",
-           "result of '" + t[i].text +
-               "()' is discarded: the Expected<T>/try_* contract requires "
-               "checking the outcome (cast to void to discard on purpose)");
-    }
-  }
-}
-
-// --- D4: sender / message-index bounds checks in on_* handlers ------------
-
-void run_d4(Context& ctx) {
-  const std::vector<Token>& t = ctx.tokens;
-  for (const Function& fn : segment_functions(t)) {
-    if (fn.name.rfind("on_", 0) != 0) continue;
-    // Split parameters at top level; find a sender id and a *Msg param.
-    std::vector<std::pair<std::size_t, std::size_t>> params;
-    {
-      int depth = 0;
-      std::size_t start = fn.params_open + 1;
-      for (std::size_t i = fn.params_open + 1; i <= fn.params_close; ++i) {
-        if (t[i].text == "(" || t[i].text == "<" || t[i].text == "[") ++depth;
-        if (t[i].text == ")" || t[i].text == ">" || t[i].text == "]") --depth;
-        if ((t[i].text == "," && depth == 0) || i == fn.params_close) {
-          if (i > start) params.emplace_back(start, i);
-          start = i + 1;
-        }
-      }
-    }
-    std::string sender;
-    std::string msg_param;
-    for (const auto& [b, e] : params) {
-      bool id_type = false;
-      bool msg_type = false;
-      std::string last_ident;
-      std::string prev_ident;
-      for (std::size_t i = b; i < e; ++i) {
-        if (!t[i].ident) continue;
-        if (t[i].text == "NodeId" || t[i].text == "size_t") id_type = true;
-        if (t[i].text.size() >= 3 &&
-            t[i].text.find("Msg") != std::string::npos) {
-          msg_type = true;
-        }
-        prev_ident = last_ident;
-        last_ident = t[i].text;
-      }
-      // The name is the last identifier, provided it isn't the type
-      // itself (unnamed parameters drop out here).
-      if (id_type && sender.empty() && !prev_ident.empty() &&
-          last_ident != "NodeId" && last_ident != "size_t") {
-        sender = last_ident;
-      }
-      if (msg_type && !last_ident.empty() &&
-          last_ident.find("Msg") == std::string::npos) {
-        msg_param = last_ident;
-      }
-    }
-    if (msg_param.empty()) continue;  // not a network message handler
-
-    // Untrusted values: the sender id, msg.field chains, and range-for
-    // variables drawn from msg fields. An `if (...)`/assert mentioning
-    // the value marks it checked from that point on.
-    std::set<std::string> untrusted;
-    std::set<std::string> checked;
-    if (!sender.empty()) untrusted.insert(sender);
-    for (std::size_t i = fn.body_open + 1; i < fn.body_close; ++i) {
-      const std::string& x = t[i].text;
-      // New range-for over a msg field re-arms the loop variable.
-      if (x == "for" && i + 1 < fn.body_close && t[i + 1].text == "(") {
-        const std::size_t close = match_forward(t, i + 1);
-        int depth = 0;
-        for (std::size_t j = i + 1; j < close; ++j) {
-          if (t[j].text == "(") ++depth;
-          if (t[j].text == ")") --depth;
-          if (t[j].text == ":" && depth == 1 && j + 1 < close &&
-              t[j + 1].ident && j >= 1 && t[j - 1].ident) {
-            const std::string seq = chain_starting_at(t, j + 1, close);
-            if (!msg_param.empty() &&
-                seq.rfind(msg_param + ".", 0) == 0) {
-              untrusted.insert(t[j - 1].text);
-              checked.erase(t[j - 1].text);
-            }
-            break;
-          }
-        }
-        continue;
-      }
-      // Guards: if (... value ...) or assert(... value ...).
-      if ((x == "if" || x == "assert") && i + 1 < fn.body_close &&
-          t[i + 1].text == "(") {
-        const std::size_t close = match_forward(t, i + 1);
-        for (std::size_t j = i + 2; j < close; ++j) {
-          if (!t[j].ident) continue;
-          const std::string chain = chain_starting_at(t, j, close);
-          for (const std::string& u : untrusted) {
-            if (t[j].text == u || chain == u) checked.insert(u);
-          }
-          // Guarding a msg chain ("if (msg.index >= n) return;").
-          if (!msg_param.empty() && chain.rfind(msg_param + ".", 0) == 0) {
-            checked.insert(chain);
-          }
-        }
-        i = close;
-        continue;
-      }
-      // Subscript of a per-node vector by an untrusted value.
-      if (t[i].ident && ctx.symbols.vector_vars.count(x) != 0 &&
-          i + 1 < fn.body_close && t[i + 1].text == "[") {
-        const std::size_t close = match_forward(t, i + 1);
-        for (std::size_t j = i + 2; j < close; ++j) {
-          if (!t[j].ident) continue;
-          const std::string chain = chain_starting_at(t, j, close);
-          const bool is_msg_chain =
-              !msg_param.empty() && chain.rfind(msg_param + ".", 0) == 0;
-          const std::string key = is_msg_chain ? chain : t[j].text;
-          if ((untrusted.count(key) != 0 || is_msg_chain) &&
-              checked.count(key) == 0) {
-            emit(ctx, t[j].line, "D4",
-                 "handler '" + fn.name + "' indexes vector '" + x +
-                     "' with unchecked '" + key +
-                     "': bounds/ban-check sender and message-carried "
-                     "indices before touching per-node state");
-            checked.insert(key);  // one report per value
-          }
-        }
-      }
-    }
-  }
-}
-
-// --- D4 span sub-check: message-derived walks must be kMax*-clamped -------
-
-// A catch-up / fetch handler that walks positions taken from a message
-// ("send me everything above have_seq") must clamp the walk with a
-// kMax* span constant (kMaxCatchUpSpan, kMaxBlockSpan, kMaxFetchSpan,
-// ...) in the loop condition: an unclamped walk lets a single hostile
-// request serve or fetch an unbounded log span. Covers on_* handlers
-// plus the dispatcher-style `handle` methods (the Predis engine).
-void run_d4_spans(Context& ctx) {
-  const std::vector<Token>& t = ctx.tokens;
-  for (const Function& fn : segment_functions(t)) {
-    if (fn.name.rfind("on_", 0) != 0 && fn.name != "handle") continue;
-    // Find the message parameter, as in run_d4.
-    std::vector<std::pair<std::size_t, std::size_t>> params;
-    {
-      int depth = 0;
-      std::size_t start = fn.params_open + 1;
-      for (std::size_t i = fn.params_open + 1; i <= fn.params_close; ++i) {
-        if (t[i].text == "(" || t[i].text == "<" || t[i].text == "[") ++depth;
-        if (t[i].text == ")" || t[i].text == ">" || t[i].text == "]") --depth;
-        if ((t[i].text == "," && depth == 0) || i == fn.params_close) {
-          if (i > start) params.emplace_back(start, i);
-          start = i + 1;
-        }
-      }
-    }
-    std::string msg_param;
-    for (const auto& [b, e] : params) {
-      bool msg_type = false;
-      std::string last_ident;
-      for (std::size_t i = b; i < e; ++i) {
-        if (!t[i].ident) continue;
-        if (t[i].text.find("Msg") != std::string::npos) msg_type = true;
-        last_ident = t[i].text;
-      }
-      if (msg_type && !last_ident.empty() &&
-          last_ident.find("Msg") == std::string::npos) {
-        msg_param = last_ident;
-      }
-    }
-    if (msg_param.empty()) continue;
-
-    // Values derived from a message field without a kMax* clamp on the
-    // same right-hand side.
-    std::set<std::string> span_tainted;
-    const auto benign_chain = [](const std::string& chain) {
-      const auto cut = chain.find_last_of(".>");
-      const std::string leaf =
-          cut == std::string::npos ? chain : chain.substr(cut + 1);
-      return leaf == "size" || leaf == "count" || leaf == "empty";
-    };
-    const auto is_msg_chain = [&](const std::string& chain) {
-      return chain.rfind(msg_param + ".", 0) == 0 ||
-             chain.rfind(msg_param + "->", 0) == 0;
-    };
-    // Scan [b, e) for message-derived values and kMax* clamps.
-    const auto scan = [&](std::size_t b, std::size_t e, bool& taint,
-                          bool& kmax) {
-      for (std::size_t j = b; j < e; ++j) {
-        if (!t[j].ident) continue;
-        if (t[j].text.rfind("kMax", 0) == 0) {
-          kmax = true;
-          continue;
-        }
-        const std::string chain = chain_starting_at(t, j, e);
-        if (benign_chain(chain)) continue;  // container-size bounds
-        if (span_tainted.count(t[j].text) != 0 || is_msg_chain(chain)) {
-          taint = true;
-        }
-      }
-    };
-
-    for (std::size_t i = fn.body_open + 1; i < fn.body_close; ++i) {
-      const std::string& x = t[i].text;
-      if ((x == "for" || x == "while") && i + 1 < fn.body_close &&
-          t[i + 1].text == "(") {
-        const std::size_t close = match_forward(t, i + 1);
-        std::size_t cond_b = i + 2;
-        std::size_t cond_e = close;
-        if (x == "for") {
-          std::vector<std::size_t> semis;
-          int depth = 0;
-          for (std::size_t j = i + 2; j < close; ++j) {
-            if (t[j].text == "(" || t[j].text == "[") ++depth;
-            if (t[j].text == ")" || t[j].text == "]") --depth;
-            if (t[j].text == ";" && depth == 0) semis.push_back(j);
-          }
-          // Range-for: bounded by the received container, exempt here
-          // (run_d4 checks what the elements index into).
-          if (semis.size() < 2) continue;
-          // `for (SeqNum s = msg.have_seq; ...` taints the loop var; a
-          // clean re-init of a previously tainted name clears it.
-          for (std::size_t j = i + 3; j < semis[0]; ++j) {
-            if (t[j].text == "=" && t[j - 1].ident) {
-              bool taint = false;
-              bool kmax = false;
-              scan(j + 1, semis[0], taint, kmax);
-              if (taint && !kmax) {
-                span_tainted.insert(t[j - 1].text);
-              } else {
-                span_tainted.erase(t[j - 1].text);
-              }
-              break;
-            }
-          }
-          cond_b = semis[0] + 1;
-          cond_e = semis[1];
-        }
-        bool taint = false;
-        bool kmax = false;
-        scan(cond_b, cond_e, taint, kmax);
-        if (taint && !kmax) {
-          emit(ctx, t[i].line, "D4",
-               "handler '" + fn.name +
-                   "' walks a message-derived span without a kMax* clamp "
-                   "in the loop condition: bound catch-up/fetch spans "
-                   "(kMaxCatchUpSpan-style constants) before serving "
-                   "them");
-        }
-        i = close;
-        continue;
-      }
-      // Assignment / init: an expression mentioning a message field
-      // taints the assignee unless a kMax* clamp appears on the same
-      // right-hand side (the std::min clamp idiom); a later clamped
-      // re-assignment clears the taint.
-      if (x == "=" && i >= 1 && t[i - 1].ident) {
-        std::size_t end = i + 1;
-        int depth = 0;
-        while (end < fn.body_close) {
-          const std::string& y = t[end].text;
-          if (y == "(" || y == "[" || y == "{") ++depth;
-          if (y == ")" || y == "]" || y == "}") --depth;
-          if (y == ";" && depth <= 0) break;
-          ++end;
-        }
-        bool taint = false;
-        bool kmax = false;
-        scan(i + 1, end, taint, kmax);
-        if (taint && !kmax) {
-          span_tainted.insert(t[i - 1].text);
-        } else {
-          span_tainted.erase(t[i - 1].text);
-        }
-        i = end;
-        continue;
-      }
-    }
-  }
-}
-
-// --- D5: reinterpret_cast / const_cast fenced into approved TUs -----------
-
-void run_d5(Context& ctx) {
-  if (basename_starts_with_any(ctx.file.path, {"gf256", "sha256", "bytes"})) {
-    return;
-  }
-  for (const Token& tok : ctx.tokens) {
-    if (tok.text == "reinterpret_cast" || tok.text == "const_cast") {
-      emit(ctx, tok.line, "D5",
-           "'" + tok.text +
-               "' outside the approved low-level TUs (gf256*, sha256*, "
-               "bytes*): route byte reinterpretation through common/bytes "
-               "helpers");
-    }
-  }
-}
-
-// --- D6: backend types fenced behind the Runtime seam ----------------------
-
-void run_d6(Context& ctx) {
-  // The simulator and the runtime layer (SimRuntime wraps the backend,
-  // ThreadRuntime mirrors it) are the only places allowed to spell the
-  // concrete backend types; tests/sim exercises the backend directly.
-  const std::string generic = fs::path(ctx.file.path).generic_string();
-  if (generic.find("/sim/") != std::string::npos) return;
-  if (generic.find("/runtime/") != std::string::npos) return;
-
-  const std::vector<Token>& t = ctx.tokens;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!t[i].ident) continue;
-    if (t[i].text == "Simulator") {
-      emit(ctx, t[i].line, "D6",
-           "'Simulator' outside sim//runtime/: drive scenarios through "
-           "the Runtime interface (runtime::SimRuntime for the "
-           "deterministic backend)");
-      continue;
-    }
-    if (t[i].text == "sim" && i + 2 < t.size() && t[i + 1].text == "::" &&
-        t[i + 2].text == "Network") {
-      emit(ctx, t[i].line, "D6",
-           "'sim::Network' outside sim//runtime/: protocol and harness "
-           "code must talk to runtime::Runtime so every backend can "
-           "carry it");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver.
-// ---------------------------------------------------------------------------
 
 std::string pair_key(const std::string& path) {
   const fs::path p(path);
@@ -966,6 +43,139 @@ bool allowed(const SourceFile& file, const Diagnostic& d) {
     }
   }
   return false;
+}
+
+void parallel_for(std::size_t n, unsigned jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  unsigned workers = jobs != 0 ? jobs
+                               : std::max(1u, std::min(
+                                     8u, std::thread::hardware_concurrency()));
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, n == 0 ? 1 : n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::string error;
+  std::mutex error_m;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        if (failed.load()) return;
+        try {
+          fn(i);
+        } catch (const std::exception& e) {
+          std::lock_guard<std::mutex> g(error_m);
+          if (!failed.exchange(true)) error = e.what();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  if (failed.load()) throw std::runtime_error(error);
+}
+
+struct FileUnit {
+  SourceFile src;
+  std::vector<Token> tokens;
+  std::vector<Function> functions;
+  std::vector<Diagnostic> diags;  ///< Raw (pre-allowlist) diagnostics.
+  std::vector<LockEdge> edges;
+};
+
+/// Deterministic lock-order cycle check: for every edge a->b, search
+/// for a path b ~> a over the (sorted, deduplicated) edge set; each
+/// distinct cycle is reported once, anchored at its lexicographically
+/// first edge.
+std::vector<Diagnostic> check_lock_order(std::vector<LockEdge> edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const LockEdge& a, const LockEdge& b) {
+              return std::tie(a.from, a.to, a.file, a.line) <
+                     std::tie(b.from, b.to, b.file, b.line);
+            });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const LockEdge& a, const LockEdge& b) {
+                            return a.from == b.from && a.to == b.to;
+                          }),
+              edges.end());
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const LockEdge& e : edges) adj[e.from].push_back(e.to);
+
+  std::vector<Diagnostic> out;
+  std::set<std::string> seen_cycles;
+  for (const LockEdge& e : edges) {
+    // BFS from e.to back to e.from.
+    std::map<std::string, std::string> parent;
+    std::vector<std::string> queue{e.to};
+    parent[e.to] = "";
+    bool found = e.to == e.from;
+    for (std::size_t qi = 0; qi < queue.size() && !found; ++qi) {
+      const auto it = adj.find(queue[qi]);
+      if (it == adj.end()) continue;
+      for (const std::string& nxt : it->second) {
+        if (parent.count(nxt) != 0) continue;
+        parent[nxt] = queue[qi];
+        if (nxt == e.from) {
+          found = true;
+          break;
+        }
+        queue.push_back(nxt);
+      }
+    }
+    if (!found) continue;
+    // Reconstruct the cycle e.from -> e.to ~> e.from.
+    std::vector<std::string> path{e.from};
+    for (std::string n = e.from; !n.empty() && n != e.to;) {
+      n = parent.count(n) != 0 ? parent[n] : std::string();
+      if (!n.empty()) path.push_back(n);
+    }
+    path.push_back(e.from);
+    std::reverse(path.begin() + 1, path.end() - 1);
+    std::vector<std::string> key_nodes(path.begin(), path.end() - 1);
+    std::sort(key_nodes.begin(), key_nodes.end());
+    std::string key;
+    for (const std::string& n : key_nodes) key += n + "|";
+    if (!seen_cycles.insert(key).second) continue;
+    std::string chain = path[0];
+    for (std::size_t i = 1; i < path.size(); ++i) chain += " -> " + path[i];
+    out.push_back({e.file, e.line, "D7",
+                   "lock-order cycle: " + chain +
+                       ": nested acquisitions must follow one global "
+                       "order or this can deadlock"});
+  }
+  return out;
+}
+
+const std::vector<std::string>& known_rules() {
+  static const std::vector<std::string> kRules = {
+      "D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "S1"};
+  return kRules;
+}
+
+void append_json_diag(std::ostringstream& os, const Diagnostic& d,
+                      bool last) {
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  };
+  os << "  {\"file\": \"" << escape(d.file) << "\", \"line\": " << d.line
+     << ", \"rule\": \"" << d.rule << "\", \"message\": \""
+     << escape(d.message) << "\"}";
+  os << (last ? "\n" : ",\n");
 }
 
 }  // namespace
@@ -1009,80 +219,162 @@ std::vector<std::string> collect_sources(const std::vector<std::string>& roots,
   return files;
 }
 
-std::vector<Diagnostic> lint_files(const std::vector<std::string>& files) {
-  // Load and tokenize everything once; collect symbols per header/impl
-  // pair and must-check names globally.
-  std::vector<SourceFile> sources;
-  std::vector<std::vector<Token>> tokens;
-  sources.reserve(files.size());
-  for (const std::string& f : files) {
-    sources.push_back(load_source(f));
-    tokens.push_back(tokenize(sources.back()));
-  }
+Report lint_tree(const std::vector<std::string>& files,
+                 const Options& options) {
+  const std::size_t n = files.size();
+  std::vector<FileUnit> units(n);
 
+  // Phase 1 (parallel): load, tokenize, segment.
+  parallel_for(n, options.jobs, [&](std::size_t i) {
+    units[i].src = load_source(files[i]);
+    units[i].tokens = tokenize(units[i].src);
+    units[i].functions = segment_functions(units[i].tokens);
+  });
+
+  // Phase 2 (serial): pair symbols, must-check names, header decls.
   std::map<std::string, Symbols> pair_symbols;
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    collect_symbols(tokens[i], pair_symbols[pair_key(sources[i].path)]);
+  for (std::size_t i = 0; i < n; ++i) {
+    collect_symbols(units[i].tokens, units[i].src.path,
+                    pair_symbols[pair_key(units[i].src.path)]);
   }
-
   MustCheck must_check;
-  std::vector<Diagnostic> all;
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    const Symbols& sym = pair_symbols[pair_key(sources[i].path)];
-    Context ctx{sources[i], tokens[i], sym, must_check, all};
+  for (std::size_t i = 0; i < n; ++i) {
+    const Symbols& sym = pair_symbols[pair_key(units[i].src.path)];
+    Context ctx{units[i].src,   units[i].tokens, units[i].functions,
+                sym,            must_check,      pair_key(units[i].src.path),
+                units[i].diags, units[i].edges};
     collect_and_check_declarations(ctx, must_check, /*emit_diagnostics=*/true);
   }
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    const Symbols& sym = pair_symbols[pair_key(sources[i].path)];
-    Context ctx{sources[i], tokens[i], sym, must_check, all};
+
+  // Phase 3 (parallel): per-file rules.
+  parallel_for(n, options.jobs, [&](std::size_t i) {
+    const Symbols& sym = pair_symbols.at(pair_key(units[i].src.path));
+    Context ctx{units[i].src,   units[i].tokens, units[i].functions,
+                sym,            must_check,      pair_key(units[i].src.path),
+                units[i].diags, units[i].edges};
     run_d1(ctx);
     run_d2(ctx);
     run_d3_call_sites(ctx);
     run_d4(ctx);
-    run_d4_spans(ctx);
     run_d5(ctx);
     run_d6(ctx);
+    run_d7(ctx);
+    run_d8(ctx);
+    run_d9(ctx);
+  });
+
+  // Phase 4 (serial): lock-order cycles, suppression filter, stale
+  // suppression accounting, ordering.
+  std::vector<LockEdge> all_edges;
+  for (const FileUnit& u : units) {
+    all_edges.insert(all_edges.end(), u.edges.begin(), u.edges.end());
+  }
+  {
+    std::vector<Diagnostic> cycles = check_lock_order(std::move(all_edges));
+    // Attach cycle diagnostics to their anchoring file's unit so the
+    // allowlist applies uniformly.
+    for (Diagnostic& d : cycles) {
+      for (FileUnit& u : units) {
+        if (u.src.path == d.file) {
+          u.diags.push_back(std::move(d));
+          break;
+        }
+      }
+    }
   }
 
-  // Apply allowlist pragmas, then order by (file, line, rule).
-  std::map<std::string, const SourceFile*> by_path;
-  for (const SourceFile& s : sources) by_path[s.path] = &s;
-  std::vector<Diagnostic> kept;
-  for (Diagnostic& d : all) {
-    if (!allowed(*by_path.at(d.file), d)) kept.push_back(std::move(d));
+  Report report;
+  report.files_scanned = n;
+  for (FileUnit& u : units) {
+    // A pragma is "used" when a raw finding of its rule lands on its
+    // line or the line below (line pragmas), or anywhere in the file
+    // (allow-file). Computed before filtering, so a suppressed finding
+    // still justifies its pragma.
+    std::set<std::string> file_rules_hit;
+    std::map<std::size_t, std::set<std::string>> line_rules_hit;
+    for (const Diagnostic& d : u.diags) {
+      file_rules_hit.insert(d.rule);
+      line_rules_hit[d.line].insert(d.rule);
+    }
+    for (const Diagnostic& d : u.diags) {
+      if (!allowed(u.src, d)) report.diagnostics.push_back(d);
+    }
+    for (const Pragma& p : u.src.pragmas) {
+      bool used = false;
+      if (p.whole_file) {
+        used = file_rules_hit.count(p.rule) != 0;
+      } else {
+        for (std::size_t line : {p.line, p.line + 1}) {
+          const auto it = line_rules_hit.find(line);
+          if (it != line_rules_hit.end() && it->second.count(p.rule) != 0) {
+            used = true;
+          }
+        }
+      }
+      if (used) continue;
+      report.stale_suppressions.push_back(
+          {u.src.path, p.line, "S1",
+           std::string(p.whole_file ? "allow-file(" : "allow(") + p.rule +
+               ") matches no " + p.rule +
+               " finding: the suppression is stale, remove it"});
+    }
   }
-  std::sort(kept.begin(), kept.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              return std::tie(a.file, a.line, a.rule, a.message) <
-                     std::tie(b.file, b.line, b.rule, b.message);
-            });
-  return kept;
+
+  const auto order = [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  };
+  std::sort(report.diagnostics.begin(), report.diagnostics.end(), order);
+  std::sort(report.stale_suppressions.begin(),
+            report.stale_suppressions.end(), order);
+
+  for (const std::string& r : known_rules()) report.rule_counts[r] = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    ++report.rule_counts[d.rule];
+  }
+  report.rule_counts["S1"] = report.stale_suppressions.size();
+  return report;
+}
+
+std::vector<Diagnostic> lint_files(const std::vector<std::string>& files) {
+  return lint_tree(files, Options{}).diagnostics;
 }
 
 std::string to_json(const std::vector<Diagnostic>& diagnostics) {
-  const auto escape = [](const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default: out += c;
-      }
-    }
-    return out;
-  };
   std::ostringstream os;
   os << "[\n";
   for (std::size_t i = 0; i < diagnostics.size(); ++i) {
-    const Diagnostic& d = diagnostics[i];
-    os << "  {\"file\": \"" << escape(d.file) << "\", \"line\": " << d.line
-       << ", \"rule\": \"" << d.rule << "\", \"message\": \""
-       << escape(d.message) << "\"}";
-    os << (i + 1 == diagnostics.size() ? "\n" : ",\n");
+    append_json_diag(os, diagnostics[i], i + 1 == diagnostics.size());
   }
   os << "]\n";
+  return os.str();
+}
+
+std::string to_json(const Report& report) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "\"schema\": \"predis-lint/2\",\n";
+  os << "\"files\": " << report.files_scanned << ",\n";
+  os << "\"rule_counts\": {";
+  bool first = true;
+  for (const auto& [rule, count] : report.rule_counts) {
+    os << (first ? "" : ", ") << "\"" << rule << "\": " << count;
+    first = false;
+  }
+  os << "},\n";
+  os << "\"findings\": [\n";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    append_json_diag(os, report.diagnostics[i],
+                     i + 1 == report.diagnostics.size());
+  }
+  os << "],\n";
+  os << "\"stale_suppressions\": [\n";
+  for (std::size_t i = 0; i < report.stale_suppressions.size(); ++i) {
+    append_json_diag(os, report.stale_suppressions[i],
+                     i + 1 == report.stale_suppressions.size());
+  }
+  os << "]\n";
+  os << "}\n";
   return os.str();
 }
 
@@ -1095,15 +387,29 @@ const char* rule_catalogue() {
       "D3  Expected<T>-returning and non-void try_* APIs are\n"
       "    [[nodiscard]] and their results are never discarded\n"
       "D4  on_* message handlers bounds/ban-check the sender and\n"
-      "    message-carried indices before subscripting per-node vectors,\n"
-      "    and clamp message-derived span walks with a kMax* constant\n"
+      "    message-carried indices before subscripting per-node vectors\n"
       "D5  reinterpret_cast/const_cast only in gf256*, sha256*, bytes*\n"
       "D6  the concrete backend types (Simulator, sim::Network) are\n"
       "    named only under sim/ and runtime/; everything else talks to\n"
       "    runtime::Runtime\n"
+      "D7  fields annotated PREDIS_GUARDED_BY(mu) are only accessed\n"
+      "    with `mu` held (lock_guard/scoped_lock/unique_lock/manual\n"
+      "    lock tracking), and nested acquisitions keep one global\n"
+      "    acyclic lock order\n"
+      "D8  every Runtime::schedule()/after() TimerHandle is stored and\n"
+      "    cancelled on teardown/restart, or explicitly discarded with\n"
+      "    PREDIS_FIRE_AND_FORGET (self-guarded tick chains)\n"
+      "D9  message-derived values (including PREDIS_MSG_DERIVED member\n"
+      "    reads) stay tainted through assignments/aliases/loops until\n"
+      "    a kMax* clamp, modulo or dominating bounds check; tainted\n"
+      "    values must not index containers, size allocations, bound\n"
+      "    relational loops, or be stored into unannotated members\n"
+      "S1  every suppression pragma must still match a finding\n"
+      "    (stale suppressions are warnings, errors under --strict)\n"
       "\n"
-      "Suppress with  // predis-lint: allow(D2): reason   (line + next)\n"
-      "or             // predis-lint: allow-file(D5)      (whole file)\n";
+      "Suppressions: an allow(RULE) comment pragma covers its own line\n"
+      "and the next; allow-file(RULE) covers the whole file. Syntax and\n"
+      "hygiene policy: docs/static_analysis.md.\n";
 }
 
 }  // namespace predis::lint

@@ -1,0 +1,460 @@
+#include "parser.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace predis::lint {
+namespace {
+namespace fs = std::filesystem;
+}  // namespace
+
+void collect_symbols(const std::vector<Token>& t, const std::string& path,
+                     Symbols& sym) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Annotation macros from src/common/thread_annotations.hpp attach
+    // to the declarator immediately before them.
+    if (t[i].text == "PREDIS_GUARDED_BY" && i + 1 < t.size() &&
+        t[i + 1].text == "(" && i > 0 && t[i - 1].ident) {
+      const std::size_t close = match_forward(t, i + 1);
+      std::string mutex;
+      for (std::size_t j = i + 2; j < close && j < t.size(); ++j) {
+        if (t[j].ident) mutex = t[j].text;
+      }
+      if (!mutex.empty()) {
+        sym.guarded[t[i - 1].text] = {mutex, {path, t[i].line}};
+      }
+      continue;
+    }
+    if (t[i].text == "PREDIS_MSG_DERIVED" && i > 0 && t[i - 1].ident) {
+      sym.msg_derived.insert(t[i - 1].text);
+      continue;
+    }
+    // `std::mutex m_;` member/global declarations.
+    if ((t[i].text == "mutex" || t[i].text == "shared_mutex" ||
+         t[i].text == "recursive_mutex") &&
+        i + 2 < t.size() && t[i + 1].ident) {
+      const std::string& term = t[i + 2].text;
+      if (term == ";" || term == "=" || term == "{") {
+        sym.mutex_vars.insert(t[i + 1].text);
+      }
+    }
+    // `runtime::TimerHandle fetch_timer_;` members (trailing-underscore
+    // names only: locals are handled flow-sensitively by D8).
+    if (t[i].text == "TimerHandle" && i + 2 < t.size() && t[i + 1].ident &&
+        !t[i + 1].text.empty() && t[i + 1].text.back() == '_') {
+      const std::string& term = t[i + 2].text;
+      if (term == ";" || term == "=" || term == "{") {
+        sym.timer_members[t[i + 1].text] = {path, t[i + 1].line};
+      }
+    }
+    // `x.cancel()` anywhere in the pair marks x as cancelled for D8.
+    if (t[i].text == "cancel" && i + 1 < t.size() && t[i + 1].text == "(" &&
+        i >= 2 && (t[i - 1].text == "." || t[i - 1].text == "->") &&
+        t[i - 2].ident) {
+      sym.cancelled.insert(t[i - 2].text);
+    }
+
+    const bool is_unordered =
+        t[i].text == "unordered_map" || t[i].text == "unordered_set";
+    const bool is_vector = t[i].text == "vector";
+    const bool is_alias =
+        t[i].ident && sym.unordered_types.count(t[i].text) != 0;
+    if (!is_unordered && !is_vector && !is_alias) continue;
+
+    // `using Alias = std::unordered_map<...>;` — record the alias name.
+    if (is_unordered && i >= 2 && t[i - 1].text == "::" &&
+        i >= 4 && t[i - 3].text == "=" && t[i - 4].ident &&
+        i >= 5 && t[i - 5].text == "using") {
+      sym.unordered_types.insert(t[i - 4].text);
+      continue;
+    }
+    if (is_unordered && i >= 2 && t[i - 1].text == "=" && t[i - 2].ident &&
+        i >= 3 && t[i - 3].text == "using") {
+      sym.unordered_types.insert(t[i - 2].text);
+      continue;
+    }
+
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].text == "<") {
+      const std::size_t after = skip_template_args(t, j);
+      if (after == j) continue;  // comparison, not a declaration
+      j = after;
+    } else if (is_unordered || is_vector) {
+      continue;  // bare mention without template args
+    }
+    // Declarator: optional &/*, then the variable name, terminated by
+    // ; = { ( — `(` covers `std::vector<T> name(n)` constructor syntax.
+    while (j < t.size() && (t[j].text == "&" || t[j].text == "*")) ++j;
+    if (j + 1 >= t.size() || !t[j].ident) continue;
+    const std::string& next = t[j + 1].text;
+    if (next != ";" && next != "=" && next != "{" && next != "(" &&
+        next != "PREDIS_MSG_DERIVED" && next != "PREDIS_GUARDED_BY") {
+      continue;
+    }
+    if (is_vector) {
+      sym.vector_vars.insert(t[j].text);
+    } else {
+      sym.unordered_vars.insert(t[j].text);
+    }
+  }
+}
+
+const std::set<std::string>& std_try_names() {
+  static const std::set<std::string> kNames = {
+      "try_emplace", "try_lock",    "try_lock_for", "try_lock_until",
+      "try_acquire", "try_wait",    "try_to_lock",
+  };
+  return kNames;
+}
+
+std::optional<std::vector<std::string>> decl_span_before(
+    const std::vector<Token>& t, std::size_t name_idx) {
+  static const std::set<std::string> kExprMarkers = {
+      "=",  "!",  "(", ",",  "return", ".",  "->", "?",  "+",  "-",
+      "/",  "==", "!=", "<=", ">=",     "&&", "||", "if", "while",
+      "for", "switch", "case", "throw"};
+  std::vector<std::string> span;
+  std::size_t i = name_idx;
+  while (i > 0) {
+    --i;
+    const std::string& x = t[i].text;
+    if (x == ";" || x == "{" || x == "}") break;
+    // Access specifiers end the span too (public: / private:).
+    if (x == ":" && i > 0 &&
+        (t[i - 1].text == "public" || t[i - 1].text == "private" ||
+         t[i - 1].text == "protected")) {
+      break;
+    }
+    if (kExprMarkers.count(x) != 0) return std::nullopt;
+    span.push_back(x);
+    if (span.size() > 24) break;  // runaway: treat what we have as the span
+  }
+  return span;
+}
+
+bool span_has(const std::vector<std::string>& span, const std::string& word) {
+  return std::find(span.begin(), span.end(), word) != span.end();
+}
+
+bool is_header(const std::string& path) {
+  const std::string ext = fs::path(path).extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".hh";
+}
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kWords = {
+      "if", "for", "while", "switch", "catch", "return", "new",
+      "delete", "sizeof", "case", "do", "else"};
+  return kWords;
+}
+
+std::vector<Function> segment_functions(const std::vector<Token>& t) {
+  std::vector<Function> out;
+  std::size_t skip_until = 0;  // inside a recorded body: no nested starts
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (i < skip_until) continue;
+    if (!t[i].ident || t[i + 1].text != "(") continue;
+    if (control_keywords().count(t[i].text) != 0) continue;
+    if (i > 0) {
+      const std::string& prev = t[i - 1].text;
+      static const std::set<std::string> kCallContext = {
+          ".", "->", "(", ",", "=",  "!",  "return", "&&", "||", "?",
+          "+", "-",  "/", "<", "==", "!=", "<=",     ">=", "case"};
+      if (kCallContext.count(prev) != 0) continue;
+    }
+    const std::size_t close = match_forward(t, i + 1);
+    if (close >= t.size()) continue;
+    // Scan past trailing qualifiers and any constructor initializer
+    // list to the body brace (or bail at ; for pure declarations).
+    std::size_t j = close + 1;
+    bool found_body = false;
+    while (j < t.size()) {
+      const std::string& x = t[j].text;
+      if (x == ";" || x == "}") break;
+      if (x == "{") {
+        // Member brace-init (`member_{...}`) is preceded by an ident;
+        // the body brace is preceded by ) / qualifier / init-list end.
+        if (t[j - 1].ident && j > close + 1 &&
+            control_keywords().count(t[j - 1].text) == 0 &&
+            t[j - 1].text != "const" && t[j - 1].text != "noexcept" &&
+            t[j - 1].text != "override" && t[j - 1].text != "final") {
+          const std::size_t skip = match_forward(t, j);
+          if (skip >= t.size()) break;
+          j = skip + 1;
+          continue;
+        }
+        found_body = true;
+        break;
+      }
+      if (x == "(") {  // noexcept(...) or initializer argument list
+        const std::size_t skip = match_forward(t, j);
+        if (skip >= t.size()) break;
+        j = skip + 1;
+        continue;
+      }
+      ++j;
+    }
+    if (!found_body) continue;
+    const std::size_t body_close = match_forward(t, j);
+    if (body_close >= t.size()) continue;
+    out.push_back({t[i].text, i + 1, close, j, body_close});
+    skip_until = body_close;  // lambdas stay inside the enclosing body
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> split_params(
+    const std::vector<Token>& t, const Function& fn) {
+  std::vector<std::pair<std::size_t, std::size_t>> params;
+  int depth = 0;
+  std::size_t start = fn.params_open + 1;
+  for (std::size_t i = fn.params_open + 1; i <= fn.params_close; ++i) {
+    if (t[i].text == "(" || t[i].text == "<" || t[i].text == "[") ++depth;
+    if (t[i].text == ")" || t[i].text == ">" || t[i].text == "]") --depth;
+    if ((t[i].text == "," && depth == 0) || i == fn.params_close) {
+      if (i > start) params.emplace_back(start, i);
+      start = i + 1;
+    }
+  }
+  return params;
+}
+
+HandlerSig handler_signature(const std::vector<Token>& t, const Function& fn) {
+  HandlerSig sig;
+  for (const auto& [b, e] : split_params(t, fn)) {
+    bool id_type = false;
+    bool msg_type = false;
+    std::string last_ident;
+    std::string prev_ident;
+    for (std::size_t i = b; i < e; ++i) {
+      if (!t[i].ident) continue;
+      if (t[i].text == "NodeId" || t[i].text == "size_t") id_type = true;
+      if (t[i].text.size() >= 3 &&
+          t[i].text.find("Msg") != std::string::npos) {
+        msg_type = true;
+      }
+      prev_ident = last_ident;
+      last_ident = t[i].text;
+    }
+    // The name is the last identifier, provided it isn't the type
+    // itself (unnamed parameters drop out here).
+    if (id_type && sig.sender.empty() && !prev_ident.empty() &&
+        last_ident != "NodeId" && last_ident != "size_t") {
+      sig.sender = last_ident;
+    }
+    if (msg_type && !last_ident.empty() &&
+        last_ident.find("Msg") == std::string::npos) {
+      sig.msg_param = last_ident;
+    }
+  }
+  return sig;
+}
+
+// ---------------------------------------------------------------------------
+// Statement tree.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Stmt parse_stmt(const std::vector<Token>& t, std::size_t i, std::size_t end);
+
+Stmt parse_block(const std::vector<Token>& t, std::size_t open,
+                 std::size_t close) {
+  Stmt s;
+  s.kind = StmtKind::kBlock;
+  s.begin = open;
+  s.end = close + 1;
+  std::size_t i = open + 1;
+  while (i < close) {
+    Stmt c = parse_stmt(t, i, close);
+    if (c.end <= i) break;  // no progress: malformed region, stop here
+    i = c.end;
+    s.children.push_back(std::move(c));
+  }
+  return s;
+}
+
+/// Head parens of a control keyword at `i`, tolerating `if constexpr`.
+/// Returns {inner_begin, close_paren} or nullopt.
+std::optional<std::pair<std::size_t, std::size_t>> control_head(
+    const std::vector<Token>& t, std::size_t i, std::size_t end) {
+  std::size_t p = i + 1;
+  if (p < end && t[p].ident) ++p;  // `if constexpr (...)`
+  if (p >= end || t[p].text != "(") return std::nullopt;
+  const std::size_t close = match_forward(t, p);
+  if (close >= end) return std::nullopt;
+  return std::make_pair(p + 1, close);
+}
+
+Stmt parse_simple(const std::vector<Token>& t, std::size_t i,
+                  std::size_t end) {
+  Stmt s;
+  s.kind = StmtKind::kSimple;
+  s.begin = i;
+  int depth = 0;
+  std::size_t j = i;
+  // `case X:` / `default:` labels end at the colon so the statements
+  // they introduce parse as siblings.
+  if (t[i].text == "case" || t[i].text == "default") {
+    while (j < end && t[j].text != ":") ++j;
+    s.end = std::min(j + 1, end);
+    return s;
+  }
+  while (j < end) {
+    const std::string& y = t[j].text;
+    if (y == "(" || y == "[" || y == "{") ++depth;
+    if (y == ")" || y == "]" || y == "}") {
+      if (depth == 0) break;  // ran into the enclosing closer
+      --depth;
+    }
+    if (y == ";" && depth == 0) {
+      ++j;
+      break;
+    }
+    ++j;
+  }
+  s.end = std::max(j, i + 1);
+  return s;
+}
+
+Stmt parse_stmt(const std::vector<Token>& t, std::size_t i, std::size_t end) {
+  const std::string& x = t[i].text;
+  if (x == "{") {
+    const std::size_t close = match_forward(t, i);
+    if (close < end) return parse_block(t, i, close);
+    return parse_simple(t, i, end);
+  }
+  if (x == "if" || x == "for" || x == "while" || x == "switch") {
+    const auto head = control_head(t, i, end);
+    if (!head) return parse_simple(t, i, end);
+    Stmt s;
+    s.begin = i;
+    s.head_b = head->first;
+    s.head_e = head->second;
+    s.kind = x == "if"      ? StmtKind::kIf
+             : x == "for"   ? StmtKind::kFor
+             : x == "while" ? StmtKind::kWhile
+                            : StmtKind::kSwitch;
+    if (head->second + 1 >= end) {
+      s.end = end;
+      return s;
+    }
+    Stmt body = parse_stmt(t, head->second + 1, end);
+    std::size_t j = body.end;
+    s.children.push_back(std::move(body));
+    if (s.kind == StmtKind::kIf && j < end && t[j].text == "else") {
+      s.has_else = true;
+      if (j + 1 < end) {
+        Stmt els = parse_stmt(t, j + 1, end);
+        j = els.end;
+        s.children.push_back(std::move(els));
+      } else {
+        j = end;
+      }
+    }
+    s.end = j;
+    return s;
+  }
+  if (x == "do") {
+    Stmt s;
+    s.kind = StmtKind::kDo;
+    s.begin = i;
+    if (i + 1 >= end) {
+      s.end = end;
+      return s;
+    }
+    Stmt body = parse_stmt(t, i + 1, end);
+    std::size_t j = body.end;
+    s.children.push_back(std::move(body));
+    if (j < end && t[j].text == "while" && j + 1 < end &&
+        t[j + 1].text == "(") {
+      const std::size_t close = match_forward(t, j + 1);
+      if (close < end) {
+        s.head_b = j + 2;
+        s.head_e = close;
+        j = close + 1;
+        if (j < end && t[j].text == ";") ++j;
+      }
+    }
+    s.end = j;
+    return s;
+  }
+  return parse_simple(t, i, end);
+}
+
+}  // namespace
+
+Stmt parse_body(const std::vector<Token>& t, const Function& fn) {
+  return parse_block(t, fn.body_open, fn.body_close);
+}
+
+bool stmt_terminal(const std::vector<Token>& t, const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::kSimple: {
+      const std::string& first = t[s.begin].text;
+      return first == "return" || first == "break" || first == "continue" ||
+             first == "throw";
+    }
+    case StmtKind::kBlock:
+      return !s.children.empty() && stmt_terminal(t, s.children.back());
+    case StmtKind::kIf:
+      return s.has_else && s.children.size() == 2 &&
+             stmt_terminal(t, s.children[0]) && stmt_terminal(t, s.children[1]);
+    default:
+      return false;
+  }
+}
+
+std::set<std::string> local_names(const std::vector<Token>& t,
+                                  const Function& fn) {
+  std::set<std::string> out;
+  for (const auto& [b, e] : split_params(t, fn)) {
+    std::size_t idents = 0;
+    std::string last;
+    bool last_after_ref = false;
+    for (std::size_t i = b; i < e; ++i) {
+      if (!t[i].ident) continue;
+      ++idents;
+      last = t[i].text;
+      last_after_ref = i > b && (t[i - 1].text == "&" || t[i - 1].text == "*" ||
+                                 t[i - 1].text == ">");
+    }
+    if (!last.empty() && (idents >= 2 || last_after_ref)) out.insert(last);
+  }
+  static const std::set<std::string> kNotNames = {
+      "const", "auto", "static", "constexpr", "true", "false", "nullptr"};
+  for (std::size_t i = fn.body_open + 1; i < fn.body_close; ++i) {
+    if (!t[i].ident || control_keywords().count(t[i].text) != 0 ||
+        kNotNames.count(t[i].text) != 0) {
+      continue;
+    }
+    const std::string& prev = t[i - 1].text;
+    const std::string& next = t[i + 1].text;
+    // Structured bindings: `auto& [a, b] = ...` / `for (auto [k, v] : m)`.
+    if ((prev == "[" || prev == ",") && (next == "," || next == "]")) {
+      std::size_t open = i;
+      while (open > fn.body_open && t[open].text != "[") --open;
+      if (open >= 2 &&
+          (t[open - 1].text == "&" || t[open - 1].text == "auto" ||
+           t[open - 2].text == "auto")) {
+        out.insert(t[i].text);
+      }
+      continue;
+    }
+    const bool decl_prev =
+        prev == "*" || prev == "&" || prev == ">" ||
+        (t[i - 1].ident && control_keywords().count(prev) == 0 &&
+         kNotNames.count(prev) == 0 && prev != "return");
+    // `auto x = ...` has prev=="auto" which kNotNames excludes above —
+    // re-admit the declaration keywords as type positions.
+    const bool decl_kw = prev == "auto" || prev == "const";
+    if (!decl_prev && !decl_kw) continue;
+    if (next == "=" || next == ";" || next == "{" || next == "(" ||
+        next == ":" || next == "[") {
+      out.insert(t[i].text);
+    }
+  }
+  return out;
+}
+
+}  // namespace predis::lint

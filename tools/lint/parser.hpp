@@ -1,0 +1,134 @@
+// predis-lint analysis core, stage 2: tokens -> declarations, function
+// bodies, statement trees.
+//
+// The parser is declaration-aware but intentionally shallow: it
+// recognizes the handful of C++ declaration shapes this codebase uses
+// (container members, mutexes, timer handles, the thread_annotations
+// macros), segments function definitions by brace matching, and builds
+// a statement-level tree per body — enough structure for the
+// intra-procedural dataflow in dataflow.cpp without becoming a
+// compiler.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "source.hpp"
+
+namespace predis::lint {
+
+/// Where a pair-level symbol was declared (for reporting).
+struct DeclSite {
+  std::string file;
+  std::size_t line = 0;
+};
+
+/// A field carrying a guarded-by annotation: touching it requires
+/// holding `mutex`.
+struct GuardedField {
+  std::string mutex;
+  DeclSite decl;
+};
+
+/// Per file-pair (foo.hpp + foo.cpp) view of declared names.
+struct Symbols {
+  std::set<std::string> unordered_vars;   ///< unordered_{map,set} variables.
+  std::set<std::string> unordered_types;  ///< using aliases of those types.
+  std::set<std::string> vector_vars;      ///< std::vector variables.
+
+  std::map<std::string, GuardedField> guarded;  ///< D7 annotated fields.
+  std::set<std::string> mutex_vars;             ///< std::mutex declarations.
+  std::set<std::string> msg_derived;            ///< D9 annotated members.
+  std::map<std::string, DeclSite> timer_members;  ///< TimerHandle members.
+  std::set<std::string> cancelled;  ///< Names with a .cancel() call in pair.
+};
+
+void collect_symbols(const std::vector<Token>& t, const std::string& path,
+                     Symbols& sym);
+
+/// Names of project functions whose results must not be discarded
+/// (non-void try_* and Expected<T>-returning declarations), collected
+/// across every scanned header.
+using MustCheck = std::set<std::string>;
+
+const std::set<std::string>& std_try_names();
+
+/// Walk back from a candidate declaration name to the statement
+/// boundary, collecting the return-type span. Returns nullopt when the
+/// site is an expression (call), not a declaration.
+std::optional<std::vector<std::string>> decl_span_before(
+    const std::vector<Token>& t, std::size_t name_idx);
+
+bool span_has(const std::vector<std::string>& span, const std::string& word);
+
+bool is_header(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Function segmentation.
+// ---------------------------------------------------------------------------
+
+struct Function {
+  std::string name;
+  std::size_t params_open = 0;  ///< Index of "(".
+  std::size_t params_close = 0;
+  std::size_t body_open = 0;    ///< Index of "{".
+  std::size_t body_close = 0;
+};
+
+const std::set<std::string>& control_keywords();
+
+/// Best-effort function-definition finder: `name ( ... ) [qualifiers] {`.
+/// Constructor initializer lists are skipped by balancing parens and
+/// member brace-inits until the body brace.
+std::vector<Function> segment_functions(const std::vector<Token>& t);
+
+/// Token ranges [begin, end) of the top-level parameters.
+std::vector<std::pair<std::size_t, std::size_t>> split_params(
+    const std::vector<Token>& t, const Function& fn);
+
+/// Message-handler signature: the sender-id parameter name (NodeId /
+/// size_t typed) and the *Msg-typed parameter name, either may be "".
+struct HandlerSig {
+  std::string sender;
+  std::string msg_param;
+};
+
+HandlerSig handler_signature(const std::vector<Token>& t, const Function& fn);
+
+// ---------------------------------------------------------------------------
+// Statement tree.
+// ---------------------------------------------------------------------------
+
+enum class StmtKind { kBlock, kIf, kFor, kWhile, kDo, kSwitch, kSimple };
+
+/// One statement, with token range [begin, end). Control statements
+/// carry the range inside their head parens and their sub-statements as
+/// children (if: then[, else]; loops/switch: the body; block: each
+/// statement in order).
+struct Stmt {
+  StmtKind kind = StmtKind::kSimple;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t head_b = 0;  ///< First token inside the control parens.
+  std::size_t head_e = 0;  ///< The closing paren.
+  bool has_else = false;
+  std::vector<Stmt> children;
+};
+
+/// Parse the body of `fn` into a kBlock statement tree. Never throws:
+/// malformed regions degrade into kSimple statements.
+Stmt parse_body(const std::vector<Token>& t, const Function& fn);
+
+/// True when control cannot fall out of the end of `s` (its last
+/// reachable statement is return/break/continue/throw). Used by the
+/// dataflow walkers to decide whether an `if (bad) return;` guard
+/// dominates the code after the if.
+bool stmt_terminal(const std::vector<Token>& t, const Stmt& s);
+
+/// Parameter names plus best-effort local declarations of `fn` — the
+/// shadow set: an unqualified use of one of these names refers to the
+/// local, not to a same-named member.
+std::set<std::string> local_names(const std::vector<Token>& t,
+                                  const Function& fn);
+
+}  // namespace predis::lint

@@ -1,7 +1,9 @@
 // predis-lint CLI: walk the given files/directories and report every
 // determinism / protocol-safety rule violation (see linter.hpp for the
-// rule catalogue). Exit code 0 = clean, 1 = findings, 2 = usage error.
+// rule catalogue). Exit code 0 = clean, 1 = findings (or stale
+// suppressions under --strict), 2 = usage error.
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <string>
 #include <vector>
@@ -15,10 +17,13 @@ void usage() {
       "usage: predis-lint [options] <path>...\n"
       "\n"
       "Walks .cpp/.hpp files under each path and enforces the project\n"
-      "determinism & protocol-safety rules (D1-D5).\n"
+      "determinism & protocol-safety rules (D1-D9, S1).\n"
       "\n"
       "options:\n"
-      "  --json              emit diagnostics as a JSON array\n"
+      "  --json              emit the versioned predis-lint/2 report\n"
+      "  --strict            stale suppressions (S1) become errors\n"
+      "  --jobs N            worker threads (0 = auto); output is\n"
+      "                      deterministic either way\n"
       "  --list-rules        print the rule catalogue and exit\n"
       "  --include-fixtures  also scan lint_fixtures directories\n"
       "                      (self-test; they contain intentional\n"
@@ -36,6 +41,10 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--strict") {
+      options.strict = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      options.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (arg == "--list-rules") {
       std::fputs(predis::lint::rule_catalogue(), stdout);
       return 0;
@@ -58,18 +67,27 @@ int main(int argc, char** argv) {
 
   try {
     const auto files = predis::lint::collect_sources(roots, options);
-    const auto diagnostics = predis::lint::lint_files(files);
+    const auto report = predis::lint::lint_tree(files, options);
     if (json) {
-      std::fputs(predis::lint::to_json(diagnostics).c_str(), stdout);
+      std::fputs(predis::lint::to_json(report).c_str(), stdout);
     } else {
-      for (const auto& d : diagnostics) {
+      for (const auto& d : report.diagnostics) {
         std::printf("%s:%zu: [%s] %s\n", d.file.c_str(), d.line,
                     d.rule.c_str(), d.message.c_str());
       }
-      std::printf("predis-lint: %zu file(s), %zu finding(s)\n", files.size(),
-                  diagnostics.size());
+      for (const auto& d : report.stale_suppressions) {
+        std::printf("%s:%zu: [%s] %s%s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(),
+                    options.strict ? "" : "warning: ", d.message.c_str());
+      }
+      std::printf("predis-lint: %zu file(s), %zu finding(s), %zu stale "
+                  "suppression(s)\n",
+                  report.files_scanned, report.diagnostics.size(),
+                  report.stale_suppressions.size());
     }
-    return diagnostics.empty() ? 0 : 1;
+    if (!report.diagnostics.empty()) return 1;
+    if (options.strict && !report.stale_suppressions.empty()) return 1;
+    return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

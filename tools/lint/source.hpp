@@ -1,0 +1,85 @@
+// predis-lint analysis core, stage 1: raw text -> token stream.
+//
+// Loads a source file, blanks comments and string/char literals (so the
+// rules never match inside them), harvests suppression pragmas from the
+// comment text before dropping it, and tokenizes the rest. Also hosts
+// the small token-navigation helpers (balanced-delimiter matching,
+// template-argument skipping, identifier chains) every later stage
+// builds on.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace predis::lint {
+
+/// One harvested suppression pragma, kept for stale-suppression
+/// accounting (rule S1) on top of the allow maps used for filtering.
+struct Pragma {
+  std::size_t line = 0;  ///< Line the pragma comment sits on.
+  std::string rule;      ///< The rule it suppresses ("D2", ...).
+  bool whole_file = false;
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw;   ///< Original lines (1-based via index+1).
+  std::vector<std::string> code;  ///< Comments/strings blanked to spaces.
+  std::map<std::size_t, std::set<std::string>> line_allows;
+  std::set<std::string> file_allows;
+  std::vector<Pragma> pragmas;    ///< Every allow, in source order.
+};
+
+/// Blank // and /* */ comments, "..." and '...' literals. Comment text
+/// is scanned for allowlist pragmas before it is dropped.
+SourceFile load_source(const std::string& path);
+
+struct Token {
+  std::string text;
+  std::size_t line = 0;
+  bool ident = false;
+};
+
+std::vector<Token> tokenize(const SourceFile& file);
+
+/// Index of the token matching the opener at `open` ("(", "[", "{"),
+/// or tokens.size() when unbalanced.
+std::size_t match_forward(const std::vector<Token>& t, std::size_t open);
+
+/// Index of the token matching the closer at `close` (")", "]", "}"),
+/// or tokens.size() when unbalanced.
+std::size_t match_backward(const std::vector<Token>& t, std::size_t close);
+
+/// Skip a balanced template argument list starting at `i` (which must
+/// point at "<"). Returns the index one past the closing ">", or `i`
+/// if the list never closes (comparison operator, not a template).
+std::size_t skip_template_args(const std::vector<Token>& t, std::size_t i);
+
+/// Chain of the identifier starting at `i`, following . -> :: forwards
+/// ("msg.index", "it->second.relayed"). Stops before `limit`.
+std::string chain_starting_at(const std::vector<Token>& t, std::size_t i,
+                              std::size_t limit);
+
+/// One past the last token of the chain starting at `i` (so callers can
+/// advance over a chain they just read).
+std::size_t chain_end_index(const std::vector<Token>& t, std::size_t i,
+                            std::size_t limit);
+
+/// Backwards view of the chain ending at the identifier at `i`:
+/// for `mb.q` at `q`, root="mb", prefix="mb"; for plain `q`, both
+/// empty-rooted ("q" itself is the root with an empty prefix). When the
+/// prefix routes through a call or subscript (`mailboxes_.at(id)->q`)
+/// `complex` is set and the textual prefix is best-effort — lock
+/// matching treats complex prefixes as wildcards.
+struct ChainBack {
+  std::string root;    ///< First identifier of the chain ("" if none).
+  std::string prefix;  ///< Everything before the final identifier.
+  bool complex = false;
+};
+
+ChainBack chain_ending_at(const std::vector<Token>& t, std::size_t i);
+
+}  // namespace predis::lint
